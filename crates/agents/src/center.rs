@@ -1,0 +1,513 @@
+//! The neighborhood-center agent.
+//!
+//! Drives the daily protocol: broadcasts `DayStart`, collects reports
+//! until the report deadline (late or duplicate reports are handled
+//! idempotently), allocates with the greedy mechanism, pushes allocations,
+//! collects meter readings until the meter deadline, settles, and bills.
+//!
+//! **Failure handling.** A household whose report never arrives is simply
+//! excluded from the day — the paper's mechanism has no basis to allocate
+//! or bill it. A household that was allocated but whose meter reading was
+//! lost is settled *as if it followed its allocation*: real smart meters
+//! are read eventually, so the cooperative window is the neutral
+//! assumption (and the one that cannot create a phantom defection score).
+
+use std::collections::BTreeMap;
+
+use enki_core::household::{HouseholdId, Preference, Report};
+use enki_core::mechanism::{AllocationOutcome, Enki, Settlement};
+use enki_core::time::Interval;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::message::{Envelope, Message, NodeId, Tick};
+
+/// Timing of one protocol day, in ticks relative to the day's start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DayPlan {
+    /// Total ticks per day.
+    pub day_length: Tick,
+    /// Reports must arrive within this many ticks of the day start.
+    pub report_offset: Tick,
+    /// Meter readings are collected until this offset, then the day
+    /// settles.
+    pub meter_offset: Tick,
+}
+
+impl Default for DayPlan {
+    fn default() -> Self {
+        Self {
+            day_length: 100,
+            report_offset: 30,
+            meter_offset: 70,
+        }
+    }
+}
+
+impl DayPlan {
+    /// Validates the ordering `0 < report < meter < day_length`.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        0 < self.report_offset
+            && self.report_offset < self.meter_offset
+            && self.meter_offset < self.day_length
+    }
+}
+
+/// Everything the center recorded about one settled day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayRecord {
+    /// Day number.
+    pub day: u64,
+    /// Households that reported in time and were allocated.
+    pub participants: Vec<HouseholdId>,
+    /// Roster members whose reports never arrived.
+    pub missing_reports: Vec<HouseholdId>,
+    /// Participants whose meter readings never arrived (settled as
+    /// cooperative).
+    pub missing_readings: Vec<HouseholdId>,
+    /// The settlement, when at least one household participated.
+    pub settlement: Option<Settlement>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct DayInProgress {
+    day: u64,
+    report_deadline: Tick,
+    meter_deadline: Tick,
+    reports: BTreeMap<HouseholdId, Preference>,
+    allocation: Option<(Vec<Report>, AllocationOutcome)>,
+    readings: BTreeMap<HouseholdId, Interval>,
+    last_day_start: Tick,
+}
+
+/// Ticks between repeated `DayStart` broadcasts to households that have
+/// not reported yet.
+const REBROADCAST_INTERVAL: Tick = 5;
+
+/// The center agent.
+#[derive(Debug)]
+pub struct CenterAgent {
+    enki: Enki,
+    roster: Vec<HouseholdId>,
+    plan: DayPlan,
+    rng: StdRng,
+    next_day: u64,
+    current: Option<DayInProgress>,
+    records: Vec<DayRecord>,
+}
+
+impl CenterAgent {
+    /// Creates a center driving the given roster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's deadlines are not strictly ordered.
+    #[must_use]
+    pub fn new(enki: Enki, roster: Vec<HouseholdId>, plan: DayPlan, seed: u64) -> Self {
+        assert!(plan.is_valid(), "day plan deadlines must be ordered");
+        Self {
+            enki,
+            roster,
+            plan,
+            rng: StdRng::seed_from_u64(seed),
+            next_day: 0,
+            current: None,
+            records: Vec::new(),
+        }
+    }
+
+    /// The center's network address.
+    #[must_use]
+    pub fn node_id(&self) -> NodeId {
+        NodeId::Center
+    }
+
+    /// Settled day records so far.
+    #[must_use]
+    pub fn records(&self) -> &[DayRecord] {
+        &self.records
+    }
+
+    /// Handles a delivered message.
+    pub fn on_message(
+        &mut self,
+        _now: Tick,
+        from: NodeId,
+        message: Message,
+        _outbox: &mut Vec<Envelope>,
+    ) {
+        let NodeId::Household(household) = from else {
+            return;
+        };
+        let Some(current) = self.current.as_mut() else {
+            return;
+        };
+        match message {
+            Message::SubmitReport { day, preference }
+                // Idempotent: duplicates overwrite identically; late
+                // reports (after allocation) are ignored.
+                if day == current.day && current.allocation.is_none() => {
+                    current.reports.insert(household, preference);
+                }
+            Message::MeterReading { day, window }
+                if day == current.day && current.allocation.is_some() => {
+                    current.readings.insert(household, window);
+                }
+            _ => {}
+        }
+    }
+
+    /// Advances the protocol: starts days, allocates at the report
+    /// deadline, settles at the meter deadline.
+    pub fn on_tick(&mut self, now: Tick, outbox: &mut Vec<Envelope>) {
+        // Start a new day on the day boundary.
+        if now.is_multiple_of(self.plan.day_length) && self.current.is_none() {
+            let day = self.next_day;
+            self.next_day += 1;
+            let report_deadline = now + self.plan.report_offset;
+            let meter_deadline = now + self.plan.meter_offset;
+            self.current = Some(DayInProgress {
+                day,
+                report_deadline,
+                meter_deadline,
+                reports: BTreeMap::new(),
+                allocation: None,
+                readings: BTreeMap::new(),
+                last_day_start: now,
+            });
+            for &h in &self.roster {
+                outbox.push(Envelope {
+                    from: NodeId::Center,
+                    to: NodeId::Household(h),
+                    message: Message::DayStart {
+                        day,
+                        report_deadline,
+                        meter_deadline,
+                    },
+                });
+            }
+            return;
+        }
+
+        let Some(current) = self.current.as_mut() else {
+            return;
+        };
+
+        // Re-broadcast DayStart to silent households while reports are
+        // still open — the original broadcast may have been lost.
+        if current.allocation.is_none()
+            && now < current.report_deadline
+            && now >= current.last_day_start + REBROADCAST_INTERVAL
+        {
+            current.last_day_start = now;
+            for &h in &self.roster {
+                if !current.reports.contains_key(&h) {
+                    outbox.push(Envelope {
+                        from: NodeId::Center,
+                        to: NodeId::Household(h),
+                        message: Message::DayStart {
+                            day: current.day,
+                            report_deadline: current.report_deadline,
+                            meter_deadline: current.meter_deadline,
+                        },
+                    });
+                }
+            }
+        }
+
+        // Allocate once the report deadline passes.
+        if current.allocation.is_none() && now >= current.report_deadline {
+            if current.reports.is_empty() {
+                // Nobody reported: close the day with an empty record.
+                let record = DayRecord {
+                    day: current.day,
+                    participants: Vec::new(),
+                    missing_reports: self.roster.clone(),
+                    missing_readings: Vec::new(),
+                    settlement: None,
+                };
+                self.records.push(record);
+                self.current = None;
+                return;
+            }
+            let reports: Vec<Report> = current
+                .reports
+                .iter()
+                .map(|(&h, &p)| Report::new(h, p))
+                .collect();
+            let outcome = self
+                .enki
+                .allocate(&reports, &mut self.rng)
+                .expect("non-empty, duplicate-free reports");
+            for assignment in &outcome.assignments {
+                outbox.push(Envelope {
+                    from: NodeId::Center,
+                    to: NodeId::Household(assignment.household),
+                    message: Message::Allocation {
+                        day: current.day,
+                        window: assignment.window,
+                    },
+                });
+            }
+            current.allocation = Some((reports, outcome));
+            return;
+        }
+
+        // Settle once the meter deadline passes.
+        if now >= current.meter_deadline {
+            if let Some((reports, outcome)) = current.allocation.take() {
+                let mut missing_readings = Vec::new();
+                let consumption: Vec<Interval> = reports
+                    .iter()
+                    .zip(&outcome.assignments)
+                    .map(|(r, a)| match current.readings.get(&r.household) {
+                        Some(&w) => w,
+                        None => {
+                            missing_readings.push(r.household);
+                            a.window // smart-meter fallback: cooperative
+                        }
+                    })
+                    .collect();
+                let settlement = self
+                    .enki
+                    .settle(&reports, &outcome, &consumption)
+                    .expect("settlement inputs are aligned by construction");
+                for entry in &settlement.entries {
+                    outbox.push(Envelope {
+                        from: NodeId::Center,
+                        to: NodeId::Household(entry.household),
+                        message: Message::Bill {
+                            day: current.day,
+                            amount: entry.payment,
+                        },
+                    });
+                }
+                let participants: Vec<HouseholdId> =
+                    reports.iter().map(|r| r.household).collect();
+                let missing_reports: Vec<HouseholdId> = self
+                    .roster
+                    .iter()
+                    .copied()
+                    .filter(|h| !participants.contains(h))
+                    .collect();
+                self.records.push(DayRecord {
+                    day: current.day,
+                    participants,
+                    missing_reports,
+                    missing_readings,
+                    settlement: Some(settlement),
+                });
+            }
+            self.current = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enki_core::config::EnkiConfig;
+
+    fn center(n: u32) -> CenterAgent {
+        CenterAgent::new(
+            Enki::new(EnkiConfig::default()),
+            (0..n).map(HouseholdId::new).collect(),
+            DayPlan::default(),
+            1,
+        )
+    }
+
+    fn pref(b: u8, e: u8, v: u8) -> Preference {
+        Preference::new(b, e, v).unwrap()
+    }
+
+    #[test]
+    fn day_plan_validation() {
+        assert!(DayPlan::default().is_valid());
+        assert!(!DayPlan {
+            day_length: 10,
+            report_offset: 8,
+            meter_offset: 5,
+        }
+        .is_valid());
+    }
+
+    #[test]
+    fn day_start_broadcasts_to_roster() {
+        let mut c = center(3);
+        let mut outbox = Vec::new();
+        c.on_tick(0, &mut outbox);
+        assert_eq!(outbox.len(), 3);
+        assert!(outbox
+            .iter()
+            .all(|e| matches!(e.message, Message::DayStart { day: 0, .. })));
+    }
+
+    #[test]
+    fn reports_allocate_at_deadline() {
+        let mut c = center(2);
+        let mut outbox = Vec::new();
+        c.on_tick(0, &mut outbox);
+        outbox.clear();
+        for i in 0..2u32 {
+            c.on_message(
+                5,
+                NodeId::Household(HouseholdId::new(i)),
+                Message::SubmitReport {
+                    day: 0,
+                    preference: pref(18, 22, 2),
+                },
+                &mut outbox,
+            );
+        }
+        c.on_tick(30, &mut outbox);
+        let allocations: Vec<_> = outbox
+            .iter()
+            .filter(|e| matches!(e.message, Message::Allocation { .. }))
+            .collect();
+        assert_eq!(allocations.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_reports_are_idempotent() {
+        let mut c = center(1);
+        let mut outbox = Vec::new();
+        c.on_tick(0, &mut outbox);
+        for _ in 0..5 {
+            c.on_message(
+                3,
+                NodeId::Household(HouseholdId::new(0)),
+                Message::SubmitReport {
+                    day: 0,
+                    preference: pref(18, 22, 2),
+                },
+                &mut outbox,
+            );
+        }
+        outbox.clear();
+        c.on_tick(30, &mut outbox);
+        assert_eq!(
+            outbox
+                .iter()
+                .filter(|e| matches!(e.message, Message::Allocation { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn missing_reading_settles_as_cooperative() {
+        let mut c = center(2);
+        let mut outbox = Vec::new();
+        c.on_tick(0, &mut outbox);
+        for i in 0..2u32 {
+            c.on_message(
+                5,
+                NodeId::Household(HouseholdId::new(i)),
+                Message::SubmitReport {
+                    day: 0,
+                    preference: pref(18, 22, 2),
+                },
+                &mut outbox,
+            );
+        }
+        c.on_tick(30, &mut outbox);
+        // Only household 0 sends its reading.
+        let alloc0 = outbox
+            .iter()
+            .find_map(|e| match (e.to, e.message) {
+                (NodeId::Household(h), Message::Allocation { window, .. })
+                    if h == HouseholdId::new(0) =>
+                {
+                    Some(window)
+                }
+                _ => None,
+            })
+            .unwrap();
+        c.on_message(
+            40,
+            NodeId::Household(HouseholdId::new(0)),
+            Message::MeterReading {
+                day: 0,
+                window: alloc0,
+            },
+            &mut outbox,
+        );
+        outbox.clear();
+        c.on_tick(70, &mut outbox);
+        let record = c.records().last().unwrap();
+        assert_eq!(record.missing_readings, vec![HouseholdId::new(1)]);
+        let st = record.settlement.as_ref().unwrap();
+        assert!(st.entries.iter().all(|e| !e.defected));
+        assert!(st.center_utility >= 0.0);
+    }
+
+    #[test]
+    fn silent_household_is_excluded() {
+        let mut c = center(2);
+        let mut outbox = Vec::new();
+        c.on_tick(0, &mut outbox);
+        c.on_message(
+            5,
+            NodeId::Household(HouseholdId::new(0)),
+            Message::SubmitReport {
+                day: 0,
+                preference: pref(18, 22, 2),
+            },
+            &mut outbox,
+        );
+        c.on_tick(30, &mut outbox);
+        c.on_tick(70, &mut outbox);
+        let record = c.records().last().unwrap();
+        assert_eq!(record.participants, vec![HouseholdId::new(0)]);
+        assert_eq!(record.missing_reports, vec![HouseholdId::new(1)]);
+    }
+
+    #[test]
+    fn empty_day_closes_cleanly() {
+        let mut c = center(2);
+        let mut outbox = Vec::new();
+        c.on_tick(0, &mut outbox);
+        c.on_tick(30, &mut outbox);
+        let record = c.records().last().unwrap();
+        assert!(record.settlement.is_none());
+        assert_eq!(record.missing_reports.len(), 2);
+        // The next day still starts.
+        outbox.clear();
+        c.on_tick(100, &mut outbox);
+        assert!(outbox
+            .iter()
+            .all(|e| matches!(e.message, Message::DayStart { day: 1, .. })));
+    }
+
+    #[test]
+    fn late_reports_are_ignored_after_allocation() {
+        let mut c = center(2);
+        let mut outbox = Vec::new();
+        c.on_tick(0, &mut outbox);
+        c.on_message(
+            5,
+            NodeId::Household(HouseholdId::new(0)),
+            Message::SubmitReport {
+                day: 0,
+                preference: pref(18, 22, 2),
+            },
+            &mut outbox,
+        );
+        c.on_tick(30, &mut outbox); // allocates with household 0 only
+        c.on_message(
+            31,
+            NodeId::Household(HouseholdId::new(1)),
+            Message::SubmitReport {
+                day: 0,
+                preference: pref(18, 22, 2),
+            },
+            &mut outbox,
+        );
+        c.on_tick(70, &mut outbox);
+        let record = c.records().last().unwrap();
+        assert_eq!(record.participants, vec![HouseholdId::new(0)]);
+    }
+}

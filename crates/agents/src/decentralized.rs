@@ -1,0 +1,242 @@
+//! Decentralized scheduling (the §VIII future-work extension).
+//!
+//! The paper closes by proposing to "investigate a decentralized
+//! mechanism". This module implements the natural candidate: *token-ring
+//! best-response dynamics*. There is no central scheduler — households
+//! pass a token around the ring; the token holder recomputes its cheapest
+//! placement against the currently announced aggregate load and broadcasts
+//! its (possibly unchanged) placement to the neighborhood. Because the
+//! quadratic cost is an exact potential for unilateral moves, the dynamics
+//! terminate at a pure Nash equilibrium of the scheduling game — the same
+//! local optima the centralized coordinate descent
+//! (`enki_solver::local_search`) reaches.
+//!
+//! The trade-off this module makes measurable: the center's greedy needs
+//! one message per household each way, while the decentralized dynamics
+//! cost `O(rounds · n)` broadcasts (`O(rounds · n²)` point-to-point
+//! messages) and reveal every placement to every neighbor. The protocol
+//! assumes a reliable transport (announcements are state updates — a lost
+//! one desynchronizes the shared view; handling that is future work here
+//! too).
+
+use enki_core::household::Preference;
+use enki_core::load::LoadProfile;
+use enki_core::pricing::Pricing;
+use enki_core::time::Interval;
+use enki_core::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a decentralized scheduling run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecentralizedOutcome {
+    /// Final placement per household, in input order.
+    pub windows: Vec<Interval>,
+    /// Full token cycles until no household moved.
+    pub rounds: usize,
+    /// Placement changes that were actually made.
+    pub moves: usize,
+    /// Broadcast announcements sent (one per token visit).
+    pub broadcasts: usize,
+    /// Point-to-point messages those broadcasts expand to (`(n−1)` each),
+    /// plus the token passes.
+    pub messages: usize,
+    /// Final aggregate load.
+    pub load: LoadProfile,
+    /// Final quadratic cost.
+    pub cost: f64,
+}
+
+/// Runs token-ring best-response dynamics until convergence.
+///
+/// Every household starts at its preferred begin time (deferment 0),
+/// matching what uncoordinated households would do. `max_rounds` bounds
+/// the cycles as a safety net; the potential argument guarantees
+/// convergence long before any reasonable bound.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyNeighborhood`] when `preferences` is empty.
+pub fn run_decentralized<P: Pricing + ?Sized>(
+    preferences: &[Preference],
+    rate: f64,
+    pricing: &P,
+    max_rounds: usize,
+) -> Result<DecentralizedOutcome> {
+    if preferences.is_empty() {
+        return Err(Error::EmptyNeighborhood);
+    }
+    let n = preferences.len();
+    let mut windows: Vec<Interval> = preferences
+        .iter()
+        .map(|p| {
+            p.window_at_deferment(0)
+                .expect("deferment 0 is always feasible")
+        })
+        .collect();
+    let mut load = LoadProfile::from_windows(&windows, rate);
+
+    let mut rounds = 0usize;
+    let mut moves = 0usize;
+    let mut broadcasts = 0usize;
+    for _ in 0..max_rounds.max(1) {
+        rounds += 1;
+        let mut changed = false;
+        for (i, pref) in preferences.iter().enumerate() {
+            // Token arrives at household i: best-respond to everyone else.
+            load.remove_window(windows[i], rate);
+            let mut best = windows[i];
+            let mut best_delta = f64::INFINITY;
+            for w in pref.feasible_windows() {
+                let delta: f64 = w
+                    .slots()
+                    .map(|h| {
+                        let l = load.at(h);
+                        pricing.hourly_cost(l + rate) - pricing.hourly_cost(l)
+                    })
+                    .sum();
+                if delta < best_delta - 1e-12 {
+                    best_delta = delta;
+                    best = w;
+                }
+            }
+            if best != windows[i] {
+                changed = true;
+                moves += 1;
+                windows[i] = best;
+            }
+            load.add_window(windows[i], rate);
+            // Every token visit announces the (possibly unchanged)
+            // placement so neighbors keep a consistent aggregate view.
+            broadcasts += 1;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let cost = pricing.cost(&load);
+    Ok(DecentralizedOutcome {
+        windows,
+        rounds,
+        moves,
+        // Each broadcast fans out to n−1 peers; each token visit is one
+        // additional point-to-point pass.
+        messages: broadcasts * (n.saturating_sub(1)) + broadcasts,
+        broadcasts,
+        load,
+        cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enki_core::pricing::QuadraticPricing;
+    use enki_solver::local_search::LocalSearch;
+    use enki_solver::problem::AllocationProblem;
+
+    fn pref(b: u8, e: u8, v: u8) -> Preference {
+        Preference::new(b, e, v).unwrap()
+    }
+
+    #[test]
+    fn empty_neighborhood_is_rejected() {
+        let pricing = QuadraticPricing::default();
+        assert!(run_decentralized(&[], 2.0, &pricing, 10).is_err());
+    }
+
+    #[test]
+    fn converges_to_a_nash_equilibrium() {
+        let prefs = vec![
+            pref(18, 24, 2),
+            pref(18, 22, 2),
+            pref(17, 23, 3),
+            pref(19, 24, 1),
+        ];
+        let pricing = QuadraticPricing::default();
+        let out = run_decentralized(&prefs, 2.0, &pricing, 100).unwrap();
+        // Nash check: no household can improve unilaterally.
+        let mut load = out.load;
+        for (i, p) in prefs.iter().enumerate() {
+            load.remove_window(out.windows[i], 2.0);
+            let current: f64 = out.windows[i]
+                .slots()
+                .map(|h| {
+                    let l = load.at(h);
+                    pricing.hourly_cost(l + 2.0) - pricing.hourly_cost(l)
+                })
+                .sum();
+            for w in p.feasible_windows() {
+                let alt: f64 = w
+                    .slots()
+                    .map(|h| {
+                        let l = load.at(h);
+                        pricing.hourly_cost(l + 2.0) - pricing.hourly_cost(l)
+                    })
+                    .sum();
+                assert!(alt >= current - 1e-9, "household {i} could deviate");
+            }
+            load.add_window(out.windows[i], 2.0);
+        }
+    }
+
+    #[test]
+    fn matches_centralized_coordinate_descent() {
+        // Same move set, same zero start ⇒ identical final cost.
+        let prefs = vec![pref(16, 24, 2), pref(18, 22, 3), pref(17, 21, 1), pref(18, 24, 2)];
+        let pricing = QuadraticPricing::default();
+        let decentralized = run_decentralized(&prefs, 2.0, &pricing, 100).unwrap();
+        let problem = AllocationProblem::new(prefs, 2.0, 0.3).unwrap();
+        let centralized = LocalSearch::new()
+            .improve(&problem, vec![0; problem.len()])
+            .unwrap();
+        assert!((decentralized.cost - centralized.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windows_respect_preferences() {
+        let prefs = vec![pref(18, 24, 3), pref(20, 24, 2)];
+        let pricing = QuadraticPricing::default();
+        let out = run_decentralized(&prefs, 2.0, &pricing, 100).unwrap();
+        for (p, w) in prefs.iter().zip(&out.windows) {
+            p.validate_window(*w).unwrap();
+        }
+    }
+
+    #[test]
+    fn message_accounting_is_consistent() {
+        let prefs = vec![pref(12, 20, 2); 5];
+        let pricing = QuadraticPricing::default();
+        let out = run_decentralized(&prefs, 2.0, &pricing, 100).unwrap();
+        assert_eq!(out.broadcasts, out.rounds * 5);
+        assert_eq!(out.messages, out.broadcasts * 5);
+        assert!(out.moves <= out.broadcasts);
+    }
+
+    #[test]
+    fn improves_on_the_uncoordinated_start() {
+        let prefs = vec![pref(18, 23, 2); 5];
+        let pricing = QuadraticPricing::default();
+        let naive = LoadProfile::from_windows(
+            &prefs
+                .iter()
+                .map(|p| p.window_at_deferment(0).unwrap())
+                .collect::<Vec<_>>(),
+            2.0,
+        );
+        let out = run_decentralized(&prefs, 2.0, &pricing, 100).unwrap();
+        assert!(out.cost <= pricing.cost(&naive) + 1e-9);
+        assert!(out.load.peak() <= naive.peak() + 1e-9);
+    }
+
+    #[test]
+    fn single_household_converges_in_one_round_of_moves() {
+        let prefs = vec![pref(10, 16, 2)];
+        let pricing = QuadraticPricing::default();
+        let out = run_decentralized(&prefs, 2.0, &pricing, 100).unwrap();
+        // Alone, every placement costs the same: it stays put and the
+        // second round confirms convergence.
+        assert_eq!(out.moves, 0);
+        assert!(out.rounds <= 2);
+    }
+}

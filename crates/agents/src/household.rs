@@ -1,0 +1,450 @@
+//! The household-side agent: an ECC unit.
+//!
+//! Per the paper (§I), an ECC "learns each household's daily power
+//! consumption pattern through machine learning techniques; decides; and
+//! reports the household's demand for the next day". This agent does all
+//! three over the simulated network: it reports when a day starts
+//! (re-sending until the allocation arrives — the network may drop
+//! messages), consumes within its true preference as close to the
+//! allocation as possible, feeds the realized consumption back into its
+//! [`EccPredictor`], and submits the meter reading until billed.
+
+use enki_core::household::{HouseholdId, Preference};
+use enki_core::time::Interval;
+use enki_sim::behavior::{consume, ReportStrategy};
+use enki_sim::ecc::EccPredictor;
+use enki_sim::neighborhood::TruthSource;
+use enki_sim::profile::UsageProfile;
+use serde::{Deserialize, Serialize};
+
+use crate::message::{Envelope, Message, NodeId, Tick};
+
+/// How the agent chooses what to report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReportSource {
+    /// Report straight from the behaviour strategy (known preferences).
+    Strategy,
+    /// Let the ECC predictor generate the report once it has history,
+    /// widening the predicted window by the given flexibility margin;
+    /// falls back to the strategy until then.
+    Ecc {
+        /// Hours added on each side of the predicted window.
+        margin: u8,
+    },
+}
+
+/// One household's view of the current day.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+struct DayState {
+    day: u64,
+    report_deadline: Tick,
+    meter_deadline: Tick,
+    last_report_sent: Option<Tick>,
+    allocation: Option<Interval>,
+    consumed: Option<Interval>,
+    reading_sent: Option<Tick>,
+    bill: Option<f64>,
+}
+
+/// A household ECC agent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HouseholdAgent {
+    id: HouseholdId,
+    profile: UsageProfile,
+    truth_source: TruthSource,
+    strategy: ReportStrategy,
+    report_source: ReportSource,
+    ecc: EccPredictor,
+    retry_interval: Tick,
+    allocation_grace: Tick,
+    state: Option<DayState>,
+    bills: Vec<(u64, f64)>,
+}
+
+impl HouseholdAgent {
+    /// Creates an agent.
+    #[must_use]
+    pub fn new(
+        id: HouseholdId,
+        profile: UsageProfile,
+        truth_source: TruthSource,
+        strategy: ReportStrategy,
+        report_source: ReportSource,
+    ) -> Self {
+        Self {
+            id,
+            profile,
+            truth_source,
+            strategy,
+            report_source,
+            ecc: EccPredictor::new(0.3).expect("0.3 is a valid smoothing factor"),
+            retry_interval: 5,
+            allocation_grace: 10,
+            state: None,
+            bills: Vec::new(),
+        }
+    }
+
+    /// Overrides the report retry interval (ticks between re-sends while
+    /// no allocation has arrived).
+    #[must_use]
+    pub fn with_retry_interval(mut self, retry_interval: Tick) -> Self {
+        self.retry_interval = retry_interval.max(1);
+        self
+    }
+
+    /// Ticks past the report deadline the agent waits for a late
+    /// allocation before consuming without one (network latency slack).
+    #[must_use]
+    pub fn with_allocation_grace(mut self, grace: Tick) -> Self {
+        self.allocation_grace = grace;
+        self
+    }
+
+    /// The agent's network address.
+    #[must_use]
+    pub fn node_id(&self) -> NodeId {
+        NodeId::Household(self.id)
+    }
+
+    /// The household id.
+    #[must_use]
+    pub fn id(&self) -> HouseholdId {
+        self.id
+    }
+
+    /// Bills received so far, as `(day, amount)` pairs.
+    #[must_use]
+    pub fn bills(&self) -> &[(u64, f64)] {
+        &self.bills
+    }
+
+    /// The ECC predictor (e.g. to inspect the learned pattern).
+    #[must_use]
+    pub fn ecc(&self) -> &EccPredictor {
+        &self.ecc
+    }
+
+    /// The household's true preference for the day.
+    #[must_use]
+    pub fn truth(&self) -> Preference {
+        match self.truth_source {
+            TruthSource::Wide => self.profile.wide(),
+            TruthSource::Narrow => self.profile.narrow(),
+        }
+    }
+
+    fn report_preference(&self) -> Preference {
+        match self.report_source {
+            ReportSource::Strategy => self.strategy.report(&self.profile),
+            ReportSource::Ecc { margin } => self
+                .ecc
+                .predict(self.truth().duration(), margin)
+                .unwrap_or_else(|| self.strategy.report(&self.profile)),
+        }
+    }
+
+    fn send_report(&mut self, now: Tick, outbox: &mut Vec<Envelope>) {
+        let Some(state) = self.state else {
+            return;
+        };
+        outbox.push(Envelope {
+            from: NodeId::Household(self.id),
+            to: NodeId::Center,
+            message: Message::SubmitReport {
+                day: state.day,
+                preference: self.report_preference(),
+            },
+        });
+        if let Some(state) = self.state.as_mut() {
+            state.last_report_sent = Some(now);
+        }
+    }
+
+    /// Handles a delivered message.
+    pub fn on_message(
+        &mut self,
+        now: Tick,
+        from: NodeId,
+        message: Message,
+        outbox: &mut Vec<Envelope>,
+    ) {
+        if from != NodeId::Center {
+            return; // households only talk to the center
+        }
+        match message {
+            Message::DayStart {
+                day,
+                report_deadline,
+                meter_deadline,
+            } => {
+                self.state = Some(DayState {
+                    day,
+                    report_deadline,
+                    meter_deadline,
+                    ..DayState::default()
+                });
+                self.send_report(now, outbox);
+            }
+            Message::Allocation { day, window } => {
+                if let Some(state) = self.state.as_mut() {
+                    if state.day == day {
+                        state.allocation = Some(window);
+                    }
+                }
+            }
+            Message::Bill { day, amount } => {
+                if let Some(state) = self.state.as_mut() {
+                    if state.day == day && state.bill.is_none() {
+                        state.bill = Some(amount);
+                        self.bills.push((day, amount));
+                    }
+                }
+            }
+            Message::SubmitReport { .. } | Message::MeterReading { .. } => {}
+        }
+    }
+
+    /// Advances local time: retries the report while unallocated, consumes
+    /// once the reporting phase ends, and retries the meter reading until
+    /// billed.
+    pub fn on_tick(&mut self, now: Tick, outbox: &mut Vec<Envelope>) {
+        let Some(state) = self.state else {
+            return;
+        };
+        // Retry the report while no allocation has arrived.
+        if state.allocation.is_none() && now < state.report_deadline {
+            let due = state
+                .last_report_sent
+                .map(|t| now >= t + self.retry_interval)
+                .unwrap_or(true);
+            if due {
+                self.send_report(now, outbox);
+            }
+            return;
+        }
+        // Consume once the allocation is in hand, or once the grace
+        // period after the report deadline expires without one.
+        let may_consume = state.allocation.is_some()
+            || now >= state.report_deadline + self.allocation_grace;
+        if state.consumed.is_none() && now >= state.report_deadline && may_consume {
+            let truth = self.truth();
+            let window = match state.allocation {
+                Some(s) => consume(&truth, s),
+                // No allocation ever arrived: consume at the preferred
+                // start, like a household without a mechanism.
+                None => truth
+                    .window_at_deferment(0)
+                    .expect("deferment 0 is always feasible"),
+            };
+            self.ecc.observe(window);
+            if let Some(state) = self.state.as_mut() {
+                state.consumed = Some(window);
+            }
+        }
+        // Send / retry the meter reading until the bill arrives.
+        let Some(state) = self.state else { return };
+        if let Some(window) = state.consumed {
+            if state.bill.is_none() && now < state.meter_deadline {
+                let due = state
+                    .reading_sent
+                    .map(|t| now >= t + self.retry_interval)
+                    .unwrap_or(true);
+                if due {
+                    outbox.push(Envelope {
+                        from: NodeId::Household(self.id),
+                        to: NodeId::Center,
+                        message: Message::MeterReading {
+                            day: state.day,
+                            window,
+                        },
+                    });
+                    if let Some(state) = self.state.as_mut() {
+                        state.reading_sent = Some(now);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> UsageProfile {
+        UsageProfile::new(
+            Preference::new(18, 20, 2).unwrap(),
+            Preference::new(16, 24, 2).unwrap(),
+            5.0,
+        )
+        .unwrap()
+    }
+
+    fn agent() -> HouseholdAgent {
+        HouseholdAgent::new(
+            HouseholdId::new(0),
+            profile(),
+            TruthSource::Narrow,
+            ReportStrategy::TruthfulNarrow,
+            ReportSource::Strategy,
+        )
+        .with_retry_interval(3)
+    }
+
+    fn day_start(day: u64) -> Message {
+        Message::DayStart {
+            day,
+            report_deadline: 30,
+            meter_deadline: 70,
+        }
+    }
+
+    #[test]
+    fn day_start_triggers_a_report() {
+        let mut a = agent();
+        let mut outbox = Vec::new();
+        a.on_message(0, NodeId::Center, day_start(1), &mut outbox);
+        assert_eq!(outbox.len(), 1);
+        assert!(matches!(
+            outbox[0].message,
+            Message::SubmitReport { day: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn report_is_retried_until_allocation_arrives() {
+        let mut a = agent();
+        let mut outbox = Vec::new();
+        a.on_message(0, NodeId::Center, day_start(1), &mut outbox);
+        outbox.clear();
+        a.on_tick(1, &mut outbox);
+        assert!(outbox.is_empty(), "retry waits for the interval");
+        a.on_tick(3, &mut outbox);
+        assert_eq!(outbox.len(), 1, "retry fires after the interval");
+        // Allocation stops the retries.
+        a.on_message(
+            4,
+            NodeId::Center,
+            Message::Allocation {
+                day: 1,
+                window: Interval::new(18, 20).unwrap(),
+            },
+            &mut outbox,
+        );
+        outbox.clear();
+        a.on_tick(10, &mut outbox);
+        assert!(outbox.is_empty());
+    }
+
+    #[test]
+    fn consumption_follows_compatible_allocation() {
+        let mut a = agent();
+        let mut outbox = Vec::new();
+        a.on_message(0, NodeId::Center, day_start(1), &mut outbox);
+        a.on_message(
+            2,
+            NodeId::Center,
+            Message::Allocation {
+                day: 1,
+                window: Interval::new(18, 20).unwrap(),
+            },
+            &mut outbox,
+        );
+        outbox.clear();
+        a.on_tick(30, &mut outbox); // past the report deadline: consume
+        assert_eq!(outbox.len(), 1);
+        match outbox[0].message {
+            Message::MeterReading { day: 1, window } => {
+                assert_eq!(window, Interval::new(18, 20).unwrap());
+            }
+            ref m => panic!("expected a meter reading, got {m:?}"),
+        }
+        assert_eq!(a.ecc().days_observed(), 1);
+    }
+
+    #[test]
+    fn missing_allocation_falls_back_to_preferred_start() {
+        let mut a = agent();
+        let mut outbox = Vec::new();
+        a.on_message(0, NodeId::Center, day_start(1), &mut outbox);
+        outbox.clear();
+        // Never allocated: waits out the grace period, then falls back.
+        a.on_tick(31, &mut outbox);
+        assert!(outbox.is_empty(), "still within the allocation grace");
+        a.on_tick(41, &mut outbox);
+        match outbox.last().map(|e| e.message) {
+            Some(Message::MeterReading { window, .. }) => {
+                assert_eq!(window, Interval::new(18, 20).unwrap());
+            }
+            other => panic!("expected a meter reading, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bill_is_recorded_once() {
+        let mut a = agent();
+        let mut outbox = Vec::new();
+        a.on_message(0, NodeId::Center, day_start(1), &mut outbox);
+        a.on_message(40, NodeId::Center, Message::Bill { day: 1, amount: 3.5 }, &mut outbox);
+        a.on_message(41, NodeId::Center, Message::Bill { day: 1, amount: 3.5 }, &mut outbox);
+        assert_eq!(a.bills(), &[(1, 3.5)]);
+    }
+
+    #[test]
+    fn stale_messages_are_ignored() {
+        let mut a = agent();
+        let mut outbox = Vec::new();
+        a.on_message(0, NodeId::Center, day_start(2), &mut outbox);
+        a.on_message(
+            1,
+            NodeId::Center,
+            Message::Allocation {
+                day: 1, // previous day
+                window: Interval::new(10, 12).unwrap(),
+            },
+            &mut outbox,
+        );
+        a.on_message(2, NodeId::Center, Message::Bill { day: 1, amount: 9.0 }, &mut outbox);
+        assert!(a.bills().is_empty());
+    }
+
+    #[test]
+    fn ecc_report_source_kicks_in_with_history() {
+        let mut a = HouseholdAgent::new(
+            HouseholdId::new(0),
+            profile(),
+            TruthSource::Narrow,
+            ReportStrategy::TruthfulNarrow,
+            ReportSource::Ecc { margin: 2 },
+        );
+        let mut outbox = Vec::new();
+        // Day 1: no history, falls back to the strategy (narrow truth).
+        a.on_message(0, NodeId::Center, day_start(1), &mut outbox);
+        match outbox[0].message {
+            Message::SubmitReport { preference, .. } => {
+                assert_eq!(preference, Preference::new(18, 20, 2).unwrap());
+            }
+            ref m => panic!("unexpected {m:?}"),
+        }
+        a.on_message(
+            1,
+            NodeId::Center,
+            Message::Allocation {
+                day: 1,
+                window: Interval::new(18, 20).unwrap(),
+            },
+            &mut outbox,
+        );
+        a.on_tick(30, &mut outbox);
+        outbox.clear();
+        // Day 2: the ECC has one observation, so the report widens.
+        a.on_message(100, NodeId::Center, day_start(2), &mut outbox);
+        match outbox[0].message {
+            Message::SubmitReport { preference, .. } => {
+                assert_eq!(preference.window(), Interval::new(16, 22).unwrap());
+            }
+            ref m => panic!("unexpected {m:?}"),
+        }
+    }
+}

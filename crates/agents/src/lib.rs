@@ -1,0 +1,75 @@
+//! # enki-agents
+//!
+//! The distributed face of the Enki reproduction: the paper's Figure 1
+//! architecture — household ECC units talking to a neighborhood controller
+//! "through a local network" (§I) — implemented as message-passing agents.
+//!
+//! * [`message`] — the five-step day protocol (preference ▸ allocation ▸
+//!   consumption ▸ payment, plus the day-start broadcast).
+//! * [`network`] — a deterministic simulated LAN with latency, jitter, and
+//!   loss injection.
+//! * [`household`] — the ECC agent: learns its pattern, reports with
+//!   retries, consumes within its truth, submits meter readings.
+//! * [`center`] — the controller: collects reports, allocates, settles,
+//!   bills; missing reports exclude a household, missing readings settle
+//!   as cooperative.
+//! * [`runtime`] — a tick-driven discrete-event loop (reproducible; the
+//!   vehicle for failure-injection tests).
+//! * [`threaded`] — the same protocol on real threads over crossbeam
+//!   channels, as a deployment skeleton.
+//! * [`decentralized`] — the §VIII extension: token-ring best-response
+//!   dynamics that reach a Nash schedule with no central scheduler.
+//!
+//! ```
+//! use enki_agents::prelude::*;
+//! use enki_core::prelude::*;
+//! use enki_sim::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let config = ProfileConfig::default();
+//! let households: Vec<HouseholdAgent> = (0..5)
+//!     .map(|i| {
+//!         HouseholdAgent::new(
+//!             HouseholdId::new(i),
+//!             UsageProfile::generate(&mut rng, &config),
+//!             TruthSource::Wide,
+//!             ReportStrategy::TruthfulWide,
+//!             ReportSource::Strategy,
+//!         )
+//!     })
+//!     .collect();
+//! let center = CenterAgent::new(
+//!     Enki::default(),
+//!     (0..5).map(HouseholdId::new).collect(),
+//!     DayPlan::default(),
+//!     1,
+//! );
+//! let network = SimNetwork::new(NetworkConfig::lossy(0.2), 1);
+//! let mut runtime = Runtime::new(network, center, households);
+//! runtime.run_days(1, 100);
+//! assert_eq!(runtime.records().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod center;
+pub mod decentralized;
+pub mod household;
+pub mod message;
+pub mod network;
+pub mod runtime;
+pub mod threaded;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::center::{CenterAgent, DayPlan, DayRecord};
+    pub use crate::decentralized::{run_decentralized, DecentralizedOutcome};
+    pub use crate::household::{HouseholdAgent, ReportSource};
+    pub use crate::message::{Envelope, Message, NodeId, Tick};
+    pub use crate::network::{NetworkConfig, NetworkStats, SimNetwork};
+    pub use crate::runtime::Runtime;
+    pub use crate::threaded::{run_threaded_days, ThreadedDay, ThreadedHousehold};
+}

@@ -1,0 +1,243 @@
+//! A deterministic simulated local network.
+//!
+//! The paper's ECC units connect to the neighborhood controller "through a
+//! local network" (§I). [`SimNetwork`] models that link: every send incurs
+//! a base latency plus seeded jitter and may be dropped with a configured
+//! probability. Delivery order is a stable priority queue on
+//! (delivery tick, sequence number), so runs are exactly reproducible for
+//! a given seed — the property all the failure-injection tests rely on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::message::{Envelope, Tick};
+
+/// Link characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Ticks every delivery takes at minimum.
+    pub base_latency: Tick,
+    /// Additional uniform jitter in `[0, jitter]` ticks.
+    pub jitter: Tick,
+    /// Probability a message is silently dropped.
+    pub drop_probability: f64,
+}
+
+impl Default for NetworkConfig {
+    /// A quick, reliable LAN: one tick of latency, no jitter, no loss.
+    fn default() -> Self {
+        Self {
+            base_latency: 1,
+            jitter: 0,
+            drop_probability: 0.0,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A lossy network profile for failure-injection tests.
+    #[must_use]
+    pub fn lossy(drop_probability: f64) -> Self {
+        Self {
+            base_latency: 1,
+            jitter: 2,
+            drop_probability,
+        }
+    }
+}
+
+/// Counters describing what the network did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Messages accepted for delivery.
+    pub sent: u64,
+    /// Messages actually delivered.
+    pub delivered: u64,
+    /// Messages dropped by loss injection.
+    pub dropped: u64,
+}
+
+/// The simulated network: a seeded, deterministic event queue.
+#[derive(Debug)]
+pub struct SimNetwork {
+    config: NetworkConfig,
+    rng: StdRng,
+    queue: BinaryHeap<Reverse<(Tick, u64, QueuedEnvelope)>>,
+    seq: u64,
+    stats: NetworkStats,
+}
+
+/// Envelope wrapper ordered by its queue key only.
+#[derive(Debug, Clone, Copy)]
+struct QueuedEnvelope(Envelope);
+
+impl PartialEq for QueuedEnvelope {
+    fn eq(&self, _: &Self) -> bool {
+        true // ordering is decided by (tick, seq); payloads compare equal
+    }
+}
+impl Eq for QueuedEnvelope {}
+impl PartialOrd for QueuedEnvelope {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEnvelope {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl SimNetwork {
+    /// Creates a network with the given link profile and seed.
+    #[must_use]
+    pub fn new(config: NetworkConfig, seed: u64) -> Self {
+        Self {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Submits a message at `now`; it is delivered after latency + jitter
+    /// unless dropped.
+    pub fn send(&mut self, now: Tick, envelope: Envelope) {
+        self.stats.sent += 1;
+        if self.config.drop_probability > 0.0
+            && self.rng.random::<f64>() < self.config.drop_probability
+        {
+            self.stats.dropped += 1;
+            return;
+        }
+        let jitter = if self.config.jitter == 0 {
+            0
+        } else {
+            self.rng.random_range(0..=self.config.jitter)
+        };
+        let at = now + self.config.base_latency.max(1) + jitter;
+        self.queue
+            .push(Reverse((at, self.seq, QueuedEnvelope(envelope))));
+        self.seq += 1;
+    }
+
+    /// Pops every message due at or before `now`, in deterministic order.
+    pub fn due(&mut self, now: Tick) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        while let Some(Reverse((at, _, _))) = self.queue.peek() {
+            if *at > now {
+                break;
+            }
+            let Reverse((_, _, QueuedEnvelope(env))) =
+                self.queue.pop().expect("peeked element exists");
+            self.stats.delivered += 1;
+            out.push(env);
+        }
+        out
+    }
+
+    /// Whether any message is still in flight.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Delivery counters.
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Message, NodeId};
+    use enki_core::household::{HouseholdId, Preference};
+
+    fn envelope(day: u64) -> Envelope {
+        Envelope {
+            from: NodeId::Household(HouseholdId::new(0)),
+            to: NodeId::Center,
+            message: Message::SubmitReport {
+                day,
+                preference: Preference::new(18, 22, 2).unwrap(),
+            },
+        }
+    }
+
+    #[test]
+    fn reliable_network_delivers_in_order() {
+        let mut net = SimNetwork::new(NetworkConfig::default(), 1);
+        net.send(0, envelope(1));
+        net.send(0, envelope(2));
+        assert!(net.due(0).is_empty(), "latency is at least one tick");
+        let delivered = net.due(1);
+        assert_eq!(delivered.len(), 2);
+        assert_eq!(delivered[0].message.day(), 1);
+        assert_eq!(delivered[1].message.day(), 2);
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let config = NetworkConfig {
+            base_latency: 2,
+            jitter: 3,
+            drop_probability: 0.0,
+        };
+        let mut net = SimNetwork::new(config, 7);
+        for _ in 0..100 {
+            net.send(10, envelope(0));
+        }
+        assert!(net.due(11).is_empty(), "earliest delivery is base latency");
+        let mut total = 0;
+        for t in 12..=15 {
+            total += net.due(t).len();
+        }
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn drops_are_counted_and_roughly_match_probability() {
+        let mut net = SimNetwork::new(NetworkConfig::lossy(0.3), 11);
+        for _ in 0..2_000 {
+            net.send(0, envelope(0));
+        }
+        let stats = net.stats();
+        assert_eq!(stats.sent, 2_000);
+        let rate = stats.dropped as f64 / 2_000.0;
+        assert!((rate - 0.3).abs() < 0.05, "drop rate = {rate}");
+    }
+
+    #[test]
+    fn zero_drop_probability_never_drops() {
+        let mut net = SimNetwork::new(NetworkConfig::default(), 13);
+        for _ in 0..500 {
+            net.send(0, envelope(0));
+        }
+        assert_eq!(net.stats().dropped, 0);
+    }
+
+    #[test]
+    fn seeded_networks_are_reproducible() {
+        let run = |seed: u64| -> Vec<u64> {
+            let mut net = SimNetwork::new(NetworkConfig::lossy(0.5), seed);
+            for day in 0..50 {
+                net.send(0, envelope(day));
+            }
+            let mut days = Vec::new();
+            for t in 1..10 {
+                days.extend(net.due(t).iter().map(|e| e.message.day()));
+            }
+            days
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds drop different messages");
+    }
+}

@@ -1,0 +1,278 @@
+//! Deterministic single-threaded runtime: a discrete-event loop driving
+//! the center and household agents over the simulated network.
+//!
+//! Every tick: deliver due messages (in deterministic queue order), then
+//! give the center and each household (in roster order) a time step. All
+//! outbound messages go through the [`SimNetwork`], so loss and latency
+//! apply uniformly. Runs are exactly reproducible for a given seed.
+
+use enki_core::household::HouseholdId;
+
+use crate::center::{CenterAgent, DayRecord};
+use crate::household::HouseholdAgent;
+use crate::message::{Envelope, NodeId, Tick};
+use crate::network::{NetworkStats, SimNetwork};
+
+/// The simulation runtime: one center, many households, one network.
+#[derive(Debug)]
+pub struct Runtime {
+    network: SimNetwork,
+    center: CenterAgent,
+    households: Vec<HouseholdAgent>,
+    now: Tick,
+}
+
+impl Runtime {
+    /// Assembles a runtime.
+    #[must_use]
+    pub fn new(
+        network: SimNetwork,
+        center: CenterAgent,
+        households: Vec<HouseholdAgent>,
+    ) -> Self {
+        Self {
+            network,
+            center,
+            households,
+            now: 0,
+        }
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// The center's settled day records.
+    #[must_use]
+    pub fn records(&self) -> &[DayRecord] {
+        self.center.records()
+    }
+
+    /// Network delivery counters.
+    #[must_use]
+    pub fn network_stats(&self) -> NetworkStats {
+        self.network.stats()
+    }
+
+    /// The household agent with the given id, if present.
+    #[must_use]
+    pub fn household(&self, id: HouseholdId) -> Option<&HouseholdAgent> {
+        self.households.iter().find(|h| h.id() == id)
+    }
+
+    /// Runs `ticks` simulation steps.
+    pub fn run_ticks(&mut self, ticks: Tick) {
+        for _ in 0..ticks {
+            self.step();
+        }
+    }
+
+    /// Runs whole protocol days of the given length.
+    pub fn run_days(&mut self, days: u64, day_length: Tick) {
+        self.run_ticks(days * day_length);
+    }
+
+    fn step(&mut self) {
+        let now = self.now;
+        let mut outbox: Vec<Envelope> = Vec::new();
+
+        // Deliver everything due this tick.
+        for envelope in self.network.due(now) {
+            match envelope.to {
+                NodeId::Center => {
+                    self.center
+                        .on_message(now, envelope.from, envelope.message, &mut outbox);
+                }
+                NodeId::Household(id) => {
+                    if let Some(agent) =
+                        self.households.iter_mut().find(|h| h.id() == id)
+                    {
+                        agent.on_message(now, envelope.from, envelope.message, &mut outbox);
+                    }
+                }
+            }
+        }
+
+        // Time steps: center first, then households in roster order.
+        self.center.on_tick(now, &mut outbox);
+        for agent in &mut self.households {
+            agent.on_tick(now, &mut outbox);
+        }
+
+        for envelope in outbox {
+            self.network.send(now, envelope);
+        }
+        self.now += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::center::DayPlan;
+    use crate::household::ReportSource;
+    use crate::network::NetworkConfig;
+    use enki_core::config::EnkiConfig;
+    use enki_core::mechanism::Enki;
+    use enki_sim::behavior::ReportStrategy;
+    use enki_sim::neighborhood::TruthSource;
+    use enki_sim::profile::{ProfileConfig, UsageProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build(n: u32, network: NetworkConfig, seed: u64) -> Runtime {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = ProfileConfig::default();
+        let households: Vec<HouseholdAgent> = (0..n)
+            .map(|i| {
+                HouseholdAgent::new(
+                    HouseholdId::new(i),
+                    UsageProfile::generate(&mut rng, &config),
+                    TruthSource::Wide,
+                    ReportStrategy::TruthfulWide,
+                    ReportSource::Strategy,
+                )
+            })
+            .collect();
+        let center = CenterAgent::new(
+            Enki::new(EnkiConfig::default()),
+            (0..n).map(HouseholdId::new).collect(),
+            DayPlan::default(),
+            seed,
+        );
+        Runtime::new(SimNetwork::new(network, seed), center, households)
+    }
+
+    #[test]
+    fn reliable_network_settles_every_household() {
+        let mut rt = build(8, NetworkConfig::default(), 1);
+        rt.run_days(1, 100);
+        let records = rt.records();
+        assert_eq!(records.len(), 1);
+        let record = &records[0];
+        assert_eq!(record.participants.len(), 8);
+        assert!(record.missing_reports.is_empty());
+        assert!(record.missing_readings.is_empty());
+        let st = record.settlement.as_ref().unwrap();
+        assert!(st.center_utility >= 0.0);
+        // Truthful-wide households follow their allocations.
+        assert!(st.entries.iter().all(|e| !e.defected));
+        // Every household received its bill.
+        for i in 0..8u32 {
+            let agent = rt.household(HouseholdId::new(i)).unwrap();
+            assert_eq!(agent.bills().len(), 1);
+        }
+    }
+
+    #[test]
+    fn bills_match_settlement_payments() {
+        let mut rt = build(5, NetworkConfig::default(), 2);
+        rt.run_days(1, 100);
+        let st = rt.records()[0].settlement.clone().unwrap();
+        for entry in &st.entries {
+            let agent = rt.household(entry.household).unwrap();
+            let (_, amount) = agent.bills()[0];
+            assert!((amount - entry.payment).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lossy_network_with_retries_still_settles() {
+        let mut rt = build(10, NetworkConfig::lossy(0.3), 3);
+        rt.run_days(3, 100);
+        let records = rt.records();
+        assert_eq!(records.len(), 3);
+        for record in records {
+            // Retries push reports through a 30%-loss link well before the
+            // deadline; every day settles with full participation.
+            assert_eq!(
+                record.participants.len() + record.missing_reports.len(),
+                10
+            );
+            assert!(
+                record.participants.len() >= 9,
+                "day {}: only {} participants",
+                record.day,
+                record.participants.len()
+            );
+            if let Some(st) = &record.settlement {
+                assert!(st.center_utility >= -1e-9);
+            }
+        }
+        assert!(rt.network_stats().dropped > 0, "loss was actually injected");
+    }
+
+    #[test]
+    fn multi_day_run_feeds_the_ecc() {
+        let mut rt = build(4, NetworkConfig::default(), 4);
+        rt.run_days(5, 100);
+        for i in 0..4u32 {
+            let agent = rt.household(HouseholdId::new(i)).unwrap();
+            assert_eq!(agent.ecc().days_observed(), 5);
+            assert_eq!(agent.bills().len(), 5);
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let run = |seed: u64| -> Vec<f64> {
+            let mut rt = build(6, NetworkConfig::lossy(0.2), seed);
+            rt.run_days(2, 100);
+            rt.records()
+                .iter()
+                .filter_map(|r| r.settlement.as_ref())
+                .flat_map(|s| s.entries.iter().map(|e| e.payment))
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn ecc_driven_reports_settle_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = ProfileConfig::default();
+        let households: Vec<HouseholdAgent> = (0..4u32)
+            .map(|i| {
+                HouseholdAgent::new(
+                    HouseholdId::new(i),
+                    UsageProfile::generate(&mut rng, &config),
+                    TruthSource::Narrow,
+                    ReportStrategy::TruthfulNarrow,
+                    ReportSource::Ecc { margin: 2 },
+                )
+            })
+            .collect();
+        let center = CenterAgent::new(
+            Enki::new(EnkiConfig::default()),
+            (0..4).map(HouseholdId::new).collect(),
+            DayPlan::default(),
+            5,
+        );
+        let mut rt = Runtime::new(
+            SimNetwork::new(NetworkConfig::default(), 5),
+            center,
+            households,
+        );
+        rt.run_days(4, 100);
+        assert_eq!(rt.records().len(), 4);
+        for record in rt.records() {
+            assert_eq!(record.participants.len(), 4);
+        }
+    }
+
+    #[test]
+    fn totally_partitioned_household_is_excluded_but_day_settles() {
+        // Drop everything: no reports ever arrive, and each day closes
+        // with an empty record instead of wedging the protocol.
+        let mut rt = build(3, NetworkConfig::lossy(1.0), 6);
+        rt.run_days(2, 100);
+        assert_eq!(rt.records().len(), 2);
+        for record in rt.records() {
+            assert!(record.settlement.is_none());
+            assert_eq!(record.missing_reports.len(), 3);
+        }
+    }
+
+}

@@ -1,0 +1,342 @@
+//! A multithreaded deployment skeleton: one OS thread per household ECC,
+//! reliable crossbeam channels as the transport.
+//!
+//! The tick-driven [`Runtime`](crate::runtime::Runtime) is the tool for
+//! studying protocol behaviour under loss and latency; this module shows
+//! the same day protocol running concurrently the way a real deployment
+//! would — agents block on their sockets and react to messages. Reports
+//! are sorted by household id before allocation and the center's RNG is
+//! seeded, so the settled outcome is independent of thread scheduling.
+
+use std::thread;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use enki_core::household::{HouseholdId, Report};
+use enki_core::mechanism::{Enki, Settlement};
+use enki_core::time::Interval;
+use enki_sim::behavior::{consume, ReportStrategy};
+use enki_sim::neighborhood::TruthSource;
+use enki_sim::profile::UsageProfile;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::message::Message;
+
+/// Specification of one threaded household.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadedHousehold {
+    /// Household id.
+    pub id: HouseholdId,
+    /// Usage profile.
+    pub profile: UsageProfile,
+    /// Which interval is the truth.
+    pub truth_source: TruthSource,
+    /// Reporting behaviour.
+    pub strategy: ReportStrategy,
+}
+
+/// The outcome of a threaded day: the settlement plus each household's
+/// received bill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadedDay {
+    /// Day number.
+    pub day: u64,
+    /// The center's settlement.
+    pub settlement: Settlement,
+    /// `(household, amount)` bills as received by the household threads.
+    pub bills: Vec<(HouseholdId, f64)>,
+}
+
+/// Runs `days` protocol days with one thread per household.
+///
+/// # Errors
+///
+/// Returns [`enki_core::Error::EmptyNeighborhood`] for an empty roster and
+/// propagates mechanism errors. A household thread that fails to answer
+/// within `timeout` aborts the run with [`enki_core::Error::UnknownHousehold`]
+/// (channels are reliable, so this indicates a bug rather than loss).
+pub fn run_threaded_days(
+    enki: Enki,
+    households: Vec<ThreadedHousehold>,
+    days: u64,
+    seed: u64,
+    timeout: Duration,
+) -> enki_core::Result<Vec<ThreadedDay>> {
+    if households.is_empty() {
+        return Err(enki_core::Error::EmptyNeighborhood);
+    }
+
+    // Transport: one inbox per household, one shared inbox for the center.
+    let (to_center, center_inbox) = unbounded::<(HouseholdId, Message)>();
+    let mut to_household: Vec<Sender<Message>> = Vec::new();
+    let mut household_inboxes: Vec<Receiver<Message>> = Vec::new();
+    for _ in &households {
+        let (tx, rx) = unbounded::<Message>();
+        to_household.push(tx);
+        household_inboxes.push(rx);
+    }
+
+    let bills: Mutex<Vec<(HouseholdId, f64)>> = Mutex::new(Vec::new());
+    let result: Mutex<enki_core::Result<Vec<ThreadedDay>>> = Mutex::new(Ok(Vec::new()));
+
+    thread::scope(|scope| {
+        // Household threads: react to whatever the center sends.
+        for (spec, inbox) in households.iter().zip(household_inboxes) {
+            let to_center = to_center.clone();
+            let bills = &bills;
+            scope.spawn(move || {
+                let truth = match spec.truth_source {
+                    TruthSource::Wide => spec.profile.wide(),
+                    TruthSource::Narrow => spec.profile.narrow(),
+                };
+                while let Ok(message) = inbox.recv() {
+                    match message {
+                        Message::DayStart { day, .. } => {
+                            let _ = to_center.send((
+                                spec.id,
+                                Message::SubmitReport {
+                                    day,
+                                    preference: spec.strategy.report(&spec.profile),
+                                },
+                            ));
+                        }
+                        Message::Allocation { day, window } => {
+                            let realized: Interval = consume(&truth, window);
+                            let _ = to_center.send((
+                                spec.id,
+                                Message::MeterReading {
+                                    day,
+                                    window: realized,
+                                },
+                            ));
+                        }
+                        Message::Bill { amount, .. } => {
+                            bills.lock().push((spec.id, amount));
+                        }
+                        _ => {}
+                    }
+                }
+            });
+        }
+        drop(to_center); // the center holds no sender to itself
+
+        // Center: drives the day protocol synchronously. The closure
+        // exists so `?` can be used without poisoning the thread scope.
+        let run_center = || -> enki_core::Result<Vec<ThreadedDay>> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut outcome = Vec::new();
+            for day in 0..days {
+                for tx in &to_household {
+                    let _ = tx.send(Message::DayStart {
+                        day,
+                        report_deadline: 0,
+                        meter_deadline: 0,
+                    });
+                }
+                // Collect one report per household.
+                let mut reports: Vec<Report> = Vec::with_capacity(households.len());
+                while reports.len() < households.len() {
+                    match center_inbox.recv_timeout(timeout) {
+                        Ok((household, Message::SubmitReport { day: d, preference }))
+                            if d == day =>
+                        {
+                            reports.push(Report::new(household, preference));
+                        }
+                        Ok(_) => {}
+                        Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                            return Err(enki_core::Error::UnknownHousehold(
+                                HouseholdId::new(reports.len() as u32),
+                            ));
+                        }
+                    }
+                }
+                // Deterministic regardless of arrival order.
+                reports.sort_by_key(|r| r.household);
+                let allocation = enki.allocate(&reports, &mut rng)?;
+                for (report, assignment) in reports.iter().zip(&allocation.assignments) {
+                    let idx = households
+                        .iter()
+                        .position(|h| h.id == report.household)
+                        .expect("report came from a known household");
+                    let _ = to_household[idx].send(Message::Allocation {
+                        day,
+                        window: assignment.window,
+                    });
+                }
+                // Collect one reading per household.
+                let mut readings: Vec<(HouseholdId, Interval)> = Vec::new();
+                while readings.len() < households.len() {
+                    match center_inbox.recv_timeout(timeout) {
+                        Ok((household, Message::MeterReading { day: d, window }))
+                            if d == day =>
+                        {
+                            readings.push((household, window));
+                        }
+                        Ok(_) => {}
+                        Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                            return Err(enki_core::Error::UnknownHousehold(
+                                HouseholdId::new(readings.len() as u32),
+                            ));
+                        }
+                    }
+                }
+                readings.sort_by_key(|&(h, _)| h);
+                let consumption: Vec<Interval> =
+                    readings.iter().map(|&(_, w)| w).collect();
+                let settlement = enki.settle(&reports, &allocation, &consumption)?;
+                for entry in &settlement.entries {
+                    let idx = households
+                        .iter()
+                        .position(|h| h.id == entry.household)
+                        .expect("settled household is known");
+                    let _ = to_household[idx].send(Message::Bill {
+                        day,
+                        amount: entry.payment,
+                    });
+                }
+                outcome.push(ThreadedDay {
+                    day,
+                    settlement,
+                    bills: Vec::new(),
+                });
+            }
+            Ok(outcome)
+        };
+        #[allow(clippy::redundant_closure_call)]
+        {
+            *result.lock() = run_center();
+        }
+        drop(to_household); // hang up: household threads exit their loops
+    });
+
+    let mut days_out = result.into_inner()?;
+    // Attach the bills each household thread recorded.
+    let mut bills = bills.into_inner();
+    bills.sort_by_key(|&(h, _)| h);
+    for day in &mut days_out {
+        day.bills = bills.clone();
+    }
+    Ok(days_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enki_core::config::EnkiConfig;
+    use enki_core::household::Preference;
+    use enki_sim::profile::ProfileConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn specs(n: u32, seed: u64) -> Vec<ThreadedHousehold> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = ProfileConfig::default();
+        (0..n)
+            .map(|i| ThreadedHousehold {
+                id: HouseholdId::new(i),
+                profile: UsageProfile::generate(&mut rng, &config),
+                truth_source: TruthSource::Wide,
+                strategy: ReportStrategy::TruthfulWide,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threaded_day_settles_and_balances() {
+        let days = run_threaded_days(
+            Enki::new(EnkiConfig::default()),
+            specs(6, 1),
+            1,
+            1,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(days.len(), 1);
+        let st = &days[0].settlement;
+        assert_eq!(st.entries.len(), 6);
+        assert!(st.center_utility >= 0.0);
+        assert!(st.entries.iter().all(|e| !e.defected));
+    }
+
+    #[test]
+    fn threaded_outcome_matches_direct_mechanism() {
+        // Same seed, same reports ⇒ the threaded settlement equals a
+        // direct (single-threaded) invocation of the mechanism.
+        let households = specs(5, 2);
+        let enki = Enki::new(EnkiConfig::default());
+        let threaded = run_threaded_days(enki, households.clone(), 1, 9, Duration::from_secs(5))
+            .unwrap();
+
+        let reports: Vec<Report> = households
+            .iter()
+            .map(|h| Report::new(h.id, h.strategy.report(&h.profile)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        let outcome = enki.allocate(&reports, &mut rng).unwrap();
+        let consumption: Vec<Interval> =
+            outcome.assignments.iter().map(|a| a.window).collect();
+        let direct = enki.settle(&reports, &outcome, &consumption).unwrap();
+        assert_eq!(threaded[0].settlement, direct);
+    }
+
+    #[test]
+    fn bills_reach_every_household_thread() {
+        let days = run_threaded_days(
+            Enki::new(EnkiConfig::default()),
+            specs(4, 3),
+            2,
+            3,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        // Two days × four households = eight bills recorded in total.
+        assert_eq!(days.last().unwrap().bills.len(), 8);
+    }
+
+    #[test]
+    fn narrow_truth_households_can_defect_threaded() {
+        let mut specs = specs(4, 4);
+        for (i, s) in specs.iter_mut().enumerate() {
+            s.truth_source = TruthSource::Narrow;
+            if i == 0 {
+                // Household 0 misreports a window disjoint from its truth.
+                let t = s.profile.narrow();
+                let begin = if t.begin() >= 4 { t.begin() - 4 } else { t.end() };
+                s.strategy = ReportStrategy::Fixed(
+                    Preference::new(
+                        begin.min(24 - t.duration()),
+                        (begin.min(24 - t.duration()) + t.duration()).min(24),
+                        t.duration(),
+                    )
+                    .unwrap(),
+                );
+            } else {
+                s.strategy = ReportStrategy::TruthfulNarrow;
+            }
+        }
+        let days = run_threaded_days(
+            Enki::new(EnkiConfig::default()),
+            specs,
+            1,
+            4,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        let st = &days[0].settlement;
+        assert!(st.center_utility >= -1e-9, "budget balance survives defection");
+    }
+
+    #[test]
+    fn empty_roster_is_rejected() {
+        assert!(run_threaded_days(
+            Enki::default(),
+            vec![],
+            1,
+            0,
+            Duration::from_millis(10)
+        )
+        .is_err());
+    }
+}

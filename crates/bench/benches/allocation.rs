@@ -1,0 +1,75 @@
+//! Criterion benches behind Figure 6: greedy vs local-search vs exact
+//! scheduling time as the population grows.
+//!
+//! The paper's headline: Enki's greedy allocation stays essentially flat
+//! while the optimal MIQP blows up (~600× slower at n ≥ 40 on CPLEX). The
+//! exact solver here is capped so the bench suite terminates; its real
+//! (uncapped) behaviour is measured by `fig6_time`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enki_core::allocation::greedy_allocation;
+use enki_core::household::Preference;
+use enki_core::pricing::QuadraticPricing;
+use enki_sim::profile::{ProfileConfig, UsageProfile};
+use enki_solver::exact::BranchAndBound;
+use enki_solver::local_search::LocalSearch;
+use enki_solver::problem::AllocationProblem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn paper_preferences(n: usize, seed: u64) -> Vec<Preference> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = ProfileConfig::default();
+    (0..n)
+        .map(|_| UsageProfile::generate(&mut rng, &config).wide())
+        .collect()
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_allocation");
+    for &n in &[10usize, 20, 30, 40, 50] {
+        let prefs = paper_preferences(n, n as u64);
+        let pricing = QuadraticPricing::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &prefs, |b, prefs| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                greedy_allocation(black_box(prefs), 2.0, &pricing, &mut rng).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_search");
+    for &n in &[10usize, 30, 50] {
+        let prefs = paper_preferences(n, n as u64);
+        let problem = AllocationProblem::new(prefs, 2.0, 0.3).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| LocalSearch::new().solve(black_box(p), 2, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_branch_and_bound");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+    for &n in &[10usize, 15, 20] {
+        let prefs = paper_preferences(n, n as u64);
+        let problem = AllocationProblem::new(prefs, 2.0, 0.3).unwrap();
+        let solver = BranchAndBound::new().with_time_limit(Duration::from_secs(2));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| solver.solve(black_box(p)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_local_search, bench_exact);
+criterion_main!(benches);

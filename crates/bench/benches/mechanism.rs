@@ -1,0 +1,103 @@
+//! Criterion benches for the mechanism's per-day pipeline: score
+//! computation, settlement, a full simulated day, and the statistics used
+//! by the study analysis. These quantify the paper's tractability claim —
+//! Enki's payment mechanism avoids the extra optimal allocations a VCG
+//! payment would need.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enki_core::flexibility::flexibility_scores;
+use enki_core::household::{HouseholdId, Preference, Report};
+use enki_core::mechanism::Enki;
+use enki_core::prelude::EnkiConfig;
+use enki_sim::prelude::*;
+use enki_stats::mann_whitney::{mann_whitney_u, Alternative};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn reports(n: usize, seed: u64) -> Vec<Report> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = ProfileConfig::default();
+    (0..n)
+        .map(|i| {
+            Report::new(
+                HouseholdId::new(i as u32),
+                UsageProfile::generate(&mut rng, &config).wide(),
+            )
+        })
+        .collect()
+}
+
+fn bench_flexibility_scores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flexibility_scores");
+    for &n in &[10usize, 50, 200] {
+        let prefs: Vec<Preference> = reports(n, 1).iter().map(|r| r.preference).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &prefs, |b, p| {
+            b.iter(|| flexibility_scores(black_box(p)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_settlement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("settle");
+    for &n in &[10usize, 50, 200] {
+        let enki = Enki::new(EnkiConfig::default());
+        let rs = reports(n, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = enki.allocate(&rs, &mut rng).unwrap();
+        let consumption: Vec<_> = outcome.assignments.iter().map(|a| a.window).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(rs, outcome, consumption),
+            |b, (rs, outcome, consumption)| {
+                b.iter(|| {
+                    enki.settle(black_box(rs), black_box(outcome), black_box(consumption))
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_day");
+    for &n in &[10usize, 50] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = ProfileConfig::default();
+        let households: Vec<SimHousehold> = (0..n)
+            .map(|i| {
+                SimHousehold::new(
+                    HouseholdId::new(i as u32),
+                    UsageProfile::generate(&mut rng, &config),
+                    TruthSource::Wide,
+                    ReportStrategy::TruthfulWide,
+                )
+            })
+            .collect();
+        let nb = SimNeighborhood::new(Enki::default(), households);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &nb, |b, nb| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| nb.run_day(&mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_mann_whitney(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..20).map(|i| f64::from(i) * 0.37).collect();
+    let ys = vec![8.0; 20];
+    c.bench_function("mann_whitney_20v20", |b| {
+        b.iter(|| mann_whitney_u(black_box(&xs), black_box(&ys), Alternative::TwoSided));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_flexibility_scores,
+    bench_settlement,
+    bench_full_day,
+    bench_mann_whitney
+);
+criterion_main!(benches);

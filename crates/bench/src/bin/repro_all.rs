@@ -1,0 +1,58 @@
+//! Runs the entire reproduction suite in sequence: every table and figure
+//! binary, the theorem quantification, and all four ablations.
+//!
+//! `cargo run --release -p enki-bench --bin repro_all [-- --fast --seed N]`
+//!
+//! Each sibling binary is executed from the same target directory with the
+//! same arguments; the run aborts on the first failure so a broken
+//! artifact cannot be missed.
+
+use std::process::Command;
+
+/// Every reproduction binary, in presentation order.
+const BINARIES: &[&str] = &[
+    "fig2_example3",
+    "fig3_example4",
+    "fig4_par",
+    "fig5_cost",
+    "fig6_time",
+    "fig7_incentive",
+    "table2_defection",
+    "table3_utest",
+    "table4_treatments",
+    "fig8_true_interval",
+    "fig9_flexibility",
+    "theorem5_utilities",
+    "ecc_learning",
+    "ablation_ordering",
+    "ablation_pricing",
+    "ablation_scaling",
+    "ablation_coalition",
+    "ablation_decentralized",
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = std::env::current_exe()?
+        .parent()
+        .expect("executable lives in a directory")
+        .to_path_buf();
+
+    for (i, name) in BINARIES.iter().enumerate() {
+        println!(
+            "\n━━━ [{}/{}] {} ━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━",
+            i + 1,
+            BINARIES.len(),
+            name
+        );
+        let status = Command::new(dir.join(name)).args(&args).status()?;
+        if !status.success() {
+            return Err(format!("{name} failed with {status}").into());
+        }
+    }
+    println!(
+        "\nall {} artifacts regenerated; JSON in target/experiments/",
+        BINARIES.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! Quantifies Theorems 5 and 6: expected household utility with Enki vs
+//! the §V-D price-taking baseline (proportional billing, no coordination).
+//!
+//! The paper proves both inequalities but never plots them; this binary
+//! produces the missing table: average utility with and without Enki
+//! across the §VI workload (Theorem 5's inequality, asserted), plus the
+//! most-flexible household's utilities as descriptive columns (Theorem 6's
+//! equal-consumption premise does not hold on this heterogeneous
+//! workload; its controlled check is an integration test).
+
+use enki_bench::{mean_ci, print_table, write_json, RunArgs};
+use enki_core::prelude::*;
+use enki_sim::prelude::*;
+use enki_stats::descriptive::Summary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct UtilityRow {
+    n: usize,
+    enki_mean_utility: Summary,
+    baseline_mean_utility: Summary,
+    enki_flexible_utility: Summary,
+    baseline_flexible_utility: Summary,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = RunArgs::from_env();
+    let (populations, days): (Vec<usize>, usize) = if args.fast {
+        (vec![10, 20], 5)
+    } else {
+        (vec![10, 20, 30, 40, 50], 10)
+    };
+    let enki = Enki::new(EnkiConfig::default());
+    let profile = ProfileConfig::default();
+
+    let mut rows = Vec::new();
+    for &n in &populations {
+        let mut e_mean = Vec::new();
+        let mut b_mean = Vec::new();
+        let mut e_flex = Vec::new();
+        let mut b_flex = Vec::new();
+        for day in 0..days {
+            let mut rng =
+                StdRng::seed_from_u64(args.seed ^ ((n as u64) << 24) ^ day as u64);
+            let households: Vec<SimHousehold> = (0..n)
+                .map(|i| {
+                    SimHousehold::new(
+                        HouseholdId::new(i as u32),
+                        UsageProfile::generate(&mut rng, &profile),
+                        TruthSource::Wide,
+                        ReportStrategy::TruthfulWide,
+                    )
+                })
+                .collect();
+            let nb = SimNeighborhood::new(enki, households);
+            let outcome = nb.run_day(&mut rng)?;
+            let (baseline_utilities, _) = nb.run_baseline_day()?;
+
+            e_mean.push(outcome.utilities.iter().sum::<f64>() / n as f64);
+            b_mean.push(baseline_utilities.iter().sum::<f64>() / n as f64);
+
+            // Theorem 6's subject: the household with the highest realized
+            // flexibility score.
+            let flex_idx = outcome
+                .settlement
+                .entries
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.flexibility.total_cmp(&b.1.flexibility))
+                .map(|(i, _)| i)
+                .expect("non-empty day");
+            e_flex.push(outcome.utilities[flex_idx]);
+            b_flex.push(baseline_utilities[flex_idx]);
+        }
+        rows.push(UtilityRow {
+            n,
+            enki_mean_utility: Summary::from_sample(&e_mean),
+            baseline_mean_utility: Summary::from_sample(&b_mean),
+            enki_flexible_utility: Summary::from_sample(&e_flex),
+            baseline_flexible_utility: Summary::from_sample(&b_flex),
+        });
+    }
+
+    println!("Theorems 5 & 6 — expected utility, Enki vs price-taking baseline ({days} days)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                mean_ci(&r.enki_mean_utility, 2),
+                mean_ci(&r.baseline_mean_utility, 2),
+                mean_ci(&r.enki_flexible_utility, 2),
+                mean_ci(&r.baseline_flexible_utility, 2),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "n",
+            "Enki mean U",
+            "baseline mean U",
+            "Enki flexible U",
+            "baseline flexible U",
+        ],
+        &table,
+    );
+
+    for r in &rows {
+        assert!(
+            r.enki_mean_utility.mean >= r.baseline_mean_utility.mean - 1e-9,
+            "Theorem 5 violated at n = {}",
+            r.n
+        );
+    }
+    println!("\n✓ Theorem 5 holds at every population: E(U) with Enki ≥ without");
+    println!("note: Theorem 6 assumes *equal* consumption across households, which the");
+    println!("heterogeneous §VI workload (durations 1-4h) does not satisfy — the last two");
+    println!("columns are descriptive; the controlled equal-energy check lives in");
+    println!("tests/paper_examples.rs::theorem6_flexible_household_prefers_enki");
+
+    let path = write_json("theorem5_utilities", &rows)?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

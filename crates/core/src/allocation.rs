@@ -1,0 +1,415 @@
+//! Greedy allocation (§IV-A and §IV-C).
+//!
+//! Producing allocations is the optimization problem of Eq. 2: choose a
+//! deferment for every household so that the quadratic neighborhood cost is
+//! minimized. Enki sidesteps the MIQP by a two-level greedy rule:
+//!
+//! 1. order households by *increasing* predicted flexibility (Eq. 4),
+//!    breaking ties randomly — tight, peak-hour households are placed first
+//!    while the load profile is still empty;
+//! 2. for each household in that order, place its `v`-hour window at the
+//!    feasible start that minimizes the peak load over the households placed
+//!    so far, using the quadratic cost as a secondary criterion and a random
+//!    choice among remaining ties.
+//!
+//! The exact optimum (the paper's CPLEX MIQP) lives in the `enki-solver`
+//! crate; Figures 4–6 compare the two.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::flexibility::flexibility_scores;
+use crate::household::Preference;
+use crate::load::LoadProfile;
+use crate::pricing::Pricing;
+use crate::time::Interval;
+
+/// Result of a greedy allocation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GreedyOutcome {
+    /// One suggested window `s_i` per input preference, in input order.
+    pub windows: Vec<Interval>,
+    /// The order (indices into the input) in which households were placed:
+    /// least flexible first.
+    pub placement_order: Vec<usize>,
+    /// Predicted flexibility scores (Eq. 4) used for the ordering, in input
+    /// order.
+    pub predicted_flexibility: Vec<f64>,
+    /// The planned load profile when every household follows its window.
+    pub planned_load: LoadProfile,
+}
+
+/// How the greedy scheduler orders households before placing them.
+///
+/// The paper's choice is [`OrderingPolicy::IncreasingFlexibility`]
+/// (§IV-C): tight, peak-hour households are placed while the profile is
+/// still empty, and flexible ones fill the gaps. The other policies exist
+/// for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum OrderingPolicy {
+    /// Least flexible first (the paper's rule).
+    #[default]
+    IncreasingFlexibility,
+    /// Most flexible first (the ablation's adversary).
+    DecreasingFlexibility,
+    /// Uniformly random order.
+    Random,
+    /// The order the reports arrived in.
+    InputOrder,
+}
+
+/// Runs the greedy allocation over reported preferences.
+///
+/// `rate` is the per-household power draw in kW; `pricing` supplies the
+/// secondary (cost) criterion; `rng` resolves both ordering and placement
+/// ties, so a seeded generator makes the allocation reproducible.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyNeighborhood`] when `preferences` is empty.
+///
+/// # Examples
+///
+/// ```
+/// # use enki_core::allocation::greedy_allocation;
+/// # use enki_core::household::Preference;
+/// # use enki_core::pricing::QuadraticPricing;
+/// # use rand::SeedableRng;
+/// # fn main() -> Result<(), enki_core::Error> {
+/// let prefs = vec![
+///     Preference::new(18, 20, 1)?,
+///     Preference::new(18, 20, 1)?,
+/// ];
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let outcome = greedy_allocation(&prefs, 2.0, &QuadraticPricing::default(), &mut rng)?;
+/// // Two one-hour jobs in a two-hour window never share an hour.
+/// assert_eq!(outcome.planned_load.peak(), 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn greedy_allocation<P, R>(
+    preferences: &[Preference],
+    rate: f64,
+    pricing: &P,
+    rng: &mut R,
+) -> Result<GreedyOutcome>
+where
+    P: Pricing + ?Sized,
+    R: Rng + ?Sized,
+{
+    greedy_allocation_with_policy(
+        preferences,
+        rate,
+        pricing,
+        OrderingPolicy::IncreasingFlexibility,
+        rng,
+    )
+}
+
+/// Runs the greedy allocation with an explicit ordering policy — the
+/// paper's rule or one of the ablation variants.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyNeighborhood`] when `preferences` is empty.
+pub fn greedy_allocation_with_policy<P, R>(
+    preferences: &[Preference],
+    rate: f64,
+    pricing: &P,
+    policy: OrderingPolicy,
+    rng: &mut R,
+) -> Result<GreedyOutcome>
+where
+    P: Pricing + ?Sized,
+    R: Rng + ?Sized,
+{
+    if preferences.is_empty() {
+        return Err(Error::EmptyNeighborhood);
+    }
+    let predicted_flexibility = flexibility_scores(preferences);
+    let placement_order = match policy {
+        OrderingPolicy::IncreasingFlexibility => {
+            flexibility_order(&predicted_flexibility, rng)
+        }
+        OrderingPolicy::DecreasingFlexibility => {
+            let mut order = flexibility_order(&predicted_flexibility, rng);
+            order.reverse();
+            order
+        }
+        OrderingPolicy::Random => {
+            let mut keyed: Vec<(u64, usize)> = (0..preferences.len())
+                .map(|i| (rng.random::<u64>(), i))
+                .collect();
+            keyed.sort_unstable();
+            keyed.into_iter().map(|(_, i)| i).collect()
+        }
+        OrderingPolicy::InputOrder => (0..preferences.len()).collect(),
+    };
+
+    let mut windows: Vec<Option<Interval>> = vec![None; preferences.len()];
+    let mut load = LoadProfile::new();
+    for &i in &placement_order {
+        let window = place_one(&preferences[i], rate, pricing, &load, rng);
+        load.add_window(window, rate);
+        windows[i] = Some(window);
+    }
+    Ok(GreedyOutcome {
+        windows: windows
+            .into_iter()
+            .map(|w| w.expect("every household was placed"))
+            .collect(),
+        placement_order,
+        predicted_flexibility,
+        planned_load: load,
+    })
+}
+
+/// Index permutation ordering households by increasing flexibility with
+/// random tie-breaks (§IV-C).
+fn flexibility_order<R: Rng + ?Sized>(flexibility: &[f64], rng: &mut R) -> Vec<usize> {
+    let mut keyed: Vec<(f64, u64, usize)> = flexibility
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (f, rng.random::<u64>(), i))
+        .collect();
+    keyed.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("flexibility scores are finite")
+            .then(a.1.cmp(&b.1))
+    });
+    keyed.into_iter().map(|(_, _, i)| i).collect()
+}
+
+/// Places a single preference against the current partial load, minimizing
+/// (peak, quadratic cost) with a uniformly random choice among exact ties.
+fn place_one<P, R>(
+    preference: &Preference,
+    rate: f64,
+    pricing: &P,
+    load: &LoadProfile,
+    rng: &mut R,
+) -> Interval
+where
+    P: Pricing + ?Sized,
+    R: Rng + ?Sized,
+{
+    let mut best: Vec<Interval> = Vec::new();
+    let mut best_key = (f64::INFINITY, f64::INFINITY);
+    for window in preference.feasible_windows() {
+        let mut candidate = *load;
+        candidate.add_window(window, rate);
+        let key = (candidate.peak(), pricing.cost(&candidate));
+        if key < best_key {
+            best_key = key;
+            best.clear();
+            best.push(window);
+        } else if key == best_key {
+            best.push(window);
+        }
+    }
+    debug_assert!(!best.is_empty());
+    best[rng.random_range(0..best.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::QuadraticPricing;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pref(b: u8, e: u8, v: u8) -> Preference {
+        Preference::new(b, e, v).unwrap()
+    }
+
+    fn run(prefs: &[Preference], seed: u64) -> GreedyOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        greedy_allocation(prefs, 2.0, &QuadraticPricing::default(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn empty_neighborhood_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            greedy_allocation(&[], 2.0, &QuadraticPricing::default(), &mut rng),
+            Err(Error::EmptyNeighborhood)
+        ));
+    }
+
+    #[test]
+    fn every_window_respects_its_report() {
+        let prefs = vec![
+            pref(18, 22, 2),
+            pref(16, 24, 3),
+            pref(0, 6, 1),
+            pref(20, 24, 4),
+        ];
+        let out = run(&prefs, 42);
+        for (p, w) in prefs.iter().zip(out.windows.iter()) {
+            p.validate_window(*w).unwrap();
+        }
+    }
+
+    #[test]
+    fn example3_flexible_household_avoids_peak() {
+        // Example 3 / Fig. 2 with the §IV-C ordering: B and C (less
+        // flexible) are placed first and split (18, 21); A keeps (16, 18).
+        let prefs = vec![pref(16, 18, 2), pref(18, 21, 2), pref(18, 21, 2)];
+        for seed in 0..20 {
+            let out = run(&prefs, seed);
+            assert_eq!(out.windows[0], Interval::new(16, 18).unwrap());
+            // B and C overlap in exactly one hour (both need 2 of 3 slots).
+            assert_eq!(out.windows[1].overlap(&out.windows[2]), 1);
+            // A is placed last: its flexibility is highest.
+            assert_eq!(out.placement_order[2], 0);
+        }
+    }
+
+    #[test]
+    fn two_identical_one_hour_jobs_are_spread() {
+        // Example 4 setting: A and B both report (18, 20, 1); greedy gives
+        // them different hours.
+        let prefs = vec![pref(18, 20, 1), pref(18, 20, 1)];
+        for seed in 0..20 {
+            let out = run(&prefs, seed);
+            assert_eq!(out.windows[0].overlap(&out.windows[1]), 0);
+            assert_eq!(out.planned_load.peak(), 2.0);
+        }
+    }
+
+    #[test]
+    fn zero_slack_household_gets_its_only_window() {
+        let prefs = vec![pref(18, 20, 2), pref(18, 22, 2)];
+        let out = run(&prefs, 3);
+        assert_eq!(out.windows[0], Interval::new(18, 20).unwrap());
+        // The flexible one dodges it.
+        assert_eq!(out.windows[1], Interval::new(20, 22).unwrap());
+    }
+
+    #[test]
+    fn placement_order_is_increasing_flexibility() {
+        let prefs = vec![pref(18, 20, 2), pref(10, 20, 2), pref(18, 21, 2)];
+        let out = run(&prefs, 9);
+        let f = &out.predicted_flexibility;
+        for pair in out.placement_order.windows(2) {
+            assert!(f[pair[0]] <= f[pair[1]] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn planned_load_matches_windows() {
+        let prefs = vec![pref(17, 23, 3), pref(18, 22, 2), pref(19, 24, 1)];
+        let out = run(&prefs, 1);
+        let rebuilt = LoadProfile::from_windows(&out.windows, 2.0);
+        assert_eq!(out.planned_load, rebuilt);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let prefs = vec![pref(18, 22, 2); 6];
+        let a = run(&prefs, 1234);
+        let b = run(&prefs, 1234);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tie_breaks_vary_with_seed() {
+        // With six identical reports there are many optimal placements;
+        // different seeds should eventually produce different assignments.
+        let prefs = vec![pref(12, 24, 2); 6];
+        let baseline = run(&prefs, 0);
+        let varied = (1..30).any(|seed| run(&prefs, seed).windows != baseline.windows);
+        assert!(varied, "random tie-breaking never varied across 30 seeds");
+    }
+
+    #[test]
+    fn ordering_policies_produce_valid_allocations() {
+        let prefs = vec![pref(18, 24, 2), pref(16, 22, 3), pref(19, 23, 1)];
+        for policy in [
+            OrderingPolicy::IncreasingFlexibility,
+            OrderingPolicy::DecreasingFlexibility,
+            OrderingPolicy::Random,
+            OrderingPolicy::InputOrder,
+        ] {
+            let mut rng = StdRng::seed_from_u64(1);
+            let out = greedy_allocation_with_policy(
+                &prefs,
+                2.0,
+                &QuadraticPricing::default(),
+                policy,
+                &mut rng,
+            )
+            .unwrap();
+            for (p, w) in prefs.iter().zip(&out.windows) {
+                p.validate_window(*w).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn input_order_policy_is_deterministic_modulo_placement_ties() {
+        let prefs = vec![pref(18, 20, 2), pref(16, 24, 2)];
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = greedy_allocation_with_policy(
+            &prefs,
+            2.0,
+            &QuadraticPricing::default(),
+            OrderingPolicy::InputOrder,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.placement_order, vec![0, 1]);
+    }
+
+    #[test]
+    fn decreasing_policy_reverses_the_paper_order() {
+        let prefs = vec![pref(18, 20, 2), pref(10, 24, 2), pref(18, 21, 2)];
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        let inc = greedy_allocation_with_policy(
+            &prefs,
+            2.0,
+            &QuadraticPricing::default(),
+            OrderingPolicy::IncreasingFlexibility,
+            &mut rng_a,
+        )
+        .unwrap();
+        let dec = greedy_allocation_with_policy(
+            &prefs,
+            2.0,
+            &QuadraticPricing::default(),
+            OrderingPolicy::DecreasingFlexibility,
+            &mut rng_b,
+        )
+        .unwrap();
+        let mut reversed = inc.placement_order.clone();
+        reversed.reverse();
+        assert_eq!(dec.placement_order, reversed);
+    }
+
+    #[test]
+    fn greedy_never_exceeds_naive_peak() {
+        // Placing everyone at their preferred begin time is the naive plan;
+        // greedy should never do worse on the peak.
+        let prefs = vec![
+            pref(18, 24, 2),
+            pref(18, 22, 2),
+            pref(18, 20, 2),
+            pref(17, 23, 3),
+            pref(19, 24, 1),
+        ];
+        let naive: LoadProfile = LoadProfile::from_windows(
+            prefs
+                .iter()
+                .map(|p| {
+                    Interval::with_duration(p.begin(), p.duration()).unwrap()
+                })
+                .collect::<Vec<_>>()
+                .iter(),
+            2.0,
+        );
+        let out = run(&prefs, 5);
+        assert!(out.planned_load.peak() <= naive.peak() + 1e-12);
+    }
+}

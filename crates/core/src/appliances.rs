@@ -1,0 +1,671 @@
+//! Multi-appliance households (the §III extension).
+//!
+//! The paper abstracts each household's load to a single shiftable value
+//! but notes the model "can be easily extended to a more concrete scenario
+//! by considering several such preferences for a given household and
+//! adding a constant cost to each household's payment". This module is
+//! that extension:
+//!
+//! * a household owns several shiftable [`Appliance`]s, each with its own
+//!   preference window and power rating;
+//! * plus an optional *nonshiftable* base load (lighting, fridge) that the
+//!   scheduler cannot move;
+//! * the allocation treats every appliance as its own job in the greedy
+//!   scheduler, so each is placed within its reported window;
+//! * the settlement aggregates per-appliance scores back to the household:
+//!   flexibility is the energy-weighted mean of the appliance scores,
+//!   defection is the sum, and the social-cost normalization of Eq. 6 runs
+//!   at household level;
+//! * the wholesale cost `κ` is computed on the *combined* load. Revenue is
+//!   split between the base and shiftable energy: the base share is billed
+//!   in proportion to each household's base energy (the paper's "constant
+//!   cost" — behaviour cannot change it), the shiftable share by
+//!   social-cost weight (Eq. 7).
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::config::EnkiConfig;
+use crate::defection::{defection_score, overlap_ratio};
+use crate::error::{Error, Result};
+use crate::flexibility::{coverage, flexibility_score};
+use crate::household::{HouseholdId, Preference};
+use crate::load::LoadProfile;
+use crate::pricing::Pricing;
+use crate::social_cost::{social_cost_scores, SocialCost};
+use crate::time::Interval;
+
+/// One shiftable appliance: a preference window plus a power rating.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Appliance {
+    /// Human-readable label ("EV charger", "dishwasher").
+    pub label: String,
+    /// When and for how long the appliance must run.
+    pub preference: Preference,
+    /// Power draw in kW while running.
+    pub rate: f64,
+}
+
+impl Appliance {
+    /// Creates an appliance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for a non-positive rate.
+    pub fn new(label: impl Into<String>, preference: Preference, rate: f64) -> Result<Self> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(Error::InvalidConfig {
+                parameter: "rate",
+                constraint: "a positive finite number",
+            });
+        }
+        Ok(Self {
+            label: label.into(),
+            preference,
+            rate,
+        })
+    }
+
+    /// Energy the appliance consumes over its run, in kWh.
+    #[must_use]
+    pub fn energy(&self) -> f64 {
+        f64::from(self.preference.duration()) * self.rate
+    }
+}
+
+/// A multi-appliance report: everything one household submits for the day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiReport {
+    /// Reporting household.
+    pub household: HouseholdId,
+    /// Shiftable appliances (at least one).
+    pub appliances: Vec<Appliance>,
+    /// Nonshiftable base load the scheduler cannot move.
+    pub base_load: LoadProfile,
+}
+
+impl MultiReport {
+    /// Creates a report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyNeighborhood`] when `appliances` is empty
+    /// (every household must have at least one shiftable job).
+    pub fn new(
+        household: HouseholdId,
+        appliances: Vec<Appliance>,
+        base_load: LoadProfile,
+    ) -> Result<Self> {
+        if appliances.is_empty() {
+            return Err(Error::EmptyNeighborhood);
+        }
+        Ok(Self {
+            household,
+            appliances,
+            base_load,
+        })
+    }
+
+    /// Total shiftable energy of the household, in kWh.
+    #[must_use]
+    pub fn shiftable_energy(&self) -> f64 {
+        self.appliances.iter().map(Appliance::energy).sum()
+    }
+
+    /// Total nonshiftable energy, in kWh.
+    #[must_use]
+    pub fn base_energy(&self) -> f64 {
+        self.base_load.total()
+    }
+}
+
+/// Suggested windows for one household's appliances, in appliance order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiAssignment {
+    /// The household.
+    pub household: HouseholdId,
+    /// One window per appliance.
+    pub windows: Vec<Interval>,
+}
+
+/// The allocation step's result over a multi-appliance neighborhood.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiAllocation {
+    /// Per-household suggested windows, aligned with the reports.
+    pub assignments: Vec<MultiAssignment>,
+    /// Planned load (base + shiftable at suggested windows).
+    pub planned_load: LoadProfile,
+    /// Planned wholesale cost `κ` of the planned load.
+    pub planned_cost: f64,
+}
+
+/// One household's settled day under the multi-appliance extension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSettlementEntry {
+    /// The household.
+    pub household: HouseholdId,
+    /// Suggested windows, per appliance.
+    pub allocations: Vec<Interval>,
+    /// Realized windows, per appliance.
+    pub consumptions: Vec<Interval>,
+    /// Whether any appliance deviated from its suggestion.
+    pub defected: bool,
+    /// Energy-weighted household flexibility (zero for defectors).
+    pub flexibility: f64,
+    /// Summed appliance defection scores.
+    pub defection: f64,
+    /// Normalized household scores and `Ψ`.
+    pub social_cost: SocialCost,
+    /// Constant (base-load) part of the bill.
+    pub base_payment: f64,
+    /// Behaviour-dependent (shiftable) part of the bill.
+    pub shiftable_payment: f64,
+    /// Total bill.
+    pub payment: f64,
+}
+
+/// The settled multi-appliance day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSettlement {
+    /// Per-household results aligned with the reports.
+    pub entries: Vec<MultiSettlementEntry>,
+    /// Realized combined load.
+    pub load: LoadProfile,
+    /// Wholesale cost `κ(ω)` on the combined load.
+    pub total_cost: f64,
+    /// Collected revenue (`ξ·κ`).
+    pub revenue: f64,
+    /// Center utility (`(ξ−1)·κ ≥ 0`).
+    pub center_utility: f64,
+}
+
+/// The multi-appliance mechanism: a thin orchestrator over the same
+/// scoring primitives as [`crate::mechanism::Enki`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiEnki {
+    config: EnkiConfig,
+}
+
+impl MultiEnki {
+    /// Creates a multi-appliance center.
+    #[must_use]
+    pub fn new(config: EnkiConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &EnkiConfig {
+        &self.config
+    }
+
+    /// Allocation: every appliance is scheduled within its window; the
+    /// greedy scheduler sees the combined base load as immovable
+    /// background.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyNeighborhood`] with no reports and
+    /// [`Error::DuplicateHousehold`] for duplicate ids.
+    pub fn allocate<R: Rng + ?Sized>(
+        &self,
+        reports: &[MultiReport],
+        rng: &mut R,
+    ) -> Result<MultiAllocation> {
+        validate(reports)?;
+        let pricing = self.config.pricing();
+
+        // Base load as immovable background.
+        let mut base = LoadProfile::new();
+        for r in reports {
+            base += r.base_load;
+        }
+
+        // Flatten appliances into jobs. Job rates vary, so we run the
+        // greedy placement manually with the job's own rate: order jobs by
+        // predicted flexibility of their preference (coverage over all
+        // jobs), then place each minimizing (peak, cost) over base +
+        // already-placed jobs.
+        let jobs: Vec<(usize, usize)> = reports
+            .iter()
+            .enumerate()
+            .flat_map(|(h, r)| (0..r.appliances.len()).map(move |a| (h, a)))
+            .collect();
+        let prefs: Vec<Preference> = jobs
+            .iter()
+            .map(|&(h, a)| reports[h].appliances[a].preference)
+            .collect();
+        let n_h = coverage(&prefs);
+        let mut order: Vec<(f64, u64, usize)> = prefs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (flexibility_score(p, &n_h), rng.random::<u64>(), i))
+            .collect();
+        order.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite scores")
+                .then(a.1.cmp(&b.1))
+        });
+
+        let mut load = base;
+        let mut windows: Vec<Option<Interval>> = vec![None; jobs.len()];
+        for &(_, _, ji) in &order {
+            let (h, a) = jobs[ji];
+            let appliance = &reports[h].appliances[a];
+            let mut best: Vec<Interval> = Vec::new();
+            let mut best_key = (f64::INFINITY, f64::INFINITY);
+            for w in appliance.preference.feasible_windows() {
+                let mut candidate = load;
+                candidate.add_window(w, appliance.rate);
+                let key = (candidate.peak(), pricing.cost(&candidate));
+                if key < best_key {
+                    best_key = key;
+                    best.clear();
+                    best.push(w);
+                } else if key == best_key {
+                    best.push(w);
+                }
+            }
+            let w = best[rng.random_range(0..best.len())];
+            load.add_window(w, appliance.rate);
+            windows[ji] = Some(w);
+        }
+
+        // Fold windows back per household.
+        let mut assignments: Vec<MultiAssignment> = reports
+            .iter()
+            .map(|r| MultiAssignment {
+                household: r.household,
+                windows: Vec::with_capacity(r.appliances.len()),
+            })
+            .collect();
+        for (ji, &(h, _)) in jobs.iter().enumerate() {
+            assignments[h]
+                .windows
+                .push(windows[ji].expect("every job was placed"));
+        }
+        let planned_cost = pricing.cost(&load);
+        Ok(MultiAllocation {
+            assignments,
+            planned_load: load,
+            planned_cost,
+        })
+    }
+
+    /// Settlement: per-appliance scores aggregate to household level; the
+    /// base-energy share of the bill is constant, the shiftable share is
+    /// social-cost weighted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownHousehold`] on misaligned inputs and
+    /// [`Error::DurationMismatch`] for consumption of the wrong length.
+    pub fn settle(
+        &self,
+        reports: &[MultiReport],
+        allocation: &MultiAllocation,
+        consumption: &[Vec<Interval>],
+    ) -> Result<MultiSettlement> {
+        validate(reports)?;
+        if allocation.assignments.len() != reports.len() || consumption.len() != reports.len() {
+            return Err(Error::UnknownHousehold(
+                reports
+                    .first()
+                    .map(|r| r.household)
+                    .unwrap_or_else(|| HouseholdId::new(0)),
+            ));
+        }
+        let pricing = self.config.pricing();
+
+        // Realized load: base + actual appliance windows.
+        let mut load = LoadProfile::new();
+        for r in reports {
+            load += r.base_load;
+        }
+        for (r, ws) in reports.iter().zip(consumption) {
+            if ws.len() != r.appliances.len() {
+                return Err(Error::UnknownHousehold(r.household));
+            }
+            for (appliance, w) in r.appliances.iter().zip(ws) {
+                if w.len() != appliance.preference.duration() {
+                    return Err(Error::DurationMismatch {
+                        got: w.len(),
+                        expected: appliance.preference.duration(),
+                    });
+                }
+                load.add_window(*w, appliance.rate);
+            }
+        }
+        let total_cost = pricing.cost(&load);
+
+        // Predicted appliance flexibility from all reported preferences.
+        let all_prefs: Vec<Preference> = reports
+            .iter()
+            .flat_map(|r| r.appliances.iter().map(|a| a.preference))
+            .collect();
+        let n_h = coverage(&all_prefs);
+
+        // Planned cost for the defection comparison.
+        let planned_cost = pricing.cost(&allocation.planned_load);
+
+        let mut flexibility = Vec::with_capacity(reports.len());
+        let mut defection = Vec::with_capacity(reports.len());
+        let mut any_defect = Vec::with_capacity(reports.len());
+        for ((r, assign), ws) in reports
+            .iter()
+            .zip(&allocation.assignments)
+            .zip(consumption)
+        {
+            let mut f_weighted = 0.0;
+            let mut energy = 0.0;
+            let mut delta = 0.0;
+            let mut defected = false;
+            for ((appliance, &s), &w) in r.appliances.iter().zip(&assign.windows).zip(ws) {
+                let e = appliance.energy();
+                energy += e;
+                if s == w {
+                    f_weighted += e * flexibility_score(&appliance.preference, &n_h);
+                } else {
+                    defected = true;
+                    delta += defection_score(
+                        &pricing,
+                        appliance.rate,
+                        &allocation.planned_load,
+                        planned_cost,
+                        s,
+                        w,
+                    );
+                }
+            }
+            flexibility.push(if energy > 0.0 { f_weighted / energy } else { 0.0 });
+            defection.push(delta);
+            any_defect.push(defected);
+        }
+
+        let social = social_cost_scores(&flexibility, &defection, self.config.k());
+
+        // Revenue split: base share billed proportionally, shiftable share
+        // by social cost.
+        let revenue = self.config.xi() * total_cost;
+        let total_base: f64 = reports.iter().map(MultiReport::base_energy).sum();
+        let total_shift: f64 = reports.iter().map(MultiReport::shiftable_energy).sum();
+        let total_energy = total_base + total_shift;
+        let base_revenue = if total_energy > 0.0 {
+            revenue * total_base / total_energy
+        } else {
+            0.0
+        };
+        let shift_revenue = revenue - base_revenue;
+        let psi_sum: f64 = social.iter().map(|s| s.psi).sum();
+
+        let entries = reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let base_payment = if total_base > 0.0 {
+                    base_revenue * r.base_energy() / total_base
+                } else {
+                    0.0
+                };
+                let shiftable_payment = if psi_sum > 0.0 {
+                    shift_revenue * social[i].psi / psi_sum
+                } else if !reports.is_empty() {
+                    shift_revenue / reports.len() as f64
+                } else {
+                    0.0
+                };
+                MultiSettlementEntry {
+                    household: r.household,
+                    allocations: allocation.assignments[i].windows.clone(),
+                    consumptions: consumption[i].clone(),
+                    defected: any_defect[i],
+                    flexibility: flexibility[i],
+                    defection: defection[i],
+                    social_cost: social[i],
+                    base_payment,
+                    shiftable_payment,
+                    payment: base_payment + shiftable_payment,
+                }
+            })
+            .collect();
+
+        Ok(MultiSettlement {
+            entries,
+            load,
+            total_cost,
+            revenue,
+            center_utility: revenue - total_cost,
+        })
+    }
+
+    /// Per-appliance overlap diagnostics for a settled household, in
+    /// appliance order (`o_i` of Eq. 5 per appliance).
+    #[must_use]
+    pub fn appliance_overlaps(entry: &MultiSettlementEntry) -> Vec<f64> {
+        entry
+            .allocations
+            .iter()
+            .zip(&entry.consumptions)
+            .map(|(&s, &w)| overlap_ratio(s, w))
+            .collect()
+    }
+}
+
+impl Default for MultiEnki {
+    fn default() -> Self {
+        Self::new(EnkiConfig::default())
+    }
+}
+
+fn validate(reports: &[MultiReport]) -> Result<()> {
+    if reports.is_empty() {
+        return Err(Error::EmptyNeighborhood);
+    }
+    let mut ids: Vec<HouseholdId> = reports.iter().map(|r| r.household).collect();
+    ids.sort_unstable();
+    for pair in ids.windows(2) {
+        if pair[0] == pair[1] {
+            return Err(Error::DuplicateHousehold(pair[0]));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pref(b: u8, e: u8, v: u8) -> Preference {
+        Preference::new(b, e, v).unwrap()
+    }
+
+    fn two_appliance_report(id: u32) -> MultiReport {
+        let mut base = LoadProfile::new();
+        base.add_window(Interval::new(0, 24).unwrap(), 0.2); // fridge
+        MultiReport::new(
+            HouseholdId::new(id),
+            vec![
+                Appliance::new("EV", pref(18, 24, 3), 7.0).unwrap(),
+                Appliance::new("dishwasher", pref(19, 23, 1), 1.5).unwrap(),
+            ],
+            base,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn report_requires_an_appliance() {
+        assert!(MultiReport::new(HouseholdId::new(0), vec![], LoadProfile::new()).is_err());
+    }
+
+    #[test]
+    fn appliance_rejects_bad_rate() {
+        assert!(Appliance::new("x", pref(0, 4, 1), 0.0).is_err());
+        assert!(Appliance::new("x", pref(0, 4, 1), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn energies_add_up() {
+        let r = two_appliance_report(0);
+        assert!((r.shiftable_energy() - (3.0 * 7.0 + 1.5)).abs() < 1e-12);
+        assert!((r.base_energy() - 24.0 * 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allocation_respects_every_appliance_window() {
+        let reports = vec![two_appliance_report(0), two_appliance_report(1)];
+        let enki = MultiEnki::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let alloc = enki.allocate(&reports, &mut rng).unwrap();
+        for (r, a) in reports.iter().zip(&alloc.assignments) {
+            for (appliance, &w) in r.appliances.iter().zip(&a.windows) {
+                appliance.preference.validate_window(w).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn base_load_is_present_in_planned_load() {
+        let reports = vec![two_appliance_report(0)];
+        let enki = MultiEnki::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let alloc = enki.allocate(&reports, &mut rng).unwrap();
+        // Base fridge load is 0.2 kWh at every hour, e.g. hour 3.
+        assert!((alloc.planned_load.at(3) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cooperative_settlement_balances_budget() {
+        let reports = vec![two_appliance_report(0), two_appliance_report(1)];
+        let enki = MultiEnki::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let alloc = enki.allocate(&reports, &mut rng).unwrap();
+        let consumption: Vec<Vec<Interval>> =
+            alloc.assignments.iter().map(|a| a.windows.clone()).collect();
+        let st = enki.settle(&reports, &alloc, &consumption).unwrap();
+        assert!((st.center_utility - 0.2 * st.total_cost).abs() < 1e-9);
+        let paid: f64 = st.entries.iter().map(|e| e.payment).sum();
+        assert!((paid - st.revenue).abs() < 1e-9);
+        for e in &st.entries {
+            assert!(!e.defected);
+            assert_eq!(e.defection, 0.0);
+        }
+    }
+
+    #[test]
+    fn defecting_appliance_flags_the_household() {
+        let reports = vec![two_appliance_report(0), two_appliance_report(1)];
+        let enki = MultiEnki::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let alloc = enki.allocate(&reports, &mut rng).unwrap();
+        let mut consumption: Vec<Vec<Interval>> =
+            alloc.assignments.iter().map(|a| a.windows.clone()).collect();
+        // Household 0 moves its dishwasher (appliance 1) one hour.
+        let w = consumption[0][1];
+        let pref = reports[0].appliances[1].preference;
+        consumption[0][1] = pref
+            .feasible_windows()
+            .find(|c| *c != w)
+            .expect("dishwasher has slack");
+        let st = enki.settle(&reports, &alloc, &consumption).unwrap();
+        assert!(st.entries[0].defected);
+        assert!(!st.entries[1].defected);
+        assert!(st.entries[0].payment >= st.entries[1].payment);
+    }
+
+    #[test]
+    fn base_payment_is_constant_across_behaviour() {
+        let reports = vec![two_appliance_report(0), two_appliance_report(1)];
+        let enki = MultiEnki::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let alloc = enki.allocate(&reports, &mut rng).unwrap();
+        let cooperative: Vec<Vec<Interval>> =
+            alloc.assignments.iter().map(|a| a.windows.clone()).collect();
+        let mut deviant = cooperative.clone();
+        let pref = reports[0].appliances[0].preference;
+        deviant[0][0] = pref
+            .feasible_windows()
+            .find(|c| *c != cooperative[0][0])
+            .expect("EV has slack");
+        let st_coop = enki.settle(&reports, &alloc, &cooperative).unwrap();
+        let st_dev = enki.settle(&reports, &alloc, &deviant).unwrap();
+        // Base shares track base energy, identical in both scenarios up to
+        // the small κ change from the move.
+        let coop_share = st_coop.entries[0].base_payment / st_coop.revenue;
+        let dev_share = st_dev.entries[0].base_payment / st_dev.revenue;
+        assert!((coop_share - dev_share).abs() < 1e-12);
+    }
+
+    #[test]
+    fn settle_rejects_misaligned_consumption() {
+        let reports = vec![two_appliance_report(0)];
+        let enki = MultiEnki::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        let alloc = enki.allocate(&reports, &mut rng).unwrap();
+        assert!(enki.settle(&reports, &alloc, &[]).is_err());
+        let wrong_count = vec![vec![alloc.assignments[0].windows[0]]];
+        assert!(enki.settle(&reports, &alloc, &wrong_count).is_err());
+    }
+
+    #[test]
+    fn duplicate_households_are_rejected() {
+        let reports = vec![two_appliance_report(0), two_appliance_report(0)];
+        let enki = MultiEnki::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(matches!(
+            enki.allocate(&reports, &mut rng),
+            Err(Error::DuplicateHousehold(_))
+        ));
+    }
+
+    #[test]
+    fn overlaps_diagnostics_match_eq5() {
+        let entry = MultiSettlementEntry {
+            household: HouseholdId::new(0),
+            allocations: vec![
+                Interval::new(14, 18).unwrap(),
+                Interval::new(20, 22).unwrap(),
+            ],
+            consumptions: vec![
+                Interval::new(15, 19).unwrap(),
+                Interval::new(20, 22).unwrap(),
+            ],
+            defected: true,
+            flexibility: 0.0,
+            defection: 1.0,
+            social_cost: SocialCost {
+                normalized_flexibility: 0.5,
+                normalized_defection: 1.5,
+                psi: 3.0,
+            },
+            base_payment: 0.0,
+            shiftable_payment: 1.0,
+            payment: 1.0,
+        };
+        assert_eq!(MultiEnki::appliance_overlaps(&entry), vec![0.75, 1.0]);
+    }
+
+    #[test]
+    fn heavier_appliances_dominate_household_flexibility() {
+        // The EV (21 kWh) outweighs the dishwasher (1.5 kWh) in the
+        // energy-weighted household flexibility.
+        let reports = vec![two_appliance_report(0), two_appliance_report(1)];
+        let enki = MultiEnki::default();
+        let mut rng = StdRng::seed_from_u64(8);
+        let alloc = enki.allocate(&reports, &mut rng).unwrap();
+        let consumption: Vec<Vec<Interval>> =
+            alloc.assignments.iter().map(|a| a.windows.clone()).collect();
+        let st = enki.settle(&reports, &alloc, &consumption).unwrap();
+        let prefs: Vec<Preference> = reports
+            .iter()
+            .flat_map(|r| r.appliances.iter().map(|a| a.preference))
+            .collect();
+        let n_h = coverage(&prefs);
+        let f_ev = flexibility_score(&reports[0].appliances[0].preference, &n_h);
+        // Household flexibility is much closer to the EV's score.
+        let f_house = st.entries[0].flexibility;
+        assert!((f_house - f_ev).abs() < 0.2 * f_ev + 1e-9);
+    }
+}

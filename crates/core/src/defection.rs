@@ -1,0 +1,182 @@
+//! Defection scores (Eq. 5).
+//!
+//! A household *defects* when its real consumption `ω_i` differs from its
+//! suggested allocation `s_i`. Its defection score is
+//!
+//! `δ_i = (κ(s_{−i} ∪ ω_i) − κ(s)) / e^{o_i}`
+//!
+//! where `κ(s)` is the neighborhood cost when everyone cooperates,
+//! `κ(s_{−i} ∪ ω_i)` is the cost when only household `i` deviates, and
+//! `o_i = |s_i ∩ ω_i| / v_i` is the overlap fraction between the allocation
+//! and the actual consumption. Cooperating households have `δ_i = 0`.
+//!
+//! The raw difference is floored at zero: in the paper's model a unilateral
+//! deviation from the (peak-minimizing) cooperative plan cannot be credited,
+//! and the score must stay non-negative for the normalization of Eq. 6.
+
+use crate::load::LoadProfile;
+use crate::pricing::Pricing;
+use crate::time::Interval;
+
+/// The overlap fraction `o_i = |s_i ∩ ω_i| / v_i ∈ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// # use enki_core::defection::overlap_ratio;
+/// # use enki_core::time::Interval;
+/// # fn main() -> Result<(), enki_core::Error> {
+/// // Paper §IV-B3: s = (14, 18), ω = (15, 19) ⇒ o = 3/4.
+/// let s = Interval::new(14, 18)?;
+/// let w = Interval::new(15, 19)?;
+/// assert_eq!(overlap_ratio(s, w), 0.75);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn overlap_ratio(allocation: Interval, consumption: Interval) -> f64 {
+    f64::from(allocation.overlap(&consumption)) / f64::from(allocation.len())
+}
+
+/// The defection score `δ_i` of a single household.
+///
+/// `planned` must be the load profile of the full cooperative plan `s`
+/// (every household at its allocation, drawing `rate` kW), and
+/// `cooperative_cost` its cost `κ(s)` — both are shared across households,
+/// so callers compute them once.
+#[must_use]
+pub fn defection_score<P: Pricing + ?Sized>(
+    pricing: &P,
+    rate: f64,
+    planned: &LoadProfile,
+    cooperative_cost: f64,
+    allocation: Interval,
+    consumption: Interval,
+) -> f64 {
+    if allocation == consumption {
+        return 0.0;
+    }
+    let mut deviated = *planned;
+    deviated.remove_window(allocation, rate);
+    deviated.add_window(consumption, rate);
+    let harm = pricing.cost(&deviated) - cooperative_cost;
+    let o = overlap_ratio(allocation, consumption);
+    (harm / o.exp()).max(0.0)
+}
+
+/// Defection scores for the whole neighborhood, in input order.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices differ in length; in release the
+/// shorter length governs.
+#[must_use]
+pub fn defection_scores<P: Pricing + ?Sized>(
+    pricing: &P,
+    rate: f64,
+    allocations: &[Interval],
+    consumptions: &[Interval],
+) -> Vec<f64> {
+    debug_assert_eq!(allocations.len(), consumptions.len());
+    let planned = LoadProfile::from_windows(allocations, rate);
+    let cooperative_cost = pricing.cost(&planned);
+    allocations
+        .iter()
+        .zip(consumptions.iter())
+        .map(|(&s, &w)| defection_score(pricing, rate, &planned, cooperative_cost, s, w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::QuadraticPricing;
+
+    fn iv(b: u8, e: u8) -> Interval {
+        Interval::new(b, e).unwrap()
+    }
+
+    #[test]
+    fn cooperating_household_scores_zero() {
+        let pricing = QuadraticPricing::default();
+        let allocations = vec![iv(18, 20), iv(20, 22)];
+        let scores = defection_scores(&pricing, 2.0, &allocations, &allocations);
+        assert_eq!(scores, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn example4_defector_scores_positive() {
+        // Example 4 / Fig. 3: A and B both report (18, 20, 1); allocation
+        // gives A hour 18 and B hour 19; B defects onto A's hour.
+        let pricing = QuadraticPricing::default();
+        let allocations = vec![iv(18, 19), iv(19, 20)];
+        let consumptions = vec![iv(18, 19), iv(18, 19)];
+        let scores = defection_scores(&pricing, 2.0, &allocations, &consumptions);
+        assert_eq!(scores[0], 0.0, "A cooperates: δ_A = 0");
+        assert!(scores[1] > 0.0, "B defects: δ_B > 0");
+    }
+
+    #[test]
+    fn defection_onto_peak_raises_cost_correctly() {
+        let pricing = QuadraticPricing::new(1.0).unwrap();
+        let allocations = vec![iv(10, 11), iv(11, 12)];
+        let consumptions = vec![iv(10, 11), iv(10, 11)];
+        let scores = defection_scores(&pricing, 1.0, &allocations, &consumptions);
+        // κ(s) = 1 + 1 = 2; deviated loads: hour 10 carries 2 ⇒ κ = 4.
+        // o = 0 ⇒ e^0 = 1 ⇒ δ = 2.
+        assert!((scores[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_discounts_harm() {
+        let pricing = QuadraticPricing::new(1.0).unwrap();
+        // Allocation (10, 14); consumption shifted by one hour (11, 15),
+        // colliding with a neighbor fixed at (14, 15).
+        let allocations = vec![iv(10, 14), iv(14, 15)];
+        let consumptions = vec![iv(11, 15), iv(14, 15)];
+        let scores = defection_scores(&pricing, 1.0, &allocations, &consumptions);
+        // Deviated profile: hours 11-13 carry 1, hour 14 carries 2, hour 10
+        // empty: κ' = 3 + 4 = 7; κ(s) = 4 + 1 = 5; harm = 2, o = 3/4.
+        let expected = 2.0 / (0.75f64).exp();
+        assert!((scores[0] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beneficial_deviation_is_floored_at_zero() {
+        let pricing = QuadraticPricing::new(1.0).unwrap();
+        // A deliberately bad "plan" stacks both households; household 1
+        // deviating to a quiet hour lowers the cost, which must not produce
+        // a negative score.
+        let allocations = vec![iv(18, 19), iv(18, 19)];
+        let consumptions = vec![iv(18, 19), iv(3, 4)];
+        let scores = defection_scores(&pricing, 1.0, &allocations, &consumptions);
+        assert_eq!(scores[1], 0.0);
+    }
+
+    #[test]
+    fn higher_overlap_means_smaller_score_for_same_harm() {
+        // Two deviations with identical marginal harm but different overlap:
+        // the one that mostly follows its allocation is punished less
+        // (the e^{o_i} discount). Allocation (8, 12) plus a fixed neighbor
+        // at hour 12; shifting to (9, 13) or jumping to (12, 16) both
+        // collide with the neighbor for exactly one hour (harm = 2), but the
+        // shift keeps overlap o = 3/4 while the jump has o = 0.
+        let pricing = QuadraticPricing::new(1.0).unwrap();
+        let mut planned = LoadProfile::from_windows([iv(8, 12)].iter(), 1.0);
+        planned.add_at(12, 1.0);
+        let k = pricing.cost(&planned);
+        let shifted = defection_score(&pricing, 1.0, &planned, k, iv(8, 12), iv(9, 13));
+        let jumped = defection_score(&pricing, 1.0, &planned, k, iv(8, 12), iv(12, 16));
+        assert!((jumped - 2.0).abs() < 1e-12);
+        assert!((shifted - 2.0 / 0.75f64.exp()).abs() < 1e-12);
+        assert!(shifted < jumped);
+    }
+
+    #[test]
+    fn overlap_ratio_bounds() {
+        assert_eq!(overlap_ratio(iv(10, 12), iv(10, 12)), 1.0);
+        assert_eq!(overlap_ratio(iv(10, 12), iv(14, 16)), 0.0);
+        let o = overlap_ratio(iv(10, 14), iv(12, 16));
+        assert!((o - 0.5).abs() < 1e-12);
+    }
+}

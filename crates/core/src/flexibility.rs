@@ -1,0 +1,187 @@
+//! Flexibility scores (Eq. 4).
+//!
+//! `f_i = ((β_i − α_i)/v_i) · (1/N_i)` where
+//! `N_i = (Σ_{h ∈ [α_i, β_i)} n_h) / (β_i − α_i)` is the average demand
+//! density over household `i`'s reported interval and `n_h` counts the
+//! households (including `i` itself) whose reported interval covers hour `h`.
+//!
+//! The demand-density form reproduces the paper's worked examples: in
+//! Example 2 (`χ_A = (18,19,1)`, `χ_B = χ_C = (18,20,1)`), `N_B = 2.5` and
+//! `f_B = 0.8`, with `f_A < f_B = f_C`; in Example 3 the off-peak household A
+//! scores *higher* than the wider-but-peak households B and C.
+//!
+//! Flexibility is used twice by the mechanism: as the *predicted* score that
+//! orders households in the greedy allocation (§IV-C, always computed from
+//! reports), and as the *realized* score in the payment (§IV-B3, zeroed for
+//! a household that defects).
+
+use crate::household::Preference;
+use crate::time::HOURS_PER_DAY;
+
+/// Per-hour demand density `n_h`: the number of preferences whose window
+/// covers each hour.
+///
+/// # Examples
+///
+/// ```
+/// # use enki_core::flexibility::coverage;
+/// # use enki_core::household::Preference;
+/// # fn main() -> Result<(), enki_core::Error> {
+/// let prefs = vec![
+///     Preference::new(18, 19, 1)?,
+///     Preference::new(18, 20, 1)?,
+///     Preference::new(18, 20, 1)?,
+/// ];
+/// let n = coverage(&prefs);
+/// assert_eq!(n[18], 3);
+/// assert_eq!(n[19], 2);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn coverage<'a, I>(preferences: I) -> [u32; HOURS_PER_DAY]
+where
+    I: IntoIterator<Item = &'a Preference>,
+{
+    let mut n = [0u32; HOURS_PER_DAY];
+    for pref in preferences {
+        for h in pref.window().slots() {
+            n[usize::from(h)] += 1;
+        }
+    }
+    n
+}
+
+/// The flexibility score `f_i` of one preference against a demand-density
+/// vector that already includes the preference itself.
+///
+/// Returns 0 when the preference's interval carries no demand at all (which
+/// can only happen if `coverage` was computed over a set excluding the
+/// preference — callers should include it, as [`flexibility_scores`] does).
+#[must_use]
+pub fn flexibility_score(preference: &Preference, coverage: &[u32; HOURS_PER_DAY]) -> f64 {
+    let width = f64::from(preference.window().len());
+    let demand: u32 = preference
+        .window()
+        .slots()
+        .map(|h| coverage[usize::from(h)])
+        .sum();
+    if demand == 0 {
+        return 0.0;
+    }
+    // f = (width / v) · 1/N with N = demand/width  ⇒  f = width² / (v·demand)
+    width * width / (f64::from(preference.duration()) * f64::from(demand))
+}
+
+/// Flexibility scores for a whole neighborhood of reported preferences, in
+/// input order. This is the *predicted* flexibility of §IV-C: it assumes
+/// every report is truthful and every household will follow its allocation.
+#[must_use]
+pub fn flexibility_scores(preferences: &[Preference]) -> Vec<f64> {
+    let n = coverage(preferences);
+    preferences
+        .iter()
+        .map(|p| flexibility_score(p, &n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pref(b: u8, e: u8, v: u8) -> Preference {
+        Preference::new(b, e, v).unwrap()
+    }
+
+    #[test]
+    fn example2_scores_match_paper() {
+        // Example 2: χ_A = (18,19,1), χ_B = χ_C = (18,20,1).
+        let prefs = vec![pref(18, 19, 1), pref(18, 20, 1), pref(18, 20, 1)];
+        let f = flexibility_scores(&prefs);
+        // Paper: N_B = (3+2)/2 = 2.5 and f_B = 0.8.
+        assert!((f[1] - 0.8).abs() < 1e-12);
+        assert!((f[2] - 0.8).abs() < 1e-12);
+        // f_A = (1/1)·(1/3).
+        assert!((f[0] - 1.0 / 3.0).abs() < 1e-12);
+        // Property 1 / Example 2 conclusion: f_A < f_B = f_C.
+        assert!(f[0] < f[1]);
+        assert_eq!(f[1], f[2]);
+    }
+
+    #[test]
+    fn example3_off_peak_household_is_more_flexible() {
+        // Example 3: χ_A = (16,18,2), χ_B = χ_C = (18,21,2).
+        let prefs = vec![pref(16, 18, 2), pref(18, 21, 2), pref(18, 21, 2)];
+        let f = flexibility_scores(&prefs);
+        // A's interval has density 1, B/C's has density 2.
+        assert!((f[0] - 1.0).abs() < 1e-12);
+        assert!((f[1] - 0.75).abs() < 1e-12);
+        // Example 3 conclusion: f_B = f_C < f_A.
+        assert!(f[1] < f[0]);
+        assert_eq!(f[1], f[2]);
+    }
+
+    #[test]
+    fn example1_identical_preferences_score_equally() {
+        let prefs = vec![pref(18, 20, 1); 3];
+        let f = flexibility_scores(&prefs);
+        assert!(f.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
+    }
+
+    #[test]
+    fn wider_truthful_interval_scores_higher_all_else_equal() {
+        // Property 1: widening one household's interval (into quiet hours)
+        // raises its score.
+        let narrow = vec![pref(18, 20, 2), pref(18, 20, 2)];
+        let wide = vec![pref(16, 22, 2), pref(18, 20, 2)];
+        let f_narrow = flexibility_scores(&narrow);
+        let f_wide = flexibility_scores(&wide);
+        assert!(f_wide[0] > f_narrow[0]);
+    }
+
+    #[test]
+    fn off_peak_interval_scores_higher_all_else_equal() {
+        // Property 2: same width, but household 0 prefers quiet hours.
+        let prefs = vec![
+            pref(2, 6, 2),   // off-peak: nobody else there
+            pref(18, 22, 2), // peak: shared with two others
+            pref(18, 22, 2),
+            pref(18, 22, 2),
+        ];
+        let f = flexibility_scores(&prefs);
+        assert!(f[0] > f[1]);
+    }
+
+    #[test]
+    fn singleton_household_score_is_width_over_duration() {
+        let prefs = vec![pref(10, 16, 2)];
+        let f = flexibility_scores(&prefs);
+        // n_h = 1 everywhere in its interval ⇒ N = 1 ⇒ f = width/v = 3.
+        assert!((f[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_sums_to_total_interval_hours() {
+        let prefs = vec![pref(0, 24, 4), pref(6, 12, 2), pref(20, 24, 1)];
+        let n = coverage(&prefs);
+        let total: u32 = n.iter().sum();
+        assert_eq!(total, 24 + 6 + 4);
+    }
+
+    #[test]
+    fn zero_coverage_yields_zero_score() {
+        let n = [0u32; HOURS_PER_DAY];
+        assert_eq!(flexibility_score(&pref(1, 5, 2), &n), 0.0);
+    }
+
+    #[test]
+    fn scores_are_positive_and_finite_for_any_population() {
+        let prefs: Vec<Preference> = (0..30)
+            .map(|i| pref((i % 20) as u8, ((i % 20) + 4) as u8, 1 + (i % 4) as u8))
+            .collect();
+        for f in flexibility_scores(&prefs) {
+            assert!(f.is_finite());
+            assert!(f > 0.0);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Hourly load profiles (`l_h` in the paper).
+//!
+//! A [`LoadProfile`] is the aggregated consumption of the neighborhood for
+//! each hour of the day, in kWh. It is the input to the pricing function
+//! `κ(ω) = Σ_h σ·l_h²` and to the peak-to-average-ratio metric reported in
+//! Figure 4.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{Interval, HOURS_PER_DAY};
+
+/// Aggregated hourly load over one day, in kWh per hour slot.
+///
+/// # Examples
+///
+/// ```
+/// # use enki_core::load::LoadProfile;
+/// # use enki_core::time::Interval;
+/// # fn main() -> Result<(), enki_core::Error> {
+/// let mut load = LoadProfile::new();
+/// load.add_window(Interval::new(18, 20)?, 2.0);
+/// load.add_window(Interval::new(19, 21)?, 2.0);
+/// assert_eq!(load.peak(), 4.0);
+/// assert_eq!(load.total(), 8.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadProfile {
+    hours: [f64; HOURS_PER_DAY],
+}
+
+impl LoadProfile {
+    /// An empty (all-zero) profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            hours: [0.0; HOURS_PER_DAY],
+        }
+    }
+
+    /// Builds a profile from per-hour loads.
+    #[must_use]
+    pub fn from_hours(hours: [f64; HOURS_PER_DAY]) -> Self {
+        Self { hours }
+    }
+
+    /// Builds the profile of a set of consumption windows, each drawing
+    /// `rate` kW while active.
+    #[must_use]
+    pub fn from_windows<'a, I>(windows: I, rate: f64) -> Self
+    where
+        I: IntoIterator<Item = &'a Interval>,
+    {
+        let mut profile = Self::new();
+        for w in windows {
+            profile.add_window(*w, rate);
+        }
+        profile
+    }
+
+    /// Load at hour `h` in kWh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h >= 24`.
+    #[must_use]
+    pub fn at(&self, h: u8) -> f64 {
+        self.hours[usize::from(h)]
+    }
+
+    /// Adds `rate` kWh to every hour covered by `window`.
+    pub fn add_window(&mut self, window: Interval, rate: f64) {
+        for h in window.slots() {
+            self.hours[usize::from(h)] += rate;
+        }
+    }
+
+    /// Removes `rate` kWh from every hour covered by `window`.
+    pub fn remove_window(&mut self, window: Interval, rate: f64) {
+        for h in window.slots() {
+            self.hours[usize::from(h)] -= rate;
+        }
+    }
+
+    /// Adds `amount` kWh at a single hour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h >= 24`.
+    pub fn add_at(&mut self, h: u8, amount: f64) {
+        self.hours[usize::from(h)] += amount;
+    }
+
+    /// Maximum hourly load (the peak).
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.hours.iter().copied().fold(0.0_f64, f64::max)
+    }
+
+    /// Total daily energy (`Σ_h l_h`).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.hours.iter().sum()
+    }
+
+    /// Mean hourly load over the 24 slots.
+    #[must_use]
+    pub fn average(&self) -> f64 {
+        self.total() / HOURS_PER_DAY as f64
+    }
+
+    /// Mean hourly load over the hours that carry any load at all.
+    ///
+    /// The paper's peak-to-average ratio divides by the average over *active*
+    /// hours; otherwise small neighborhoods with short nightly quiet periods
+    /// would inflate the PAR mechanically.
+    #[must_use]
+    pub fn active_average(&self) -> f64 {
+        let active: Vec<f64> = self
+            .hours
+            .iter()
+            .copied()
+            .filter(|&l| l > 0.0)
+            .collect();
+        if active.is_empty() {
+            0.0
+        } else {
+            active.iter().sum::<f64>() / active.len() as f64
+        }
+    }
+
+    /// Peak-to-average ratio over active hours. Zero for an empty profile.
+    #[must_use]
+    pub fn peak_to_average(&self) -> f64 {
+        let avg = self.active_average();
+        if avg == 0.0 {
+            0.0
+        } else {
+            self.peak() / avg
+        }
+    }
+
+    /// Sum of squared hourly loads (`Σ_h l_h²`), the σ-free part of the
+    /// quadratic cost. Useful as an allocation tie-break objective.
+    #[must_use]
+    pub fn sum_of_squares(&self) -> f64 {
+        self.hours.iter().map(|l| l * l).sum()
+    }
+
+    /// Iterator over `(hour, load)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u8, f64)> + '_ {
+        self.hours
+            .iter()
+            .enumerate()
+            .map(|(h, &l)| (h as u8, l))
+    }
+
+    /// The raw per-hour loads.
+    #[must_use]
+    pub fn hours(&self) -> &[f64; HOURS_PER_DAY] {
+        &self.hours
+    }
+
+    /// The hour with the maximum load (first one on ties), or `None` when
+    /// the profile is all-zero.
+    #[must_use]
+    pub fn peak_hour(&self) -> Option<u8> {
+        let peak = self.peak();
+        if peak == 0.0 {
+            return None;
+        }
+        self.hours
+            .iter()
+            .position(|&l| l == peak)
+            .map(|h| h as u8)
+    }
+}
+
+impl Default for LoadProfile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Add for LoadProfile {
+    type Output = LoadProfile;
+
+    fn add(mut self, rhs: LoadProfile) -> LoadProfile {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for LoadProfile {
+    fn add_assign(&mut self, rhs: LoadProfile) {
+        for (l, r) in self.hours.iter_mut().zip(rhs.hours.iter()) {
+            *l += r;
+        }
+    }
+}
+
+impl fmt::Display for LoadProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (h, l) in self.iter() {
+            if h > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l:.1}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<'a> FromIterator<&'a Interval> for LoadProfile {
+    /// Collects unit-rate (1 kWh) windows into a profile.
+    fn from_iter<I: IntoIterator<Item = &'a Interval>>(iter: I) -> Self {
+        Self::from_windows(iter, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Interval;
+
+    fn iv(b: u8, e: u8) -> Interval {
+        Interval::new(b, e).unwrap()
+    }
+
+    #[test]
+    fn empty_profile_is_zero_everywhere() {
+        let p = LoadProfile::new();
+        assert_eq!(p.total(), 0.0);
+        assert_eq!(p.peak(), 0.0);
+        assert_eq!(p.peak_to_average(), 0.0);
+        assert_eq!(p.peak_hour(), None);
+    }
+
+    #[test]
+    fn add_window_accumulates() {
+        let mut p = LoadProfile::new();
+        p.add_window(iv(18, 20), 2.0);
+        p.add_window(iv(19, 21), 2.0);
+        assert_eq!(p.at(18), 2.0);
+        assert_eq!(p.at(19), 4.0);
+        assert_eq!(p.at(20), 2.0);
+        assert_eq!(p.at(21), 0.0);
+        assert_eq!(p.peak_hour(), Some(19));
+    }
+
+    #[test]
+    fn remove_window_undoes_add() {
+        let mut p = LoadProfile::new();
+        p.add_window(iv(5, 9), 2.0);
+        p.remove_window(iv(5, 9), 2.0);
+        assert_eq!(p, LoadProfile::new());
+    }
+
+    #[test]
+    fn from_windows_matches_manual_accumulation() {
+        let windows = vec![iv(18, 20), iv(18, 20), iv(20, 22)];
+        let p = LoadProfile::from_windows(&windows, 2.0);
+        assert_eq!(p.at(18), 4.0);
+        assert_eq!(p.at(20), 2.0);
+        assert_eq!(p.total(), 12.0);
+    }
+
+    #[test]
+    fn par_uses_active_hours() {
+        let mut p = LoadProfile::new();
+        // 2 kWh for 4 hours, flat: PAR should be exactly 1.
+        p.add_window(iv(10, 14), 2.0);
+        assert!((p.peak_to_average() - 1.0).abs() < 1e-12);
+        // Stack a second household on one hour: peak 4, active avg 10/4.
+        p.add_window(iv(10, 11), 2.0);
+        assert!((p.peak_to_average() - 4.0 / 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_divides_by_full_day() {
+        let mut p = LoadProfile::new();
+        p.add_window(iv(0, 24), 1.0);
+        assert!((p.average() - 1.0).abs() < 1e-12);
+        assert!((p.active_average() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_squares_is_quadratic() {
+        let mut p = LoadProfile::new();
+        p.add_window(iv(3, 5), 3.0);
+        assert_eq!(p.sum_of_squares(), 18.0);
+    }
+
+    #[test]
+    fn add_assign_sums_hourly() {
+        let mut a = LoadProfile::new();
+        a.add_window(iv(1, 3), 1.0);
+        let mut b = LoadProfile::new();
+        b.add_window(iv(2, 4), 2.0);
+        let c = a + b;
+        assert_eq!(c.at(1), 1.0);
+        assert_eq!(c.at(2), 3.0);
+        assert_eq!(c.at(3), 2.0);
+    }
+
+    #[test]
+    fn collect_unit_windows() {
+        let windows = [iv(4, 6), iv(5, 7)];
+        let p: LoadProfile = windows.iter().collect();
+        assert_eq!(p.at(5), 2.0);
+        assert_eq!(p.total(), 4.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let p = LoadProfile::new();
+        let s = p.to_string();
+        assert!(s.starts_with('['));
+        assert!(s.ends_with(']'));
+        assert_eq!(s.matches("0.0").count(), 24);
+    }
+}

@@ -1,0 +1,123 @@
+//! Payment mechanisms (Eq. 7 and the §V-D proportional baseline).
+//!
+//! Under Enki each household pays its social-cost share of the (scaled)
+//! neighborhood bill: `p_i = Ψ_i/ΣΨ · ξ·κ(ω)` with `ξ ≥ 1`, which makes the
+//! center's net transfer `(ξ−1)·κ(ω) ≥ 0` (Theorem 1, ex ante budget
+//! balance). Without Enki, households are price takers billed in proportion
+//! to their energy use: `p^z_i = b_i/Σb · ξ·κ(ω^z)`.
+
+use crate::social_cost::SocialCost;
+
+/// Enki payments `p_i = Ψ_i/ΣΨ · ξ·κ(ω)` (Eq. 7), in input order.
+///
+/// If every `Ψ_i` is zero (impossible for well-formed scores, which are
+/// bounded below by `k/3`, but tolerated for robustness) the bill is split
+/// evenly.
+///
+/// # Examples
+///
+/// ```
+/// # use enki_core::social_cost::social_cost_scores;
+/// # use enki_core::payment::payments;
+/// let psi = social_cost_scores(&[1.0, 1.0], &[0.0, 0.0], 1.0);
+/// let p = payments(&psi, 1.2, 100.0);
+/// // Equal scores split the scaled bill evenly; revenue is ξ·κ = 120.
+/// assert_eq!(p, vec![60.0, 60.0]);
+/// ```
+#[must_use]
+pub fn payments(scores: &[SocialCost], xi: f64, total_cost: f64) -> Vec<f64> {
+    let revenue = xi * total_cost;
+    share_of(scores.iter().map(|s| s.psi), scores.len(), revenue)
+}
+
+/// Proportional-allocation payments `p^z_i = b_i/Σb · ξ·κ(ω^z)` used by the
+/// no-mechanism baseline of §V-D, where `b_i` is household `i`'s energy use.
+#[must_use]
+pub fn proportional_payments(consumed_energy: &[f64], xi: f64, total_cost: f64) -> Vec<f64> {
+    let revenue = xi * total_cost;
+    share_of(
+        consumed_energy.iter().copied(),
+        consumed_energy.len(),
+        revenue,
+    )
+}
+
+/// Splits `revenue` proportionally to `weights`, falling back to an even
+/// split when the weights sum to zero.
+fn share_of<I>(weights: I, len: usize, revenue: f64) -> Vec<f64>
+where
+    I: Iterator<Item = f64> + Clone,
+{
+    let total: f64 = weights.clone().sum();
+    if total <= 0.0 {
+        if len == 0 {
+            return Vec::new();
+        }
+        return vec![revenue / len as f64; len];
+    }
+    weights.map(|w| w / total * revenue).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::social_cost::social_cost_scores;
+
+    #[test]
+    fn payments_sum_to_scaled_cost() {
+        let psi = social_cost_scores(&[1.0, 2.0, 0.5], &[0.0, 1.0, 0.0], 1.0);
+        let kappa = 87.3;
+        let xi = 1.2;
+        let p = payments(&psi, xi, kappa);
+        let revenue: f64 = p.iter().sum();
+        assert!((revenue - xi * kappa).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_balance_theorem1() {
+        // U_c = Σp − κ = (ξ−1)·κ ≥ 0 for ξ ≥ 1.
+        let psi = social_cost_scores(&[0.5, 1.5, 1.0], &[0.2, 0.0, 0.9], 1.0);
+        let kappa = 250.0;
+        for xi in [1.0, 1.2, 2.0] {
+            let p = payments(&psi, xi, kappa);
+            let center_utility: f64 = p.iter().sum::<f64>() - kappa;
+            assert!(center_utility >= -1e-9);
+            assert!((center_utility - (xi - 1.0) * kappa).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_psi_pays_more() {
+        let psi = social_cost_scores(&[1.0, 1.0], &[0.0, 1.0], 1.0);
+        let p = payments(&psi, 1.2, 100.0);
+        assert!(p[1] > p[0]);
+    }
+
+    #[test]
+    fn proportional_payments_follow_energy() {
+        let p = proportional_payments(&[2.0, 6.0], 1.0, 80.0);
+        assert_eq!(p, vec![20.0, 60.0]);
+    }
+
+    #[test]
+    fn proportional_payments_zero_energy_split_evenly() {
+        let p = proportional_payments(&[0.0, 0.0], 1.5, 40.0);
+        assert_eq!(p, vec![30.0, 30.0]);
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_payments() {
+        assert!(payments(&[], 1.2, 10.0).is_empty());
+        assert!(proportional_payments(&[], 1.2, 10.0).is_empty());
+    }
+
+    #[test]
+    fn payments_scale_linearly_with_xi() {
+        let psi = social_cost_scores(&[1.0, 3.0], &[0.0, 0.5], 1.0);
+        let p1 = payments(&psi, 1.0, 50.0);
+        let p2 = payments(&psi, 2.0, 50.0);
+        for (a, b) in p1.iter().zip(p2.iter()) {
+            assert!((b - 2.0 * a).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Pricing models for the neighborhood's wholesale cost `κ(ω)`.
+//!
+//! The paper adopts a superlinear (quadratic) hourly price
+//! `P_h(l_h) = σ·l_h²` (Eq. 1) and notes that any strictly convex increasing
+//! price would serve, citing the two-step piecewise function of
+//! Mohsenian-Rad et al. as an alternative. We expose a [`Pricing`] trait with
+//! the paper's [`QuadraticPricing`] as the canonical implementation and
+//! [`TwoStepPricing`] as the cited alternative, used in ablation benches.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::load::LoadProfile;
+
+/// An hourly convex pricing rule. The neighborhood's daily cost is the sum
+/// of hourly costs over a [`LoadProfile`].
+pub trait Pricing {
+    /// Cost of carrying `load` kWh in a single hour (`P_h(l_h)`).
+    fn hourly_cost(&self, load: f64) -> f64;
+
+    /// Daily cost of a load profile (`κ = Σ_h P_h(l_h)`).
+    fn cost(&self, profile: &LoadProfile) -> f64 {
+        profile.iter().map(|(_, l)| self.hourly_cost(l)).sum()
+    }
+}
+
+/// The paper's quadratic pricing `P_h(l_h) = σ·l_h²` with `σ > 0`.
+///
+/// # Examples
+///
+/// ```
+/// # use enki_core::pricing::{Pricing, QuadraticPricing};
+/// # fn main() -> Result<(), enki_core::Error> {
+/// let pricing = QuadraticPricing::new(0.3)?;
+/// assert_eq!(pricing.hourly_cost(4.0), 4.8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuadraticPricing {
+    sigma: f64,
+}
+
+impl QuadraticPricing {
+    /// Creates a quadratic pricing rule with scaling factor `σ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] unless `σ` is positive and finite.
+    pub fn new(sigma: f64) -> Result<Self> {
+        if !sigma.is_finite() || sigma <= 0.0 {
+            return Err(Error::InvalidConfig {
+                parameter: "sigma",
+                constraint: "a positive finite number",
+            });
+        }
+        Ok(Self { sigma })
+    }
+
+    /// The scaling factor `σ`.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Default for QuadraticPricing {
+    /// The paper's simulation value `σ = 0.3` (§VI).
+    fn default() -> Self {
+        Self { sigma: 0.3 }
+    }
+}
+
+impl Pricing for QuadraticPricing {
+    fn hourly_cost(&self, load: f64) -> f64 {
+        self.sigma * load * load
+    }
+}
+
+/// A two-step piecewise-linear convex price: `a·l` up to a threshold load,
+/// then a steeper `b` rate for the excess (`b > a`), as suggested by
+/// Mohsenian-Rad et al. and mentioned in §III of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoStepPricing {
+    base_rate: f64,
+    peak_rate: f64,
+    threshold: f64,
+}
+
+impl TwoStepPricing {
+    /// Creates a two-step price: `base_rate` per kWh below `threshold`,
+    /// `peak_rate` per kWh above.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] unless
+    /// `0 < base_rate < peak_rate` and `threshold ≥ 0`, all finite.
+    pub fn new(base_rate: f64, peak_rate: f64, threshold: f64) -> Result<Self> {
+        if !base_rate.is_finite() || base_rate <= 0.0 {
+            return Err(Error::InvalidConfig {
+                parameter: "base_rate",
+                constraint: "a positive finite number",
+            });
+        }
+        if !peak_rate.is_finite() || peak_rate <= base_rate {
+            return Err(Error::InvalidConfig {
+                parameter: "peak_rate",
+                constraint: "finite and strictly greater than base_rate",
+            });
+        }
+        if !threshold.is_finite() || threshold < 0.0 {
+            return Err(Error::InvalidConfig {
+                parameter: "threshold",
+                constraint: "a non-negative finite number",
+            });
+        }
+        Ok(Self {
+            base_rate,
+            peak_rate,
+            threshold,
+        })
+    }
+
+    /// Base (off-peak) rate per kWh.
+    #[must_use]
+    pub fn base_rate(&self) -> f64 {
+        self.base_rate
+    }
+
+    /// Peak rate per kWh charged above the threshold.
+    #[must_use]
+    pub fn peak_rate(&self) -> f64 {
+        self.peak_rate
+    }
+
+    /// Hourly load threshold where the peak rate starts.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl Pricing for TwoStepPricing {
+    fn hourly_cost(&self, load: f64) -> f64 {
+        if load <= self.threshold {
+            self.base_rate * load
+        } else {
+            self.base_rate * self.threshold + self.peak_rate * (load - self.threshold)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Interval;
+
+    #[test]
+    fn quadratic_rejects_bad_sigma() {
+        assert!(QuadraticPricing::new(0.0).is_err());
+        assert!(QuadraticPricing::new(-1.0).is_err());
+        assert!(QuadraticPricing::new(f64::INFINITY).is_err());
+        assert!(QuadraticPricing::new(0.3).is_ok());
+    }
+
+    #[test]
+    fn quadratic_default_is_paper_sigma() {
+        assert_eq!(QuadraticPricing::default().sigma(), 0.3);
+    }
+
+    #[test]
+    fn quadratic_cost_sums_hours() {
+        let pricing = QuadraticPricing::new(0.5).unwrap();
+        let mut profile = LoadProfile::new();
+        profile.add_window(Interval::new(10, 12).unwrap(), 2.0);
+        profile.add_window(Interval::new(11, 13).unwrap(), 2.0);
+        // loads: 2, 4, 2 -> 0.5 * (4 + 16 + 4) = 12
+        assert!((pricing.cost(&profile) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_rewards_leveling() {
+        // Superlinearity: a flat profile with the same energy is cheaper.
+        let pricing = QuadraticPricing::default();
+        let mut peaked = LoadProfile::new();
+        peaked.add_at(18, 8.0);
+        let mut flat = LoadProfile::new();
+        for h in 16..20 {
+            flat.add_at(h, 2.0);
+        }
+        assert_eq!(peaked.total(), flat.total());
+        assert!(pricing.cost(&flat) < pricing.cost(&peaked));
+    }
+
+    #[test]
+    fn two_step_validates_parameters() {
+        assert!(TwoStepPricing::new(1.0, 0.5, 4.0).is_err());
+        assert!(TwoStepPricing::new(0.0, 2.0, 4.0).is_err());
+        assert!(TwoStepPricing::new(1.0, 2.0, -1.0).is_err());
+        assert!(TwoStepPricing::new(1.0, 2.0, 4.0).is_ok());
+    }
+
+    #[test]
+    fn two_step_kinks_at_threshold() {
+        let p = TwoStepPricing::new(1.0, 3.0, 4.0).unwrap();
+        assert_eq!(p.hourly_cost(2.0), 2.0);
+        assert_eq!(p.hourly_cost(4.0), 4.0);
+        assert_eq!(p.hourly_cost(6.0), 4.0 + 3.0 * 2.0);
+    }
+
+    #[test]
+    fn two_step_is_convex_on_samples() {
+        let p = TwoStepPricing::new(0.8, 2.5, 5.0).unwrap();
+        // midpoint convexity on a grid straddling the kink
+        for i in 0..20 {
+            for j in 0..20 {
+                let (x, y) = (f64::from(i) * 0.7, f64::from(j) * 0.7);
+                let mid = p.hourly_cost((x + y) / 2.0);
+                let avg = (p.hourly_cost(x) + p.hourly_cost(y)) / 2.0;
+                assert!(mid <= avg + 1e-12);
+            }
+        }
+    }
+}

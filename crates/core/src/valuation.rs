@@ -1,0 +1,137 @@
+//! Household valuation function (Eq. 3).
+//!
+//! `V(τ, v, ρ) = −ρ/(2v)·τ² + ρ·τ` for `τ ∈ [0, v]`: a household's
+//! willingness to pay for an allocation that satisfies `τ` of its `v`
+//! preferred hours. The function is increasing and concave in `τ` and peaks
+//! at `ρ·v/2` when the allocation fully satisfies the true preference.
+
+use crate::household::{HouseholdType, Preference};
+use crate::time::Interval;
+
+/// The valuation `V(τ, v, ρ)` of Eq. 3.
+///
+/// `tau` is clamped into `[0, v]`, matching the paper's domain: extra slots
+/// beyond the preferred duration add no value.
+///
+/// # Examples
+///
+/// ```
+/// # use enki_core::valuation::valuation;
+/// // Fully satisfied 2-hour preference with ρ = 5 is worth ρ·v/2 = 5.
+/// assert_eq!(valuation(2, 2, 5.0), 5.0);
+/// // Half satisfied is worth more than half the maximum (concavity).
+/// assert!(valuation(1, 2, 5.0) > 2.5);
+/// ```
+#[must_use]
+pub fn valuation(tau: u8, duration: u8, rho: f64) -> f64 {
+    debug_assert!(duration > 0, "duration must be positive");
+    let v = f64::from(duration);
+    let t = f64::from(tau.min(duration));
+    -rho / (2.0 * v) * t * t + rho * t
+}
+
+/// Maximum attainable valuation `ρ·v/2`, reached at `τ = v`.
+#[must_use]
+pub fn max_valuation(duration: u8, rho: f64) -> f64 {
+    rho * f64::from(duration) / 2.0
+}
+
+/// The valuation a household of type `θ` derives from window `window`:
+/// `V(|window ∩ [α, β)|, v, ρ)`.
+///
+/// `window` is typically the suggested allocation `s_i`; `τ` counts the
+/// slots in which the allocation satisfies the *true* preference.
+#[must_use]
+pub fn valuation_of_window(ty: &HouseholdType, window: Interval) -> f64 {
+    let tau = satisfied_slots(&ty.preference, window);
+    valuation(tau, ty.preference.duration(), ty.valuation_factor)
+}
+
+/// `τ`: the number of slots of `window` lying inside the preference's
+/// interval, capped at the preferred duration `v`.
+#[must_use]
+pub fn satisfied_slots(preference: &Preference, window: Interval) -> u8 {
+    preference
+        .window()
+        .overlap(&window)
+        .min(preference.duration())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::household::{HouseholdType, Preference};
+
+    #[test]
+    fn valuation_zero_at_zero_overlap() {
+        assert_eq!(valuation(0, 3, 7.0), 0.0);
+    }
+
+    #[test]
+    fn valuation_peaks_at_full_duration() {
+        for v in 1..=4u8 {
+            for rho10 in 1..=10u32 {
+                let rho = f64::from(rho10);
+                assert!((valuation(v, v, rho) - max_valuation(v, rho)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn valuation_clamps_tau_above_duration() {
+        assert_eq!(valuation(10, 2, 5.0), valuation(2, 2, 5.0));
+    }
+
+    #[test]
+    fn valuation_increasing_in_tau() {
+        for tau in 0..4u8 {
+            assert!(valuation(tau + 1, 4, 3.0) > valuation(tau, 4, 3.0));
+        }
+    }
+
+    #[test]
+    fn marginal_benefit_nonincreasing() {
+        // Paper criterion: the marginal benefit of τ is nonincreasing.
+        let v = 4u8;
+        let rho = 6.0;
+        let mut last_gain = f64::INFINITY;
+        for tau in 0..v {
+            let gain = valuation(tau + 1, v, rho) - valuation(tau, v, rho);
+            assert!(gain <= last_gain + 1e-12);
+            last_gain = gain;
+        }
+    }
+
+    #[test]
+    fn valuation_increasing_in_rho_and_v() {
+        assert!(valuation(2, 2, 6.0) > valuation(2, 2, 5.0));
+        // Larger v with full satisfaction is worth more.
+        assert!(valuation(3, 3, 5.0) > valuation(2, 2, 5.0));
+    }
+
+    #[test]
+    fn window_valuation_uses_true_interval() {
+        let truth = Preference::new(18, 20, 2).unwrap();
+        let ty = HouseholdType::new(truth, 5.0).unwrap();
+        // Allocation fully inside the true interval.
+        let s_good = Interval::new(18, 20).unwrap();
+        assert_eq!(valuation_of_window(&ty, s_good), 5.0);
+        // Allocation entirely outside (the §V-B misreport scenario).
+        let s_bad = Interval::new(14, 16).unwrap();
+        assert_eq!(valuation_of_window(&ty, s_bad), 0.0);
+        // Partial overlap.
+        let s_half = Interval::new(19, 21).unwrap();
+        assert_eq!(satisfied_slots(&truth, s_half), 1);
+        assert!(valuation_of_window(&ty, s_half) > 0.0);
+        assert!(valuation_of_window(&ty, s_half) < 5.0);
+    }
+
+    #[test]
+    fn satisfied_slots_caps_at_duration() {
+        // Preference wants 2 hours inside [16, 24); an (impossibly) long
+        // window overlapping 6 slots still satisfies only v = 2.
+        let p = Preference::new(16, 24, 2).unwrap();
+        let w = Interval::new(17, 23).unwrap();
+        assert_eq!(satisfied_slots(&p, w), 2);
+    }
+}

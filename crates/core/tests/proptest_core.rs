@@ -1,0 +1,154 @@
+//! Property-based tests of the core model's invariants.
+
+use enki_core::defection::overlap_ratio;
+use enki_core::flexibility::{coverage, flexibility_score, flexibility_scores};
+use enki_core::household::Preference;
+use enki_core::load::LoadProfile;
+use enki_core::social_cost::normalize;
+use enki_core::time::Interval;
+use enki_core::valuation::{max_valuation, valuation};
+use proptest::prelude::*;
+
+fn interval() -> impl Strategy<Value = Interval> {
+    (0u8..24, 1u8..=24).prop_map(|(begin, len)| {
+        let begin = begin.min(24 - len.min(24));
+        let len = len.min(24 - begin);
+        Interval::new(begin, begin + len.max(1)).unwrap()
+    })
+}
+
+fn preference() -> impl Strategy<Value = Preference> {
+    interval().prop_flat_map(|iv| {
+        (1u8..=iv.len()).prop_map(move |v| Preference::with_window(iv, v).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn overlap_is_symmetric_and_bounded(a in interval(), b in interval()) {
+        prop_assert_eq!(a.overlap(&b), b.overlap(&a));
+        prop_assert!(a.overlap(&b) <= a.len().min(b.len()));
+        prop_assert_eq!(a.overlap(&a), a.len());
+    }
+
+    #[test]
+    fn containment_implies_full_overlap(outer in interval(), inner in interval()) {
+        if outer.contains(&inner) {
+            prop_assert_eq!(outer.overlap(&inner), inner.len());
+        }
+    }
+
+    #[test]
+    fn valuation_is_monotone_and_concave(
+        v in 1u8..=8,
+        rho in 0.1f64..20.0,
+    ) {
+        let mut last = valuation(0, v, rho);
+        let mut last_gain = f64::INFINITY;
+        prop_assert_eq!(last, 0.0);
+        for tau in 1..=v {
+            let now = valuation(tau, v, rho);
+            let gain = now - last;
+            prop_assert!(now >= last, "valuation must increase in tau");
+            prop_assert!(gain <= last_gain + 1e-12, "marginal benefit must not increase");
+            last = now;
+            last_gain = gain;
+        }
+        prop_assert!((last - max_valuation(v, rho)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flexibility_scores_are_positive_and_finite(
+        prefs in proptest::collection::vec(preference(), 1..30),
+    ) {
+        for f in flexibility_scores(&prefs) {
+            prop_assert!(f.is_finite());
+            prop_assert!(f > 0.0);
+        }
+    }
+
+    #[test]
+    fn widening_an_interval_never_lowers_its_own_flexibility(
+        prefs in proptest::collection::vec(preference(), 1..15),
+    ) {
+        // Property 1: extending household 0's window by one quiet hour (if
+        // possible) cannot lower its score relative to the same coverage.
+        let p0 = prefs[0];
+        if p0.end() < 24 {
+            let widened = Preference::new(p0.begin(), p0.end() + 1, p0.duration()).unwrap();
+            let mut widened_prefs = prefs.clone();
+            widened_prefs[0] = widened;
+            let f_orig = flexibility_scores(&prefs)[0];
+            let n = coverage(&widened_prefs);
+            let f_wide = flexibility_score(&widened, &n);
+            // Width grows by 1; demand grows by at most the new hour's
+            // density. The score ratio is (w+1)²·d / (w²·d') with
+            // d' ≤ d + n_new; verify the concrete outcome instead of the
+            // algebra: widening into an *empty* hour strictly helps.
+            let new_hour_density = coverage(&prefs)[usize::from(p0.end())];
+            if new_hour_density == 0 {
+                prop_assert!(f_wide > f_orig - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_bounds_hold_for_arbitrary_scores(
+        xs in proptest::collection::vec(0.0f64..1e6, 0..40),
+    ) {
+        let normalized = normalize(&xs);
+        prop_assert_eq!(normalized.len(), xs.len());
+        for v in normalized {
+            prop_assert!((0.5..=1.5 + 1e-12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normalize_preserves_order(
+        xs in proptest::collection::vec(0.0f64..1e3, 2..20),
+    ) {
+        let normalized = normalize(&xs);
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                if xs[i] < xs[j] {
+                    prop_assert!(normalized[i] <= normalized[j] + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closest_window_is_legal_and_overlap_maximal(
+        truth in preference(),
+        target in interval(),
+    ) {
+        // Use a duration-sized target like real allocations.
+        let target = Interval::with_duration(
+            target.begin().min(24 - truth.duration()),
+            truth.duration(),
+        ).unwrap();
+        let w = truth.closest_window(target);
+        prop_assert!(truth.validate_window(w).is_ok());
+        // No legal window overlaps the target more.
+        for candidate in truth.feasible_windows() {
+            prop_assert!(candidate.overlap(&target) <= w.overlap(&target));
+        }
+    }
+
+    #[test]
+    fn overlap_ratio_is_a_fraction(a in interval(), b in interval()) {
+        let o = overlap_ratio(a, b);
+        prop_assert!((0.0..=1.0).contains(&o));
+    }
+
+    #[test]
+    fn load_profile_total_is_window_sum(
+        windows in proptest::collection::vec(interval(), 0..20),
+        rate in 0.1f64..10.0,
+    ) {
+        let load = LoadProfile::from_windows(&windows, rate);
+        let expected: f64 = windows.iter().map(|w| f64::from(w.len()) * rate).sum();
+        prop_assert!((load.total() - expected).abs() < 1e-9);
+        prop_assert!(load.peak() <= expected + 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Household behavior models: what to report and how to consume.
+//!
+//! The simulation needs two decisions per household per day. The *report
+//! strategy* picks the preference submitted to the center (truthful wide,
+//! truthful narrow, or a fixed misreport); the *consumption rule* follows
+//! the paper's user-study automation: consume within the true interval, as
+//! close to the allocation as possible — so a household defects exactly
+//! when its allocation is incompatible with its true preference.
+
+use enki_core::household::Preference;
+use enki_core::time::Interval;
+use serde::{Deserialize, Serialize};
+
+use crate::profile::UsageProfile;
+
+/// What a simulated household reports to the center.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ReportStrategy {
+    /// Truthfully report the wide interval (the §VI-A social-welfare
+    /// experiment: flexible and honest).
+    #[default]
+    TruthfulWide,
+    /// Truthfully report the narrow interval (the §VI-B incentive
+    /// experiment: honest but inflexible).
+    TruthfulNarrow,
+    /// Report a fixed preference regardless of the profile (used to sweep
+    /// misreports in the Figure 7 experiment).
+    Fixed(Preference),
+}
+
+impl ReportStrategy {
+    /// The preference this strategy reports for `profile`.
+    #[must_use]
+    pub fn report(&self, profile: &UsageProfile) -> Preference {
+        match self {
+            ReportStrategy::TruthfulWide => profile.wide(),
+            ReportStrategy::TruthfulNarrow => profile.narrow(),
+            ReportStrategy::Fixed(p) => *p,
+        }
+    }
+
+    /// Whether this strategy reports the household's true preference,
+    /// given which interval is the truth.
+    #[must_use]
+    pub fn is_truthful(&self, truth: &Preference, profile: &UsageProfile) -> bool {
+        self.report(profile) == *truth
+    }
+}
+
+/// The consumption rule of the paper's §VII-B automation: stay inside the
+/// true interval, as close to the allocation as possible. Returns the
+/// realized window; it equals `allocation` exactly when the allocation
+/// satisfies the true preference.
+#[must_use]
+pub fn consume(truth: &Preference, allocation: Interval) -> Interval {
+    truth.closest_window(allocation)
+}
+
+/// Whether following `allocation` under `truth` constitutes a defection.
+#[must_use]
+pub fn defects(truth: &Preference, allocation: Interval) -> bool {
+    consume(truth, allocation) != allocation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> UsageProfile {
+        UsageProfile::new(
+            Preference::new(18, 20, 2).unwrap(),
+            Preference::new(16, 24, 2).unwrap(),
+            5.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn strategies_report_expected_windows() {
+        let p = profile();
+        assert_eq!(ReportStrategy::TruthfulWide.report(&p), p.wide());
+        assert_eq!(ReportStrategy::TruthfulNarrow.report(&p), p.narrow());
+        let fixed = Preference::new(14, 20, 2).unwrap();
+        assert_eq!(ReportStrategy::Fixed(fixed).report(&p), fixed);
+    }
+
+    #[test]
+    fn truthfulness_is_relative_to_the_truth() {
+        let p = profile();
+        assert!(ReportStrategy::TruthfulNarrow.is_truthful(&p.narrow(), &p));
+        assert!(!ReportStrategy::TruthfulNarrow.is_truthful(&p.wide(), &p));
+        assert!(ReportStrategy::TruthfulWide.is_truthful(&p.wide(), &p));
+    }
+
+    #[test]
+    fn compatible_allocation_is_followed() {
+        let truth = Preference::new(16, 24, 2).unwrap();
+        let s = Interval::new(20, 22).unwrap();
+        assert_eq!(consume(&truth, s), s);
+        assert!(!defects(&truth, s));
+    }
+
+    #[test]
+    fn incompatible_allocation_triggers_defection_within_truth() {
+        // §V-B scenario: truth (18, 20, 2), allocation (14, 16).
+        let truth = Preference::new(18, 20, 2).unwrap();
+        let s = Interval::new(14, 16).unwrap();
+        let w = consume(&truth, s);
+        assert_eq!(w, Interval::new(18, 20).unwrap());
+        assert!(defects(&truth, s));
+    }
+
+    #[test]
+    fn partial_overlap_defects_to_nearest_window() {
+        let truth = Preference::new(18, 22, 2).unwrap();
+        let s = Interval::new(17, 19).unwrap();
+        let w = consume(&truth, s);
+        // (18, 20) shares hour 18 with the allocation — the closest legal
+        // placement.
+        assert_eq!(w, Interval::new(18, 20).unwrap());
+    }
+
+    #[test]
+    fn default_strategy_is_truthful_wide() {
+        assert_eq!(ReportStrategy::default(), ReportStrategy::TruthfulWide);
+    }
+}

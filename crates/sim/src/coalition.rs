@@ -1,0 +1,325 @@
+//! Household coalitions (the §VIII future-work extension).
+//!
+//! The paper closes by proposing "direct cooperation among households
+//! forming small coalitions to reduce their joint peak demand further".
+//! This module implements that idea as *pre-coordination*: coalition
+//! members jointly schedule their jobs against an expected background load
+//! (flattening their combined profile by coordinate descent), then submit
+//! the chosen placements as exact zero-slack reports — "we will consume
+//! exactly here". The center packs everyone else around them.
+//!
+//! The interesting trade-off, measurable with [`compare_coalition`]: the
+//! coalition's joint peak and the neighborhood cost drop, but zero-slack
+//! reports carry *lower* flexibility scores (Eq. 4), so members may pay a
+//! larger share individually — exactly the tension the paper's mechanism
+//! is designed around.
+
+use enki_core::household::{HouseholdId, Preference, Report};
+use enki_core::load::LoadProfile;
+use enki_core::mechanism::Enki;
+use enki_core::pricing::Pricing;
+use enki_core::time::Interval;
+use enki_core::{Error, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A coalition: members with their true preferences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Coalition {
+    members: Vec<(HouseholdId, Preference)>,
+}
+
+impl Coalition {
+    /// Creates a coalition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyNeighborhood`] for an empty member list and
+    /// [`Error::DuplicateHousehold`] for duplicate members.
+    pub fn new(members: Vec<(HouseholdId, Preference)>) -> Result<Self> {
+        if members.is_empty() {
+            return Err(Error::EmptyNeighborhood);
+        }
+        let mut ids: Vec<HouseholdId> = members.iter().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        for pair in ids.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(Error::DuplicateHousehold(pair[0]));
+            }
+        }
+        Ok(Self { members })
+    }
+
+    /// The members and their true preferences.
+    #[must_use]
+    pub fn members(&self) -> &[(HouseholdId, Preference)] {
+        &self.members
+    }
+
+    /// Jointly schedules the members' jobs against `background`
+    /// (coordinate descent on the quadratic cost until stable) and returns
+    /// the chosen placement per member.
+    #[must_use]
+    pub fn coordinate<P: Pricing + ?Sized>(
+        &self,
+        background: &LoadProfile,
+        rate: f64,
+        pricing: &P,
+    ) -> Vec<Interval> {
+        // Start everyone at their preferred begin time.
+        let mut windows: Vec<Interval> = self
+            .members
+            .iter()
+            .map(|(_, p)| {
+                p.window_at_deferment(0)
+                    .expect("deferment 0 is always feasible")
+            })
+            .collect();
+        let mut load = *background;
+        for w in &windows {
+            load.add_window(*w, rate);
+        }
+        // Best-response passes; the quadratic cost is an exact potential,
+        // so this terminates.
+        for _ in 0..100 {
+            let mut improved = false;
+            for (i, (_, pref)) in self.members.iter().enumerate() {
+                load.remove_window(windows[i], rate);
+                let mut best = windows[i];
+                let mut best_delta = f64::INFINITY;
+                for w in pref.feasible_windows() {
+                    let delta: f64 = w
+                        .slots()
+                        .map(|h| {
+                            let l = load.at(h);
+                            pricing.hourly_cost(l + rate) - pricing.hourly_cost(l)
+                        })
+                        .sum();
+                    if delta < best_delta - 1e-12 {
+                        best_delta = delta;
+                        best = w;
+                    }
+                }
+                if best != windows[i] {
+                    improved = true;
+                    windows[i] = best;
+                }
+                load.add_window(windows[i], rate);
+            }
+            if !improved {
+                break;
+            }
+        }
+        windows
+    }
+
+    /// The coalition's reports after coordination: each member pins its
+    /// chosen placement as a zero-slack report.
+    #[must_use]
+    pub fn coordinated_reports<P: Pricing + ?Sized>(
+        &self,
+        background: &LoadProfile,
+        rate: f64,
+        pricing: &P,
+    ) -> Vec<Report> {
+        self.coordinate(background, rate, pricing)
+            .into_iter()
+            .zip(&self.members)
+            .map(|(w, &(id, _))| {
+                Report::new(
+                    id,
+                    Preference::with_window(w, w.len())
+                        .expect("a window is a valid zero-slack preference"),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Outcome of comparing a coalition against uncoordinated truthful
+/// reporting, in an otherwise identical neighborhood.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoalitionComparison {
+    /// Peak of the coalition members' joint load without coordination.
+    pub uncoordinated_member_peak: f64,
+    /// Peak of the members' joint load with coordination.
+    pub coordinated_member_peak: f64,
+    /// Neighborhood cost without the coalition.
+    pub uncoordinated_cost: f64,
+    /// Neighborhood cost with the coalition.
+    pub coordinated_cost: f64,
+    /// Total payment of the members without coordination.
+    pub uncoordinated_member_payment: f64,
+    /// Total payment of the members with coordination (zero-slack reports
+    /// score lower flexibility, so this can rise even as the cost falls).
+    pub coordinated_member_payment: f64,
+}
+
+/// Runs one day twice — members reporting truthfully vs pre-coordinated —
+/// with all `others` truthful cooperators, and compares.
+///
+/// # Errors
+///
+/// Propagates mechanism errors.
+pub fn compare_coalition<R: Rng + ?Sized>(
+    enki: &Enki,
+    coalition: &Coalition,
+    others: &[Report],
+    rng: &mut R,
+) -> Result<CoalitionComparison> {
+    let rate = enki.config().rate();
+    let pricing = enki.config().pricing();
+
+    let run = |reports: Vec<Report>, rng: &mut R| -> Result<(LoadProfile, f64, f64)> {
+        let outcome = enki.allocate(&reports, rng)?;
+        let consumption: Vec<Interval> =
+            outcome.assignments.iter().map(|a| a.window).collect();
+        let settlement = enki.settle(&reports, &outcome, &consumption)?;
+        let mut member_load = LoadProfile::new();
+        let mut member_payment = 0.0;
+        for entry in &settlement.entries {
+            if coalition.members().iter().any(|&(id, _)| id == entry.household) {
+                member_load.add_window(entry.consumption, rate);
+                member_payment += entry.payment;
+            }
+        }
+        Ok((member_load, settlement.total_cost, member_payment))
+    };
+
+    // Uncoordinated: members report their true preference directly.
+    let mut uncoordinated: Vec<Report> = coalition
+        .members()
+        .iter()
+        .map(|&(id, p)| Report::new(id, p))
+        .collect();
+    uncoordinated.extend_from_slice(others);
+    let (u_load, u_cost, u_pay) = run(uncoordinated, rng)?;
+
+    // Coordinated: members pin placements optimized against the expected
+    // background (the others at their preferred start).
+    let background = LoadProfile::from_windows(
+        &others
+            .iter()
+            .map(|r| {
+                r.preference
+                    .window_at_deferment(0)
+                    .expect("deferment 0 is always feasible")
+            })
+            .collect::<Vec<_>>(),
+        rate,
+    );
+    let mut coordinated = coalition.coordinated_reports(&background, rate, &pricing);
+    coordinated.extend_from_slice(others);
+    let (c_load, c_cost, c_pay) = run(coordinated, rng)?;
+
+    Ok(CoalitionComparison {
+        uncoordinated_member_peak: u_load.peak(),
+        coordinated_member_peak: c_load.peak(),
+        uncoordinated_cost: u_cost,
+        coordinated_cost: c_cost,
+        uncoordinated_member_payment: u_pay,
+        coordinated_member_payment: c_pay,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enki_core::config::EnkiConfig;
+    use enki_core::pricing::QuadraticPricing;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pref(b: u8, e: u8, v: u8) -> Preference {
+        Preference::new(b, e, v).unwrap()
+    }
+
+    fn coalition() -> Coalition {
+        Coalition::new(vec![
+            (HouseholdId::new(0), pref(18, 22, 2)),
+            (HouseholdId::new(1), pref(18, 22, 2)),
+            (HouseholdId::new(2), pref(18, 23, 2)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_members() {
+        assert!(Coalition::new(vec![]).is_err());
+        assert!(Coalition::new(vec![
+            (HouseholdId::new(1), pref(18, 22, 2)),
+            (HouseholdId::new(1), pref(18, 22, 2)),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn coordination_flattens_member_load() {
+        let c = coalition();
+        let pricing = QuadraticPricing::default();
+        let windows = c.coordinate(&LoadProfile::new(), 2.0, &pricing);
+        let load = LoadProfile::from_windows(&windows, 2.0);
+        // Three 2-hour jobs over 18-23: disjoint-ish packing keeps the
+        // peak at two overlapping jobs at most.
+        assert!(load.peak() <= 4.0);
+        // All placements respect the true windows.
+        for ((_, p), w) in c.members().iter().zip(&windows) {
+            p.validate_window(*w).unwrap();
+        }
+    }
+
+    #[test]
+    fn coordination_avoids_background_peaks() {
+        let c = Coalition::new(vec![(HouseholdId::new(0), pref(16, 24, 2))]).unwrap();
+        let mut background = LoadProfile::new();
+        background.add_window(Interval::new(18, 22).unwrap(), 10.0);
+        let pricing = QuadraticPricing::default();
+        let windows = c.coordinate(&background, 2.0, &pricing);
+        // The single member dodges the loaded evening block.
+        assert_eq!(windows[0].overlap(&Interval::new(18, 22).unwrap()), 0);
+    }
+
+    #[test]
+    fn coordinated_reports_are_zero_slack() {
+        let c = coalition();
+        let pricing = QuadraticPricing::default();
+        let reports = c.coordinated_reports(&LoadProfile::new(), 2.0, &pricing);
+        for r in &reports {
+            assert_eq!(r.preference.slack(), 0);
+        }
+    }
+
+    #[test]
+    fn comparison_reduces_joint_peak() {
+        let enki = Enki::new(EnkiConfig::default());
+        // Others: rigid evening households creating a peak at 19-21.
+        let others: Vec<Report> = (10..20u32)
+            .map(|i| Report::new(HouseholdId::new(i), pref(19, 21, 2)))
+            .collect();
+        let c = coalition();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cmp = compare_coalition(&enki, &c, &others, &mut rng).unwrap();
+        assert!(
+            cmp.coordinated_member_peak <= cmp.uncoordinated_member_peak + 1e-9,
+            "coordination must not raise the members' joint peak: {} vs {}",
+            cmp.coordinated_member_peak,
+            cmp.uncoordinated_member_peak,
+        );
+        assert!(cmp.coordinated_cost > 0.0 && cmp.uncoordinated_cost > 0.0);
+    }
+
+    #[test]
+    fn comparison_is_reproducible() {
+        let enki = Enki::new(EnkiConfig::default());
+        let others: Vec<Report> = (10..16u32)
+            .map(|i| Report::new(HouseholdId::new(i), pref(17, 23, 2)))
+            .collect();
+        let c = coalition();
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        assert_eq!(
+            compare_coalition(&enki, &c, &others, &mut a).unwrap(),
+            compare_coalition(&enki, &c, &others, &mut b).unwrap()
+        );
+    }
+}

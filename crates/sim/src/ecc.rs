@@ -1,0 +1,215 @@
+//! Energy Consumption Controller (ECC) prediction.
+//!
+//! The paper's ECC unit "learns each household's daily power consumption
+//! pattern through machine learning techniques" and reports the next day's
+//! demand (§I). The paper never specifies the learner, so we implement an
+//! exponentially weighted hour-of-day propensity model: each observed
+//! consumption bumps the weight of its hours, old days decay, and the
+//! prediction is the duration-length window with the highest propensity,
+//! widened by a configurable flexibility margin before reporting. This
+//! exercises the report-generation path end to end (see DESIGN.md,
+//! substitution 3).
+
+use enki_core::household::Preference;
+use enki_core::time::{Interval, HOURS_PER_DAY};
+use enki_core::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Exponentially weighted hour-of-day usage model.
+///
+/// # Examples
+///
+/// ```
+/// # use enki_sim::ecc::EccPredictor;
+/// # use enki_core::time::Interval;
+/// # fn main() -> Result<(), enki_core::Error> {
+/// let mut ecc = EccPredictor::new(0.3)?;
+/// for _ in 0..7 {
+///     ecc.observe(Interval::new(19, 21)?);
+/// }
+/// let pref = ecc.predict(2, 1).expect("has history");
+/// assert!(pref.window().contains(&Interval::new(19, 21)?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EccPredictor {
+    weights: [f64; HOURS_PER_DAY],
+    alpha: f64,
+    days_observed: u32,
+}
+
+impl EccPredictor {
+    /// Creates a predictor with smoothing factor `alpha ∈ (0, 1]` — the
+    /// weight of the newest day (higher adapts faster).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for `alpha` outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Result<Self> {
+        if !alpha.is_finite() || alpha <= 0.0 || alpha > 1.0 {
+            return Err(Error::InvalidConfig {
+                parameter: "alpha",
+                constraint: "a smoothing factor in (0, 1]",
+            });
+        }
+        Ok(Self {
+            weights: [0.0; HOURS_PER_DAY],
+            alpha,
+            days_observed: 0,
+        })
+    }
+
+    /// Records one day's realized consumption window.
+    pub fn observe(&mut self, consumption: Interval) {
+        for w in self.weights.iter_mut() {
+            *w *= 1.0 - self.alpha;
+        }
+        for h in consumption.slots() {
+            self.weights[usize::from(h)] += self.alpha;
+        }
+        self.days_observed += 1;
+    }
+
+    /// Number of days observed so far.
+    #[must_use]
+    pub fn days_observed(&self) -> u32 {
+        self.days_observed
+    }
+
+    /// The learned propensity of each hour (higher = more habitual usage).
+    #[must_use]
+    pub fn propensity(&self) -> &[f64; HOURS_PER_DAY] {
+        &self.weights
+    }
+
+    /// Predicts tomorrow's report: the `duration`-hour window with the
+    /// highest learned propensity (earliest on ties), widened by `margin`
+    /// hours on each side (clamped to the day) to express flexibility.
+    ///
+    /// Returns `None` until at least one day has been observed.
+    #[must_use]
+    pub fn predict(&self, duration: u8, margin: u8) -> Option<Preference> {
+        if self.days_observed == 0 || duration == 0 || usize::from(duration) > HOURS_PER_DAY {
+            return None;
+        }
+        let mut best_start = 0u8;
+        let mut best_score = f64::NEG_INFINITY;
+        for start in 0..=(HOURS_PER_DAY as u8 - duration) {
+            let score: f64 = (start..start + duration)
+                .map(|h| self.weights[usize::from(h)])
+                .sum();
+            if score > best_score + 1e-12 {
+                best_score = score;
+                best_start = start;
+            }
+        }
+        let begin = best_start.saturating_sub(margin);
+        let end = (best_start + duration + margin).min(HOURS_PER_DAY as u8);
+        Some(
+            Preference::new(begin, end, duration)
+                .expect("widened window always fits the duration"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(b: u8, e: u8) -> Interval {
+        Interval::new(b, e).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_alpha() {
+        assert!(EccPredictor::new(0.0).is_err());
+        assert!(EccPredictor::new(1.5).is_err());
+        assert!(EccPredictor::new(f64::NAN).is_err());
+        assert!(EccPredictor::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn no_history_means_no_prediction() {
+        let ecc = EccPredictor::new(0.3).unwrap();
+        assert!(ecc.predict(2, 1).is_none());
+    }
+
+    #[test]
+    fn stable_habit_is_recovered_exactly() {
+        let mut ecc = EccPredictor::new(0.3).unwrap();
+        for _ in 0..10 {
+            ecc.observe(iv(19, 21));
+        }
+        let pref = ecc.predict(2, 0).unwrap();
+        assert_eq!(pref.window(), iv(19, 21));
+    }
+
+    #[test]
+    fn margin_widens_the_report() {
+        let mut ecc = EccPredictor::new(0.3).unwrap();
+        for _ in 0..5 {
+            ecc.observe(iv(19, 21));
+        }
+        let pref = ecc.predict(2, 2).unwrap();
+        assert_eq!(pref.window(), iv(17, 23));
+        assert_eq!(pref.duration(), 2);
+    }
+
+    #[test]
+    fn margin_clamps_at_day_edges() {
+        let mut ecc = EccPredictor::new(0.5).unwrap();
+        for _ in 0..5 {
+            ecc.observe(iv(22, 24));
+        }
+        let pref = ecc.predict(2, 3).unwrap();
+        assert_eq!(pref.window().end(), 24);
+        assert_eq!(pref.window().begin(), 19);
+    }
+
+    #[test]
+    fn adapts_to_a_habit_shift() {
+        let mut ecc = EccPredictor::new(0.4).unwrap();
+        for _ in 0..10 {
+            ecc.observe(iv(8, 10));
+        }
+        // The household moves its usage to the evening.
+        for _ in 0..10 {
+            ecc.observe(iv(19, 21));
+        }
+        let pref = ecc.predict(2, 0).unwrap();
+        assert_eq!(pref.window(), iv(19, 21));
+    }
+
+    #[test]
+    fn noisy_history_still_finds_the_mode() {
+        let mut ecc = EccPredictor::new(0.2).unwrap();
+        // 8 evening days with 2 outliers.
+        for day in 0..10 {
+            if day % 5 == 4 {
+                ecc.observe(iv(3, 5));
+            } else {
+                ecc.observe(iv(18, 20));
+            }
+        }
+        let pref = ecc.predict(2, 1).unwrap();
+        assert!(pref.window().contains(&iv(18, 20)));
+    }
+
+    #[test]
+    fn degenerate_durations_are_refused() {
+        let mut ecc = EccPredictor::new(0.3).unwrap();
+        ecc.observe(iv(10, 12));
+        assert!(ecc.predict(0, 1).is_none());
+        assert!(ecc.predict(25, 1).is_none());
+    }
+
+    #[test]
+    fn propensity_sums_track_observations() {
+        let mut ecc = EccPredictor::new(0.5).unwrap();
+        ecc.observe(iv(10, 12));
+        assert!(ecc.propensity()[10] > 0.0);
+        assert!(ecc.propensity()[12] == 0.0);
+        assert_eq!(ecc.days_observed(), 1);
+    }
+}

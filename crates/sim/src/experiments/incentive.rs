@@ -1,0 +1,269 @@
+//! The §VI-B incentive-compatibility experiment (Figure 7).
+//!
+//! A neighborhood of 50 households. The first household's true preference
+//! is its narrow interval `(18, 20)` with duration 2 inside a wide interval
+//! `(16, 24)`; its valuation factor is 5. Everyone else truthfully reports
+//! a narrow interval, generated once and kept fixed. The first household
+//! sweeps every possible report `(a, b, 2)` with `[a, b) ⊆ [16, 24)`; each
+//! candidate is simulated for 10 repetitions (the allocation tie-breaks are
+//! random) and the mean utility is recorded. Weak Bayesian incentive
+//! compatibility predicts the best response at the truthful `(18, 20)`.
+
+use enki_core::config::EnkiConfig;
+use enki_core::household::{HouseholdId, HouseholdType, Preference, Report};
+use enki_core::mechanism::Enki;
+use enki_core::time::Interval;
+use enki_core::Result;
+use enki_stats::descriptive::Summary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::behavior::consume;
+use crate::profile::{ProfileConfig, UsageProfile};
+
+/// Configuration of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncentiveConfig {
+    /// Neighborhood size including the subject (paper: 50).
+    pub n: usize,
+    /// Repetitions averaged per candidate report (paper: 10).
+    pub repetitions: usize,
+    /// The subject's true (narrow) preference (paper: `(18, 20, 2)`).
+    pub subject_truth: Preference,
+    /// The subject's wide interval bounding its possible reports
+    /// (paper: `(16, 24)`).
+    pub subject_wide: Interval,
+    /// The subject's valuation factor (paper: 5).
+    pub subject_rho: f64,
+    /// Mechanism parameters.
+    pub enki: EnkiConfig,
+    /// Workload generator for the other households.
+    pub profile: ProfileConfig,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IncentiveConfig {
+    fn default() -> Self {
+        Self {
+            n: 50,
+            repetitions: 10,
+            subject_truth: Preference::new(18, 20, 2).expect("paper constants are valid"),
+            subject_wide: Interval::new(16, 24).expect("paper constants are valid"),
+            subject_rho: 5.0,
+            enki: EnkiConfig::default(),
+            profile: ProfileConfig::default(),
+            seed: 2017,
+        }
+    }
+}
+
+/// Mean utility of one candidate report — one bar of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IncentivePoint {
+    /// The candidate report `(α̂, β̂, v)`.
+    pub report: Preference,
+    /// Utility summary over the repetitions.
+    pub utility: Summary,
+}
+
+/// The full sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncentiveOutcome {
+    /// One point per candidate report, in (begin, end) order.
+    pub points: Vec<IncentivePoint>,
+    /// The best-response report (highest mean utility).
+    pub best_report: Preference,
+    /// Mean utility of the truthful report.
+    pub truthful_utility: f64,
+}
+
+impl IncentiveOutcome {
+    /// Whether the truthful report is a best response within `tolerance`
+    /// of the maximum (the paper's weak incentive-compatibility check).
+    #[must_use]
+    pub fn truth_is_best_response(&self, truth: &Preference, tolerance: f64) -> bool {
+        let best = self
+            .points
+            .iter()
+            .map(|p| p.utility.mean)
+            .fold(f64::NEG_INFINITY, f64::max);
+        self.best_report == *truth || self.truthful_utility >= best - tolerance
+    }
+}
+
+/// Runs the Figure 7 sweep.
+///
+/// # Errors
+///
+/// Propagates mechanism errors; returns
+/// [`enki_core::Error::InvalidDuration`] if the subject's duration does not
+/// fit its wide interval.
+pub fn run_incentive(config: &IncentiveConfig) -> Result<IncentiveOutcome> {
+    let duration = config.subject_truth.duration();
+    // Validate that the wide interval can host the duration at all.
+    Preference::with_window(config.subject_wide, duration)?;
+
+    let enki = Enki::new(config.enki);
+    let subject_type = HouseholdType::new(config.subject_truth, config.subject_rho)?;
+
+    // The other households' profiles are generated once and kept fixed
+    // (paper: "we generate their usage profiles at the beginning of the
+    // first day and keep them unchanged").
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let others: Vec<Preference> = (0..config.n.saturating_sub(1))
+        .map(|_| UsageProfile::generate(&mut rng, &config.profile).narrow())
+        .collect();
+
+    // Candidate reports: every subwindow of the wide interval that fits the
+    // duration.
+    let wide = config.subject_wide;
+    let mut points = Vec::new();
+    for begin in wide.begin()..=(wide.end() - duration) {
+        for end in (begin + duration)..=wide.end() {
+            let candidate = Preference::new(begin, end, duration)?;
+            let mut utilities = Vec::with_capacity(config.repetitions);
+            for rep in 0..config.repetitions {
+                let mut day_rng = StdRng::seed_from_u64(
+                    config.seed ^ 0x9e37_79b9 ^ ((rep as u64) << 40)
+                        ^ (u64::from(begin) << 8)
+                        ^ u64::from(end),
+                );
+                let mut reports = Vec::with_capacity(config.n);
+                reports.push(Report::new(HouseholdId::new(0), candidate));
+                for (i, &p) in others.iter().enumerate() {
+                    reports.push(Report::new(HouseholdId::new(i as u32 + 1), p));
+                }
+                let outcome = enki.allocate(&reports, &mut day_rng)?;
+                // Subject consumes within its *true* interval, as close to
+                // its allocation as possible; the others are truthful and
+                // always follow their allocations.
+                let consumption: Vec<Interval> = outcome
+                    .assignments
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| {
+                        if i == 0 {
+                            consume(&config.subject_truth, a.window)
+                        } else {
+                            a.window
+                        }
+                    })
+                    .collect();
+                let settlement = enki.settle(&reports, &outcome, &consumption)?;
+                utilities.push(enki.utility(&subject_type, &settlement.entries[0]));
+            }
+            points.push(IncentivePoint {
+                report: candidate,
+                utility: Summary::from_sample(&utilities),
+            });
+        }
+    }
+
+    let best_report = points
+        .iter()
+        .max_by(|a, b| {
+            a.utility
+                .mean
+                .partial_cmp(&b.utility.mean)
+                .expect("utilities are finite")
+        })
+        .expect("the sweep has at least one candidate")
+        .report;
+    let truthful_utility = points
+        .iter()
+        .find(|p| p.report == config.subject_truth)
+        .map(|p| p.utility.mean)
+        .unwrap_or(f64::NEG_INFINITY);
+
+    Ok(IncentiveOutcome {
+        points,
+        best_report,
+        truthful_utility,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> IncentiveConfig {
+        IncentiveConfig {
+            n: 12,
+            repetitions: 4,
+            ..IncentiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_covers_all_candidate_reports() {
+        let out = run_incentive(&small_config()).unwrap();
+        // Wide (16, 24), v = 2: begins 16..=22, ends begin+2..=24.
+        let expected: usize = (16..=22).map(|b| (24 - (b + 2) + 1) as usize).sum();
+        assert_eq!(out.points.len(), expected);
+    }
+
+    #[test]
+    fn truthful_report_is_present_and_scored() {
+        let out = run_incentive(&small_config()).unwrap();
+        assert!(out.truthful_utility.is_finite());
+        let truth = Preference::new(18, 20, 2).unwrap();
+        assert!(out.points.iter().any(|p| p.report == truth));
+    }
+
+    #[test]
+    fn truth_is_near_best_response() {
+        // Weak incentive compatibility: truth should be the best response
+        // or within a small margin of it (the guarantee is "weak" — it
+        // holds in expectation for large n).
+        let config = IncentiveConfig {
+            n: 30,
+            repetitions: 6,
+            ..IncentiveConfig::default()
+        };
+        let out = run_incentive(&config).unwrap();
+        let truth = Preference::new(18, 20, 2).unwrap();
+        let best = out
+            .points
+            .iter()
+            .map(|p| p.utility.mean)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            out.truth_is_best_response(&truth, 0.15 * best.abs().max(1.0)),
+            "truth {} vs best {} ({})",
+            out.truthful_utility,
+            best,
+            out.best_report
+        );
+    }
+
+    #[test]
+    fn misreporting_outside_truth_hurts() {
+        // A report disjoint from the truth forces defection: utility must be
+        // strictly below the truthful report's.
+        let out = run_incentive(&small_config()).unwrap();
+        let bad = Preference::new(16, 18, 2).unwrap();
+        let bad_utility = out
+            .points
+            .iter()
+            .find(|p| p.report == bad)
+            .unwrap()
+            .utility
+            .mean;
+        assert!(
+            bad_utility < out.truthful_utility,
+            "bad {} vs truthful {}",
+            bad_utility,
+            out.truthful_utility
+        );
+    }
+
+    #[test]
+    fn outcome_is_reproducible() {
+        let a = run_incentive(&small_config()).unwrap();
+        let b = run_incentive(&small_config()).unwrap();
+        assert_eq!(a.best_report, b.best_report);
+        assert_eq!(a.truthful_utility, b.truthful_utility);
+    }
+}

@@ -1,0 +1,9 @@
+//! Runners for the paper's §VI simulation study.
+//!
+//! * [`social_welfare`] — Figures 4 (PAR), 5 (cost), 6 (scheduling time):
+//!   Enki's greedy allocation vs the Optimal MIQP over populations 10–50.
+//! * [`incentive`] — Figure 7: the first household's mean utility for every
+//!   possible reported interval, best response at the truth.
+
+pub mod incentive;
+pub mod social_welfare;

@@ -1,0 +1,314 @@
+//! Simulated neighborhoods: one full Enki day end to end.
+//!
+//! A [`SimNeighborhood`] bundles the center with a population of
+//! [`SimHousehold`]s (profile + which interval is the truth + report
+//! strategy) and runs whole days: reports → allocation → consumption
+//! (following the §VII-B rule) → settlement → utilities.
+
+use enki_core::household::{HouseholdId, HouseholdType, Preference, Report};
+use enki_core::mechanism::{AllocationOutcome, Enki, Settlement};
+use enki_core::time::Interval;
+use enki_core::Result;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::behavior::{consume, ReportStrategy};
+use crate::profile::UsageProfile;
+
+/// Which of the profile's intervals is the household's *true* preference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TruthSource {
+    /// The wide interval is the truth (§VI-A social-welfare experiment).
+    #[default]
+    Wide,
+    /// The narrow interval is the truth (§VI-B incentive experiment and
+    /// the user study).
+    Narrow,
+}
+
+/// One simulated household.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimHousehold {
+    /// Identifier within the neighborhood.
+    pub id: HouseholdId,
+    /// The household's usage profile.
+    pub profile: UsageProfile,
+    /// Which interval is the truth.
+    pub truth_source: TruthSource,
+    /// How the household reports.
+    pub strategy: ReportStrategy,
+}
+
+impl SimHousehold {
+    /// Creates a household.
+    #[must_use]
+    pub fn new(
+        id: HouseholdId,
+        profile: UsageProfile,
+        truth_source: TruthSource,
+        strategy: ReportStrategy,
+    ) -> Self {
+        Self {
+            id,
+            profile,
+            truth_source,
+            strategy,
+        }
+    }
+
+    /// The true preference.
+    #[must_use]
+    pub fn truth(&self) -> Preference {
+        match self.truth_source {
+            TruthSource::Wide => self.profile.wide(),
+            TruthSource::Narrow => self.profile.narrow(),
+        }
+    }
+
+    /// The private type `θ = (χ, ρ)`.
+    #[must_use]
+    pub fn household_type(&self) -> HouseholdType {
+        HouseholdType::new(self.truth(), self.profile.rho()).expect("rho is positive")
+    }
+
+    /// Today's report.
+    #[must_use]
+    pub fn report(&self) -> Report {
+        Report::new(self.id, self.strategy.report(&self.profile))
+    }
+}
+
+/// The result of simulating one day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayOutcome {
+    /// Reports submitted to the center.
+    pub reports: Vec<Report>,
+    /// The center's allocation.
+    pub allocation: AllocationOutcome,
+    /// Realized consumption, aligned with the reports.
+    pub consumption: Vec<Interval>,
+    /// The settled day (scores, payments, budget).
+    pub settlement: Settlement,
+    /// Quasilinear utilities (Eq. 8), aligned with the reports.
+    pub utilities: Vec<f64>,
+}
+
+impl DayOutcome {
+    /// Peak-to-average ratio of the realized load (Figure 4's metric).
+    #[must_use]
+    pub fn peak_to_average(&self) -> f64 {
+        self.settlement.load.peak_to_average()
+    }
+
+    /// Neighborhood cost `κ(ω)` (Figure 5's metric).
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        self.settlement.total_cost
+    }
+
+    /// Number of households that deviated from their allocation.
+    #[must_use]
+    pub fn defection_count(&self) -> usize {
+        self.settlement.entries.iter().filter(|e| e.defected).count()
+    }
+}
+
+/// A neighborhood of simulated households around an [`Enki`] center.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimNeighborhood {
+    enki: Enki,
+    households: Vec<SimHousehold>,
+}
+
+impl SimNeighborhood {
+    /// Creates a neighborhood.
+    #[must_use]
+    pub fn new(enki: Enki, households: Vec<SimHousehold>) -> Self {
+        Self { enki, households }
+    }
+
+    /// The center.
+    #[must_use]
+    pub fn enki(&self) -> &Enki {
+        &self.enki
+    }
+
+    /// The households.
+    #[must_use]
+    pub fn households(&self) -> &[SimHousehold] {
+        &self.households
+    }
+
+    /// Mutable access to the households (e.g. to change one strategy
+    /// between days, as the Figure 7 sweep does).
+    #[must_use]
+    pub fn households_mut(&mut self) -> &mut [SimHousehold] {
+        &mut self.households
+    }
+
+    /// Runs one full day: reports, allocation, §VII-B consumption,
+    /// settlement, utilities.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mechanism errors ([`enki_core::Error::EmptyNeighborhood`]
+    /// for an empty population).
+    pub fn run_day<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<DayOutcome> {
+        let reports: Vec<Report> = self.households.iter().map(SimHousehold::report).collect();
+        let allocation = self.enki.allocate(&reports, rng)?;
+        let consumption: Vec<Interval> = self
+            .households
+            .iter()
+            .zip(allocation.assignments.iter())
+            .map(|(h, a)| consume(&h.truth(), a.window))
+            .collect();
+        let settlement = self.enki.settle(&reports, &allocation, &consumption)?;
+        let utilities = self
+            .households
+            .iter()
+            .zip(settlement.entries.iter())
+            .map(|(h, entry)| self.enki.utility(&h.household_type(), entry))
+            .collect();
+        Ok(DayOutcome {
+            reports,
+            allocation,
+            consumption,
+            settlement,
+            utilities,
+        })
+    }
+
+    /// Runs the §V-D no-mechanism baseline: every household consumes at its
+    /// *true* preferred start, payments are proportional to energy.
+    ///
+    /// Returns per-household utilities and the baseline settlement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`enki_core::Error::EmptyNeighborhood`].
+    pub fn run_baseline_day(
+        &self,
+    ) -> Result<(Vec<f64>, enki_core::mechanism::BaselineSettlement)> {
+        let windows: Vec<Interval> = self
+            .households
+            .iter()
+            .map(|h| {
+                let truth = h.truth();
+                truth
+                    .window_at_deferment(0)
+                    .expect("deferment 0 is always feasible")
+            })
+            .collect();
+        let baseline = self.enki.proportional_settlement(&windows)?;
+        let utilities = self
+            .households
+            .iter()
+            .zip(windows.iter().zip(baseline.payments.iter()))
+            .map(|(h, (&w, &p))| {
+                let ty = h.household_type();
+                enki_core::valuation::valuation_of_window(&ty, w) - p
+            })
+            .collect();
+        Ok((utilities, baseline))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enki_core::config::EnkiConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make_household(id: u32, narrow: (u8, u8), wide: (u8, u8), v: u8) -> SimHousehold {
+        let profile = UsageProfile::new(
+            Preference::new(narrow.0, narrow.1, v).unwrap(),
+            Preference::new(wide.0, wide.1, v).unwrap(),
+            5.0,
+        )
+        .unwrap();
+        SimHousehold::new(
+            HouseholdId::new(id),
+            profile,
+            TruthSource::Wide,
+            ReportStrategy::TruthfulWide,
+        )
+    }
+
+    fn neighborhood() -> SimNeighborhood {
+        SimNeighborhood::new(
+            Enki::new(EnkiConfig::default()),
+            vec![
+                make_household(0, (18, 20), (16, 24), 2),
+                make_household(1, (19, 21), (18, 24), 2),
+                make_household(2, (18, 19), (17, 22), 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn truthful_wide_households_never_defect() {
+        let nb = neighborhood();
+        let mut rng = StdRng::seed_from_u64(1);
+        let day = nb.run_day(&mut rng).unwrap();
+        assert_eq!(day.defection_count(), 0);
+        for (a, w) in day.allocation.assignments.iter().zip(&day.consumption) {
+            assert_eq!(a.window, *w);
+        }
+    }
+
+    #[test]
+    fn narrow_truth_with_wide_report_can_defect() {
+        let mut nb = neighborhood();
+        for h in nb.households_mut() {
+            h.truth_source = TruthSource::Narrow;
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let day = nb.run_day(&mut rng).unwrap();
+        // Consumption always lies inside the narrow truth.
+        for (h, w) in nb.households().iter().zip(&day.consumption) {
+            assert!(h.truth().validate_window(*w).is_ok());
+        }
+    }
+
+    #[test]
+    fn day_outcome_metrics_are_consistent() {
+        let nb = neighborhood();
+        let mut rng = StdRng::seed_from_u64(5);
+        let day = nb.run_day(&mut rng).unwrap();
+        assert!(day.cost() > 0.0);
+        assert!(day.peak_to_average() >= 1.0);
+        assert_eq!(day.utilities.len(), 3);
+        // Theorem 1 holds on every simulated day.
+        assert!(day.settlement.center_utility >= -1e-9);
+    }
+
+    #[test]
+    fn baseline_day_is_at_least_as_costly() {
+        // Theorem 5's premise: κ(ω^z) ≥ κ(ω) because greedy flattens.
+        let nb = neighborhood();
+        let mut rng = StdRng::seed_from_u64(7);
+        let day = nb.run_day(&mut rng).unwrap();
+        let (_, baseline) = nb.run_baseline_day().unwrap();
+        assert!(baseline.total_cost >= day.cost() - 1e-9);
+    }
+
+    #[test]
+    fn theorem5_expected_utility_higher_with_enki() {
+        let nb = neighborhood();
+        let mut rng = StdRng::seed_from_u64(11);
+        let day = nb.run_day(&mut rng).unwrap();
+        let (baseline_utilities, _) = nb.run_baseline_day().unwrap();
+        let with_enki: f64 = day.utilities.iter().sum::<f64>() / 3.0;
+        let without: f64 = baseline_utilities.iter().sum::<f64>() / 3.0;
+        assert!(with_enki >= without - 1e-9);
+    }
+
+    #[test]
+    fn seeded_days_are_reproducible() {
+        let nb = neighborhood();
+        let mut a = StdRng::seed_from_u64(13);
+        let mut b = StdRng::seed_from_u64(13);
+        assert_eq!(nb.run_day(&mut a).unwrap(), nb.run_day(&mut b).unwrap());
+    }
+}

@@ -1,0 +1,229 @@
+//! Usage profiles and the §VI workload generator.
+//!
+//! Each simulated household has a *narrow* interval (its most preferred
+//! hours), a *wide* interval it can tolerate, a duration, and a valuation
+//! factor. The paper's generator:
+//!
+//! * begin times of the narrow and wide intervals ~ Poisson(16);
+//! * duration ~ uniform `[1, 4]`;
+//! * narrow end = begin + duration;
+//! * wide end ~ uniform `[narrow end + 2, 24]`;
+//! * power 2 kWh, valuation factor ρ ~ uniform `[1, 10]`.
+//!
+//! Draws are clamped so every interval fits the day and the wide interval
+//! contains the narrow one (the wide begin is the *earlier* of its own draw
+//! and the narrow begin).
+
+use enki_core::household::{HouseholdType, Preference};
+use enki_stats::sample::{poisson_clamped, uniform_inclusive};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the §VI profile generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileConfig {
+    /// Mean of the Poisson begin-time distribution (paper: 16 ⇒ an evening
+    /// peak).
+    pub begin_mean: f64,
+    /// Inclusive duration range in hours (paper: 1–4).
+    pub duration_range: (u8, u8),
+    /// Minimum extra hours of the wide interval beyond the narrow end
+    /// (paper: 2).
+    pub wide_extension_min: u8,
+    /// Inclusive valuation-factor range (paper: 1–10).
+    pub rho_range: (f64, f64),
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        Self {
+            begin_mean: 16.0,
+            duration_range: (1, 4),
+            wide_extension_min: 2,
+            rho_range: (1.0, 10.0),
+        }
+    }
+}
+
+/// One household's usage profile: narrow and wide intervals sharing a
+/// duration, plus the private valuation factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UsageProfile {
+    narrow: Preference,
+    wide: Preference,
+    rho: f64,
+}
+
+impl UsageProfile {
+    /// Assembles a profile from explicit parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`enki_core::Error::WindowOutsideInterval`] if the wide
+    /// interval does not contain the narrow one, and
+    /// [`enki_core::Error::DurationMismatch`] if their durations differ.
+    pub fn new(narrow: Preference, wide: Preference, rho: f64) -> enki_core::Result<Self> {
+        if narrow.duration() != wide.duration() {
+            return Err(enki_core::Error::DurationMismatch {
+                got: wide.duration(),
+                expected: narrow.duration(),
+            });
+        }
+        if !wide.window().contains(&narrow.window()) {
+            return Err(enki_core::Error::WindowOutsideInterval {
+                window: narrow.window(),
+                bounds: wide.window(),
+            });
+        }
+        Ok(Self { narrow, wide, rho })
+    }
+
+    /// Draws a profile from the paper's distributions.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: &ProfileConfig) -> Self {
+        let (dur_lo, dur_hi) = config.duration_range;
+        let v = uniform_inclusive(rng, dur_lo, dur_hi);
+        // Keep the narrow interval inside the day with room for the wide
+        // extension (narrow end ≤ 24 is required; the extension is clamped).
+        let narrow_begin = poisson_clamped(rng, config.begin_mean, 0, 24 - v);
+        let narrow_end = narrow_begin + v;
+        let wide_lo = narrow_end.saturating_add(config.wide_extension_min).min(24);
+        let wide_end = if wide_lo >= 24 {
+            24
+        } else {
+            uniform_inclusive(rng, wide_lo, 24)
+        };
+        // The wide begin gets its own Poisson draw but may not start after
+        // the narrow interval.
+        let wide_begin = poisson_clamped(rng, config.begin_mean, 0, 24 - v).min(narrow_begin);
+        let (rho_lo, rho_hi) = config.rho_range;
+        let rho = rho_lo + rng.random::<f64>() * (rho_hi - rho_lo);
+        let narrow = Preference::new(narrow_begin, narrow_end, v)
+            .expect("generated narrow interval is valid");
+        let wide = Preference::new(wide_begin, wide_end.max(narrow_end), v)
+            .expect("generated wide interval is valid");
+        Self { narrow, wide, rho }
+    }
+
+    /// The narrow (most preferred) interval as a preference.
+    #[must_use]
+    pub fn narrow(&self) -> Preference {
+        self.narrow
+    }
+
+    /// The wide (tolerated) interval as a preference.
+    #[must_use]
+    pub fn wide(&self) -> Preference {
+        self.wide
+    }
+
+    /// Consumption duration `v` in hours.
+    #[must_use]
+    pub fn duration(&self) -> u8 {
+        self.narrow.duration()
+    }
+
+    /// Valuation factor ρ.
+    #[must_use]
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The household type when the *narrow* interval is the true preference
+    /// (the §VI-B incentive experiment).
+    #[must_use]
+    pub fn type_with_narrow_truth(&self) -> HouseholdType {
+        HouseholdType::new(self.narrow, self.rho).expect("rho is positive")
+    }
+
+    /// The household type when the *wide* interval is the true preference
+    /// (the §VI-A social-welfare experiment).
+    #[must_use]
+    pub fn type_with_wide_truth(&self) -> HouseholdType {
+        HouseholdType::new(self.wide, self.rho).expect("rho is positive")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_profiles_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(2017);
+        let config = ProfileConfig::default();
+        for _ in 0..2_000 {
+            let p = UsageProfile::generate(&mut rng, &config);
+            assert!(p.wide().window().contains(&p.narrow().window()));
+            assert_eq!(p.narrow().duration(), p.wide().duration());
+            assert!((1..=4).contains(&p.duration()));
+            assert!((1.0..=10.0).contains(&p.rho()));
+            assert!(p.narrow().end() <= 24);
+            assert!(p.wide().end() <= 24);
+        }
+    }
+
+    #[test]
+    fn wide_interval_usually_extends_past_narrow() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = ProfileConfig::default();
+        let extended = (0..500)
+            .filter(|_| {
+                let p = UsageProfile::generate(&mut rng, &config);
+                p.wide().window().len() > p.narrow().window().len()
+            })
+            .count();
+        // The +2 extension only collapses when the narrow end hits 24.
+        assert!(extended > 400, "extended = {extended}");
+    }
+
+    #[test]
+    fn begin_times_cluster_around_the_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = ProfileConfig::default();
+        let begins: Vec<f64> = (0..3_000)
+            .map(|_| f64::from(UsageProfile::generate(&mut rng, &config).narrow().begin()))
+            .collect();
+        let mean = begins.iter().sum::<f64>() / begins.len() as f64;
+        // Clamping to ≤ 24−v pulls the Poisson(16) mean down slightly.
+        assert!((14.0..17.0).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn explicit_profile_validation() {
+        let narrow = Preference::new(18, 20, 2).unwrap();
+        let wide = Preference::new(16, 24, 2).unwrap();
+        assert!(UsageProfile::new(narrow, wide, 5.0).is_ok());
+        // Mismatched duration.
+        let wide_bad = Preference::new(16, 24, 3).unwrap();
+        assert!(UsageProfile::new(narrow, wide_bad, 5.0).is_err());
+        // Narrow not contained.
+        let narrow_out = Preference::new(14, 16, 2).unwrap();
+        let wide2 = Preference::new(16, 24, 2).unwrap();
+        assert!(UsageProfile::new(narrow_out, wide2, 5.0).is_err());
+    }
+
+    #[test]
+    fn household_types_expose_the_right_truth() {
+        let narrow = Preference::new(18, 20, 2).unwrap();
+        let wide = Preference::new(16, 24, 2).unwrap();
+        let p = UsageProfile::new(narrow, wide, 5.0).unwrap();
+        assert_eq!(p.type_with_narrow_truth().preference, narrow);
+        assert_eq!(p.type_with_wide_truth().preference, wide);
+        assert_eq!(p.type_with_narrow_truth().valuation_factor, 5.0);
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let config = ProfileConfig::default();
+        let mut a = StdRng::seed_from_u64(55);
+        let mut b = StdRng::seed_from_u64(55);
+        for _ in 0..50 {
+            assert_eq!(
+                UsageProfile::generate(&mut a, &config),
+                UsageProfile::generate(&mut b, &config)
+            );
+        }
+    }
+}

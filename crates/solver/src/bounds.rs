@@ -1,0 +1,258 @@
+//! Lower bounds for the branch-and-bound search.
+//!
+//! At an interior node some households are already placed (giving a partial
+//! load `l`) and the rest are free. Relaxing both the integrality of the
+//! remaining placements *and* their per-household windows (keeping only the
+//! union of allowed hours), the cheapest way to add the remaining energy
+//! `E` is the continuous *water-filling* profile: pour `E` into the allowed
+//! hours so that filled hours share a common level `λ`. Because
+//! `Σ (l_h + x_h)²` is convex and symmetric in the poured amounts, no
+//! feasible completion can cost less, so the water level yields an
+//! admissible bound.
+
+use enki_core::time::HOURS_PER_DAY;
+
+/// The minimum achievable `Σ_h (l_h + x_h)²` over `x_h ≥ 0` supported on
+/// `allowed` hours with `Σ x_h = energy`, given the current loads.
+///
+/// Hours outside `allowed` contribute their current `l_h²` unchanged.
+/// Returns the *unscaled* sum of squares (multiply by `σ` for a cost).
+///
+/// # Panics
+///
+/// Panics in debug builds when `energy` is negative.
+#[must_use]
+pub fn water_filling_sum_of_squares(
+    loads: &[f64; HOURS_PER_DAY],
+    allowed: u32,
+    energy: f64,
+) -> f64 {
+    debug_assert!(energy >= -1e-9, "energy must be non-negative");
+    let base: f64 = loads.iter().map(|l| l * l).sum();
+    if energy <= 0.0 || allowed == 0 {
+        return base;
+    }
+
+    // Collect the allowed hours' loads, ascending.
+    let mut allowed_loads: Vec<f64> = (0..HOURS_PER_DAY)
+        .filter(|h| allowed & (1 << h) != 0)
+        .map(|h| loads[h])
+        .collect();
+    allowed_loads.sort_by(|a, b| a.partial_cmp(b).expect("loads are finite"));
+
+    // Find the water level λ: fill the k cheapest hours up to a common
+    // level. After filling k hours, level = (Σ_{i<k} l_i + E)/k; valid when
+    // it does not exceed the (k+1)-th load.
+    let mut prefix = 0.0;
+    let mut level = 0.0;
+    let mut k_used = allowed_loads.len();
+    for k in 1..=allowed_loads.len() {
+        prefix += allowed_loads[k - 1];
+        let candidate = (prefix + energy) / k as f64;
+        if k == allowed_loads.len() || candidate <= allowed_loads[k] {
+            level = candidate;
+            k_used = k;
+            break;
+        }
+    }
+
+    // Replace the filled hours' squares with level².
+    let mut sum = base;
+    for &l in allowed_loads.iter().take(k_used) {
+        sum += level * level - l * l;
+    }
+    sum
+}
+
+/// Builds the bitmask of hours covered by an interval `[begin, end)`.
+#[must_use]
+pub fn hours_mask(begin: u8, end: u8) -> u32 {
+    debug_assert!(begin < end && end as usize <= HOURS_PER_DAY);
+    let ones = (1u32 << (end - begin)) - 1;
+    ones << begin
+}
+
+/// The minimum achievable `Σ_h (l_h + r·k_h)²` over *integer* unit counts
+/// `k_h ≥ 0` supported on `allowed` hours with `Σ k_h = units`, given the
+/// current loads — the discreteness-aware refinement of
+/// [`water_filling_sum_of_squares`] for the common case where every
+/// household draws the same rate `r`.
+///
+/// Greedy unit-by-unit assignment to the hour with the smallest marginal
+/// increase is *exact* for this separable convex program, so the result is
+/// a valid (and much tighter) lower bound on any feasible completion that
+/// places `units` whole slot-hours of rate `r` inside the allowed hours.
+#[must_use]
+pub fn discrete_fill_sum_of_squares(
+    loads: &[f64; HOURS_PER_DAY],
+    allowed: u32,
+    units: u32,
+    rate: f64,
+) -> f64 {
+    let base: f64 = loads.iter().map(|l| l * l).sum();
+    if units == 0 || allowed == 0 || rate <= 0.0 {
+        return base;
+    }
+    // Current level per allowed hour; the marginal cost of the next unit
+    // on hour h is (l + r)² − l² = 2·r·l + r², increasing in l, so a
+    // min-heap on the current level is a min-heap on the marginal.
+    // f64::to_bits is order-preserving for non-negative values, which
+    // partial schedule loads always are.
+    debug_assert!(loads.iter().all(|&l| l >= 0.0));
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+        std::collections::BinaryHeap::new();
+    let mut levels = *loads;
+    for (h, level) in levels.iter().enumerate() {
+        if allowed & (1 << h) != 0 {
+            heap.push(std::cmp::Reverse((level.to_bits(), h)));
+        }
+    }
+    let mut extra = 0.0;
+    for _ in 0..units {
+        let std::cmp::Reverse((_, h)) = heap.pop().expect("allowed mask is non-empty");
+        let l = levels[h];
+        extra += 2.0 * rate * l + rate * rate;
+        levels[h] = l + rate;
+        heap.push(std::cmp::Reverse((levels[h].to_bits(), h)));
+    }
+    base + extra
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(v: f64) -> [f64; HOURS_PER_DAY] {
+        [v; HOURS_PER_DAY]
+    }
+
+    #[test]
+    fn zero_energy_returns_current_cost() {
+        let loads = flat(2.0);
+        let s = water_filling_sum_of_squares(&loads, u32::MAX, 0.0);
+        assert!((s - 24.0 * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mask_returns_current_cost() {
+        let loads = flat(1.0);
+        let s = water_filling_sum_of_squares(&loads, 0, 10.0);
+        assert!((s - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fills_empty_hours_evenly() {
+        // 4 empty allowed hours, energy 8 ⇒ level 2 each ⇒ Σ = 4·4 = 16.
+        let loads = [0.0; HOURS_PER_DAY];
+        let mask = hours_mask(10, 14);
+        let s = water_filling_sum_of_squares(&loads, mask, 8.0);
+        assert!((s - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefers_less_loaded_hours() {
+        // Hours 0 and 1 allowed with loads 0 and 3; energy 1 goes entirely
+        // to hour 0: Σ = 1 + 9 = 10 (pouring on hour 1 would give 0+16).
+        let mut loads = [0.0; HOURS_PER_DAY];
+        loads[1] = 3.0;
+        let s = water_filling_sum_of_squares(&loads, 0b11, 1.0);
+        assert!((s - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equalizes_when_energy_is_large() {
+        // Loads 1 and 3 on two allowed hours, energy 4 ⇒ level (1+3+4)/2 = 4
+        // on both ⇒ Σ = 32.
+        let mut loads = [0.0; HOURS_PER_DAY];
+        loads[0] = 1.0;
+        loads[1] = 3.0;
+        let s = water_filling_sum_of_squares(&loads, 0b11, 4.0);
+        assert!((s - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_fill_respects_level_constraint() {
+        // Loads 0, 2 allowed; energy 1: fill hour 0 to level 1 (≤ 2) and
+        // leave hour 1 alone: Σ = 1 + 4 = 5.
+        let mut loads = [0.0; HOURS_PER_DAY];
+        loads[1] = 2.0;
+        let s = water_filling_sum_of_squares(&loads, 0b11, 1.0);
+        assert!((s - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_never_exceeds_any_feasible_completion() {
+        // Discrete completion: put 2 kWh on hour 5 and 2 kWh on hour 6 with
+        // background load; the relaxation must be ≤ the discrete cost.
+        let mut loads = [0.0; HOURS_PER_DAY];
+        loads[5] = 1.0;
+        loads[7] = 4.0;
+        let mask = hours_mask(5, 8);
+        let bound = water_filling_sum_of_squares(&loads, mask, 4.0);
+        let mut discrete = loads;
+        discrete[5] += 2.0;
+        discrete[6] += 2.0;
+        let discrete_cost: f64 = discrete.iter().map(|l| l * l).sum();
+        assert!(bound <= discrete_cost + 1e-12);
+    }
+
+    #[test]
+    fn hours_mask_covers_expected_bits() {
+        let m = hours_mask(22, 24);
+        assert_eq!(m, 0b11 << 22);
+        assert_eq!(hours_mask(0, 24), (1u32 << 24) - 1);
+    }
+
+    #[test]
+    fn discrete_fill_matches_hand_packing() {
+        // 3 allowed empty hours, 4 units of rate 2: best integer split is
+        // 2/1/1 ⇒ Σ = 16 + 4 + 4 = 24.
+        let loads = [0.0; HOURS_PER_DAY];
+        let s = discrete_fill_sum_of_squares(&loads, hours_mask(0, 3), 4, 2.0);
+        assert!((s - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_fill_dominates_water_filling() {
+        // The integer bound is always at least the continuous one.
+        let mut loads = [0.0; HOURS_PER_DAY];
+        loads[5] = 1.0;
+        loads[6] = 3.0;
+        let mask = hours_mask(4, 9);
+        for units in 0..8u32 {
+            let cont = water_filling_sum_of_squares(&loads, mask, f64::from(units) * 2.0);
+            let disc = discrete_fill_sum_of_squares(&loads, mask, units, 2.0);
+            assert!(disc >= cont - 1e-9, "units={units}: {disc} < {cont}");
+        }
+    }
+
+    #[test]
+    fn discrete_fill_prefers_least_loaded_hours() {
+        let mut loads = [0.0; HOURS_PER_DAY];
+        loads[0] = 4.0;
+        // One unit of rate 2 goes to the empty hour 1: Σ = 16 + 4.
+        let s = discrete_fill_sum_of_squares(&loads, 0b11, 1, 2.0);
+        assert!((s - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_fill_zero_units_is_identity() {
+        let mut loads = [0.0; HOURS_PER_DAY];
+        loads[3] = 2.5;
+        let s = discrete_fill_sum_of_squares(&loads, u32::MAX >> 8, 0, 2.0);
+        assert!((s - 6.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_is_monotone_in_energy() {
+        let mut loads = [0.0; HOURS_PER_DAY];
+        loads[3] = 2.0;
+        let mask = hours_mask(0, 8);
+        let mut last = 0.0;
+        for e in 0..10 {
+            let s = water_filling_sum_of_squares(&loads, mask, f64::from(e));
+            assert!(s >= last - 1e-12);
+            last = s;
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Exhaustive enumeration for tiny instances.
+//!
+//! Walks the full cartesian product of deferments. Useful only for
+//! validating the branch-and-bound solver in tests and for illustrating
+//! why the paper's Optimal baseline needs a real solver: the space grows as
+//! `Π_i (β̂_i − α̂_i − v_i + 1)`.
+
+use enki_core::{Error, Result};
+
+use crate::problem::{AllocationProblem, Solution};
+
+/// Hard cap on enumerated candidates; larger instances are refused.
+pub const BRUTE_FORCE_LIMIT: f64 = 5e7;
+
+/// Finds the exact optimum by enumerating every deferment vector.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when the search space exceeds
+/// [`BRUTE_FORCE_LIMIT`] candidates.
+pub fn brute_force(problem: &AllocationProblem) -> Result<Solution> {
+    let space: f64 = (0..problem.len())
+        .map(|i| f64::from(problem.choices(i)))
+        .product();
+    if space > BRUTE_FORCE_LIMIT {
+        return Err(Error::InvalidConfig {
+            parameter: "search space",
+            constraint: "at most 5e7 candidates for brute force",
+        });
+    }
+
+    let n = problem.len();
+    let mut current = vec![0u8; n];
+    let mut best: Option<(f64, Vec<u8>)> = None;
+    loop {
+        let cost = problem
+            .cost(&current)
+            .expect("enumerated deferments are feasible");
+        match &best {
+            Some((b, _)) if *b <= cost => {}
+            _ => best = Some((cost, current.clone())),
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == n {
+                let (_, deferments) = best.expect("at least one candidate was evaluated");
+                return Solution::from_deferments(problem, deferments);
+            }
+            current[i] += 1;
+            if current[i] < problem.choices(i) {
+                break;
+            }
+            current[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enki_core::household::Preference;
+
+    fn pref(b: u8, e: u8, v: u8) -> Preference {
+        Preference::new(b, e, v).unwrap()
+    }
+
+    #[test]
+    fn finds_disjoint_packing() {
+        let p = AllocationProblem::new(vec![pref(12, 16, 2), pref(12, 16, 2)], 2.0, 1.0).unwrap();
+        let s = brute_force(&p).unwrap();
+        assert_eq!(s.windows[0].overlap(&s.windows[1]), 0);
+        assert!((s.objective - 4.0 * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_household_takes_any_placement() {
+        let p = AllocationProblem::new(vec![pref(8, 14, 3)], 2.0, 0.3).unwrap();
+        let s = brute_force(&p).unwrap();
+        // All placements cost the same for a single household.
+        assert!((s.objective - 0.3 * 3.0 * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refuses_huge_search_space() {
+        let p = AllocationProblem::new(vec![pref(0, 24, 1); 12], 2.0, 0.3).unwrap();
+        assert!(brute_force(&p).is_err());
+    }
+
+    #[test]
+    fn optimum_beats_every_enumerated_alternative() {
+        let p = AllocationProblem::new(
+            vec![pref(10, 16, 2), pref(12, 18, 3), pref(11, 15, 1)],
+            2.0,
+            0.3,
+        )
+        .unwrap();
+        let s = brute_force(&p).unwrap();
+        for d0 in 0..p.choices(0) {
+            for d1 in 0..p.choices(1) {
+                for d2 in 0..p.choices(2) {
+                    let cost = p.cost(&[d0, d1, d2]).unwrap();
+                    assert!(s.objective <= cost + 1e-12);
+                }
+            }
+        }
+    }
+}

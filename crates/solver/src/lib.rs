@@ -1,0 +1,52 @@
+//! # enki-solver
+//!
+//! Solvers for the Enki optimal-allocation problem (Eq. 2 of the paper):
+//! choose per-household deferments minimizing the quadratic neighborhood
+//! cost. The paper used IBM CPLEX's MIQP solver as its "Optimal" baseline;
+//! this crate provides a from-scratch replacement:
+//!
+//! * [`exact::BranchAndBound`] — exact depth-first branch-and-bound with a
+//!   water-filling lower bound and a local-search incumbent; anytime via
+//!   node/time limits.
+//! * [`local_search::LocalSearch`] — coordinate-descent best-response
+//!   dynamics; converges to a local optimum of the exact potential.
+//! * [`brute::brute_force`] — exhaustive enumeration for tiny instances,
+//!   used to validate the exact solver.
+//!
+//! ```
+//! use enki_solver::prelude::*;
+//! use enki_core::household::Preference;
+//!
+//! # fn main() -> Result<(), enki_core::Error> {
+//! let problem = AllocationProblem::new(
+//!     vec![
+//!         Preference::new(18, 22, 2)?,
+//!         Preference::new(18, 22, 2)?,
+//!         Preference::new(18, 21, 1)?,
+//!     ],
+//!     2.0,
+//!     0.3,
+//! )?;
+//! let report = BranchAndBound::new().solve(&problem)?;
+//! assert!(report.proven_optimal);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod bounds;
+pub mod brute;
+pub mod exact;
+pub mod local_search;
+pub mod problem;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::brute::brute_force;
+    pub use crate::exact::{BranchAndBound, SolveReport};
+    pub use crate::local_search::LocalSearch;
+    pub use crate::problem::{AllocationProblem, Solution};
+}

@@ -1,0 +1,278 @@
+//! The optimal-allocation problem (Eq. 2).
+//!
+//! Choose a deferment `d_i ∈ {0, …, β̂_i − α̂_i − v_i}` for every household
+//! so that the quadratic neighborhood cost
+//! `Σ_h σ·(Σ_i γ_h·r)²` is minimized, where `γ_h` indicates whether
+//! household `i`'s window (shifted by `d_i`) covers hour `h`. The paper
+//! solved this with IBM CPLEX's MIQP solver; this crate solves it with a
+//! from-scratch branch-and-bound ([`crate::exact`]), local search
+//! ([`crate::local_search`]), and exhaustive enumeration
+//! ([`crate::brute`]).
+
+use enki_core::config::EnkiConfig;
+use enki_core::household::Preference;
+use enki_core::load::LoadProfile;
+use enki_core::pricing::{Pricing, QuadraticPricing};
+use enki_core::time::Interval;
+use enki_core::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// An instance of the Eq. 2 scheduling MIQP.
+///
+/// # Examples
+///
+/// ```
+/// # use enki_solver::problem::AllocationProblem;
+/// # use enki_core::household::Preference;
+/// # fn main() -> Result<(), enki_core::Error> {
+/// let problem = AllocationProblem::new(
+///     vec![Preference::new(18, 22, 2)?, Preference::new(18, 20, 2)?],
+///     2.0,
+///     0.3,
+/// )?;
+/// assert_eq!(problem.len(), 2);
+/// assert_eq!(problem.choices(0), 3); // deferments 0, 1, 2
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocationProblem {
+    preferences: Vec<Preference>,
+    rate: f64,
+    sigma: f64,
+}
+
+impl AllocationProblem {
+    /// Creates a problem instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyNeighborhood`] without households and
+    /// [`Error::InvalidConfig`] for non-positive `rate` or `sigma`.
+    pub fn new(preferences: Vec<Preference>, rate: f64, sigma: f64) -> Result<Self> {
+        if preferences.is_empty() {
+            return Err(Error::EmptyNeighborhood);
+        }
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(Error::InvalidConfig {
+                parameter: "rate",
+                constraint: "a positive finite number",
+            });
+        }
+        if !sigma.is_finite() || sigma <= 0.0 {
+            return Err(Error::InvalidConfig {
+                parameter: "sigma",
+                constraint: "a positive finite number",
+            });
+        }
+        Ok(Self {
+            preferences,
+            rate,
+            sigma,
+        })
+    }
+
+    /// Builds the problem from reported preferences and a mechanism
+    /// configuration (uses its `rate` and `sigma`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyNeighborhood`] without households.
+    pub fn from_config(preferences: Vec<Preference>, config: &EnkiConfig) -> Result<Self> {
+        Self::new(preferences, config.rate(), config.sigma())
+    }
+
+    /// Number of households.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.preferences.len()
+    }
+
+    /// Whether the instance is empty (never true after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.preferences.is_empty()
+    }
+
+    /// The reported preferences.
+    #[must_use]
+    pub fn preferences(&self) -> &[Preference] {
+        &self.preferences
+    }
+
+    /// Per-household power rating in kW.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Pricing scale `σ`.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The pricing rule the objective uses.
+    #[must_use]
+    pub fn pricing(&self) -> QuadraticPricing {
+        QuadraticPricing::new(self.sigma).expect("validated at construction")
+    }
+
+    /// Number of feasible deferments for household `i`
+    /// (`β̂ − α̂ − v + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn choices(&self, i: usize) -> u8 {
+        self.preferences[i].slack() + 1
+    }
+
+    /// Base-10 logarithm of the search-space size `Π_i choices(i)` — the
+    /// quantity that makes exhaustive search infeasible at n = 50.
+    #[must_use]
+    pub fn log10_search_space(&self) -> f64 {
+        (0..self.len())
+            .map(|i| f64::from(self.choices(i)).log10())
+            .sum()
+    }
+
+    /// The consumption windows implied by a deferment vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WindowOutsideInterval`] when a deferment exceeds its
+    /// household's slack, and [`Error::UnknownHousehold`] when the vector
+    /// length does not match the household count.
+    pub fn windows(&self, deferments: &[u8]) -> Result<Vec<Interval>> {
+        if deferments.len() != self.len() {
+            return Err(Error::UnknownHousehold(
+                enki_core::household::HouseholdId::new(deferments.len() as u32),
+            ));
+        }
+        self.preferences
+            .iter()
+            .zip(deferments)
+            .map(|(p, &d)| p.window_at_deferment(d))
+            .collect()
+    }
+
+    /// Load profile of a deferment vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`windows`](Self::windows).
+    pub fn load(&self, deferments: &[u8]) -> Result<LoadProfile> {
+        Ok(LoadProfile::from_windows(
+            &self.windows(deferments)?,
+            self.rate,
+        ))
+    }
+
+    /// Objective value `κ = Σ_h σ·l_h²` of a deferment vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`windows`](Self::windows).
+    pub fn cost(&self, deferments: &[u8]) -> Result<f64> {
+        Ok(self.pricing().cost(&self.load(deferments)?))
+    }
+
+    /// Objective value of explicit windows (e.g. from the greedy allocator).
+    #[must_use]
+    pub fn cost_of_windows(&self, windows: &[Interval]) -> f64 {
+        self.pricing()
+            .cost(&LoadProfile::from_windows(windows, self.rate))
+    }
+}
+
+/// A feasible solution: deferments, the windows they imply, and the
+/// objective value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Chosen deferment `d_i` per household.
+    pub deferments: Vec<u8>,
+    /// Consumption windows implied by the deferments.
+    pub windows: Vec<Interval>,
+    /// Objective value `κ` (quadratic neighborhood cost).
+    pub objective: f64,
+}
+
+impl Solution {
+    /// Assembles a solution from deferments, computing windows and cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`AllocationProblem::windows`].
+    pub fn from_deferments(problem: &AllocationProblem, deferments: Vec<u8>) -> Result<Self> {
+        let windows = problem.windows(&deferments)?;
+        let objective = problem.cost_of_windows(&windows);
+        Ok(Self {
+            deferments,
+            windows,
+            objective,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pref(b: u8, e: u8, v: u8) -> Preference {
+        Preference::new(b, e, v).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_parameters() {
+        assert!(AllocationProblem::new(vec![], 2.0, 0.3).is_err());
+        assert!(AllocationProblem::new(vec![pref(0, 4, 1)], 0.0, 0.3).is_err());
+        assert!(AllocationProblem::new(vec![pref(0, 4, 1)], 2.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn choices_counts_deferments() {
+        let p = AllocationProblem::new(vec![pref(18, 22, 2), pref(18, 20, 2)], 2.0, 0.3).unwrap();
+        assert_eq!(p.choices(0), 3);
+        assert_eq!(p.choices(1), 1);
+    }
+
+    #[test]
+    fn log10_search_space_accumulates() {
+        let p = AllocationProblem::new(vec![pref(0, 24, 2); 10], 2.0, 0.3).unwrap();
+        // 23 placements each: 10·log10(23).
+        assert!((p.log10_search_space() - 10.0 * 23f64.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_matches_hand_computation() {
+        let p = AllocationProblem::new(vec![pref(18, 22, 2), pref(18, 22, 2)], 2.0, 0.5).unwrap();
+        // Both at deferment 0: hours 18, 19 carry 4 kWh ⇒ κ = 0.5·(16+16).
+        assert!((p.cost(&[0, 0]).unwrap() - 16.0).abs() < 1e-12);
+        // Disjoint: 4 hours at 2 kWh ⇒ κ = 0.5·4·4 = 8.
+        assert!((p.cost(&[0, 2]).unwrap() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_rejects_excessive_deferment() {
+        let p = AllocationProblem::new(vec![pref(18, 22, 2)], 2.0, 0.3).unwrap();
+        assert!(p.windows(&[2]).is_ok());
+        assert!(p.windows(&[3]).is_err());
+    }
+
+    #[test]
+    fn windows_rejects_wrong_length() {
+        let p = AllocationProblem::new(vec![pref(18, 22, 2)], 2.0, 0.3).unwrap();
+        assert!(p.windows(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn solution_from_deferments_is_consistent() {
+        let p = AllocationProblem::new(vec![pref(16, 20, 2), pref(18, 24, 3)], 2.0, 0.3).unwrap();
+        let s = Solution::from_deferments(&p, vec![1, 2]).unwrap();
+        assert_eq!(s.windows[0], Interval::new(17, 19).unwrap());
+        assert_eq!(s.windows[1], Interval::new(20, 23).unwrap());
+        assert!((s.objective - p.cost(&[1, 2]).unwrap()).abs() < 1e-12);
+    }
+}

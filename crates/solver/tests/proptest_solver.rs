@@ -1,0 +1,99 @@
+//! Property-based tests of the solver's bounds and search invariants.
+
+use enki_core::household::Preference;
+use enki_core::time::HOURS_PER_DAY;
+use enki_solver::bounds::{
+    discrete_fill_sum_of_squares, hours_mask, water_filling_sum_of_squares,
+};
+use enki_solver::local_search::LocalSearch;
+use enki_solver::problem::AllocationProblem;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn loads() -> impl Strategy<Value = [f64; HOURS_PER_DAY]> {
+    proptest::collection::vec(0.0f64..20.0, HOURS_PER_DAY).prop_map(|v| {
+        let mut arr = [0.0; HOURS_PER_DAY];
+        arr.copy_from_slice(&v);
+        arr
+    })
+}
+
+fn window() -> impl Strategy<Value = (u8, u8)> {
+    (0u8..23).prop_flat_map(|b| ((b + 1)..=24).prop_map(move |e| (b, e)))
+}
+
+proptest! {
+    #[test]
+    fn discrete_fill_dominates_water_filling(
+        loads in loads(),
+        (begin, end) in window(),
+        units in 0u32..12,
+        rate in 0.5f64..5.0,
+    ) {
+        let mask = hours_mask(begin, end);
+        let cont = water_filling_sum_of_squares(&loads, mask, f64::from(units) * rate);
+        let disc = discrete_fill_sum_of_squares(&loads, mask, units, rate);
+        prop_assert!(disc >= cont - 1e-6, "discrete {disc} < continuous {cont}");
+    }
+
+    #[test]
+    fn discrete_fill_lower_bounds_random_feasible_fills(
+        loads in loads(),
+        (begin, end) in window(),
+        units in 1u32..10,
+        rate in 0.5f64..5.0,
+        seed in any::<u64>(),
+    ) {
+        let mask = hours_mask(begin, end);
+        let bound = discrete_fill_sum_of_squares(&loads, mask, units, rate);
+        // A random feasible assignment of the units to allowed hours.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hours: Vec<usize> = (0..HOURS_PER_DAY).filter(|h| mask & (1 << h) != 0).collect();
+        let mut filled = loads;
+        for _ in 0..units {
+            let h = hours[rng.random_range(0..hours.len())];
+            filled[h] += rate;
+        }
+        let actual: f64 = filled.iter().map(|l| l * l).sum();
+        prop_assert!(bound <= actual + 1e-6, "bound {bound} > feasible {actual}");
+    }
+
+    #[test]
+    fn bounds_are_monotone_in_units(
+        loads in loads(),
+        (begin, end) in window(),
+        rate in 0.5f64..5.0,
+    ) {
+        let mask = hours_mask(begin, end);
+        let mut last = 0.0;
+        for units in 0..8u32 {
+            let s = discrete_fill_sum_of_squares(&loads, mask, units, rate);
+            prop_assert!(s >= last - 1e-9);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn local_search_never_violates_windows(
+        specs in proptest::collection::vec((0u8..20, 1u8..=3, 0u8..=4), 1..10),
+        seed in any::<u64>(),
+    ) {
+        let prefs: Vec<Preference> = specs
+            .into_iter()
+            .map(|(b, v, slack)| {
+                let b = b.min(24 - v - slack);
+                Preference::new(b, b + v + slack, v).unwrap()
+            })
+            .collect();
+        let problem = AllocationProblem::new(prefs, 2.0, 0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let solution = LocalSearch::new().solve(&problem, 2, &mut rng).unwrap();
+        for (p, w) in problem.preferences().iter().zip(&solution.windows) {
+            prop_assert!(p.validate_window(*w).is_ok());
+        }
+        // The reported objective is recomputable.
+        let recomputed = problem.cost_of_windows(&solution.windows);
+        prop_assert!((recomputed - solution.objective).abs() < 1e-9);
+    }
+}

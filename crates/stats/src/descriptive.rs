@@ -1,0 +1,209 @@
+//! Descriptive statistics and confidence intervals.
+//!
+//! The simulation study (§VI) reports means over 10 simulated days with 95%
+//! confidence intervals; [`Summary`] computes exactly that.
+
+use serde::{Deserialize, Serialize};
+
+use crate::special::student_t_critical;
+
+/// Sample mean. Returns 0 for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (n−1 denominator). Returns 0 for fewer than two
+/// observations.
+#[must_use]
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median (average of middle pair for even length). Returns 0 when empty.
+#[must_use]
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("median requires non-NaN data"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// A numeric summary of a sample: count, mean, spread, extremes, and a
+/// Student-t confidence half-width.
+///
+/// # Examples
+///
+/// ```
+/// # use enki_stats::descriptive::Summary;
+/// let s = Summary::from_sample(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// let (lo, hi) = s.confidence_interval(0.95);
+/// assert!(lo < 2.5 && 2.5 < hi);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub std_dev: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    #[must_use]
+    pub fn from_sample(xs: &[f64]) -> Self {
+        let (min, max) = xs.iter().fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), &x| (lo.min(x), hi.max(x)),
+        );
+        Self {
+            count: xs.len(),
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+            min: if xs.is_empty() { 0.0 } else { min },
+            max: if xs.is_empty() { 0.0 } else { max },
+        }
+    }
+
+    /// Standard error of the mean (0 for fewer than two observations).
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.std_dev / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Two-sided Student-t confidence interval for the mean. With fewer
+    /// than two observations the interval degenerates to the mean itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `confidence ∈ (0, 1)`.
+    #[must_use]
+    pub fn confidence_interval(&self, confidence: f64) -> (f64, f64) {
+        let half = self.confidence_half_width(confidence);
+        (self.mean - half, self.mean + half)
+    }
+
+    /// Half-width of the confidence interval (the plotted error bar).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `confidence ∈ (0, 1)`.
+    #[must_use]
+    pub fn confidence_half_width(&self, confidence: f64) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let t = student_t_critical((self.count - 1) as f64, confidence);
+        t * self.std_error()
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let xs: Vec<f64> = iter.into_iter().collect();
+        Self::from_sample(&xs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_reference() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample variance with n−1 = 7: Σ(x−5)² = 32 ⇒ 32/7.
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        let s = Summary::from_sample(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.confidence_half_width(0.95), 0.0);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let s = Summary::from_sample(&[5.0, -2.0, 8.5, 0.0]);
+        assert_eq!(s.min, -2.0);
+        assert_eq!(s.max, 8.5);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn confidence_interval_is_symmetric_and_widens() {
+        let s = Summary::from_sample(&[10.0, 12.0, 9.0, 11.0, 13.0, 10.5]);
+        let (lo95, hi95) = s.confidence_interval(0.95);
+        let (lo99, hi99) = s.confidence_interval(0.99);
+        assert!((s.mean - lo95 - (hi95 - s.mean)).abs() < 1e-12);
+        assert!(lo99 < lo95 && hi99 > hi95);
+    }
+
+    #[test]
+    fn confidence_matches_t_table() {
+        // n = 10, df = 9, 95% two-sided t = 2.262.
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let s = Summary::from_sample(&xs);
+        let expected = 2.262 * s.std_dev / 10f64.sqrt();
+        assert!((s.confidence_half_width(0.95) - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn summary_from_iterator() {
+        let s: Summary = (1..=5).map(f64::from).collect();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn constant_sample_has_zero_width_interval() {
+        let s = Summary::from_sample(&[4.2; 12]);
+        assert!(s.std_dev < 1e-12);
+        let (lo, hi) = s.confidence_interval(0.95);
+        assert!((hi - lo).abs() < 1e-9);
+    }
+}

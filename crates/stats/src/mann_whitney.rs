@@ -1,0 +1,336 @@
+//! The Mann–Whitney U test (Mann & Whitney, 1947).
+//!
+//! The paper's user study (§VII) tests whether subjects defect less than a
+//! random-defection null (Table III) and whether they select their true
+//! interval more often in the Cooperate stage than in Initial (Fig. 8).
+//! Both are two-sided Mann–Whitney U tests on samples of 16–20 subjects.
+//!
+//! This implementation handles ties by mid-ranking with the standard tie
+//! correction in the normal approximation, and switches to the exact
+//! permutation distribution (dynamic programming) for small tie-free
+//! samples.
+
+use serde::{Deserialize, Serialize};
+
+use crate::special::normal_cdf;
+
+/// Which tail(s) of the distribution form the alternative hypothesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Alternative {
+    /// `H₁`: the two distributions differ (default, used by the paper).
+    #[default]
+    TwoSided,
+    /// `H₁`: sample 1 is stochastically smaller than sample 2.
+    Less,
+    /// `H₁`: sample 1 is stochastically greater than sample 2.
+    Greater,
+}
+
+/// How the p-value was computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    /// Exact permutation distribution (small samples, no ties).
+    Exact,
+    /// Normal approximation with tie and continuity corrections.
+    NormalApproximation,
+}
+
+/// Result of a Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UTest {
+    /// U statistic of the first sample (`U₁ = R₁ − n₁(n₁+1)/2`).
+    pub u1: f64,
+    /// U statistic of the second sample (`U₂ = n₁n₂ − U₁`).
+    pub u2: f64,
+    /// The test statistic `U = min(U₁, U₂)`.
+    pub u: f64,
+    /// The p-value for the requested alternative.
+    pub p_value: f64,
+    /// Standardized statistic (0 when the exact method was used).
+    pub z: f64,
+    /// How the p-value was obtained.
+    pub method: Method,
+}
+
+/// Threshold below which the exact distribution is used (per-sample size),
+/// provided the pooled data has no ties.
+const EXACT_LIMIT: usize = 12;
+
+/// Runs a Mann–Whitney U test of `sample1` against `sample2`.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+///
+/// # Examples
+///
+/// ```
+/// # use enki_stats::mann_whitney::{mann_whitney_u, Alternative};
+/// let treated = [1.0, 2.0, 3.0, 4.0];
+/// let control = [10.0, 11.0, 12.0, 13.0];
+/// let t = mann_whitney_u(&treated, &control, Alternative::TwoSided);
+/// assert!(t.p_value < 0.05);
+/// ```
+#[must_use]
+pub fn mann_whitney_u(sample1: &[f64], sample2: &[f64], alternative: Alternative) -> UTest {
+    assert!(
+        !sample1.is_empty() && !sample2.is_empty(),
+        "mann_whitney_u requires non-empty samples"
+    );
+    let n1 = sample1.len();
+    let n2 = sample2.len();
+
+    // Pool, sort, midrank.
+    let mut pooled: Vec<(f64, usize)> = sample1
+        .iter()
+        .map(|&x| (x, 0usize))
+        .chain(sample2.iter().map(|&x| (x, 1usize)))
+        .collect();
+    assert!(
+        pooled.iter().all(|(x, _)| !x.is_nan()),
+        "mann_whitney_u requires non-NaN data"
+    );
+    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN was checked"));
+
+    let n = pooled.len();
+    let mut rank_sum1 = 0.0;
+    let mut tie_groups: Vec<usize> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let group = j - i + 1;
+        // Average rank of positions i..=j (1-based ranks).
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for item in &pooled[i..=j] {
+            if item.1 == 0 {
+                rank_sum1 += avg_rank;
+            }
+        }
+        if group > 1 {
+            tie_groups.push(group);
+        }
+        i = j + 1;
+    }
+
+    let u1 = rank_sum1 - (n1 * (n1 + 1)) as f64 / 2.0;
+    let u2 = (n1 * n2) as f64 - u1;
+    let u = u1.min(u2);
+
+    let has_ties = !tie_groups.is_empty();
+    if !has_ties && n1 <= EXACT_LIMIT && n2 <= EXACT_LIMIT {
+        let p_value = exact_p_value(n1, n2, u1, alternative);
+        return UTest {
+            u1,
+            u2,
+            u,
+            p_value,
+            z: 0.0,
+            method: Method::Exact,
+        };
+    }
+
+    // Normal approximation with tie correction.
+    let nf = n as f64;
+    let mean = (n1 * n2) as f64 / 2.0;
+    let tie_term: f64 = tie_groups
+        .iter()
+        .map(|&t| {
+            let t = t as f64;
+            t * t * t - t
+        })
+        .sum();
+    let var = (n1 * n2) as f64 / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)));
+    let sd = var.sqrt();
+    let (z, p_value) = if sd == 0.0 {
+        (0.0, 1.0)
+    } else {
+        match alternative {
+            Alternative::TwoSided => {
+                // Continuity correction toward the mean.
+                let z = (u1 - mean).abs() - 0.5;
+                let z = (z.max(0.0)) / sd;
+                (z, (2.0 * (1.0 - normal_cdf(z))).min(1.0))
+            }
+            Alternative::Less => {
+                let z = (u1 - mean + 0.5) / sd;
+                (z, normal_cdf(z))
+            }
+            Alternative::Greater => {
+                let z = (u1 - mean - 0.5) / sd;
+                (z, 1.0 - normal_cdf(z))
+            }
+        }
+    };
+    UTest {
+        u1,
+        u2,
+        u,
+        p_value,
+        z,
+        method: Method::NormalApproximation,
+    }
+}
+
+/// Exact p-value from the null distribution of U₁ via the classic counting
+/// recurrence: `count[n1][u]` over placements of sample-1 ranks.
+fn exact_p_value(n1: usize, n2: usize, u1: f64, alternative: Alternative) -> f64 {
+    let max_u = n1 * n2;
+    // Classic counting recurrence f(m, k, u) = f(m−1, k, u−k) + f(m, k−1, u)
+    // for the number of rank interleavings of m sample-1 and k sample-2
+    // items with statistic u. dp rolls over k: after the k-th outer pass,
+    // dp[m][u] = f(m, k, u). Rows are updated in increasing m so dp[m−1]
+    // already holds the current-k values while dp[m][u] still holds k−1.
+    let mut dp = vec![vec![0.0_f64; max_u + 1]; n1 + 1];
+    for row in dp.iter_mut() {
+        row[0] = 1.0; // f(m, 0, 0) = 1
+    }
+    for k in 1..=n2 {
+        for m in 1..=n1 {
+            for u in k..=max_u {
+                dp[m][u] += dp[m - 1][u - k];
+            }
+        }
+    }
+    let total: f64 = dp[n1].iter().sum();
+    debug_assert!((total - binomial(n1 + n2, n1)).abs() < total * 1e-9);
+    let u1r = u1.round() as usize;
+    let cdf_le: f64 = dp[n1][..=u1r.min(max_u)].iter().sum::<f64>() / total;
+    let cdf_ge: f64 = dp[n1][u1r.min(max_u)..].iter().sum::<f64>() / total;
+    match alternative {
+        Alternative::TwoSided => (2.0 * cdf_le.min(cdf_ge)).min(1.0),
+        Alternative::Less => cdf_le,
+        Alternative::Greater => cdf_ge,
+    }
+}
+
+/// Binomial coefficient as f64 (small arguments only; used for a sanity
+/// check of the exact distribution's total mass).
+fn binomial(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k);
+    let mut acc = 1.0_f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearly_separated_samples_reject_null() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [10.0, 11.0, 12.0, 13.0, 14.0];
+        let t = mann_whitney_u(&a, &b, Alternative::TwoSided);
+        assert!(t.p_value < 0.01, "p = {}", t.p_value);
+        assert_eq!(t.u, 0.0);
+    }
+
+    #[test]
+    fn identical_samples_accept_null() {
+        let a = [5.0, 6.0, 7.0, 8.0];
+        let t = mann_whitney_u(&a, &a, Alternative::TwoSided);
+        assert!(t.p_value > 0.9, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn u1_plus_u2_is_n1_n2() {
+        let a = [3.0, 9.0, 1.5, 7.0];
+        let b = [2.0, 8.0, 4.0];
+        let t = mann_whitney_u(&a, &b, Alternative::TwoSided);
+        assert!((t.u1 + t.u2 - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_method_used_for_small_tie_free_samples() {
+        let a = [1.0, 4.0, 6.0];
+        let b = [2.0, 3.0, 5.0];
+        let t = mann_whitney_u(&a, &b, Alternative::TwoSided);
+        assert_eq!(t.method, Method::Exact);
+    }
+
+    #[test]
+    fn normal_method_used_with_ties_or_large_samples() {
+        let a = [1.0, 2.0, 2.0];
+        let b = [2.0, 3.0, 4.0];
+        let t = mann_whitney_u(&a, &b, Alternative::TwoSided);
+        assert_eq!(t.method, Method::NormalApproximation);
+
+        let big1: Vec<f64> = (0..30).map(f64::from).collect();
+        let big2: Vec<f64> = (0..30).map(|i| f64::from(i) + 0.5).collect();
+        let t = mann_whitney_u(&big1, &big2, Alternative::TwoSided);
+        assert_eq!(t.method, Method::NormalApproximation);
+    }
+
+    #[test]
+    fn exact_p_matches_textbook_small_case() {
+        // n1 = n2 = 3, U = 0 (complete separation).
+        // Two-sided exact p = 2·(1/C(6,3)) = 2/20 = 0.1.
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        let t = mann_whitney_u(&a, &b, Alternative::TwoSided);
+        assert_eq!(t.method, Method::Exact);
+        assert!((t.p_value - 0.1).abs() < 1e-9, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn one_sided_directions_are_consistent() {
+        let small = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let large = [6.0, 7.0, 8.0, 9.0, 10.0];
+        let less = mann_whitney_u(&small, &large, Alternative::Less);
+        let greater = mann_whitney_u(&small, &large, Alternative::Greater);
+        assert!(less.p_value < 0.05);
+        assert!(greater.p_value > 0.9);
+    }
+
+    #[test]
+    fn paper_style_defection_test_is_significant() {
+        // Table III, Overall: sample 1 = rounds defected out of 16 per
+        // subject (low), sample 2 = constant 8 (random-defection null).
+        let observed = [
+            3.0, 2.0, 4.0, 5.0, 1.0, 3.0, 2.0, 6.0, 4.0, 3.0, 2.0, 5.0, 3.0, 4.0, 2.0, 3.0,
+            4.0, 3.0, 2.0, 4.0,
+        ];
+        let null = [8.0; 20];
+        let t = mann_whitney_u(&observed, &null, Alternative::TwoSided);
+        assert!(t.p_value < 0.0001, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn tie_correction_reduces_variance_but_keeps_p_valid() {
+        let a = [1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 8.0, 1.0, 2.0, 2.0, 1.0, 3.0, 2.0];
+        let b = [2.0, 2.0, 3.0, 3.0, 3.0, 4.0, 4.0, 2.0, 3.0, 4.0, 3.0, 3.0, 4.0];
+        let t = mann_whitney_u(&a, &b, Alternative::TwoSided);
+        assert!((0.0..=1.0).contains(&t.p_value));
+        assert!(t.p_value < 0.05);
+    }
+
+    #[test]
+    fn constant_identical_samples_have_p_one() {
+        let a = [4.0; 6];
+        let b = [4.0; 6];
+        let t = mann_whitney_u(&a, &b, Alternative::TwoSided);
+        assert_eq!(t.p_value, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics() {
+        let _ = mann_whitney_u(&[], &[1.0], Alternative::TwoSided);
+    }
+
+    #[test]
+    fn exact_distribution_symmetry() {
+        // Swapping samples mirrors U₁ ↔ U₂ and keeps the two-sided p.
+        let a = [1.0, 5.0, 9.0, 13.0];
+        let b = [2.0, 6.0, 10.0];
+        let t1 = mann_whitney_u(&a, &b, Alternative::TwoSided);
+        let t2 = mann_whitney_u(&b, &a, Alternative::TwoSided);
+        assert!((t1.u1 - t2.u2).abs() < 1e-12);
+        assert!((t1.p_value - t2.p_value).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,156 @@
+//! Random samplers for the simulation study.
+//!
+//! The paper's workload generator (§VI) draws preferred begin times from a
+//! Poisson distribution with mean 16 and durations from a discrete uniform
+//! `[1, 4]`. Samplers are implemented here (Knuth's Poisson algorithm with
+//! an inversion fallback for large means) so the workspace needs no extra
+//! distribution crates.
+
+use rand::{Rng, RngExt};
+
+/// Draws from a Poisson distribution with the given mean.
+///
+/// Uses Knuth's multiplication method for `mean ≤ 30` (exact, cheap at the
+/// paper's mean of 16) and normal-approximation rejection beyond that.
+///
+/// # Panics
+///
+/// Panics unless `mean` is positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// # use rand::SeedableRng;
+/// # use enki_stats::sample::poisson;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = poisson(&mut rng, 16.0);
+/// assert!(x < 100);
+/// ```
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u32 {
+    assert!(mean > 0.0 && mean.is_finite(), "poisson requires a positive finite mean");
+    if mean <= 30.0 {
+        // Knuth: multiply uniforms until the product drops below e^{-mean}.
+        let threshold = (-mean).exp();
+        let mut k = 0u32;
+        let mut p = 1.0_f64;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= threshold {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Normal approximation with continuity correction, clamped at zero.
+        let z = standard_normal(rng);
+        let x = mean + mean.sqrt() * z;
+        x.round().max(0.0) as u32
+    }
+}
+
+/// Draws a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws an integer uniformly from the inclusive range `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn uniform_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: u8, hi: u8) -> u8 {
+    assert!(lo <= hi, "uniform_inclusive requires lo <= hi");
+    rng.random_range(lo..=hi)
+}
+
+/// Draws a Poisson(`mean`) value clamped into `[lo, hi]` — the paper's
+/// begin-time generator needs values that stay inside the day.
+pub fn poisson_clamped<R: Rng + ?Sized>(rng: &mut R, mean: f64, lo: u8, hi: u8) -> u8 {
+    let raw = poisson(rng, mean);
+    (raw.min(u32::from(u8::MAX)) as u8).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_and_variance_match() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| f64::from(poisson(&mut rng, 16.0))).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 16.0).abs() < 0.2, "mean = {mean}");
+        assert!((var - 16.0).abs() < 1.0, "var = {var}");
+    }
+
+    #[test]
+    fn poisson_small_mean_mostly_zero_or_one() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let draws: Vec<u32> = (0..5_000).map(|_| poisson(&mut rng, 0.1)).collect();
+        let zeros = draws.iter().filter(|&&x| x == 0).count();
+        // P(X = 0) = e^{-0.1} ≈ 0.905
+        assert!(zeros > 4_300 && zeros < 4_800, "zeros = {zeros}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_branch() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| f64::from(poisson(&mut rng, 100.0))).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean = {mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn uniform_inclusive_covers_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let x = uniform_inclusive(&mut rng, 1, 4);
+            assert!((1..=4).contains(&x));
+            seen[(x - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all values in [1,4] drawn");
+    }
+
+    #[test]
+    fn uniform_inclusive_degenerate_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(uniform_inclusive(&mut rng, 9, 9), 9);
+    }
+
+    #[test]
+    fn poisson_clamped_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let x = poisson_clamped(&mut rng, 16.0, 0, 20);
+            assert!(x <= 20);
+        }
+    }
+
+    #[test]
+    fn seeded_sampling_is_reproducible() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        let xs: Vec<u32> = (0..50).map(|_| poisson(&mut a, 16.0)).collect();
+        let ys: Vec<u32> = (0..50).map(|_| poisson(&mut b, 16.0)).collect();
+        assert_eq!(xs, ys);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the statistics substrate.
+
+use enki_stats::descriptive::Summary;
+use enki_stats::mann_whitney::{mann_whitney_u, Alternative};
+use enki_stats::special::{normal_cdf, normal_quantile, student_t_cdf, student_t_critical};
+use proptest::prelude::*;
+
+fn sample() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e3f64..1e3, 1..25)
+}
+
+proptest! {
+    #[test]
+    fn u_statistics_partition_the_products(a in sample(), b in sample()) {
+        let t = mann_whitney_u(&a, &b, Alternative::TwoSided);
+        let product = (a.len() * b.len()) as f64;
+        prop_assert!((t.u1 + t.u2 - product).abs() < 1e-9);
+        prop_assert!(t.u <= t.u1 && t.u <= t.u2);
+        prop_assert!((0.0..=1.0).contains(&t.p_value));
+    }
+
+    #[test]
+    fn two_sided_p_is_symmetric_in_samples(a in sample(), b in sample()) {
+        let t1 = mann_whitney_u(&a, &b, Alternative::TwoSided);
+        let t2 = mann_whitney_u(&b, &a, Alternative::TwoSided);
+        prop_assert!((t1.p_value - t2.p_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_sided_tails_are_complementary_without_ties(
+        mut a in proptest::collection::vec(0f64..1e6, 3..12),
+        mut b in proptest::collection::vec(0f64..1e6, 3..12),
+    ) {
+        // De-duplicate to avoid ties (the exact method assumes none).
+        a.sort_by(f64::total_cmp);
+        a.dedup();
+        b.sort_by(f64::total_cmp);
+        b.retain(|x| !a.contains(x));
+        b.dedup();
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let less = mann_whitney_u(&a, &b, Alternative::Less);
+        let greater = mann_whitney_u(&a, &b, Alternative::Greater);
+        // P(U ≤ u) + P(U ≥ u) = 1 + P(U = u) ≥ 1.
+        prop_assert!(less.p_value + greater.p_value >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn shifting_a_sample_up_increases_its_rank_sum(
+        a in proptest::collection::vec(0f64..100.0, 3..15),
+        shift in 200f64..500.0,
+    ) {
+        let shifted: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let t = mann_whitney_u(&shifted, &a, Alternative::Greater);
+        // A fully separated upward shift makes "greater" nearly certain.
+        prop_assert!(t.p_value < 0.51);
+        prop_assert_eq!(t.u2, 0.0);
+    }
+
+    #[test]
+    fn normal_quantile_round_trips(p in 0.001f64..0.999) {
+        let z = normal_quantile(p);
+        prop_assert!((normal_cdf(z) - p).abs() < 1e-5);
+    }
+
+    #[test]
+    fn t_cdf_is_monotone(df in 1.0f64..200.0, a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(student_t_cdf(lo, df) <= student_t_cdf(hi, df) + 1e-12);
+    }
+
+    #[test]
+    fn t_critical_monotonicity(df in 1.0f64..100.0) {
+        // Wider confidence needs a larger critical value.
+        let t90 = student_t_critical(df, 0.90);
+        let t95 = student_t_critical(df, 0.95);
+        let t99 = student_t_critical(df, 0.99);
+        prop_assert!(t90 < t95 && t95 < t99);
+        // More degrees of freedom shrink the critical value.
+        let t95_more = student_t_critical(df + 50.0, 0.95);
+        prop_assert!(t95_more <= t95 + 1e-9);
+    }
+
+    #[test]
+    fn summary_interval_contains_the_mean(xs in proptest::collection::vec(-1e3f64..1e3, 2..40)) {
+        let s = Summary::from_sample(&xs);
+        let (lo, hi) = s.confidence_interval(0.95);
+        prop_assert!(lo <= s.mean + 1e-9 && s.mean <= hi + 1e-9);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+    }
+
+    #[test]
+    fn poisson_draws_are_reproducible_and_finite(seed in any::<u64>(), mean in 0.1f64..50.0) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let x = enki_stats::sample::poisson(&mut a, mean);
+            let y = enki_stats::sample::poisson(&mut b, mean);
+            prop_assert_eq!(x, y);
+            prop_assert!(x < 10_000);
+        }
+    }
+}

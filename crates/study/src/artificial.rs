@@ -1,0 +1,134 @@
+//! Artificial agents used to control the study sessions (§VII-C).
+//!
+//! Treatment 1 adds six artificial agents per session, Treatment 2 four.
+//! Each agent's true preference updates every round. Half of the agents
+//! defect in rounds 1–8 (submitting a shifted interval and consuming within
+//! their truth) and *all* agents cooperate in rounds 9–16.
+
+use enki_core::household::Preference;
+use enki_core::time::Interval;
+use enki_stats::sample::{poisson_clamped, uniform_inclusive};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One scripted agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArtificialAgent {
+    /// Whether this agent defects during the defect phase (rounds 1–8).
+    pub defector: bool,
+}
+
+impl ArtificialAgent {
+    /// Creates an agent.
+    #[must_use]
+    pub fn new(defector: bool) -> Self {
+        Self { defector }
+    }
+
+    /// Builds the session's agent pool: the first half defect in rounds
+    /// 1–8 (the paper: "half of the agents defect in Rounds 1 to 8").
+    #[must_use]
+    pub fn pool(count: usize) -> Vec<Self> {
+        (0..count).map(|i| Self::new(i < count / 2)).collect()
+    }
+
+    /// Draws this round's true preference: evening-peaked begin, duration
+    /// 1–3, and a couple of hours of slack.
+    pub fn draw_truth<R: Rng + ?Sized>(&self, rng: &mut R) -> Preference {
+        let v = uniform_inclusive(rng, 1, 3);
+        let begin = poisson_clamped(rng, 16.0, 0, 24 - v - 2);
+        let slack = uniform_inclusive(rng, 1, 2);
+        let end = (begin + v + slack).min(24);
+        Preference::new(begin, end, v).expect("drawn truth is valid")
+    }
+
+    /// The agent's submission for `round` (1-based): truthful when
+    /// cooperating, shifted by two hours when defecting.
+    pub fn submit<R: Rng + ?Sized>(
+        &self,
+        truth: &Preference,
+        round: usize,
+        defect_phase_rounds: usize,
+        rng: &mut R,
+    ) -> Preference {
+        if self.defector && round <= defect_phase_rounds {
+            let len = truth.window().len();
+            let offset = uniform_inclusive(rng, 2, 3);
+            let begin = if truth.begin() >= offset {
+                truth.begin() - offset
+            } else {
+                (truth.begin() + offset).min(24 - len)
+            };
+            Preference::new(begin, begin + len, truth.duration())
+                .expect("shifted submission stays inside the day")
+        } else {
+            *truth
+        }
+    }
+
+    /// The agent's realized consumption: always within its truth, as close
+    /// to the allocation as possible (the §VII-B automation).
+    #[must_use]
+    pub fn consume(&self, truth: &Preference, allocation: Interval) -> Interval {
+        truth.closest_window(allocation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pool_splits_defectors_in_half() {
+        let pool = ArtificialAgent::pool(6);
+        assert_eq!(pool.iter().filter(|a| a.defector).count(), 3);
+        let pool = ArtificialAgent::pool(4);
+        assert_eq!(pool.iter().filter(|a| a.defector).count(), 2);
+    }
+
+    #[test]
+    fn cooperators_always_submit_truth() {
+        let agent = ArtificialAgent::new(false);
+        let mut rng = StdRng::seed_from_u64(1);
+        let truth = agent.draw_truth(&mut rng);
+        for round in 1..=16 {
+            assert_eq!(agent.submit(&truth, round, 8, &mut rng), truth);
+        }
+    }
+
+    #[test]
+    fn defectors_misreport_only_in_defect_phase() {
+        let agent = ArtificialAgent::new(true);
+        let mut rng = StdRng::seed_from_u64(2);
+        let truth = agent.draw_truth(&mut rng);
+        for round in 1..=8 {
+            assert_ne!(agent.submit(&truth, round, 8, &mut rng), truth);
+        }
+        for round in 9..=16 {
+            assert_eq!(agent.submit(&truth, round, 8, &mut rng), truth);
+        }
+    }
+
+    #[test]
+    fn drawn_truths_are_well_formed() {
+        let agent = ArtificialAgent::new(true);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let t = agent.draw_truth(&mut rng);
+            assert!(t.end() <= 24);
+            assert!(t.slack() >= 1);
+            assert!((1..=3).contains(&t.duration()));
+        }
+    }
+
+    #[test]
+    fn consumption_stays_inside_truth() {
+        let agent = ArtificialAgent::new(true);
+        let truth = Preference::new(18, 21, 2).unwrap();
+        let allocation = Interval::new(10, 12).unwrap();
+        let w = agent.consume(&truth, allocation);
+        assert!(truth.validate_window(w).is_ok());
+    }
+}

@@ -1,0 +1,431 @@
+//! The full §VII user study: 20 subjects across two treatments, with the
+//! analyses behind Tables II–IV and Figures 8–9.
+//!
+//! Treatment 1 runs four group sessions of four subjects plus six
+//! artificial agents; Treatment 2 runs four solo sessions of one subject
+//! plus four agents. Subject behaviour models follow the paper's
+//! questionnaire: subjects 7 and 8 understood the game well, four subjects
+//! (6, 9, 15, 19) did not understand it at all, four more understood it
+//! partially, and the rest are typical.
+
+use enki_core::Result;
+use enki_stats::descriptive::mean;
+use enki_stats::mann_whitney::{mann_whitney_u, Alternative, UTest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::game::{run_session, SessionConfig, SubjectLog};
+use crate::metrics::{
+    defection_count, defection_rate, flexibility_series, mean_flexibility_series, Stage,
+    true_interval_ratio,
+};
+use crate::subject::SubjectModel;
+
+/// Configuration of the whole study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Per-session parameters (rounds, truth schedule, Treatment 1 agent
+    /// count).
+    pub session: SessionConfig,
+    /// Treatment 1 group sessions (paper: 4 sessions × 4 subjects).
+    pub t1_sessions: usize,
+    /// Subjects per Treatment 1 session.
+    pub t1_subjects_per_session: usize,
+    /// Treatment 2 solo sessions (paper: 4).
+    pub t2_sessions: usize,
+    /// Artificial agents in Treatment 2 sessions (paper: 4).
+    pub t2_agents: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        Self {
+            session: SessionConfig::default(),
+            t1_sessions: 4,
+            t1_subjects_per_session: 4,
+            t2_sessions: 4,
+            t2_agents: 4,
+            seed: 2017,
+        }
+    }
+}
+
+/// The behaviour model of each numbered subject, following the paper's
+/// questionnaire: P7/P8 understood well; 6, 9, 15, 19 did not understand;
+/// 2, 5, 12, 17 understood partially; the rest are typical.
+#[must_use]
+pub fn model_for_subject(subject: usize) -> SubjectModel {
+    match subject {
+        7 | 8 => SubjectModel::WellUnderstood,
+        6 | 9 | 15 | 19 => SubjectModel::Random,
+        2 | 5 | 12 | 17 => SubjectModel::Intermediate,
+        _ => SubjectModel::Standard,
+    }
+}
+
+/// Which treatment each numbered subject played in. The paper does not
+/// publish the split; we place four comprehending subjects in the solo
+/// Treatment 2 (subjects 14, 17, 18, 20) and everyone else in the group
+/// Treatment 1.
+#[must_use]
+pub fn treatment_for_subject(subject: usize) -> u8 {
+    match subject {
+        14 | 17 | 18 | 20 => 2,
+        _ => 1,
+    }
+}
+
+/// The complete study: every subject's log plus the paper's analyses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyOutcome {
+    /// One log per subject, ordered by subject number (1..=20 by default;
+    /// Treatment 1 subjects come first).
+    pub logs: Vec<SubjectLog>,
+    /// Rounds per session.
+    pub rounds: usize,
+}
+
+/// Table II / Table IV row: mean defection rate per stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DefectionRates {
+    /// Mean defection rate over rounds 1–16.
+    pub overall: f64,
+    /// Mean defection rate over rounds 1–4.
+    pub initial: f64,
+    /// Mean defection rate over rounds 1–8.
+    pub defect: f64,
+    /// Mean defection rate over rounds 9–16.
+    pub cooperate: f64,
+}
+
+impl DefectionRates {
+    /// The rate for a given stage.
+    #[must_use]
+    pub fn for_stage(&self, stage: Stage) -> f64 {
+        match stage {
+            Stage::Overall => self.overall,
+            Stage::Initial => self.initial,
+            Stage::Defect => self.defect,
+            Stage::Cooperate => self.cooperate,
+        }
+    }
+}
+
+/// One row of Table III: the Mann–Whitney U test of observed defection
+/// counts against the random-defection null for one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DefectionTestRow {
+    /// The stage tested.
+    pub stage: Stage,
+    /// The constant value of each element of Sample 2 (half the stage's
+    /// rounds — a subject defecting at random).
+    pub null_value: f64,
+    /// The test result.
+    pub test: UTest,
+}
+
+/// Figure 8 data: per-subject true-interval selecting ratios in Initial vs
+/// Cooperate, restricted to comprehending subjects, plus the U test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrueIntervalAnalysis {
+    /// `(subject, ratio in Initial, ratio in Cooperate)` per kept subject.
+    pub per_subject: Vec<(usize, f64, f64)>,
+    /// Mean ratio in Initial over *all* subjects (paper: 23.75%).
+    pub mean_initial_all: f64,
+    /// Mean ratio in Cooperate over *all* subjects (paper: 37.5%).
+    pub mean_cooperate_all: f64,
+    /// One-sided test that Cooperate ratios exceed Initial ratios for the
+    /// comprehending subjects (paper reports p = 0.0143).
+    pub test: UTest,
+}
+
+/// Figure 9 data: flexibility-ratio trajectories.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlexibilityAnalysis {
+    /// Subject 7's per-round flexibility ratio.
+    pub p7: Vec<f64>,
+    /// Subject 8's per-round flexibility ratio.
+    pub p8: Vec<f64>,
+    /// Mean trajectory of the four intermediate-understanding subjects.
+    pub intermediate_mean: Vec<f64>,
+}
+
+impl StudyOutcome {
+    /// Logs restricted to one treatment.
+    #[must_use]
+    pub fn treatment(&self, treatment: u8) -> Vec<&SubjectLog> {
+        self.logs
+            .iter()
+            .filter(|l| l.treatment == treatment)
+            .collect()
+    }
+
+    /// Table II: mean defection rate of all subjects per stage.
+    #[must_use]
+    pub fn table2_defection_rates(&self) -> DefectionRates {
+        self.rates_over(self.logs.iter().collect::<Vec<_>>().as_slice())
+    }
+
+    /// Table IV: mean defection rate per treatment per stage.
+    #[must_use]
+    pub fn table4_treatment_rates(&self) -> (DefectionRates, DefectionRates) {
+        (
+            self.rates_over(&self.treatment(1)),
+            self.rates_over(&self.treatment(2)),
+        )
+    }
+
+    fn rates_over(&self, logs: &[&SubjectLog]) -> DefectionRates {
+        let rate = |stage: Stage| -> f64 {
+            mean(
+                &logs
+                    .iter()
+                    .map(|l| defection_rate(l, stage))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        DefectionRates {
+            overall: rate(Stage::Overall),
+            initial: rate(Stage::Initial),
+            defect: rate(Stage::Defect),
+            cooperate: rate(Stage::Cooperate),
+        }
+    }
+
+    /// Table III: per-stage Mann–Whitney U tests of defection counts
+    /// against the random-defection null (each null element is half the
+    /// stage's rounds).
+    #[must_use]
+    pub fn table3_defection_tests(&self) -> Vec<DefectionTestRow> {
+        Stage::ALL
+            .iter()
+            .map(|&stage| {
+                let sample1: Vec<f64> = self
+                    .logs
+                    .iter()
+                    .map(|l| defection_count(l, stage) as f64)
+                    .collect();
+                let null_value = stage.len(self.rounds) as f64 / 2.0;
+                let sample2 = vec![null_value; sample1.len()];
+                DefectionTestRow {
+                    stage,
+                    null_value,
+                    test: mann_whitney_u(&sample1, &sample2, Alternative::TwoSided),
+                }
+            })
+            .collect()
+    }
+
+    /// Figure 8: true-interval selecting ratios, Initial vs Cooperate, for
+    /// the comprehending subjects, with a one-sided U test that the
+    /// Cooperate ratios are higher.
+    #[must_use]
+    pub fn fig8_true_interval(&self) -> TrueIntervalAnalysis {
+        let all_initial: Vec<f64> = self
+            .logs
+            .iter()
+            .map(|l| true_interval_ratio(l, Stage::Initial))
+            .collect();
+        let all_cooperate: Vec<f64> = self
+            .logs
+            .iter()
+            .map(|l| true_interval_ratio(l, Stage::Cooperate))
+            .collect();
+
+        let kept: Vec<&SubjectLog> = self
+            .logs
+            .iter()
+            .filter(|l| l.model.comprehends())
+            .collect();
+        let per_subject: Vec<(usize, f64, f64)> = kept
+            .iter()
+            .map(|l| {
+                (
+                    l.subject,
+                    true_interval_ratio(l, Stage::Initial),
+                    true_interval_ratio(l, Stage::Cooperate),
+                )
+            })
+            .collect();
+        let initial: Vec<f64> = per_subject.iter().map(|&(_, i, _)| i).collect();
+        let cooperate: Vec<f64> = per_subject.iter().map(|&(_, _, c)| c).collect();
+        TrueIntervalAnalysis {
+            per_subject,
+            mean_initial_all: mean(&all_initial),
+            mean_cooperate_all: mean(&all_cooperate),
+            test: mann_whitney_u(&initial, &cooperate, Alternative::Less),
+        }
+    }
+
+    /// Figure 9: flexibility trajectories of P7, P8, and the mean of the
+    /// intermediate subjects.
+    #[must_use]
+    pub fn fig9_flexibility(&self) -> FlexibilityAnalysis {
+        let find = |subject: usize| -> Vec<f64> {
+            self.logs
+                .iter()
+                .find(|l| l.subject == subject)
+                .map(flexibility_series)
+                .unwrap_or_default()
+        };
+        let intermediates: Vec<&SubjectLog> = self
+            .logs
+            .iter()
+            .filter(|l| l.model == SubjectModel::Intermediate)
+            .collect();
+        FlexibilityAnalysis {
+            p7: find(7),
+            p8: find(8),
+            intermediate_mean: mean_flexibility_series(&intermediates),
+        }
+    }
+}
+
+/// Runs the full study.
+///
+/// # Errors
+///
+/// Propagates mechanism errors (none occur for the default configuration).
+pub fn run_user_study(config: &StudyConfig) -> Result<StudyOutcome> {
+    let mut logs = Vec::new();
+    let total_subjects =
+        config.t1_sessions * config.t1_subjects_per_session + config.t2_sessions;
+    let t1_roster: Vec<usize> = (1..=total_subjects)
+        .filter(|&s| treatment_for_subject(s) == 1)
+        .collect();
+    let t2_roster: Vec<usize> = (1..=total_subjects)
+        .filter(|&s| treatment_for_subject(s) == 2)
+        .collect();
+
+    // Treatment 1: group sessions.
+    for (session, ids) in t1_roster
+        .chunks(config.t1_subjects_per_session.max(1))
+        .take(config.t1_sessions)
+        .enumerate()
+    {
+        let subjects: Vec<(usize, SubjectModel)> =
+            ids.iter().map(|&id| (id, model_for_subject(id))).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(session as u64));
+        logs.extend(run_session(&config.session, &subjects, 1, &mut rng)?);
+    }
+
+    // Treatment 2: solo sessions with fewer agents.
+    let t2_session = SessionConfig {
+        agents: config.t2_agents,
+        ..config.session
+    };
+    for (session, &id) in t2_roster.iter().take(config.t2_sessions).enumerate() {
+        let subjects = vec![(id, model_for_subject(id))];
+        let mut rng =
+            StdRng::seed_from_u64(config.seed.wrapping_add(1000 + session as u64));
+        logs.extend(run_session(&t2_session, &subjects, 2, &mut rng)?);
+    }
+
+    logs.sort_by_key(|l| l.subject);
+    Ok(StudyOutcome {
+        logs,
+        rounds: config.session.rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> StudyOutcome {
+        run_user_study(&StudyConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn study_covers_twenty_subjects() {
+        let out = outcome();
+        assert_eq!(out.logs.len(), 20);
+        assert_eq!(out.treatment(1).len(), 16);
+        assert_eq!(out.treatment(2).len(), 4);
+        let ids: Vec<usize> = out.logs.iter().map(|l| l.subject).collect();
+        assert_eq!(ids, (1..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn model_assignment_matches_paper_categories() {
+        assert_eq!(model_for_subject(7), SubjectModel::WellUnderstood);
+        assert_eq!(model_for_subject(8), SubjectModel::WellUnderstood);
+        for s in [6, 9, 15, 19] {
+            assert_eq!(model_for_subject(s), SubjectModel::Random);
+        }
+        assert_eq!(model_for_subject(1), SubjectModel::Standard);
+        let randoms = (1..=20).filter(|&s| model_for_subject(s) == SubjectModel::Random);
+        assert_eq!(randoms.count(), 4);
+    }
+
+    #[test]
+    fn table2_overall_rate_is_low_and_decreasing() {
+        let out = outcome();
+        let rates = out.table2_defection_rates();
+        // Paper Table II shape: low overall, higher while learning, lowest
+        // once everyone cooperates.
+        assert!(rates.overall < 0.5, "overall = {}", rates.overall);
+        assert!(rates.initial > rates.cooperate);
+        assert!(rates.defect >= rates.cooperate);
+    }
+
+    #[test]
+    fn table3_overall_test_is_significant() {
+        let out = outcome();
+        let rows = out.table3_defection_tests();
+        assert_eq!(rows.len(), 4);
+        let overall = rows.iter().find(|r| r.stage == Stage::Overall).unwrap();
+        assert!(
+            overall.test.p_value < 0.0001,
+            "p = {}",
+            overall.test.p_value
+        );
+        let cooperate = rows.iter().find(|r| r.stage == Stage::Cooperate).unwrap();
+        assert!(cooperate.test.p_value < 0.001);
+        assert_eq!(cooperate.null_value, 4.0);
+    }
+
+    #[test]
+    fn fig8_cooperate_ratios_rise() {
+        let out = outcome();
+        let fig8 = out.fig8_true_interval();
+        assert_eq!(fig8.per_subject.len(), 16);
+        assert!(fig8.mean_cooperate_all > fig8.mean_initial_all);
+        assert!(fig8.test.p_value < 0.05, "p = {}", fig8.test.p_value);
+    }
+
+    #[test]
+    fn fig9_trajectories_have_full_length() {
+        let out = outcome();
+        let fig9 = out.fig9_flexibility();
+        assert_eq!(fig9.p7.len(), 16);
+        assert_eq!(fig9.p8.len(), 16);
+        assert_eq!(fig9.intermediate_mean.len(), 16);
+        // P7/P8 end at the exact truth (ratio 1) in Cooperate.
+        assert!(fig9.p7[12..].iter().all(|&f| (f - 1.0).abs() < 1e-12));
+        assert!(fig9.p8[12..].iter().all(|&f| (f - 1.0).abs() < 1e-12));
+        // Intermediate average rises over the game.
+        let early: f64 = fig9.intermediate_mean[..4].iter().sum::<f64>() / 4.0;
+        let late: f64 = fig9.intermediate_mean[12..].iter().sum::<f64>() / 4.0;
+        assert!(late > early, "early = {early}, late = {late}");
+    }
+
+    #[test]
+    fn table4_t2_cooperates_more_in_cooperate_stage() {
+        let out = outcome();
+        let (t1, t2) = out.table4_treatment_rates();
+        // Paper Table IV: Treatment 2 defects less in Cooperate (0.03 vs
+        // 0.15) — all of its co-players are cooperating agents.
+        assert!(t2.cooperate <= t1.cooperate + 1e-9);
+    }
+
+    #[test]
+    fn study_is_reproducible() {
+        let a = run_user_study(&StudyConfig::default()).unwrap();
+        let b = run_user_study(&StudyConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

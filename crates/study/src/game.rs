@@ -1,0 +1,340 @@
+//! The user-study game engine (§VII-B).
+//!
+//! One *session* is a 16-round game between a handful of simulated subjects
+//! and scripted artificial agents, mediated by an [`Enki`] center. Each
+//! round follows the paper's protocol: subjects receive a true preference
+//! (changing every four rounds so they can learn and adjust), every player
+//! submits an interval, Enki allocates, consumption is automated to stay
+//! within the true interval as close to the allocation as possible, payment
+//! and utility follow Eqs. 7–8, and the utility is rescaled into a 0–100
+//! score revealed to the subject.
+
+use enki_core::config::EnkiConfig;
+use enki_core::household::{HouseholdId, HouseholdType, Preference, Report};
+use enki_core::mechanism::Enki;
+use enki_core::time::Interval;
+use enki_core::Result;
+use enki_stats::sample::{poisson_clamped, uniform_inclusive};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::artificial::ArtificialAgent;
+use crate::subject::SubjectModel;
+
+/// Valuation factor used for every study player; the paper fixes each
+/// subject's payoff scale so scores are comparable.
+pub const STUDY_RHO: f64 = 5.0;
+
+/// Configuration of one session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Rounds per session (paper: 16).
+    pub rounds: usize,
+    /// How often each subject's true preference changes (paper: every 4
+    /// rounds).
+    pub truth_change_every: usize,
+    /// Artificial agents defect in rounds `1..=defect_phase_rounds`
+    /// (paper: 8).
+    pub defect_phase_rounds: usize,
+    /// Number of artificial agents (paper: 6 in Treatment 1, 4 in
+    /// Treatment 2).
+    pub agents: usize,
+    /// Mechanism parameters.
+    pub enki: EnkiConfig,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 16,
+            truth_change_every: 4,
+            defect_phase_rounds: 8,
+            agents: 6,
+            enki: EnkiConfig::default(),
+        }
+    }
+}
+
+/// Everything recorded about one subject in one round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// 1-based round number.
+    pub round: usize,
+    /// The subject's true preference this round.
+    pub truth: Preference,
+    /// The interval the subject submitted.
+    pub submission: Preference,
+    /// The window Enki suggested.
+    pub allocation: Interval,
+    /// The realized consumption (within the truth, close to the
+    /// allocation).
+    pub consumption: Interval,
+    /// Whether the subject deviated from its allocation.
+    pub defected: bool,
+    /// Whether the submission was exactly the true interval.
+    pub chose_exact_truth: bool,
+    /// The paper's flexibility ratio: length of the submitted interval
+    /// lying within the true interval over the true interval's length.
+    pub flexibility_ratio: f64,
+    /// Quasilinear utility (Eq. 8).
+    pub utility: f64,
+    /// Utility rescaled to 0–100 across the round's players.
+    pub score: f64,
+}
+
+/// One subject's full trajectory through a session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubjectLog {
+    /// Global 1-based subject number (1–20 in the paper).
+    pub subject: usize,
+    /// The behaviour model driving the subject.
+    pub model: SubjectModel,
+    /// Which treatment the subject played in (1 = group, 2 = solo).
+    pub treatment: u8,
+    /// Per-round records, in order.
+    pub rounds: Vec<RoundRecord>,
+}
+
+/// Draws a subject's true preference: evening-peaked begin, short duration,
+/// and at least two hours of slack so narrowing/widening behaviour has
+/// room.
+pub fn draw_subject_truth<R: Rng + ?Sized>(rng: &mut R) -> Preference {
+    let v = uniform_inclusive(rng, 1, 3);
+    let slack = uniform_inclusive(rng, 2, 4);
+    let begin = poisson_clamped(rng, 16.0, 0, 24 - v - slack);
+    Preference::new(begin, begin + v + slack, v).expect("drawn truth is valid")
+}
+
+/// Runs one session and returns a log per subject.
+///
+/// `subjects` pairs each global subject number with its behaviour model;
+/// `treatment` tags the logs (1 or 2).
+///
+/// # Errors
+///
+/// Propagates mechanism errors (none occur for a non-empty session).
+pub fn run_session<R: Rng + ?Sized>(
+    config: &SessionConfig,
+    subjects: &[(usize, SubjectModel)],
+    treatment: u8,
+    rng: &mut R,
+) -> Result<Vec<SubjectLog>> {
+    let enki = Enki::new(config.enki);
+    let agents = ArtificialAgent::pool(config.agents);
+    let n_subjects = subjects.len();
+
+    let mut logs: Vec<SubjectLog> = subjects
+        .iter()
+        .map(|&(subject, model)| SubjectLog {
+            subject,
+            model,
+            treatment,
+            rounds: Vec::with_capacity(config.rounds),
+        })
+        .collect();
+
+    let mut subject_truths: Vec<Preference> = Vec::new();
+    for round in 1..=config.rounds {
+        // Subjects' truths change every `truth_change_every` rounds.
+        if (round - 1) % config.truth_change_every.max(1) == 0 || subject_truths.is_empty() {
+            subject_truths = (0..n_subjects).map(|_| draw_subject_truth(rng)).collect();
+        }
+        // Agents' truths change every round.
+        let agent_truths: Vec<Preference> =
+            agents.iter().map(|a| a.draw_truth(rng)).collect();
+
+        // Submissions.
+        let mut reports = Vec::with_capacity(n_subjects + agents.len());
+        let mut submissions = Vec::with_capacity(n_subjects);
+        for (i, &(_, model)) in subjects.iter().enumerate() {
+            let submission =
+                model.submit(&subject_truths[i], round, config.rounds, rng);
+            submissions.push(submission);
+            reports.push(Report::new(HouseholdId::new(i as u32), submission));
+        }
+        for (j, agent) in agents.iter().enumerate() {
+            let submission =
+                agent.submit(&agent_truths[j], round, config.defect_phase_rounds, rng);
+            reports.push(Report::new(
+                HouseholdId::new((n_subjects + j) as u32),
+                submission,
+            ));
+        }
+
+        // Allocation and automated consumption.
+        let outcome = enki.allocate(&reports, rng)?;
+        let consumption: Vec<Interval> = outcome
+            .assignments
+            .iter()
+            .enumerate()
+            .map(|(idx, a)| {
+                let truth = if idx < n_subjects {
+                    &subject_truths[idx]
+                } else {
+                    &agent_truths[idx - n_subjects]
+                };
+                truth.closest_window(a.window)
+            })
+            .collect();
+        let settlement = enki.settle(&reports, &outcome, &consumption)?;
+
+        // Utilities for everyone (players share the study ρ).
+        let utilities: Vec<f64> = settlement
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(idx, entry)| {
+                let truth = if idx < n_subjects {
+                    subject_truths[idx]
+                } else {
+                    agent_truths[idx - n_subjects]
+                };
+                let ty = HouseholdType::new(truth, STUDY_RHO)
+                    .expect("study rho is positive");
+                enki.utility(&ty, entry)
+            })
+            .collect();
+        let (lo, hi) = utilities
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &u| {
+                (lo.min(u), hi.max(u))
+            });
+
+        // Record the subjects.
+        for (i, log) in logs.iter_mut().enumerate() {
+            let entry = &settlement.entries[i];
+            let truth = subject_truths[i];
+            let score = if hi > lo {
+                (100.0 * (utilities[i] - lo) / (hi - lo)).clamp(0.0, 100.0)
+            } else {
+                50.0
+            };
+            log.rounds.push(RoundRecord {
+                round,
+                truth,
+                submission: submissions[i],
+                allocation: entry.allocation,
+                consumption: entry.consumption,
+                defected: entry.defected,
+                chose_exact_truth: submissions[i] == truth,
+                flexibility_ratio: f64::from(
+                    submissions[i].window().overlap(&truth.window()),
+                ) / f64::from(truth.window().len()),
+                utility: utilities[i],
+                score,
+            });
+        }
+    }
+    Ok(logs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn subjects() -> Vec<(usize, SubjectModel)> {
+        vec![
+            (1, SubjectModel::WellUnderstood),
+            (2, SubjectModel::Intermediate),
+            (3, SubjectModel::Standard),
+            (4, SubjectModel::Random),
+        ]
+    }
+
+    #[test]
+    fn session_produces_full_logs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let logs = run_session(&SessionConfig::default(), &subjects(), 1, &mut rng).unwrap();
+        assert_eq!(logs.len(), 4);
+        for log in &logs {
+            assert_eq!(log.rounds.len(), 16);
+            assert_eq!(log.treatment, 1);
+        }
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let logs = run_session(&SessionConfig::default(), &subjects(), 1, &mut rng).unwrap();
+        for log in &logs {
+            for r in &log.rounds {
+                assert!((0.0..=100.0).contains(&r.score), "score = {}", r.score);
+                assert!((0.0..=1.0).contains(&r.flexibility_ratio));
+            }
+        }
+    }
+
+    #[test]
+    fn consumption_always_inside_truth() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let logs = run_session(&SessionConfig::default(), &subjects(), 1, &mut rng).unwrap();
+        for log in &logs {
+            for r in &log.rounds {
+                assert!(r.truth.validate_window(r.consumption).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn exact_truth_submission_never_defects() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let logs = run_session(&SessionConfig::default(), &subjects(), 1, &mut rng).unwrap();
+        for log in &logs {
+            for r in &log.rounds {
+                if r.chose_exact_truth {
+                    assert!(
+                        !r.defected,
+                        "truthful submission defected in round {}",
+                        r.round
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truths_change_on_schedule() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let logs = run_session(&SessionConfig::default(), &subjects(), 1, &mut rng).unwrap();
+        let log = &logs[0];
+        // Within a 4-round block the truth is constant.
+        for block in log.rounds.chunks(4) {
+            let first = block[0].truth;
+            assert!(block.iter().all(|r| r.truth == first));
+        }
+    }
+
+    #[test]
+    fn well_understood_subject_cooperates_late() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let logs = run_session(&SessionConfig::default(), &subjects(), 1, &mut rng).unwrap();
+        let p_good = &logs[0];
+        let late_defections = p_good.rounds[8..].iter().filter(|r| r.defected).count();
+        assert_eq!(late_defections, 0);
+    }
+
+    #[test]
+    fn solo_treatment_runs_with_agents_only() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = SessionConfig {
+            agents: 4,
+            ..SessionConfig::default()
+        };
+        let logs =
+            run_session(&config, &[(17, SubjectModel::Standard)], 2, &mut rng).unwrap();
+        assert_eq!(logs.len(), 1);
+        assert_eq!(logs[0].treatment, 2);
+        assert_eq!(logs[0].rounds.len(), 16);
+    }
+
+    #[test]
+    fn sessions_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(8);
+        let mut b = StdRng::seed_from_u64(8);
+        let la = run_session(&SessionConfig::default(), &subjects(), 1, &mut a).unwrap();
+        let lb = run_session(&SessionConfig::default(), &subjects(), 1, &mut b).unwrap();
+        assert_eq!(la, lb);
+    }
+}

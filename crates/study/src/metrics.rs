@@ -1,0 +1,222 @@
+//! Study metrics: stages, defection rates, true-interval selecting ratios,
+//! and flexibility trajectories (§VII-D).
+
+use serde::{Deserialize, Serialize};
+
+use crate::game::SubjectLog;
+
+/// The analysis stages of Table II: round ranges over a 16-round game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stage {
+    /// Rounds 1–16.
+    Overall,
+    /// Rounds 1–4 (subjects are still learning the game).
+    Initial,
+    /// Rounds 1–8 (half of the artificial agents defect).
+    Defect,
+    /// Rounds 9–16 (all artificial agents cooperate).
+    Cooperate,
+}
+
+impl Stage {
+    /// All four stages in the paper's column order.
+    pub const ALL: [Stage; 4] = [Stage::Overall, Stage::Initial, Stage::Defect, Stage::Cooperate];
+
+    /// The 1-based inclusive round range of this stage for a game of
+    /// `total_rounds` rounds.
+    #[must_use]
+    pub fn rounds(&self, total_rounds: usize) -> (usize, usize) {
+        match self {
+            Stage::Overall => (1, total_rounds),
+            Stage::Initial => (1, total_rounds / 4),
+            Stage::Defect => (1, total_rounds / 2),
+            Stage::Cooperate => (total_rounds / 2 + 1, total_rounds),
+        }
+    }
+
+    /// Number of rounds in the stage.
+    #[must_use]
+    pub fn len(&self, total_rounds: usize) -> usize {
+        let (lo, hi) = self.rounds(total_rounds);
+        hi - lo + 1
+    }
+
+    /// Stages are never empty for a positive game length.
+    #[must_use]
+    pub fn is_empty(&self, total_rounds: usize) -> bool {
+        total_rounds == 0
+    }
+
+    /// The paper's column label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stage::Overall => "Overall",
+            Stage::Initial => "Initial",
+            Stage::Defect => "Defect",
+            Stage::Cooperate => "Cooperate",
+        }
+    }
+}
+
+/// Number of rounds in which the subject defected during `stage`.
+#[must_use]
+pub fn defection_count(log: &SubjectLog, stage: Stage) -> usize {
+    let (lo, hi) = stage.rounds(log.rounds.len());
+    log.rounds
+        .iter()
+        .filter(|r| r.round >= lo && r.round <= hi && r.defected)
+        .count()
+}
+
+/// The subject's defection rate in `stage`: defecting rounds over stage
+/// length.
+#[must_use]
+pub fn defection_rate(log: &SubjectLog, stage: Stage) -> f64 {
+    let len = stage.len(log.rounds.len());
+    if len == 0 {
+        return 0.0;
+    }
+    defection_count(log, stage) as f64 / len as f64
+}
+
+/// The subject's true-interval selecting ratio in `stage`: rounds where the
+/// submission was the exact true interval, over stage length (§VII-D RQ2).
+#[must_use]
+pub fn true_interval_ratio(log: &SubjectLog, stage: Stage) -> f64 {
+    let (lo, hi) = stage.rounds(log.rounds.len());
+    let len = stage.len(log.rounds.len());
+    if len == 0 {
+        return 0.0;
+    }
+    let chosen = log
+        .rounds
+        .iter()
+        .filter(|r| r.round >= lo && r.round <= hi && r.chose_exact_truth)
+        .count();
+    chosen as f64 / len as f64
+}
+
+/// The subject's flexibility-ratio trajectory over the rounds (Figure 9).
+#[must_use]
+pub fn flexibility_series(log: &SubjectLog) -> Vec<f64> {
+    log.rounds.iter().map(|r| r.flexibility_ratio).collect()
+}
+
+/// Element-wise mean of several subjects' flexibility trajectories.
+///
+/// # Panics
+///
+/// Panics if the logs have different lengths.
+#[must_use]
+pub fn mean_flexibility_series(logs: &[&SubjectLog]) -> Vec<f64> {
+    if logs.is_empty() {
+        return Vec::new();
+    }
+    let rounds = logs[0].rounds.len();
+    assert!(
+        logs.iter().all(|l| l.rounds.len() == rounds),
+        "all logs must cover the same rounds"
+    );
+    (0..rounds)
+        .map(|i| {
+            logs.iter()
+                .map(|l| l.rounds[i].flexibility_ratio)
+                .sum::<f64>()
+                / logs.len() as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::RoundRecord;
+    use crate::subject::SubjectModel;
+    use enki_core::household::Preference;
+    use enki_core::time::Interval;
+
+    fn record(round: usize, defected: bool, exact: bool, flex: f64) -> RoundRecord {
+        let truth = Preference::new(16, 20, 2).unwrap();
+        RoundRecord {
+            round,
+            truth,
+            submission: if exact {
+                truth
+            } else {
+                Preference::new(16, 19, 2).unwrap()
+            },
+            allocation: Interval::new(16, 18).unwrap(),
+            consumption: Interval::new(16, 18).unwrap(),
+            defected,
+            chose_exact_truth: exact,
+            flexibility_ratio: flex,
+            utility: 1.0,
+            score: 50.0,
+        }
+    }
+
+    fn log(rounds: Vec<RoundRecord>) -> SubjectLog {
+        SubjectLog {
+            subject: 1,
+            model: SubjectModel::Standard,
+            treatment: 1,
+            rounds,
+        }
+    }
+
+    #[test]
+    fn stage_ranges_match_paper() {
+        assert_eq!(Stage::Overall.rounds(16), (1, 16));
+        assert_eq!(Stage::Initial.rounds(16), (1, 4));
+        assert_eq!(Stage::Defect.rounds(16), (1, 8));
+        assert_eq!(Stage::Cooperate.rounds(16), (9, 16));
+        assert_eq!(Stage::Cooperate.len(16), 8);
+    }
+
+    #[test]
+    fn defection_rate_counts_stage_rounds_only() {
+        // Defect in rounds 1, 2, 9.
+        let rounds: Vec<RoundRecord> = (1..=16)
+            .map(|r| record(r, r <= 2 || r == 9, false, 0.5))
+            .collect();
+        let l = log(rounds);
+        assert!((defection_rate(&l, Stage::Overall) - 3.0 / 16.0).abs() < 1e-12);
+        assert!((defection_rate(&l, Stage::Initial) - 2.0 / 4.0).abs() < 1e-12);
+        assert!((defection_rate(&l, Stage::Defect) - 2.0 / 8.0).abs() < 1e-12);
+        assert!((defection_rate(&l, Stage::Cooperate) - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn true_interval_ratio_matches_hand_count() {
+        // Exact truth in rounds 13–16 only.
+        let rounds: Vec<RoundRecord> =
+            (1..=16).map(|r| record(r, false, r >= 13, 0.5)).collect();
+        let l = log(rounds);
+        assert!((true_interval_ratio(&l, Stage::Cooperate) - 0.5).abs() < 1e-12);
+        assert_eq!(true_interval_ratio(&l, Stage::Initial), 0.0);
+    }
+
+    #[test]
+    fn flexibility_series_extracts_ratios() {
+        let rounds: Vec<RoundRecord> = (1..=4)
+            .map(|r| record(r, false, false, r as f64 / 4.0))
+            .collect();
+        let l = log(rounds);
+        assert_eq!(flexibility_series(&l), vec![0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn mean_series_averages_subjects() {
+        let a = log((1..=2).map(|r| record(r, false, false, 0.0)).collect());
+        let b = log((1..=2).map(|r| record(r, false, false, 1.0)).collect());
+        assert_eq!(mean_flexibility_series(&[&a, &b]), vec![0.5, 0.5]);
+        assert!(mean_flexibility_series(&[]).is_empty());
+    }
+
+    #[test]
+    fn stage_labels_match_paper_columns() {
+        let labels: Vec<&str> = Stage::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["Overall", "Initial", "Defect", "Cooperate"]);
+    }
+}

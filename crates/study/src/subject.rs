@@ -1,0 +1,288 @@
+//! Simulated human subjects.
+//!
+//! The study cannot be rerun with the paper's 20 students, so subjects are
+//! simulated with behaviour models calibrated to the paper's post-study
+//! questionnaire categories (see DESIGN.md, substitution 2):
+//!
+//! * [`SubjectModel::WellUnderstood`] — the P7/P8 pattern: experiments with
+//!   misreports while learning the game (rounds 1–8), then locks onto the
+//!   exact true interval.
+//! * [`SubjectModel::Intermediate`] — understands partially: starts with
+//!   narrow or shifted submissions and widens toward the truth, so its
+//!   flexibility ratio climbs.
+//! * [`SubjectModel::Standard`] — the typical subject: defects occasionally
+//!   early, mostly truthful later.
+//! * [`SubjectModel::Random`] — the four subjects who reported not
+//!   understanding the game: uniformly random legal submissions.
+//!
+//! A model maps (true preference, round, rng) to the submitted interval.
+//! Submissions always carry the true duration (the paper assumes durations
+//! are truthful).
+
+use enki_core::household::Preference;
+use enki_stats::sample::uniform_inclusive;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Behaviour model of one simulated subject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubjectModel {
+    /// Learns fast, then reports the exact truth (P7/P8 in Figure 9).
+    WellUnderstood,
+    /// Learns slowly; flexibility ratio drifts upward over the game.
+    Intermediate,
+    /// Typical subject: some early defection, mostly truthful later.
+    Standard,
+    /// Submits random legal intervals (removed from the Figure 8 analysis,
+    /// as the paper removed its four non-comprehending subjects).
+    Random,
+}
+
+impl SubjectModel {
+    /// Whether the Figure 8 analysis keeps this subject (the paper removed
+    /// the four who did not understand the game).
+    #[must_use]
+    pub fn comprehends(&self) -> bool {
+        !matches!(self, SubjectModel::Random)
+    }
+
+    /// The subject's submission for `round` (1-based) given its current
+    /// true preference.
+    pub fn submit<R: Rng + ?Sized>(
+        &self,
+        truth: &Preference,
+        round: usize,
+        total_rounds: usize,
+        rng: &mut R,
+    ) -> Preference {
+        match self {
+            SubjectModel::Random => random_report(truth, rng),
+            SubjectModel::WellUnderstood => {
+                // Defection probability decays quickly: 0.8, 0.53, 0.36, …
+                // and is zero in the Cooperate half.
+                let halfway = total_rounds / 2;
+                if round > halfway {
+                    *truth
+                } else {
+                    let p_defect = 0.9 * (0.7_f64).powi(round as i32 - 1);
+                    if rng.random::<f64>() < p_defect {
+                        shifted_report(truth, rng)
+                    } else {
+                        *truth
+                    }
+                }
+            }
+            SubjectModel::Standard => {
+                // Moderate early defection decaying over the whole game.
+                let progress = (round - 1) as f64 / total_rounds.max(1) as f64;
+                let p_defect = 0.45 * (1.0 - progress).powi(2);
+                if rng.random::<f64>() < p_defect {
+                    shifted_report(truth, rng)
+                } else if rng.random::<f64>() < 0.45 {
+                    narrowed_report(truth, rng)
+                } else {
+                    *truth
+                }
+            }
+            SubjectModel::Intermediate => {
+                // Early: narrow or shifted submissions; the submitted width
+                // (and hence the flexibility ratio) grows with the round.
+                let progress = (round - 1) as f64 / (total_rounds.max(2) - 1) as f64;
+                let p_defect = 0.5 * (1.0 - progress).powi(2);
+                if rng.random::<f64>() < p_defect {
+                    shifted_report(truth, rng)
+                } else {
+                    widening_report(truth, progress, rng)
+                }
+            }
+        }
+    }
+}
+
+/// A haphazard report anchored loosely on the truth: confused subjects in
+/// the paper still knew *when* they wanted power, they just could not
+/// translate it into a good submission, so the begin wanders ±3 hours
+/// around the true begin and the width is arbitrary.
+fn random_report<R: Rng + ?Sized>(truth: &Preference, rng: &mut R) -> Preference {
+    let duration = truth.duration();
+    let wander = rng.random_range(-3..=3i16);
+    let begin =
+        (i16::from(truth.begin()) + wander).clamp(0, i16::from(24 - duration)) as u8;
+    let max_extra = 24 - (begin + duration);
+    let extra = if max_extra == 0 {
+        0
+    } else {
+        rng.random_range(0..=max_extra.min(4))
+    };
+    Preference::new(begin, begin + duration + extra, duration)
+        .expect("anchored random report is valid")
+}
+
+/// A zero-slack misreport straddling the truth's boundary: the report pins
+/// one exact window of the true duration that pokes 1-2 hours outside the
+/// true interval, so the resulting allocation always forces a defection.
+fn shifted_report<R: Rng + ?Sized>(truth: &Preference, rng: &mut R) -> Preference {
+    let v = truth.duration();
+    let shift = uniform_inclusive(rng, 1, 2).min(v);
+    // Prefer poking out past the earlier edge; fall back to the later edge
+    // when the truth starts too close to midnight's floor.
+    let begin = if truth.begin() >= shift {
+        truth.begin() - shift
+    } else {
+        (truth.end() - v + shift).min(24 - v)
+    };
+    Preference::exact(begin, v).expect("clamped shift stays inside the day")
+}
+
+/// A random sub-interval of the truth that still fits the duration — an
+/// honest but inflexible submission.
+fn narrowed_report<R: Rng + ?Sized>(truth: &Preference, rng: &mut R) -> Preference {
+    let slack = truth.slack();
+    if slack == 0 {
+        return *truth;
+    }
+    let cut_front = rng.random_range(0..=slack);
+    let cut_back = rng.random_range(0..=(slack - cut_front));
+    Preference::new(
+        truth.begin() + cut_front,
+        truth.end() - cut_back,
+        truth.duration(),
+    )
+    .expect("narrowing preserves the duration fit")
+}
+
+/// A sub-interval of the truth whose width grows from the bare duration to
+/// the full interval as `progress` goes 0 → 1.
+fn widening_report<R: Rng + ?Sized>(
+    truth: &Preference,
+    progress: f64,
+    rng: &mut R,
+) -> Preference {
+    let slack = truth.slack();
+    let keep = (f64::from(slack) * progress).round() as u8;
+    let drop = slack - keep;
+    let cut_front = if drop == 0 { 0 } else { rng.random_range(0..=drop) };
+    let cut_back = drop - cut_front;
+    Preference::new(
+        truth.begin() + cut_front,
+        truth.end() - cut_back,
+        truth.duration(),
+    )
+    .expect("widening preserves the duration fit")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn truth() -> Preference {
+        Preference::new(17, 22, 2).unwrap()
+    }
+
+    #[test]
+    fn all_models_submit_legal_durations() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for model in [
+            SubjectModel::WellUnderstood,
+            SubjectModel::Intermediate,
+            SubjectModel::Standard,
+            SubjectModel::Random,
+        ] {
+            for round in 1..=16 {
+                let r = model.submit(&truth(), round, 16, &mut rng);
+                assert_eq!(r.duration(), 2);
+                assert!(r.end() <= 24);
+            }
+        }
+    }
+
+    #[test]
+    fn well_understood_is_exactly_truthful_in_cooperate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for round in 9..=16 {
+            let r = SubjectModel::WellUnderstood.submit(&truth(), round, 16, &mut rng);
+            assert_eq!(r, truth());
+        }
+    }
+
+    #[test]
+    fn well_understood_defects_sometimes_early() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut deviated = 0;
+        for _ in 0..50 {
+            let r = SubjectModel::WellUnderstood.submit(&truth(), 1, 16, &mut rng);
+            if r != truth() {
+                deviated += 1;
+            }
+        }
+        assert!(deviated > 20, "deviated = {deviated}");
+    }
+
+    #[test]
+    fn intermediate_flexibility_grows() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let avg_width = |round: usize, rng: &mut StdRng| -> f64 {
+            (0..200)
+                .map(|_| {
+                    let r = SubjectModel::Intermediate.submit(&truth(), round, 16, rng);
+                    f64::from(r.window().overlap(&truth().window()))
+                })
+                .sum::<f64>()
+                / 200.0
+        };
+        let early = avg_width(1, &mut rng);
+        let late = avg_width(16, &mut rng);
+        assert!(late > early, "early = {early}, late = {late}");
+        // At the final round the submission is the exact truth.
+        let r = SubjectModel::Intermediate.submit(&truth(), 16, 16, &mut rng);
+        assert_eq!(r, truth());
+    }
+
+    #[test]
+    fn random_model_is_not_systematically_truthful() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let truthful = (0..100)
+            .filter(|_| SubjectModel::Random.submit(&truth(), 12, 16, &mut rng) == truth())
+            .count();
+        assert!(truthful < 10, "truthful = {truthful}");
+    }
+
+    #[test]
+    fn shifted_report_pokes_outside_the_truth() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..50 {
+            let r = shifted_report(&truth(), &mut rng);
+            assert_eq!(r.slack(), 0, "shifted reports pin one exact window");
+            assert!(
+                !truth().window().contains(&r.window()),
+                "the pinned window must poke outside the truth"
+            );
+        }
+    }
+
+    #[test]
+    fn narrowed_report_stays_inside_truth() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let r = narrowed_report(&truth(), &mut rng);
+            assert!(truth().window().contains(&r.window()));
+        }
+    }
+
+    #[test]
+    fn comprehension_flag_matches_model() {
+        assert!(SubjectModel::WellUnderstood.comprehends());
+        assert!(SubjectModel::Intermediate.comprehends());
+        assert!(SubjectModel::Standard.comprehends());
+        assert!(!SubjectModel::Random.comprehends());
+    }
+
+    #[test]
+    fn zero_slack_truth_narrowing_is_identity() {
+        let tight = Preference::new(18, 20, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(narrowed_report(&tight, &mut rng), tight);
+    }
+}

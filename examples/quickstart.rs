@@ -1,0 +1,66 @@
+//! Quickstart: one day in an Enki neighborhood.
+//!
+//! Five households report tomorrow's consumption windows, the center
+//! allocates, everyone consumes, and the day is settled: flexible
+//! households pay less, the center never runs a deficit.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use enki::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), enki::Error> {
+    // The paper's parameters: σ = 0.3, k = 1, ξ = 1.2, r = 2 kW.
+    let enki = Enki::new(EnkiConfig::default());
+
+    // Five households declare (begin, end, duration): "I need `duration`
+    // hours of power somewhere inside [begin, end)".
+    let reports = vec![
+        Report::new(HouseholdId::new(0), Preference::new(18, 20, 2)?), // rigid
+        Report::new(HouseholdId::new(1), Preference::new(18, 24, 2)?), // flexible
+        Report::new(HouseholdId::new(2), Preference::new(17, 23, 3)?),
+        Report::new(HouseholdId::new(3), Preference::new(19, 22, 1)?),
+        Report::new(HouseholdId::new(4), Preference::new(16, 24, 2)?), // most flexible
+    ];
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let outcome = enki.allocate(&reports, &mut rng)?;
+
+    println!("Suggested allocations (least flexible placed first):");
+    for (report, assignment) in reports.iter().zip(&outcome.assignments) {
+        println!(
+            "  {}: reported {} -> allocated {}",
+            report.household, report.preference, assignment.window
+        );
+    }
+    println!(
+        "\nPlanned load peak: {:.1} kWh (PAR {:.2})",
+        outcome.planned_load.peak(),
+        outcome.planned_load.peak_to_average()
+    );
+
+    // Everyone follows the plan; settle the day.
+    let consumption: Vec<Interval> =
+        outcome.assignments.iter().map(|a| a.window).collect();
+    let settlement = enki.settle(&reports, &outcome, &consumption)?;
+
+    println!("\nSettlement:");
+    for entry in &settlement.entries {
+        println!(
+            "  {}: flexibility {:.3}, social cost {:.3}, pays ${:.2}",
+            entry.household, entry.flexibility, entry.social_cost.psi, entry.payment
+        );
+    }
+    println!(
+        "\nNeighborhood cost ${:.2}, revenue ${:.2}, center utility ${:.2} (>= 0: Theorem 1)",
+        settlement.total_cost, settlement.revenue, settlement.center_utility
+    );
+
+    // The most flexible household pays less than the rigid one.
+    let rigid = settlement.entry_for(HouseholdId::new(0)).expect("settled");
+    let flexible = settlement.entry_for(HouseholdId::new(4)).expect("settled");
+    assert!(flexible.payment < rigid.payment);
+    println!("\nFlexibility pays: h4 (${:.2}) < h0 (${:.2})", flexible.payment, rigid.payment);
+    Ok(())
+}

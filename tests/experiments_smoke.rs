@@ -1,0 +1,129 @@
+//! Smoke tests of every experiment runner: the full §VI and §VII
+//! pipelines execute end to end at reduced scale and reproduce the
+//! paper's qualitative shapes.
+
+use std::time::Duration;
+
+use enki::prelude::*;
+
+#[test]
+fn social_welfare_sweep_reproduces_fig4_fig5_fig6_shapes() {
+    let config = SocialWelfareConfig {
+        populations: vec![5, 15],
+        days: 3,
+        optimal_time_limit: Duration::from_millis(800),
+        seed: 42,
+        ..SocialWelfareConfig::default()
+    };
+    let rows = run_social_welfare(&config).unwrap();
+    assert_eq!(rows.len(), 2);
+
+    for row in &rows {
+        // Fig. 4 shape: both PARs are modest and close.
+        assert!(row.enki_par.mean >= 1.0);
+        assert!(row.enki_par.mean <= row.optimal_par.mean * 1.6);
+        // Fig. 5 shape: greedy is near-optimal on cost.
+        assert!(row.enki_cost.mean >= row.optimal_cost.mean * 0.95 - 1e-9);
+        assert!(row.enki_cost.mean <= row.optimal_cost.mean * 1.25 + 1e-9);
+        // Fig. 6 shape: the optimal solver is orders of magnitude slower.
+        assert!(row.time_ratio() > 1.0);
+    }
+    // Cost grows with the population.
+    assert!(rows[1].enki_cost.mean > rows[0].enki_cost.mean);
+}
+
+#[test]
+fn incentive_sweep_reproduces_fig7_shape() {
+    let config = IncentiveConfig {
+        n: 20,
+        repetitions: 5,
+        seed: 11,
+        ..IncentiveConfig::default()
+    };
+    let out = run_incentive(&config).unwrap();
+    let truth = config.subject_truth;
+
+    // Weak incentive compatibility: truth is (close to) the best response.
+    let best = out
+        .points
+        .iter()
+        .map(|p| p.utility.mean)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(out.truth_is_best_response(&truth, 0.1 * best.abs().max(1.0)));
+
+    // Reports disjoint from the truth are strictly dominated.
+    for p in &out.points {
+        if p.report.window().overlap(&truth.window()) == 0 {
+            assert!(
+                p.utility.mean < out.truthful_utility,
+                "disjoint report {} not dominated",
+                p.report
+            );
+        }
+    }
+}
+
+#[test]
+fn user_study_reproduces_table_and_figure_shapes() {
+    let outcome = run_user_study(&StudyConfig::default()).unwrap();
+
+    // Table II shape.
+    let rates = outcome.table2_defection_rates();
+    assert!(rates.overall < 0.5);
+    assert!(rates.initial > rates.overall);
+    assert!(rates.cooperate < rates.defect);
+
+    // Table III shape: Overall significant, Initial the weakest.
+    let tests = outcome.table3_defection_tests();
+    let p = |stage: Stage| {
+        tests
+            .iter()
+            .find(|r| r.stage == stage)
+            .unwrap()
+            .test
+            .p_value
+    };
+    assert!(p(Stage::Overall) < 0.001);
+    assert!(p(Stage::Initial) > p(Stage::Overall));
+
+    // Table IV shape: the solo treatment defects less once agents
+    // cooperate.
+    let (t1, t2) = outcome.table4_treatment_rates();
+    assert!(t2.cooperate <= t1.cooperate + 1e-9);
+
+    // Fig. 8 shape.
+    let fig8 = outcome.fig8_true_interval();
+    assert!(fig8.mean_cooperate_all > fig8.mean_initial_all);
+    assert!(fig8.test.p_value < 0.05);
+
+    // Fig. 9 shape.
+    let fig9 = outcome.fig9_flexibility();
+    assert!(fig9.p7[12..].iter().all(|&f| f == 1.0));
+    let early: f64 = fig9.intermediate_mean[..4].iter().sum::<f64>() / 4.0;
+    let late: f64 = fig9.intermediate_mean[12..].iter().sum::<f64>() / 4.0;
+    assert!(late > early);
+}
+
+#[test]
+fn ecc_pipeline_feeds_the_mechanism() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    // A household's ECC learns its pattern from a week of history, then
+    // reports; the mechanism allocates within the predicted window.
+    let mut ecc = EccPredictor::new(0.3).unwrap();
+    for _ in 0..7 {
+        ecc.observe(Interval::new(19, 21).unwrap());
+    }
+    let predicted = ecc.predict(2, 2).expect("has history");
+    assert!(predicted.window().contains(&Interval::new(19, 21).unwrap()));
+
+    let enki = Enki::default();
+    let reports = vec![
+        Report::new(HouseholdId::new(0), predicted),
+        Report::new(HouseholdId::new(1), Preference::new(18, 22, 2).unwrap()),
+    ];
+    let mut rng = StdRng::seed_from_u64(3);
+    let outcome = enki.allocate(&reports, &mut rng).unwrap();
+    assert!(predicted.validate_window(outcome.assignments[0].window).is_ok());
+}

@@ -1,0 +1,204 @@
+//! Property-based integration tests of the mechanism's theorems.
+//!
+//! Theorem 1 (ex ante budget balance), the normalization bounds behind
+//! Eq. 6, and structural invariants of the allocate → settle pipeline are
+//! checked over arbitrary neighborhoods.
+
+use enki::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a legal preference (begin, end, duration).
+fn preference() -> impl Strategy<Value = Preference> {
+    (0u8..23, 1u8..=4)
+        .prop_flat_map(|(begin, duration)| {
+            let max_begin = 24 - duration;
+            let begin = begin.min(max_begin);
+            ((begin + duration)..=24u8)
+                .prop_map(move |end| Preference::new(begin, end, duration).unwrap())
+        })
+}
+
+/// Strategy: a neighborhood of 1–20 reports.
+fn reports() -> impl Strategy<Value = Vec<Report>> {
+    proptest::collection::vec(preference(), 1..20).prop_map(|prefs| {
+        prefs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Report::new(HouseholdId::new(i as u32), p))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1: for any neighborhood and any consumption behaviour the
+    /// center's utility is exactly (ξ−1)·κ(ω) ≥ 0.
+    #[test]
+    fn budget_balance_holds_for_any_behaviour(
+        rs in reports(),
+        seed in any::<u64>(),
+        defect_mask in any::<u32>(),
+        xi in 1.0f64..3.0,
+    ) {
+        let enki = Enki::new(EnkiConfig::builder().xi(xi).build().unwrap());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = enki.allocate(&rs, &mut rng).unwrap();
+        // Some households defect by sliding their window inside the report.
+        let consumption: Vec<Interval> = outcome
+            .assignments
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let pref = rs[i].preference;
+                if defect_mask & (1 << (i % 32)) != 0 && pref.slack() > 0 {
+                    let d = (a.window.begin() - pref.begin() + 1) % (pref.slack() + 1);
+                    pref.window_at_deferment(d).unwrap()
+                } else {
+                    a.window
+                }
+            })
+            .collect();
+        let st = enki.settle(&rs, &outcome, &consumption).unwrap();
+        prop_assert!(st.center_utility >= -1e-9);
+        prop_assert!((st.center_utility - (xi - 1.0) * st.total_cost).abs() < 1e-6);
+        prop_assert!((st.revenue - xi * st.total_cost).abs() < 1e-6);
+    }
+
+    /// Every allocation respects its report: correct duration, inside the
+    /// reported window.
+    #[test]
+    fn allocations_respect_reports(rs in reports(), seed in any::<u64>()) {
+        let enki = Enki::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = enki.allocate(&rs, &mut rng).unwrap();
+        for (r, a) in rs.iter().zip(&outcome.assignments) {
+            prop_assert!(r.preference.validate_window(a.window).is_ok());
+        }
+    }
+
+    /// Normalized scores stay in [0.5, 1.5] and Ψ in [k/3, 3k].
+    #[test]
+    fn social_cost_scores_are_bounded(rs in reports(), seed in any::<u64>()) {
+        let enki = Enki::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = enki.allocate(&rs, &mut rng).unwrap();
+        let consumption: Vec<Interval> =
+            outcome.assignments.iter().map(|a| a.window).collect();
+        let st = enki.settle(&rs, &outcome, &consumption).unwrap();
+        for e in &st.entries {
+            let sc = e.social_cost;
+            prop_assert!((0.5..=1.5).contains(&sc.normalized_flexibility));
+            prop_assert!((0.5..=1.5).contains(&sc.normalized_defection));
+            prop_assert!(sc.psi >= 1.0 / 3.0 - 1e-9 && sc.psi <= 3.0 + 1e-9);
+            prop_assert!(e.payment >= 0.0);
+        }
+    }
+
+    /// Payments sum to ξ·κ(ω) regardless of scores (Eq. 7 is a share rule).
+    #[test]
+    fn payments_always_sum_to_scaled_cost(rs in reports(), seed in any::<u64>()) {
+        let enki = Enki::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = enki.allocate(&rs, &mut rng).unwrap();
+        let consumption: Vec<Interval> =
+            outcome.assignments.iter().map(|a| a.window).collect();
+        let st = enki.settle(&rs, &outcome, &consumption).unwrap();
+        let total: f64 = st.entries.iter().map(|e| e.payment).sum();
+        prop_assert!((total - 1.2 * st.total_cost).abs() < 1e-6);
+    }
+
+    /// Cooperating households never carry a defection score, and their
+    /// overlap is exactly 1.
+    #[test]
+    fn cooperators_have_zero_defection(rs in reports(), seed in any::<u64>()) {
+        let enki = Enki::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = enki.allocate(&rs, &mut rng).unwrap();
+        let consumption: Vec<Interval> =
+            outcome.assignments.iter().map(|a| a.window).collect();
+        let st = enki.settle(&rs, &outcome, &consumption).unwrap();
+        for e in &st.entries {
+            prop_assert!(!e.defected);
+            prop_assert_eq!(e.defection, 0.0);
+            prop_assert_eq!(e.overlap, 1.0);
+        }
+    }
+
+    /// The realized load profile of a settlement equals the profile
+    /// rebuilt from its consumption windows.
+    #[test]
+    fn settlement_load_is_consistent(rs in reports(), seed in any::<u64>()) {
+        let enki = Enki::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = enki.allocate(&rs, &mut rng).unwrap();
+        let consumption: Vec<Interval> =
+            outcome.assignments.iter().map(|a| a.window).collect();
+        let st = enki.settle(&rs, &outcome, &consumption).unwrap();
+        let rebuilt = LoadProfile::from_windows(&consumption, 2.0);
+        prop_assert_eq!(st.load, rebuilt);
+        let expected_energy: f64 =
+            consumption.iter().map(|w| f64::from(w.len()) * 2.0).sum();
+        prop_assert!((st.load.total() - expected_energy).abs() < 1e-9);
+    }
+}
+
+/// The §III multi-appliance extension keeps budget balance (Theorem 1
+/// survives the extension) for arbitrary cooperative neighborhoods.
+mod multi_appliance {
+    use super::*;
+    use enki_core::appliances::{Appliance, MultiEnki, MultiReport};
+
+    fn appliance() -> impl Strategy<Value = Appliance> {
+        (super::preference(), 0.5f64..8.0)
+            .prop_map(|(p, rate)| Appliance::new("job", p, rate).unwrap())
+    }
+
+    fn multi_reports() -> impl Strategy<Value = Vec<MultiReport>> {
+        proptest::collection::vec(
+            (proptest::collection::vec(appliance(), 1..4), 0.0f64..0.5),
+            1..8,
+        )
+        .prop_map(|households| {
+            households
+                .into_iter()
+                .enumerate()
+                .map(|(i, (appliances, base_rate))| {
+                    let mut base = LoadProfile::new();
+                    if base_rate > 0.0 {
+                        base.add_window(Interval::full_day(), base_rate);
+                    }
+                    MultiReport::new(HouseholdId::new(i as u32), appliances, base).unwrap()
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn multi_appliance_budget_balance(reports in multi_reports(), seed in any::<u64>()) {
+            let enki = MultiEnki::new(EnkiConfig::default());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let allocation = enki.allocate(&reports, &mut rng).unwrap();
+            let consumption: Vec<Vec<Interval>> = allocation
+                .assignments
+                .iter()
+                .map(|a| a.windows.clone())
+                .collect();
+            let st = enki.settle(&reports, &allocation, &consumption).unwrap();
+            prop_assert!(st.center_utility >= -1e-6);
+            prop_assert!((st.revenue - 1.2 * st.total_cost).abs() < 1e-6 * (1.0 + st.total_cost));
+            let paid: f64 = st.entries.iter().map(|e| e.payment).sum();
+            prop_assert!((paid - st.revenue).abs() < 1e-6 * (1.0 + st.revenue));
+            for e in &st.entries {
+                prop_assert!(!e.defected);
+                prop_assert!(e.payment >= -1e-9);
+                prop_assert!(e.base_payment >= -1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! End-to-end reproductions of the paper's worked examples (§IV-B) and
+//! theorem scenarios (§V), run through the full public API.
+
+use enki::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn reports_of(prefs: &[(u8, u8, u8)]) -> Vec<Report> {
+    prefs
+        .iter()
+        .enumerate()
+        .map(|(i, &(b, e, v))| {
+            Report::new(HouseholdId::new(i as u32), Preference::new(b, e, v).unwrap())
+        })
+        .collect()
+}
+
+fn cooperate(enki: &Enki, reports: &[Report], seed: u64) -> Settlement {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let outcome = enki.allocate(reports, &mut rng).unwrap();
+    let consumption: Vec<Interval> =
+        outcome.assignments.iter().map(|a| a.window).collect();
+    enki.settle(reports, &outcome, &consumption).unwrap()
+}
+
+/// Example 1: identical true preferences ⇒ equal payments.
+#[test]
+fn example1_equal_preferences_equal_payments() {
+    let enki = Enki::default();
+    let rs = reports_of(&[(18, 20, 1), (18, 20, 1), (18, 20, 1)]);
+    let st = cooperate(&enki, &rs, 1);
+    for pair in st.entries.windows(2) {
+        assert!((pair[0].payment - pair[1].payment).abs() < 1e-9);
+    }
+}
+
+/// Example 2: A's narrower truthful interval ⇒ A pays more; the paper's
+/// worked numbers (N_B = 2.5, f_B = 0.8) hold.
+#[test]
+fn example2_narrow_interval_pays_more() {
+    let enki = Enki::default();
+    let rs = reports_of(&[(18, 19, 1), (18, 20, 1), (18, 20, 1)]);
+    let st = cooperate(&enki, &rs, 2);
+    assert!((st.entries[1].flexibility - 0.8).abs() < 1e-12);
+    assert!(st.entries[0].payment > st.entries[1].payment);
+    assert!((st.entries[1].payment - st.entries[2].payment).abs() < 1e-9);
+}
+
+/// Example 3 / Figure 2: the off-peak household A is most flexible, never
+/// causes the peak, and pays less.
+#[test]
+fn example3_off_peak_household_avoids_peak_and_pays_less() {
+    let enki = Enki::default();
+    let rs = reports_of(&[(16, 18, 2), (18, 21, 2), (18, 21, 2)]);
+    for seed in 0..10 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = enki.allocate(&rs, &mut rng).unwrap();
+        // A keeps (16, 18) and is never at the peak hour.
+        assert_eq!(
+            outcome.assignments[0].window,
+            Interval::new(16, 18).unwrap()
+        );
+        let peak_hour = outcome.planned_load.peak_hour().unwrap();
+        assert!(!outcome.assignments[0].window.contains_slot(peak_hour));
+        let consumption: Vec<Interval> =
+            outcome.assignments.iter().map(|a| a.window).collect();
+        let st = enki.settle(&rs, &outcome, &consumption).unwrap();
+        assert!(st.entries[0].payment < st.entries[1].payment);
+        assert!(st.entries[0].payment < st.entries[2].payment);
+    }
+}
+
+/// Example 4 / Figure 3: B defects onto A's hour and pays more.
+#[test]
+fn example4_defector_pays_more() {
+    let enki = Enki::default();
+    let rs = reports_of(&[(18, 20, 1), (18, 20, 1)]);
+    let mut rng = StdRng::seed_from_u64(4);
+    let outcome = enki.allocate(&rs, &mut rng).unwrap();
+    let a_hour = outcome.assignments[0].window;
+    let st = enki
+        .settle(&rs, &outcome, &[a_hour, a_hour])
+        .unwrap();
+    assert!(!st.entries[0].defected);
+    assert!(st.entries[1].defected);
+    assert_eq!(st.entries[1].flexibility, 0.0);
+    assert!(st.entries[1].defection > 0.0);
+    assert!(st.entries[1].payment > st.entries[0].payment);
+}
+
+/// §V-B's Theorem 2 scenario: household A with true preference (18, 20, 2)
+/// misreports (14, 20, 2), is allocated the quiet (14, 16), and defects to
+/// consume its true (18, 20). With identical consumption in both scenarios,
+/// the truthful report yields at least the misreport's utility.
+#[test]
+fn theorem2_scenario_truth_dominates_equal_consumption_misreport() {
+    let enki = Enki::default();
+    let truth = Preference::new(18, 20, 2).unwrap();
+    let ty = HouseholdType::new(truth, 5.0).unwrap();
+
+    // 30 truthful others packed into the evening (hours 17-23), so the
+    // early hours 14-16 are quiet and the wide misreport is allocated
+    // there, exactly as the paper's scenario postulates.
+    let others: Vec<Preference> = (0..30)
+        .map(|i| {
+            let begin = 17 + (i % 4) as u8;
+            let v = 1 + (i % 3) as u8;
+            Preference::new(begin, (begin + v + 1).min(23), v).unwrap()
+        })
+        .collect();
+
+    let run = |report: Preference, seed: u64| -> f64 {
+        let mut rs = vec![Report::new(HouseholdId::new(0), report)];
+        for (i, &p) in others.iter().enumerate() {
+            rs.push(Report::new(HouseholdId::new(i as u32 + 1), p));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = enki.allocate(&rs, &mut rng).unwrap();
+        let consumption: Vec<Interval> = outcome
+            .assignments
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                if i == 0 {
+                    truth.closest_window(a.window) // subject consumes its truth
+                } else {
+                    a.window
+                }
+            })
+            .collect();
+        let st = enki.settle(&rs, &outcome, &consumption).unwrap();
+        enki.utility(&ty, &st.entries[0])
+    };
+
+    let misreport = Preference::new(14, 20, 2).unwrap();
+    let avg = |report: Preference| -> f64 {
+        (0..10).map(|s| run(report, s)).sum::<f64>() / 10.0
+    };
+    let truthful_utility = avg(truth);
+    let misreport_utility = avg(misreport);
+    assert!(
+        truthful_utility >= misreport_utility,
+        "truth {truthful_utility} vs misreport {misreport_utility}"
+    );
+}
+
+/// Theorem 5: the average household utility is higher with Enki than under
+/// the proportional no-mechanism baseline.
+#[test]
+fn theorem5_average_utility_higher_with_enki() {
+    use enki_sim::prelude::*;
+    let config = ProfileConfig::default();
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let households: Vec<SimHousehold> = (0..15)
+            .map(|i| {
+                SimHousehold::new(
+                    HouseholdId::new(i),
+                    UsageProfile::generate(&mut rng, &config),
+                    TruthSource::Wide,
+                    ReportStrategy::TruthfulWide,
+                )
+            })
+            .collect();
+        let nb = SimNeighborhood::new(Enki::default(), households);
+        let day = nb.run_day(&mut rng).unwrap();
+        let (baseline_utilities, baseline) = nb.run_baseline_day().unwrap();
+        let with_enki = day.utilities.iter().sum::<f64>() / 15.0;
+        let without = baseline_utilities.iter().sum::<f64>() / 15.0;
+        assert!(baseline.total_cost >= day.cost() - 1e-9, "greedy flattens");
+        assert!(
+            with_enki >= without - 1e-9,
+            "seed {seed}: Enki {with_enki} vs baseline {without}"
+        );
+    }
+}
+
+/// Theorem 6: the most flexible household gains at least its baseline
+/// utility.
+#[test]
+fn theorem6_flexible_household_prefers_enki() {
+    use enki_sim::prelude::*;
+    // Same energy for everyone; household 0 is most flexible.
+    let mk = |b: u8, e: u8| {
+        UsageProfile::new(
+            Preference::new(b, (b + 3).min(e), 2).unwrap(),
+            Preference::new(b, e, 2).unwrap(),
+            5.0,
+        )
+        .unwrap()
+    };
+    let households = vec![
+        SimHousehold::new(
+            HouseholdId::new(0),
+            mk(14, 24), // most flexible
+            TruthSource::Wide,
+            ReportStrategy::TruthfulWide,
+        ),
+        SimHousehold::new(HouseholdId::new(1), mk(18, 21), TruthSource::Wide, ReportStrategy::TruthfulWide),
+        SimHousehold::new(HouseholdId::new(2), mk(18, 21), TruthSource::Wide, ReportStrategy::TruthfulWide),
+        SimHousehold::new(HouseholdId::new(3), mk(19, 22), TruthSource::Wide, ReportStrategy::TruthfulWide),
+    ];
+    let nb = SimNeighborhood::new(Enki::default(), households);
+    let mut rng = StdRng::seed_from_u64(6);
+    let day = nb.run_day(&mut rng).unwrap();
+    let (baseline_utilities, _) = nb.run_baseline_day().unwrap();
+    assert!(
+        day.utilities[0] >= baseline_utilities[0] - 1e-9,
+        "flexible household: Enki {} vs baseline {}",
+        day.utilities[0],
+        baseline_utilities[0]
+    );
+}
+
+/// Theorem 4's counterpoint: Enki is *not* individually rational — a
+/// negative utility is possible when the peak is expensive.
+#[test]
+fn theorem4_negative_utility_is_possible() {
+    let enki = Enki::default();
+    // Many rigid households stacked on one evening hour: huge κ, small V.
+    let rs = reports_of(&[(18, 20, 2); 12]);
+    let st = cooperate(&enki, &rs, 7);
+    let ty = HouseholdType::new(Preference::new(18, 20, 2).unwrap(), 1.0).unwrap();
+    let u = enki.utility(&ty, &st.entries[0]);
+    assert!(u < 0.0, "expected a negative utility, got {u}");
+}

@@ -1,0 +1,108 @@
+//! Cross-solver integration tests: the branch-and-bound optimum agrees
+//! with exhaustive enumeration, lower-bounds the greedy allocation, and is
+//! never beaten by local search.
+
+use enki::prelude::*;
+use enki_solver::brute::brute_force;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_preference() -> impl Strategy<Value = Preference> {
+    // Keep windows small so brute force stays cheap.
+    (0u8..20, 1u8..=3, 0u8..=3).prop_map(|(begin, duration, slack)| {
+        let begin = begin.min(24 - duration - slack);
+        Preference::new(begin, begin + duration + slack, duration).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The exact solver matches brute force on every random instance.
+    #[test]
+    fn branch_and_bound_matches_brute_force(
+        prefs in proptest::collection::vec(small_preference(), 1..6),
+    ) {
+        let problem = AllocationProblem::new(prefs, 2.0, 0.3).unwrap();
+        let exact = BranchAndBound::new().solve(&problem).unwrap();
+        let brute = brute_force(&problem).unwrap();
+        prop_assert!(exact.proven_optimal);
+        prop_assert!(
+            (exact.solution.objective - brute.objective).abs() < 1e-9,
+            "B&B {} != brute {}",
+            exact.solution.objective,
+            brute.objective
+        );
+    }
+
+    /// The optimum lower-bounds Enki's greedy allocation (the gap is what
+    /// Figures 4-5 measure).
+    #[test]
+    fn optimum_lower_bounds_greedy(
+        prefs in proptest::collection::vec(small_preference(), 1..6),
+        seed in any::<u64>(),
+    ) {
+        let problem = AllocationProblem::new(prefs.clone(), 2.0, 0.3).unwrap();
+        let exact = BranchAndBound::new().solve(&problem).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let greedy =
+            greedy_allocation(&prefs, 2.0, &QuadraticPricing::default(), &mut rng).unwrap();
+        let greedy_cost = problem.cost_of_windows(&greedy.windows);
+        prop_assert!(exact.solution.objective <= greedy_cost + 1e-9);
+    }
+
+    /// Local search never reports a better-than-optimal objective, and its
+    /// solutions are feasible.
+    #[test]
+    fn local_search_is_feasible_and_bounded(
+        prefs in proptest::collection::vec(small_preference(), 1..6),
+        seed in any::<u64>(),
+    ) {
+        let problem = AllocationProblem::new(prefs, 2.0, 0.3).unwrap();
+        let exact = BranchAndBound::new().solve(&problem).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let local = LocalSearch::new().solve(&problem, 3, &mut rng).unwrap();
+        prop_assert!(local.objective >= exact.solution.objective - 1e-9);
+        for (p, w) in problem.preferences().iter().zip(&local.windows) {
+            prop_assert!(p.validate_window(*w).is_ok());
+        }
+    }
+
+    /// The solver's reported objective always matches a recomputation from
+    /// its windows.
+    #[test]
+    fn reported_objective_is_recomputable(
+        prefs in proptest::collection::vec(small_preference(), 1..6),
+    ) {
+        let problem = AllocationProblem::new(prefs, 2.0, 0.3).unwrap();
+        let exact = BranchAndBound::new().solve(&problem).unwrap();
+        let recomputed = problem.cost_of_windows(&exact.solution.windows);
+        prop_assert!((recomputed - exact.solution.objective).abs() < 1e-9);
+    }
+}
+
+/// The paper's tractability claim in miniature: greedy cost is within a
+/// modest constant of optimal on evening-peaked workloads.
+#[test]
+fn greedy_approximation_quality_on_paper_workloads() {
+    use enki_sim::prelude::*;
+    let config = ProfileConfig::default();
+    let mut worst_ratio: f64 = 1.0;
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prefs: Vec<Preference> = (0..12)
+            .map(|_| UsageProfile::generate(&mut rng, &config).wide())
+            .collect();
+        let problem = AllocationProblem::new(prefs.clone(), 2.0, 0.3).unwrap();
+        let exact = BranchAndBound::new().solve(&problem).unwrap();
+        let greedy =
+            greedy_allocation(&prefs, 2.0, &QuadraticPricing::default(), &mut rng).unwrap();
+        let ratio = problem.cost_of_windows(&greedy.windows) / exact.solution.objective;
+        worst_ratio = worst_ratio.max(ratio);
+    }
+    assert!(
+        worst_ratio < 1.25,
+        "greedy within 25% of optimal (worst ratio {worst_ratio:.3})"
+    );
+}
