@@ -1,0 +1,169 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! A timing-only bench harness with criterion's API shape (`Criterion`,
+//! `benchmark_group`, `bench_with_input`, `criterion_group!` /
+//! `criterion_main!`). Each benchmark runs a short calibrated loop and
+//! prints a mean per-iteration time; there is no statistical analysis,
+//! HTML report, or baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The bench context handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Hook kept for API compatibility; CLI arguments are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string() }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-budgeted here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the time budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against one input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_benchmark(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id labelled only by a parameter value.
+    #[must_use]
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self(parameter.to_string())
+    }
+
+    /// An id with a function name and a parameter value.
+    #[must_use]
+    pub fn new<P: Display>(function: &str, parameter: P) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+}
+
+/// Timing loop driver passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the calibrated iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibrate: run once, scale the iteration count toward ~0.2 s,
+    // capped to keep slow benches bounded.
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let once = bencher.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(200);
+    let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+    let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_secs_f64() / iters as f64;
+    println!("bench {label}: {:.3} µs/iter ({iters} iters)", per_iter * 1e6);
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sum");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,105 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! Provides the `channel` API subset this workspace uses (`unbounded`,
+//! `Sender`, `Receiver`, `RecvTimeoutError`) backed by `std::sync::mpsc`.
+//! Semantics relevant here match crossbeam: unbounded buffering, cloneable
+//! senders, `recv` erroring once every sender is dropped.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError};
+
+    /// The sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; errors only if the receiver is gone.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message back when the channel is disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error when the channel is empty and disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        ///
+        /// # Errors
+        ///
+        /// Returns `Timeout` when nothing arrived in time, or
+        /// `Disconnected` when every sender is gone.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Receives without blocking.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error when no message is ready.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn messages_flow_and_disconnect_is_reported() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            drop(tx);
+            drop(tx2);
+            assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+    }
+}

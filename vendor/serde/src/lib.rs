@@ -1,0 +1,517 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate provides the API subset the workspace uses: the `Serialize` /
+//! `Deserialize` traits (plus `de::DeserializeOwned`) and the derive
+//! macros behind the `derive` feature. Instead of upstream serde's
+//! visitor-based data model, everything funnels through a simple JSON-like
+//! [`Value`] tree; the vendored `serde_json` crate renders and parses it.
+//! The wire format is self-consistent (everything this workspace writes,
+//! it can read back) but not byte-compatible with upstream serde_json for
+//! exotic types (e.g. maps serialize as `[key, value]` pair arrays).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value tree (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Negative integers.
+    Int(i64),
+    /// Non-negative integers.
+    UInt(u64),
+    /// Floating-point numbers.
+    Float(f64),
+    /// Strings.
+    String(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The fields of an object value.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array value.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the tree does not match the type's shape.
+    fn deserialize_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization helpers mirroring `serde::de`.
+pub mod de {
+    pub use crate::Deserialize;
+
+    /// Owned deserialization marker, as in upstream serde.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Support functions used by the derive macros (not a public API).
+pub mod value {
+    use super::Value;
+
+    /// A `Null` with `'static` lifetime for missing-field lookups.
+    pub static NULL: Value = Value::Null;
+
+    /// Looks up a field, yielding `Null` when absent so `Option` fields
+    /// deserialize to `None`.
+    #[must_use]
+    pub fn field<'a>(fields: &'a [(String, Value)], name: &str) -> &'a Value {
+        fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(&NULL, |(_, v)| v)
+    }
+
+    /// For an externally-tagged enum value `{"Variant": inner}`, returns
+    /// the inner value when the tag matches.
+    #[must_use]
+    pub fn variant<'a>(value: &'a Value, name: &str) -> Option<&'a Value> {
+        match value {
+            Value::Object(fields) if fields.len() == 1 && fields[0].0 == name => {
+                Some(&fields[0].1)
+            }
+            _ => None,
+        }
+    }
+
+    /// Array element lookup, yielding `Null` when absent.
+    #[must_use]
+    pub fn element(items: &[Value], index: usize) -> &Value {
+        items.get(index).unwrap_or(&NULL)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize implementations
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize_value(&self) -> Value {
+        let v = *self as i64;
+        if v >= 0 {
+            Value::UInt(v as u64)
+        } else {
+            Value::Int(v)
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            ("nanos".to_string(), Value::UInt(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.serialize_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    /// Maps serialize as an array of `[key, value]` pairs so non-string
+    /// keys round-trip.
+    fn serialize_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| {
+                    Value::Array(vec![k.serialize_value(), v.serialize_value()])
+                })
+                .collect(),
+        )
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize_value()),+])
+            }
+        }
+    )+};
+}
+impl_serialize_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D)
+);
+
+// ---------------------------------------------------------------------
+// Deserialize implementations
+// ---------------------------------------------------------------------
+
+fn expect<T>(value: &Value, what: &str) -> Result<T, Error> {
+    Err(Error::custom(format!("expected {what}, found {value:?}")))
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::float_cmp)]
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::UInt(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::custom(format!("{v} out of range"))),
+                    Value::Int(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::custom(format!("{v} out of range"))),
+                    Value::Float(v) if v.fract() == 0.0 => {
+                        let as_int = *v as i64;
+                        <$t>::try_from(as_int)
+                            .map_err(|_| Error::custom(format!("{v} out of range")))
+                    }
+                    other => expect(other, "an integer"),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(u8, u16, u32, i8, i16, i32, i64);
+
+impl Deserialize for u64 {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::UInt(v) => Ok(*v),
+            Value::Int(v) => u64::try_from(*v)
+                .map_err(|_| Error::custom(format!("{v} out of range"))),
+            other => expect(other, "an unsigned integer"),
+        }
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        u64::deserialize_value(value).and_then(|v| {
+            usize::try_from(v).map_err(|_| Error::custom(format!("{v} out of range")))
+        })
+    }
+}
+
+impl Deserialize for f64 {
+    #[allow(clippy::cast_precision_loss)]
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(v) => Ok(*v),
+            Value::UInt(v) => Ok(*v as f64),
+            Value::Int(v) => Ok(*v as f64),
+            other => expect(other, "a number"),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    #[allow(clippy::cast_possible_truncation)]
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(value).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(v) => Ok(*v),
+            other => expect(other, "a boolean"),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => expect(other, "a string"),
+        }
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| Error::custom("expected an object for Duration"))?;
+        let secs = u64::deserialize_value(crate::value::field(fields, "secs"))?;
+        let nanos = u32::deserialize_value(crate::value::field(fields, "nanos"))?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => expect(other, "an array"),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize_value(value)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            Error::custom(format!("expected an array of length {N}, found {len}"))
+        })
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let Value::Array(items) = value else {
+            return expect(value, "an array of [key, value] pairs");
+        };
+        let mut out = BTreeMap::new();
+        for item in items {
+            let Value::Array(pair) = item else {
+                return expect(item, "a [key, value] pair");
+            };
+            if pair.len() != 2 {
+                return Err(Error::custom("expected a [key, value] pair"));
+            }
+            out.insert(K::deserialize_value(&pair[0])?, V::deserialize_value(&pair[1])?);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let Value::Array(items) = value else {
+                    return expect(value, "a tuple array");
+                };
+                if items.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected a tuple of length {}, found {}", $len, items.len()
+                    )));
+                }
+                Ok(($($t::deserialize_value(&items[$n])?,)+))
+            }
+        }
+    )+};
+}
+impl_deserialize_tuple!(
+    (1; 0 A),
+    (2; 0 A, 1 B),
+    (3; 0 A, 1 B, 2 C),
+    (4; 0 A, 1 B, 2 C, 3 D)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u8::deserialize_value(&42u8.serialize_value()).unwrap(), 42);
+        assert_eq!(
+            i16::deserialize_value(&(-3i16).serialize_value()).unwrap(),
+            -3
+        );
+        assert_eq!(
+            f64::deserialize_value(&1.5f64.serialize_value()).unwrap(),
+            1.5
+        );
+        assert_eq!(
+            String::deserialize_value(&"hi".serialize_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u8>::deserialize_value(&Value::Null).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize_value(&v.serialize_value()).unwrap(), v);
+        let arr = [1.0f64, 2.0, 3.0];
+        assert_eq!(
+            <[f64; 3]>::deserialize_value(&arr.serialize_value()).unwrap(),
+            arr
+        );
+        let mut map = BTreeMap::new();
+        map.insert(3u32, "three".to_string());
+        assert_eq!(
+            BTreeMap::<u32, String>::deserialize_value(&map.serialize_value()).unwrap(),
+            map
+        );
+        let pair = (7u8, 2.5f64);
+        assert_eq!(
+            <(u8, f64)>::deserialize_value(&pair.serialize_value()).unwrap(),
+            pair
+        );
+    }
+
+    #[test]
+    fn missing_field_lookup_is_null() {
+        let fields = vec![("a".to_string(), Value::UInt(1))];
+        assert_eq!(value::field(&fields, "a"), &Value::UInt(1));
+        assert_eq!(value::field(&fields, "b"), &Value::Null);
+    }
+}

@@ -1,0 +1,464 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses — non-generic structs (named,
+//! tuple, unit) and enums (unit, tuple, and struct variants) — by parsing
+//! the item's token stream directly (no `syn`/`quote`, which are not
+//! available offline) and emitting impls of the vendored `serde` traits.
+//! Enums use serde's externally-tagged representation; generic types are
+//! rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().expect("literal parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips any number of outer attributes (`#[...]`).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Bracket {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skips a `pub` / `pub(...)` visibility qualifier.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("serde derive: expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Skips tokens until a top-level comma (angle-bracket aware), then
+    /// consumes the comma. Used to skip field types and discriminants.
+    fn skip_until_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(tree) = self.peek() {
+            if let TokenTree::Punct(p) = tree {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' if angle_depth > 0 => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        self.pos += 1;
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cursor = Cursor::new(input);
+    cursor.skip_attributes();
+    cursor.skip_visibility();
+    let kind = cursor.expect_ident()?;
+    let name = cursor.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = cursor.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde derive (vendored): generic type `{name}` is not supported"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match cursor.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = cursor.peek() else {
+                return Err(format!("serde derive: enum `{name}` has no body"));
+            };
+            let variants = parse_variants(g.stream())?;
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("serde derive: unsupported item kind `{other}`")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Fields {
+    let mut cursor = Cursor::new(stream);
+    let mut names = Vec::new();
+    loop {
+        cursor.skip_attributes();
+        cursor.skip_visibility();
+        match cursor.next() {
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                // Skip the `:` and the type.
+                cursor.skip_until_comma();
+            }
+            _ => break,
+        }
+    }
+    Fields::Named(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cursor = Cursor::new(stream);
+    if cursor.peek().is_none() {
+        return 0;
+    }
+    let mut count = 0;
+    while cursor.peek().is_some() {
+        cursor.skip_until_comma();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cursor.skip_attributes();
+        let Some(TokenTree::Ident(id)) = cursor.peek() else {
+            break;
+        };
+        let name = id.to_string();
+        cursor.pos += 1;
+        let fields = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                cursor.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                cursor.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        cursor.skip_until_comma();
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::serialize_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => {
+                    "::serde::Serialize::serialize_value(&self.0)".to_string()
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(variant, fields)| {
+                    let tag = format!("::std::string::String::from({variant:?})");
+                    match fields {
+                        Fields::Unit => format!(
+                            "{name}::{variant} => ::serde::Value::String({tag}),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::serialize_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| {
+                                        format!("::serde::Serialize::serialize_value({b})")
+                                    })
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Array(::std::vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{variant}({binds}) => \
+                                 ::serde::Value::Object(::std::vec![({tag}, {inner})]),",
+                                binds = binders.join(", ")
+                            )
+                        }
+                        Fields::Named(field_names) => {
+                            let entries: Vec<String> = field_names
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::serialize_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{variant} {{ {binds} }} => \
+                                 ::serde::Value::Object(::std::vec![({tag}, \
+                                 ::serde::Value::Object(::std::vec![{entries}]))]),",
+                                binds = field_names.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            Fields::Named(names) => {
+                let inits: Vec<String> = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::deserialize_value(\
+                             ::serde::value::field(fields, {f:?}))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let fields = value.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected an object for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name} {{ {inits} }})",
+                    inits = inits.join(", ")
+                )
+            }
+            Fields::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(\
+                 ::serde::Deserialize::deserialize_value(value)?))"
+            ),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::deserialize_value(\
+                             ::serde::value::element(items, {i}))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let items = value.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected an array for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name}({inits}))",
+                    inits = inits.join(", ")
+                )
+            }
+        },
+        Item::Enum { name, variants } => {
+            let mut parts = Vec::new();
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| {
+                    format!("{v:?} => return ::std::result::Result::Ok({name}::{v}),")
+                })
+                .collect();
+            if !unit_arms.is_empty() {
+                parts.push(format!(
+                    "if let ::serde::Value::String(tag) = value {{\n\
+                         match tag.as_str() {{ {arms} _ => {{}} }}\n\
+                     }}",
+                    arms = unit_arms.join("\n")
+                ));
+            }
+            for (variant, fields) in variants {
+                match fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(1) => parts.push(format!(
+                        "if let ::std::option::Option::Some(inner) = \
+                         ::serde::value::variant(value, {variant:?}) {{\n\
+                             return ::std::result::Result::Ok({name}::{variant}(\
+                             ::serde::Deserialize::deserialize_value(inner)?));\n\
+                         }}"
+                    )),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::deserialize_value(\
+                                     ::serde::value::element(items, {i}))?"
+                                )
+                            })
+                            .collect();
+                        parts.push(format!(
+                            "if let ::std::option::Option::Some(inner) = \
+                             ::serde::value::variant(value, {variant:?}) {{\n\
+                                 let items = inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\
+                                 \"expected an array for {name}::{variant}\"))?;\n\
+                                 return ::std::result::Result::Ok(\
+                                 {name}::{variant}({inits}));\n\
+                             }}",
+                            inits = inits.join(", ")
+                        ));
+                    }
+                    Fields::Named(field_names) => {
+                        let inits: Vec<String> = field_names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::deserialize_value(\
+                                     ::serde::value::field(fields, {f:?}))?"
+                                )
+                            })
+                            .collect();
+                        parts.push(format!(
+                            "if let ::std::option::Option::Some(inner) = \
+                             ::serde::value::variant(value, {variant:?}) {{\n\
+                                 let fields = inner.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(\
+                                 \"expected an object for {name}::{variant}\"))?;\n\
+                                 return ::std::result::Result::Ok(\
+                                 {name}::{variant} {{ {inits} }});\n\
+                             }}",
+                            inits = inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            parts.push(format!(
+                "::std::result::Result::Err(::serde::Error::custom(format!(\
+                 \"unknown variant for {name}: {{value:?}}\")))"
+            ));
+            parts.join("\n")
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(value: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::Error> {{\n\
+                 #[allow(unused_variables)]\n\
+                 {{ {body} }}\n\
+             }}\n\
+         }}"
+    )
+}
