@@ -11,6 +11,17 @@
 //! lost is settled *as if it followed its allocation*: real smart meters
 //! are read eventually, so the cooperative window is the neutral
 //! assumption (and the one that cannot create a phantom defection score).
+//!
+//! **Crash and recovery.** The center writes a durable
+//! [`CenterCheckpoint`] at every phase boundary — day start, allocation
+//! computed, day settled. [`CenterAgent::crash`] wipes all in-memory
+//! protocol state (as a process crash would); [`CenterAgent::recover`]
+//! restores from the last checkpoint, including the allocation RNG state,
+//! so the post-recovery allocation stream is identical to an uncrashed
+//! run. Reports and readings received *between* phase boundaries are
+//! volatile and lost on crash — household retry loops re-deliver them.
+//! Because a settled day's record and RNG state are committed atomically
+//! with its bills, recovery can never re-settle a day or double-bill.
 
 use std::collections::BTreeMap;
 
@@ -71,7 +82,7 @@ pub struct DayRecord {
     pub settlement: Option<Settlement>,
 }
 
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct DayInProgress {
     day: u64,
     report_deadline: Tick,
@@ -80,6 +91,20 @@ struct DayInProgress {
     allocation: Option<(Vec<Report>, AllocationOutcome)>,
     readings: BTreeMap<HouseholdId, Interval>,
     last_day_start: Tick,
+}
+
+/// A durable snapshot of the center's protocol state, written at phase
+/// boundaries and restored by [`CenterAgent::recover`].
+///
+/// Serializable, so a deployment can persist it across process restarts;
+/// [`CenterAgent::restore`] rebuilds an agent from a deserialized
+/// checkpoint plus the static configuration (mechanism, roster, plan).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CenterCheckpoint {
+    next_day: u64,
+    rng_state: [u64; 4],
+    records: Vec<DayRecord>,
+    current: Option<DayInProgress>,
 }
 
 /// Ticks between repeated `DayStart` broadcasts to households that have
@@ -96,6 +121,8 @@ pub struct CenterAgent {
     next_day: u64,
     current: Option<DayInProgress>,
     records: Vec<DayRecord>,
+    durable: CenterCheckpoint,
+    down: bool,
 }
 
 impl CenterAgent {
@@ -107,14 +134,51 @@ impl CenterAgent {
     #[must_use]
     pub fn new(enki: Enki, roster: Vec<HouseholdId>, plan: DayPlan, seed: u64) -> Self {
         assert!(plan.is_valid(), "day plan deadlines must be ordered");
+        let rng = StdRng::seed_from_u64(seed);
+        let durable = CenterCheckpoint {
+            next_day: 0,
+            rng_state: rng.state(),
+            records: Vec::new(),
+            current: None,
+        };
         Self {
             enki,
             roster,
             plan,
-            rng: StdRng::seed_from_u64(seed),
+            rng,
             next_day: 0,
             current: None,
             records: Vec::new(),
+            durable,
+            down: false,
+        }
+    }
+
+    /// Rebuilds a center from a previously persisted checkpoint plus the
+    /// static configuration. The result is up and resumes exactly where
+    /// the checkpoint left off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's deadlines are not strictly ordered.
+    #[must_use]
+    pub fn restore(
+        enki: Enki,
+        roster: Vec<HouseholdId>,
+        plan: DayPlan,
+        checkpoint: CenterCheckpoint,
+    ) -> Self {
+        assert!(plan.is_valid(), "day plan deadlines must be ordered");
+        Self {
+            enki,
+            roster,
+            plan,
+            rng: StdRng::from_state(checkpoint.rng_state),
+            next_day: checkpoint.next_day,
+            current: checkpoint.current.clone(),
+            records: checkpoint.records.clone(),
+            durable: checkpoint,
+            down: false,
         }
     }
 
@@ -124,13 +188,67 @@ impl CenterAgent {
         NodeId::Center
     }
 
+    /// The households this center drives.
+    #[must_use]
+    pub fn roster(&self) -> &[HouseholdId] {
+        &self.roster
+    }
+
     /// Settled day records so far.
     #[must_use]
     pub fn records(&self) -> &[DayRecord] {
         &self.records
     }
 
+    /// The last durably written checkpoint.
+    #[must_use]
+    pub fn checkpoint(&self) -> &CenterCheckpoint {
+        &self.durable
+    }
+
+    /// Whether the center is currently crashed.
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Commits the current in-memory state as the durable checkpoint.
+    /// Called at phase boundaries only.
+    fn commit(&mut self) {
+        self.durable = CenterCheckpoint {
+            next_day: self.next_day,
+            rng_state: self.rng.state(),
+            records: self.records.clone(),
+            current: self.current.clone(),
+        };
+    }
+
+    /// Simulates a process crash: all in-memory protocol state is wiped.
+    /// The agent ignores messages and ticks until [`CenterAgent::recover`].
+    pub fn crash(&mut self) {
+        self.down = true;
+        self.current = None;
+        self.records = Vec::new();
+        self.next_day = 0;
+        self.rng = StdRng::seed_from_u64(0);
+    }
+
+    /// Restarts after a crash, restoring protocol state — including the
+    /// allocation RNG — from the last durable checkpoint.
+    pub fn recover(&mut self) {
+        self.down = false;
+        self.next_day = self.durable.next_day;
+        self.rng = StdRng::from_state(self.durable.rng_state);
+        self.records = self.durable.records.clone();
+        self.current = self.durable.current.clone();
+    }
+
     /// Handles a delivered message.
+    ///
+    /// Handling is idempotent per day and phase: duplicate reports and
+    /// readings overwrite identically, messages for a day other than the
+    /// one in progress are ignored, and messages for a phase that already
+    /// closed (reports after allocation, readings before it) are ignored.
     pub fn on_message(
         &mut self,
         _now: Tick,
@@ -138,16 +256,20 @@ impl CenterAgent {
         message: Message,
         _outbox: &mut Vec<Envelope>,
     ) {
+        if self.down {
+            return;
+        }
         let NodeId::Household(household) = from else {
             return;
         };
+        if !self.roster.contains(&household) {
+            return; // unknown sender: never let it into an allocation
+        }
         let Some(current) = self.current.as_mut() else {
             return;
         };
         match message {
             Message::SubmitReport { day, preference }
-                // Idempotent: duplicates overwrite identically; late
-                // reports (after allocation) are ignored.
                 if day == current.day && current.allocation.is_none() => {
                     current.reports.insert(household, preference);
                 }
@@ -160,11 +282,19 @@ impl CenterAgent {
     }
 
     /// Advances the protocol: starts days, allocates at the report
-    /// deadline, settles at the meter deadline.
+    /// deadline, settles at the meter deadline. Each transition commits
+    /// a durable checkpoint before its messages leave the outbox queue.
     pub fn on_tick(&mut self, now: Tick, outbox: &mut Vec<Envelope>) {
+        if self.down {
+            return;
+        }
         // Start a new day on the day boundary.
         if now.is_multiple_of(self.plan.day_length) && self.current.is_none() {
             let day = self.next_day;
+            debug_assert!(
+                self.records.iter().all(|r| r.day != day),
+                "a recorded day must never restart"
+            );
             self.next_day += 1;
             let report_deadline = now + self.plan.report_offset;
             let meter_deadline = now + self.plan.meter_offset;
@@ -177,6 +307,7 @@ impl CenterAgent {
                 readings: BTreeMap::new(),
                 last_day_start: now,
             });
+            self.commit();
             for &h in &self.roster {
                 outbox.push(Envelope {
                     from: NodeId::Center,
@@ -230,6 +361,7 @@ impl CenterAgent {
                 };
                 self.records.push(record);
                 self.current = None;
+                self.commit();
                 return;
             }
             let reports: Vec<Report> = current
@@ -241,17 +373,20 @@ impl CenterAgent {
                 .enki
                 .allocate(&reports, &mut self.rng)
                 .expect("non-empty, duplicate-free reports");
-            for assignment in &outcome.assignments {
+            let day = current.day;
+            let assignments = outcome.assignments.clone();
+            current.allocation = Some((reports, outcome));
+            self.commit();
+            for assignment in &assignments {
                 outbox.push(Envelope {
                     from: NodeId::Center,
                     to: NodeId::Household(assignment.household),
                     message: Message::Allocation {
-                        day: current.day,
+                        day,
                         window: assignment.window,
                     },
                 });
             }
-            current.allocation = Some((reports, outcome));
             return;
         }
 
@@ -270,20 +405,11 @@ impl CenterAgent {
                         }
                     })
                     .collect();
+                let day = current.day;
                 let settlement = self
                     .enki
                     .settle(&reports, &outcome, &consumption)
                     .expect("settlement inputs are aligned by construction");
-                for entry in &settlement.entries {
-                    outbox.push(Envelope {
-                        from: NodeId::Center,
-                        to: NodeId::Household(entry.household),
-                        message: Message::Bill {
-                            day: current.day,
-                            amount: entry.payment,
-                        },
-                    });
-                }
                 let participants: Vec<HouseholdId> =
                     reports.iter().map(|r| r.household).collect();
                 let missing_reports: Vec<HouseholdId> = self
@@ -293,14 +419,31 @@ impl CenterAgent {
                     .filter(|h| !participants.contains(h))
                     .collect();
                 self.records.push(DayRecord {
-                    day: current.day,
+                    day,
                     participants,
                     missing_reports,
                     missing_readings,
-                    settlement: Some(settlement),
+                    settlement: Some(settlement.clone()),
                 });
+                self.current = None;
+                // The record and advanced state commit atomically with
+                // billing: a crash after this point can never re-settle
+                // the day or bill anyone twice.
+                self.commit();
+                for entry in &settlement.entries {
+                    outbox.push(Envelope {
+                        from: NodeId::Center,
+                        to: NodeId::Household(entry.household),
+                        message: Message::Bill {
+                            day,
+                            amount: entry.payment,
+                        },
+                    });
+                }
+            } else {
+                self.current = None;
+                self.commit();
             }
-            self.current = None;
         }
     }
 }
@@ -395,6 +538,27 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn off_roster_senders_are_ignored() {
+        let mut c = center(2);
+        let mut outbox = Vec::new();
+        c.on_tick(0, &mut outbox);
+        c.on_message(
+            3,
+            NodeId::Household(HouseholdId::new(99)),
+            Message::SubmitReport {
+                day: 0,
+                preference: pref(18, 22, 2),
+            },
+            &mut outbox,
+        );
+        outbox.clear();
+        c.on_tick(30, &mut outbox);
+        c.on_tick(70, &mut outbox);
+        let record = c.records().last().unwrap();
+        assert!(record.settlement.is_none(), "no roster member reported");
     }
 
     #[test]
@@ -509,5 +673,125 @@ mod tests {
         c.on_tick(70, &mut outbox);
         let record = c.records().last().unwrap();
         assert_eq!(record.participants, vec![HouseholdId::new(0)]);
+    }
+
+    #[test]
+    fn crash_wipes_and_recovery_restores_phase_state() {
+        let mut c = center(2);
+        let mut outbox = Vec::new();
+        c.on_tick(0, &mut outbox);
+        for i in 0..2u32 {
+            c.on_message(
+                5,
+                NodeId::Household(HouseholdId::new(i)),
+                Message::SubmitReport {
+                    day: 0,
+                    preference: pref(18, 22, 2),
+                },
+                &mut outbox,
+            );
+        }
+        c.on_tick(30, &mut outbox); // allocation phase boundary: committed
+        c.crash();
+        assert!(c.is_down());
+        // Down: messages and ticks are inert.
+        c.on_message(
+            35,
+            NodeId::Household(HouseholdId::new(0)),
+            Message::MeterReading {
+                day: 0,
+                window: Interval::new(18, 20).unwrap(),
+            },
+            &mut outbox,
+        );
+        c.on_tick(40, &mut outbox);
+        c.recover();
+        assert!(!c.is_down());
+        outbox.clear();
+        c.on_tick(70, &mut outbox);
+        let record = c.records().last().unwrap();
+        assert_eq!(record.day, 0);
+        assert_eq!(record.participants.len(), 2, "allocation survived the crash");
+        // The reading sent while down was lost; both settle cooperative.
+        assert_eq!(record.missing_readings.len(), 2);
+        assert_eq!(
+            outbox
+                .iter()
+                .filter(|e| matches!(e.message, Message::Bill { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn recovery_after_settlement_never_duplicates_records_or_bills() {
+        let mut c = center(1);
+        let mut outbox = Vec::new();
+        c.on_tick(0, &mut outbox);
+        c.on_message(
+            5,
+            NodeId::Household(HouseholdId::new(0)),
+            Message::SubmitReport {
+                day: 0,
+                preference: pref(18, 22, 2),
+            },
+            &mut outbox,
+        );
+        c.on_tick(30, &mut outbox);
+        c.on_tick(70, &mut outbox); // settles and commits atomically
+        assert_eq!(c.records().len(), 1);
+        c.crash();
+        c.recover();
+        outbox.clear();
+        for t in 71..100 {
+            c.on_tick(t, &mut outbox);
+        }
+        assert_eq!(c.records().len(), 1, "no duplicate record after recovery");
+        assert!(
+            !outbox.iter().any(|e| matches!(e.message, Message::Bill { .. })),
+            "no re-billing after recovery"
+        );
+        // The next day starts normally.
+        c.on_tick(100, &mut outbox);
+        assert!(outbox
+            .iter()
+            .any(|e| matches!(e.message, Message::DayStart { day: 1, .. })));
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_serde() {
+        let mut c = center(2);
+        let mut outbox = Vec::new();
+        c.on_tick(0, &mut outbox);
+        for i in 0..2u32 {
+            c.on_message(
+                5,
+                NodeId::Household(HouseholdId::new(i)),
+                Message::SubmitReport {
+                    day: 0,
+                    preference: pref(18, 22, 2),
+                },
+                &mut outbox,
+            );
+        }
+        c.on_tick(30, &mut outbox); // checkpoint now holds the allocation
+        let json = serde_json::to_string(c.checkpoint()).unwrap();
+        let back: CenterCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, c.checkpoint());
+
+        // A center restored from the serialized checkpoint finishes the
+        // day exactly like the original.
+        let mut restored = CenterAgent::restore(
+            Enki::new(EnkiConfig::default()),
+            vec![HouseholdId::new(0), HouseholdId::new(1)],
+            DayPlan::default(),
+            back,
+        );
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        c.on_tick(70, &mut a);
+        restored.on_tick(70, &mut b);
+        assert_eq!(c.records(), restored.records());
+        assert_eq!(a, b);
     }
 }

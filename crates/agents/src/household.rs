@@ -8,6 +8,15 @@
 //! messages), consumes within its true preference as close to the
 //! allocation as possible, feeds the realized consumption back into its
 //! [`EccPredictor`], and submits the meter reading until billed.
+//!
+//! Retries use bounded exponential backoff with deterministic jitter
+//! (see [`Backoff`]): the first retry fires after the base interval,
+//! subsequent delays double up to a cap, and a small per-attempt jitter
+//! decorrelates the retry trains of different households so a lossy
+//! link is not hammered in lockstep. Message handling is idempotent —
+//! duplicated `DayStart`, `Allocation`, or `Bill` envelopes (the fault
+//! layer may replay any of them) never reset day state, double-consume,
+//! or double-record a bill.
 
 use enki_core::household::{HouseholdId, Preference};
 use enki_core::time::Interval;
@@ -15,6 +24,8 @@ use enki_sim::behavior::{consume, ReportStrategy};
 use enki_sim::ecc::EccPredictor;
 use enki_sim::neighborhood::TruthSource;
 use enki_sim::profile::UsageProfile;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::message::{Envelope, Message, NodeId, Tick};
@@ -33,16 +44,67 @@ pub enum ReportSource {
     },
 }
 
+/// Bounded exponential backoff for protocol retries.
+///
+/// Attempt `n` (0-based) waits `min(base * 2^n, cap)` ticks plus a
+/// jitter of `0..=min(n, 3)` ticks drawn from the agent's seeded RNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Backoff {
+    /// Delay before the first retry, in ticks. At least 1.
+    pub base: Tick,
+    /// Upper bound on the exponential delay, in ticks.
+    pub cap: Tick,
+}
+
+impl Backoff {
+    /// A backoff starting at `base` ticks and capped at `cap`.
+    #[must_use]
+    pub fn new(base: Tick, cap: Tick) -> Self {
+        let base = base.max(1);
+        Self {
+            base,
+            cap: cap.max(base),
+        }
+    }
+
+    /// The delay before retry attempt `attempt` (0-based), including
+    /// jitter drawn from `rng`.
+    fn delay(&self, attempt: u32, rng: &mut StdRng) -> Tick {
+        let exp = self
+            .base
+            .saturating_mul(1u64.checked_shl(attempt.min(32)).unwrap_or(u64::MAX))
+            .min(self.cap);
+        let jitter_bound = Tick::from(attempt.min(3));
+        let jitter = if jitter_bound == 0 {
+            0
+        } else {
+            rng.random_range(0..=jitter_bound)
+        };
+        exp + jitter
+    }
+}
+
+impl Default for Backoff {
+    /// First retry after 5 ticks, doubling to a cap of 10.
+    fn default() -> Self {
+        Self { base: 5, cap: 10 }
+    }
+}
+
 /// One household's view of the current day.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 struct DayState {
     day: u64,
     report_deadline: Tick,
     meter_deadline: Tick,
-    last_report_sent: Option<Tick>,
+    /// Tick the next report (re-)send is due; 0 means immediately.
+    next_report_at: Tick,
+    report_attempts: u32,
     allocation: Option<Interval>,
     consumed: Option<Interval>,
-    reading_sent: Option<Tick>,
+    /// Tick the next meter-reading (re-)send is due; 0 means immediately.
+    next_reading_at: Tick,
+    reading_attempts: u32,
     bill: Option<f64>,
 }
 
@@ -55,14 +117,16 @@ pub struct HouseholdAgent {
     strategy: ReportStrategy,
     report_source: ReportSource,
     ecc: EccPredictor,
-    retry_interval: Tick,
+    backoff: Backoff,
     allocation_grace: Tick,
+    rng: StdRng,
     state: Option<DayState>,
     bills: Vec<(u64, f64)>,
 }
 
 impl HouseholdAgent {
-    /// Creates an agent.
+    /// Creates an agent. Retry jitter is seeded from the household id, so
+    /// a roster of agents is deterministic as a whole.
     #[must_use]
     pub fn new(
         id: HouseholdId,
@@ -78,18 +142,27 @@ impl HouseholdAgent {
             strategy,
             report_source,
             ecc: EccPredictor::new(0.3).expect("0.3 is a valid smoothing factor"),
-            retry_interval: 5,
+            backoff: Backoff::default(),
             allocation_grace: 10,
+            rng: StdRng::seed_from_u64(0xECC0 ^ u64::from(id.index())),
             state: None,
             bills: Vec::new(),
         }
     }
 
-    /// Overrides the report retry interval (ticks between re-sends while
-    /// no allocation has arrived).
+    /// Overrides the retry backoff base (ticks before the first re-send
+    /// while unanswered); the exponential cap is set to twice the base.
     #[must_use]
     pub fn with_retry_interval(mut self, retry_interval: Tick) -> Self {
-        self.retry_interval = retry_interval.max(1);
+        let base = retry_interval.max(1);
+        self.backoff = Backoff::new(base, base.saturating_mul(2));
+        self
+    }
+
+    /// Overrides the full retry backoff schedule.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = backoff;
         self
     }
 
@@ -156,8 +229,10 @@ impl HouseholdAgent {
                 preference: self.report_preference(),
             },
         });
+        let delay = self.backoff.delay(state.report_attempts, &mut self.rng);
         if let Some(state) = self.state.as_mut() {
-            state.last_report_sent = Some(now);
+            state.report_attempts += 1;
+            state.next_report_at = now + delay;
         }
     }
 
@@ -178,6 +253,13 @@ impl HouseholdAgent {
                 report_deadline,
                 meter_deadline,
             } => {
+                // Idempotent: a duplicated or re-broadcast DayStart for
+                // the day already in progress (or an older, reordered
+                // one) must not reset state — that would discard the
+                // allocation and double-observe consumption.
+                if self.state.is_some_and(|s| day <= s.day) {
+                    return;
+                }
                 self.state = Some(DayState {
                     day,
                     report_deadline,
@@ -205,20 +287,16 @@ impl HouseholdAgent {
         }
     }
 
-    /// Advances local time: retries the report while unallocated, consumes
-    /// once the reporting phase ends, and retries the meter reading until
-    /// billed.
+    /// Advances local time: retries the report (with backoff) while
+    /// unallocated, consumes once the reporting phase ends, and retries
+    /// the meter reading until billed.
     pub fn on_tick(&mut self, now: Tick, outbox: &mut Vec<Envelope>) {
         let Some(state) = self.state else {
             return;
         };
         // Retry the report while no allocation has arrived.
         if state.allocation.is_none() && now < state.report_deadline {
-            let due = state
-                .last_report_sent
-                .map(|t| now >= t + self.retry_interval)
-                .unwrap_or(true);
-            if due {
+            if now >= state.next_report_at {
                 self.send_report(now, outbox);
             }
             return;
@@ -245,23 +323,20 @@ impl HouseholdAgent {
         // Send / retry the meter reading until the bill arrives.
         let Some(state) = self.state else { return };
         if let Some(window) = state.consumed {
-            if state.bill.is_none() && now < state.meter_deadline {
-                let due = state
-                    .reading_sent
-                    .map(|t| now >= t + self.retry_interval)
-                    .unwrap_or(true);
-                if due {
-                    outbox.push(Envelope {
-                        from: NodeId::Household(self.id),
-                        to: NodeId::Center,
-                        message: Message::MeterReading {
-                            day: state.day,
-                            window,
-                        },
-                    });
-                    if let Some(state) = self.state.as_mut() {
-                        state.reading_sent = Some(now);
-                    }
+            if state.bill.is_none() && now < state.meter_deadline && now >= state.next_reading_at
+            {
+                outbox.push(Envelope {
+                    from: NodeId::Household(self.id),
+                    to: NodeId::Center,
+                    message: Message::MeterReading {
+                        day: state.day,
+                        window,
+                    },
+                });
+                let delay = self.backoff.delay(state.reading_attempts, &mut self.rng);
+                if let Some(state) = self.state.as_mut() {
+                    state.reading_attempts += 1;
+                    state.next_reading_at = now + delay;
                 }
             }
         }
@@ -321,7 +396,7 @@ mod tests {
         a.on_tick(1, &mut outbox);
         assert!(outbox.is_empty(), "retry waits for the interval");
         a.on_tick(3, &mut outbox);
-        assert_eq!(outbox.len(), 1, "retry fires after the interval");
+        assert_eq!(outbox.len(), 1, "first retry fires after the base interval");
         // Allocation stops the retries.
         a.on_message(
             4,
@@ -335,6 +410,80 @@ mod tests {
         outbox.clear();
         a.on_tick(10, &mut outbox);
         assert!(outbox.is_empty());
+    }
+
+    #[test]
+    fn retry_delays_grow_exponentially_to_the_cap() {
+        let mut a = HouseholdAgent::new(
+            HouseholdId::new(0),
+            profile(),
+            TruthSource::Narrow,
+            ReportStrategy::TruthfulNarrow,
+            ReportSource::Strategy,
+        )
+        .with_backoff(Backoff::new(2, 8));
+        let mut outbox = Vec::new();
+        a.on_message(
+            0,
+            NodeId::Center,
+            Message::DayStart {
+                day: 1,
+                report_deadline: 200,
+                meter_deadline: 300,
+            },
+            &mut outbox,
+        );
+        assert_eq!(outbox.len(), 1, "initial report sent with the DayStart");
+        outbox.clear();
+        let mut sends = vec![0]; // the initial send, at tick 0
+        for t in 1..100 {
+            a.on_tick(t, &mut outbox);
+            if !outbox.is_empty() {
+                sends.push(t);
+                outbox.clear();
+            }
+        }
+        assert!(sends.len() >= 5, "retries keep firing: {sends:?}");
+        let gaps: Vec<Tick> = sends.windows(2).map(|w| w[1] - w[0]).collect();
+        // First gap is the base; gaps grow but never exceed cap + jitter.
+        assert_eq!(gaps[0], 2);
+        assert!(gaps[1] >= 4, "second delay doubles: {gaps:?}");
+        assert!(
+            gaps.iter().all(|&g| g <= 8 + 3),
+            "delays stay bounded by cap + jitter: {gaps:?}"
+        );
+        // The tail is capped: late gaps stop growing.
+        let tail = &gaps[3..];
+        assert!(
+            tail.iter().all(|&g| g >= 8 && g <= 11),
+            "tail delays sit at the cap: {gaps:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_day_start_does_not_reset_state() {
+        let mut a = agent();
+        let mut outbox = Vec::new();
+        a.on_message(0, NodeId::Center, day_start(1), &mut outbox);
+        a.on_message(
+            2,
+            NodeId::Center,
+            Message::Allocation {
+                day: 1,
+                window: Interval::new(18, 20).unwrap(),
+            },
+            &mut outbox,
+        );
+        outbox.clear();
+        // A duplicated / re-broadcast DayStart for the same day arrives.
+        a.on_message(3, NodeId::Center, day_start(1), &mut outbox);
+        assert!(outbox.is_empty(), "no re-report for a replayed DayStart");
+        a.on_tick(30, &mut outbox);
+        assert_eq!(a.ecc().days_observed(), 1, "consumption observed once");
+        // An older day's DayStart (reordered) is also ignored.
+        a.on_message(31, NodeId::Center, day_start(0), &mut outbox);
+        a.on_tick(32, &mut outbox);
+        assert_eq!(a.ecc().days_observed(), 1);
     }
 
     #[test]

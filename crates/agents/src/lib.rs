@@ -14,7 +14,11 @@
 //!   bills; missing reports exclude a household, missing readings settle
 //!   as cooperative.
 //! * [`runtime`] — a tick-driven discrete-event loop (reproducible; the
-//!   vehicle for failure-injection tests).
+//!   vehicle for failure-injection tests) with scheduled center crashes
+//!   and a protocol event trace.
+//! * [`oracle`] — protocol invariant checks (budget balance, at-most-one
+//!   bill, grounded allocations, record integrity) replayed over a
+//!   runtime trace under any fault schedule.
 //! * [`threaded`] — the same protocol on real threads over crossbeam
 //!   channels, as a deployment skeleton.
 //! * [`decentralized`] — the §VIII extension: token-ring best-response
@@ -60,16 +64,22 @@ pub mod decentralized;
 pub mod household;
 pub mod message;
 pub mod network;
+pub mod oracle;
 pub mod runtime;
 pub mod threaded;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::center::{CenterAgent, DayPlan, DayRecord};
+    pub use crate::center::{CenterAgent, CenterCheckpoint, DayPlan, DayRecord};
     pub use crate::decentralized::{run_decentralized, DecentralizedOutcome};
-    pub use crate::household::{HouseholdAgent, ReportSource};
+    pub use crate::household::{Backoff, HouseholdAgent, ReportSource};
     pub use crate::message::{Envelope, Message, NodeId, Tick};
-    pub use crate::network::{NetworkConfig, NetworkStats, SimNetwork};
-    pub use crate::runtime::Runtime;
-    pub use crate::threaded::{run_threaded_days, ThreadedDay, ThreadedHousehold};
+    pub use crate::network::{
+        FaultPlan, NetworkConfig, NetworkStats, Outage, Partition, SimNetwork,
+    };
+    pub use crate::oracle::{check as check_invariants, Violation};
+    pub use crate::runtime::{CrashSchedule, Runtime, TraceEvent, TraceKind};
+    pub use crate::threaded::{
+        run_threaded_days, ThreadedDay, ThreadedFault, ThreadedHousehold,
+    };
 }

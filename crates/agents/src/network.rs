@@ -1,25 +1,41 @@
-//! A deterministic simulated local network.
+//! A deterministic simulated local network with schedulable faults.
 //!
 //! The paper's ECC units connect to the neighborhood controller "through a
 //! local network" (§I). [`SimNetwork`] models that link: every send incurs
 //! a base latency plus seeded jitter and may be dropped with a configured
-//! probability. Delivery order is a stable priority queue on
-//! (delivery tick, sequence number), so runs are exactly reproducible for
-//! a given seed — the property all the failure-injection tests rely on.
+//! probability. On top of the link profile, a [`FaultPlan`] injects
+//! protocol-level adversity — message duplication, adversarial extra
+//! delay (reordering), per-link partitions between a household and the
+//! center with scheduled heal times, and neighborhood-wide burst outages.
+//! Delivery order is a stable priority queue on (delivery tick, sequence
+//! number), so runs are exactly reproducible for a given seed — the
+//! property all the failure-injection tests rely on.
+//!
+//! # Latency contract
+//!
+//! A message submitted at tick `now` is due at
+//! `now + base_latency + jitter (+ reorder delay)`. `base_latency` of 0
+//! is honored: the message becomes due the same tick it was sent. Note
+//! that the tick-driven [`Runtime`](crate::runtime::Runtime) polls the
+//! network once at the *start* of each tick, so a 0-latency message sent
+//! during tick `t` is still processed by its recipient at tick `t + 1` —
+//! zero latency removes queueing delay, not the discrete-time step.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use enki_core::household::HouseholdId;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::message::{Envelope, Tick};
+use crate::message::{Envelope, NodeId, Tick};
 
 /// Link characteristics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NetworkConfig {
-    /// Ticks every delivery takes at minimum.
+    /// Ticks every delivery takes at minimum. May be 0; see the module
+    /// docs for what 0 latency means under a tick-driven runtime.
     pub base_latency: Tick,
     /// Additional uniform jitter in `[0, jitter]` ticks.
     pub jitter: Tick,
@@ -48,6 +64,88 @@ impl NetworkConfig {
             drop_probability,
         }
     }
+
+    /// Whether the profile is usable: `drop_probability` must be a
+    /// probability.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        (0.0..=1.0).contains(&self.drop_probability)
+    }
+}
+
+/// A severed link between one household and the center.
+///
+/// While active, messages in *both* directions between the household and
+/// the center are discarded. The partition heals at `heals_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// The household cut off from the center.
+    pub household: HouseholdId,
+    /// First tick the partition is active.
+    pub from: Tick,
+    /// First tick the link works again.
+    pub heals_at: Tick,
+}
+
+impl Partition {
+    /// Whether the partition severs `envelope` at `now`.
+    #[must_use]
+    pub fn severs(&self, now: Tick, envelope: &Envelope) -> bool {
+        if !(self.from..self.heals_at).contains(&now) {
+            return false;
+        }
+        let h = NodeId::Household(self.household);
+        (envelope.from == h && envelope.to == NodeId::Center)
+            || (envelope.from == NodeId::Center && envelope.to == h)
+    }
+}
+
+/// A neighborhood-wide burst outage: every message sent inside the
+/// window is discarded, regardless of endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Outage {
+    /// First tick of the outage.
+    pub from: Tick,
+    /// First tick the network works again.
+    pub heals_at: Tick,
+}
+
+impl Outage {
+    /// Whether the outage is active at `now`.
+    #[must_use]
+    pub fn active(&self, now: Tick) -> bool {
+        (self.from..self.heals_at).contains(&now)
+    }
+}
+
+/// Scheduled fault injection layered over the link profile.
+///
+/// All faults are driven by the network's seeded RNG and fixed schedules,
+/// so a given `(FaultPlan, seed)` pair reproduces exactly.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability a sent message is delivered twice. The duplicate
+    /// draws its own independent latency and jitter, so the two copies
+    /// may arrive in either order.
+    pub duplicate_probability: f64,
+    /// Probability a message is adversarially delayed by an extra
+    /// `1..=reorder_extra` ticks, letting later sends overtake it.
+    pub reorder_probability: f64,
+    /// Maximum extra delay applied to reordered messages.
+    pub reorder_extra: Tick,
+    /// Scheduled household↔center partitions.
+    pub partitions: Vec<Partition>,
+    /// Scheduled neighborhood-wide outages.
+    pub outages: Vec<Outage>,
+}
+
+impl FaultPlan {
+    /// Whether the plan's probabilities are in range.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        (0.0..=1.0).contains(&self.duplicate_probability)
+            && (0.0..=1.0).contains(&self.reorder_probability)
+    }
 }
 
 /// Counters describing what the network did.
@@ -55,16 +153,33 @@ impl NetworkConfig {
 pub struct NetworkStats {
     /// Messages accepted for delivery.
     pub sent: u64,
-    /// Messages actually delivered.
+    /// Messages actually delivered (duplicates count individually).
     pub delivered: u64,
-    /// Messages dropped by loss injection.
+    /// Messages dropped by random loss injection.
     pub dropped: u64,
+    /// Extra copies enqueued by duplication injection.
+    pub duplicated: u64,
+    /// Messages given adversarial extra delay.
+    pub reordered: u64,
+    /// Messages discarded by an active partition.
+    pub partitioned: u64,
+    /// Messages discarded by a neighborhood-wide outage.
+    pub outage_dropped: u64,
+}
+
+impl NetworkStats {
+    /// Everything the fault layer discarded, across all causes.
+    #[must_use]
+    pub fn total_lost(&self) -> u64 {
+        self.dropped + self.partitioned + self.outage_dropped
+    }
 }
 
 /// The simulated network: a seeded, deterministic event queue.
 #[derive(Debug)]
 pub struct SimNetwork {
     config: NetworkConfig,
+    faults: FaultPlan,
     rng: StdRng,
     queue: BinaryHeap<Reverse<(Tick, u64, QueuedEnvelope)>>,
     seq: u64,
@@ -93,11 +208,17 @@ impl Ord for QueuedEnvelope {
 }
 
 impl SimNetwork {
-    /// Creates a network with the given link profile and seed.
+    /// Creates a fault-free network with the given link profile and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.drop_probability` is not a probability.
     #[must_use]
     pub fn new(config: NetworkConfig, seed: u64) -> Self {
+        assert!(config.is_valid(), "drop_probability must be in [0, 1]");
         Self {
             config,
+            faults: FaultPlan::default(),
             rng: StdRng::seed_from_u64(seed),
             queue: BinaryHeap::new(),
             seq: 0,
@@ -105,22 +226,70 @@ impl SimNetwork {
         }
     }
 
-    /// Submits a message at `now`; it is delivered after latency + jitter
-    /// unless dropped.
+    /// Layers a fault plan over the link profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's probabilities are out of range.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        assert!(faults.is_valid(), "fault probabilities must be in [0, 1]");
+        self.faults = faults;
+        self
+    }
+
+    /// The active fault plan.
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Submits a message at `now`; it is delivered after latency, jitter,
+    /// and any injected faults, unless discarded by loss, a partition, or
+    /// an outage.
     pub fn send(&mut self, now: Tick, envelope: Envelope) {
         self.stats.sent += 1;
+        if self.faults.outages.iter().any(|o| o.active(now)) {
+            self.stats.outage_dropped += 1;
+            return;
+        }
+        if self.faults.partitions.iter().any(|p| p.severs(now, &envelope)) {
+            self.stats.partitioned += 1;
+            return;
+        }
         if self.config.drop_probability > 0.0
             && self.rng.random::<f64>() < self.config.drop_probability
         {
             self.stats.dropped += 1;
             return;
         }
+        self.enqueue(now, envelope, true);
+        if self.faults.duplicate_probability > 0.0
+            && self.rng.random::<f64>() < self.faults.duplicate_probability
+        {
+            self.stats.duplicated += 1;
+            self.enqueue(now, envelope, false);
+        }
+    }
+
+    /// Schedules one copy of `envelope`, drawing fresh latency, jitter,
+    /// and (optionally counted) reorder delay.
+    fn enqueue(&mut self, now: Tick, envelope: Envelope, count_reorder: bool) {
         let jitter = if self.config.jitter == 0 {
             0
         } else {
             self.rng.random_range(0..=self.config.jitter)
         };
-        let at = now + self.config.base_latency.max(1) + jitter;
+        let mut at = now + self.config.base_latency + jitter;
+        if self.faults.reorder_probability > 0.0
+            && self.faults.reorder_extra > 0
+            && self.rng.random::<f64>() < self.faults.reorder_probability
+        {
+            at += self.rng.random_range(1..=self.faults.reorder_extra);
+            if count_reorder {
+                self.stats.reordered += 1;
+            }
+        }
         self.queue
             .push(Reverse((at, self.seq, QueuedEnvelope(envelope))));
         self.seq += 1;
@@ -171,6 +340,17 @@ mod tests {
         }
     }
 
+    fn envelope_from(h: u32) -> Envelope {
+        Envelope {
+            from: NodeId::Household(HouseholdId::new(h)),
+            to: NodeId::Center,
+            message: Message::SubmitReport {
+                day: 0,
+                preference: Preference::new(18, 22, 2).unwrap(),
+            },
+        }
+    }
+
     #[test]
     fn reliable_network_delivers_in_order() {
         let mut net = SimNetwork::new(NetworkConfig::default(), 1);
@@ -182,6 +362,32 @@ mod tests {
         assert_eq!(delivered[0].message.day(), 1);
         assert_eq!(delivered[1].message.day(), 2);
         assert!(net.is_idle());
+    }
+
+    #[test]
+    fn zero_base_latency_is_honored() {
+        let config = NetworkConfig {
+            base_latency: 0,
+            jitter: 0,
+            drop_probability: 0.0,
+        };
+        let mut net = SimNetwork::new(config, 3);
+        net.send(5, envelope(1));
+        let delivered = net.due(5);
+        assert_eq!(delivered.len(), 1, "0-latency messages are due same tick");
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_probability")]
+    fn out_of_range_drop_probability_is_rejected() {
+        let _ = SimNetwork::new(
+            NetworkConfig {
+                base_latency: 1,
+                jitter: 0,
+                drop_probability: 1.5,
+            },
+            1,
+        );
     }
 
     #[test]
@@ -225,6 +431,88 @@ mod tests {
     }
 
     #[test]
+    fn duplication_delivers_extra_copies() {
+        let mut net = SimNetwork::new(NetworkConfig::default(), 17).with_faults(FaultPlan {
+            duplicate_probability: 0.5,
+            ..FaultPlan::default()
+        });
+        for _ in 0..1_000 {
+            net.send(0, envelope(0));
+        }
+        let stats = net.stats();
+        let rate = stats.duplicated as f64 / 1_000.0;
+        assert!((rate - 0.5).abs() < 0.05, "duplication rate = {rate}");
+        assert_eq!(net.due(1).len() as u64, 1_000 + stats.duplicated);
+        assert_eq!(net.stats().delivered, 1_000 + stats.duplicated);
+    }
+
+    #[test]
+    fn reordering_lets_later_sends_overtake() {
+        let mut net = SimNetwork::new(NetworkConfig::default(), 19).with_faults(FaultPlan {
+            reorder_probability: 0.5,
+            reorder_extra: 10,
+            ..FaultPlan::default()
+        });
+        for day in 0..200 {
+            net.send(0, envelope(day));
+        }
+        let mut order = Vec::new();
+        for t in 1..=12 {
+            order.extend(net.due(t).iter().map(|e| e.message.day()));
+        }
+        assert_eq!(order.len(), 200, "reordering never loses messages");
+        assert!(net.stats().reordered > 0);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_ne!(order, sorted, "some messages were overtaken");
+    }
+
+    #[test]
+    fn partition_severs_both_directions_until_heal() {
+        let plan = FaultPlan {
+            partitions: vec![Partition {
+                household: HouseholdId::new(1),
+                from: 10,
+                heals_at: 20,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut net = SimNetwork::new(NetworkConfig::default(), 23).with_faults(plan);
+        // Before the partition: delivered.
+        net.send(5, envelope_from(1));
+        // During: both directions are severed, other links untouched.
+        net.send(10, envelope_from(1));
+        net.send(15, Envelope {
+            from: NodeId::Center,
+            to: NodeId::Household(HouseholdId::new(1)),
+            message: Message::Bill { day: 0, amount: 1.0 },
+        });
+        net.send(15, envelope_from(2));
+        // After the heal time: delivered again.
+        net.send(20, envelope_from(1));
+        let delivered = net.due(30);
+        assert_eq!(delivered.len(), 3);
+        assert_eq!(net.stats().partitioned, 2);
+    }
+
+    #[test]
+    fn outage_discards_everything_in_window() {
+        let plan = FaultPlan {
+            outages: vec![Outage { from: 10, heals_at: 15 }],
+            ..FaultPlan::default()
+        };
+        let mut net = SimNetwork::new(NetworkConfig::default(), 29).with_faults(plan);
+        net.send(9, envelope(0));
+        for t in 10..15 {
+            net.send(t, envelope(0));
+        }
+        net.send(15, envelope(0));
+        assert_eq!(net.due(30).len(), 2);
+        assert_eq!(net.stats().outage_dropped, 5);
+        assert_eq!(net.stats().total_lost(), 5);
+    }
+
+    #[test]
     fn seeded_networks_are_reproducible() {
         let run = |seed: u64| -> Vec<u64> {
             let mut net = SimNetwork::new(NetworkConfig::lossy(0.5), seed);
@@ -239,5 +527,28 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6), "different seeds drop different messages");
+    }
+
+    #[test]
+    fn seeded_fault_plans_are_reproducible() {
+        let run = |seed: u64| -> Vec<u64> {
+            let plan = FaultPlan {
+                duplicate_probability: 0.3,
+                reorder_probability: 0.3,
+                reorder_extra: 4,
+                ..FaultPlan::default()
+            };
+            let mut net =
+                SimNetwork::new(NetworkConfig::lossy(0.2), seed).with_faults(plan);
+            for day in 0..50 {
+                net.send(0, envelope(day));
+            }
+            let mut days = Vec::new();
+            for t in 1..20 {
+                days.extend(net.due(t).iter().map(|e| e.message.day()));
+            }
+            days
+        };
+        assert_eq!(run(5), run(5));
     }
 }

@@ -1,0 +1,337 @@
+//! Protocol invariant oracle.
+//!
+//! Replays a [`Runtime`](crate::runtime::Runtime) trace and the center's
+//! settled records against the mechanism's safety invariants. The oracle
+//! is fault-model-agnostic: every invariant must hold under *any*
+//! schedule of drops, duplicates, reorderings, partitions, outages, and
+//! center crash/recovery cycles. A violation under injected faults is a
+//! protocol bug, never "expected degradation".
+//!
+//! Invariants checked:
+//!
+//! 1. **Ex ante budget balance** — every settled day has
+//!    `center_utility >= 0` (up to floating-point slack): the mechanism
+//!    never pays out more than it collects (paper §IV, weak budget
+//!    balance).
+//! 2. **At-most-one bill** — the center never originates more than one
+//!    [`Bill`](crate::message::Message::Bill) per household per day, even
+//!    when messages are duplicated or the center recovers from a crash.
+//! 3. **Allocations are grounded** — an allocation sent to a household
+//!    for day *d* is preceded by a *delivered* report from that household
+//!    for day *d*. The center never invents participants.
+//! 4. **Record integrity** — settled day records have strictly
+//!    increasing day numbers (no duplicate settlement after
+//!    crash-recovery) and each record's participants are a subset of the
+//!    roster with no overlap between participants and missing reports.
+
+use std::collections::BTreeSet;
+
+use enki_core::household::HouseholdId;
+
+use crate::center::DayRecord;
+use crate::message::{Message, NodeId};
+use crate::runtime::{Runtime, TraceEvent, TraceKind};
+
+/// Slack for floating-point budget comparisons.
+const BUDGET_EPS: f64 = 1e-9;
+
+/// One invariant violation found by the oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A settled day paid out more than it collected.
+    BudgetDeficit {
+        /// The settled day.
+        day: u64,
+        /// The (negative) center utility.
+        center_utility: f64,
+    },
+    /// A household was billed more than once for the same day.
+    DuplicateBill {
+        /// The billed day.
+        day: u64,
+        /// The household billed twice.
+        household: HouseholdId,
+    },
+    /// An allocation was sent to a household whose report was never
+    /// delivered to the center.
+    UngroundedAllocation {
+        /// The allocated day.
+        day: u64,
+        /// The household that never reported.
+        household: HouseholdId,
+    },
+    /// Day records are out of order or duplicated.
+    DisorderedRecords {
+        /// The offending day number.
+        day: u64,
+        /// The day number of the preceding record.
+        previous: u64,
+    },
+    /// A record names a participant outside the roster, or a household
+    /// appears both as a participant and as a missing report.
+    CorruptRecord {
+        /// The settled day.
+        day: u64,
+        /// The offending household.
+        household: HouseholdId,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BudgetDeficit {
+                day,
+                center_utility,
+            } => write!(
+                f,
+                "day {day}: budget deficit, center utility {center_utility}"
+            ),
+            Self::DuplicateBill { day, household } => {
+                write!(f, "day {day}: {household:?} billed more than once")
+            }
+            Self::UngroundedAllocation { day, household } => write!(
+                f,
+                "day {day}: allocation sent to {household:?} without a delivered report"
+            ),
+            Self::DisorderedRecords { day, previous } => write!(
+                f,
+                "record for day {day} follows record for day {previous}"
+            ),
+            Self::CorruptRecord { day, household } => {
+                write!(f, "day {day}: record corrupt at {household:?}")
+            }
+        }
+    }
+}
+
+/// Checks every protocol invariant against a finished runtime.
+///
+/// Requires the runtime to have been built with
+/// [`with_trace`](crate::runtime::Runtime::with_trace); without a trace
+/// only the record-level invariants (1 and 4) are observable.
+#[must_use]
+pub fn check(runtime: &Runtime) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    check_records(runtime.records(), runtime.center().roster(), &mut violations);
+    check_trace(runtime.trace(), &mut violations);
+    violations
+}
+
+fn check_records(
+    records: &[DayRecord],
+    roster: &[HouseholdId],
+    violations: &mut Vec<Violation>,
+) {
+    let roster: BTreeSet<HouseholdId> = roster.iter().copied().collect();
+    let mut previous: Option<u64> = None;
+    for record in records {
+        if let Some(prev) = previous {
+            if record.day <= prev {
+                violations.push(Violation::DisorderedRecords {
+                    day: record.day,
+                    previous: prev,
+                });
+            }
+        }
+        previous = Some(record.day);
+
+        if let Some(st) = &record.settlement {
+            if st.center_utility < -BUDGET_EPS {
+                violations.push(Violation::BudgetDeficit {
+                    day: record.day,
+                    center_utility: st.center_utility,
+                });
+            }
+        }
+
+        let participants: BTreeSet<HouseholdId> =
+            record.participants.iter().copied().collect();
+        for &h in &record.participants {
+            if !roster.contains(&h) {
+                violations.push(Violation::CorruptRecord {
+                    day: record.day,
+                    household: h,
+                });
+            }
+        }
+        for &h in &record.missing_reports {
+            if participants.contains(&h) {
+                violations.push(Violation::CorruptRecord {
+                    day: record.day,
+                    household: h,
+                });
+            }
+        }
+    }
+}
+
+fn check_trace(trace: &[TraceEvent], violations: &mut Vec<Violation>) {
+    // Bills originated by the center, keyed (day, household).
+    let mut billed: BTreeSet<(u64, HouseholdId)> = BTreeSet::new();
+    // Reports actually delivered to the center, keyed (day, household).
+    let mut reported: BTreeSet<(u64, HouseholdId)> = BTreeSet::new();
+    // Deduped ungrounded allocations so a rebroadcast doesn't repeat
+    // the same violation.
+    let mut ungrounded: BTreeSet<(u64, HouseholdId)> = BTreeSet::new();
+    // Allocations already seen, so rebroadcasts of the same allocation
+    // are not counted as duplicate grounding checks.
+    let mut allocated: BTreeSet<(u64, HouseholdId)> = BTreeSet::new();
+
+    for event in trace {
+        let endpoints = (event.envelope.from, event.envelope.to);
+        match (&event.kind, &event.envelope.message) {
+            (TraceKind::Delivered, Message::SubmitReport { day, .. }) => {
+                if let (NodeId::Household(h), NodeId::Center) = endpoints {
+                    reported.insert((*day, h));
+                }
+            }
+            (TraceKind::Originated, Message::Allocation { day, .. }) => {
+                if let (NodeId::Center, NodeId::Household(h)) = endpoints {
+                    if allocated.insert((*day, h))
+                        && !reported.contains(&(*day, h))
+                        && ungrounded.insert((*day, h))
+                    {
+                        violations.push(Violation::UngroundedAllocation {
+                            day: *day,
+                            household: h,
+                        });
+                    }
+                }
+            }
+            (TraceKind::Originated, Message::Bill { day, .. }) => {
+                if let (NodeId::Center, NodeId::Household(h)) = endpoints {
+                    if !billed.insert((*day, h)) {
+                        violations.push(Violation::DuplicateBill {
+                            day: *day,
+                            household: h,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::center::{CenterAgent, DayPlan};
+    use crate::household::{HouseholdAgent, ReportSource};
+    use crate::network::{NetworkConfig, SimNetwork};
+    use enki_core::config::EnkiConfig;
+    use enki_core::mechanism::Enki;
+    use enki_sim::behavior::ReportStrategy;
+    use enki_sim::neighborhood::TruthSource;
+    use enki_sim::profile::{ProfileConfig, UsageProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build(n: u32, network: NetworkConfig, seed: u64) -> Runtime {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = ProfileConfig::default();
+        let households: Vec<HouseholdAgent> = (0..n)
+            .map(|i| {
+                HouseholdAgent::new(
+                    HouseholdId::new(i),
+                    UsageProfile::generate(&mut rng, &config),
+                    TruthSource::Wide,
+                    ReportStrategy::TruthfulWide,
+                    ReportSource::Strategy,
+                )
+            })
+            .collect();
+        let center = CenterAgent::new(
+            Enki::new(EnkiConfig::default()),
+            (0..n).map(HouseholdId::new).collect(),
+            DayPlan::default(),
+            seed,
+        );
+        Runtime::new(SimNetwork::new(network, seed), center, households)
+    }
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        let mut rt = build(6, NetworkConfig::default(), 21).with_trace();
+        rt.run_days(3, 100);
+        let violations = check(&rt);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn lossy_run_has_no_violations() {
+        let mut rt = build(8, NetworkConfig::lossy(0.35), 22).with_trace();
+        rt.run_days(3, 100);
+        let violations = check(&rt);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn oracle_flags_a_synthetic_duplicate_bill() {
+        use crate::message::{Envelope, Message};
+        use crate::runtime::{TraceEvent, TraceKind};
+        let bill = |at| TraceEvent {
+            at,
+            kind: TraceKind::Originated,
+            envelope: Envelope {
+                from: NodeId::Center,
+                to: NodeId::Household(HouseholdId::new(0)),
+                message: Message::Bill {
+                    day: 0,
+                    amount: 1.0,
+                },
+            },
+        };
+        let mut violations = Vec::new();
+        check_trace(&[bill(70), bill(71)], &mut violations);
+        assert_eq!(
+            violations,
+            vec![Violation::DuplicateBill {
+                day: 0,
+                household: HouseholdId::new(0)
+            }]
+        );
+    }
+
+    #[test]
+    fn oracle_flags_a_synthetic_ungrounded_allocation() {
+        use crate::message::{Envelope, Message};
+        use crate::runtime::{TraceEvent, TraceKind};
+        use enki_core::time::Interval;
+        let event = TraceEvent {
+            at: 30,
+            kind: TraceKind::Originated,
+            envelope: Envelope {
+                from: NodeId::Center,
+                to: NodeId::Household(HouseholdId::new(3)),
+                message: Message::Allocation {
+                    day: 0,
+                    window: Interval::new(0, 4).unwrap(),
+                },
+            },
+        };
+        let mut violations = Vec::new();
+        check_trace(&[event], &mut violations);
+        assert_eq!(
+            violations,
+            vec![Violation::UngroundedAllocation {
+                day: 0,
+                household: HouseholdId::new(3)
+            }]
+        );
+    }
+
+    #[test]
+    fn oracle_flags_synthetic_disordered_records() {
+        let mut rt = build(2, NetworkConfig::default(), 23);
+        rt.run_days(2, 100);
+        let mut records = rt.records().to_vec();
+        records.swap(0, 1);
+        let mut violations = Vec::new();
+        check_records(&records, rt.center().roster(), &mut violations);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::DisorderedRecords { .. })));
+    }
+}

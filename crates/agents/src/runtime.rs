@@ -1,17 +1,56 @@
 //! Deterministic single-threaded runtime: a discrete-event loop driving
 //! the center and household agents over the simulated network.
 //!
-//! Every tick: deliver due messages (in deterministic queue order), then
-//! give the center and each household (in roster order) a time step. All
-//! outbound messages go through the [`SimNetwork`], so loss and latency
+//! Every tick: apply scheduled center crashes/recoveries, deliver due
+//! messages (in deterministic queue order), then give the center and each
+//! household (in roster order) a time step. All outbound messages go
+//! through the [`SimNetwork`], so loss, latency, and injected faults
 //! apply uniformly. Runs are exactly reproducible for a given seed.
+//!
+//! With [`Runtime::with_trace`], every originated and delivered envelope
+//! is logged as a [`TraceEvent`] — the input the
+//! [`oracle`](crate::oracle) checks protocol invariants against.
 
 use enki_core::household::HouseholdId;
+use serde::{Deserialize, Serialize};
 
 use crate::center::{CenterAgent, DayRecord};
 use crate::household::HouseholdAgent;
 use crate::message::{Envelope, NodeId, Tick};
 use crate::network::{NetworkStats, SimNetwork};
+
+/// A scheduled center crash: the process dies at `crash_at` and restarts
+/// (restoring from its durable checkpoint) at `recover_at`. Messages
+/// addressed to the center while it is down are lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashSchedule {
+    /// Tick the center crashes.
+    pub crash_at: Tick,
+    /// Tick the center comes back up.
+    pub recover_at: Tick,
+}
+
+/// What happened to one envelope, as seen by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// The envelope left an agent's outbox (before any fault injection).
+    Originated,
+    /// The envelope reached its recipient's message handler.
+    Delivered,
+    /// The envelope was due for the center while it was crashed.
+    LostCenterDown,
+}
+
+/// One logged protocol event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Tick the event happened.
+    pub at: Tick,
+    /// What happened.
+    pub kind: TraceKind,
+    /// The envelope.
+    pub envelope: Envelope,
+}
 
 /// The simulation runtime: one center, many households, one network.
 #[derive(Debug)]
@@ -20,6 +59,8 @@ pub struct Runtime {
     center: CenterAgent,
     households: Vec<HouseholdAgent>,
     now: Tick,
+    crashes: Vec<CrashSchedule>,
+    trace: Option<Vec<TraceEvent>>,
 }
 
 impl Runtime {
@@ -35,7 +76,33 @@ impl Runtime {
             center,
             households,
             now: 0,
+            crashes: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Schedules center crashes. Each schedule must satisfy
+    /// `crash_at < recover_at`; schedules must not overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a schedule is inverted.
+    #[must_use]
+    pub fn with_center_crashes(mut self, crashes: Vec<CrashSchedule>) -> Self {
+        assert!(
+            crashes.iter().all(|c| c.crash_at < c.recover_at),
+            "crash schedules must recover after they crash"
+        );
+        self.crashes = crashes;
+        self
+    }
+
+    /// Enables the protocol event log consumed by the
+    /// [`oracle`](crate::oracle).
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.trace = Some(Vec::new());
+        self
     }
 
     /// Current simulation time.
@@ -50,16 +117,34 @@ impl Runtime {
         self.center.records()
     }
 
+    /// The center agent (e.g. to inspect its checkpoint).
+    #[must_use]
+    pub fn center(&self) -> &CenterAgent {
+        &self.center
+    }
+
     /// Network delivery counters.
     #[must_use]
     pub fn network_stats(&self) -> NetworkStats {
         self.network.stats()
     }
 
+    /// The logged protocol events, if tracing is enabled.
+    #[must_use]
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
     /// The household agent with the given id, if present.
     #[must_use]
     pub fn household(&self, id: HouseholdId) -> Option<&HouseholdAgent> {
         self.households.iter().find(|h| h.id() == id)
+    }
+
+    /// All household agents.
+    #[must_use]
+    pub fn households(&self) -> &[HouseholdAgent] {
+        &self.households
     }
 
     /// Runs `ticks` simulation steps.
@@ -74,18 +159,46 @@ impl Runtime {
         self.run_ticks(days * day_length);
     }
 
+    fn record(&mut self, at: Tick, kind: TraceKind, envelope: Envelope) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(TraceEvent { at, kind, envelope });
+        }
+    }
+
     fn step(&mut self) {
         let now = self.now;
+
+        // Apply scheduled crashes and recoveries first, so a crash at
+        // tick t loses everything due at t, and a recovery at tick t
+        // sees everything due at t.
+        for i in 0..self.crashes.len() {
+            let c = self.crashes[i];
+            if c.crash_at == now {
+                self.center.crash();
+            }
+            if c.recover_at == now {
+                self.center.recover();
+            }
+        }
+
         let mut outbox: Vec<Envelope> = Vec::new();
 
         // Deliver everything due this tick.
         for envelope in self.network.due(now) {
             match envelope.to {
                 NodeId::Center => {
+                    if self.center.is_down() {
+                        self.record(now, TraceKind::LostCenterDown, envelope);
+                        continue;
+                    }
+                    self.record(now, TraceKind::Delivered, envelope);
                     self.center
                         .on_message(now, envelope.from, envelope.message, &mut outbox);
                 }
                 NodeId::Household(id) => {
+                    if self.households.iter().any(|h| h.id() == id) {
+                        self.record(now, TraceKind::Delivered, envelope);
+                    }
                     if let Some(agent) =
                         self.households.iter_mut().find(|h| h.id() == id)
                     {
@@ -96,12 +209,15 @@ impl Runtime {
         }
 
         // Time steps: center first, then households in roster order.
-        self.center.on_tick(now, &mut outbox);
+        if !self.center.is_down() {
+            self.center.on_tick(now, &mut outbox);
+        }
         for agent in &mut self.households {
             agent.on_tick(now, &mut outbox);
         }
 
         for envelope in outbox {
+            self.record(now, TraceKind::Originated, envelope);
             self.network.send(now, envelope);
         }
         self.now += 1;
@@ -113,7 +229,7 @@ mod tests {
     use super::*;
     use crate::center::DayPlan;
     use crate::household::ReportSource;
-    use crate::network::NetworkConfig;
+    use crate::network::{FaultPlan, NetworkConfig, Partition};
     use enki_core::config::EnkiConfig;
     use enki_core::mechanism::Enki;
     use enki_sim::behavior::ReportStrategy;
@@ -123,6 +239,15 @@ mod tests {
     use rand::SeedableRng;
 
     fn build(n: u32, network: NetworkConfig, seed: u64) -> Runtime {
+        build_with_faults(n, network, FaultPlan::default(), seed)
+    }
+
+    fn build_with_faults(
+        n: u32,
+        network: NetworkConfig,
+        faults: FaultPlan,
+        seed: u64,
+    ) -> Runtime {
         let mut rng = StdRng::seed_from_u64(seed);
         let config = ProfileConfig::default();
         let households: Vec<HouseholdAgent> = (0..n)
@@ -142,7 +267,11 @@ mod tests {
             DayPlan::default(),
             seed,
         );
-        Runtime::new(SimNetwork::new(network, seed), center, households)
+        Runtime::new(
+            SimNetwork::new(network, seed).with_faults(faults),
+            center,
+            households,
+        )
     }
 
     #[test]
@@ -275,4 +404,89 @@ mod tests {
         }
     }
 
+    #[test]
+    fn report_phase_partition_excludes_household_but_day_settles() {
+        // Household 2 is cut off for the whole report phase (and then
+        // some) of day 0; the other households settle without it.
+        let faults = FaultPlan {
+            partitions: vec![Partition {
+                household: HouseholdId::new(2),
+                from: 0,
+                heals_at: 45,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut rt = build_with_faults(4, NetworkConfig::lossy(0.2), faults, 8);
+        rt.run_days(2, 100);
+        let records = rt.records();
+        assert_eq!(records.len(), 2);
+        let day0 = &records[0];
+        assert!(day0.missing_reports.contains(&HouseholdId::new(2)));
+        assert_eq!(day0.participants.len(), 3);
+        let st = day0.settlement.as_ref().unwrap();
+        assert!(st.center_utility >= -1e-9);
+        // Day 1: the partition healed, everyone participates again.
+        assert_eq!(records[1].participants.len(), 4);
+    }
+
+    #[test]
+    fn meter_phase_partition_settles_household_as_cooperative() {
+        // Household 1 reports fine but is cut off for the whole meter
+        // phase of day 0: its reading is lost, so it settles cooperative
+        // (never as a phantom defection) and is still billed on paper.
+        let faults = FaultPlan {
+            partitions: vec![Partition {
+                household: HouseholdId::new(1),
+                from: 30,
+                heals_at: 75,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut rt = build_with_faults(4, NetworkConfig::lossy(0.1), faults, 9);
+        rt.run_days(1, 100);
+        let record = &rt.records()[0];
+        assert!(record.participants.contains(&HouseholdId::new(1)));
+        assert!(record.missing_readings.contains(&HouseholdId::new(1)));
+        let st = record.settlement.as_ref().unwrap();
+        let entry = st
+            .entries
+            .iter()
+            .find(|e| e.household == HouseholdId::new(1))
+            .unwrap();
+        assert!(!entry.defected, "a lost reading is not a defection");
+        assert!(st.center_utility >= -1e-9);
+    }
+
+    #[test]
+    fn center_crash_mid_day_recovers_and_still_settles() {
+        let mut rt = build(5, NetworkConfig::default(), 10).with_center_crashes(vec![
+            CrashSchedule {
+                crash_at: 40,
+                recover_at: 50,
+            },
+        ]);
+        rt.run_days(1, 100);
+        let records = rt.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].participants.len(), 5);
+        assert!(records[0].settlement.is_some());
+        // Readings lost while the center was down were re-sent by the
+        // household retry loop before the meter deadline.
+        assert!(records[0].missing_readings.is_empty());
+    }
+
+    #[test]
+    fn trace_logs_origins_and_deliveries() {
+        let mut rt = build(2, NetworkConfig::default(), 11).with_trace();
+        rt.run_days(1, 100);
+        let trace = rt.trace();
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Originated)));
+        assert!(trace.iter().any(|e| matches!(e.kind, TraceKind::Delivered)));
+        // On a reliable network with no crash, nothing is lost.
+        assert!(!trace
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::LostCenterDown)));
+    }
 }

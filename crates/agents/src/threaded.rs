@@ -7,12 +7,22 @@
 //! would — agents block on their sockets and react to messages. Reports
 //! are sorted by household id before allocation and the center's RNG is
 //! seeded, so the settled outcome is independent of thread scheduling.
+//!
+//! **Degradation.** A household that stops answering (see
+//! [`ThreadedFault`]) does not abort the run: the center waits out the
+//! phase timeout, excludes silent households from the day (missing
+//! report) or settles them as cooperative (missing reading), and settles
+//! everyone else — mirroring the tick-driven center's behaviour under
+//! message loss. Only a day in which *no* household reports fails, with
+//! [`enki_core::Error::Timeout`] naming a silent household and the
+//! phase.
 
+use std::collections::BTreeMap;
 use std::thread;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use enki_core::household::{HouseholdId, Report};
+use enki_core::household::{HouseholdId, Preference, Report};
 use enki_core::mechanism::{Enki, Settlement};
 use enki_core::time::Interval;
 use enki_sim::behavior::{consume, ReportStrategy};
@@ -23,6 +33,20 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::message::Message;
+
+/// An injected failure mode for one threaded household.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThreadedFault {
+    /// Healthy: answers every phase.
+    #[default]
+    None,
+    /// Down for the whole run: answers nothing, as if the ECC process
+    /// never started.
+    Silent,
+    /// Crashes after submitting its report: never consumes, never sends
+    /// a meter reading, never records a bill.
+    CrashAfterReport,
+}
 
 /// Specification of one threaded household.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,10 +59,12 @@ pub struct ThreadedHousehold {
     pub truth_source: TruthSource,
     /// Reporting behaviour.
     pub strategy: ReportStrategy,
+    /// Injected failure mode.
+    pub fault: ThreadedFault,
 }
 
 /// The outcome of a threaded day: the settlement plus each household's
-/// received bill.
+/// received bill and any households the center had to work around.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThreadedDay {
     /// Day number.
@@ -47,16 +73,26 @@ pub struct ThreadedDay {
     pub settlement: Settlement,
     /// `(household, amount)` bills as received by the household threads.
     pub bills: Vec<(HouseholdId, f64)>,
+    /// Households whose reports never arrived; excluded from the day.
+    pub missing_reports: Vec<HouseholdId>,
+    /// Participants whose meter readings never arrived; settled as
+    /// cooperative.
+    pub missing_readings: Vec<HouseholdId>,
 }
 
 /// Runs `days` protocol days with one thread per household.
 ///
+/// Each phase waits at most `timeout` after the last arrival. Households
+/// that miss the report phase are excluded from the day; participants
+/// that miss the reading phase are settled as cooperative.
+///
 /// # Errors
 ///
-/// Returns [`enki_core::Error::EmptyNeighborhood`] for an empty roster and
-/// propagates mechanism errors. A household thread that fails to answer
-/// within `timeout` aborts the run with [`enki_core::Error::UnknownHousehold`]
-/// (channels are reliable, so this indicates a bug rather than loss).
+/// Returns [`enki_core::Error::EmptyNeighborhood`] for an empty roster
+/// and propagates mechanism errors. A day in which no household reports
+/// at all fails with [`enki_core::Error::Timeout`] naming a silent
+/// household and the `"report"` phase — with reliable channels total
+/// silence means the deployment is dead, not degraded.
 pub fn run_threaded_days(
     enki: Enki,
     households: Vec<ThreadedHousehold>,
@@ -87,6 +123,9 @@ pub fn run_threaded_days(
             let to_center = to_center.clone();
             let bills = &bills;
             scope.spawn(move || {
+                if spec.fault == ThreadedFault::Silent {
+                    return; // the ECC process never came up
+                }
                 let truth = match spec.truth_source {
                     TruthSource::Wide => spec.profile.wide(),
                     TruthSource::Narrow => spec.profile.narrow(),
@@ -101,6 +140,9 @@ pub fn run_threaded_days(
                                     preference: spec.strategy.report(&spec.profile),
                                 },
                             ));
+                            if spec.fault == ThreadedFault::CrashAfterReport {
+                                return; // died between reporting and consuming
+                            }
                         }
                         Message::Allocation { day, window } => {
                             let realized: Interval = consume(&truth, window);
@@ -127,6 +169,7 @@ pub fn run_threaded_days(
         let run_center = || -> enki_core::Result<Vec<ThreadedDay>> {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut outcome = Vec::new();
+            let roster: Vec<HouseholdId> = households.iter().map(|h| h.id).collect();
             for day in 0..days {
                 for tx in &to_household {
                     let _ = tx.send(Message::DayStart {
@@ -135,25 +178,38 @@ pub fn run_threaded_days(
                         meter_deadline: 0,
                     });
                 }
-                // Collect one report per household.
-                let mut reports: Vec<Report> = Vec::with_capacity(households.len());
-                while reports.len() < households.len() {
+                // Collect reports until everyone answered or the phase
+                // timeout fires; a BTreeMap keyed by household id makes
+                // the result deterministic regardless of arrival order.
+                let mut report_map: BTreeMap<HouseholdId, Preference> = BTreeMap::new();
+                while report_map.len() < roster.len() {
                     match center_inbox.recv_timeout(timeout) {
                         Ok((household, Message::SubmitReport { day: d, preference }))
-                            if d == day =>
+                            if d == day && roster.contains(&household) =>
                         {
-                            reports.push(Report::new(household, preference));
+                            report_map.insert(household, preference);
                         }
                         Ok(_) => {}
                         Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
-                            return Err(enki_core::Error::UnknownHousehold(
-                                HouseholdId::new(reports.len() as u32),
-                            ));
+                            break; // degrade: proceed without the silent ones
                         }
                     }
                 }
-                // Deterministic regardless of arrival order.
-                reports.sort_by_key(|r| r.household);
+                let missing_reports: Vec<HouseholdId> = roster
+                    .iter()
+                    .copied()
+                    .filter(|h| !report_map.contains_key(h))
+                    .collect();
+                if report_map.is_empty() {
+                    return Err(enki_core::Error::Timeout {
+                        household: missing_reports[0],
+                        phase: "report",
+                    });
+                }
+                let reports: Vec<Report> = report_map
+                    .iter()
+                    .map(|(&h, &p)| Report::new(h, p))
+                    .collect();
                 let allocation = enki.allocate(&reports, &mut rng)?;
                 for (report, assignment) in reports.iter().zip(&allocation.assignments) {
                     let idx = households
@@ -165,26 +221,34 @@ pub fn run_threaded_days(
                         window: assignment.window,
                     });
                 }
-                // Collect one reading per household.
-                let mut readings: Vec<(HouseholdId, Interval)> = Vec::new();
-                while readings.len() < households.len() {
+                // Collect readings from the participants, degrading the
+                // same way on timeout.
+                let mut readings: BTreeMap<HouseholdId, Interval> = BTreeMap::new();
+                while readings.len() < reports.len() {
                     match center_inbox.recv_timeout(timeout) {
                         Ok((household, Message::MeterReading { day: d, window }))
-                            if d == day =>
+                            if d == day && report_map.contains_key(&household) =>
                         {
-                            readings.push((household, window));
+                            readings.insert(household, window);
                         }
                         Ok(_) => {}
                         Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
-                            return Err(enki_core::Error::UnknownHousehold(
-                                HouseholdId::new(readings.len() as u32),
-                            ));
+                            break; // degrade: settle the silent as cooperative
                         }
                     }
                 }
-                readings.sort_by_key(|&(h, _)| h);
-                let consumption: Vec<Interval> =
-                    readings.iter().map(|&(_, w)| w).collect();
+                let mut missing_readings: Vec<HouseholdId> = Vec::new();
+                let consumption: Vec<Interval> = reports
+                    .iter()
+                    .zip(&allocation.assignments)
+                    .map(|(r, a)| match readings.get(&r.household) {
+                        Some(&w) => w,
+                        None => {
+                            missing_readings.push(r.household);
+                            a.window // smart-meter fallback: cooperative
+                        }
+                    })
+                    .collect();
                 let settlement = enki.settle(&reports, &allocation, &consumption)?;
                 for entry in &settlement.entries {
                     let idx = households
@@ -200,6 +264,8 @@ pub fn run_threaded_days(
                     day,
                     settlement,
                     bills: Vec::new(),
+                    missing_reports,
+                    missing_readings,
                 });
             }
             Ok(outcome)
@@ -239,6 +305,7 @@ mod tests {
                 profile: UsageProfile::generate(&mut rng, &config),
                 truth_source: TruthSource::Wide,
                 strategy: ReportStrategy::TruthfulWide,
+                fault: ThreadedFault::None,
             })
             .collect()
     }
@@ -258,6 +325,8 @@ mod tests {
         assert_eq!(st.entries.len(), 6);
         assert!(st.center_utility >= 0.0);
         assert!(st.entries.iter().all(|e| !e.defected));
+        assert!(days[0].missing_reports.is_empty());
+        assert!(days[0].missing_readings.is_empty());
     }
 
     #[test]
@@ -338,5 +407,84 @@ mod tests {
             Duration::from_millis(10)
         )
         .is_err());
+    }
+
+    #[test]
+    fn silent_household_is_excluded_not_fatal() {
+        let mut specs = specs(5, 6);
+        specs[2].fault = ThreadedFault::Silent;
+        let days = run_threaded_days(
+            Enki::new(EnkiConfig::default()),
+            specs,
+            2,
+            6,
+            Duration::from_millis(200),
+        )
+        .unwrap();
+        assert_eq!(days.len(), 2);
+        for day in &days {
+            assert_eq!(day.missing_reports, vec![HouseholdId::new(2)]);
+            assert_eq!(day.settlement.entries.len(), 4);
+            assert!(day
+                .settlement
+                .entries
+                .iter()
+                .all(|e| e.household != HouseholdId::new(2)));
+            assert!(day.settlement.center_utility >= -1e-9);
+        }
+        // The silent household never recorded a bill.
+        assert!(days[0].bills.iter().all(|&(h, _)| h != HouseholdId::new(2)));
+        assert_eq!(days.last().unwrap().bills.len(), 8); // 2 days × 4 live
+    }
+
+    #[test]
+    fn crash_after_report_settles_as_cooperative() {
+        let mut specs = specs(4, 7);
+        specs[1].fault = ThreadedFault::CrashAfterReport;
+        let days = run_threaded_days(
+            Enki::new(EnkiConfig::default()),
+            specs,
+            1,
+            7,
+            Duration::from_millis(200),
+        )
+        .unwrap();
+        let day = &days[0];
+        assert!(day.missing_reports.is_empty(), "it did report");
+        assert_eq!(day.missing_readings, vec![HouseholdId::new(1)]);
+        let entry = day
+            .settlement
+            .entries
+            .iter()
+            .find(|e| e.household == HouseholdId::new(1))
+            .unwrap();
+        assert!(!entry.defected, "a lost reading is not a defection");
+        assert!(day.settlement.center_utility >= -1e-9);
+    }
+
+    #[test]
+    fn all_silent_fails_with_a_timeout_error() {
+        let mut specs = specs(3, 8);
+        for s in &mut specs {
+            s.fault = ThreadedFault::Silent;
+        }
+        let err = run_threaded_days(
+            Enki::new(EnkiConfig::default()),
+            specs,
+            1,
+            8,
+            Duration::from_millis(100),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                enki_core::Error::Timeout {
+                    phase: "report",
+                    ..
+                }
+            ),
+            "expected a report-phase timeout, got {err:?}"
+        );
     }
 }

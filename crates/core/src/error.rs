@@ -54,6 +54,15 @@ pub enum Error {
     /// A settlement input referenced a household with no allocation, or
     /// omitted a household that was allocated.
     UnknownHousehold(crate::household::HouseholdId),
+    /// A deployment household failed to answer within a protocol phase's
+    /// timeout.
+    Timeout {
+        /// The unresponsive household.
+        household: crate::household::HouseholdId,
+        /// The protocol phase that timed out (e.g. `"report"`,
+        /// `"reading"`).
+        phase: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -83,6 +92,9 @@ impl fmt::Display for Error {
             Error::DuplicateHousehold(id) => write!(f, "duplicate report for household {id}"),
             Error::UnknownHousehold(id) => {
                 write!(f, "household {id} is missing from or unknown to this operation")
+            }
+            Error::Timeout { household, phase } => {
+                write!(f, "household {household} timed out in the {phase} phase")
             }
         }
     }
@@ -119,6 +131,10 @@ mod tests {
             Error::EmptyNeighborhood,
             Error::DuplicateHousehold(HouseholdId::new(7)),
             Error::UnknownHousehold(HouseholdId::new(9)),
+            Error::Timeout {
+                household: HouseholdId::new(2),
+                phase: "report",
+            },
         ];
         for e in errors {
             let msg = e.to_string();

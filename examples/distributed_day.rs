@@ -78,6 +78,7 @@ fn main() {
             profile: UsageProfile::generate(&mut rng, &config),
             truth_source: TruthSource::Wide,
             strategy: ReportStrategy::TruthfulWide,
+            fault: ThreadedFault::None,
         })
         .collect();
     let days = run_threaded_days(
