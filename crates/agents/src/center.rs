@@ -12,6 +12,18 @@
 //! are read eventually, so the cooperative window is the neutral
 //! assumption (and the one that cannot create a phantom defection score).
 //!
+//! **Admission control.** Reports arrive raw off the wire and are never
+//! trusted: at the report deadline the whole batch runs through the
+//! admission layer ([`enki_core::validation`]). Accepted and clamped
+//! reports enter the allocation; quarantined households fall back to the
+//! center's standing profile of their demand (the last preference it
+//! admitted from them — its model of their ECC's reporting), or are
+//! excluded if the center has never admitted one. Per-day quarantine and
+//! clamp decisions are recorded in the [`DayRecord`], so a settled day
+//! can always answer why a household was billed for a given window. A
+//! failed allocation or settlement closes the day without a settlement
+//! instead of taking the center down.
+//!
 //! **Crash and recovery.** The center writes a durable
 //! [`CenterCheckpoint`] at every phase boundary — day start, allocation
 //! computed, day settled. [`CenterAgent::crash`] wipes all in-memory
@@ -28,6 +40,7 @@ use std::collections::BTreeMap;
 use enki_core::household::{HouseholdId, Preference, Report};
 use enki_core::mechanism::{AllocationOutcome, Enki, Settlement};
 use enki_core::time::Interval;
+use enki_core::validation::{RawPreference, RawReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -78,6 +91,12 @@ pub struct DayRecord {
     /// Participants whose meter readings never arrived (settled as
     /// cooperative).
     pub missing_readings: Vec<HouseholdId>,
+    /// Households whose reports were quarantined by admission control.
+    /// Those with a standing profile participated through it; the rest
+    /// were excluded (and so also appear in `missing_reports`).
+    pub quarantined: Vec<HouseholdId>,
+    /// Participants whose reports were admitted only after clamping.
+    pub clamped: Vec<HouseholdId>,
     /// The settlement, when at least one household participated.
     pub settlement: Option<Settlement>,
 }
@@ -87,10 +106,18 @@ struct DayInProgress {
     day: u64,
     report_deadline: Tick,
     meter_deadline: Tick,
-    reports: BTreeMap<HouseholdId, Preference>,
+    /// Raw reports as received; validated only at the report deadline,
+    /// then cleared (so checkpoints never persist unvalidated floats).
+    /// Retransmissions overwrite idempotently (last write wins), so the
+    /// duplicate-household quarantine applies to *batches*, not retries.
+    reports: BTreeMap<HouseholdId, RawPreference>,
+    /// Admitted reports and the allocation computed from them.
     allocation: Option<(Vec<Report>, AllocationOutcome)>,
     readings: BTreeMap<HouseholdId, Interval>,
     last_day_start: Tick,
+    /// Admission decisions for this day, fixed at the report deadline.
+    quarantined: Vec<HouseholdId>,
+    clamped: Vec<HouseholdId>,
 }
 
 /// A durable snapshot of the center's protocol state, written at phase
@@ -105,6 +132,10 @@ pub struct CenterCheckpoint {
     rng_state: [u64; 4],
     records: Vec<DayRecord>,
     current: Option<DayInProgress>,
+    /// The center's standing model of each household's demand: the last
+    /// preference admission accepted (or clamped) from it. Used as the
+    /// fallback when a household's report is quarantined.
+    profiles: BTreeMap<HouseholdId, Preference>,
 }
 
 /// Ticks between repeated `DayStart` broadcasts to households that have
@@ -121,6 +152,7 @@ pub struct CenterAgent {
     next_day: u64,
     current: Option<DayInProgress>,
     records: Vec<DayRecord>,
+    profiles: BTreeMap<HouseholdId, Preference>,
     durable: CenterCheckpoint,
     down: bool,
 }
@@ -140,6 +172,7 @@ impl CenterAgent {
             rng_state: rng.state(),
             records: Vec::new(),
             current: None,
+            profiles: BTreeMap::new(),
         };
         Self {
             enki,
@@ -149,6 +182,7 @@ impl CenterAgent {
             next_day: 0,
             current: None,
             records: Vec::new(),
+            profiles: BTreeMap::new(),
             durable,
             down: false,
         }
@@ -177,9 +211,17 @@ impl CenterAgent {
             next_day: checkpoint.next_day,
             current: checkpoint.current.clone(),
             records: checkpoint.records.clone(),
+            profiles: checkpoint.profiles.clone(),
             durable: checkpoint,
             down: false,
         }
+    }
+
+    /// The mechanism this center runs (e.g. so an oracle can verify
+    /// settlements against its configuration).
+    #[must_use]
+    pub fn enki(&self) -> &Enki {
+        &self.enki
     }
 
     /// The center's network address.
@@ -220,6 +262,7 @@ impl CenterAgent {
             rng_state: self.rng.state(),
             records: self.records.clone(),
             current: self.current.clone(),
+            profiles: self.profiles.clone(),
         };
     }
 
@@ -229,6 +272,7 @@ impl CenterAgent {
         self.down = true;
         self.current = None;
         self.records = Vec::new();
+        self.profiles = BTreeMap::new();
         self.next_day = 0;
         self.rng = StdRng::seed_from_u64(0);
     }
@@ -241,6 +285,7 @@ impl CenterAgent {
         self.rng = StdRng::from_state(self.durable.rng_state);
         self.records = self.durable.records.clone();
         self.current = self.durable.current.clone();
+        self.profiles = self.durable.profiles.clone();
     }
 
     /// Handles a delivered message.
@@ -306,6 +351,8 @@ impl CenterAgent {
                 allocation: None,
                 readings: BTreeMap::new(),
                 last_day_start: now,
+                quarantined: Vec::new(),
+                clamped: Vec::new(),
             });
             self.commit();
             for &h in &self.roster {
@@ -348,15 +395,39 @@ impl CenterAgent {
             }
         }
 
-        // Allocate once the report deadline passes.
+        // Allocate once the report deadline passes. The raw batch runs
+        // through admission control exactly once, here; the decisions are
+        // fixed for the day and the raw floats never outlive this tick.
         if current.allocation.is_none() && now >= current.report_deadline {
-            if current.reports.is_empty() {
-                // Nobody reported: close the day with an empty record.
+            let day = current.day;
+            let raw: Vec<RawReport> = current
+                .reports
+                .iter()
+                .map(|(&h, &p)| RawReport::new(h, p))
+                .collect();
+            current.reports.clear();
+            let admission = self.enki.admit(&raw);
+            // Every admitted preference refreshes the center's standing
+            // model of that household's demand — the quarantine fallback.
+            for entry in &admission.entries {
+                if let Some(p) = entry.admitted {
+                    self.profiles.insert(entry.household, p);
+                }
+            }
+            let profiles = &self.profiles;
+            let reports = admission.admitted_with_fallback(|h| profiles.get(&h).copied());
+            current.quarantined = admission.quarantined().map(|e| e.household).collect();
+            current.clamped = admission.clamped().map(|e| e.household).collect();
+            if reports.is_empty() {
+                // Nobody reported, or nothing survived admission with a
+                // usable fallback: close the day with an empty record.
                 let record = DayRecord {
-                    day: current.day,
+                    day,
                     participants: Vec::new(),
                     missing_reports: self.roster.clone(),
                     missing_readings: Vec::new(),
+                    quarantined: std::mem::take(&mut current.quarantined),
+                    clamped: std::mem::take(&mut current.clamped),
                     settlement: None,
                 };
                 self.records.push(record);
@@ -364,28 +435,39 @@ impl CenterAgent {
                 self.commit();
                 return;
             }
-            let reports: Vec<Report> = current
-                .reports
-                .iter()
-                .map(|(&h, &p)| Report::new(h, p))
-                .collect();
-            let outcome = self
-                .enki
-                .allocate(&reports, &mut self.rng)
-                .expect("non-empty, duplicate-free reports");
-            let day = current.day;
-            let assignments = outcome.assignments.clone();
-            current.allocation = Some((reports, outcome));
-            self.commit();
-            for assignment in &assignments {
-                outbox.push(Envelope {
-                    from: NodeId::Center,
-                    to: NodeId::Household(assignment.household),
-                    message: Message::Allocation {
+            match self.enki.allocate(&reports, &mut self.rng) {
+                Ok(outcome) => {
+                    let assignments = outcome.assignments.clone();
+                    current.allocation = Some((reports, outcome));
+                    self.commit();
+                    for assignment in &assignments {
+                        outbox.push(Envelope {
+                            from: NodeId::Center,
+                            to: NodeId::Household(assignment.household),
+                            message: Message::Allocation {
+                                day,
+                                window: assignment.window,
+                            },
+                        });
+                    }
+                }
+                Err(_) => {
+                    // Unreachable with admitted reports (non-empty and
+                    // duplicate-free), but a solver failure must close
+                    // the day, not take the center down.
+                    let record = DayRecord {
                         day,
-                        window: assignment.window,
-                    },
-                });
+                        participants: Vec::new(),
+                        missing_reports: self.roster.clone(),
+                        missing_readings: Vec::new(),
+                        quarantined: std::mem::take(&mut current.quarantined),
+                        clamped: std::mem::take(&mut current.clamped),
+                        settlement: None,
+                    };
+                    self.records.push(record);
+                    self.current = None;
+                    self.commit();
+                }
             }
             return;
         }
@@ -406,10 +488,8 @@ impl CenterAgent {
                     })
                     .collect();
                 let day = current.day;
-                let settlement = self
-                    .enki
-                    .settle(&reports, &outcome, &consumption)
-                    .expect("settlement inputs are aligned by construction");
+                let quarantined = std::mem::take(&mut current.quarantined);
+                let clamped = std::mem::take(&mut current.clamped);
                 let participants: Vec<HouseholdId> =
                     reports.iter().map(|r| r.household).collect();
                 let missing_reports: Vec<HouseholdId> = self
@@ -418,27 +498,35 @@ impl CenterAgent {
                     .copied()
                     .filter(|h| !participants.contains(h))
                     .collect();
+                // A settlement failure (unreachable with inputs aligned
+                // by construction) closes the day unbilled rather than
+                // taking the center down.
+                let settlement = self.enki.settle(&reports, &outcome, &consumption).ok();
                 self.records.push(DayRecord {
                     day,
                     participants,
                     missing_reports,
                     missing_readings,
-                    settlement: Some(settlement.clone()),
+                    quarantined,
+                    clamped,
+                    settlement: settlement.clone(),
                 });
                 self.current = None;
                 // The record and advanced state commit atomically with
                 // billing: a crash after this point can never re-settle
                 // the day or bill anyone twice.
                 self.commit();
-                for entry in &settlement.entries {
-                    outbox.push(Envelope {
-                        from: NodeId::Center,
-                        to: NodeId::Household(entry.household),
-                        message: Message::Bill {
-                            day,
-                            amount: entry.payment,
-                        },
-                    });
+                if let Some(settlement) = settlement {
+                    for entry in &settlement.entries {
+                        outbox.push(Envelope {
+                            from: NodeId::Center,
+                            to: NodeId::Household(entry.household),
+                            message: Message::Bill {
+                                day,
+                                amount: entry.payment,
+                            },
+                        });
+                    }
                 }
             } else {
                 self.current = None;
@@ -462,8 +550,8 @@ mod tests {
         )
     }
 
-    fn pref(b: u8, e: u8, v: u8) -> Preference {
-        Preference::new(b, e, v).unwrap()
+    fn pref(b: f64, e: f64, v: f64) -> RawPreference {
+        RawPreference::new(b, e, v)
     }
 
     #[test]
@@ -500,7 +588,7 @@ mod tests {
                 NodeId::Household(HouseholdId::new(i)),
                 Message::SubmitReport {
                     day: 0,
-                    preference: pref(18, 22, 2),
+                    preference: pref(18.0, 22.0, 2.0),
                 },
                 &mut outbox,
             );
@@ -524,7 +612,7 @@ mod tests {
                 NodeId::Household(HouseholdId::new(0)),
                 Message::SubmitReport {
                     day: 0,
-                    preference: pref(18, 22, 2),
+                    preference: pref(18.0, 22.0, 2.0),
                 },
                 &mut outbox,
             );
@@ -550,7 +638,7 @@ mod tests {
             NodeId::Household(HouseholdId::new(99)),
             Message::SubmitReport {
                 day: 0,
-                preference: pref(18, 22, 2),
+                preference: pref(18.0, 22.0, 2.0),
             },
             &mut outbox,
         );
@@ -572,7 +660,7 @@ mod tests {
                 NodeId::Household(HouseholdId::new(i)),
                 Message::SubmitReport {
                     day: 0,
-                    preference: pref(18, 22, 2),
+                    preference: pref(18.0, 22.0, 2.0),
                 },
                 &mut outbox,
             );
@@ -618,7 +706,7 @@ mod tests {
             NodeId::Household(HouseholdId::new(0)),
             Message::SubmitReport {
                 day: 0,
-                preference: pref(18, 22, 2),
+                preference: pref(18.0, 22.0, 2.0),
             },
             &mut outbox,
         );
@@ -656,7 +744,7 @@ mod tests {
             NodeId::Household(HouseholdId::new(0)),
             Message::SubmitReport {
                 day: 0,
-                preference: pref(18, 22, 2),
+                preference: pref(18.0, 22.0, 2.0),
             },
             &mut outbox,
         );
@@ -666,7 +754,7 @@ mod tests {
             NodeId::Household(HouseholdId::new(1)),
             Message::SubmitReport {
                 day: 0,
-                preference: pref(18, 22, 2),
+                preference: pref(18.0, 22.0, 2.0),
             },
             &mut outbox,
         );
@@ -686,7 +774,7 @@ mod tests {
                 NodeId::Household(HouseholdId::new(i)),
                 Message::SubmitReport {
                     day: 0,
-                    preference: pref(18, 22, 2),
+                    preference: pref(18.0, 22.0, 2.0),
                 },
                 &mut outbox,
             );
@@ -733,7 +821,7 @@ mod tests {
             NodeId::Household(HouseholdId::new(0)),
             Message::SubmitReport {
                 day: 0,
-                preference: pref(18, 22, 2),
+                preference: pref(18.0, 22.0, 2.0),
             },
             &mut outbox,
         );
@@ -759,6 +847,186 @@ mod tests {
     }
 
     #[test]
+    fn malformed_report_is_quarantined_and_recorded() {
+        let mut c = center(2);
+        let mut outbox = Vec::new();
+        c.on_tick(0, &mut outbox);
+        c.on_message(
+            5,
+            NodeId::Household(HouseholdId::new(0)),
+            Message::SubmitReport {
+                day: 0,
+                preference: pref(18.0, 22.0, 2.0),
+            },
+            &mut outbox,
+        );
+        c.on_message(
+            5,
+            NodeId::Household(HouseholdId::new(1)),
+            Message::SubmitReport {
+                day: 0,
+                preference: pref(f64::NAN, 22.0, 2.0),
+            },
+            &mut outbox,
+        );
+        c.on_tick(30, &mut outbox);
+        c.on_tick(70, &mut outbox);
+        let record = c.records().last().unwrap();
+        // No standing profile yet, so the quarantined household sits out.
+        assert_eq!(record.participants, vec![HouseholdId::new(0)]);
+        assert_eq!(record.quarantined, vec![HouseholdId::new(1)]);
+        assert!(record.missing_reports.contains(&HouseholdId::new(1)));
+        let st = record.settlement.as_ref().unwrap();
+        assert!(st.entries.iter().all(|e| e.household == HouseholdId::new(0)));
+    }
+
+    #[test]
+    fn quarantined_household_falls_back_to_its_standing_profile() {
+        let mut c = center(2);
+        let mut outbox = Vec::new();
+        // Day 0: both report cleanly, establishing standing profiles.
+        c.on_tick(0, &mut outbox);
+        for i in 0..2u32 {
+            c.on_message(
+                5,
+                NodeId::Household(HouseholdId::new(i)),
+                Message::SubmitReport {
+                    day: 0,
+                    preference: pref(18.0, 22.0, 2.0),
+                },
+                &mut outbox,
+            );
+        }
+        c.on_tick(30, &mut outbox);
+        c.on_tick(70, &mut outbox);
+        // Day 1: household 1's ECC goes haywire.
+        c.on_tick(100, &mut outbox);
+        c.on_message(
+            105,
+            NodeId::Household(HouseholdId::new(0)),
+            Message::SubmitReport {
+                day: 1,
+                preference: pref(16.0, 20.0, 2.0),
+            },
+            &mut outbox,
+        );
+        c.on_message(
+            105,
+            NodeId::Household(HouseholdId::new(1)),
+            Message::SubmitReport {
+                day: 1,
+                preference: pref(22.0, 18.0, f64::INFINITY),
+            },
+            &mut outbox,
+        );
+        c.on_tick(130, &mut outbox);
+        c.on_tick(170, &mut outbox);
+        let record = c.records().last().unwrap();
+        assert_eq!(record.day, 1);
+        // Household 1 still participates, through its day-0 profile.
+        assert_eq!(
+            record.participants,
+            vec![HouseholdId::new(0), HouseholdId::new(1)]
+        );
+        assert_eq!(record.quarantined, vec![HouseholdId::new(1)]);
+        assert!(record.missing_reports.is_empty());
+        let st = record.settlement.as_ref().unwrap();
+        assert_eq!(st.entries.len(), 2);
+        assert!(st.center_utility >= -1e-9);
+    }
+
+    #[test]
+    fn clamped_report_participates_and_is_recorded() {
+        let mut c = center(1);
+        let mut outbox = Vec::new();
+        c.on_tick(0, &mut outbox);
+        c.on_message(
+            5,
+            NodeId::Household(HouseholdId::new(0)),
+            Message::SubmitReport {
+                day: 0,
+                // Out of horizon and fractional: admissible after clamping.
+                preference: pref(17.5, 30.0, 2.0),
+            },
+            &mut outbox,
+        );
+        c.on_tick(30, &mut outbox);
+        c.on_tick(70, &mut outbox);
+        let record = c.records().last().unwrap();
+        assert_eq!(record.participants, vec![HouseholdId::new(0)]);
+        assert_eq!(record.clamped, vec![HouseholdId::new(0)]);
+        assert!(record.quarantined.is_empty());
+        assert!(record.settlement.is_some());
+    }
+
+    #[test]
+    fn all_quarantined_day_closes_without_settlement() {
+        let mut c = center(2);
+        let mut outbox = Vec::new();
+        c.on_tick(0, &mut outbox);
+        for i in 0..2u32 {
+            c.on_message(
+                5,
+                NodeId::Household(HouseholdId::new(i)),
+                Message::SubmitReport {
+                    day: 0,
+                    preference: pref(f64::NAN, f64::NAN, f64::NAN),
+                },
+                &mut outbox,
+            );
+        }
+        outbox.clear();
+        c.on_tick(30, &mut outbox);
+        let record = c.records().last().unwrap();
+        assert!(record.settlement.is_none());
+        assert_eq!(record.quarantined.len(), 2);
+        assert_eq!(record.missing_reports.len(), 2);
+        assert!(outbox.is_empty(), "nothing to allocate");
+        // The next day starts normally.
+        c.on_tick(100, &mut outbox);
+        assert!(outbox
+            .iter()
+            .any(|e| matches!(e.message, Message::DayStart { day: 1, .. })));
+    }
+
+    #[test]
+    fn standing_profiles_survive_crash_and_recovery() {
+        let mut c = center(1);
+        let mut outbox = Vec::new();
+        c.on_tick(0, &mut outbox);
+        c.on_message(
+            5,
+            NodeId::Household(HouseholdId::new(0)),
+            Message::SubmitReport {
+                day: 0,
+                preference: pref(18.0, 22.0, 2.0),
+            },
+            &mut outbox,
+        );
+        c.on_tick(30, &mut outbox);
+        c.on_tick(70, &mut outbox);
+        c.crash();
+        c.recover();
+        // Day 1: garbage report; the recovered profile must cover it.
+        c.on_tick(100, &mut outbox);
+        c.on_message(
+            105,
+            NodeId::Household(HouseholdId::new(0)),
+            Message::SubmitReport {
+                day: 1,
+                preference: pref(-3.0, 2.0, -1.0),
+            },
+            &mut outbox,
+        );
+        c.on_tick(130, &mut outbox);
+        c.on_tick(170, &mut outbox);
+        let record = c.records().last().unwrap();
+        assert_eq!(record.participants, vec![HouseholdId::new(0)]);
+        assert_eq!(record.quarantined, vec![HouseholdId::new(0)]);
+        assert!(record.settlement.is_some());
+    }
+
+    #[test]
     fn checkpoint_roundtrips_through_serde() {
         let mut c = center(2);
         let mut outbox = Vec::new();
@@ -769,7 +1037,7 @@ mod tests {
                 NodeId::Household(HouseholdId::new(i)),
                 Message::SubmitReport {
                     day: 0,
-                    preference: pref(18, 22, 2),
+                    preference: pref(18.0, 22.0, 2.0),
                 },
                 &mut outbox,
             );

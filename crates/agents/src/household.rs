@@ -20,6 +20,7 @@
 
 use enki_core::household::{HouseholdId, Preference};
 use enki_core::time::Interval;
+use enki_core::validation::RawPreference;
 use enki_sim::behavior::{consume, ReportStrategy};
 use enki_sim::ecc::EccPredictor;
 use enki_sim::neighborhood::TruthSource;
@@ -122,6 +123,10 @@ pub struct HouseholdAgent {
     rng: StdRng,
     state: Option<DayState>,
     bills: Vec<(u64, f64)>,
+    /// When set, reports go out as this raw payload instead of the
+    /// validated preference — modelling a compromised or buggy ECC. The
+    /// appliance still consumes according to the household's truth.
+    raw_report_override: Option<RawPreference>,
 }
 
 impl HouseholdAgent {
@@ -147,7 +152,26 @@ impl HouseholdAgent {
             rng: StdRng::seed_from_u64(0xECC0 ^ u64::from(id.index())),
             state: None,
             bills: Vec::new(),
+            raw_report_override: None,
         }
+    }
+
+    /// Makes the agent report the given raw payload every day instead of
+    /// its real preference — fault injection for a compromised or buggy
+    /// ECC. The appliance still consumes according to the household's
+    /// truth, so the center's admission layer (not this agent) decides
+    /// what the malformed report means.
+    #[must_use]
+    pub fn with_raw_report_override(mut self, raw: RawPreference) -> Self {
+        self.raw_report_override = Some(raw);
+        self
+    }
+
+    /// Sets or clears the raw-report override mid-run — compromising (or
+    /// repairing) a running ECC. See
+    /// [`with_raw_report_override`](Self::with_raw_report_override).
+    pub fn set_raw_report_override(&mut self, raw: Option<RawPreference>) {
+        self.raw_report_override = raw;
     }
 
     /// Overrides the retry backoff base (ticks before the first re-send
@@ -221,12 +245,15 @@ impl HouseholdAgent {
         let Some(state) = self.state else {
             return;
         };
+        let preference = self
+            .raw_report_override
+            .unwrap_or_else(|| self.report_preference().into());
         outbox.push(Envelope {
             from: NodeId::Household(self.id),
             to: NodeId::Center,
             message: Message::SubmitReport {
                 day: state.day,
-                preference: self.report_preference(),
+                preference,
             },
         });
         let delay = self.backoff.delay(state.report_attempts, &mut self.rng);
@@ -572,7 +599,10 @@ mod tests {
         a.on_message(0, NodeId::Center, day_start(1), &mut outbox);
         match outbox[0].message {
             Message::SubmitReport { preference, .. } => {
-                assert_eq!(preference, Preference::new(18, 20, 2).unwrap());
+                assert_eq!(
+                    preference,
+                    RawPreference::from(Preference::new(18, 20, 2).unwrap())
+                );
             }
             ref m => panic!("unexpected {m:?}"),
         }
@@ -591,7 +621,21 @@ mod tests {
         a.on_message(100, NodeId::Center, day_start(2), &mut outbox);
         match outbox[0].message {
             Message::SubmitReport { preference, .. } => {
-                assert_eq!(preference.window(), Interval::new(16, 22).unwrap());
+                assert_eq!((preference.begin, preference.end), (16.0, 22.0));
+            }
+            ref m => panic!("unexpected {m:?}"),
+        }
+    }
+
+    #[test]
+    fn raw_report_override_goes_out_verbatim() {
+        let mut a = agent().with_raw_report_override(RawPreference::new(f64::NAN, 30.0, -1.0));
+        let mut outbox = Vec::new();
+        a.on_message(0, NodeId::Center, day_start(1), &mut outbox);
+        match outbox[0].message {
+            Message::SubmitReport { preference, .. } => {
+                assert!(preference.begin.is_nan());
+                assert_eq!(preference.end, 30.0);
             }
             ref m => panic!("unexpected {m:?}"),
         }

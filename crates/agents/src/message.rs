@@ -5,9 +5,16 @@
 //! center `Allocation` ▸ households consume and `MeterReading` ▸ center
 //! `Bill`. Every message carries its day number so late deliveries from a
 //! previous day are recognized and dropped by the recipient.
+//!
+//! Reports travel as **raw** wire-level preferences
+//! ([`RawPreference`](enki_core::validation::RawPreference)): the center
+//! trusts nothing off the wire and classifies every report through the
+//! admission layer ([`enki_core::validation`]) before it can reach the
+//! mechanism.
 
-use enki_core::household::{HouseholdId, Preference};
+use enki_core::household::HouseholdId;
 use enki_core::time::Interval;
+use enki_core::validation::RawPreference;
 use serde::{Deserialize, Serialize};
 
 /// Discrete simulation time, in ticks.
@@ -44,12 +51,14 @@ pub enum Message {
         /// Tick at which the center settles from meter readings.
         meter_deadline: Tick,
     },
-    /// Household → center: the day's preference report (step 1).
+    /// Household → center: the day's preference report (step 1). Carried
+    /// raw and unvalidated; the center's admission layer decides whether
+    /// it is accepted, clamped, or quarantined.
     SubmitReport {
         /// Day number.
         day: u64,
-        /// Reported preference `χ̂`.
-        preference: Preference,
+        /// Reported preference `χ̂`, unvalidated.
+        preference: RawPreference,
     },
     /// Center → household: the suggested window (step 2).
     Allocation {
@@ -108,7 +117,7 @@ mod tests {
     fn messages_carry_their_day() {
         let m = Message::SubmitReport {
             day: 3,
-            preference: Preference::new(18, 22, 2).unwrap(),
+            preference: RawPreference::new(18.0, 22.0, 2.0),
         };
         assert_eq!(m.day(), 3);
         let m = Message::Bill { day: 9, amount: 4.5 };

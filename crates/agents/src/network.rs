@@ -335,7 +335,7 @@ mod tests {
             to: NodeId::Center,
             message: Message::SubmitReport {
                 day,
-                preference: Preference::new(18, 22, 2).unwrap(),
+                preference: Preference::new(18, 22, 2).unwrap().into(),
             },
         }
     }
@@ -346,7 +346,7 @@ mod tests {
             to: NodeId::Center,
             message: Message::SubmitReport {
                 day: 0,
-                preference: Preference::new(18, 22, 2).unwrap(),
+                preference: Preference::new(18, 22, 2).unwrap().into(),
             },
         }
     }

@@ -21,11 +21,24 @@
 //!    for day *d*. The center never invents participants.
 //! 4. **Record integrity** — settled day records have strictly
 //!    increasing day numbers (no duplicate settlement after
-//!    crash-recovery) and each record's participants are a subset of the
-//!    roster with no overlap between participants and missing reports.
+//!    crash-recovery) and each record's participants, quarantined, and
+//!    clamped households are subsets of the roster (clamped of the
+//!    participants) with no overlap between participants and missing
+//!    reports.
+//! 5. **Settlement validity** — every settled day passes
+//!    [`Settlement::verify`](enki_core::mechanism::Settlement::verify)
+//!    against the center's configuration: all values finite, bills
+//!    non-negative, revenue and utility consistent. Adversarial reports
+//!    must never smuggle a NaN or a negative bill into a settlement.
+//! 6. **Bills only to admitted participants** — every
+//!    [`Bill`](crate::message::Message::Bill) the center originates for
+//!    day *d* goes to a household recorded as a participant of day *d*.
+//!    A report that admission control quarantined (without a standing
+//!    profile) can never produce a bill.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
+use enki_core::config::EnkiConfig;
 use enki_core::household::HouseholdId;
 
 use crate::center::DayRecord;
@@ -67,12 +80,31 @@ pub enum Violation {
         /// The day number of the preceding record.
         previous: u64,
     },
-    /// A record names a participant outside the roster, or a household
-    /// appears both as a participant and as a missing report.
+    /// A record names a participant outside the roster, a household
+    /// appears both as a participant and as a missing report, a
+    /// quarantined household is outside the roster, or a clamped
+    /// household is not a participant.
     CorruptRecord {
         /// The settled day.
         day: u64,
         /// The offending household.
+        household: HouseholdId,
+    },
+    /// A settled day's settlement failed
+    /// [`Settlement::verify`](enki_core::mechanism::Settlement::verify):
+    /// a non-finite value, a negative bill, or inconsistent totals.
+    InvalidSettlement {
+        /// The settled day.
+        day: u64,
+        /// The verification error.
+        reason: String,
+    },
+    /// The center billed a household that the day's record does not list
+    /// as a participant — a bill with no admitted report behind it.
+    UnadmittedBill {
+        /// The billed day.
+        day: u64,
+        /// The household billed without an admitted report.
         household: HouseholdId,
     },
 }
@@ -101,6 +133,12 @@ impl std::fmt::Display for Violation {
             Self::CorruptRecord { day, household } => {
                 write!(f, "day {day}: record corrupt at {household:?}")
             }
+            Self::InvalidSettlement { day, reason } => {
+                write!(f, "day {day}: settlement failed verification: {reason}")
+            }
+            Self::UnadmittedBill { day, household } => {
+                write!(f, "day {day}: {household:?} billed without an admitted report")
+            }
         }
     }
 }
@@ -113,14 +151,20 @@ impl std::fmt::Display for Violation {
 #[must_use]
 pub fn check(runtime: &Runtime) -> Vec<Violation> {
     let mut violations = Vec::new();
-    check_records(runtime.records(), runtime.center().roster(), &mut violations);
-    check_trace(runtime.trace(), &mut violations);
+    check_records(
+        runtime.records(),
+        runtime.center().roster(),
+        runtime.center().enki().config(),
+        &mut violations,
+    );
+    check_trace(runtime.trace(), runtime.records(), &mut violations);
     violations
 }
 
 fn check_records(
     records: &[DayRecord],
     roster: &[HouseholdId],
+    config: &EnkiConfig,
     violations: &mut Vec<Violation>,
 ) {
     let roster: BTreeSet<HouseholdId> = roster.iter().copied().collect();
@@ -143,6 +187,12 @@ fn check_records(
                     center_utility: st.center_utility,
                 });
             }
+            if let Err(e) = st.verify(config) {
+                violations.push(Violation::InvalidSettlement {
+                    day: record.day,
+                    reason: e.to_string(),
+                });
+            }
         }
 
         let participants: BTreeSet<HouseholdId> =
@@ -163,10 +213,32 @@ fn check_records(
                 });
             }
         }
+        for &h in &record.quarantined {
+            if !roster.contains(&h) {
+                violations.push(Violation::CorruptRecord {
+                    day: record.day,
+                    household: h,
+                });
+            }
+        }
+        for &h in &record.clamped {
+            if !participants.contains(&h) {
+                violations.push(Violation::CorruptRecord {
+                    day: record.day,
+                    household: h,
+                });
+            }
+        }
     }
 }
 
-fn check_trace(trace: &[TraceEvent], violations: &mut Vec<Violation>) {
+fn check_trace(trace: &[TraceEvent], records: &[DayRecord], violations: &mut Vec<Violation>) {
+    // Recorded participants per day: the only households a bill may
+    // legitimately reach.
+    let participants_by_day: BTreeMap<u64, BTreeSet<HouseholdId>> = records
+        .iter()
+        .map(|r| (r.day, r.participants.iter().copied().collect()))
+        .collect();
     // Bills originated by the center, keyed (day, household).
     let mut billed: BTreeSet<(u64, HouseholdId)> = BTreeSet::new();
     // Reports actually delivered to the center, keyed (day, household).
@@ -203,6 +275,15 @@ fn check_trace(trace: &[TraceEvent], violations: &mut Vec<Violation>) {
                 if let (NodeId::Center, NodeId::Household(h)) = endpoints {
                     if !billed.insert((*day, h)) {
                         violations.push(Violation::DuplicateBill {
+                            day: *day,
+                            household: h,
+                        });
+                    }
+                    if !participants_by_day
+                        .get(day)
+                        .is_some_and(|p| p.contains(&h))
+                    {
+                        violations.push(Violation::UnadmittedBill {
                             day: *day,
                             household: h,
                         });
@@ -283,8 +364,17 @@ mod tests {
                 },
             },
         };
+        let record = DayRecord {
+            day: 0,
+            participants: vec![HouseholdId::new(0)],
+            missing_reports: Vec::new(),
+            missing_readings: Vec::new(),
+            quarantined: Vec::new(),
+            clamped: Vec::new(),
+            settlement: None,
+        };
         let mut violations = Vec::new();
-        check_trace(&[bill(70), bill(71)], &mut violations);
+        check_trace(&[bill(70), bill(71)], &[record], &mut violations);
         assert_eq!(
             violations,
             vec![Violation::DuplicateBill {
@@ -292,6 +382,83 @@ mod tests {
                 household: HouseholdId::new(0)
             }]
         );
+    }
+
+    #[test]
+    fn oracle_flags_a_synthetic_unadmitted_bill() {
+        use crate::message::{Envelope, Message};
+        use crate::runtime::{TraceEvent, TraceKind};
+        let bill = TraceEvent {
+            at: 70,
+            kind: TraceKind::Originated,
+            envelope: Envelope {
+                from: NodeId::Center,
+                to: NodeId::Household(HouseholdId::new(5)),
+                message: Message::Bill {
+                    day: 0,
+                    amount: 1.0,
+                },
+            },
+        };
+        let record = DayRecord {
+            day: 0,
+            participants: vec![HouseholdId::new(0)],
+            missing_reports: vec![HouseholdId::new(5)],
+            missing_readings: Vec::new(),
+            quarantined: vec![HouseholdId::new(5)],
+            clamped: Vec::new(),
+            settlement: None,
+        };
+        let mut violations = Vec::new();
+        check_trace(&[bill], &[record], &mut violations);
+        assert_eq!(
+            violations,
+            vec![Violation::UnadmittedBill {
+                day: 0,
+                household: HouseholdId::new(5)
+            }]
+        );
+    }
+
+    #[test]
+    fn oracle_flags_a_corrupt_settlement() {
+        let mut rt = build(3, NetworkConfig::default(), 24);
+        rt.run_days(1, 100);
+        let mut records = rt.records().to_vec();
+        let st = records[0].settlement.as_mut().unwrap();
+        st.entries[0].payment = f64::NAN;
+        let mut violations = Vec::new();
+        check_records(
+            &records,
+            rt.center().roster(),
+            rt.center().enki().config(),
+            &mut violations,
+        );
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::InvalidSettlement { day: 0, .. })),
+            "violations: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn oracle_flags_a_clamped_non_participant() {
+        let mut rt = build(2, NetworkConfig::default(), 25);
+        rt.run_days(1, 100);
+        let mut records = rt.records().to_vec();
+        // Claim a clamp decision for a household that never participated.
+        records[0].clamped.push(HouseholdId::new(99));
+        let mut violations = Vec::new();
+        check_records(
+            &records,
+            rt.center().roster(),
+            rt.center().enki().config(),
+            &mut violations,
+        );
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::CorruptRecord { .. })));
     }
 
     #[test]
@@ -312,7 +479,7 @@ mod tests {
             },
         };
         let mut violations = Vec::new();
-        check_trace(&[event], &mut violations);
+        check_trace(&[event], &[], &mut violations);
         assert_eq!(
             violations,
             vec![Violation::UngroundedAllocation {
@@ -329,7 +496,12 @@ mod tests {
         let mut records = rt.records().to_vec();
         records.swap(0, 1);
         let mut violations = Vec::new();
-        check_records(&records, rt.center().roster(), &mut violations);
+        check_records(
+            &records,
+            rt.center().roster(),
+            rt.center().enki().config(),
+            &mut violations,
+        );
         assert!(violations
             .iter()
             .any(|v| matches!(v, Violation::DisorderedRecords { .. })));

@@ -147,6 +147,12 @@ impl Runtime {
         &self.households
     }
 
+    /// Mutable access to a household agent, e.g. to inject a fault
+    /// (such as a raw-report override) mid-run.
+    pub fn household_mut(&mut self, id: HouseholdId) -> Option<&mut HouseholdAgent> {
+        self.households.iter_mut().find(|h| h.id() == id)
+    }
+
     /// Runs `ticks` simulation steps.
     pub fn run_ticks(&mut self, ticks: Tick) {
         for _ in 0..ticks {

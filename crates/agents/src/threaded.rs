@@ -22,9 +22,10 @@ use std::thread;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use enki_core::household::{HouseholdId, Preference, Report};
+use enki_core::household::{HouseholdId, Report};
 use enki_core::mechanism::{Enki, Settlement};
 use enki_core::time::Interval;
+use enki_core::validation::{RawPreference, RawReport};
 use enki_sim::behavior::{consume, ReportStrategy};
 use enki_sim::neighborhood::TruthSource;
 use enki_sim::profile::UsageProfile;
@@ -78,6 +79,9 @@ pub struct ThreadedDay {
     /// Participants whose meter readings never arrived; settled as
     /// cooperative.
     pub missing_readings: Vec<HouseholdId>,
+    /// Households whose reports admission control quarantined; excluded
+    /// from the day (the threaded skeleton keeps no standing profiles).
+    pub quarantined: Vec<HouseholdId>,
 }
 
 /// Runs `days` protocol days with one thread per household.
@@ -137,7 +141,7 @@ pub fn run_threaded_days(
                                 spec.id,
                                 Message::SubmitReport {
                                     day,
-                                    preference: spec.strategy.report(&spec.profile),
+                                    preference: spec.strategy.report(&spec.profile).into(),
                                 },
                             ));
                             if spec.fault == ThreadedFault::CrashAfterReport {
@@ -181,7 +185,7 @@ pub fn run_threaded_days(
                 // Collect reports until everyone answered or the phase
                 // timeout fires; a BTreeMap keyed by household id makes
                 // the result deterministic regardless of arrival order.
-                let mut report_map: BTreeMap<HouseholdId, Preference> = BTreeMap::new();
+                let mut report_map: BTreeMap<HouseholdId, RawPreference> = BTreeMap::new();
                 while report_map.len() < roster.len() {
                     match center_inbox.recv_timeout(timeout) {
                         Ok((household, Message::SubmitReport { day: d, preference }))
@@ -206,10 +210,22 @@ pub fn run_threaded_days(
                         phase: "report",
                     });
                 }
-                let reports: Vec<Report> = report_map
+                // Off the wire, reports are untrusted floats: classify
+                // the batch before any of it can reach the mechanism.
+                let raw: Vec<RawReport> = report_map
                     .iter()
-                    .map(|(&h, &p)| Report::new(h, p))
+                    .map(|(&h, &p)| RawReport::new(h, p))
                     .collect();
+                let admission = enki.admit(&raw);
+                let quarantined: Vec<HouseholdId> =
+                    admission.quarantined().map(|e| e.household).collect();
+                let reports: Vec<Report> = admission.admitted();
+                if reports.is_empty() {
+                    return Err(enki_core::Error::Timeout {
+                        household: quarantined[0],
+                        phase: "report",
+                    });
+                }
                 let allocation = enki.allocate(&reports, &mut rng)?;
                 for (report, assignment) in reports.iter().zip(&allocation.assignments) {
                     let idx = households
@@ -227,7 +243,8 @@ pub fn run_threaded_days(
                 while readings.len() < reports.len() {
                     match center_inbox.recv_timeout(timeout) {
                         Ok((household, Message::MeterReading { day: d, window }))
-                            if d == day && report_map.contains_key(&household) =>
+                            if d == day
+                                && reports.iter().any(|r| r.household == household) =>
                         {
                             readings.insert(household, window);
                         }
@@ -266,6 +283,7 @@ pub fn run_threaded_days(
                     bills: Vec::new(),
                     missing_reports,
                     missing_readings,
+                    quarantined,
                 });
             }
             Ok(outcome)

@@ -63,6 +63,18 @@ pub enum Error {
         /// `"reading"`).
         phase: &'static str,
     },
+    /// A value that must be a finite real number (a payment, a score, a
+    /// cost) was NaN or infinite.
+    NonFiniteValue {
+        /// Name of the offending quantity.
+        parameter: &'static str,
+    },
+    /// Every rung of an anytime solve pipeline failed, including the
+    /// last-resort fallback.
+    SolveFailed {
+        /// The last stage that was attempted.
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -95,6 +107,12 @@ impl fmt::Display for Error {
             }
             Error::Timeout { household, phase } => {
                 write!(f, "household {household} timed out in the {phase} phase")
+            }
+            Error::NonFiniteValue { parameter } => {
+                write!(f, "non-finite value for {parameter}")
+            }
+            Error::SolveFailed { stage } => {
+                write!(f, "every solve stage failed; last attempted stage was {stage}")
             }
         }
     }
@@ -135,6 +153,8 @@ mod tests {
                 household: HouseholdId::new(2),
                 phase: "report",
             },
+            Error::NonFiniteValue { parameter: "payment" },
+            Error::SolveFailed { stage: "greedy" },
         ];
         for e in errors {
             let msg = e.to_string();

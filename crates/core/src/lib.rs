@@ -59,6 +59,9 @@
 //! * [`allocation`] — the greedy scheduler (§IV-C).
 //! * [`mechanism`] — [`Enki`](mechanism::Enki), the center orchestrating a
 //!   full day.
+//! * [`validation`] — admission control: raw wire-level reports are
+//!   accepted, clamped, or quarantined before they can reach the
+//!   mechanism.
 //! * [`config`] — scaling factors `σ`, `k`, `ξ`, and the power rating `r`.
 //! * [`appliances`] — the §III multi-appliance extension: several shiftable
 //!   jobs plus a nonshiftable base load per household.
@@ -80,6 +83,7 @@ pub mod payment;
 pub mod pricing;
 pub mod social_cost;
 pub mod time;
+pub mod validation;
 pub mod valuation;
 
 pub use error::{Error, Result};
@@ -103,6 +107,9 @@ pub mod prelude {
     pub use crate::pricing::{Pricing, QuadraticPricing, TwoStepPricing};
     pub use crate::social_cost::SocialCost;
     pub use crate::time::{Interval, HOURS_PER_DAY};
+    pub use crate::validation::{
+        admit, AdmissionReport, RawPreference, RawReport, Verdict,
+    };
 }
 
 #[cfg(test)]

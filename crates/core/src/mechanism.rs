@@ -114,15 +114,42 @@ impl Settlement {
     }
 
     /// Verifies the settlement's accounting invariants against a
-    /// configuration: payments sum to `ξ·κ(ω)`, the center's utility is
+    /// configuration: every aggregate and per-household value is a finite
+    /// real number, payments sum to `ξ·κ(ω)`, the center's utility is
     /// `(ξ−1)·κ(ω) ≥ 0`, every normalized score lies in `[½, 1½]`, and
-    /// every payment is non-negative. Useful for downstream consumers that
-    /// deserialize settlements from storage or the network.
+    /// every bill is non-negative (the mechanism never pays households).
+    /// Useful for downstream consumers that deserialize settlements from
+    /// storage or the network, and called by the chaos oracle on every
+    /// settled day.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidConfig`] naming the violated invariant.
+    /// Returns [`Error::NonFiniteValue`] when any value is NaN or
+    /// infinite, and [`Error::InvalidConfig`] naming the violated
+    /// accounting invariant otherwise.
     pub fn verify(&self, config: &EnkiConfig) -> Result<()> {
+        let finite = |value: f64, parameter: &'static str| {
+            if value.is_finite() {
+                Ok(())
+            } else {
+                Err(Error::NonFiniteValue { parameter })
+            }
+        };
+        finite(self.total_cost, "total_cost")?;
+        finite(self.revenue, "revenue")?;
+        finite(self.center_utility, "center_utility")?;
+        for &hour in self.load.hours() {
+            finite(hour, "load")?;
+        }
+        for e in &self.entries {
+            finite(e.payment, "payment")?;
+            finite(e.overlap, "overlap")?;
+            finite(e.flexibility, "flexibility")?;
+            finite(e.defection, "defection")?;
+            finite(e.social_cost.normalized_flexibility, "normalized_flexibility")?;
+            finite(e.social_cost.normalized_defection, "normalized_defection")?;
+            finite(e.social_cost.psi, "psi")?;
+        }
         let tolerance = 1e-6 * (1.0 + self.total_cost.abs());
         if (self.revenue - config.xi() * self.total_cost).abs() > tolerance {
             return Err(Error::InvalidConfig {
@@ -148,13 +175,16 @@ impl Settlement {
         for e in &self.entries {
             let sc = e.social_cost;
             let in_band = |x: f64| (0.5 - 1e-9..=1.5 + 1e-9).contains(&x);
-            if !in_band(sc.normalized_flexibility)
-                || !in_band(sc.normalized_defection)
-                || e.payment < -1e-9
-            {
+            if !in_band(sc.normalized_flexibility) || !in_band(sc.normalized_defection) {
                 return Err(Error::InvalidConfig {
                     parameter: "entry scores",
-                    constraint: "normalized scores in [1/2, 3/2] and non-negative payments",
+                    constraint: "normalized scores in [1/2, 3/2]",
+                });
+            }
+            if e.payment < -1e-9 {
+                return Err(Error::InvalidConfig {
+                    parameter: "payment",
+                    constraint: "non-negative bills (the center never pays households)",
                 });
             }
         }
@@ -214,6 +244,15 @@ impl Enki {
     #[must_use]
     pub fn config(&self) -> &EnkiConfig {
         &self.config
+    }
+
+    /// Admission step: classifies a batch of raw wire-level reports as
+    /// accepted, clamped, or quarantined before any of them can reach the
+    /// mechanism. Total and panic-free for every possible input; see
+    /// [`validation::admit`](crate::validation::admit).
+    #[must_use]
+    pub fn admit(&self, raw: &[crate::validation::RawReport]) -> crate::validation::AdmissionReport {
+        crate::validation::admit(raw)
     }
 
     /// Allocation step: computes suggested windows from the day's reports.
@@ -627,6 +666,48 @@ mod tests {
         let mut bad = st;
         bad.center_utility = -5.0;
         assert!(bad.verify(enki.config()).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_non_finite_and_negative_values() {
+        let enki = Enki::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let rs = reports(&[pref(18, 22, 2), pref(16, 24, 3)]);
+        let outcome = enki.allocate(&rs, &mut rng).unwrap();
+        let consumption: Vec<_> = outcome.assignments.iter().map(|a| a.window).collect();
+        let st = enki.settle(&rs, &outcome, &consumption).unwrap();
+
+        let mut bad = st.clone();
+        bad.entries[0].payment = f64::NAN;
+        assert!(matches!(
+            bad.verify(enki.config()),
+            Err(Error::NonFiniteValue { parameter: "payment" })
+        ));
+
+        let mut bad = st.clone();
+        bad.revenue = f64::INFINITY;
+        assert!(matches!(
+            bad.verify(enki.config()),
+            Err(Error::NonFiniteValue { parameter: "revenue" })
+        ));
+
+        let mut bad = st.clone();
+        bad.entries[1].social_cost.psi = f64::NAN;
+        assert!(matches!(
+            bad.verify(enki.config()),
+            Err(Error::NonFiniteValue { parameter: "psi" })
+        ));
+
+        // A negative bill is rejected even if the totals are rebalanced to
+        // keep the sums consistent.
+        let mut bad = st;
+        let shift = bad.entries[0].payment + 1.0;
+        bad.entries[0].payment -= shift;
+        bad.entries[1].payment += shift;
+        assert!(matches!(
+            bad.verify(enki.config()),
+            Err(Error::InvalidConfig { parameter: "payment", .. })
+        ));
     }
 
     #[test]

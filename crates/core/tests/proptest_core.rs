@@ -2,10 +2,11 @@
 
 use enki_core::defection::overlap_ratio;
 use enki_core::flexibility::{coverage, flexibility_score, flexibility_scores};
-use enki_core::household::Preference;
+use enki_core::household::{HouseholdId, Preference};
 use enki_core::load::LoadProfile;
 use enki_core::social_cost::normalize;
 use enki_core::time::Interval;
+use enki_core::validation::{admit, RawPreference, RawReport, Verdict};
 use enki_core::valuation::{max_valuation, valuation};
 use proptest::prelude::*;
 
@@ -21,6 +22,27 @@ fn preference() -> impl Strategy<Value = Preference> {
     interval().prop_flat_map(|iv| {
         (1u8..=iv.len()).prop_map(move |v| Preference::with_window(iv, v).unwrap())
     })
+}
+
+/// Arbitrary raw wire floats, biased toward the adversarial corners:
+/// non-finite values, negatives, out-of-horizon magnitudes, fractional
+/// hours, and ordinary in-range values.
+fn raw_field() -> impl Strategy<Value = f64> {
+    (0u32..8, 0.0..1e9f64, 0u8..30).prop_map(|(selector, x, n)| match selector {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => f64::MIN_POSITIVE,
+        4 => -x,
+        5 => 24.0 + x,
+        6 => x % 24.0,
+        _ => f64::from(n),
+    })
+}
+
+fn raw_preference() -> impl Strategy<Value = RawPreference> {
+    (raw_field(), raw_field(), raw_field())
+        .prop_map(|(b, e, v)| RawPreference::new(b, e, v))
 }
 
 proptest! {
@@ -139,6 +161,63 @@ proptest! {
     fn overlap_ratio_is_a_fraction(a in interval(), b in interval()) {
         let o = overlap_ratio(a, b);
         prop_assert!((0.0..=1.0).contains(&o));
+    }
+
+    #[test]
+    fn admission_never_silently_alters_a_report(raw in raw_preference()) {
+        // Round-trip property: any raw wire preference is either
+        // accepted verbatim, clamped to a valid preference with the
+        // reasons recorded, or quarantined with nothing admitted —
+        // never silently altered.
+        let report = admit(&[RawReport::new(HouseholdId::new(0), raw)]);
+        prop_assert_eq!(report.entries.len(), 1);
+        let entry = &report.entries[0];
+        match &entry.verdict {
+            Verdict::Accepted => {
+                // Verbatim: the admitted preference converts back to
+                // exactly the raw floats that came off the wire.
+                let p = entry.admitted.expect("accepted entries carry a preference");
+                let back = RawPreference::from(Preference::with_window(
+                    Interval::new(p.begin(), p.end()).unwrap(),
+                    p.duration(),
+                ).unwrap());
+                prop_assert_eq!(back.begin, raw.begin);
+                prop_assert_eq!(back.end, raw.end);
+                prop_assert_eq!(back.duration, raw.duration);
+            }
+            Verdict::Clamped { reasons } => {
+                prop_assert!(!reasons.is_empty(), "a clamp must name its reasons");
+                let p = entry.admitted.expect("clamped entries carry a preference");
+                // The clamp only ever *shrinks* toward the request: the
+                // admitted window sits inside the claimed one.
+                prop_assert!(f64::from(p.begin()) >= raw.begin);
+                prop_assert!(f64::from(p.end()) <= raw.end);
+            }
+            Verdict::Quarantined { .. } => {
+                prop_assert!(entry.admitted.is_none(), "quarantine admits nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn admission_output_is_valid_and_duplicate_free(
+        raws in proptest::collection::vec(raw_preference(), 0..20),
+    ) {
+        let batch: Vec<RawReport> = raws
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| RawReport::new(HouseholdId::new((i % 7) as u32), p))
+            .collect();
+        let report = admit(&batch);
+        prop_assert_eq!(report.entries.len(), batch.len());
+        let admitted = report.admitted();
+        // Admitted reports are always safe to hand to the mechanism:
+        // construction already validated them, and ids are unique.
+        for (i, r) in admitted.iter().enumerate() {
+            for other in &admitted[..i] {
+                prop_assert!(r.household != other.household);
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! For populations of 10–50 households over 10 simulated days: every
 //! household truthfully reports its wide interval and follows its
 //! allocation. Two schedulers are compared — Enki's greedy allocation and
-//! the Optimal MIQP (branch-and-bound stand-in for the paper's CPLEX) — on
+//! the Optimal MIQP (branch-and-bound stand-in for the paper's CPLEX,
+//! run through the production [`AnytimePipeline`] so a blown budget or a
+//! solver panic degrades to a lower rung instead of losing the day) — on
 //! peak-to-average ratio, neighborhood cost, and scheduling time.
 
 use std::time::{Duration, Instant};
@@ -14,7 +16,7 @@ use enki_core::load::LoadProfile;
 use enki_core::mechanism::Enki;
 use enki_core::pricing::Pricing;
 use enki_core::Result;
-use enki_solver::exact::BranchAndBound;
+use enki_solver::pipeline::AnytimePipeline;
 use enki_solver::problem::AllocationProblem;
 use enki_stats::descriptive::Summary;
 use rand::rngs::StdRng;
@@ -136,8 +138,8 @@ pub fn run_social_welfare(config: &SocialWelfareConfig) -> Result<Vec<SocialWelf
                 reports.iter().map(|r| r.preference).collect(),
                 &config.enki,
             )?;
-            let solver = BranchAndBound::new()
-                .with_time_limit(config.optimal_time_limit)
+            let solver = AnytimePipeline::new()
+                .with_exact_time_limit(config.optimal_time_limit)
                 .with_seed(rng.random());
             let started = Instant::now();
             let report = solver.solve(&problem)?;

@@ -38,7 +38,9 @@ pub fn water_filling_sum_of_squares(
         .filter(|h| allowed & (1 << h) != 0)
         .map(|h| loads[h])
         .collect();
-    allowed_loads.sort_by(|a, b| a.partial_cmp(b).expect("loads are finite"));
+    // total_cmp keeps the sort total for any float input; partial
+    // schedule loads are finite, but a bound must never panic.
+    allowed_loads.sort_by(|a, b| a.total_cmp(b));
 
     // Find the water level λ: fill the k cheapest hours up to a common
     // level. After filling k hours, level = (Σ_{i<k} l_i + E)/k; valid when
@@ -109,6 +111,9 @@ pub fn discrete_fill_sum_of_squares(
     }
     let mut extra = 0.0;
     for _ in 0..units {
+        // Internal invariant, not input-reachable: `allowed != 0` was
+        // checked above, so the heap always holds one entry per allowed
+        // hour (each pop is followed by a push).
         let std::cmp::Reverse((_, h)) = heap.pop().expect("allowed mask is non-empty");
         let l = levels[h];
         extra += 2.0 * rate * l + rate * rate;

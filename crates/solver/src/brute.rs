@@ -33,6 +33,8 @@ pub fn brute_force(problem: &AllocationProblem) -> Result<Solution> {
     let mut current = vec![0u8; n];
     let mut best: Option<(f64, Vec<u8>)> = None;
     loop {
+        // Internal invariant, not input-reachable: the odometer below only
+        // produces deferments in 0..choices(i), which cost() accepts.
         let cost = problem
             .cost(&current)
             .expect("enumerated deferments are feasible");

@@ -186,6 +186,9 @@ impl BranchAndBound {
                 let p = &problem.preferences()[i];
                 (0..=p.slack())
                     .map(|d| {
+                        // Internal invariant, not input-reachable: d ranges
+                        // over 0..=slack, which window_at_deferment accepts
+                        // for any validated Preference by construction.
                         let w = p.window_at_deferment(d).expect("within slack");
                         (d, hours_mask(w.begin(), w.end()))
                     })
@@ -288,7 +291,9 @@ impl Search<'_> {
             self.aborted = true;
             return;
         }
-        if self.nodes.is_multiple_of(4096) {
+        // Check the wall clock at the root (so an already-expired deadline
+        // aborts before any expansion) and every 4096 nodes thereafter.
+        if self.nodes == 1 || self.nodes.is_multiple_of(4096) {
             if let Some(deadline) = self.deadline {
                 if Instant::now() >= deadline {
                     self.aborted = true;
@@ -325,7 +330,9 @@ impl Search<'_> {
                 (delta, d, mask)
             })
             .collect();
-        children.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("deltas are finite"));
+        // total_cmp keeps the sort total even if a delta were ever NaN
+        // (it cannot be for finite loads, but a sort must not panic).
+        children.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         let household = self.order[depth];
         let min_deferment = if self.same_as_prev[depth] {

@@ -12,6 +12,10 @@
 //!   dynamics; converges to a local optimum of the exact potential.
 //! * [`brute::brute_force`] — exhaustive enumeration for tiny instances,
 //!   used to validate the exact solver.
+//! * [`pipeline::AnytimePipeline`] — the production entry point: a
+//!   graceful-degradation ladder (exact → local search → greedy →
+//!   as-reported) with per-stage budgets and panic containment, always
+//!   returning a feasible schedule.
 //!
 //! ```
 //! use enki_solver::prelude::*;
@@ -41,6 +45,7 @@ pub mod bounds;
 pub mod brute;
 pub mod exact;
 pub mod local_search;
+pub mod pipeline;
 pub mod problem;
 
 /// The most commonly used items, for glob import.
@@ -48,5 +53,8 @@ pub mod prelude {
     pub use crate::brute::brute_force;
     pub use crate::exact::{BranchAndBound, SolveReport};
     pub use crate::local_search::LocalSearch;
+    pub use crate::pipeline::{
+        AnytimePipeline, Rung, SolveOutcome, StageReport, StageStatus,
+    };
     pub use crate::problem::{AllocationProblem, Solution};
 }

@@ -52,6 +52,10 @@ impl LocalSearch {
             #[allow(clippy::needless_range_loop)]
             for i in 0..problem.len() {
                 let pref = &problem.preferences()[i];
+                // Internal invariant, not input-reachable: the start vector
+                // was validated by problem.windows() above and every later
+                // assignment picks d from 0..=slack, so stored deferments
+                // stay feasible. The same holds for the two expects below.
                 let current = pref
                     .window_at_deferment(deferments[i])
                     .expect("stored deferment is feasible");

@@ -1,0 +1,691 @@
+//! Anytime allocation pipeline with a graceful-degradation ladder.
+//!
+//! The paper's center calls one solver and assumes it terminates. A
+//! production center cannot: the Eq. 2 MIQP can blow any time budget on
+//! hard instances, and a solver bug must never take the whole day down
+//! with it. This module runs a fixed ladder of increasingly cheap
+//! solvers and always returns *some* feasible schedule:
+//!
+//! 1. [`Rung::Exact`] — branch-and-bound under a per-stage deadline and
+//!    node budget. Kept only when it *proves* optimality; an aborted run
+//!    contributes its incumbent to the next rung's warm start.
+//! 2. [`Rung::LocalSearch`] — coordinate-descent best response, warm
+//!    started from the exact stage's incumbent, plus random restarts.
+//! 3. [`Rung::Greedy`] — most-constrained-first greedy placement, one
+//!    pass, no search.
+//! 4. [`Rung::AsReported`] — every household at its reported window
+//!    (deferment 0). Always feasible; this is what a no-mechanism world
+//!    would do, so it can serve as the floor of last resort.
+//!
+//! Every stage runs inside [`std::panic::catch_unwind`], so a panicking
+//! solver *degrades* to the next rung instead of killing the day. The
+//! returned [`SolveOutcome`] records which rung produced the answer, the
+//! certified optimality gap, and a per-stage trace with timings — enough
+//! to audit, after the fact, exactly how degraded a day was.
+//!
+//! ```
+//! use enki_solver::prelude::*;
+//! use enki_core::household::Preference;
+//!
+//! # fn main() -> Result<(), enki_core::Error> {
+//! let problem = AllocationProblem::new(
+//!     vec![Preference::new(18, 22, 2)?, Preference::new(18, 22, 2)?],
+//!     2.0,
+//!     0.3,
+//! )?;
+//! let outcome = AnytimePipeline::new().solve(&problem)?;
+//! assert_eq!(outcome.rung, Rung::Exact);
+//! assert!(outcome.proven_optimal);
+//! assert_eq!(outcome.certified_gap(), 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use enki_core::time::HOURS_PER_DAY;
+use enki_core::{Error, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::bounds::{discrete_fill_sum_of_squares, hours_mask};
+use crate::exact::BranchAndBound;
+use crate::local_search::LocalSearch;
+use crate::problem::{AllocationProblem, Solution};
+
+/// A rung of the degradation ladder, from best to cheapest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Rung {
+    /// Branch-and-bound proved optimality within budget.
+    Exact,
+    /// Coordinate-descent local search.
+    LocalSearch,
+    /// One-pass most-constrained-first greedy placement.
+    Greedy,
+    /// Everyone at their reported window (deferment 0).
+    AsReported,
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Exact => write!(f, "exact"),
+            Self::LocalSearch => write!(f, "local search"),
+            Self::Greedy => write!(f, "greedy"),
+            Self::AsReported => write!(f, "as reported"),
+        }
+    }
+}
+
+/// How a single stage of the ladder ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageStatus {
+    /// The stage produced its intended answer within budget (for the
+    /// exact stage: proved optimality).
+    Solved,
+    /// The stage hit its deadline or node budget; any incumbent it
+    /// produced was handed down the ladder.
+    BudgetExhausted,
+    /// The stage panicked; the panic was contained and the ladder
+    /// degraded to the next rung.
+    Panicked,
+    /// The stage never ran (disabled, or a higher rung already answered).
+    Skipped,
+}
+
+/// The per-stage trace entry of a pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Which rung this stage implements.
+    pub rung: Rung,
+    /// How the stage ended.
+    pub status: StageStatus,
+    /// Wall-clock time the stage consumed.
+    pub elapsed: Duration,
+    /// Objective of the solution this stage produced, if any.
+    pub objective: Option<f64>,
+    /// Search nodes expanded (exact stage only; zero elsewhere).
+    pub nodes: u64,
+}
+
+/// The result of an anytime solve: a feasible solution, the rung that
+/// produced it, and the full ladder trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveOutcome {
+    /// The best feasible solution found.
+    pub solution: Solution,
+    /// The rung that produced [`solution`](Self::solution).
+    pub rung: Rung,
+    /// Whether the exact stage proved this solution optimal.
+    pub proven_optimal: bool,
+    /// Root relaxation lower bound on the optimum (σ-scaled); `0` is the
+    /// trivial fallback when even the bound computation failed.
+    pub root_bound: f64,
+    /// One entry per rung, in ladder order, including skipped rungs.
+    pub stages: Vec<StageReport>,
+}
+
+impl SolveOutcome {
+    /// Relative optimality gap certified by the root bound:
+    /// `(objective − root_bound)/objective`, clamped to `[0, 1]`. Zero
+    /// when proven optimal; an upper bound on the true gap otherwise.
+    #[must_use]
+    pub fn certified_gap(&self) -> f64 {
+        if self.proven_optimal || self.solution.objective <= 0.0 {
+            return 0.0;
+        }
+        ((self.solution.objective - self.root_bound) / self.solution.objective).clamp(0.0, 1.0)
+    }
+
+    /// Whether the answer came from anywhere below a proven-optimal
+    /// exact solve.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        !(self.rung == Rung::Exact && self.proven_optimal)
+    }
+
+    /// The trace entry for a rung.
+    #[must_use]
+    pub fn stage(&self, rung: Rung) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.rung == rung)
+    }
+}
+
+/// The anytime solve pipeline. See the [module docs](self) for the
+/// ladder it runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnytimePipeline {
+    exact_enabled: bool,
+    exact_time_limit: Duration,
+    exact_node_limit: u64,
+    restarts: usize,
+    seed: u64,
+    /// Test-only fault injection: the stage for this rung panics on
+    /// entry, exercising the containment path.
+    injected_panic: Option<Rung>,
+}
+
+impl AnytimePipeline {
+    /// A pipeline with a 250 ms / 2·10⁶-node exact stage and 8 local
+    /// search restarts — generous for day-sized neighborhoods while
+    /// bounding the worst case.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            exact_enabled: true,
+            exact_time_limit: Duration::from_millis(250),
+            exact_node_limit: 2_000_000,
+            restarts: 8,
+            seed: 0x5eed_f00d,
+            injected_panic: None,
+        }
+    }
+
+    /// Overrides the exact stage's wall-clock deadline. A deadline of
+    /// (near) zero makes the exact stage abort immediately, forcing the
+    /// answer onto a lower rung — useful under load shedding.
+    #[must_use]
+    pub fn with_exact_time_limit(mut self, limit: Duration) -> Self {
+        self.exact_time_limit = limit;
+        self
+    }
+
+    /// Overrides the exact stage's node budget.
+    #[must_use]
+    pub fn with_exact_node_limit(mut self, limit: u64) -> Self {
+        self.exact_node_limit = limit.max(1);
+        self
+    }
+
+    /// Disables the exact stage entirely (the ladder starts at local
+    /// search).
+    #[must_use]
+    pub fn without_exact(mut self) -> Self {
+        self.exact_enabled = false;
+        self
+    }
+
+    /// Number of random restarts for the local-search stage.
+    #[must_use]
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts;
+        self
+    }
+
+    /// Seed for all randomized stages (determinism).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Fault injection for tests: makes the given rung's stage panic on
+    /// entry so the containment and degradation path can be exercised.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_injected_panic(mut self, rung: Rung) -> Self {
+        self.injected_panic = Some(rung);
+        self
+    }
+
+    /// Runs the ladder until a rung answers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SolveFailed`] only if **every** rung — including
+    /// the as-reported floor — panics; any single surviving rung yields
+    /// `Ok`.
+    pub fn solve(&self, problem: &AllocationProblem) -> Result<SolveOutcome> {
+        // Cheap root bound, valid for whatever rung ends up answering.
+        // Falls back to the trivial bound 0 if the computation panics.
+        let root_bound = run_contained(|| Ok(root_bound(problem)))
+            .ok()
+            .flatten()
+            .unwrap_or(0.0);
+
+        let mut stages: Vec<StageReport> = Vec::with_capacity(4);
+        // Best feasible solution so far and the rung that produced it.
+        let mut best: Option<(Solution, Rung)> = None;
+
+        // Rung 1: exact branch-and-bound.
+        let mut proven = false;
+        if self.exact_enabled {
+            let started = Instant::now();
+            let solver = BranchAndBound::new()
+                .with_time_limit(self.exact_time_limit)
+                .with_node_limit(self.exact_node_limit)
+                .with_seed(self.seed);
+            let run = self.stage(Rung::Exact, || solver.solve(problem));
+            let elapsed = started.elapsed();
+            match run {
+                Ok(Some(report)) => {
+                    proven = report.proven_optimal;
+                    stages.push(StageReport {
+                        rung: Rung::Exact,
+                        status: if proven {
+                            StageStatus::Solved
+                        } else {
+                            StageStatus::BudgetExhausted
+                        },
+                        elapsed,
+                        objective: Some(report.solution.objective),
+                        nodes: report.nodes,
+                    });
+                    best = Some((report.solution, Rung::Exact));
+                }
+                Ok(None) | Err(_) => stages.push(StageReport {
+                    rung: Rung::Exact,
+                    status: StageStatus::Panicked,
+                    elapsed,
+                    objective: None,
+                    nodes: 0,
+                }),
+            }
+        } else {
+            stages.push(skipped(Rung::Exact));
+        }
+
+        if proven {
+            stages.push(skipped(Rung::LocalSearch));
+            stages.push(skipped(Rung::Greedy));
+            stages.push(skipped(Rung::AsReported));
+            let (solution, rung) = best.expect("a proven exact stage produced a solution");
+            return Ok(SolveOutcome {
+                solution,
+                rung,
+                proven_optimal: true,
+                root_bound,
+                stages,
+            });
+        }
+
+        // Rung 2: local search, warm started from the exact incumbent.
+        let mut answered = false;
+        {
+            let started = Instant::now();
+            let warm = best
+                .as_ref()
+                .map_or_else(|| vec![0; problem.len()], |(s, _)| s.deferments.clone());
+            let restarts = self.restarts;
+            let seed = self.seed;
+            let run = self.stage(Rung::LocalSearch, || {
+                let search = LocalSearch::new();
+                let warm_started = search.improve(problem, warm.clone())?;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let restarted = search.solve(problem, restarts, &mut rng)?;
+                Ok(if restarted.objective < warm_started.objective {
+                    restarted
+                } else {
+                    warm_started
+                })
+            });
+            let elapsed = started.elapsed();
+            match run {
+                Ok(Some(solution)) => {
+                    stages.push(StageReport {
+                        rung: Rung::LocalSearch,
+                        status: StageStatus::Solved,
+                        elapsed,
+                        objective: Some(solution.objective),
+                        nodes: 0,
+                    });
+                    // The warm start makes this no worse than the exact
+                    // incumbent, so ties go to the rung that actually ran.
+                    best = Some(take_better(best, solution, Rung::LocalSearch));
+                    answered = true;
+                }
+                Ok(None) | Err(_) => stages.push(StageReport {
+                    rung: Rung::LocalSearch,
+                    status: StageStatus::Panicked,
+                    elapsed,
+                    objective: None,
+                    nodes: 0,
+                }),
+            }
+        }
+
+        // Rung 3: greedy. Only runs if local search did not answer.
+        if answered {
+            stages.push(skipped(Rung::Greedy));
+        } else {
+            let started = Instant::now();
+            let run = self.stage(Rung::Greedy, || greedy(problem));
+            let elapsed = started.elapsed();
+            match run {
+                Ok(Some(solution)) => {
+                    stages.push(StageReport {
+                        rung: Rung::Greedy,
+                        status: StageStatus::Solved,
+                        elapsed,
+                        objective: Some(solution.objective),
+                        nodes: 0,
+                    });
+                    best = Some(take_better(best, solution, Rung::Greedy));
+                    answered = true;
+                }
+                Ok(None) | Err(_) => stages.push(StageReport {
+                    rung: Rung::Greedy,
+                    status: StageStatus::Panicked,
+                    elapsed,
+                    objective: None,
+                    nodes: 0,
+                }),
+            }
+        }
+
+        // Rung 4: the as-reported floor.
+        if answered {
+            stages.push(skipped(Rung::AsReported));
+        } else {
+            let started = Instant::now();
+            let run = self.stage(Rung::AsReported, || {
+                Solution::from_deferments(problem, vec![0; problem.len()])
+            });
+            let elapsed = started.elapsed();
+            match run {
+                Ok(Some(solution)) => {
+                    stages.push(StageReport {
+                        rung: Rung::AsReported,
+                        status: StageStatus::Solved,
+                        elapsed,
+                        objective: Some(solution.objective),
+                        nodes: 0,
+                    });
+                    best = Some(take_better(best, solution, Rung::AsReported));
+                }
+                Ok(None) | Err(_) => stages.push(StageReport {
+                    rung: Rung::AsReported,
+                    status: StageStatus::Panicked,
+                    elapsed,
+                    objective: None,
+                    nodes: 0,
+                }),
+            }
+        }
+
+        match best {
+            Some((solution, rung)) => Ok(SolveOutcome {
+                solution,
+                rung,
+                proven_optimal: false,
+                root_bound,
+                stages,
+            }),
+            None => Err(Error::SolveFailed {
+                stage: "as reported",
+            }),
+        }
+    }
+
+    /// Runs one stage body with panic containment (and test-only panic
+    /// injection). `Ok(None)` means the stage panicked.
+    fn stage<T>(&self, rung: Rung, body: impl FnOnce() -> Result<T>) -> Result<Option<T>> {
+        let inject = self.injected_panic == Some(rung);
+        run_contained(move || {
+            assert!(!inject, "injected panic in the {rung} stage");
+            body()
+        })
+    }
+}
+
+impl Default for AnytimePipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Runs a closure, converting a panic into `Ok(None)`.
+fn run_contained<T>(body: impl FnOnce() -> Result<T>) -> Result<Option<T>> {
+    match panic::catch_unwind(AssertUnwindSafe(body)) {
+        Ok(Ok(value)) => Ok(Some(value)),
+        Ok(Err(e)) => Err(e),
+        Err(_) => Ok(None),
+    }
+}
+
+fn skipped(rung: Rung) -> StageReport {
+    StageReport {
+        rung,
+        status: StageStatus::Skipped,
+        elapsed: Duration::ZERO,
+        objective: None,
+        nodes: 0,
+    }
+}
+
+/// Keeps the strictly better solution; ties go to the newly produced
+/// one, so the reported rung is the one that actually ran last.
+fn take_better(
+    best: Option<(Solution, Rung)>,
+    candidate: Solution,
+    rung: Rung,
+) -> (Solution, Rung) {
+    match best {
+        Some((incumbent, incumbent_rung)) if incumbent.objective < candidate.objective - 1e-12 => {
+            (incumbent, incumbent_rung)
+        }
+        _ => (candidate, rung),
+    }
+}
+
+/// The σ-scaled root relaxation bound: optimally pack every household's
+/// whole slot-hours over the union of all windows.
+fn root_bound(problem: &AllocationProblem) -> f64 {
+    let mut mask = 0u32;
+    let mut units = 0u32;
+    for p in problem.preferences() {
+        mask |= hours_mask(p.begin(), p.end());
+        units += u32::from(p.duration());
+    }
+    problem.sigma()
+        * discrete_fill_sum_of_squares(&[0.0; HOURS_PER_DAY], mask, units, problem.rate())
+}
+
+/// One-pass greedy: most-constrained household first, each placed at
+/// its cheapest deferment against the load built so far. No search, no
+/// randomness, and errors instead of panics throughout.
+fn greedy(problem: &AllocationProblem) -> Result<Solution> {
+    let n = problem.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| {
+        let p = &problem.preferences()[i];
+        (
+            problem.choices(i),
+            std::cmp::Reverse(p.duration()),
+            p.begin(),
+        )
+    });
+    let rate = problem.rate();
+    let mut loads = [0.0f64; HOURS_PER_DAY];
+    let mut deferments = vec![0u8; n];
+    for &i in &order {
+        let p = &problem.preferences()[i];
+        let mut best_d = 0u8;
+        let mut best_delta = f64::INFINITY;
+        for d in 0..=p.slack() {
+            let w = p.window_at_deferment(d)?;
+            let delta: f64 = w
+                .slots()
+                .map(|h| {
+                    let l = loads[h as usize];
+                    (l + rate) * (l + rate) - l * l
+                })
+                .sum();
+            if delta < best_delta - 1e-12 {
+                best_delta = delta;
+                best_d = d;
+            }
+        }
+        deferments[i] = best_d;
+        for h in p.window_at_deferment(best_d)?.slots() {
+            loads[h as usize] += rate;
+        }
+    }
+    Solution::from_deferments(problem, deferments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force;
+    use enki_core::household::Preference;
+
+    fn pref(b: u8, e: u8, v: u8) -> Preference {
+        Preference::new(b, e, v).unwrap()
+    }
+
+    fn problem(prefs: Vec<Preference>) -> AllocationProblem {
+        AllocationProblem::new(prefs, 2.0, 0.3).unwrap()
+    }
+
+    #[test]
+    fn easy_instance_is_proven_on_the_exact_rung() {
+        let p = problem(vec![pref(18, 22, 2), pref(18, 22, 2), pref(18, 21, 1)]);
+        let o = AnytimePipeline::new().solve(&p).unwrap();
+        assert_eq!(o.rung, Rung::Exact);
+        assert!(o.proven_optimal);
+        assert!(!o.degraded());
+        assert_eq!(o.certified_gap(), 0.0);
+        let brute = brute_force(&p).unwrap();
+        assert!((o.solution.objective - brute.objective).abs() < 1e-9);
+        // The full ladder is traced, lower rungs marked skipped.
+        assert_eq!(o.stages.len(), 4);
+        assert_eq!(o.stage(Rung::Greedy).unwrap().status, StageStatus::Skipped);
+    }
+
+    #[test]
+    fn zero_deadline_degrades_to_a_lower_rung() {
+        // Forcing a deadline of ~0 on the exact stage must yield an
+        // outcome from a lower rung with the degradation recorded —
+        // never a panic or an unsolved day.
+        let p = problem(vec![pref(0, 24, 2); 12]);
+        let o = AnytimePipeline::new()
+            .with_exact_time_limit(Duration::ZERO)
+            .solve(&p)
+            .unwrap();
+        assert!(o.rung > Rung::Exact, "rung = {:?}", o.rung);
+        assert!(o.degraded());
+        assert!(!o.proven_optimal);
+        assert_eq!(
+            o.stage(Rung::Exact).unwrap().status,
+            StageStatus::BudgetExhausted
+        );
+        assert_eq!(o.solution.deferments.len(), 12);
+        let gap = o.certified_gap();
+        assert!((0.0..=1.0).contains(&gap));
+    }
+
+    #[test]
+    fn node_limit_returns_incumbent_with_correct_certified_gap() {
+        // Regression (satellite): a stage hitting its node limit still
+        // returns the incumbent, and the certified gap brackets the
+        // true optimum.
+        let p = problem(vec![pref(0, 24, 2); 10]);
+        let o = AnytimePipeline::new()
+            .with_exact_node_limit(1)
+            .solve(&p)
+            .unwrap();
+        assert!(o.degraded());
+        assert_eq!(
+            o.stage(Rung::Exact).unwrap().status,
+            StageStatus::BudgetExhausted
+        );
+        // The incumbent is feasible and its gap is certified by the
+        // root bound: root_bound ≤ optimum ≤ objective.
+        assert_eq!(o.solution.deferments.len(), 10);
+        assert!(o.root_bound > 0.0);
+        assert!(o.root_bound <= o.solution.objective + 1e-9);
+        let gap = o.certified_gap();
+        assert!((0.0..=1.0).contains(&gap), "gap = {gap}");
+        assert!(
+            o.solution.objective * (1.0 - gap) <= o.root_bound + 1e-9,
+            "gap must be consistent with the bound"
+        );
+    }
+
+    #[test]
+    fn exact_stage_panic_is_contained() {
+        let p = problem(vec![pref(16, 24, 3), pref(18, 22, 2)]);
+        let o = AnytimePipeline::new()
+            .with_injected_panic(Rung::Exact)
+            .solve(&p)
+            .unwrap();
+        assert_eq!(o.stage(Rung::Exact).unwrap().status, StageStatus::Panicked);
+        assert_eq!(o.rung, Rung::LocalSearch);
+        assert!(o.degraded());
+    }
+
+    #[test]
+    fn cascading_panics_fall_all_the_way_to_the_floor() {
+        let p = problem(vec![pref(16, 24, 3), pref(18, 22, 2)]);
+        // Panic in local search: greedy answers.
+        let o = AnytimePipeline::new()
+            .without_exact()
+            .with_injected_panic(Rung::LocalSearch)
+            .solve(&p)
+            .unwrap();
+        assert_eq!(o.rung, Rung::Greedy);
+        assert_eq!(
+            o.stage(Rung::LocalSearch).unwrap().status,
+            StageStatus::Panicked
+        );
+        assert_eq!(o.stage(Rung::Exact).unwrap().status, StageStatus::Skipped);
+    }
+
+    #[test]
+    fn greedy_matches_optimum_on_simple_instances() {
+        let p = problem(vec![pref(12, 18, 2); 3]);
+        let s = greedy(&p).unwrap();
+        // Disjoint packing: 6 hours at 2 kWh ⇒ κ = 0.3·24.
+        assert!((s.objective - 0.3 * 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_is_deterministic_and_feasible_on_hard_instances() {
+        let p = problem(vec![
+            pref(0, 24, 3),
+            pref(2, 20, 4),
+            pref(5, 23, 2),
+            pref(0, 12, 6),
+            pref(12, 24, 6),
+        ]);
+        let a = greedy(&p).unwrap();
+        let b = greedy(&p).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.deferments.len(), 5);
+    }
+
+    #[test]
+    fn outcome_is_deterministic_given_seed() {
+        let p = problem(vec![pref(10, 20, 2); 6]);
+        let a = AnytimePipeline::new().with_seed(42).solve(&p).unwrap();
+        let b = AnytimePipeline::new().with_seed(42).solve(&p).unwrap();
+        assert_eq!(a.solution, b.solution);
+        assert_eq!(a.rung, b.rung);
+    }
+
+    #[test]
+    fn ladder_answer_never_worsens_with_more_budget() {
+        let p = problem(vec![pref(14, 24, 3), pref(12, 22, 2), pref(10, 20, 4)]);
+        let starved = AnytimePipeline::new()
+            .with_exact_node_limit(1)
+            .solve(&p)
+            .unwrap();
+        let full = AnytimePipeline::new().solve(&p).unwrap();
+        assert!(full.solution.objective <= starved.solution.objective + 1e-9);
+    }
+
+    #[test]
+    fn stage_trace_accounts_every_rung_exactly_once() {
+        let p = problem(vec![pref(18, 22, 2)]);
+        let o = AnytimePipeline::new().solve(&p).unwrap();
+        let rungs: Vec<Rung> = o.stages.iter().map(|s| s.rung).collect();
+        assert_eq!(
+            rungs,
+            vec![Rung::Exact, Rung::LocalSearch, Rung::Greedy, Rung::AsReported]
+        );
+    }
+}

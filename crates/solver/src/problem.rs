@@ -115,6 +115,8 @@ impl AllocationProblem {
     /// The pricing rule the objective uses.
     #[must_use]
     pub fn pricing(&self) -> QuadraticPricing {
+        // Internal invariant, not input-reachable: sigma was checked
+        // finite and positive in new(), the only constructor.
         QuadraticPricing::new(self.sigma).expect("validated at construction")
     }
 
