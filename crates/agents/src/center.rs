@@ -41,6 +41,7 @@ use enki_core::household::{HouseholdId, Preference, Report};
 use enki_core::mechanism::{AllocationOutcome, Enki, Settlement};
 use enki_core::time::Interval;
 use enki_core::validation::{RawPreference, RawReport};
+use enki_telemetry::Recorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -155,6 +156,9 @@ pub struct CenterAgent {
     profiles: BTreeMap<HouseholdId, Preference>,
     durable: CenterCheckpoint,
     down: bool,
+    /// Optional telemetry: admission counters, phase timings, day
+    /// outcomes. `None` records nothing and costs nothing.
+    recorder: Option<Recorder>,
 }
 
 impl CenterAgent {
@@ -185,6 +189,7 @@ impl CenterAgent {
             profiles: BTreeMap::new(),
             durable,
             down: false,
+            recorder: None,
         }
     }
 
@@ -214,7 +219,15 @@ impl CenterAgent {
             profiles: checkpoint.profiles.clone(),
             durable: checkpoint,
             down: false,
+            recorder: None,
         }
+    }
+
+    /// Attaches a telemetry recorder. The center emits admission
+    /// counters (`center.admission.*`), day-outcome counters
+    /// (`center.day.*`), and allocate/settle latency histograms.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
     }
 
     /// The mechanism this center runs (e.g. so an oracle can verify
@@ -355,6 +368,9 @@ impl CenterAgent {
                 clamped: Vec::new(),
             });
             self.commit();
+            if let Some(r) = self.recorder.as_ref() {
+                r.incr("center.day.started", 1);
+            }
             for &h in &self.roster {
                 outbox.push(Envelope {
                     from: NodeId::Center,
@@ -399,6 +415,7 @@ impl CenterAgent {
         // through admission control exactly once, here; the decisions are
         // fixed for the day and the raw floats never outlive this tick.
         if current.allocation.is_none() && now >= current.report_deadline {
+            let allocate_started = self.recorder.as_ref().map(enki_telemetry::Recorder::now);
             let day = current.day;
             let raw: Vec<RawReport> = current
                 .reports
@@ -418,6 +435,15 @@ impl CenterAgent {
             let reports = admission.admitted_with_fallback(|h| profiles.get(&h).copied());
             current.quarantined = admission.quarantined().map(|e| e.household).collect();
             current.clamped = admission.clamped().map(|e| e.household).collect();
+            if let Some(r) = self.recorder.as_ref() {
+                let quarantined = current.quarantined.len() as u64;
+                let clamped = current.clamped.len() as u64;
+                let accepted = (raw.len() as u64).saturating_sub(quarantined + clamped);
+                r.incr("center.admission.accepted", accepted);
+                r.incr("center.admission.clamped", clamped);
+                r.incr("center.admission.quarantined", quarantined);
+                r.gauge("center.day.participants", reports.len() as f64);
+            }
             if reports.is_empty() {
                 // Nobody reported, or nothing survived admission with a
                 // usable fallback: close the day with an empty record.
@@ -433,6 +459,9 @@ impl CenterAgent {
                 self.records.push(record);
                 self.current = None;
                 self.commit();
+                if let Some(r) = self.recorder.as_ref() {
+                    r.incr("center.day.empty", 1);
+                }
                 return;
             }
             match self.enki.allocate(&reports, &mut self.rng) {
@@ -440,6 +469,15 @@ impl CenterAgent {
                     let assignments = outcome.assignments.clone();
                     current.allocation = Some((reports, outcome));
                     self.commit();
+                    if let Some(r) = self.recorder.as_ref() {
+                        r.incr("center.day.allocated", 1);
+                        if let Some(started) = allocate_started {
+                            r.observe_duration(
+                                "center.allocate_ns",
+                                r.now().saturating_sub(started),
+                            );
+                        }
+                    }
                     for assignment in &assignments {
                         outbox.push(Envelope {
                             from: NodeId::Center,
@@ -467,6 +505,9 @@ impl CenterAgent {
                     self.records.push(record);
                     self.current = None;
                     self.commit();
+                    if let Some(r) = self.recorder.as_ref() {
+                        r.incr("center.day.allocation_failed", 1);
+                    }
                 }
             }
             return;
@@ -474,6 +515,7 @@ impl CenterAgent {
 
         // Settle once the meter deadline passes.
         if now >= current.meter_deadline {
+            let settle_started = self.recorder.as_ref().map(enki_telemetry::Recorder::now);
             if let Some((reports, outcome)) = current.allocation.take() {
                 let mut missing_readings = Vec::new();
                 let consumption: Vec<Interval> = reports
@@ -516,7 +558,22 @@ impl CenterAgent {
                 // billing: a crash after this point can never re-settle
                 // the day or bill anyone twice.
                 self.commit();
+                if let Some(r) = self.recorder.as_ref() {
+                    r.incr("center.day.settled", 1);
+                    r.incr(
+                        "center.readings.missing",
+                        self.records
+                            .last()
+                            .map_or(0, |rec| rec.missing_readings.len() as u64),
+                    );
+                    if let Some(started) = settle_started {
+                        r.observe_duration("center.settle_ns", r.now().saturating_sub(started));
+                    }
+                }
                 if let Some(settlement) = settlement {
+                    if let Some(r) = self.recorder.as_ref() {
+                        r.incr("center.bills.sent", settlement.entries.len() as u64);
+                    }
                     for entry in &settlement.entries {
                         outbox.push(Envelope {
                             from: NodeId::Center,
@@ -531,6 +588,9 @@ impl CenterAgent {
             } else {
                 self.current = None;
                 self.commit();
+                if let Some(r) = self.recorder.as_ref() {
+                    r.incr("center.day.unsettled", 1);
+                }
             }
         }
     }

@@ -77,9 +77,12 @@ pub mod prelude {
     pub use crate::network::{
         FaultPlan, NetworkConfig, NetworkStats, Outage, Partition, SimNetwork,
     };
-    pub use crate::oracle::{check as check_invariants, Violation};
+    pub use crate::oracle::{
+        check as check_invariants, check_traced as check_invariants_traced, Violation,
+    };
     pub use crate::runtime::{CrashSchedule, Runtime, TraceEvent, TraceKind};
     pub use crate::threaded::{
-        run_threaded_days, ThreadedDay, ThreadedFault, ThreadedHousehold,
+        run_threaded_days, run_threaded_days_traced, ThreadedDay, ThreadedFault,
+        ThreadedHousehold,
     };
 }

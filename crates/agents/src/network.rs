@@ -165,6 +165,15 @@ pub struct NetworkStats {
     pub partitioned: u64,
     /// Messages discarded by a neighborhood-wide outage.
     pub outage_dropped: u64,
+    /// Partitions in the fault plan (set when the plan is installed).
+    pub partitions_scheduled: u64,
+    /// Partitions that actually severed at least one message. A
+    /// scheduled partition whose window saw no traffic never applies.
+    pub partitions_applied: u64,
+    /// Outages in the fault plan.
+    pub outages_scheduled: u64,
+    /// Outages that actually discarded at least one message.
+    pub outages_applied: u64,
 }
 
 impl NetworkStats {
@@ -172,6 +181,26 @@ impl NetworkStats {
     #[must_use]
     pub fn total_lost(&self) -> u64 {
         self.dropped + self.partitioned + self.outage_dropped
+    }
+
+    /// Message conservation: every accepted message (plus injected
+    /// duplicates) is either delivered, still in flight, or accounted to
+    /// exactly one loss cause. `in_flight` is the network's current
+    /// queue depth ([`SimNetwork::in_flight`]).
+    #[must_use]
+    pub fn conserves(&self, in_flight: u64) -> bool {
+        self.sent + self.duplicated == self.delivered + in_flight + self.total_lost()
+    }
+
+    /// Whether the applied-fault counts are consistent with the plan:
+    /// applied never exceeds scheduled, and each loss counter is
+    /// positive only if some fault of that kind applied.
+    #[must_use]
+    pub fn faults_consistent(&self) -> bool {
+        self.partitions_applied <= self.partitions_scheduled
+            && self.outages_applied <= self.outages_scheduled
+            && (self.partitioned == 0) == (self.partitions_applied == 0)
+            && (self.outage_dropped == 0) == (self.outages_applied == 0)
     }
 }
 
@@ -184,6 +213,10 @@ pub struct SimNetwork {
     queue: BinaryHeap<Reverse<(Tick, u64, QueuedEnvelope)>>,
     seq: u64,
     stats: NetworkStats,
+    /// Which scheduled partitions have severed at least one message.
+    partition_hits: Vec<bool>,
+    /// Which scheduled outages have discarded at least one message.
+    outage_hits: Vec<bool>,
 }
 
 /// Envelope wrapper ordered by its queue key only.
@@ -223,6 +256,8 @@ impl SimNetwork {
             queue: BinaryHeap::new(),
             seq: 0,
             stats: NetworkStats::default(),
+            partition_hits: Vec::new(),
+            outage_hits: Vec::new(),
         }
     }
 
@@ -234,6 +269,10 @@ impl SimNetwork {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         assert!(faults.is_valid(), "fault probabilities must be in [0, 1]");
+        self.stats.partitions_scheduled = faults.partitions.len() as u64;
+        self.stats.outages_scheduled = faults.outages.len() as u64;
+        self.partition_hits = vec![false; faults.partitions.len()];
+        self.outage_hits = vec![false; faults.outages.len()];
         self.faults = faults;
         self
     }
@@ -249,12 +288,25 @@ impl SimNetwork {
     /// an outage.
     pub fn send(&mut self, now: Tick, envelope: Envelope) {
         self.stats.sent += 1;
-        if self.faults.outages.iter().any(|o| o.active(now)) {
+        if let Some(i) = self.faults.outages.iter().position(|o| o.active(now)) {
             self.stats.outage_dropped += 1;
+            if !self.outage_hits[i] {
+                self.outage_hits[i] = true;
+                self.stats.outages_applied += 1;
+            }
             return;
         }
-        if self.faults.partitions.iter().any(|p| p.severs(now, &envelope)) {
+        if let Some(i) = self
+            .faults
+            .partitions
+            .iter()
+            .position(|p| p.severs(now, &envelope))
+        {
             self.stats.partitioned += 1;
+            if !self.partition_hits[i] {
+                self.partition_hits[i] = true;
+                self.stats.partitions_applied += 1;
+            }
             return;
         }
         if self.config.drop_probability > 0.0
@@ -314,6 +366,12 @@ impl SimNetwork {
     #[must_use]
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty()
+    }
+
+    /// Number of messages accepted but not yet delivered.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.queue.len() as u64
     }
 
     /// Delivery counters.
@@ -510,6 +568,74 @@ mod tests {
         assert_eq!(net.due(30).len(), 2);
         assert_eq!(net.stats().outage_dropped, 5);
         assert_eq!(net.stats().total_lost(), 5);
+    }
+
+    #[test]
+    fn scheduled_faults_count_applied_separately() {
+        let plan = FaultPlan {
+            partitions: vec![
+                // Hit by traffic below.
+                Partition {
+                    household: HouseholdId::new(1),
+                    from: 10,
+                    heals_at: 20,
+                },
+                // Window sees no traffic: scheduled but never applied.
+                Partition {
+                    household: HouseholdId::new(2),
+                    from: 500,
+                    heals_at: 510,
+                },
+            ],
+            outages: vec![Outage {
+                from: 1000,
+                heals_at: 1001,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut net = SimNetwork::new(NetworkConfig::default(), 31).with_faults(plan);
+        net.send(12, envelope_from(1));
+        net.send(12, envelope_from(1));
+        net.send(12, envelope_from(2)); // other household: unaffected
+        let stats = net.stats();
+        assert_eq!(stats.partitions_scheduled, 2);
+        assert_eq!(stats.partitions_applied, 1, "only the hit partition applies");
+        assert_eq!(stats.outages_scheduled, 1);
+        assert_eq!(stats.outages_applied, 0);
+        assert_eq!(stats.partitioned, 2, "repeat hits count messages, not partitions");
+        assert!(stats.faults_consistent());
+    }
+
+    #[test]
+    fn stats_conserve_messages_at_every_point() {
+        let plan = FaultPlan {
+            duplicate_probability: 0.4,
+            partitions: vec![Partition {
+                household: HouseholdId::new(1),
+                from: 0,
+                heals_at: 5,
+            }],
+            outages: vec![Outage { from: 8, heals_at: 9 }],
+            ..FaultPlan::default()
+        };
+        let mut net = SimNetwork::new(NetworkConfig::lossy(0.2), 37).with_faults(plan);
+        for t in 0..10 {
+            for h in 0..4 {
+                net.send(t, envelope_from(h));
+                assert!(
+                    net.stats().conserves(net.in_flight()),
+                    "conservation must hold mid-stream: {:?}",
+                    net.stats()
+                );
+            }
+            let _ = net.due(t);
+        }
+        let _ = net.due(100);
+        let stats = net.stats();
+        assert!(net.is_idle());
+        assert!(stats.conserves(0), "drained network: {stats:?}");
+        assert!(stats.faults_consistent());
+        assert!(stats.partitioned > 0 && stats.outage_dropped > 0);
     }
 
     #[test]

@@ -40,6 +40,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use enki_core::config::EnkiConfig;
 use enki_core::household::HouseholdId;
+use enki_telemetry::Recorder;
 
 use crate::center::DayRecord;
 use crate::message::{Message, NodeId};
@@ -109,6 +110,23 @@ pub enum Violation {
     },
 }
 
+impl Violation {
+    /// Stable metric-name suffix for this violation kind, used for the
+    /// `oracle.violation.{key}` telemetry counters.
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            Self::BudgetDeficit { .. } => "budget_deficit",
+            Self::DuplicateBill { .. } => "duplicate_bill",
+            Self::UngroundedAllocation { .. } => "ungrounded_allocation",
+            Self::DisorderedRecords { .. } => "disordered_records",
+            Self::CorruptRecord { .. } => "corrupt_record",
+            Self::InvalidSettlement { .. } => "invalid_settlement",
+            Self::UnadmittedBill { .. } => "unadmitted_bill",
+        }
+    }
+}
+
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -150,6 +168,15 @@ impl std::fmt::Display for Violation {
 /// only the record-level invariants (1 and 4) are observable.
 #[must_use]
 pub fn check(runtime: &Runtime) -> Vec<Violation> {
+    check_traced(runtime, None)
+}
+
+/// Like [`check`], but records an `oracle.check` span plus an
+/// `oracle.checks` counter and one `oracle.violation.{kind}` counter per
+/// violation found into the given telemetry recorder.
+#[must_use]
+pub fn check_traced(runtime: &Runtime, recorder: Option<&Recorder>) -> Vec<Violation> {
+    let mut span = recorder.map(|r| r.span("oracle.check"));
     let mut violations = Vec::new();
     check_records(
         runtime.records(),
@@ -158,6 +185,17 @@ pub fn check(runtime: &Runtime) -> Vec<Violation> {
         &mut violations,
     );
     check_trace(runtime.trace(), runtime.records(), &mut violations);
+    if let Some(r) = recorder {
+        r.incr("oracle.checks", 1);
+        for violation in &violations {
+            r.incr(&format!("oracle.violation.{}", violation.key()), 1);
+        }
+    }
+    if let Some(span) = span.as_mut() {
+        span.record("records", runtime.records().len());
+        span.record("trace_events", runtime.trace().len());
+        span.record("violations", violations.len());
+    }
     violations
 }
 

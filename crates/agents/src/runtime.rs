@@ -10,8 +10,20 @@
 //! With [`Runtime::with_trace`], every originated and delivered envelope
 //! is logged as a [`TraceEvent`] — the input the
 //! [`oracle`](crate::oracle) checks protocol invariants against.
+//!
+//! With [`Runtime::with_telemetry`], the run emits structured telemetry:
+//! one `day` span per protocol day, `runtime.*` counters, and (after
+//! [`Runtime::run_days`]) `net.*` gauges exporting the network's
+//! delivery and fault-injection statistics. Pair it with
+//! [`Runtime::with_virtual_clock`] to advance a shared
+//! [`VirtualClock`] by a fixed step each tick, making the exported
+//! span tree byte-reproducible for a given seed.
+
+use std::sync::Arc;
+use std::time::Duration;
 
 use enki_core::household::HouseholdId;
+use enki_telemetry::{Recorder, Telemetry, VirtualClock};
 use serde::{Deserialize, Serialize};
 
 use crate::center::{CenterAgent, DayRecord};
@@ -61,6 +73,9 @@ pub struct Runtime {
     now: Tick,
     crashes: Vec<CrashSchedule>,
     trace: Option<Vec<TraceEvent>>,
+    telemetry: Option<Telemetry>,
+    recorder: Option<Recorder>,
+    tick_clock: Option<(Arc<VirtualClock>, Duration)>,
 }
 
 impl Runtime {
@@ -78,6 +93,9 @@ impl Runtime {
             now: 0,
             crashes: Vec::new(),
             trace: None,
+            telemetry: None,
+            recorder: None,
+            tick_clock: None,
         }
     }
 
@@ -105,6 +123,28 @@ impl Runtime {
         self
     }
 
+    /// Attaches a telemetry sink. The runtime emits one `day` span per
+    /// protocol day plus `runtime.*` counters, and the center agent
+    /// records its admission, allocation, and settlement metrics into
+    /// the same sink.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.recorder = Some(telemetry.recorder());
+        self.center.set_recorder(telemetry.recorder());
+        self.telemetry = Some(telemetry.clone());
+        self
+    }
+
+    /// Drives a shared [`VirtualClock`] forward by `per_tick` after every
+    /// simulation step. With the same clock injected into the telemetry
+    /// sink, all span timestamps become a pure function of the tick
+    /// count, so two runs with the same seed export identical traces.
+    #[must_use]
+    pub fn with_virtual_clock(mut self, clock: Arc<VirtualClock>, per_tick: Duration) -> Self {
+        self.tick_clock = Some((clock, per_tick));
+        self
+    }
+
     /// Current simulation time.
     #[must_use]
     pub fn now(&self) -> Tick {
@@ -127,6 +167,13 @@ impl Runtime {
     #[must_use]
     pub fn network_stats(&self) -> NetworkStats {
         self.network.stats()
+    }
+
+    /// Messages currently queued in the network, for conservation
+    /// checks against [`NetworkStats::conserves`].
+    #[must_use]
+    pub fn network_in_flight(&self) -> u64 {
+        self.network.in_flight()
     }
 
     /// The logged protocol events, if tracing is enabled.
@@ -160,9 +207,53 @@ impl Runtime {
         }
     }
 
-    /// Runs whole protocol days of the given length.
+    /// Runs whole protocol days of the given length. With telemetry
+    /// attached, each day runs inside a `day` span and the network's
+    /// cumulative statistics are exported as `net.*` gauges afterwards.
     pub fn run_days(&mut self, days: u64, day_length: Tick) {
-        self.run_ticks(days * day_length);
+        // A local recorder scopes the day spans without borrowing `self`
+        // across the tick loop; it flushes into the shared sink on drop.
+        let recorder = self.telemetry.as_ref().map(Telemetry::recorder);
+        for _ in 0..days {
+            let day = self.now / day_length.max(1);
+            let span = recorder.as_ref().map(|r| {
+                let mut s = r.span("day");
+                s.record("day", day);
+                s
+            });
+            self.run_ticks(day_length);
+            drop(span);
+        }
+        drop(recorder);
+        self.publish_network_stats();
+    }
+
+    /// Exports the network's cumulative delivery and fault-injection
+    /// counters as `net.*` gauges. Called automatically at the end of
+    /// [`run_days`](Self::run_days); call it directly after a bare
+    /// [`run_ticks`](Self::run_ticks) loop if needed.
+    pub fn publish_network_stats(&self) {
+        let Some(r) = self.recorder.as_ref() else {
+            return;
+        };
+        let stats = self.network.stats();
+        let pairs: [(&str, u64); 11] = [
+            ("net.sent", stats.sent),
+            ("net.delivered", stats.delivered),
+            ("net.dropped", stats.dropped),
+            ("net.duplicated", stats.duplicated),
+            ("net.partitioned", stats.partitioned),
+            ("net.outage_dropped", stats.outage_dropped),
+            ("net.partitions_scheduled", stats.partitions_scheduled),
+            ("net.partitions_applied", stats.partitions_applied),
+            ("net.outages_scheduled", stats.outages_scheduled),
+            ("net.outages_applied", stats.outages_applied),
+            ("net.in_flight", self.network.in_flight()),
+        ];
+        for (name, value) in pairs {
+            #[allow(clippy::cast_precision_loss)]
+            r.gauge(name, value as f64);
+        }
     }
 
     fn record(&mut self, at: Tick, kind: TraceKind, envelope: Envelope) {
@@ -194,6 +285,9 @@ impl Runtime {
             match envelope.to {
                 NodeId::Center => {
                     if self.center.is_down() {
+                        if let Some(r) = self.recorder.as_ref() {
+                            r.incr("runtime.lost_center_down", 1);
+                        }
                         self.record(now, TraceKind::LostCenterDown, envelope);
                         continue;
                     }
@@ -225,6 +319,12 @@ impl Runtime {
         for envelope in outbox {
             self.record(now, TraceKind::Originated, envelope);
             self.network.send(now, envelope);
+        }
+        if let Some(r) = self.recorder.as_ref() {
+            r.incr("runtime.ticks", 1);
+        }
+        if let Some((clock, per_tick)) = self.tick_clock.as_ref() {
+            clock.advance(*per_tick);
         }
         self.now += 1;
     }
@@ -479,6 +579,48 @@ mod tests {
         // Readings lost while the center was down were re-sent by the
         // household retry loop before the meter deadline.
         assert!(records[0].missing_readings.is_empty());
+    }
+
+    #[test]
+    fn telemetry_run_exports_a_deterministic_validating_trace() {
+        use enki_telemetry::{to_jsonl, validate_jsonl, FieldValue, Telemetry, VirtualClock};
+        let run = |seed: u64| -> (String, Telemetry) {
+            let clock = VirtualClock::new();
+            let telemetry =
+                Telemetry::with_virtual_clock("runtime-test", seed, Arc::clone(&clock));
+            let mut rt = build(4, NetworkConfig::lossy(0.2), seed)
+                .with_telemetry(&telemetry)
+                .with_virtual_clock(clock, Duration::from_millis(1));
+            rt.run_days(2, 100);
+            drop(rt); // flush the runtime's and the center's recorders
+            (to_jsonl(&telemetry), telemetry)
+        };
+        let (a, telemetry) = run(33);
+        let (b, _) = run(33);
+        assert_eq!(a, b, "same seed must replay byte-identically");
+        let (c, _) = run(34);
+        assert_ne!(a, c, "a different seed changes the trace");
+
+        let summary = validate_jsonl(&a).expect("trace passes schema self-validation");
+        assert!(summary.spans >= 2, "two day spans expected");
+        assert!(summary.gauges >= 11, "net.* gauges exported");
+
+        let spans = telemetry.spans();
+        let days: Vec<&enki_telemetry::SpanRecord> =
+            spans.iter().filter(|s| s.name == "day").collect();
+        assert_eq!(days.len(), 2);
+        assert_eq!(days[0].fields[0], ("day".to_string(), FieldValue::U64(0)));
+        assert_eq!(days[1].fields[0], ("day".to_string(), FieldValue::U64(1)));
+        // Each day span covers exactly 100 ticks of 1 ms virtual time.
+        for day in days {
+            assert_eq!(day.end_ns - day.start_ns, 100_000_000);
+        }
+
+        assert_eq!(telemetry.counter("runtime.ticks"), Some(200));
+        assert_eq!(telemetry.counter("center.day.started"), Some(2));
+        assert_eq!(telemetry.counter("center.day.settled"), Some(2));
+        let sent = telemetry.gauge("net.sent").expect("net.sent gauge");
+        assert!(sent > 0.0);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use enki_core::household::{HouseholdId, Report};
+use enki_telemetry::Telemetry;
 use enki_core::mechanism::{Enki, Settlement};
 use enki_core::time::Interval;
 use enki_core::validation::{RawPreference, RawReport};
@@ -104,6 +105,28 @@ pub fn run_threaded_days(
     seed: u64,
     timeout: Duration,
 ) -> enki_core::Result<Vec<ThreadedDay>> {
+    run_threaded_days_traced(enki, households, days, seed, timeout, None)
+}
+
+/// Like [`run_threaded_days`], but records telemetry: each household
+/// thread gets its own recorder and opens a `threaded.household` span
+/// (with nested `threaded.report` / `threaded.consume` spans per phase),
+/// while the center thread wraps each day in a `threaded.day` span and
+/// counts reports, readings, and bills. Per-thread buffers flush into
+/// the shared sink when the threads exit, so this is safe to call from
+/// any number of concurrent deployments.
+///
+/// # Errors
+///
+/// Same contract as [`run_threaded_days`].
+pub fn run_threaded_days_traced(
+    enki: Enki,
+    households: Vec<ThreadedHousehold>,
+    days: u64,
+    seed: u64,
+    timeout: Duration,
+    telemetry: Option<&Telemetry>,
+) -> enki_core::Result<Vec<ThreadedDay>> {
     if households.is_empty() {
         return Err(enki_core::Error::EmptyNeighborhood);
     }
@@ -126,10 +149,18 @@ pub fn run_threaded_days(
         for (spec, inbox) in households.iter().zip(household_inboxes) {
             let to_center = to_center.clone();
             let bills = &bills;
+            // Each thread owns its recorder; buffers flush to the shared
+            // sink when the recorder drops at thread exit.
+            let recorder = telemetry.map(Telemetry::recorder);
             scope.spawn(move || {
                 if spec.fault == ThreadedFault::Silent {
                     return; // the ECC process never came up
                 }
+                let thread_span = recorder.as_ref().map(|r| {
+                    let mut s = r.span("threaded.household");
+                    s.record("household", u64::from(spec.id.index()));
+                    s
+                });
                 let truth = match spec.truth_source {
                     TruthSource::Wide => spec.profile.wide(),
                     TruthSource::Narrow => spec.profile.narrow(),
@@ -137,6 +168,11 @@ pub fn run_threaded_days(
                 while let Ok(message) = inbox.recv() {
                     match message {
                         Message::DayStart { day, .. } => {
+                            let phase = recorder.as_ref().map(|r| {
+                                let mut s = r.span("threaded.report");
+                                s.record("day", day);
+                                s
+                            });
                             let _ = to_center.send((
                                 spec.id,
                                 Message::SubmitReport {
@@ -144,11 +180,17 @@ pub fn run_threaded_days(
                                     preference: spec.strategy.report(&spec.profile).into(),
                                 },
                             ));
+                            drop(phase);
                             if spec.fault == ThreadedFault::CrashAfterReport {
                                 return; // died between reporting and consuming
                             }
                         }
                         Message::Allocation { day, window } => {
+                            let phase = recorder.as_ref().map(|r| {
+                                let mut s = r.span("threaded.consume");
+                                s.record("day", day);
+                                s
+                            });
                             let realized: Interval = consume(&truth, window);
                             let _ = to_center.send((
                                 spec.id,
@@ -157,24 +199,35 @@ pub fn run_threaded_days(
                                     window: realized,
                                 },
                             ));
+                            drop(phase);
                         }
                         Message::Bill { amount, .. } => {
+                            if let Some(r) = recorder.as_ref() {
+                                r.incr("threaded.bills.received", 1);
+                            }
                             bills.lock().push((spec.id, amount));
                         }
                         _ => {}
                     }
                 }
+                drop(thread_span);
             });
         }
         drop(to_center); // the center holds no sender to itself
 
         // Center: drives the day protocol synchronously. The closure
         // exists so `?` can be used without poisoning the thread scope.
+        let center_recorder = telemetry.map(Telemetry::recorder);
         let run_center = || -> enki_core::Result<Vec<ThreadedDay>> {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut outcome = Vec::new();
             let roster: Vec<HouseholdId> = households.iter().map(|h| h.id).collect();
             for day in 0..days {
+                let mut day_span = center_recorder.as_ref().map(|r| {
+                    let mut s = r.span("threaded.day");
+                    s.record("day", day);
+                    s
+                });
                 for tx in &to_household {
                     let _ = tx.send(Message::DayStart {
                         day,
@@ -276,6 +329,17 @@ pub fn run_threaded_days(
                         day,
                         amount: entry.payment,
                     });
+                }
+                if let Some(r) = center_recorder.as_ref() {
+                    r.incr("threaded.reports.received", report_map.len() as u64);
+                    r.incr("threaded.readings.received", readings.len() as u64);
+                    r.incr("threaded.bills.sent", settlement.entries.len() as u64);
+                }
+                if let Some(s) = day_span.as_mut() {
+                    s.record("participants", reports.len());
+                    s.record("missing_reports", missing_reports.len());
+                    s.record("missing_readings", missing_readings.len());
+                    s.record("quarantined", quarantined.len());
                 }
                 outcome.push(ThreadedDay {
                     day,
@@ -413,6 +477,62 @@ mod tests {
         .unwrap();
         let st = &days[0].settlement;
         assert!(st.center_utility >= -1e-9, "budget balance survives defection");
+    }
+
+    #[test]
+    fn traced_run_nests_phase_spans_under_each_household_thread() {
+        use enki_telemetry::{to_jsonl, validate_jsonl, FieldValue, Telemetry};
+        let telemetry = Telemetry::new("threaded-test", 11);
+        let days = run_threaded_days_traced(
+            Enki::new(EnkiConfig::default()),
+            specs(4, 11),
+            2,
+            11,
+            Duration::from_secs(5),
+            Some(&telemetry),
+        )
+        .unwrap();
+        assert_eq!(days.len(), 2);
+
+        let spans = telemetry.spans();
+        let household_ids: Vec<u64> = spans
+            .iter()
+            .filter(|s| s.name == "threaded.household")
+            .map(|s| s.id)
+            .collect();
+        assert_eq!(household_ids.len(), 4, "one root span per household thread");
+
+        // Every per-phase span nests under exactly one household root,
+        // even though four recorders ran concurrently on four threads.
+        let phases: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "threaded.report" || s.name == "threaded.consume")
+            .collect();
+        assert_eq!(phases.len(), 4 * 2 * 2, "report + consume, per household, per day");
+        for phase in &phases {
+            let parent = phase.parent.expect("phase spans have a parent");
+            assert!(
+                household_ids.contains(&parent),
+                "{} span {} nests under a household root",
+                phase.name,
+                phase.id
+            );
+            assert!(phase.end_ns >= phase.start_ns);
+        }
+
+        // The center's day spans are roots with the day number recorded.
+        let day_spans: Vec<_> = spans.iter().filter(|s| s.name == "threaded.day").collect();
+        assert_eq!(day_spans.len(), 2);
+        for (i, s) in day_spans.iter().enumerate() {
+            assert_eq!(s.parent, None);
+            assert_eq!(s.fields[0], ("day".to_string(), FieldValue::U64(i as u64)));
+        }
+
+        assert_eq!(telemetry.counter("threaded.reports.received"), Some(8));
+        assert_eq!(telemetry.counter("threaded.bills.sent"), Some(8));
+        assert_eq!(telemetry.counter("threaded.bills.received"), Some(8));
+
+        validate_jsonl(&to_jsonl(&telemetry)).expect("threaded trace self-validates");
     }
 
     #[test]

@@ -324,8 +324,61 @@ fn every_fault_schedule_preserves_safety_and_liveness() {
                 "schedule #{i} ({}) seed {seed}: days did not all close",
                 schedule.name
             );
+            // Accounting: every sent message is delivered, dropped, or
+            // still queued — and the network never applies more faults
+            // than the plan scheduled, nor loses messages to a fault
+            // kind it never hit.
+            let stats = rt.network_stats();
+            assert!(
+                stats.conserves(rt.network_in_flight()),
+                "schedule #{i} ({}) seed {seed}: message conservation broken: {stats:?}",
+                schedule.name
+            );
+            assert!(
+                stats.faults_consistent(),
+                "schedule #{i} ({}) seed {seed}: scheduled/applied fault counts inconsistent: {stats:?}",
+                schedule.name
+            );
         }
     }
+}
+
+/// Telemetry replay (acceptance criterion): a chaos run exports a
+/// schema-valid JSONL trace that is *byte-identical* across two runs
+/// with the same seed under the virtual clock — the span tree, every
+/// timestamp, and every metric are a pure function of the seed.
+#[test]
+fn chaos_telemetry_trace_replays_identically_under_the_virtual_clock() {
+    use enki_telemetry::{to_jsonl, validate_jsonl, Telemetry, VirtualClock};
+
+    let kitchen_sink = || {
+        schedules()
+            .into_iter()
+            .find(|s| s.name == "kitchen sink")
+            .expect("the sweep has a kitchen-sink schedule")
+    };
+    let run = |seed: u64| -> String {
+        let schedule = kitchen_sink();
+        let clock = VirtualClock::new();
+        let telemetry = Telemetry::with_virtual_clock("chaos", seed, std::sync::Arc::clone(&clock));
+        let mut rt = build(6, schedule.network, schedule.faults, schedule.crashes, seed)
+            .with_telemetry(&telemetry)
+            .with_virtual_clock(clock, Duration::from_millis(1));
+        rt.run_days(3, DAY);
+        let violations = check_invariants_traced(&rt, Some(&telemetry.recorder()));
+        assert!(violations.is_empty(), "violations: {violations:?}");
+        drop(rt); // flush the runtime's and the center's recorders
+        to_jsonl(&telemetry)
+    };
+
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(a, b, "same seed, same fault schedule ⇒ identical trace bytes");
+    assert_ne!(a, run(43), "a different seed perturbs the trace");
+
+    let summary = validate_jsonl(&a).expect("chaos trace passes schema self-validation");
+    assert!(summary.spans >= 4, "3 day spans + oracle.check expected");
+    assert!(summary.counters >= 1);
 }
 
 /// Crash-equivalence (acceptance criterion): on a reliable network, a

@@ -8,6 +8,7 @@
 //! solver panic degrades to a lower rung instead of losing the day) — on
 //! peak-to-average ratio, neighborhood cost, and scheduling time.
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use enki_core::config::EnkiConfig;
@@ -19,6 +20,7 @@ use enki_core::Result;
 use enki_solver::pipeline::AnytimePipeline;
 use enki_solver::problem::AllocationProblem;
 use enki_stats::descriptive::Summary;
+use enki_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -81,6 +83,10 @@ pub struct SocialWelfareRow {
     /// Certified optimality gap of the Optimal column (zero on proven
     /// days; the root-relaxation bound otherwise).
     pub optimal_gap: Summary,
+    /// How many days the Optimal column ended on each degradation-ladder
+    /// rung, as `(rung key, days)` pairs sorted by rung key (see
+    /// [`Rung::key`](enki_solver::pipeline::Rung::key)).
+    pub rungs: Vec<(String, usize)>,
 }
 
 impl SocialWelfareRow {
@@ -102,10 +108,35 @@ impl SocialWelfareRow {
 /// Propagates mechanism/solver errors (none occur for well-formed
 /// configurations).
 pub fn run_social_welfare(config: &SocialWelfareConfig) -> Result<Vec<SocialWelfareRow>> {
+    run_social_welfare_with(config, None)
+}
+
+/// Like [`run_social_welfare`], but records telemetry: one
+/// `experiment.population` span per population size, the solver
+/// pipeline's own `solve.*` spans and metrics for every Optimal day
+/// (via [`AnytimePipeline::solve_traced`]), and
+/// `experiment.enki_ns` / `experiment.optimal_ns` scheduling-time
+/// histograms.
+///
+/// # Errors
+///
+/// Same contract as [`run_social_welfare`].
+pub fn run_social_welfare_with(
+    config: &SocialWelfareConfig,
+    telemetry: Option<&Telemetry>,
+) -> Result<Vec<SocialWelfareRow>> {
+    let recorder = telemetry.map(Telemetry::recorder);
     let enki = Enki::new(config.enki);
     let pricing = config.enki.pricing();
     let mut rows = Vec::with_capacity(config.populations.len());
     for (pi, &n) in config.populations.iter().enumerate() {
+        let mut pop_span = recorder.as_ref().map(|r| {
+            let mut s = r.span("experiment.population");
+            s.record("n", n);
+            s.record("days", config.days);
+            s
+        });
+        let mut rung_counts: BTreeMap<&'static str, usize> = BTreeMap::new();
         let mut enki_par = Vec::with_capacity(config.days);
         let mut optimal_par = Vec::with_capacity(config.days);
         let mut enki_cost = Vec::with_capacity(config.days);
@@ -129,9 +160,13 @@ pub fn run_social_welfare(config: &SocialWelfareConfig) -> Result<Vec<SocialWelf
             // Enki greedy.
             let started = Instant::now();
             let outcome = enki.allocate(&reports, &mut rng)?;
-            enki_time.push(started.elapsed().as_secs_f64() * 1e3);
+            let enki_elapsed = started.elapsed();
+            enki_time.push(enki_elapsed.as_secs_f64() * 1e3);
             enki_par.push(outcome.planned_load.peak_to_average());
             enki_cost.push(outcome.planned_cost);
+            if let Some(r) = recorder.as_ref() {
+                r.observe_duration("experiment.enki_ns", enki_elapsed);
+            }
 
             // Optimal (branch-and-bound stand-in for CPLEX).
             let problem = AllocationProblem::from_config(
@@ -142,8 +177,13 @@ pub fn run_social_welfare(config: &SocialWelfareConfig) -> Result<Vec<SocialWelf
                 .with_exact_time_limit(config.optimal_time_limit)
                 .with_seed(rng.random());
             let started = Instant::now();
-            let report = solver.solve(&problem)?;
-            optimal_time.push(started.elapsed().as_secs_f64() * 1e3);
+            let report = solver.solve_traced(&problem, recorder.as_ref())?;
+            let optimal_elapsed = started.elapsed();
+            optimal_time.push(optimal_elapsed.as_secs_f64() * 1e3);
+            if let Some(r) = recorder.as_ref() {
+                r.observe_duration("experiment.optimal_ns", optimal_elapsed);
+            }
+            *rung_counts.entry(report.rung.key()).or_insert(0) += 1;
             if report.proven_optimal {
                 proven += 1;
             }
@@ -163,7 +203,15 @@ pub fn run_social_welfare(config: &SocialWelfareConfig) -> Result<Vec<SocialWelf
             optimal_time_ms: Summary::from_sample(&optimal_time),
             optimal_proven: proven,
             optimal_gap: Summary::from_sample(&optimal_gap),
+            rungs: rung_counts
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
         });
+        if let Some(s) = pop_span.as_mut() {
+            s.record("optimal_proven", proven);
+        }
+        drop(pop_span);
     }
     Ok(rows)
 }
@@ -226,6 +274,37 @@ mod tests {
             assert_eq!(x.enki_cost.mean, y.enki_cost.mean);
             assert_eq!(x.optimal_cost.mean, y.optimal_cost.mean);
         }
+    }
+
+    #[test]
+    fn traced_sweep_records_population_spans_and_rung_counts() {
+        let telemetry = Telemetry::new("social-welfare-test", 1);
+        let rows = run_social_welfare_with(&small_config(), Some(&telemetry)).unwrap();
+        for row in &rows {
+            let days: usize = row.rungs.iter().map(|&(_, c)| c).sum();
+            assert_eq!(days, 3, "every day lands on exactly one rung");
+        }
+        let spans = telemetry.spans();
+        assert_eq!(
+            spans
+                .iter()
+                .filter(|s| s.name == "experiment.population")
+                .count(),
+            2
+        );
+        // The pipeline's own solve spans nest under the population spans.
+        let pop_ids: Vec<u64> = spans
+            .iter()
+            .filter(|s| s.name == "experiment.population")
+            .map(|s| s.id)
+            .collect();
+        let solves: Vec<_> = spans.iter().filter(|s| s.name == "solve").collect();
+        assert_eq!(solves.len(), 2 * 3, "one solve span per Optimal day");
+        for solve in solves {
+            assert!(pop_ids.contains(&solve.parent.unwrap()));
+        }
+        assert!(telemetry.histogram("experiment.enki_ns").is_some());
+        assert!(telemetry.histogram("experiment.optimal_ns").is_some());
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod prelude {
         run_incentive, IncentiveConfig, IncentiveOutcome, IncentivePoint,
     };
     pub use crate::experiments::social_welfare::{
-        run_social_welfare, SocialWelfareConfig, SocialWelfareRow,
+        run_social_welfare, run_social_welfare_with, SocialWelfareConfig, SocialWelfareRow,
     };
     pub use crate::neighborhood::{DayOutcome, SimHousehold, SimNeighborhood, TruthSource};
     pub use crate::profile::{ProfileConfig, UsageProfile};

@@ -18,10 +18,12 @@
 //! large instances, and the [`SolveReport`] says whether optimality was
 //! proven.
 
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 use enki_core::time::HOURS_PER_DAY;
 use enki_core::Result;
+use enki_telemetry::{Clock, MonotonicClock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -91,12 +93,16 @@ impl SolveReport {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct BranchAndBound {
     node_limit: u64,
     time_limit: Option<Duration>,
     incumbent_restarts: usize,
     seed: u64,
+    /// Time source for the deadline check. The production default is the
+    /// real monotonic clock; tests inject a virtual clock so deadline
+    /// behaviour (e.g. a zero time limit) is deterministic.
+    clock: Arc<dyn Clock>,
 }
 
 impl BranchAndBound {
@@ -108,6 +114,7 @@ impl BranchAndBound {
             time_limit: None,
             incumbent_restarts: 8,
             seed: 0x5eed_cafe,
+            clock: Arc::new(MonotonicClock::new()),
         }
     }
 
@@ -139,6 +146,15 @@ impl BranchAndBound {
         self
     }
 
+    /// Injects the time source used for the wall-clock deadline. With a
+    /// [`VirtualClock`](enki_telemetry::VirtualClock) the deadline check
+    /// becomes deterministic: time only moves when the test advances it.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
     /// Solves the instance.
     ///
     /// # Errors
@@ -146,7 +162,7 @@ impl BranchAndBound {
     /// Propagates construction errors from the incumbent local search
     /// (none occur for a well-formed [`AllocationProblem`]).
     pub fn solve(&self, problem: &AllocationProblem) -> Result<SolveReport> {
-        let start = Instant::now();
+        let start = self.clock.now();
         let n = problem.len();
 
         // Incumbent via coordinate descent with restarts.
@@ -229,7 +245,8 @@ impl BranchAndBound {
             sumsq: 0.0,
             nodes: 0,
             node_limit: self.node_limit,
-            deadline: self.time_limit.map(|t| start + t),
+            clock: self.clock.as_ref(),
+            deadline: self.time_limit.map(|t| start.saturating_add(t)),
             aborted: false,
         };
         search.dfs(0);
@@ -241,7 +258,7 @@ impl BranchAndBound {
         Ok(SolveReport {
             solution,
             nodes,
-            elapsed: start.elapsed(),
+            elapsed: self.clock.now().saturating_sub(start),
             proven_optimal,
             initial_incumbent,
             root_bound,
@@ -277,7 +294,8 @@ struct Search<'a> {
     sumsq: f64,
     nodes: u64,
     node_limit: u64,
-    deadline: Option<Instant>,
+    clock: &'a dyn Clock,
+    deadline: Option<Duration>,
     aborted: bool,
 }
 
@@ -295,7 +313,7 @@ impl Search<'_> {
         // aborts before any expansion) and every 4096 nodes thereafter.
         if self.nodes == 1 || self.nodes.is_multiple_of(4096) {
             if let Some(deadline) = self.deadline {
-                if Instant::now() >= deadline {
+                if self.clock.now() >= deadline {
                     self.aborted = true;
                     return;
                 }
@@ -502,6 +520,39 @@ mod tests {
         let gap = aborted.certified_gap();
         assert!((0.0..=1.0).contains(&gap), "gap = {gap}");
         assert!(aborted.root_bound <= aborted.solution.objective + 1e-9);
+    }
+
+    #[test]
+    fn zero_deadline_aborts_deterministically_under_a_virtual_clock() {
+        use enki_telemetry::VirtualClock;
+        // On a virtual clock, time never advances on its own, so the
+        // deadline comparison is pure arithmetic: a zero time limit hits
+        // at the root node on every machine, every run.
+        let p = problem(vec![pref(0, 24, 2); 10]);
+        let runs: Vec<SolveReport> = (0..2)
+            .map(|_| {
+                let clock = VirtualClock::new();
+                BranchAndBound::new()
+                    .with_time_limit(Duration::ZERO)
+                    .with_clock(clock)
+                    .solve(&p)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert!(!runs[0].proven_optimal);
+        assert_eq!(runs[0].nodes, 1, "aborts at the root, deterministically");
+        assert_eq!(runs[0].elapsed, Duration::ZERO);
+
+        // Conversely, a generous deadline on a frozen clock never fires:
+        // the search completes no matter how slow the host is.
+        let clock = VirtualClock::new();
+        let r = BranchAndBound::new()
+            .with_time_limit(Duration::from_nanos(1))
+            .with_clock(clock)
+            .solve(&problem(vec![pref(18, 22, 2); 3]))
+            .unwrap();
+        assert!(r.proven_optimal);
     }
 
     #[test]

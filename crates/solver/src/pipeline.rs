@@ -43,10 +43,12 @@
 
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 use enki_core::time::HOURS_PER_DAY;
 use enki_core::{Error, Result};
+use enki_telemetry::{Clock, MonotonicClock, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -67,6 +69,21 @@ pub enum Rung {
     Greedy,
     /// Everyone at their reported window (deferment 0).
     AsReported,
+}
+
+impl Rung {
+    /// Stable snake_case identifier, used for telemetry metric names
+    /// (e.g. `solve.rung.exact`) and bench records — unlike the
+    /// human-facing `Display`.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            Self::Exact => "exact",
+            Self::LocalSearch => "local_search",
+            Self::Greedy => "greedy",
+            Self::AsReported => "as_reported",
+        }
+    }
 }
 
 impl fmt::Display for Rung {
@@ -156,13 +173,17 @@ impl SolveOutcome {
 
 /// The anytime solve pipeline. See the [module docs](self) for the
 /// ladder it runs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct AnytimePipeline {
     exact_enabled: bool,
     exact_time_limit: Duration,
     exact_node_limit: u64,
     restarts: usize,
     seed: u64,
+    /// Time source for stage timing and the exact stage's deadline. The
+    /// production default is the real monotonic clock; tests inject a
+    /// virtual clock so degradation behaviour is deterministic.
+    clock: Arc<dyn Clock>,
     /// Test-only fault injection: the stage for this rung panics on
     /// entry, exercising the containment path.
     injected_panic: Option<Rung>,
@@ -180,6 +201,7 @@ impl AnytimePipeline {
             exact_node_limit: 2_000_000,
             restarts: 8,
             seed: 0x5eed_f00d,
+            clock: Arc::new(MonotonicClock::new()),
             injected_panic: None,
         }
     }
@@ -222,6 +244,17 @@ impl AnytimePipeline {
         self
     }
 
+    /// Injects the time source for stage timing and the exact stage's
+    /// deadline (threaded through to [`BranchAndBound`]). With a
+    /// [`VirtualClock`](enki_telemetry::VirtualClock), a zero-deadline
+    /// degradation is exact arithmetic instead of a race against the
+    /// host's scheduler.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
     /// Fault injection for tests: makes the given rung's stage panic on
     /// entry so the containment and degradation path can be exercised.
     #[doc(hidden)]
@@ -239,6 +272,60 @@ impl AnytimePipeline {
     /// the as-reported floor — panics; any single surviving rung yields
     /// `Ok`.
     pub fn solve(&self, problem: &AllocationProblem) -> Result<SolveOutcome> {
+        self.solve_traced(problem, None)
+    }
+
+    /// [`solve`](Self::solve) with telemetry: a `solve` span wrapping one
+    /// child span per rung that ran, each carrying nodes expanded,
+    /// objective, status, and (for the exact stage) the certified gap and
+    /// remaining deadline slack. Metrics count answers per rung, degraded
+    /// solves, nodes expanded, and per-stage latency. `None` records
+    /// nothing and behaves exactly like `solve`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`solve`](Self::solve).
+    pub fn solve_traced(
+        &self,
+        problem: &AllocationProblem,
+        recorder: Option<&Recorder>,
+    ) -> Result<SolveOutcome> {
+        let mut span = recorder.map(|r| {
+            let mut s = r.span("solve");
+            s.record("households", problem.len());
+            s
+        });
+        let result = self.run_ladder(problem, recorder);
+        if let Ok(outcome) = &result {
+            if let Some(s) = span.as_mut() {
+                s.record("rung", outcome.rung.to_string());
+                s.record("proven_optimal", outcome.proven_optimal);
+                s.record("certified_gap", outcome.certified_gap());
+                s.record("objective", outcome.solution.objective);
+            }
+            if let Some(r) = recorder {
+                r.incr(&format!("solve.rung.{}", outcome.rung.key()), 1);
+                if outcome.degraded() {
+                    r.incr("solve.degraded", 1);
+                }
+                for stage in &outcome.stages {
+                    if stage.status != StageStatus::Skipped {
+                        r.observe_duration("solve.stage_ns", stage.elapsed);
+                    }
+                    if stage.nodes > 0 {
+                        r.incr("solve.nodes_expanded", stage.nodes);
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    fn run_ladder(
+        &self,
+        problem: &AllocationProblem,
+        recorder: Option<&Recorder>,
+    ) -> Result<SolveOutcome> {
         // Cheap root bound, valid for whatever rung ends up answering.
         // Falls back to the trivial bound 0 if the computation panics.
         let root_bound = run_contained(|| Ok(root_bound(problem)))
@@ -253,16 +340,35 @@ impl AnytimePipeline {
         // Rung 1: exact branch-and-bound.
         let mut proven = false;
         if self.exact_enabled {
-            let started = Instant::now();
+            let mut span = recorder.map(|r| r.span("solve.exact"));
+            let started = self.clock.now();
             let solver = BranchAndBound::new()
                 .with_time_limit(self.exact_time_limit)
                 .with_node_limit(self.exact_node_limit)
-                .with_seed(self.seed);
+                .with_seed(self.seed)
+                .with_clock(Arc::clone(&self.clock));
             let run = self.stage(Rung::Exact, || solver.solve(problem));
-            let elapsed = started.elapsed();
+            let elapsed = self.clock.now().saturating_sub(started);
+            if let Some(s) = span.as_mut() {
+                // Slack left on the stage deadline; negative means the
+                // solver overshot before its periodic deadline check.
+                let limit = i64::try_from(self.exact_time_limit.as_nanos()).unwrap_or(i64::MAX);
+                let spent = i64::try_from(elapsed.as_nanos()).unwrap_or(i64::MAX);
+                s.record("deadline_slack_ns", limit.saturating_sub(spent));
+            }
             match run {
                 Ok(Some(report)) => {
                     proven = report.proven_optimal;
+                    if let Some(s) = span.as_mut() {
+                        s.record("status", stage_status_key(if proven {
+                            StageStatus::Solved
+                        } else {
+                            StageStatus::BudgetExhausted
+                        }));
+                        s.record("nodes", report.nodes);
+                        s.record("objective", report.solution.objective);
+                        s.record("certified_gap", report.certified_gap());
+                    }
                     stages.push(StageReport {
                         rung: Rung::Exact,
                         status: if proven {
@@ -276,13 +382,18 @@ impl AnytimePipeline {
                     });
                     best = Some((report.solution, Rung::Exact));
                 }
-                Ok(None) | Err(_) => stages.push(StageReport {
-                    rung: Rung::Exact,
-                    status: StageStatus::Panicked,
-                    elapsed,
-                    objective: None,
-                    nodes: 0,
-                }),
+                Ok(None) | Err(_) => {
+                    if let Some(s) = span.as_mut() {
+                        s.record("status", stage_status_key(StageStatus::Panicked));
+                    }
+                    stages.push(StageReport {
+                        rung: Rung::Exact,
+                        status: StageStatus::Panicked,
+                        elapsed,
+                        objective: None,
+                        nodes: 0,
+                    });
+                }
             }
         } else {
             stages.push(skipped(Rung::Exact));
@@ -305,7 +416,8 @@ impl AnytimePipeline {
         // Rung 2: local search, warm started from the exact incumbent.
         let mut answered = false;
         {
-            let started = Instant::now();
+            let mut span = recorder.map(|r| r.span("solve.local_search"));
+            let started = self.clock.now();
             let warm = best
                 .as_ref()
                 .map_or_else(|| vec![0; problem.len()], |(s, _)| s.deferments.clone());
@@ -322,9 +434,14 @@ impl AnytimePipeline {
                     warm_started
                 })
             });
-            let elapsed = started.elapsed();
+            let elapsed = self.clock.now().saturating_sub(started);
             match run {
                 Ok(Some(solution)) => {
+                    if let Some(s) = span.as_mut() {
+                        s.record("status", stage_status_key(StageStatus::Solved));
+                        s.record("objective", solution.objective);
+                        s.record("restarts", restarts);
+                    }
                     stages.push(StageReport {
                         rung: Rung::LocalSearch,
                         status: StageStatus::Solved,
@@ -337,13 +454,18 @@ impl AnytimePipeline {
                     best = Some(take_better(best, solution, Rung::LocalSearch));
                     answered = true;
                 }
-                Ok(None) | Err(_) => stages.push(StageReport {
-                    rung: Rung::LocalSearch,
-                    status: StageStatus::Panicked,
-                    elapsed,
-                    objective: None,
-                    nodes: 0,
-                }),
+                Ok(None) | Err(_) => {
+                    if let Some(s) = span.as_mut() {
+                        s.record("status", stage_status_key(StageStatus::Panicked));
+                    }
+                    stages.push(StageReport {
+                        rung: Rung::LocalSearch,
+                        status: StageStatus::Panicked,
+                        elapsed,
+                        objective: None,
+                        nodes: 0,
+                    });
+                }
             }
         }
 
@@ -351,11 +473,16 @@ impl AnytimePipeline {
         if answered {
             stages.push(skipped(Rung::Greedy));
         } else {
-            let started = Instant::now();
+            let mut span = recorder.map(|r| r.span("solve.greedy"));
+            let started = self.clock.now();
             let run = self.stage(Rung::Greedy, || greedy(problem));
-            let elapsed = started.elapsed();
+            let elapsed = self.clock.now().saturating_sub(started);
             match run {
                 Ok(Some(solution)) => {
+                    if let Some(s) = span.as_mut() {
+                        s.record("status", stage_status_key(StageStatus::Solved));
+                        s.record("objective", solution.objective);
+                    }
                     stages.push(StageReport {
                         rung: Rung::Greedy,
                         status: StageStatus::Solved,
@@ -366,13 +493,18 @@ impl AnytimePipeline {
                     best = Some(take_better(best, solution, Rung::Greedy));
                     answered = true;
                 }
-                Ok(None) | Err(_) => stages.push(StageReport {
-                    rung: Rung::Greedy,
-                    status: StageStatus::Panicked,
-                    elapsed,
-                    objective: None,
-                    nodes: 0,
-                }),
+                Ok(None) | Err(_) => {
+                    if let Some(s) = span.as_mut() {
+                        s.record("status", stage_status_key(StageStatus::Panicked));
+                    }
+                    stages.push(StageReport {
+                        rung: Rung::Greedy,
+                        status: StageStatus::Panicked,
+                        elapsed,
+                        objective: None,
+                        nodes: 0,
+                    });
+                }
             }
         }
 
@@ -380,13 +512,18 @@ impl AnytimePipeline {
         if answered {
             stages.push(skipped(Rung::AsReported));
         } else {
-            let started = Instant::now();
+            let mut span = recorder.map(|r| r.span("solve.as_reported"));
+            let started = self.clock.now();
             let run = self.stage(Rung::AsReported, || {
                 Solution::from_deferments(problem, vec![0; problem.len()])
             });
-            let elapsed = started.elapsed();
+            let elapsed = self.clock.now().saturating_sub(started);
             match run {
                 Ok(Some(solution)) => {
+                    if let Some(s) = span.as_mut() {
+                        s.record("status", stage_status_key(StageStatus::Solved));
+                        s.record("objective", solution.objective);
+                    }
                     stages.push(StageReport {
                         rung: Rung::AsReported,
                         status: StageStatus::Solved,
@@ -396,13 +533,18 @@ impl AnytimePipeline {
                     });
                     best = Some(take_better(best, solution, Rung::AsReported));
                 }
-                Ok(None) | Err(_) => stages.push(StageReport {
-                    rung: Rung::AsReported,
-                    status: StageStatus::Panicked,
-                    elapsed,
-                    objective: None,
-                    nodes: 0,
-                }),
+                Ok(None) | Err(_) => {
+                    if let Some(s) = span.as_mut() {
+                        s.record("status", stage_status_key(StageStatus::Panicked));
+                    }
+                    stages.push(StageReport {
+                        rung: Rung::AsReported,
+                        status: StageStatus::Panicked,
+                        elapsed,
+                        objective: None,
+                        nodes: 0,
+                    });
+                }
             }
         }
 
@@ -443,6 +585,16 @@ fn run_contained<T>(body: impl FnOnce() -> Result<T>) -> Result<Option<T>> {
         Ok(Ok(value)) => Ok(Some(value)),
         Ok(Err(e)) => Err(e),
         Err(_) => Ok(None),
+    }
+}
+
+/// Stable snake_case identifier recorded in stage span `status` fields.
+fn stage_status_key(status: StageStatus) -> &'static str {
+    match status {
+        StageStatus::Solved => "solved",
+        StageStatus::BudgetExhausted => "budget_exhausted",
+        StageStatus::Panicked => "panicked",
+        StageStatus::Skipped => "skipped",
     }
 }
 
@@ -604,6 +756,59 @@ mod tests {
             o.solution.objective * (1.0 - gap) <= o.root_bound + 1e-9,
             "gap must be consistent with the bound"
         );
+    }
+
+    #[test]
+    fn zero_deadline_degradation_is_deterministic_under_a_virtual_clock() {
+        use enki_telemetry::VirtualClock;
+        // Satellite: the degradation decision must not depend on how
+        // fast the host happens to run. With an injected virtual clock
+        // the exact stage's deadline fires at the root node every time,
+        // so two runs produce identical outcomes (stage timings
+        // included — every duration is exactly zero virtual time).
+        let p = problem(vec![pref(0, 24, 2); 12]);
+        let run = || {
+            AnytimePipeline::new()
+                .with_exact_time_limit(Duration::ZERO)
+                .with_clock(VirtualClock::new())
+                .solve(&p)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.rung > Rung::Exact);
+        assert_eq!(
+            a.stage(Rung::Exact).unwrap().status,
+            StageStatus::BudgetExhausted
+        );
+        assert_eq!(a.stage(Rung::Exact).unwrap().elapsed, Duration::ZERO);
+        assert_eq!(a.stage(Rung::Exact).unwrap().nodes, 1);
+    }
+
+    #[test]
+    fn traced_solve_records_rung_spans_and_metrics() {
+        use enki_telemetry::{Telemetry, VirtualClock};
+        let clock = VirtualClock::new();
+        let telemetry =
+            Telemetry::with_virtual_clock("pipeline-test", 0, std::sync::Arc::clone(&clock));
+        let recorder = telemetry.recorder();
+        let p = problem(vec![pref(18, 22, 2), pref(18, 22, 2)]);
+        let outcome = AnytimePipeline::new()
+            .with_clock(clock)
+            .solve_traced(&p, Some(&recorder))
+            .unwrap();
+        recorder.flush();
+        assert_eq!(outcome.rung, Rung::Exact);
+        let spans = telemetry.spans();
+        let solve = spans.iter().find(|s| s.name == "solve").unwrap();
+        let exact = spans.iter().find(|s| s.name == "solve.exact").unwrap();
+        assert_eq!(exact.parent, Some(solve.id));
+        assert!(exact.field("nodes").is_some());
+        assert!(exact.field("deadline_slack_ns").is_some());
+        assert_eq!(telemetry.counter("solve.rung.exact"), Some(1));
+        assert_eq!(telemetry.counter("solve.degraded"), None);
+        assert!(telemetry.histogram("solve.stage_ns").unwrap().count >= 1);
     }
 
     #[test]

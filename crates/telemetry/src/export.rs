@@ -1,0 +1,495 @@
+//! Exporters: machine-readable JSONL and a human-readable span tree.
+//!
+//! The JSONL format is line-oriented so traces stream and diff well:
+//!
+//! ```text
+//! {"type":"run","schema":"enki-telemetry/1","run_id":...,"label":...,"seed":...,"git_rev":...,"clock":...}
+//! {"type":"span","id":1,"parent":null,"name":"day","start_ns":0,"end_ns":3000000,"fields":{...}}
+//! {"type":"counter","name":"center.admission.accepted","value":16}
+//! {"type":"gauge","name":"alloc.par","value":1.18}
+//! {"type":"histogram","name":"solve.stage_ns","count":24,"min":...,"p50":...,"p90":...,"p99":...,"max":...}
+//! ```
+//!
+//! The first line is always the `run` header; spans follow sorted by id
+//! (open order, so parents precede children), then metrics sorted by
+//! name. Under a [`VirtualClock`](crate::clock::VirtualClock) the whole
+//! export is byte-deterministic for a given seed. [`validate_jsonl`]
+//! re-parses an export and checks the schema invariants — CI runs it on
+//! every bench trace.
+
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+use crate::recorder::Telemetry;
+use crate::span::{FieldValue, SpanRecord};
+
+/// Schema tag stamped into (and required from) every trace header.
+pub const SCHEMA: &str = "enki-telemetry/1";
+
+/// A raw JSON value: serializes/deserializes as itself. This is the
+/// generic-JSON escape hatch the vendored serde otherwise lacks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Raw(pub Value);
+
+impl Serialize for Raw {
+    fn serialize_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+impl Deserialize for Raw {
+    fn deserialize_value(value: &Value) -> Result<Self, SerdeError> {
+        Ok(Self(value.clone()))
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn field_value_to_json(value: &FieldValue) -> Value {
+    match value {
+        FieldValue::U64(v) => Value::UInt(*v),
+        FieldValue::I64(v) => {
+            if *v >= 0 {
+                Value::UInt(*v as u64)
+            } else {
+                Value::Int(*v)
+            }
+        }
+        // Non-finite floats are not valid JSON; export them as null
+        // rather than poisoning the whole trace.
+        FieldValue::F64(v) if !v.is_finite() => Value::Null,
+        FieldValue::F64(v) => Value::Float(*v),
+        FieldValue::Bool(v) => Value::Bool(*v),
+        FieldValue::Str(v) => Value::String(v.clone()),
+    }
+}
+
+fn span_to_json(span: &SpanRecord) -> Value {
+    obj(vec![
+        ("type", Value::String("span".to_string())),
+        ("id", Value::UInt(span.id)),
+        (
+            "parent",
+            span.parent.map_or(Value::Null, Value::UInt),
+        ),
+        ("name", Value::String(span.name.clone())),
+        ("start_ns", Value::UInt(span.start_ns)),
+        ("end_ns", Value::UInt(span.end_ns)),
+        (
+            "fields",
+            Value::Object(
+                span.fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), field_value_to_json(v)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Serializes the run's telemetry to JSONL. Call after all recorders
+/// have flushed (or dropped); spans buffered in live recorders are not
+/// visible.
+#[must_use]
+pub fn to_jsonl(telemetry: &Telemetry) -> String {
+    let meta = telemetry.meta();
+    let mut lines = Vec::new();
+    lines.push(obj(vec![
+        ("type", Value::String("run".to_string())),
+        ("schema", Value::String(SCHEMA.to_string())),
+        ("run_id", Value::String(meta.run_id.clone())),
+        ("label", Value::String(meta.label.clone())),
+        ("seed", Value::UInt(meta.seed)),
+        ("git_rev", Value::String(meta.git_rev.clone())),
+        ("clock", Value::String(meta.clock.to_string())),
+    ]));
+    for span in telemetry.spans() {
+        lines.push(span_to_json(&span));
+    }
+    for (name, metric) in telemetry.metrics() {
+        let line = match metric {
+            crate::metrics::Metric::Counter(v) => obj(vec![
+                ("type", Value::String("counter".to_string())),
+                ("name", Value::String(name)),
+                ("value", Value::UInt(v)),
+            ]),
+            crate::metrics::Metric::Gauge(v) => obj(vec![
+                ("type", Value::String("gauge".to_string())),
+                ("name", Value::String(name)),
+                (
+                    "value",
+                    if v.is_finite() {
+                        Value::Float(v)
+                    } else {
+                        Value::Null
+                    },
+                ),
+            ]),
+            crate::metrics::Metric::Histogram(h) => {
+                let s = h.summary();
+                obj(vec![
+                    ("type", Value::String("histogram".to_string())),
+                    ("name", Value::String(name)),
+                    ("count", Value::UInt(s.count)),
+                    ("min", Value::UInt(s.min)),
+                    ("p50", Value::UInt(s.p50)),
+                    ("p90", Value::UInt(s.p90)),
+                    ("p99", Value::UInt(s.p99)),
+                    ("max", Value::UInt(s.max)),
+                ])
+            }
+        };
+        lines.push(line);
+    }
+    let mut out = String::new();
+    for line in lines {
+        let rendered = serde_json::to_string(&Raw(line))
+            .expect("trace values are finite by construction");
+        out.push_str(&rendered);
+        out.push('\n');
+    }
+    out
+}
+
+/// Per-record-type counts from a validated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JsonlSummary {
+    /// Span lines.
+    pub spans: u64,
+    /// Counter lines.
+    pub counters: u64,
+    /// Gauge lines.
+    pub gauges: u64,
+    /// Histogram lines.
+    pub histograms: u64,
+}
+
+fn lookup<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn require_str<'a>(
+    fields: &'a [(String, Value)],
+    key: &str,
+    line: usize,
+) -> Result<&'a str, String> {
+    match lookup(fields, key) {
+        Some(Value::String(s)) => Ok(s),
+        other => Err(format!("line {line}: `{key}` must be a string, got {other:?}")),
+    }
+}
+
+fn require_uint(fields: &[(String, Value)], key: &str, line: usize) -> Result<u64, String> {
+    match lookup(fields, key) {
+        Some(Value::UInt(v)) => Ok(*v),
+        other => Err(format!(
+            "line {line}: `{key}` must be a non-negative integer, got {other:?}"
+        )),
+    }
+}
+
+/// Schema self-validation: re-parses a JSONL trace and checks every
+/// invariant the exporter promises. Returns per-type record counts.
+///
+/// Checked invariants: the first line is a `run` header carrying
+/// [`SCHEMA`], run id, seed, git rev, and clock kind; every span has a
+/// unique positive id, a well-formed interval (`end_ns ≥ start_ns`), and
+/// a parent that appeared on an earlier line; metric lines carry the
+/// fields of their type, with histogram quantiles ordered
+/// `min ≤ p50 ≤ p90 ≤ p99 ≤ max`.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn validate_jsonl(trace: &str) -> Result<JsonlSummary, String> {
+    let mut lines = trace.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| "empty trace: missing run header".to_string())?;
+    let header: Raw = serde_json::from_str(header)
+        .map_err(|e| format!("line 1: unparseable header: {e}"))?;
+    let header = header
+        .0
+        .as_object()
+        .ok_or_else(|| "line 1: header must be an object".to_string())?
+        .to_vec();
+    if require_str(&header, "type", 1)? != "run" {
+        return Err("line 1: first record must have type `run`".to_string());
+    }
+    let schema = require_str(&header, "schema", 1)?;
+    if schema != SCHEMA {
+        return Err(format!("line 1: schema `{schema}` is not `{SCHEMA}`"));
+    }
+    require_str(&header, "run_id", 1)?;
+    require_str(&header, "git_rev", 1)?;
+    require_str(&header, "clock", 1)?;
+    require_uint(&header, "seed", 1)?;
+
+    let mut summary = JsonlSummary::default();
+    let mut seen_spans = std::collections::BTreeSet::new();
+    for (index, text) in lines {
+        let line = index + 1;
+        if text.trim().is_empty() {
+            continue;
+        }
+        let parsed: Raw = serde_json::from_str(text)
+            .map_err(|e| format!("line {line}: unparseable: {e}"))?;
+        let fields = parsed
+            .0
+            .as_object()
+            .ok_or_else(|| format!("line {line}: record must be an object"))?
+            .to_vec();
+        match require_str(&fields, "type", line)? {
+            "run" => {
+                return Err(format!("line {line}: duplicate run header"));
+            }
+            "span" => {
+                let id = require_uint(&fields, "id", line)?;
+                if id == 0 {
+                    return Err(format!("line {line}: span id must be positive"));
+                }
+                if !seen_spans.insert(id) {
+                    return Err(format!("line {line}: duplicate span id {id}"));
+                }
+                match lookup(&fields, "parent") {
+                    Some(Value::Null) | None => {}
+                    Some(Value::UInt(parent)) => {
+                        if !seen_spans.contains(parent) {
+                            return Err(format!(
+                                "line {line}: span {id} references parent {parent} \
+                                 not seen on an earlier line"
+                            ));
+                        }
+                    }
+                    other => {
+                        return Err(format!(
+                            "line {line}: `parent` must be null or an id, got {other:?}"
+                        ));
+                    }
+                }
+                let name = require_str(&fields, "name", line)?;
+                if name.is_empty() {
+                    return Err(format!("line {line}: span name must be non-empty"));
+                }
+                let start = require_uint(&fields, "start_ns", line)?;
+                let end = require_uint(&fields, "end_ns", line)?;
+                if end < start {
+                    return Err(format!(
+                        "line {line}: span {id} ends ({end}) before it starts ({start})"
+                    ));
+                }
+                if lookup(&fields, "fields").and_then(Value::as_object).is_none() {
+                    return Err(format!("line {line}: `fields` must be an object"));
+                }
+                summary.spans += 1;
+            }
+            "counter" => {
+                require_str(&fields, "name", line)?;
+                require_uint(&fields, "value", line)?;
+                summary.counters += 1;
+            }
+            "gauge" => {
+                require_str(&fields, "name", line)?;
+                match lookup(&fields, "value") {
+                    Some(Value::Float(_) | Value::UInt(_) | Value::Int(_) | Value::Null) => {}
+                    other => {
+                        return Err(format!(
+                            "line {line}: gauge `value` must be a number or null, got {other:?}"
+                        ));
+                    }
+                }
+                summary.gauges += 1;
+            }
+            "histogram" => {
+                require_str(&fields, "name", line)?;
+                let count = require_uint(&fields, "count", line)?;
+                let min = require_uint(&fields, "min", line)?;
+                let p50 = require_uint(&fields, "p50", line)?;
+                let p90 = require_uint(&fields, "p90", line)?;
+                let p99 = require_uint(&fields, "p99", line)?;
+                let max = require_uint(&fields, "max", line)?;
+                if count > 0 && !(min <= p50 && p50 <= p90 && p90 <= p99 && p99 <= max) {
+                    return Err(format!(
+                        "line {line}: histogram quantiles out of order: \
+                         min={min} p50={p50} p90={p90} p99={p99} max={max}"
+                    ));
+                }
+                summary.histograms += 1;
+            }
+            other => {
+                return Err(format!("line {line}: unknown record type `{other}`"));
+            }
+        }
+    }
+    Ok(summary)
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn render_span(
+    span: &SpanRecord,
+    children: &std::collections::BTreeMap<u64, Vec<&SpanRecord>>,
+    depth: usize,
+    out: &mut String,
+) {
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(&span.name);
+    out.push_str(&format!(" [{}]", format_ns(span.duration_ns())));
+    for (key, value) in &span.fields {
+        out.push_str(&format!(" {key}={value}"));
+    }
+    out.push('\n');
+    if let Some(kids) = children.get(&span.id) {
+        for child in kids {
+            render_span(child, children, depth + 1, out);
+        }
+    }
+}
+
+/// Renders the run as an indented human-readable tree: header, span
+/// hierarchy with durations and fields, then metrics.
+#[must_use]
+pub fn render_tree(telemetry: &Telemetry) -> String {
+    let meta = telemetry.meta();
+    let mut out = format!(
+        "run {} label={} seed={} git={} clock={}\n",
+        meta.run_id, meta.label, meta.seed, meta.git_rev, meta.clock
+    );
+    let spans = telemetry.spans();
+    let mut children: std::collections::BTreeMap<u64, Vec<&SpanRecord>> =
+        std::collections::BTreeMap::new();
+    let mut roots = Vec::new();
+    for span in &spans {
+        match span.parent {
+            Some(parent) => children.entry(parent).or_default().push(span),
+            None => roots.push(span),
+        }
+    }
+    for root in roots {
+        render_span(root, &children, 1, &mut out);
+    }
+    let metrics = telemetry.metrics();
+    if !metrics.is_empty() {
+        out.push_str("metrics:\n");
+        for (name, metric) in metrics {
+            match metric {
+                crate::metrics::Metric::Counter(v) => {
+                    out.push_str(&format!("  {name} = {v}\n"));
+                }
+                crate::metrics::Metric::Gauge(v) => {
+                    out.push_str(&format!("  {name} = {v}\n"));
+                }
+                crate::metrics::Metric::Histogram(h) => {
+                    let s = h.summary();
+                    out.push_str(&format!(
+                        "  {name}: n={} p50={} p90={} p99={} max={}\n",
+                        s.count,
+                        format_ns(s.p50),
+                        format_ns(s.p90),
+                        format_ns(s.p99),
+                        format_ns(s.max)
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn sample_run(seed: u64) -> Telemetry {
+        let clock = VirtualClock::new();
+        let t = Telemetry::with_virtual_clock("export-test", seed, Arc::clone(&clock));
+        let r = t.recorder();
+        {
+            let mut day = r.span("day");
+            day.record("day_index", 0u64);
+            clock.advance(Duration::from_millis(1));
+            {
+                let mut alloc = r.span("allocate");
+                alloc.record("households", 4u64);
+                clock.advance(Duration::from_millis(2));
+            }
+            r.incr("center.admission.accepted", 4);
+            r.gauge("alloc.par", 1.25);
+            r.observe("solve.stage_ns", 2_000_000);
+        }
+        r.flush();
+        t
+    }
+
+    #[test]
+    fn export_self_validates() {
+        let trace = to_jsonl(&sample_run(7));
+        let summary = validate_jsonl(&trace).expect("valid trace");
+        assert_eq!(summary.spans, 2);
+        assert_eq!(summary.counters, 1);
+        assert_eq!(summary.gauges, 1);
+        assert_eq!(summary.histograms, 1);
+    }
+
+    #[test]
+    fn export_is_deterministic_under_virtual_clock() {
+        assert_eq!(to_jsonl(&sample_run(7)), to_jsonl(&sample_run(7)));
+        assert_ne!(to_jsonl(&sample_run(7)), to_jsonl(&sample_run(8)));
+    }
+
+    #[test]
+    fn tampered_traces_fail_validation() {
+        let trace = to_jsonl(&sample_run(7));
+        // Missing header.
+        let headless: String = trace.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert!(validate_jsonl(&headless).is_err());
+        // Wrong schema tag.
+        let wrong = trace.replace(SCHEMA, "enki-telemetry/999");
+        assert!(validate_jsonl(&wrong).is_err());
+        // Orphaned parent reference.
+        let orphan = trace.replace("\"parent\":1", "\"parent\":999");
+        assert!(validate_jsonl(&orphan).is_err());
+        // Garbage line.
+        let garbage = format!("{trace}not json\n");
+        assert!(validate_jsonl(&garbage).is_err());
+    }
+
+    #[test]
+    fn header_carries_run_identity() {
+        let t = sample_run(42);
+        let trace = to_jsonl(&t);
+        let header = trace.lines().next().unwrap();
+        assert!(header.contains("\"type\":\"run\""));
+        assert!(header.contains(&format!("\"run_id\":\"{}\"", t.meta().run_id)));
+        assert!(header.contains("\"seed\":42"));
+        assert!(header.contains("\"clock\":\"virtual\""));
+    }
+
+    #[test]
+    fn tree_renders_nesting_and_metrics() {
+        let rendered = render_tree(&sample_run(7));
+        assert!(rendered.contains("day [3.00ms]"));
+        assert!(rendered.contains("  allocate [2.00ms]"), "{rendered}");
+        assert!(rendered.contains("center.admission.accepted = 4"));
+        assert!(rendered.contains("solve.stage_ns: n=1"));
+    }
+}

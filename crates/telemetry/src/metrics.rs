@@ -1,0 +1,335 @@
+//! Counters, gauges, and log-bucketed histograms.
+//!
+//! A [`Histogram`] buckets non-negative integer observations (typically
+//! durations in nanoseconds) by order of magnitude: bucket *k* holds
+//! values in `[2^(k−1), 2^k)`, with a dedicated bucket for zero. That
+//! keeps the footprint fixed (65 buckets) across twenty decades — the
+//! same observation stream can mix sub-microsecond greedy solves with
+//! multi-second exact solves — while quantile estimates stay within a
+//! factor of two, and the minimum and maximum are tracked exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of histogram buckets: one for zero plus one per bit of a
+/// `u64` magnitude.
+const BUCKETS: usize = 65;
+
+/// A fixed-size, log-bucketed histogram of `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+}
+
+/// Bucket index for a value: 0 for zero, else one past the magnitude's
+/// highest set bit, so bucket `k ≥ 1` spans `[2^(k−1), 2^k)`.
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Upper bound (inclusive) of a bucket, used as its quantile
+/// representative: an over-estimate by at most 2×.
+fn bucket_upper(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += u128::from(value);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest observation, exact. Zero when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest observation, exact. Zero when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) estimated from bucket counts: the
+    /// representative of the first bucket whose cumulative count covers
+    /// `q`, clamped to the exact observed range. Zero when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return bucket_upper(index).clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The percentile summary exported per histogram.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.total,
+            min: self.min(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+}
+
+/// Exported percentile summary of one histogram. Quantiles are bucket
+/// upper bounds (≤ 2× over-estimates); `min` and `max` are exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Exact minimum.
+    pub min: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+/// One named metric in the shared sink.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotone sum.
+    Counter(u64),
+    /// A last-write-wins level.
+    Gauge(f64),
+    /// A log-bucketed distribution (boxed: the bucket array dwarfs the
+    /// other variants).
+    Histogram(Box<Histogram>),
+}
+
+/// A buffered metric update, applied to the sink on flush.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricOp {
+    /// Add to a counter (creating it at zero).
+    Incr(u64),
+    /// Set a gauge.
+    Set(f64),
+    /// Record into a histogram (creating it empty).
+    Observe(u64),
+}
+
+impl Metric {
+    /// Applies a buffered update. A type mismatch (e.g. `Incr` on a
+    /// gauge) resets the metric to the op's type — last writer wins, and
+    /// the mismatch is visible in the export rather than silently lost.
+    pub fn apply(&mut self, op: &MetricOp) {
+        match (self, op) {
+            (Metric::Counter(total), MetricOp::Incr(by)) => *total += by,
+            (Metric::Gauge(level), MetricOp::Set(to)) => *level = *to,
+            (Metric::Histogram(hist), MetricOp::Observe(value)) => hist.record(*value),
+            (slot, op) => *slot = Metric::from_op(op),
+        }
+    }
+
+    /// The fresh metric an op creates.
+    #[must_use]
+    pub fn from_op(op: &MetricOp) -> Self {
+        match op {
+            MetricOp::Incr(by) => Metric::Counter(*by),
+            MetricOp::Set(to) => Metric::Gauge(*to),
+            MetricOp::Observe(value) => {
+                let mut hist = Histogram::new();
+                hist.record(*value);
+                Metric::Histogram(Box::new(hist))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lands_in_the_zero_bucket() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn sub_microsecond_durations_keep_resolution() {
+        // 1 ns .. 999 ns: all distinct magnitudes, quantiles within 2×.
+        let mut h = Histogram::new();
+        for ns in [1u64, 7, 64, 100, 512, 999] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 999);
+        let p50 = h.quantile(0.5);
+        assert!((64..=127).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile(1.0), 999, "top quantile clamps to exact max");
+    }
+
+    #[test]
+    fn multi_second_durations_do_not_overflow() {
+        let mut h = Histogram::new();
+        let five_sec = 5_000_000_000u64;
+        let ninety_sec = 90_000_000_000u64;
+        h.record(five_sec);
+        h.record(ninety_sec);
+        h.record(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.quantile(0.34) >= five_sec);
+        assert!(h.quantile(0.99) <= u64::MAX);
+    }
+
+    #[test]
+    fn mixed_magnitudes_order_quantiles() {
+        // 90 fast (≈1 µs) and 10 slow (≈2 s) observations: p50 is fast,
+        // p99 is slow — the shape a degradation ladder produces.
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(2_000_000_000);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert!(s.p50 < 3_000, "p50 = {}", s.p50);
+        assert!(s.p99 >= 1_000_000_000, "p99 = {}", s.p99);
+        assert_eq!(s.max, 2_000_000_000);
+        assert_eq!(s.min, 1_000);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_range() {
+        let mut h = Histogram::new();
+        h.record(5);
+        // Bucket upper bound for 5 is 7, but the true max is 5.
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(0.99), 5);
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_to_zeros() {
+        let s = Histogram::new().summary();
+        assert_eq!(
+            s,
+            HistogramSummary {
+                count: 0,
+                min: 0,
+                p50: 0,
+                p90: 0,
+                p99: 0,
+                max: 0
+            }
+        );
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = Histogram::new();
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record(1_000_000);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn metric_ops_apply() {
+        let mut m = Metric::from_op(&MetricOp::Incr(2));
+        m.apply(&MetricOp::Incr(3));
+        assert_eq!(m, Metric::Counter(5));
+        let mut g = Metric::from_op(&MetricOp::Set(1.5));
+        g.apply(&MetricOp::Set(2.5));
+        assert_eq!(g, Metric::Gauge(2.5));
+        let mut h = Metric::from_op(&MetricOp::Observe(9));
+        h.apply(&MetricOp::Observe(11));
+        let Metric::Histogram(hist) = &h else {
+            panic!("expected a histogram");
+        };
+        assert_eq!(hist.count(), 2);
+    }
+
+    #[test]
+    fn type_mismatch_resets_to_the_new_type() {
+        let mut m = Metric::Counter(7);
+        m.apply(&MetricOp::Set(1.0));
+        assert_eq!(m, Metric::Gauge(1.0));
+    }
+}

@@ -1,0 +1,134 @@
+//! Span records: one timed, named, attributed node of the run's tree.
+
+use serde::{Deserialize, Serialize};
+
+/// A typed span attribute value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::U64(v) => write!(f, "{v}"),
+            Self::I64(v) => write!(f, "{v}"),
+            Self::F64(v) => write!(f, "{v}"),
+            Self::Bool(v) => write!(f, "{v}"),
+            Self::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+/// One finished span: a named interval on the run's clock, with its
+/// parent (if any) and recorded attributes.
+///
+/// Span ids are unique within a run and allocated in open order; a
+/// parent's id is always smaller than its children's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Unique id within the run (1-based; 0 is never used).
+    pub id: u64,
+    /// Enclosing span, if this span was opened inside another on the
+    /// same recorder.
+    pub parent: Option<u64>,
+    /// Span name, dot-separated by convention (e.g. `solve.exact`).
+    pub name: String,
+    /// Start offset from the run clock's epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// End offset from the run clock's epoch, in nanoseconds.
+    pub end_ns: u64,
+    /// Recorded attributes, in recording order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl SpanRecord {
+    /// The span's duration in nanoseconds.
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Looks up a recorded field by name (first match).
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_saturates() {
+        let span = SpanRecord {
+            id: 1,
+            parent: None,
+            name: "x".into(),
+            start_ns: 10,
+            end_ns: 4,
+            fields: Vec::new(),
+        };
+        assert_eq!(span.duration_ns(), 0);
+    }
+
+    #[test]
+    fn fields_look_up_by_name() {
+        let span = SpanRecord {
+            id: 1,
+            parent: None,
+            name: "x".into(),
+            start_ns: 0,
+            end_ns: 1,
+            fields: vec![("n".into(), FieldValue::U64(5))],
+        };
+        assert_eq!(span.field("n"), Some(&FieldValue::U64(5)));
+        assert_eq!(span.field("missing"), None);
+    }
+}
