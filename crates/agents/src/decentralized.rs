@@ -56,6 +56,7 @@ pub struct DecentralizedOutcome {
 /// # Errors
 ///
 /// Returns [`Error::EmptyNeighborhood`] when `preferences` is empty.
+#[must_use = "dropping the outcome discards the negotiated schedule and any protocol error"]
 pub fn run_decentralized<P: Pricing + ?Sized>(
     preferences: &[Preference],
     rate: f64,
@@ -68,11 +69,8 @@ pub fn run_decentralized<P: Pricing + ?Sized>(
     let n = preferences.len();
     let mut windows: Vec<Interval> = preferences
         .iter()
-        .map(|p| {
-            p.window_at_deferment(0)
-                .expect("deferment 0 is always feasible")
-        })
-        .collect();
+        .map(|p| p.window_at_deferment(0))
+        .collect::<Result<_>>()?;
     let mut load = LoadProfile::from_windows(&windows, rate);
 
     let mut rounds = 0usize;

@@ -482,7 +482,7 @@ mod tests {
         // The tail is capped: late gaps stop growing.
         let tail = &gaps[3..];
         assert!(
-            tail.iter().all(|&g| g >= 8 && g <= 11),
+            tail.iter().all(|&g| (8..=11).contains(&g)),
             "tail delays sit at the cap: {gaps:?}"
         );
     }

@@ -354,8 +354,9 @@ impl SimNetwork {
             if *at > now {
                 break;
             }
-            let Reverse((_, _, QueuedEnvelope(env))) =
-                self.queue.pop().expect("peeked element exists");
+            let Some(Reverse((_, _, QueuedEnvelope(env)))) = self.queue.pop() else {
+                break;
+            };
             self.stats.delivered += 1;
             out.push(env);
         }

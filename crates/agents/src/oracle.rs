@@ -51,6 +51,7 @@ const BUDGET_EPS: f64 = 1e-9;
 
 /// One invariant violation found by the oracle.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "a detected invariant violation must be reported or asserted on"]
 pub enum Violation {
     /// A settled day paid out more than it collected.
     BudgetDeficit {

@@ -98,6 +98,7 @@ pub struct ThreadedDay {
 /// at all fails with [`enki_core::Error::Timeout`] naming a silent
 /// household and the `"report"` phase — with reliable channels total
 /// silence means the deployment is dead, not degraded.
+#[must_use = "dropping the outcome discards every simulated day and any deployment fault"]
 pub fn run_threaded_days(
     enki: Enki,
     households: Vec<ThreadedHousehold>,
@@ -119,6 +120,7 @@ pub fn run_threaded_days(
 /// # Errors
 ///
 /// Same contract as [`run_threaded_days`].
+#[must_use = "dropping the outcome discards every simulated day and any deployment fault"]
 pub fn run_threaded_days_traced(
     enki: Enki,
     households: Vec<ThreadedHousehold>,
@@ -281,10 +283,10 @@ pub fn run_threaded_days_traced(
                 }
                 let allocation = enki.allocate(&reports, &mut rng)?;
                 for (report, assignment) in reports.iter().zip(&allocation.assignments) {
-                    let idx = households
-                        .iter()
-                        .position(|h| h.id == report.household)
-                        .expect("report came from a known household");
+                    let Some(idx) = households.iter().position(|h| h.id == report.household)
+                    else {
+                        continue;
+                    };
                     let _ = to_household[idx].send(Message::Allocation {
                         day,
                         window: assignment.window,
@@ -321,10 +323,10 @@ pub fn run_threaded_days_traced(
                     .collect();
                 let settlement = enki.settle(&reports, &allocation, &consumption)?;
                 for entry in &settlement.entries {
-                    let idx = households
-                        .iter()
-                        .position(|h| h.id == entry.household)
-                        .expect("settled household is known");
+                    let Some(idx) = households.iter().position(|h| h.id == entry.household)
+                    else {
+                        continue;
+                    };
                     let _ = to_household[idx].send(Message::Bill {
                         day,
                         amount: entry.payment,

@@ -12,13 +12,15 @@
 //! * self-validates the trace against the `enki-telemetry/1` schema and
 //!   exits nonzero if it fails — CI treats that as a broken build.
 
+#![deny(unsafe_code)]
+
 use std::fs;
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use enki_bench::{experiments_dir, print_table, RunArgs};
 use enki_sim::prelude::{run_social_welfare_with, SocialWelfareConfig};
-use enki_telemetry::{to_jsonl, validate_jsonl, Telemetry};
+use enki_telemetry::{to_jsonl, validate_jsonl, Clock, MonotonicClock, Telemetry};
 use serde::Serialize;
 
 /// Rung keys from best to most degraded, for "worst rung reached".
@@ -81,9 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..SocialWelfareConfig::default()
         };
         eprintln!("n = {n}: {days} days, optimal cap {limit:?} …");
-        let started = Instant::now();
+        let clock = MonotonicClock::new();
+        let started = clock.now();
         let swept = run_social_welfare_with(&config, Some(&telemetry))?;
-        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let wall_ms = clock.now().saturating_sub(started).as_secs_f64() * 1e3;
         let row = &swept[0];
         let rung = RUNG_ORDER
             .iter()

@@ -5,6 +5,8 @@
 //! defection score is positive, its realized flexibility zero, and its
 //! payment strictly higher than A's.
 
+#![deny(unsafe_code)]
+
 use enki_bench::{print_table, write_json, RunArgs};
 use enki_core::prelude::*;
 use rand::rngs::StdRng;
@@ -63,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let e = &settlement.entries;
-    assert!(e[0].defection == 0.0 && e[1].defection > 0.0);
+    assert!(enki_core::float::approx_zero(e[0].defection) && e[1].defection > 0.0);
     assert!(e[1].payment > e[0].payment);
     println!("\n✓ δ_A = 0, δ_B > 0 and B pays more (paper's conclusion)");
     println!(

@@ -10,10 +10,13 @@
 //! binary's wall time and (on Linux, via `/proc/<pid>/status`) its peak
 //! resident set size.
 
+#![deny(unsafe_code)]
+
 use std::process::Command;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use enki_bench::print_table;
+use enki_telemetry::{Clock, MonotonicClock};
 
 /// Every reproduction binary, in presentation order.
 const BINARIES: &[&str] = &[
@@ -62,7 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             BINARIES.len(),
             name
         );
-        let started = Instant::now();
+        let clock = MonotonicClock::new();
+        let started = clock.now();
         let mut child = Command::new(dir.join(name)).args(&args).spawn()?;
         // Sample the child's high-water mark while it runs; VmHWM is
         // monotone, so the last successful sample is the peak.
@@ -77,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if !status.success() {
             return Err(format!("{name} failed with {status}").into());
         }
-        timings.push(((*name).to_string(), started.elapsed(), peak));
+        timings.push(((*name).to_string(), clock.now().saturating_sub(started), peak));
     }
 
     println!(

@@ -31,7 +31,8 @@
 //! binaries share one §VI-A sweep, cached on disk so the sweep runs once.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
+#![warn(missing_debug_implementations)]
 
 use std::fs;
 use std::path::PathBuf;
@@ -97,6 +98,7 @@ pub fn experiments_dir() -> PathBuf {
 /// # Errors
 ///
 /// Propagates filesystem and serialization errors.
+#[must_use = "an unchecked write leaves a missing or stale benchmark artifact"]
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
     let dir = experiments_dir();
     fs::create_dir_all(&dir)?;
@@ -138,6 +140,7 @@ pub fn social_welfare_config(args: &RunArgs) -> SocialWelfareConfig {
 /// # Errors
 ///
 /// Propagates simulation errors.
+#[must_use = "dropping the rows discards the experiment and hides cache or run failures"]
 pub fn load_or_run_social_welfare(
     args: &RunArgs,
 ) -> enki_core::Result<Vec<SocialWelfareRow>> {

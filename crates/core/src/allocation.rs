@@ -88,6 +88,7 @@ pub enum OrderingPolicy {
 /// # Ok(())
 /// # }
 /// ```
+#[must_use = "dropping the outcome discards the schedule and ignores infeasible inputs"]
 pub fn greedy_allocation<P, R>(
     preferences: &[Preference],
     rate: f64,
@@ -113,6 +114,7 @@ where
 /// # Errors
 ///
 /// Returns [`Error::EmptyNeighborhood`] when `preferences` is empty.
+#[must_use = "dropping the outcome discards the schedule and ignores infeasible inputs"]
 pub fn greedy_allocation_with_policy<P, R>(
     preferences: &[Preference],
     rate: f64,
@@ -154,11 +156,14 @@ where
         load.add_window(window, rate);
         windows[i] = Some(window);
     }
+    // The placement loop covers every index exactly once, so each slot
+    // is filled; an unfilled slot is a solver bug surfaced as an error.
+    let windows = windows
+        .into_iter()
+        .map(|w| w.ok_or(Error::SolveFailed { stage: "greedy" }))
+        .collect::<Result<Vec<_>>>()?;
     Ok(GreedyOutcome {
-        windows: windows
-            .into_iter()
-            .map(|w| w.expect("every household was placed"))
-            .collect(),
+        windows,
         placement_order,
         predicted_flexibility,
         planned_load: load,
@@ -173,11 +178,7 @@ fn flexibility_order<R: Rng + ?Sized>(flexibility: &[f64], rng: &mut R) -> Vec<u
         .enumerate()
         .map(|(i, &f)| (f, rng.random::<u64>(), i))
         .collect();
-    keyed.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .expect("flexibility scores are finite")
-            .then(a.1.cmp(&b.1))
-    });
+    keyed.sort_by(|a, b| crate::float::cmp_f64(a.0, b.0).then(a.1.cmp(&b.1)));
     keyed.into_iter().map(|(_, _, i)| i).collect()
 }
 

@@ -52,6 +52,7 @@ impl Appliance {
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] for a non-positive rate.
+    #[must_use = "dropping the Result discards the appliance and skips its validation"]
     pub fn new(label: impl Into<String>, preference: Preference, rate: f64) -> Result<Self> {
         if !rate.is_finite() || rate <= 0.0 {
             return Err(Error::InvalidConfig {
@@ -91,6 +92,7 @@ impl MultiReport {
     ///
     /// Returns [`Error::EmptyNeighborhood`] when `appliances` is empty
     /// (every household must have at least one shiftable job).
+    #[must_use = "dropping the Result discards the report and skips its validation"]
     pub fn new(
         household: HouseholdId,
         appliances: Vec<Appliance>,
@@ -207,6 +209,7 @@ impl MultiEnki {
     ///
     /// Returns [`Error::EmptyNeighborhood`] with no reports and
     /// [`Error::DuplicateHousehold`] for duplicate ids.
+    #[must_use = "dropping the allocation discards the schedule and ignores infeasible reports"]
     pub fn allocate<R: Rng + ?Sized>(
         &self,
         reports: &[MultiReport],
@@ -241,11 +244,7 @@ impl MultiEnki {
             .enumerate()
             .map(|(i, p)| (flexibility_score(p, &n_h), rng.random::<u64>(), i))
             .collect();
-        order.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("finite scores")
-                .then(a.1.cmp(&b.1))
-        });
+        order.sort_by(|a, b| crate::float::cmp_f64(a.0, b.0).then(a.1.cmp(&b.1)));
 
         let mut load = base;
         let mut windows: Vec<Option<Interval>> = vec![None; jobs.len()];
@@ -280,9 +279,12 @@ impl MultiEnki {
             })
             .collect();
         for (ji, &(h, _)) in jobs.iter().enumerate() {
-            assignments[h]
-                .windows
-                .push(windows[ji].expect("every job was placed"));
+            // The placement loop fills every job slot; an empty one is a
+            // scheduler bug surfaced as an error rather than a panic.
+            let Some(window) = windows[ji] else {
+                return Err(Error::SolveFailed { stage: "multi-appliance greedy" });
+            };
+            assignments[h].windows.push(window);
         }
         let planned_cost = pricing.cost(&load);
         Ok(MultiAllocation {
@@ -300,6 +302,7 @@ impl MultiEnki {
     ///
     /// Returns [`Error::UnknownHousehold`] on misaligned inputs and
     /// [`Error::DurationMismatch`] for consumption of the wrong length.
+    #[must_use = "dropping the settlement loses the bills and ignores malformed consumption"]
     pub fn settle(
         &self,
         reports: &[MultiReport],

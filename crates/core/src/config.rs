@@ -128,6 +128,7 @@ impl EnkiConfigBuilder {
     ///
     /// Returns [`Error::InvalidConfig`] when `σ ≤ 0`, `k ≤ 0`, `ξ < 1`, or
     /// `r ≤ 0`, or when any value is non-finite.
+    #[must_use = "dropping the Result discards the config and skips parameter validation"]
     pub fn build(self) -> Result<EnkiConfig> {
         let defaults = self.config.unwrap_or_default();
         let config = EnkiConfig {

@@ -1,0 +1,89 @@
+//! Float discipline helpers: total ordering and tolerant comparison.
+//!
+//! Payments, social-cost scores, and flexibility weights are all `f64`.
+//! Two discipline problems recur when ordering or comparing them:
+//!
+//! * `partial_cmp(..).unwrap()` / `.expect(..)` panics (or silently
+//!   misorders, with `unwrap_or`) the moment a NaN slips in — and a NaN
+//!   in a score is exactly the situation where a deterministic, auditable
+//!   ordering matters most;
+//! * exact `==` on derived quantities (a normalized score, a split
+//!   payment) is brittle: two mathematically equal expressions can differ
+//!   in the last ulp and silently take the wrong branch.
+//!
+//! This module is the sanctioned alternative. [`cmp_f64`] gives the IEEE
+//! 754 `totalOrder` predicate (NaN sorts after +∞, `-0.0 < +0.0`), so
+//! sorts are total, deterministic, and panic-free. [`approx_eq`] and
+//! [`approx_zero`] compare with an explicit absolute tolerance,
+//! defaulting to [`EPSILON`], the tolerance used by settlement
+//! verification (Theorem 1's budget-balance check).
+
+use std::cmp::Ordering;
+
+/// Absolute tolerance for money- and score-valued comparisons.
+///
+/// Loads are O(10²) kWh and `σ` is O(10⁻¹), so daily costs are O(10³);
+/// 1e-6 is ~9 orders of magnitude below the quantities compared while
+/// staying far above accumulated f64 rounding error.
+pub const EPSILON: f64 = 1e-6;
+
+/// Total order on `f64` (IEEE 754 `totalOrder`): never panics, orders
+/// NaN after +∞ deterministically instead of poisoning the sort.
+#[must_use]
+pub fn cmp_f64(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+/// `true` when `a` and `b` are within [`EPSILON`] of each other.
+///
+/// NaN compares unequal to everything, including itself (tolerant
+/// comparison still respects IEEE semantics for invalid values).
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPSILON
+}
+
+/// `true` when `x` is within [`EPSILON`] of zero.
+#[must_use]
+pub fn approx_zero(x: f64) -> bool {
+    x.abs() <= EPSILON
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_is_total_over_nan_and_signed_zero() {
+        let mut values = [f64::NAN, 1.0, f64::NEG_INFINITY, -0.0, 0.0, f64::INFINITY];
+        values.sort_by(|a, b| cmp_f64(*a, *b));
+        assert_eq!(values[0], f64::NEG_INFINITY);
+        assert!(values[1].is_sign_negative() && values[1] == 0.0);
+        assert!(values[2].is_sign_positive() && values[2] == 0.0);
+        assert_eq!(values[3], 1.0);
+        assert_eq!(values[4], f64::INFINITY);
+        assert!(values[5].is_nan());
+    }
+
+    #[test]
+    fn cmp_agrees_with_partial_cmp_on_ordinary_values() {
+        for (a, b) in [(1.0, 2.0), (2.0, 1.0), (3.5, 3.5), (-1.0, 1.0)] {
+            assert_eq!(Some(cmp_f64(a, b)), a.partial_cmp(&b));
+        }
+    }
+
+    #[test]
+    fn approx_eq_tolerates_last_ulp_noise_but_not_real_gaps() {
+        assert!(approx_eq(0.1 + 0.2, 0.3));
+        assert!(approx_eq(1.0, 1.0));
+        assert!(!approx_eq(1.0, 1.001));
+        assert!(!approx_eq(f64::NAN, f64::NAN));
+    }
+
+    #[test]
+    fn approx_zero_matches_approx_eq_against_zero() {
+        for x in [0.0, -0.0, 5e-7, -5e-7, 1e-3, f64::NAN] {
+            assert_eq!(approx_zero(x), approx_eq(x, 0.0));
+        }
+    }
+}

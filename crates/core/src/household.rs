@@ -83,6 +83,7 @@ impl Preference {
     /// Returns [`Error::InvalidInterval`] for a bad window and
     /// [`Error::InvalidDuration`] when the duration is zero or exceeds the
     /// window length.
+    #[must_use = "dropping the Result discards the preference and skips interval validation"]
     pub fn new(begin: u8, end: u8, duration: u8) -> Result<Self> {
         Self::with_window(Interval::new(begin, end)?, duration)
     }
@@ -93,6 +94,7 @@ impl Preference {
     ///
     /// Returns [`Error::InvalidDuration`] when the duration is zero or
     /// exceeds the window length.
+    #[must_use = "dropping the Result discards the preference and skips interval validation"]
     pub fn with_window(window: Interval, duration: u8) -> Result<Self> {
         if duration == 0 || duration > window.len() {
             return Err(Error::InvalidDuration {
@@ -109,6 +111,7 @@ impl Preference {
     /// # Errors
     ///
     /// Returns [`Error::InvalidInterval`] if the window does not fit the day.
+    #[must_use = "dropping the Result discards the preference and skips interval validation"]
     pub fn exact(begin: u8, duration: u8) -> Result<Self> {
         Self::with_window(Interval::with_duration(begin, duration)?, duration)
     }
@@ -165,6 +168,7 @@ impl Preference {
     ///
     /// Returns [`Error::WindowOutsideInterval`] when `d` exceeds
     /// [`slack`](Preference::slack).
+    #[must_use = "dropping the Result loses the shifted window and hides an infeasible deferment"]
     pub fn window_at_deferment(&self, d: u8) -> Result<Interval> {
         if d > self.slack() {
             let window = Interval::with_duration(self.begin().saturating_add(d), self.duration)
@@ -185,6 +189,7 @@ impl Preference {
     ///
     /// Returns [`Error::DurationMismatch`] or
     /// [`Error::WindowOutsideInterval`] accordingly.
+    #[must_use = "an unchecked verdict lets an out-of-window consumption through"]
     pub fn validate_window(&self, window: Interval) -> Result<()> {
         if window.len() != self.duration {
             return Err(Error::DurationMismatch {
@@ -279,6 +284,7 @@ impl HouseholdType {
     ///
     /// Returns [`Error::InvalidConfig`] when `valuation_factor` is not a
     /// positive finite number.
+    #[must_use = "dropping the Result discards the type and skips flexibility validation"]
     pub fn new(preference: Preference, valuation_factor: f64) -> Result<Self> {
         if !valuation_factor.is_finite() || valuation_factor <= 0.0 {
             return Err(Error::InvalidConfig {

@@ -62,13 +62,15 @@
 //! * [`validation`] — admission control: raw wire-level reports are
 //!   accepted, clamped, or quarantined before they can reach the
 //!   mechanism.
+//! * [`float`] — total-order and tolerant f64 comparison (the sanctioned
+//!   alternative to `partial_cmp().unwrap()` and exact `==` on money).
 //! * [`config`] — scaling factors `σ`, `k`, `ξ`, and the power rating `r`.
 //! * [`appliances`] — the §III multi-appliance extension: several shiftable
 //!   jobs plus a nonshiftable base load per household.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
 
 pub mod allocation;
 pub mod appliances;
@@ -76,6 +78,7 @@ pub mod config;
 pub mod defection;
 pub mod error;
 pub mod flexibility;
+pub mod float;
 pub mod household;
 pub mod load;
 pub mod mechanism;
@@ -99,6 +102,7 @@ pub mod prelude {
     };
     pub use crate::config::EnkiConfig;
     pub use crate::error::{Error, Result};
+    pub use crate::float::{approx_eq, approx_zero, cmp_f64, EPSILON};
     pub use crate::household::{HouseholdId, HouseholdType, Preference, Report};
     pub use crate::load::LoadProfile;
     pub use crate::mechanism::{

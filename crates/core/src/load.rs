@@ -137,7 +137,7 @@ impl LoadProfile {
     #[must_use]
     pub fn peak_to_average(&self) -> f64 {
         let avg = self.active_average();
-        if avg == 0.0 {
+        if crate::float::approx_zero(avg) {
             0.0
         } else {
             self.peak() / avg
@@ -170,7 +170,7 @@ impl LoadProfile {
     #[must_use]
     pub fn peak_hour(&self) -> Option<u8> {
         let peak = self.peak();
-        if peak == 0.0 {
+        if crate::float::approx_zero(peak) {
             return None;
         }
         self.hours

@@ -127,6 +127,7 @@ impl Settlement {
     /// Returns [`Error::NonFiniteValue`] when any value is NaN or
     /// infinite, and [`Error::InvalidConfig`] naming the violated
     /// accounting invariant otherwise.
+    #[must_use = "an unchecked verdict silently skips the Theorem 1 budget-balance check"]
     pub fn verify(&self, config: &EnkiConfig) -> Result<()> {
         let finite = |value: f64, parameter: &'static str| {
             if value.is_finite() {
@@ -250,7 +251,6 @@ impl Enki {
     /// accepted, clamped, or quarantined before any of them can reach the
     /// mechanism. Total and panic-free for every possible input; see
     /// [`validation::admit`](crate::validation::admit).
-    #[must_use]
     pub fn admit(&self, raw: &[crate::validation::RawReport]) -> crate::validation::AdmissionReport {
         crate::validation::admit(raw)
     }
@@ -261,6 +261,7 @@ impl Enki {
     ///
     /// Returns [`Error::EmptyNeighborhood`] with no reports and
     /// [`Error::DuplicateHousehold`] when two reports share an id.
+    #[must_use = "dropping the outcome discards the day-ahead schedule and any rejection"]
     pub fn allocate<R: Rng + ?Sized>(
         &self,
         reports: &[Report],
@@ -304,6 +305,7 @@ impl Enki {
     /// has the wrong length for its household's duration. Consumption
     /// windows are *not* checked against true intervals — the center never
     /// learns true preferences.
+    #[must_use = "dropping the settlement loses the bills and ignores malformed consumption"]
     pub fn settle(
         &self,
         reports: &[Report],
@@ -409,6 +411,7 @@ impl Enki {
     /// # Errors
     ///
     /// Returns [`Error::EmptyNeighborhood`] when `windows` is empty.
+    #[must_use = "dropping the settlement loses the baseline bills used for comparison"]
     pub fn proportional_settlement(&self, windows: &[Interval]) -> Result<BaselineSettlement> {
         if windows.is_empty() {
             return Err(Error::EmptyNeighborhood);

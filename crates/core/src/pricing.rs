@@ -47,6 +47,7 @@ impl QuadraticPricing {
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] unless `σ` is positive and finite.
+    #[must_use = "dropping the Result discards the pricing rule and skips sigma validation"]
     pub fn new(sigma: f64) -> Result<Self> {
         if !sigma.is_finite() || sigma <= 0.0 {
             return Err(Error::InvalidConfig {
@@ -95,6 +96,7 @@ impl TwoStepPricing {
     ///
     /// Returns [`Error::InvalidConfig`] unless
     /// `0 < base_rate < peak_rate` and `threshold ≥ 0`, all finite.
+    #[must_use = "dropping the Result discards the pricing rule and skips its validation"]
     pub fn new(base_rate: f64, peak_rate: f64, threshold: f64) -> Result<Self> {
         if !base_rate.is_finite() || base_rate <= 0.0 {
             return Err(Error::InvalidConfig {

@@ -51,6 +51,7 @@ impl Interval {
     /// # Errors
     ///
     /// Returns [`Error::InvalidInterval`] if `begin >= end` or `end > 24`.
+    #[must_use = "dropping the Result discards the interval and skips bounds validation"]
     pub fn new(begin: u8, end: u8) -> Result<Self> {
         if begin >= end || end > DAY_END {
             return Err(Error::InvalidInterval { begin, end });
@@ -64,6 +65,7 @@ impl Interval {
     ///
     /// Returns [`Error::InvalidInterval`] if the window would be empty or
     /// extend past midnight.
+    #[must_use = "dropping the Result discards the interval and skips bounds validation"]
     pub fn with_duration(begin: u8, duration: u8) -> Result<Self> {
         let end = begin.checked_add(duration).ok_or(Error::InvalidInterval {
             begin,
@@ -140,6 +142,7 @@ impl Interval {
     ///
     /// Returns [`Error::InvalidInterval`] if the shifted interval would
     /// extend past midnight.
+    #[must_use = "dropping the Result loses the shifted interval and hides an out-of-day shift"]
     pub fn shifted(&self, hours: u8) -> Result<Self> {
         Self::new(
             self.begin.saturating_add(hours),

@@ -219,6 +219,7 @@ pub struct AdmissionEntry {
 /// list is duplicate-free by construction, so it can be fed straight
 /// into [`Enki::allocate`](crate::mechanism::Enki::allocate).
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[must_use = "an unread admission report silently drops quarantine decisions"]
 pub struct AdmissionReport {
     /// Per-input decisions, aligned with the raw batch.
     pub entries: Vec<AdmissionEntry>,
@@ -370,7 +371,6 @@ fn quarantine(reason: QuarantineReason) -> (Verdict, Option<Preference>) {
 /// later duplicates of a household already seen in the batch.
 ///
 /// Total and panic-free for every possible input.
-#[must_use]
 pub fn admit(raw: &[RawReport]) -> AdmissionReport {
     let mut seen: Vec<HouseholdId> = Vec::with_capacity(raw.len());
     let entries = raw

@@ -1,0 +1,319 @@
+//! Baseline suppression files.
+//!
+//! A baseline grandfathers *known, justified* violations so the linter
+//! can gate CI while legacy sites are burned down. The format is
+//! line-oriented and diff-friendly:
+//!
+//! ```text
+//! # comment lines and blanks are ignored
+//! R1 crates/solver/src/exact.rs 2 # heap pop is guarded by the loop invariant …
+//! ```
+//!
+//! Each entry is `<rule> <path> <count> # <justification>`:
+//!
+//! * the **justification is mandatory** — an entry without one (or with
+//!   the `UNJUSTIFIED` placeholder emitted by `--write-baseline`) is a
+//!   hard error, never a suppression;
+//! * the **count must match the tree exactly**: fewer matches means the
+//!   entry is stale and must be deleted (so fixed violations cannot
+//!   silently regress), more matches means new violations leak through.
+
+use std::collections::BTreeMap;
+
+use crate::rules::{RuleId, Violation};
+
+/// Placeholder reason written by `--write-baseline`; rejected at parse
+/// time so generated baselines must be hand-justified before they count.
+pub const UNJUSTIFIED: &str = "UNJUSTIFIED";
+
+/// One parsed baseline line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Suppressed rule.
+    pub rule: RuleId,
+    /// Workspace-relative path the suppression applies to.
+    pub path: String,
+    /// Exact number of violations this entry covers.
+    pub count: usize,
+    /// Why the site is exempt.
+    pub reason: String,
+    /// 1-based line in the baseline file (for error messages).
+    pub line: u32,
+}
+
+/// A stale or miscounted baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleEntry {
+    /// The offending entry.
+    pub entry: BaselineEntry,
+    /// How many violations actually matched.
+    pub actual: usize,
+}
+
+/// Parses a baseline file. Returns entries or every malformed line.
+///
+/// # Errors
+///
+/// One message per malformed line: unknown rule, missing count, or
+/// missing/placeholder justification.
+#[must_use = "dropping the Result ignores malformed baseline entries"]
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, Vec<String>> {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = (idx + 1) as u32;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (head, reason) = match trimmed.split_once('#') {
+            Some((h, r)) => (h.trim(), r.trim()),
+            None => (trimmed, ""),
+        };
+        if reason.is_empty() {
+            errors.push(format!(
+                "baseline line {line}: missing justification — every suppression \
+                 needs `# <why this site is exempt>`"
+            ));
+            continue;
+        }
+        if reason.contains(UNJUSTIFIED) {
+            errors.push(format!(
+                "baseline line {line}: placeholder `{UNJUSTIFIED}` justification — \
+                 replace it with the actual reason the site is exempt"
+            ));
+            continue;
+        }
+        let fields: Vec<&str> = head.split_whitespace().collect();
+        let [rule, path, count] = fields[..] else {
+            errors.push(format!(
+                "baseline line {line}: expected `<rule> <path> <count> # <reason>`, \
+                 got `{trimmed}`"
+            ));
+            continue;
+        };
+        let Some(rule) = RuleId::parse(rule) else {
+            errors.push(format!("baseline line {line}: unknown rule `{rule}`"));
+            continue;
+        };
+        let Ok(count) = count.parse::<usize>() else {
+            errors.push(format!(
+                "baseline line {line}: count `{count}` is not a non-negative integer"
+            ));
+            continue;
+        };
+        if count == 0 {
+            errors.push(format!(
+                "baseline line {line}: count 0 suppresses nothing — delete the entry"
+            ));
+            continue;
+        }
+        entries.push(BaselineEntry {
+            rule,
+            path: path.to_string(),
+            count,
+            reason: reason.to_string(),
+            line,
+        });
+    }
+    if errors.is_empty() {
+        Ok(entries)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Outcome of matching a violation list against a baseline.
+#[derive(Debug, Default)]
+pub struct BaselineOutcome {
+    /// Violations not covered by any entry — these fail the build.
+    pub remaining: Vec<Violation>,
+    /// Violations absorbed by a baseline entry.
+    pub suppressed: Vec<Violation>,
+    /// Entries whose count no longer matches the tree — these also fail.
+    pub stale: Vec<StaleEntry>,
+}
+
+/// Applies baseline entries to a violation list.
+///
+/// Violations are grouped by `(rule, path)`; an entry suppresses up to
+/// `count` of its group's violations (lowest line first, so the set is
+/// deterministic). A count mismatch in either direction yields a
+/// [`StaleEntry`].
+#[must_use]
+pub fn apply(entries: &[BaselineEntry], violations: Vec<Violation>) -> BaselineOutcome {
+    // (allowed, used, index of the entry reported on staleness).
+    let mut budget: BTreeMap<(RuleId, String), (usize, usize, usize)> = BTreeMap::new();
+    for (idx, e) in entries.iter().enumerate() {
+        // Duplicate entries for the same (rule, path) sum their counts;
+        // the last entry is reported on staleness.
+        let slot = budget
+            .entry((e.rule, e.path.clone()))
+            .or_insert((0, 0, idx));
+        slot.0 += e.count;
+        slot.2 = idx;
+    }
+
+    let mut outcome = BaselineOutcome::default();
+    let mut sorted = violations;
+    sorted.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+    });
+    for v in sorted {
+        let key = (v.rule, v.path.clone());
+        match budget.get_mut(&key) {
+            Some((allowed, used, _)) if *used < *allowed => {
+                *used += 1;
+                outcome.suppressed.push(v);
+            }
+            _ => outcome.remaining.push(v),
+        }
+    }
+    for (allowed, used, idx) in budget.values() {
+        if used != allowed {
+            outcome.stale.push(StaleEntry {
+                entry: entries[*idx].clone(),
+                actual: *used,
+            });
+        }
+    }
+    outcome
+}
+
+/// Renders a baseline file covering `violations`, grouped per rule and
+/// path, with the [`UNJUSTIFIED`] placeholder reason (which `check`
+/// rejects until replaced).
+#[must_use]
+pub fn render(violations: &[Violation]) -> String {
+    let mut counts: BTreeMap<(RuleId, &str), usize> = BTreeMap::new();
+    for v in violations {
+        *counts.entry((v.rule, v.path.as_str())).or_insert(0) += 1;
+    }
+    let mut out = String::from(
+        "# enki-lint baseline — `<rule> <path> <count> # <justification>`\n\
+         # Every entry must carry a real justification; `UNJUSTIFIED` placeholders\n\
+         # fail the check. Counts must match the tree exactly (no stale entries).\n",
+    );
+    for ((rule, path), count) in counts {
+        out.push_str(&format!("{rule} {path} {count} # {UNJUSTIFIED}: explain why\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: RuleId, path: &str, line: u32) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn well_formed_baseline_parses() {
+        let entries = parse(
+            "# header\n\nR1 crates/core/src/x.rs 2 # guarded by invariant\n\
+             no-direct-clock crates/sim/src/y.rs 1 # bench-only timing\n",
+        )
+        .expect("parses");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rule, RuleId::NoPanic);
+        assert_eq!(entries[0].count, 2);
+        assert_eq!(entries[1].rule, RuleId::NoDirectClock);
+    }
+
+    #[test]
+    fn missing_justification_is_rejected() {
+        let err = parse("R1 crates/core/src/x.rs 2\n").expect_err("rejected");
+        assert!(err[0].contains("missing justification"), "{err:?}");
+        let err = parse("R1 crates/core/src/x.rs 2 #   \n").expect_err("rejected");
+        assert!(err[0].contains("missing justification"), "{err:?}");
+    }
+
+    #[test]
+    fn placeholder_justification_is_rejected() {
+        let err =
+            parse("R1 crates/core/src/x.rs 2 # UNJUSTIFIED: explain why\n").expect_err("rejected");
+        assert!(err[0].contains("UNJUSTIFIED"), "{err:?}");
+    }
+
+    #[test]
+    fn unknown_rule_and_bad_count_are_rejected() {
+        let err = parse("R9 a.rs 1 # x\nR1 a.rs none # x\nR1 a.rs 0 # x\n").expect_err("rejected");
+        assert_eq!(err.len(), 3);
+    }
+
+    #[test]
+    fn exact_match_suppresses_everything() {
+        let entries = parse("R1 a.rs 2 # ok\n").expect("parses");
+        let out = apply(
+            &entries,
+            vec![v(RuleId::NoPanic, "a.rs", 3), v(RuleId::NoPanic, "a.rs", 9)],
+        );
+        assert!(out.remaining.is_empty());
+        assert_eq!(out.suppressed.len(), 2);
+        assert!(out.stale.is_empty());
+    }
+
+    #[test]
+    fn undercount_leaks_excess_violations() {
+        let entries = parse("R1 a.rs 1 # ok\n").expect("parses");
+        let out = apply(
+            &entries,
+            vec![v(RuleId::NoPanic, "a.rs", 9), v(RuleId::NoPanic, "a.rs", 3)],
+        );
+        // Deterministic: the lowest line is suppressed, the rest leak.
+        assert_eq!(out.suppressed.len(), 1);
+        assert_eq!(out.suppressed[0].line, 3);
+        assert_eq!(out.remaining.len(), 1);
+        assert_eq!(out.remaining[0].line, 9);
+    }
+
+    #[test]
+    fn overcount_is_stale() {
+        let entries = parse("R1 a.rs 3 # ok\n").expect("parses");
+        let out = apply(&entries, vec![v(RuleId::NoPanic, "a.rs", 3)]);
+        assert_eq!(out.stale.len(), 1);
+        assert_eq!(out.stale[0].actual, 1);
+        assert_eq!(out.stale[0].entry.count, 3);
+    }
+
+    #[test]
+    fn entry_for_untouched_file_is_stale() {
+        let entries = parse("R4 gone.rs 1 # ok\n").expect("parses");
+        let out = apply(&entries, Vec::new());
+        assert_eq!(out.stale.len(), 1);
+        assert_eq!(out.stale[0].actual, 0);
+    }
+
+    #[test]
+    fn rule_and_path_must_both_match() {
+        let entries = parse("R1 a.rs 1 # ok\n").expect("parses");
+        let out = apply(&entries, vec![v(RuleId::NoDirectClock, "a.rs", 3)]);
+        assert_eq!(out.remaining.len(), 1);
+        assert_eq!(out.stale.len(), 1);
+    }
+
+    #[test]
+    fn render_round_trips_through_parse_after_justifying() {
+        let violations = vec![
+            v(RuleId::NoPanic, "a.rs", 3),
+            v(RuleId::NoPanic, "a.rs", 9),
+            v(RuleId::FloatDiscipline, "b.rs", 1),
+        ];
+        let rendered = render(&violations);
+        // Placeholder reasons are rejected as-is …
+        assert!(parse(&rendered).is_err());
+        // … but once justified, the file parses and exactly covers the tree.
+        let justified = rendered.replace("UNJUSTIFIED: explain why", "legacy, tracked in #42");
+        let entries = parse(&justified).expect("parses");
+        let out = apply(&entries, violations);
+        assert!(out.remaining.is_empty());
+        assert!(out.stale.is_empty());
+        assert_eq!(out.suppressed.len(), 3);
+    }
+}

@@ -1,0 +1,226 @@
+//! Per-file token context: which tokens live in test-only code.
+//!
+//! Rules must not fire on `#[cfg(test)]` modules or `#[test]` functions
+//! — `unwrap()` in a unit test is idiomatic, not a violation. This pass
+//! walks the token stream once, tracking brace nesting and attribute
+//! groups, and produces a boolean mask: `mask[i]` is true when token
+//! `i` belongs to a test-only region.
+//!
+//! Detection is structural, not semantic: an attribute group whose
+//! head is `test`, `should_panic`, or `bench`, or a `cfg(...)` group
+//! mentioning `test`, marks the *next* braced item (fn body, mod body,
+//! impl body) as a test region. A `;` at top nesting cancels a pending
+//! marker (e.g. `#[cfg(test)] use …;`). Regions nest: everything under
+//! a `#[cfg(test)] mod tests { … }` is masked regardless of inner
+//! attributes.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Span of one attribute group `#[ … ]` / `#![ … ]` in the token
+/// stream, inclusive of the delimiters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttrSpan {
+    /// Index of the `#` token.
+    pub start: usize,
+    /// Index of the closing `]` token.
+    pub end: usize,
+    /// Whether this is an inner attribute (`#![ … ]`).
+    pub inner: bool,
+}
+
+/// The analyzed context for one file's token stream.
+#[derive(Debug)]
+pub struct FileContext {
+    /// `mask[i]` — token `i` is inside test-only code.
+    pub test_mask: Vec<bool>,
+    /// Every attribute group, in source order.
+    pub attrs: Vec<AttrSpan>,
+}
+
+fn attr_marks_test(tokens: &[Token], span: AttrSpan) -> bool {
+    let body = &tokens[span.start..=span.end];
+    let idents: Vec<&str> = body
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    match idents.first() {
+        Some(&"test" | &"should_panic" | &"bench") => true,
+        Some(&"cfg" | &"cfg_attr") => idents.contains(&"test"),
+        _ => false,
+    }
+}
+
+/// Analyzes a token stream: attribute spans and the test-region mask.
+#[must_use]
+pub fn analyze(tokens: &[Token]) -> FileContext {
+    let mut test_mask = vec![false; tokens.len()];
+    let mut attrs = Vec::new();
+
+    // Stack of booleans, one per open brace: is the region test-only?
+    let mut braces: Vec<bool> = Vec::new();
+    // An attribute marked the next braced item as test-only.
+    let mut pending_test = false;
+    // Depth of `(`/`[` groups, to ignore `;`/`{` inside e.g. arrays.
+    let mut delim_depth = 0usize;
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let in_test = braces.last().copied().unwrap_or(false);
+
+        // Attribute group?
+        if tokens[i].is_punct("#") {
+            let inner = tokens.get(i + 1).is_some_and(|t| t.is_punct("!"));
+            let open = i + 1 + usize::from(inner);
+            if tokens.get(open).is_some_and(|t| t.is_punct("[")) {
+                // Find the matching `]`, tracking bracket nesting.
+                let mut depth = 0usize;
+                let mut j = open;
+                let mut end = None;
+                while j < tokens.len() {
+                    if tokens[j].is_punct("[") {
+                        depth += 1;
+                    } else if tokens[j].is_punct("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = Some(j);
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                if let Some(end) = end {
+                    let span = AttrSpan { start: i, end, inner };
+                    attrs.push(span);
+                    if !inner && attr_marks_test(tokens, span) {
+                        pending_test = true;
+                    }
+                    for m in &mut test_mask[i..=end] {
+                        *m = in_test;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+        }
+
+        match &tokens[i] {
+            t if t.is_punct("{") => {
+                braces.push(in_test || pending_test);
+                pending_test = false;
+                test_mask[i] = in_test;
+            }
+            t if t.is_punct("}") => {
+                test_mask[i] = in_test;
+                braces.pop();
+            }
+            t if t.is_punct("(") || t.is_punct("[") => {
+                delim_depth += 1;
+                test_mask[i] = in_test;
+            }
+            t if t.is_punct(")") || t.is_punct("]") => {
+                delim_depth = delim_depth.saturating_sub(1);
+                test_mask[i] = in_test;
+            }
+            t if t.is_punct(";") && delim_depth == 0 => {
+                // `#[cfg(test)] use super::*;` — no braced item follows.
+                pending_test = false;
+                test_mask[i] = in_test;
+            }
+            _ => test_mask[i] = in_test,
+        }
+        i += 1;
+    }
+
+    FileContext { test_mask, attrs }
+}
+
+/// Walks backwards from token index `at` (the start of an item, e.g.
+/// its `pub` keyword) over any directly preceding outer attribute
+/// groups and returns their spans, innermost-first.
+#[must_use]
+pub fn attrs_before(ctx: &FileContext, at: usize) -> Vec<AttrSpan> {
+    let mut found = Vec::new();
+    let mut cursor = at;
+    while let Some(attr) = ctx
+        .attrs
+        .iter()
+        .rev()
+        .find(|a| !a.inner && a.end + 1 == cursor)
+    {
+        found.push(*attr);
+        cursor = attr.start;
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn mask_for(src: &str) -> (Vec<Token>, FileContext) {
+        let toks = tokenize(src);
+        let ctx = analyze(&toks);
+        (toks, ctx)
+    }
+
+    fn ident_masked(toks: &[Token], ctx: &FileContext, name: &str) -> bool {
+        let idx = toks
+            .iter()
+            .position(|t| t.is_ident(name))
+            .unwrap_or_else(|| panic!("ident {name} not found"));
+        ctx.test_mask[idx]
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let (toks, ctx) = mask_for(
+            "fn prod() { work(); }\n#[cfg(test)]\nmod tests { fn helper() { probe(); } }",
+        );
+        assert!(!ident_masked(&toks, &ctx, "work"));
+        assert!(ident_masked(&toks, &ctx, "probe"));
+    }
+
+    #[test]
+    fn test_fn_is_masked_but_sibling_is_not() {
+        let (toks, ctx) = mask_for(
+            "#[test]\nfn check() { probe(); }\nfn prod() { work(); }",
+        );
+        assert!(ident_masked(&toks, &ctx, "probe"));
+        assert!(!ident_masked(&toks, &ctx, "work"));
+    }
+
+    #[test]
+    fn cfg_test_use_does_not_leak_onto_next_item() {
+        let (toks, ctx) = mask_for("#[cfg(test)]\nuse std::fmt;\nfn prod() { work(); }");
+        assert!(!ident_masked(&toks, &ctx, "work"));
+    }
+
+    #[test]
+    fn stacked_attributes_keep_the_marker() {
+        let (toks, ctx) = mask_for("#[test]\n#[ignore]\nfn check() { probe(); }");
+        assert!(ident_masked(&toks, &ctx, "probe"));
+    }
+
+    #[test]
+    fn cfg_any_test_is_masked() {
+        let (toks, ctx) =
+            mask_for("#[cfg(any(test, feature = \"x\"))]\nmod helpers { fn h() { probe(); } }");
+        assert!(ident_masked(&toks, &ctx, "probe"));
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_masked() {
+        let (toks, ctx) = mask_for("#[cfg(unix)]\nfn prod() { work(); }");
+        assert!(!ident_masked(&toks, &ctx, "work"));
+    }
+
+    #[test]
+    fn attrs_before_finds_the_whole_stack() {
+        let (toks, ctx) = mask_for("#[must_use]\n#[inline]\npub fn f() -> u32 { 1 }");
+        let at = toks.iter().position(|t| t.is_ident("pub")).unwrap();
+        let stack = attrs_before(&ctx, at);
+        assert_eq!(stack.len(), 2);
+    }
+}

@@ -1,0 +1,55 @@
+//! # enki-lint
+//!
+//! Workspace-aware static analysis for the Enki reproduction. The
+//! mechanism's headline guarantees — ex ante budget balance
+//! (Theorem 1) and weak Bayesian incentive compatibility (Theorem 2) —
+//! only hold in code if the hot paths are *deterministic*, *panic-free
+//! on adversarial input*, and *careful with floating-point money*.
+//! Earlier PRs established those disciplines by convention (clock
+//! injection, `total_cmp` sorts, `Result` over `unwrap`); this crate
+//! makes them machine-checked.
+//!
+//! Like `enki-telemetry`, the crate has **zero external dependencies**:
+//! a small Rust token scanner ([`lexer`]), a test-region analyzer
+//! ([`context`]), a seven-rule engine ([`rules`]), baseline
+//! suppression files with mandatory justifications ([`baseline`]), and
+//! deterministic text/JSONL reporting ([`report`]) that reuses the
+//! `enki-telemetry/1` header shape.
+//!
+//! ## Usage
+//!
+//! ```text
+//! cargo run -p enki-lint -- check                  # gate the workspace
+//! cargo run -p enki-lint -- check --format json    # machine-readable
+//! cargo run -p enki-lint -- rules                  # print the catalog
+//! ```
+//!
+//! ## Programmatic entry point
+//!
+//! ```
+//! use enki_lint::engine::{classify, run_check, CheckConfig};
+//! use enki_lint::rules::check_file;
+//!
+//! let file = classify(
+//!     "crates/core/src/example.rs",
+//!     "pub fn f(o: Option<u32>) -> u32 { o.unwrap() }",
+//! );
+//! let violations = check_file(&file);
+//! assert_eq!(violations.len(), 1);
+//! assert_eq!(violations[0].rule.code(), "R1");
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baseline;
+pub mod context;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use engine::{run_check, CheckConfig};
+pub use report::Report;
+pub use rules::{RuleId, Violation, ALL_RULES};

@@ -1,0 +1,164 @@
+//! `enki-lint` CLI: the workspace invariant gate.
+//!
+//! ```text
+//! enki-lint check [--root DIR] [--baseline FILE] [--no-baseline]
+//!                 [--format text|json] [--output FILE]
+//!                 [--write-baseline FILE]
+//! enki-lint rules
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations or stale baseline entries,
+//! `2` usage or configuration errors (unreadable files, malformed
+//! baseline).
+
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use enki_lint::engine::{run_check, CheckConfig};
+use enki_lint::{baseline, report, ALL_RULES};
+
+const USAGE: &str = "usage: enki-lint <check|rules> [options]\n\
+  check --root DIR         workspace root (default: current directory)\n\
+        --baseline FILE    suppression file (default: <root>/lint.baseline)\n\
+        --no-baseline      ignore any baseline file\n\
+        --format FMT       text (default) or json\n\
+        --output FILE      write the report there instead of stdout\n\
+        --write-baseline F snapshot current violations as a baseline\n\
+                           (entries carry an UNJUSTIFIED placeholder that\n\
+                           check rejects until hand-justified)\n\
+  rules                    print the rule catalog";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("enki-lint: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn print_rules() {
+    println!("enki-lint rules:");
+    for rule in ALL_RULES {
+        println!("  {} {:<18} {}", rule.code(), rule.name(), rule.rationale());
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return fail("missing command");
+    };
+    match command.as_str() {
+        "rules" => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        "check" => check(&args[1..]),
+        other => fail(&format!("unknown command `{other}`")),
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut format = Format::Text;
+    let mut output: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--root" => match take("--root") {
+                Ok(v) => root = PathBuf::from(v),
+                Err(e) => return fail(&e),
+            },
+            "--baseline" => match take("--baseline") {
+                Ok(v) => baseline_path = Some(PathBuf::from(v)),
+                Err(e) => return fail(&e),
+            },
+            "--no-baseline" => no_baseline = true,
+            "--format" => match take("--format").as_deref() {
+                Ok("text") => format = Format::Text,
+                Ok("json") => format = Format::Json,
+                Ok(other) => return fail(&format!("unknown format `{other}`")),
+                Err(e) => return fail(e),
+            },
+            "--output" => match take("--output") {
+                Ok(v) => output = Some(PathBuf::from(v)),
+                Err(e) => return fail(&e),
+            },
+            "--write-baseline" => match take("--write-baseline") {
+                Ok(v) => write_baseline = Some(PathBuf::from(v)),
+                Err(e) => return fail(&e),
+            },
+            other => return fail(&format!("unknown option `{other}`")),
+        }
+    }
+
+    let baseline_file = if no_baseline {
+        None
+    } else {
+        Some(baseline_path.unwrap_or_else(|| root.join("lint.baseline")))
+    };
+    let config = CheckConfig {
+        root,
+        baseline: baseline_file,
+    };
+    let checked = match run_check(&config) {
+        Ok(report) => report,
+        Err(message) => return fail(&message),
+    };
+
+    if let Some(path) = write_baseline {
+        // Snapshot covers *all* current findings (remaining + already
+        // suppressed) so the written file stands alone.
+        let all: Vec<_> = checked
+            .violations
+            .iter()
+            .cloned()
+            .chain(checked.suppressed.iter().map(|(v, _)| v.clone()))
+            .collect();
+        if let Err(e) = std::fs::write(&path, baseline::render(&all)) {
+            return fail(&format!("cannot write baseline {}: {e}", path.display()));
+        }
+        eprintln!(
+            "enki-lint: wrote {} entr(ies) to {} — justify each before checking it in",
+            all.len(),
+            path.display()
+        );
+    }
+
+    let rendered = match format {
+        Format::Text => report::to_text(&checked),
+        Format::Json => report::to_jsonl(&checked),
+    };
+    match output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &rendered) {
+                return fail(&format!("cannot write {}: {e}", path.display()));
+            }
+            // Keep the terminal summary visible even when the report
+            // goes to a file.
+            eprint!("{}", report::to_text(&checked));
+        }
+        None => print!("{rendered}"),
+    }
+
+    if checked.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,691 @@
+//! The rule catalog: seven machine-checked project invariants.
+//!
+//! Each rule guards a property the paper's guarantees lean on (see
+//! DESIGN.md § Static analysis for the full rationale):
+//!
+//! * **R1 no-panic** — `unwrap`/`expect`/`panic!`-family in non-test
+//!   code of `enki-core`, `enki-solver`, `enki-agents`. A panic in the
+//!   center aborts settlement and voids ex ante budget balance
+//!   (Theorem 1); adversarial input must surface as `Result`.
+//! * **R2 no-direct-clock** — `Instant::now`/`SystemTime::now` outside
+//!   `enki-telemetry::clock`. Clock injection keeps degradation
+//!   behaviour and telemetry byte-reproducible.
+//! * **R3 float-discipline** — `==`/`!=` against float literals and
+//!   `partial_cmp` anywhere: money and load are `f64`, so ordering must
+//!   go through `total_cmp` (or the `enki-core::float` helpers) and
+//!   equality through explicit tolerances.
+//! * **R4 no-hash-iteration** — `HashMap`/`HashSet` in deterministic
+//!   crates: iteration order would leak randomness into allocations
+//!   and payments.
+//! * **R5 thread-discipline** — `thread::spawn`/locks only in
+//!   `threaded.rs` (or inside `enki-telemetry`, the sanctioned
+//!   concurrency substrate).
+//! * **R6 must-use-result** — public fallible APIs (`pub fn … ->
+//!   Result`) must carry `#[must_use]`: a silently dropped
+//!   `Settlement::verify` hides a budget-balance violation.
+//! * **R7 crate-header** — every crate root opts into
+//!   `#![deny(unsafe_code)]` (or `forbid`).
+
+use crate::context::{attrs_before, FileContext};
+use crate::lexer::{Token, TokenKind};
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// No `unwrap`/`expect`/`panic!` in mechanism crates.
+    NoPanic,
+    /// No direct `Instant::now`/`SystemTime::now`.
+    NoDirectClock,
+    /// No float `==`/`!=` literals, no `partial_cmp`.
+    FloatDiscipline,
+    /// No `HashMap`/`HashSet` in deterministic crates.
+    NoHashIteration,
+    /// Threads and locks only in `threaded.rs`.
+    ThreadDiscipline,
+    /// `pub fn … -> Result` requires `#[must_use]`.
+    MustUseResult,
+    /// Crate roots must deny `unsafe_code`.
+    CrateHeader,
+}
+
+/// Every rule, in report order.
+pub const ALL_RULES: [RuleId; 7] = [
+    RuleId::NoPanic,
+    RuleId::NoDirectClock,
+    RuleId::FloatDiscipline,
+    RuleId::NoHashIteration,
+    RuleId::ThreadDiscipline,
+    RuleId::MustUseResult,
+    RuleId::CrateHeader,
+];
+
+impl RuleId {
+    /// Short stable code used in baselines and reports (`R1`…`R7`).
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Self::NoPanic => "R1",
+            Self::NoDirectClock => "R2",
+            Self::FloatDiscipline => "R3",
+            Self::NoHashIteration => "R4",
+            Self::ThreadDiscipline => "R5",
+            Self::MustUseResult => "R6",
+            Self::CrateHeader => "R7",
+        }
+    }
+
+    /// Human-readable rule slug.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::NoPanic => "no-panic",
+            Self::NoDirectClock => "no-direct-clock",
+            Self::FloatDiscipline => "float-discipline",
+            Self::NoHashIteration => "no-hash-iteration",
+            Self::ThreadDiscipline => "thread-discipline",
+            Self::MustUseResult => "must-use-result",
+            Self::CrateHeader => "crate-header",
+        }
+    }
+
+    /// One-line rationale, tied to the paper guarantee it protects.
+    #[must_use]
+    pub fn rationale(self) -> &'static str {
+        match self {
+            Self::NoPanic => {
+                "a panic in the center aborts settlement mid-day and voids ex ante \
+                 budget balance (Theorem 1); adversarial input must surface as Result"
+            }
+            Self::NoDirectClock => {
+                "clock injection (enki-telemetry::clock) keeps solver degradation and \
+                 traces byte-reproducible; ad-hoc Instant::now breaks replay"
+            }
+            Self::FloatDiscipline => {
+                "money and load are f64; NaN-unaware comparisons reorder allocations \
+                 and mis-split bills — use total_cmp or the enki-core::float helpers"
+            }
+            Self::NoHashIteration => {
+                "HashMap/HashSet iteration order is randomized per process, which \
+                 would leak nondeterminism into allocations and payments"
+            }
+            Self::ThreadDiscipline => {
+                "confining spawn/locks to threaded.rs (and the telemetry substrate) \
+                 keeps the mechanism single-threaded and auditable"
+            }
+            Self::MustUseResult => {
+                "a silently dropped Result (e.g. Settlement::verify) hides an \
+                 invariant violation; public fallible APIs must be #[must_use]"
+            }
+            Self::CrateHeader => {
+                "every crate root must carry #![deny(unsafe_code)] so the whole \
+                 workspace stays within safe Rust"
+            }
+        }
+    }
+
+    /// Parses a rule code (`R1`) or slug (`no-panic`).
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        ALL_RULES
+            .into_iter()
+            .find(|r| r.code() == text || r.name() == text)
+    }
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// What was found and what to do instead.
+    pub message: String,
+}
+
+/// A scanned source file plus everything the rules need to know about
+/// where it sits in the workspace.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel_path: String,
+    /// Directory under `crates/` (`"core"`, `"solver"`, …); `None` for
+    /// the root facade crate.
+    pub crate_dir: Option<String>,
+    /// Lives under a `tests/`, `benches/`, or `examples/` directory.
+    pub is_test_target: bool,
+    /// Is a crate root (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`).
+    pub is_crate_root: bool,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+    /// Test-region mask and attribute spans.
+    pub ctx: FileContext,
+}
+
+impl SourceFile {
+    fn file_name(&self) -> &str {
+        self.rel_path.rsplit('/').next().unwrap_or(&self.rel_path)
+    }
+
+    fn in_crate(&self, dirs: &[&str]) -> bool {
+        self.crate_dir.as_deref().is_some_and(|d| dirs.contains(&d))
+    }
+}
+
+/// Runs every applicable rule on one file.
+#[must_use]
+pub fn check_file(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if file.is_crate_root {
+        crate_header(file, &mut out);
+    }
+    if file.is_test_target {
+        // Integration tests, benches, and examples are exempt from the
+        // body rules: panics and ad-hoc timing are idiomatic there.
+        return out;
+    }
+    if file.in_crate(&["core", "solver", "agents"]) {
+        no_panic(file, &mut out);
+    }
+    no_direct_clock(file, &mut out);
+    float_discipline(file, &mut out);
+    if file.in_crate(&["core", "solver", "agents", "sim", "study"]) {
+        no_hash_iteration(file, &mut out);
+    }
+    thread_discipline(file, &mut out);
+    must_use_result(file, &mut out);
+    out.sort_by_key(|v| (v.line, v.rule));
+    out
+}
+
+/// Yields indices of non-test tokens.
+fn live_indices(file: &SourceFile) -> impl Iterator<Item = usize> + '_ {
+    (0..file.tokens.len()).filter(|&i| !file.ctx.test_mask[i])
+}
+
+fn push(out: &mut Vec<Violation>, file: &SourceFile, rule: RuleId, line: u32, message: String) {
+    out.push(Violation {
+        rule,
+        path: file.rel_path.clone(),
+        line,
+        message,
+    });
+}
+
+fn no_panic(file: &SourceFile, out: &mut Vec<Violation>) {
+    let toks = &file.tokens;
+    for i in live_indices(file) {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "panic" | "todo" | "unimplemented" | "unreachable"
+                if toks.get(i + 1).is_some_and(|n| n.is_punct("!")) =>
+            {
+                push(
+                    out,
+                    file,
+                    RuleId::NoPanic,
+                    t.line,
+                    format!(
+                        "`{}!` in mechanism code: return a structured Error instead \
+                         (a panic voids Theorem 1's settlement guarantees)",
+                        t.text
+                    ),
+                );
+            }
+            "unwrap" | "expect"
+                if i > 0
+                    && toks[i - 1].is_punct(".")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) =>
+            {
+                push(
+                    out,
+                    file,
+                    RuleId::NoPanic,
+                    t.line,
+                    format!(
+                        "`.{}()` in mechanism code: propagate with `?` or handle the \
+                         None/Err case explicitly",
+                        t.text
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+fn no_direct_clock(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.rel_path == "crates/telemetry/src/clock.rs" {
+        // The one sanctioned wrapper around the OS clock.
+        return;
+    }
+    let toks = &file.tokens;
+    for i in live_indices(file) {
+        let t = &toks[i];
+        if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("now"))
+        {
+            push(
+                out,
+                file,
+                RuleId::NoDirectClock,
+                t.line,
+                format!(
+                    "direct `{}::now()`: read time through an injected \
+                     `enki_telemetry::Clock` (MonotonicClock in production, \
+                     VirtualClock in tests)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn float_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
+    let toks = &file.tokens;
+    for i in live_indices(file) {
+        let t = &toks[i];
+        if t.is_punct("==") || t.is_punct("!=") {
+            let left_float = i > 0 && toks[i - 1].kind == TokenKind::Float;
+            let right_float = match toks.get(i + 1) {
+                Some(n) if n.kind == TokenKind::Float => true,
+                Some(n) if n.is_punct("-") => {
+                    toks.get(i + 2).is_some_and(|m| m.kind == TokenKind::Float)
+                }
+                _ => false,
+            };
+            if left_float || right_float {
+                push(
+                    out,
+                    file,
+                    RuleId::FloatDiscipline,
+                    t.line,
+                    format!(
+                        "float literal compared with `{}`: use an explicit tolerance \
+                         (`enki_core::float::approx_eq`) — exact f64 equality mis-splits \
+                         money",
+                        t.text
+                    ),
+                );
+            }
+        }
+        if t.is_ident("partial_cmp") && !(i > 0 && toks[i - 1].is_ident("fn")) {
+            push(
+                out,
+                file,
+                RuleId::FloatDiscipline,
+                t.line,
+                "`partial_cmp` on floats panics or misorders on NaN: use `total_cmp` \
+                 (or `enki_core::float::cmp_f64`) for a total order"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn no_hash_iteration(file: &SourceFile, out: &mut Vec<Violation>) {
+    let toks = &file.tokens;
+    for i in live_indices(file) {
+        let t = &toks[i];
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            push(
+                out,
+                file,
+                RuleId::NoHashIteration,
+                t.line,
+                format!(
+                    "`{}` in a deterministic crate: iteration order is randomized — \
+                     use BTreeMap/BTreeSet or a sorted Vec",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn thread_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.crate_dir.as_deref() == Some("telemetry") || file.file_name() == "threaded.rs" {
+        // telemetry is the sanctioned lock-bearing substrate; threaded.rs
+        // is the one deployment entry point allowed to spawn.
+        return;
+    }
+    let toks = &file.tokens;
+    for i in live_indices(file) {
+        let t = &toks[i];
+        if t.is_ident("thread")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.is_ident("spawn") || n.is_ident("scope"))
+        {
+            push(
+                out,
+                file,
+                RuleId::ThreadDiscipline,
+                t.line,
+                "thread spawning outside threaded.rs: route concurrency through the \
+                 threaded deployment module"
+                    .to_string(),
+            );
+        }
+        if t.is_ident("Mutex") || t.is_ident("RwLock") || t.is_ident("Condvar") {
+            push(
+                out,
+                file,
+                RuleId::ThreadDiscipline,
+                t.line,
+                format!(
+                    "`{}` outside threaded.rs/enki-telemetry: the mechanism core is \
+                     single-threaded by design",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Keywords that may sit between `pub` and `fn`.
+fn is_fn_qualifier(t: &Token) -> bool {
+    matches!(t.text.as_str(), "const" | "async" | "unsafe" | "extern") || t.kind == TokenKind::Str
+}
+
+fn must_use_result(file: &SourceFile, out: &mut Vec<Violation>) {
+    let toks = &file.tokens;
+    for i in live_indices(file) {
+        if !toks[i].is_ident("pub") {
+            continue;
+        }
+        // Restricted visibility (`pub(crate)`) is not public API.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        while toks.get(j).is_some_and(is_fn_qualifier) {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| t.is_ident("fn")) {
+            continue;
+        }
+        let Some(name_tok) = toks.get(j + 1) else { continue };
+        let fn_line = name_tok.line;
+        let fn_name = name_tok.text.clone();
+
+        // Scan the signature for the return arrow at zero nesting.
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut angle = 0i32;
+        let mut k = j + 2;
+        let mut arrow = None;
+        let mut body = None;
+        while let Some(t) = toks.get(k) {
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "<" if t.kind == TokenKind::Punct => angle += 1,
+                ">" if t.kind == TokenKind::Punct => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                "->" if paren == 0 && bracket == 0 && angle <= 0 && arrow.is_none() => {
+                    arrow = Some(k);
+                }
+                "{" | ";" if paren == 0 && bracket == 0 => {
+                    body = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let (Some(arrow), Some(body)) = (arrow, body) else { continue };
+
+        // Return type = tokens between `->` and the body/`;`/`where`.
+        let ret_end = toks[arrow..body]
+            .iter()
+            .position(|t| t.is_ident("where"))
+            .map_or(body, |w| arrow + w);
+        let returns_result = toks[arrow..ret_end]
+            .iter()
+            .any(|t| t.is_ident("Result"));
+        if !returns_result {
+            continue;
+        }
+
+        let has_must_use = attrs_before(&file.ctx, i).iter().any(|a| {
+            file.tokens[a.start..=a.end]
+                .iter()
+                .any(|t| t.is_ident("must_use"))
+        });
+        if !has_must_use {
+            push(
+                out,
+                file,
+                RuleId::MustUseResult,
+                fn_line,
+                format!(
+                    "public fallible `fn {fn_name}` returns Result without \
+                     `#[must_use]`: annotate it (with a message naming the dropped \
+                     invariant) so callers cannot ignore failure"
+                ),
+            );
+        }
+    }
+}
+
+fn crate_header(file: &SourceFile, out: &mut Vec<Violation>) {
+    let has_header = file.ctx.attrs.iter().any(|a| {
+        if !a.inner {
+            return false;
+        }
+        let idents: Vec<&str> = file.tokens[a.start..=a.end]
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        idents.iter().any(|&i| i == "deny" || i == "forbid")
+            && idents.contains(&"unsafe_code")
+    });
+    if !has_header {
+        push(
+            out,
+            file,
+            RuleId::CrateHeader,
+            1,
+            "crate root lacks `#![deny(unsafe_code)]`: every compilation root must \
+             opt out of unsafe Rust"
+                .to_string(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::analyze;
+    use crate::lexer::tokenize;
+
+    fn file(rel_path: &str, src: &str) -> SourceFile {
+        let tokens = tokenize(src);
+        let ctx = analyze(&tokens);
+        let crate_dir = rel_path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .map(str::to_string);
+        let is_test_target = rel_path
+            .split('/')
+            .any(|c| c == "tests" || c == "benches" || c == "examples");
+        let is_crate_root = rel_path.ends_with("src/lib.rs")
+            || rel_path.ends_with("src/main.rs")
+            || (rel_path.contains("src/bin/") && rel_path.ends_with(".rs"));
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_dir,
+            is_test_target,
+            is_crate_root,
+            tokens,
+            ctx,
+        }
+    }
+
+    fn codes(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.rule.code()).collect()
+    }
+
+    #[test]
+    fn unwrap_in_core_is_flagged_but_not_in_tests() {
+        let v = check_file(&file(
+            "crates/core/src/x.rs",
+            "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n\
+             #[cfg(test)] mod tests { fn g(o: Option<u32>) -> u32 { o.unwrap() } }",
+        ));
+        assert_eq!(codes(&v), vec!["R1"]);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_outside_scoped_crates_is_not_r1() {
+        let v = check_file(&file(
+            "crates/stats/src/x.rs",
+            "fn f(o: Option<u32>) -> u32 { o.unwrap() }",
+        ));
+        assert!(codes(&v).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_allowed() {
+        let v = check_file(&file(
+            "crates/core/src/x.rs",
+            "fn f(o: Option<u32>) -> u32 { o.unwrap_or(0).max(o.unwrap_or_default()) }",
+        ));
+        assert!(codes(&v).is_empty());
+    }
+
+    #[test]
+    fn instant_now_is_flagged_everywhere_but_the_clock_module() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(codes(&check_file(&file("crates/sim/src/x.rs", src))), vec!["R2"]);
+        assert!(codes(&check_file(&file("crates/telemetry/src/clock.rs", src))).is_empty());
+    }
+
+    #[test]
+    fn float_equality_and_partial_cmp_are_flagged() {
+        let v = check_file(&file(
+            "crates/stats/src/x.rs",
+            "fn f(x: f64, ys: &mut [f64]) -> bool {\n\
+             ys.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+             x == 0.0\n}",
+        ));
+        assert_eq!(codes(&v), vec!["R3", "R3"]);
+    }
+
+    #[test]
+    fn total_cmp_and_tolerant_compare_pass() {
+        let v = check_file(&file(
+            "crates/stats/src/x.rs",
+            "fn f(x: f64, ys: &mut [f64]) -> bool {\n\
+             ys.sort_by(|a, b| a.total_cmp(b));\n\
+             (x - 1.0).abs() < 1e-9\n}",
+        ));
+        assert!(codes(&v).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_definition_in_a_trait_impl_is_allowed() {
+        let v = check_file(&file(
+            "crates/agents/src/x.rs",
+            "impl PartialOrd for T { fn partial_cmp(&self, o: &Self) -> Option<Ordering> \
+             { Some(self.cmp(o)) } }",
+        ));
+        assert!(codes(&v).is_empty());
+    }
+
+    #[test]
+    fn hashmap_flagged_in_deterministic_crates_only() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        let v = check_file(&file("crates/core/src/x.rs", src));
+        assert!(codes(&v).iter().all(|&c| c == "R4"));
+        assert_eq!(v.len(), 3);
+        assert!(codes(&check_file(&file("crates/bench/src/x.rs", src))).is_empty());
+    }
+
+    #[test]
+    fn locks_flagged_outside_threaded_rs() {
+        let src = "use std::sync::Mutex;\nfn f() { std::thread::spawn(|| {}); }";
+        let v = check_file(&file("crates/agents/src/runtime.rs", src));
+        assert_eq!(codes(&v), vec!["R5", "R5"]);
+        assert!(codes(&check_file(&file("crates/agents/src/threaded.rs", src))).is_empty());
+        assert!(codes(&check_file(&file("crates/telemetry/src/recorder.rs", src))).is_empty());
+    }
+
+    #[test]
+    fn pub_fallible_fn_requires_must_use() {
+        let v = check_file(&file(
+            "crates/core/src/x.rs",
+            "pub fn fallible() -> Result<u32, E> { Ok(1) }",
+        ));
+        assert_eq!(codes(&v), vec!["R6"]);
+        let ok = check_file(&file(
+            "crates/core/src/x.rs",
+            "#[must_use = \"why\"]\npub fn fallible() -> Result<u32, E> { Ok(1) }",
+        ));
+        assert!(codes(&ok).is_empty());
+    }
+
+    #[test]
+    fn must_use_rule_skips_non_public_and_infallible_fns() {
+        let v = check_file(&file(
+            "crates/core/src/x.rs",
+            "fn private() -> Result<u32, E> { Ok(1) }\n\
+             pub(crate) fn internal() -> Result<u32, E> { Ok(1) }\n\
+             pub fn infallible() -> u32 { 1 }",
+        ));
+        assert!(codes(&v).is_empty());
+    }
+
+    #[test]
+    fn must_use_rule_ignores_result_in_generic_bounds() {
+        let v = check_file(&file(
+            "crates/core/src/x.rs",
+            "pub fn apply<F: Fn() -> Result<u32, E>>(f: F) -> u32 { f().unwrap_or(0) }",
+        ));
+        assert!(codes(&v).is_empty());
+    }
+
+    #[test]
+    fn crate_root_without_deny_unsafe_is_flagged() {
+        let v = check_file(&file("crates/core/src/lib.rs", "pub mod x;"));
+        assert_eq!(codes(&v), vec!["R7"]);
+        let ok = check_file(&file(
+            "crates/core/src/lib.rs",
+            "#![deny(unsafe_code)]\npub mod x;",
+        ));
+        assert!(codes(&ok).is_empty());
+        let forbid = check_file(&file(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod x;",
+        ));
+        assert!(codes(&forbid).is_empty());
+    }
+
+    #[test]
+    fn test_targets_only_get_the_header_rule() {
+        let v = check_file(&file(
+            "crates/core/tests/t.rs",
+            "fn f(o: Option<u32>) { o.unwrap(); let m: HashMap<u32,u32> = HashMap::new(); }",
+        ));
+        assert!(codes(&v).is_empty());
+    }
+}

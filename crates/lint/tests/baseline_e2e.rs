@@ -1,0 +1,125 @@
+//! End-to-end engine test on a synthetic mini-workspace: discovery,
+//! rule scan, baseline round-trip, staleness detection, JSON shape.
+
+use std::fs;
+use std::path::PathBuf;
+
+use enki_lint::engine::{run_check, CheckConfig};
+use enki_lint::{baseline, report};
+
+/// A scratch workspace under the target directory (unique per test so
+/// they can run in parallel), cleaned up on drop.
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(name: &str) -> Self {
+        let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("enki-lint-{name}"));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/core/src")).expect("mkdir");
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(path, content).expect("write");
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const DIRTY_LIB: &str = "#![deny(unsafe_code)]\n\
+    pub fn pay(bill: Option<f64>) -> f64 { bill.unwrap() }\n";
+
+const CLEAN_LIB: &str = "#![deny(unsafe_code)]\n\
+    pub fn pay(bill: Option<f64>) -> f64 { bill.unwrap_or(0.0) }\n";
+
+#[test]
+fn clean_tree_passes_without_a_baseline() {
+    let ws = Scratch::new("clean");
+    ws.write("crates/core/src/lib.rs", CLEAN_LIB);
+    let report = run_check(&CheckConfig {
+        root: ws.root.clone(),
+        baseline: None,
+    })
+    .expect("runs");
+    assert!(report.ok(), "{:#?}", report.violations);
+    assert_eq!(report.files, 1);
+}
+
+#[test]
+fn injected_violation_fails_then_a_justified_baseline_absorbs_it() {
+    let ws = Scratch::new("roundtrip");
+    ws.write("crates/core/src/lib.rs", DIRTY_LIB);
+
+    // 1. The violation fails the check.
+    let config = CheckConfig {
+        root: ws.root.clone(),
+        baseline: Some(ws.root.join("lint.baseline")),
+    };
+    let first = run_check(&config).expect("runs");
+    assert!(!first.ok());
+    assert_eq!(first.violations.len(), 1);
+
+    // 2. A generated baseline is rejected until justified.
+    let rendered = baseline::render(&first.violations);
+    ws.write("lint.baseline", &rendered);
+    assert!(run_check(&config).is_err(), "placeholder must be rejected");
+
+    // 3. Justified, the baseline makes the tree green…
+    let justified = rendered.replace("UNJUSTIFIED: explain why", "tracked legacy site");
+    ws.write("lint.baseline", &justified);
+    let second = run_check(&config).expect("runs");
+    assert!(second.ok(), "{:#?}", second.violations);
+    assert_eq!(second.suppressed.len(), 1);
+    assert_eq!(second.suppressed[0].1, "tracked legacy site");
+
+    // 4. …and fixing the code makes the baseline stale: no silent rot.
+    ws.write("crates/core/src/lib.rs", CLEAN_LIB);
+    let third = run_check(&config).expect("runs");
+    assert!(!third.ok());
+    assert_eq!(third.stale.len(), 1);
+    assert_eq!(third.stale[0].actual, 0);
+}
+
+#[test]
+fn vendored_and_target_trees_are_never_scanned() {
+    let ws = Scratch::new("skip");
+    ws.write("crates/core/src/lib.rs", CLEAN_LIB);
+    ws.write("vendor/dep/src/lib.rs", "pub fn f(o: Option<u32>) -> u32 { o.unwrap() }");
+    ws.write("target/debug/gen.rs", "pub fn f(o: Option<u32>) -> u32 { o.unwrap() }");
+    let report = run_check(&CheckConfig {
+        root: ws.root.clone(),
+        baseline: None,
+    })
+    .expect("runs");
+    assert!(report.ok(), "{:#?}", report.violations);
+    assert_eq!(report.files, 1);
+}
+
+#[test]
+fn json_report_is_deterministic_and_line_oriented() {
+    let ws = Scratch::new("json");
+    ws.write("crates/core/src/lib.rs", DIRTY_LIB);
+    let config = CheckConfig {
+        root: ws.root.clone(),
+        baseline: None,
+    };
+    let a = run_check(&config).expect("runs");
+    let b = run_check(&config).expect("runs");
+    // git_rev is "unknown" (no .git) and run_id is a content hash, so
+    // two runs over the same tree render byte-identically.
+    assert_eq!(report::to_jsonl(&a), report::to_jsonl(&b));
+    let json = report::to_jsonl(&a);
+    let lines: Vec<&str> = json.lines().collect();
+    assert!(lines[0].contains("\"schema\":\"enki-lint/1\""));
+    assert!(lines[0].contains("\"git_rev\":\"unknown\""));
+    assert!(lines.iter().any(|l| l.contains("\"type\":\"violation\"")));
+    assert!(lines.last().expect("summary").contains("\"ok\":false"));
+}

@@ -1,0 +1,32 @@
+// R1 fixture: panic-family calls in mechanism code. Expected: 5 violations
+// in non-test code; the test module at the bottom must stay silent.
+
+pub struct Settlement;
+
+pub fn settle(bill: Option<f64>) -> f64 {
+    let value = bill.unwrap(); // violation 1
+    let checked = bill.expect("bill must be present"); // violation 2
+    if value < 0.0 {
+        panic!("negative bill"); // violation 3
+    }
+    if checked > 1e12 {
+        unreachable!(); // violation 4
+    }
+    todo!() // violation 5
+}
+
+pub fn fine(bill: Option<f64>) -> f64 {
+    // unwrap_or / unwrap_or_else / strings are all allowed.
+    let message = "please unwrap() this string";
+    let _ = message;
+    bill.unwrap_or_default().max(bill.unwrap_or(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,18 @@
+// R2 fixture: direct OS-clock reads. Expected: 2 violations.
+
+use std::time::{Instant, SystemTime};
+
+pub fn timed() -> u128 {
+    let started = Instant::now(); // violation 1
+    let _wall = SystemTime::now(); // violation 2
+    started.elapsed().as_nanos()
+}
+
+pub fn injected(clock: &dyn Clock) -> std::time::Duration {
+    // Reading through the injected clock is the sanctioned path.
+    clock.now()
+}
+
+pub trait Clock {
+    fn now(&self) -> std::time::Duration;
+}

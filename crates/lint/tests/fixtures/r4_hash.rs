@@ -1,0 +1,21 @@
+// R4 fixture: randomized-iteration collections in a deterministic crate.
+// Expected: 3 violations (use + two mentions).
+
+use std::collections::HashMap;
+
+pub fn tally(ids: &[u32]) -> HashMap<u32, u32> {
+    let mut counts: HashMap<u32, u32> = Default::default();
+    for &id in ids {
+        *counts.entry(id).or_insert(0) += 1;
+    }
+    counts
+}
+
+pub fn ordered_tally(ids: &[u32]) -> std::collections::BTreeMap<u32, u32> {
+    // BTreeMap iterates in key order: deterministic.
+    let mut counts = std::collections::BTreeMap::new();
+    for &id in ids {
+        *counts.entry(id).or_insert(0) += 1;
+    }
+    counts
+}

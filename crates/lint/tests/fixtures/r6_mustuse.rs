@@ -1,0 +1,41 @@
+// R6 fixture: public fallible APIs without #[must_use].
+// Expected: 2 violations (`verify`, `admit`); the rest are compliant
+// or out of scope (private, pub(crate), infallible, generic bound).
+
+pub struct Error;
+
+pub fn verify(total: f64) -> Result<(), Error> {
+    // violation 1
+    if total.is_finite() {
+        Ok(())
+    } else {
+        Err(Error)
+    }
+}
+
+pub fn admit(raw: &str) -> std::result::Result<u32, Error> {
+    // violation 2
+    raw.parse().map_err(|_| Error)
+}
+
+#[must_use = "a dropped verification result hides an invariant violation"]
+pub fn verified(total: f64) -> Result<(), Error> {
+    verify(total)
+}
+
+pub(crate) fn internal(total: f64) -> Result<(), Error> {
+    verify(total)
+}
+
+fn private(total: f64) -> Result<(), Error> {
+    verify(total)
+}
+
+pub fn infallible(total: f64) -> f64 {
+    total
+}
+
+pub fn with_bound<F: Fn() -> Result<(), Error>>(f: F) -> u32 {
+    let _ = f();
+    0
+}

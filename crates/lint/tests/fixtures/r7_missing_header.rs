@@ -1,0 +1,4 @@
+// R7 fixture: a crate root with no unsafe_code header.
+// Expected: 1 violation when classified as src/lib.rs.
+
+pub mod something;

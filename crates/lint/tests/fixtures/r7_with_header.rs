@@ -1,0 +1,6 @@
+// R7 fixture: a compliant crate root (grouped deny list).
+
+#![deny(unsafe_code, unused_must_use)]
+#![warn(missing_docs)]
+
+pub mod something;

@@ -1,0 +1,128 @@
+//! Fixture-driven rule tests: each rule gets a positive fixture (known
+//! violation count at known lines) and a negative surface (the
+//! compliant forms in the same file stay silent).
+
+use enki_lint::engine::classify;
+use enki_lint::rules::{check_file, RuleId, Violation};
+
+fn check_fixture(pretend_path: &str, fixture: &str) -> Vec<Violation> {
+    check_file(&classify(pretend_path, fixture))
+}
+
+fn rule_counts(violations: &[Violation]) -> Vec<(RuleId, usize)> {
+    let mut counts: std::collections::BTreeMap<RuleId, usize> = Default::default();
+    for v in violations {
+        *counts.entry(v.rule).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+#[test]
+fn r1_panic_fixture_flags_the_five_sites() {
+    let v = check_fixture(
+        "crates/core/src/r1_panic.rs",
+        include_str!("fixtures/r1_panic.rs"),
+    );
+    assert_eq!(rule_counts(&v), vec![(RuleId::NoPanic, 5)], "{v:#?}");
+    // The test module's unwrap stays silent: all hits are before it.
+    let tests_start = include_str!("fixtures/r1_panic.rs")
+        .lines()
+        .position(|l| l.contains("mod tests"))
+        .expect("fixture has a test module") as u32;
+    assert!(v.iter().all(|v| v.line < tests_start), "{v:#?}");
+}
+
+#[test]
+fn r1_fixture_is_clean_outside_the_scoped_crates() {
+    let v = check_fixture(
+        "crates/stats/src/r1_panic.rs",
+        include_str!("fixtures/r1_panic.rs"),
+    );
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn r2_clock_fixture_flags_both_reads() {
+    let v = check_fixture(
+        "crates/sim/src/r2_clock.rs",
+        include_str!("fixtures/r2_clock.rs"),
+    );
+    assert_eq!(rule_counts(&v), vec![(RuleId::NoDirectClock, 2)], "{v:#?}");
+}
+
+#[test]
+fn r2_fixture_is_exempt_in_the_clock_module() {
+    let v = check_fixture(
+        "crates/telemetry/src/clock.rs",
+        include_str!("fixtures/r2_clock.rs"),
+    );
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn r3_float_fixture_flags_the_four_sites() {
+    let v = check_fixture(
+        "crates/stats/src/r3_float.rs",
+        include_str!("fixtures/r3_float.rs"),
+    );
+    assert_eq!(rule_counts(&v), vec![(RuleId::FloatDiscipline, 4)], "{v:#?}");
+}
+
+#[test]
+fn r4_hash_fixture_flags_every_mention_in_scope_only() {
+    let fixture = include_str!("fixtures/r4_hash.rs");
+    let v = check_fixture("crates/core/src/r4_hash.rs", fixture);
+    assert_eq!(rule_counts(&v), vec![(RuleId::NoHashIteration, 3)], "{v:#?}");
+    // bench is outside the deterministic envelope.
+    assert!(check_fixture("crates/bench/src/r4_hash.rs", fixture).is_empty());
+}
+
+#[test]
+fn r5_thread_fixture_flags_lock_and_spawn() {
+    let fixture = include_str!("fixtures/r5_thread.rs");
+    let v = check_fixture("crates/bench/src/r5_thread.rs", fixture);
+    assert_eq!(rule_counts(&v), vec![(RuleId::ThreadDiscipline, 3)], "{v:#?}");
+    // threaded.rs and the telemetry substrate are sanctioned.
+    assert!(check_fixture("crates/agents/src/threaded.rs", fixture).is_empty());
+    assert!(check_fixture("crates/telemetry/src/r5_thread.rs", fixture).is_empty());
+}
+
+#[test]
+fn r6_mustuse_fixture_flags_the_two_bare_apis() {
+    let v = check_fixture(
+        "crates/core/src/r6_mustuse.rs",
+        include_str!("fixtures/r6_mustuse.rs"),
+    );
+    assert_eq!(rule_counts(&v), vec![(RuleId::MustUseResult, 2)], "{v:#?}");
+    let names: Vec<_> = v.iter().map(|v| v.message.clone()).collect();
+    assert!(names.iter().any(|m| m.contains("`fn verify`")), "{names:?}");
+    assert!(names.iter().any(|m| m.contains("`fn admit`")), "{names:?}");
+}
+
+#[test]
+fn r7_header_fixture_flags_only_crate_roots_without_the_header() {
+    let missing = include_str!("fixtures/r7_missing_header.rs");
+    let v = check_fixture("crates/core/src/lib.rs", missing);
+    assert_eq!(rule_counts(&v), vec![(RuleId::CrateHeader, 1)], "{v:#?}");
+    // Same content as a non-root module: no header required.
+    assert!(check_fixture("crates/core/src/inner.rs", missing).is_empty());
+    // Compliant root (grouped deny list) passes.
+    let with = include_str!("fixtures/r7_with_header.rs");
+    assert!(check_fixture("crates/core/src/lib.rs", with).is_empty());
+}
+
+#[test]
+fn violations_carry_one_based_lines_pointing_at_the_site() {
+    let v = check_fixture(
+        "crates/sim/src/r2_clock.rs",
+        include_str!("fixtures/r2_clock.rs"),
+    );
+    let source = include_str!("fixtures/r2_clock.rs");
+    for violation in &v {
+        let line = source
+            .lines()
+            .nth((violation.line - 1) as usize)
+            .expect("line exists");
+        assert!(line.contains("::now()"), "line {}: {line}", violation.line);
+    }
+}

@@ -1,0 +1,58 @@
+//! The meta-test: the committed workspace must pass its own linter
+//! with the committed baseline, and the baseline must match the tree
+//! *exactly* — a fixed violation whose entry lingers, or a new
+//! violation, both fail here before they fail in CI.
+
+use std::path::PathBuf;
+
+use enki_lint::engine::{run_check, CheckConfig};
+use enki_lint::report::to_text;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint → workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/lint has a workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean_under_the_committed_baseline() {
+    let root = workspace_root();
+    let report = run_check(&CheckConfig {
+        baseline: Some(root.join("lint.baseline")),
+        root,
+    })
+    .expect("lint run succeeds (malformed baseline is a test failure)");
+    assert!(
+        report.ok(),
+        "workspace has non-baselined lint findings or stale baseline entries:\n{}",
+        to_text(&report)
+    );
+    // Sanity: the walk actually covered the workspace.
+    assert!(
+        report.files > 50,
+        "suspiciously few files scanned: {}",
+        report.files
+    );
+}
+
+#[test]
+fn every_baseline_suppression_carries_its_justification() {
+    let root = workspace_root();
+    let report = run_check(&CheckConfig {
+        baseline: Some(root.join("lint.baseline")),
+        root,
+    })
+    .expect("lint run succeeds");
+    for (violation, reason) in &report.suppressed {
+        assert!(
+            !reason.trim().is_empty(),
+            "suppressed {} at {}:{} has no justification",
+            violation.rule.code(),
+            violation.path,
+            violation.line
+        );
+    }
+}

@@ -36,6 +36,7 @@ impl Coalition {
     ///
     /// Returns [`Error::EmptyNeighborhood`] for an empty member list and
     /// [`Error::DuplicateHousehold`] for duplicate members.
+    #[must_use = "dropping the Result discards the scenario and skips its validation"]
     pub fn new(members: Vec<(HouseholdId, Preference)>) -> Result<Self> {
         if members.is_empty() {
             return Err(Error::EmptyNeighborhood);
@@ -161,6 +162,7 @@ pub struct CoalitionComparison {
 /// # Errors
 ///
 /// Propagates mechanism errors.
+#[must_use = "dropping the comparison discards both coalitions' settlements"]
 pub fn compare_coalition<R: Rng + ?Sized>(
     enki: &Enki,
     coalition: &Coalition,

@@ -46,6 +46,7 @@ impl EccPredictor {
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] for `alpha` outside `(0, 1]`.
+    #[must_use = "dropping the Result discards the predictor and skips factor validation"]
     pub fn new(alpha: f64) -> Result<Self> {
         if !alpha.is_finite() || alpha <= 0.0 || alpha > 1.0 {
             return Err(Error::InvalidConfig {

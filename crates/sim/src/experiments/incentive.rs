@@ -100,6 +100,7 @@ impl IncentiveOutcome {
 /// Propagates mechanism errors; returns
 /// [`enki_core::Error::InvalidDuration`] if the subject's duration does not
 /// fit its wide interval.
+#[must_use = "dropping the sweep discards the utility curve and any simulation error"]
 pub fn run_incentive(config: &IncentiveConfig) -> Result<IncentiveOutcome> {
     let duration = config.subject_truth.duration();
     // Validate that the wide interval can host the duration at all.
@@ -163,12 +164,7 @@ pub fn run_incentive(config: &IncentiveConfig) -> Result<IncentiveOutcome> {
 
     let best_report = points
         .iter()
-        .max_by(|a, b| {
-            a.utility
-                .mean
-                .partial_cmp(&b.utility.mean)
-                .expect("utilities are finite")
-        })
+        .max_by(|a, b| a.utility.mean.total_cmp(&b.utility.mean))
         .expect("the sweep has at least one candidate")
         .report;
     let truthful_utility = points

@@ -9,7 +9,7 @@
 //! peak-to-average ratio, neighborhood cost, and scheduling time.
 
 use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use enki_core::config::EnkiConfig;
 use enki_core::household::{HouseholdId, Report};
@@ -20,7 +20,7 @@ use enki_core::Result;
 use enki_solver::pipeline::AnytimePipeline;
 use enki_solver::problem::AllocationProblem;
 use enki_stats::descriptive::Summary;
-use enki_telemetry::Telemetry;
+use enki_telemetry::{Clock, MonotonicClock, Telemetry};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -107,6 +107,7 @@ impl SocialWelfareRow {
 ///
 /// Propagates mechanism/solver errors (none occur for well-formed
 /// configurations).
+#[must_use = "dropping the rows discards the experiment and any simulation error"]
 pub fn run_social_welfare(config: &SocialWelfareConfig) -> Result<Vec<SocialWelfareRow>> {
     run_social_welfare_with(config, None)
 }
@@ -121,11 +122,13 @@ pub fn run_social_welfare(config: &SocialWelfareConfig) -> Result<Vec<SocialWelf
 /// # Errors
 ///
 /// Same contract as [`run_social_welfare`].
+#[must_use = "dropping the rows discards the experiment and any simulation error"]
 pub fn run_social_welfare_with(
     config: &SocialWelfareConfig,
     telemetry: Option<&Telemetry>,
 ) -> Result<Vec<SocialWelfareRow>> {
     let recorder = telemetry.map(Telemetry::recorder);
+    let clock = MonotonicClock::new();
     let enki = Enki::new(config.enki);
     let pricing = config.enki.pricing();
     let mut rows = Vec::with_capacity(config.populations.len());
@@ -158,9 +161,9 @@ pub fn run_social_welfare_with(
                 .collect();
 
             // Enki greedy.
-            let started = Instant::now();
+            let started = clock.now();
             let outcome = enki.allocate(&reports, &mut rng)?;
-            let enki_elapsed = started.elapsed();
+            let enki_elapsed = clock.now().saturating_sub(started);
             enki_time.push(enki_elapsed.as_secs_f64() * 1e3);
             enki_par.push(outcome.planned_load.peak_to_average());
             enki_cost.push(outcome.planned_cost);
@@ -176,9 +179,9 @@ pub fn run_social_welfare_with(
             let solver = AnytimePipeline::new()
                 .with_exact_time_limit(config.optimal_time_limit)
                 .with_seed(rng.random());
-            let started = Instant::now();
+            let started = clock.now();
             let report = solver.solve_traced(&problem, recorder.as_ref())?;
-            let optimal_elapsed = started.elapsed();
+            let optimal_elapsed = clock.now().saturating_sub(started);
             optimal_time.push(optimal_elapsed.as_secs_f64() * 1e3);
             if let Some(r) = recorder.as_ref() {
                 r.observe_duration("experiment.optimal_ns", optimal_elapsed);

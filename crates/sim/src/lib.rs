@@ -35,7 +35,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod behavior;
 pub mod coalition;

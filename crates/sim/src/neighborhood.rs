@@ -153,6 +153,7 @@ impl SimNeighborhood {
     ///
     /// Propagates mechanism errors ([`enki_core::Error::EmptyNeighborhood`]
     /// for an empty population).
+    #[must_use = "dropping the outcome discards the day's settlement and any mechanism error"]
     pub fn run_day<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<DayOutcome> {
         let reports: Vec<Report> = self.households.iter().map(SimHousehold::report).collect();
         let allocation = self.enki.allocate(&reports, rng)?;
@@ -186,6 +187,7 @@ impl SimNeighborhood {
     /// # Errors
     ///
     /// Propagates [`enki_core::Error::EmptyNeighborhood`].
+    #[must_use = "dropping the outcome discards the baseline day used for comparison"]
     pub fn run_baseline_day(
         &self,
     ) -> Result<(Vec<f64>, enki_core::mechanism::BaselineSettlement)> {

@@ -62,6 +62,7 @@ impl UsageProfile {
     /// Returns [`enki_core::Error::WindowOutsideInterval`] if the wide
     /// interval does not contain the narrow one, and
     /// [`enki_core::Error::DurationMismatch`] if their durations differ.
+    #[must_use = "dropping the Result discards the profile and skips interval validation"]
     pub fn new(narrow: Preference, wide: Preference, rho: f64) -> enki_core::Result<Self> {
         if narrow.duration() != wide.duration() {
             return Err(enki_core::Error::DurationMismatch {

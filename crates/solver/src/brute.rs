@@ -18,6 +18,7 @@ pub const BRUTE_FORCE_LIMIT: f64 = 5e7;
 ///
 /// Returns [`Error::InvalidConfig`] when the search space exceeds
 /// [`BRUTE_FORCE_LIMIT`] candidates.
+#[must_use = "dropping the solution discards the exact optimum and any search-space error"]
 pub fn brute_force(problem: &AllocationProblem) -> Result<Solution> {
     let space: f64 = (0..problem.len())
         .map(|i| f64::from(problem.choices(i)))
@@ -33,11 +34,9 @@ pub fn brute_force(problem: &AllocationProblem) -> Result<Solution> {
     let mut current = vec![0u8; n];
     let mut best: Option<(f64, Vec<u8>)> = None;
     loop {
-        // Internal invariant, not input-reachable: the odometer below only
-        // produces deferments in 0..choices(i), which cost() accepts.
-        let cost = problem
-            .cost(&current)
-            .expect("enumerated deferments are feasible");
+        // The odometer below only produces deferments in 0..choices(i),
+        // which cost() accepts; `?` covers the impossible failure.
+        let cost = problem.cost(&current)?;
         match &best {
             Some((b, _)) if *b <= cost => {}
             _ => best = Some((cost, current.clone())),
@@ -46,7 +45,11 @@ pub fn brute_force(problem: &AllocationProblem) -> Result<Solution> {
         let mut i = 0;
         loop {
             if i == n {
-                let (_, deferments) = best.expect("at least one candidate was evaluated");
+                // At least one candidate was evaluated before the odometer
+                // can overflow, so `best` is always populated here.
+                let Some((_, deferments)) = best else {
+                    return Err(Error::SolveFailed { stage: "brute" });
+                };
                 return Solution::from_deferments(problem, deferments);
             }
             current[i] += 1;

@@ -161,6 +161,7 @@ impl BranchAndBound {
     ///
     /// Propagates construction errors from the incumbent local search
     /// (none occur for a well-formed [`AllocationProblem`]).
+    #[must_use = "dropping the outcome discards the branch-and-bound solution and its bound"]
     pub fn solve(&self, problem: &AllocationProblem) -> Result<SolveReport> {
         let start = self.clock.now();
         let n = problem.len();

@@ -39,7 +39,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod bounds;
 pub mod brute;

@@ -39,6 +39,7 @@ impl LocalSearch {
     /// # Errors
     ///
     /// Propagates window-validation errors from a malformed start vector.
+    #[must_use = "dropping the solution discards the improved schedule and any validation error"]
     pub fn improve(&self, problem: &AllocationProblem, start: Vec<u8>) -> Result<Solution> {
         let mut deferments = start;
         let windows = problem.windows(&deferments)?;
@@ -52,21 +53,17 @@ impl LocalSearch {
             #[allow(clippy::needless_range_loop)]
             for i in 0..problem.len() {
                 let pref = &problem.preferences()[i];
-                // Internal invariant, not input-reachable: the start vector
-                // was validated by problem.windows() above and every later
-                // assignment picks d from 0..=slack, so stored deferments
-                // stay feasible. The same holds for the two expects below.
-                let current = pref
-                    .window_at_deferment(deferments[i])
-                    .expect("stored deferment is feasible");
+                // The start vector was validated by problem.windows() above
+                // and every later assignment picks d from 0..=slack, so
+                // these lookups cannot fail; `?` keeps that an error, not
+                // a panic, if the invariant ever breaks.
+                let current = pref.window_at_deferment(deferments[i])?;
                 load.remove_window(current, rate);
                 // Find the cheapest placement against the residual load.
                 let mut best_d = deferments[i];
                 let mut best_delta = f64::INFINITY;
                 for d in 0..=pref.slack() {
-                    let w = pref
-                        .window_at_deferment(d)
-                        .expect("d ranges over the slack");
+                    let w = pref.window_at_deferment(d)?;
                     let delta: f64 = w
                         .slots()
                         .map(|h| {
@@ -83,9 +80,7 @@ impl LocalSearch {
                     improved = true;
                     deferments[i] = best_d;
                 }
-                let chosen = pref
-                    .window_at_deferment(deferments[i])
-                    .expect("chosen deferment is feasible");
+                let chosen = pref.window_at_deferment(deferments[i])?;
                 load.add_window(chosen, rate);
             }
             if !improved {
@@ -102,6 +97,7 @@ impl LocalSearch {
     ///
     /// Propagates errors from [`improve`](Self::improve) (none occur for
     /// internally generated starts).
+    #[must_use = "dropping the solution discards the improved schedule and any validation error"]
     pub fn solve<R: Rng + ?Sized>(
         &self,
         problem: &AllocationProblem,

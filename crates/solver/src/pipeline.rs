@@ -131,6 +131,7 @@ pub struct StageReport {
 /// The result of an anytime solve: a feasible solution, the rung that
 /// produced it, and the full ladder trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[must_use = "an unread outcome hides which ladder rung produced the schedule"]
 pub struct SolveOutcome {
     /// The best feasible solution found.
     pub solution: Solution,
@@ -271,6 +272,7 @@ impl AnytimePipeline {
     /// Returns [`Error::SolveFailed`] only if **every** rung — including
     /// the as-reported floor — panics; any single surviving rung yields
     /// `Ok`.
+    #[must_use = "dropping the outcome loses the solution and which rung produced it"]
     pub fn solve(&self, problem: &AllocationProblem) -> Result<SolveOutcome> {
         self.solve_traced(problem, None)
     }
@@ -285,6 +287,7 @@ impl AnytimePipeline {
     /// # Errors
     ///
     /// Exactly as [`solve`](Self::solve).
+    #[must_use = "dropping the outcome loses the solution and which rung produced it"]
     pub fn solve_traced(
         &self,
         problem: &AllocationProblem,
@@ -403,7 +406,10 @@ impl AnytimePipeline {
             stages.push(skipped(Rung::LocalSearch));
             stages.push(skipped(Rung::Greedy));
             stages.push(skipped(Rung::AsReported));
-            let (solution, rung) = best.expect("a proven exact stage produced a solution");
+            // `proven` is only set by an exact stage that stored `best`.
+            let Some((solution, rung)) = best else {
+                return Err(Error::SolveFailed { stage: "exact" });
+            };
             return Ok(SolveOutcome {
                 solution,
                 rung,

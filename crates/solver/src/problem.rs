@@ -49,6 +49,7 @@ impl AllocationProblem {
     ///
     /// Returns [`Error::EmptyNeighborhood`] without households and
     /// [`Error::InvalidConfig`] for non-positive `rate` or `sigma`.
+    #[must_use = "dropping the Result discards the problem and skips input validation"]
     pub fn new(preferences: Vec<Preference>, rate: f64, sigma: f64) -> Result<Self> {
         if preferences.is_empty() {
             return Err(Error::EmptyNeighborhood);
@@ -78,6 +79,7 @@ impl AllocationProblem {
     /// # Errors
     ///
     /// Returns [`Error::EmptyNeighborhood`] without households.
+    #[must_use = "dropping the Result discards the problem and skips input validation"]
     pub fn from_config(preferences: Vec<Preference>, config: &EnkiConfig) -> Result<Self> {
         Self::new(preferences, config.rate(), config.sigma())
     }
@@ -147,6 +149,7 @@ impl AllocationProblem {
     /// Returns [`Error::WindowOutsideInterval`] when a deferment exceeds its
     /// household's slack, and [`Error::UnknownHousehold`] when the vector
     /// length does not match the household count.
+    #[must_use = "dropping the Result loses the windows and hides an infeasible deferment"]
     pub fn windows(&self, deferments: &[u8]) -> Result<Vec<Interval>> {
         if deferments.len() != self.len() {
             return Err(Error::UnknownHousehold(
@@ -165,6 +168,7 @@ impl AllocationProblem {
     /// # Errors
     ///
     /// Propagates the errors of [`windows`](Self::windows).
+    #[must_use = "dropping the Result loses the load profile and hides an infeasible deferment"]
     pub fn load(&self, deferments: &[u8]) -> Result<LoadProfile> {
         Ok(LoadProfile::from_windows(
             &self.windows(deferments)?,
@@ -177,6 +181,7 @@ impl AllocationProblem {
     /// # Errors
     ///
     /// Propagates the errors of [`windows`](Self::windows).
+    #[must_use = "dropping the Result loses the cost and hides an infeasible deferment"]
     pub fn cost(&self, deferments: &[u8]) -> Result<f64> {
         Ok(self.pricing().cost(&self.load(deferments)?))
     }
@@ -207,6 +212,7 @@ impl Solution {
     /// # Errors
     ///
     /// Propagates the errors of [`AllocationProblem::windows`].
+    #[must_use = "dropping the Result discards the solution and skips deferment validation"]
     pub fn from_deferments(problem: &AllocationProblem, deferments: Vec<u8>) -> Result<Self> {
         let windows = problem.windows(&deferments)?;
         let objective = problem.cost_of_windows(&windows);

@@ -40,7 +40,7 @@ pub fn median(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("median requires non-NaN data"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     if n % 2 == 1 {
         sorted[n / 2]

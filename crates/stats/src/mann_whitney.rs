@@ -90,7 +90,7 @@ pub fn mann_whitney_u(sample1: &[f64], sample2: &[f64], alternative: Alternative
         pooled.iter().all(|(x, _)| !x.is_nan()),
         "mann_whitney_u requires non-NaN data"
     );
-    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN was checked"));
+    pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let n = pooled.len();
     let mut rank_sum1 = 0.0;
@@ -144,7 +144,9 @@ pub fn mann_whitney_u(sample1: &[f64], sample2: &[f64], alternative: Alternative
         .sum();
     let var = (n1 * n2) as f64 / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)));
     let sd = var.sqrt();
-    let (z, p_value) = if sd == 0.0 {
+    // sd is a sqrt, hence non-negative; an exact-zero test on it is the
+    // degenerate all-ties case, reached only when var is exactly 0.
+    let (z, p_value) = if sd <= f64::EPSILON {
         (0.0, 1.0)
     } else {
         match alternative {

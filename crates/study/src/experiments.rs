@@ -289,6 +289,7 @@ impl StudyOutcome {
 /// # Errors
 ///
 /// Propagates mechanism errors (none occur for the default configuration).
+#[must_use = "dropping the outcome discards the study results and any session error"]
 pub fn run_user_study(config: &StudyConfig) -> Result<StudyOutcome> {
     let mut logs = Vec::new();
     let total_subjects =

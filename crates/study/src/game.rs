@@ -113,6 +113,7 @@ pub fn draw_subject_truth<R: Rng + ?Sized>(rng: &mut R) -> Preference {
 /// # Errors
 ///
 /// Propagates mechanism errors (none occur for a non-empty session).
+#[must_use = "dropping the outcome discards the session log and any protocol error"]
 pub fn run_session<R: Rng + ?Sized>(
     config: &SessionConfig,
     subjects: &[(usize, SubjectModel)],

@@ -24,7 +24,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod artificial;
 pub mod experiments;

@@ -207,6 +207,7 @@ fn require_uint(fields: &[(String, Value)], key: &str, line: usize) -> Result<u6
 /// # Errors
 ///
 /// Returns a message naming the first offending line.
+#[must_use = "dropping the verdict skips trace validation and lets a broken artifact ship"]
 pub fn validate_jsonl(trace: &str) -> Result<JsonlSummary, String> {
     let mut lines = trace.lines().enumerate();
     let (_, header) = lines

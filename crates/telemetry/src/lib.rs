@@ -41,7 +41,9 @@
 //! assert_eq!(telemetry.counter("days.completed"), Some(1));
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod clock;
 pub mod export;

@@ -34,7 +34,8 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
+#![warn(missing_debug_implementations)]
 
 pub use enki_agents as agents;
 pub use enki_core as core;
