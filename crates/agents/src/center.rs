@@ -36,14 +36,17 @@
 //! with its bills, recovery can never re-settle a day or double-bill.
 
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 use enki_core::household::{HouseholdId, Preference, Report};
-use enki_core::mechanism::{AllocationOutcome, Enki, Settlement};
+use enki_core::load::LoadProfile;
+use enki_core::mechanism::{AllocationOutcome, Assignment, Enki, Settlement};
 use enki_core::time::Interval;
 use enki_core::validation::{RawPreference, RawReport};
-use enki_telemetry::Recorder;
+use enki_solver::prelude::{AllocationProblem, AnytimePipeline};
+use enki_telemetry::{Recorder, VirtualClock};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::message::{Envelope, Message, NodeId, Tick};
@@ -77,6 +80,136 @@ impl DayPlan {
         0 < self.report_offset
             && self.report_offset < self.meter_offset
             && self.meter_offset < self.day_length
+    }
+}
+
+/// Configuration for refining the greedy allocation through the
+/// [`enki_solver`] anytime pipeline.
+///
+/// The center's protocol obligation is met by the greedy mechanism alone;
+/// the pipeline is a *refinement*. At the report deadline the admitted
+/// preferences become an [`AllocationProblem`] and the racing portfolio
+/// (speculative branch-and-bound against seeded local search, for a
+/// thread budget ≥ 2) gets `exact_node_limit` search nodes to beat the
+/// greedy windows; the refined schedule is adopted only when its planned
+/// cost is strictly lower. The solve is budgeted in **nodes only**: the
+/// pipeline runs on a virtual clock that never advances, so the deadline
+/// never fires and the result is a pure function of the admitted reports
+/// and the day's seed, independent of host load, thread count, or
+/// scheduling. That keeps the center's checkpoints replayable — a
+/// crash-recovered center re-derives the same refined windows — and its
+/// telemetry traces byte-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Thread budget handed to [`AnytimePipeline::with_threads`]. `1`
+    /// runs the sequential degradation ladder; `≥ 2` races the exact and
+    /// local-search rungs on the solver's work-stealing pool. Results
+    /// are bit-identical at every thread count.
+    pub threads: usize,
+    /// Node budget for the exact rung — its only budget (see above).
+    pub exact_node_limit: u64,
+    /// Random restarts for the local-search rung.
+    pub restarts: usize,
+}
+
+impl Default for PipelineConfig {
+    /// Two threads (the racing portfolio), a 50 000-node exact budget —
+    /// ample to prove day-sized neighborhoods optimal — and 8 restarts.
+    fn default() -> Self {
+        Self {
+            threads: 2,
+            exact_node_limit: 50_000,
+            restarts: 8,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Splits the machine's thread budget with a deployment that already
+    /// runs `occupied` OS threads (e.g. one per household ECC plus the
+    /// center in [`crate::threaded`]): the solver keeps at most the
+    /// spare parallelism, but never drops below 2 threads — the racing
+    /// portfolio — unless it was configured sequential to begin with.
+    /// Because results are bit-identical at every thread count, the
+    /// split is purely a scheduling decision and never changes outcomes.
+    #[must_use]
+    pub fn split_for(self, occupied: usize) -> Self {
+        let available =
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let spare = available.saturating_sub(occupied).max(2);
+        Self {
+            threads: self.threads.min(spare),
+            ..self
+        }
+    }
+
+    /// Tries to improve `greedy` for the admitted `reports`, returning
+    /// the refined outcome when the pipeline's best certified schedule is
+    /// strictly cheaper and the greedy outcome untouched otherwise —
+    /// including on any solver error or contained rung panic. Refinement
+    /// must never cost the neighborhood its day.
+    pub(crate) fn refine(
+        self,
+        enki: &Enki,
+        reports: &[Report],
+        greedy: AllocationOutcome,
+        seed: u64,
+        recorder: Option<&Recorder>,
+    ) -> AllocationOutcome {
+        let solved = (|| {
+            let preferences: Vec<Preference> =
+                reports.iter().map(|r| r.preference).collect();
+            let problem = AllocationProblem::from_config(preferences, enki.config())?;
+            // Node-budget only: the virtual clock never advances, so the
+            // exact deadline never fires and every stage timing the
+            // pipeline records is exact arithmetic, not wall time.
+            AnytimePipeline::new()
+                .with_threads(self.threads)
+                .with_exact_node_limit(self.exact_node_limit)
+                .with_exact_time_limit(Duration::MAX)
+                .with_restarts(self.restarts)
+                .with_seed(seed)
+                .with_clock(VirtualClock::new())
+                .solve_traced(&problem, recorder)
+        })();
+        match solved {
+            Ok(outcome) if outcome.solution.objective < greedy.planned_cost - 1e-12 => {
+                if let Some(r) = recorder {
+                    r.incr("center.pipeline.refined", 1);
+                }
+                let windows = &outcome.solution.windows;
+                let assignments = reports
+                    .iter()
+                    .zip(windows)
+                    .map(|(r, &window)| Assignment {
+                        household: r.household,
+                        window,
+                    })
+                    .collect();
+                AllocationOutcome {
+                    assignments,
+                    planned_load: LoadProfile::from_windows(windows, enki.config().rate()),
+                    planned_cost: outcome.solution.objective,
+                    // Flexibility scores and placement order are derived
+                    // from the reports (Eq. 4), not from the windows, so
+                    // the greedy mechanism's values remain the truth.
+                    predicted_flexibility: greedy.predicted_flexibility,
+                    placement_order: greedy.placement_order,
+                }
+            }
+            Ok(_) => {
+                if let Some(r) = recorder {
+                    r.incr("center.pipeline.kept_greedy", 1);
+                }
+                greedy
+            }
+            Err(_) => {
+                if let Some(r) = recorder {
+                    r.incr("center.pipeline.failed", 1);
+                }
+                greedy
+            }
+        }
     }
 }
 
@@ -159,6 +292,10 @@ pub struct CenterAgent {
     /// Optional telemetry: admission counters, phase timings, day
     /// outcomes. `None` records nothing and costs nothing.
     recorder: Option<Recorder>,
+    /// Optional allocation refinement through the solver pipeline.
+    /// Static configuration (like `plan`), not protocol state: it is not
+    /// checkpointed and must be re-supplied on [`CenterAgent::restore`].
+    pipeline: Option<PipelineConfig>,
 }
 
 impl CenterAgent {
@@ -190,7 +327,24 @@ impl CenterAgent {
             durable,
             down: false,
             recorder: None,
+            pipeline: None,
         }
+    }
+
+    /// Enables allocation refinement: at each report deadline the greedy
+    /// outcome is handed to the anytime solver pipeline and replaced when
+    /// the pipeline finds a strictly cheaper schedule. See
+    /// [`PipelineConfig`] for the determinism contract.
+    #[must_use]
+    pub fn with_pipeline(mut self, config: PipelineConfig) -> Self {
+        self.pipeline = Some(config);
+        self
+    }
+
+    /// The configured refinement pipeline, if any.
+    #[must_use]
+    pub fn pipeline(&self) -> Option<PipelineConfig> {
+        self.pipeline
     }
 
     /// Rebuilds a center from a previously persisted checkpoint plus the
@@ -220,6 +374,7 @@ impl CenterAgent {
             durable: checkpoint,
             down: false,
             recorder: None,
+            pipeline: None,
         }
     }
 
@@ -466,6 +621,23 @@ impl CenterAgent {
             }
             match self.enki.allocate(&reports, &mut self.rng) {
                 Ok(outcome) => {
+                    // Refinement draws its seed from the checkpointed RNG
+                    // stream inside the same tick that commits the
+                    // allocation, so a crash-recovered center replays the
+                    // draw and re-derives the same refined windows.
+                    let outcome = match self.pipeline {
+                        Some(cfg) => {
+                            let seed = self.rng.random();
+                            cfg.refine(
+                                &self.enki,
+                                &reports,
+                                outcome,
+                                seed,
+                                self.recorder.as_ref(),
+                            )
+                        }
+                        None => outcome,
+                    };
                     let assignments = outcome.assignments.clone();
                     current.allocation = Some((reports, outcome));
                     self.commit();
@@ -659,6 +831,76 @@ mod tests {
             .filter(|e| matches!(e.message, Message::Allocation { .. }))
             .collect();
         assert_eq!(allocations.len(), 2);
+    }
+
+    #[test]
+    fn pipeline_refinement_reaches_the_optimal_packing() {
+        // Three 2-hour jobs sharing an 18–24 window pack disjointly; the
+        // refined planned cost must hit that optimum and can never
+        // exceed whatever the greedy mechanism planned.
+        let drive = |pipeline: Option<PipelineConfig>| {
+            let mut c = center(3);
+            if let Some(cfg) = pipeline {
+                c = c.with_pipeline(cfg);
+            }
+            let mut outbox = Vec::new();
+            c.on_tick(0, &mut outbox);
+            for i in 0..3u32 {
+                c.on_message(
+                    5,
+                    NodeId::Household(HouseholdId::new(i)),
+                    Message::SubmitReport {
+                        day: 0,
+                        preference: pref(18.0, 24.0, 2.0),
+                    },
+                    &mut outbox,
+                );
+            }
+            c.on_tick(30, &mut outbox);
+            let (_, outcome) = c.current.as_ref().unwrap().allocation.clone().unwrap();
+            (outcome, c.enki.config().rate(), c.enki.config().sigma())
+        };
+        let (greedy, rate, sigma) = drive(None);
+        let (refined, _, _) = drive(Some(PipelineConfig::default()));
+        assert!(refined.planned_cost <= greedy.planned_cost + 1e-12);
+        // Disjoint packing: 6 loaded hours at `rate` ⇒ κ = σ·6·rate².
+        assert!(
+            enki_core::float::approx_eq(refined.planned_cost, sigma * 6.0 * rate * rate),
+            "refined cost {} is not the disjoint optimum",
+            refined.planned_cost
+        );
+        assert_eq!(refined.assignments.len(), 3);
+    }
+
+    #[test]
+    fn pipeline_refinement_replays_identically_after_crash_recovery() {
+        // The refinement seed is drawn from the checkpointed RNG stream
+        // inside the allocation tick, so a crash after allocation and a
+        // recovery must settle the exact same records as an uncrashed run.
+        let drive = |crash: bool| {
+            let mut c = center(4).with_pipeline(PipelineConfig::default());
+            let mut outbox = Vec::new();
+            c.on_tick(0, &mut outbox);
+            for i in 0..4u32 {
+                c.on_message(
+                    5,
+                    NodeId::Household(HouseholdId::new(i)),
+                    Message::SubmitReport {
+                        day: 0,
+                        preference: pref(17.0, 23.0, 2.0),
+                    },
+                    &mut outbox,
+                );
+            }
+            c.on_tick(30, &mut outbox);
+            if crash {
+                c.crash();
+                c.recover();
+            }
+            c.on_tick(70, &mut outbox);
+            c.records().to_vec()
+        };
+        assert_eq!(drive(false), drive(true));
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub mod threaded;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::center::{CenterAgent, CenterCheckpoint, DayPlan, DayRecord};
+    pub use crate::center::{CenterAgent, CenterCheckpoint, DayPlan, DayRecord, PipelineConfig};
     pub use crate::decentralized::{run_decentralized, DecentralizedOutcome};
     pub use crate::household::{Backoff, HouseholdAgent, ReportSource};
     pub use crate::message::{Envelope, Message, NodeId, Tick};
@@ -82,7 +82,7 @@ pub mod prelude {
     };
     pub use crate::runtime::{CrashSchedule, Runtime, TraceEvent, TraceKind};
     pub use crate::threaded::{
-        run_threaded_days, run_threaded_days_traced, ThreadedDay, ThreadedFault,
-        ThreadedHousehold,
+        run_threaded_days, run_threaded_days_pipelined, run_threaded_days_traced, ThreadedDay,
+        ThreadedFault, ThreadedHousehold,
     };
 }

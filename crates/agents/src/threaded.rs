@@ -32,8 +32,9 @@ use enki_sim::neighborhood::TruthSource;
 use enki_sim::profile::UsageProfile;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
+use crate::center::PipelineConfig;
 use crate::message::Message;
 
 /// An injected failure mode for one threaded household.
@@ -129,9 +130,42 @@ pub fn run_threaded_days_traced(
     timeout: Duration,
     telemetry: Option<&Telemetry>,
 ) -> enki_core::Result<Vec<ThreadedDay>> {
+    run_threaded_days_pipelined(enki, households, days, seed, timeout, telemetry, None)
+}
+
+/// Like [`run_threaded_days_traced`], but refines each day's greedy
+/// allocation through the anytime solver pipeline (see
+/// [`PipelineConfig`]).
+///
+/// **Thread-budget split.** The deployment already occupies one OS thread
+/// per household plus the center's, so the solver cannot assume it owns
+/// the machine: the configured budget is clamped to the spare hardware
+/// parallelism via [`PipelineConfig::split_for`] (never below the
+/// two-thread racing portfolio). Because the parallel solver is
+/// bit-identical at every thread count, the split changes scheduling
+/// pressure only — the settled outcome is the same on a laptop and a
+/// 64-core server.
+///
+/// # Errors
+///
+/// Same contract as [`run_threaded_days`]; a pipeline failure degrades to
+/// the greedy allocation rather than failing the day.
+#[must_use = "dropping the outcome discards every simulated day and any deployment fault"]
+pub fn run_threaded_days_pipelined(
+    enki: Enki,
+    households: Vec<ThreadedHousehold>,
+    days: u64,
+    seed: u64,
+    timeout: Duration,
+    telemetry: Option<&Telemetry>,
+    pipeline: Option<PipelineConfig>,
+) -> enki_core::Result<Vec<ThreadedDay>> {
     if households.is_empty() {
         return Err(enki_core::Error::EmptyNeighborhood);
     }
+    // One thread per household plus the center thread are already spoken
+    // for; the solver races on whatever the machine has left.
+    let pipeline = pipeline.map(|cfg| cfg.split_for(households.len() + 1));
 
     // Transport: one inbox per household, one shared inbox for the center.
     let (to_center, center_inbox) = unbounded::<(HouseholdId, Message)>();
@@ -282,6 +316,19 @@ pub fn run_threaded_days_traced(
                     });
                 }
                 let allocation = enki.allocate(&reports, &mut rng)?;
+                // Refinement draws its seed from the same deterministic
+                // stream as the greedy allocation, so the settled outcome
+                // is reproducible across runs and thread schedules.
+                let allocation = match pipeline {
+                    Some(cfg) => cfg.refine(
+                        &enki,
+                        &reports,
+                        allocation,
+                        rng.random(),
+                        center_recorder.as_ref(),
+                    ),
+                    None => allocation,
+                };
                 for (report, assignment) in reports.iter().zip(&allocation.assignments) {
                     let Some(idx) = households.iter().position(|h| h.id == report.household)
                     else {
@@ -535,6 +582,52 @@ mod tests {
         assert_eq!(telemetry.counter("threaded.bills.received"), Some(8));
 
         validate_jsonl(&to_jsonl(&telemetry)).expect("threaded trace self-validates");
+    }
+
+    #[test]
+    fn pipelined_deployment_is_schedule_independent() {
+        // The racing pipeline runs real solver threads inside a
+        // deployment that already has one thread per household; the
+        // settled outcome must not depend on how the OS interleaves any
+        // of them, and the refined schedule can only be cheaper than the
+        // greedy one it started from.
+        let run = || {
+            run_threaded_days_pipelined(
+                Enki::new(EnkiConfig::default()),
+                specs(6, 12),
+                2,
+                12,
+                Duration::from_secs(5),
+                None,
+                Some(PipelineConfig::default()),
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "pipelined threaded runs must be reproducible");
+        for day in &a {
+            assert_eq!(day.settlement.entries.len(), 6);
+            assert!(day.settlement.center_utility >= -1e-9);
+        }
+
+        // Same deployment without refinement: the greedy planned cost is
+        // never beaten by the refined one (the pipeline only replaces the
+        // greedy windows when strictly cheaper).
+        let greedy = run_threaded_days(
+            Enki::new(EnkiConfig::default()),
+            specs(6, 12),
+            2,
+            12,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        for (refined, plain) in a.iter().zip(&greedy) {
+            assert!(
+                refined.settlement.total_cost <= plain.settlement.total_cost + 1e-9,
+                "refinement must not worsen the realized neighborhood cost"
+            );
+        }
     }
 
     #[test]

@@ -5,6 +5,12 @@
 //!
 //! Every schedule is deterministic: a failure here reproduces exactly
 //! from the printed schedule index and seed.
+//!
+//! The center runs with the **parallel solver pipeline enabled** (the
+//! racing exact/local-search portfolio on the work-stealing pool), so
+//! every schedule also asserts that real solver threads never leak
+//! nondeterminism into settled records, checkpoints, or telemetry —
+//! including the byte-identical trace replay below.
 
 use std::time::Duration;
 
@@ -40,12 +46,16 @@ fn build(
             )
         })
         .collect();
+    // Two threads puts every allocation through the racing portfolio:
+    // speculative branch-and-bound and local search on real OS threads,
+    // with a node-only budget so the result is schedule-independent.
     let center = CenterAgent::new(
         Enki::new(EnkiConfig::default()),
         (0..n).map(HouseholdId::new).collect(),
         DayPlan::default(),
         seed,
-    );
+    )
+    .with_pipeline(PipelineConfig::default());
     Runtime::new(
         SimNetwork::new(network, seed).with_faults(faults),
         center,

@@ -1,12 +1,14 @@
 //! Machine-readable allocation bench with full telemetry.
 //!
-//! Runs the §VI-A social-welfare experiment at N ∈ {16, 64, 256}
+//! Runs the §VI-A social-welfare experiment at N ∈ {16, 64, 256, 1024}
 //! households (N ∈ {8, 16} under `--fast`) with an attached telemetry
-//! sink, then:
+//! sink — once on the sequential ladder and once on the racing parallel
+//! pipeline — then:
 //!
 //! * writes `BENCH_allocation.json` at the repository root — one record
-//!   per N with wall time, the degradation-ladder rung reached, and the
-//!   peak-to-average ratio of both schedulers;
+//!   per N with wall time, thread budget, parallel speedup, the
+//!   degradation-ladder rung reached, and the peak-to-average ratio of
+//!   both schedulers;
 //! * writes the full JSONL telemetry trace to
 //!   `target/experiments/bench_telemetry.jsonl`;
 //! * self-validates the trace against the `enki-telemetry/1` schema and
@@ -33,8 +35,15 @@ struct BenchRow {
     n: usize,
     /// Days simulated.
     days: usize,
-    /// Wall-clock time for the whole sweep at this N, milliseconds.
+    /// Wall-clock time for the whole sweep at this N, milliseconds
+    /// (racing pipeline at [`threads`](Self::threads) threads).
     wall_ms: f64,
+    /// Thread budget of the racing pipeline run this row reports.
+    threads: usize,
+    /// Sequential wall time over parallel wall time at this N
+    /// (`wall_ms(threads=1) / wall_ms`). Outcomes are bit-identical at
+    /// every thread count, so this isolates scheduling, not quality.
+    speedup: f64,
     /// Most degraded ladder rung any day ended on.
     rung: String,
     /// Days per rung, as `(rung key, days)` pairs.
@@ -66,28 +75,37 @@ struct BenchRecord {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = RunArgs::from_env();
-    let (populations, days, limit) = if args.fast {
-        (vec![8usize, 16], 2usize, Duration::from_millis(100))
+    let (populations, days, limit, threads) = if args.fast {
+        (vec![8usize, 16], 2usize, Duration::from_millis(100), 2usize)
     } else {
-        (vec![16usize, 64, 256], 3usize, Duration::from_secs(1))
+        (vec![16usize, 64, 256, 1024], 3usize, Duration::from_secs(1), 4usize)
     };
 
     let telemetry = Telemetry::new("bench_allocation", args.seed);
     let mut rows = Vec::with_capacity(populations.len());
     for &n in &populations {
-        let config = SocialWelfareConfig {
-            populations: vec![n],
-            days,
-            optimal_time_limit: limit,
-            seed: args.seed,
-            ..SocialWelfareConfig::default()
+        // One sweep on the sequential ladder, one on the racing parallel
+        // pipeline. Outcomes are bit-identical; only wall time may move.
+        let timed_run = |threads: usize,
+                         sink: Option<&enki_telemetry::Telemetry>|
+         -> Result<(f64, enki_sim::prelude::SocialWelfareRow), Box<dyn std::error::Error>> {
+            let config = SocialWelfareConfig {
+                populations: vec![n],
+                days,
+                optimal_time_limit: limit,
+                threads,
+                seed: args.seed,
+                ..SocialWelfareConfig::default()
+            };
+            let clock = MonotonicClock::new();
+            let started = clock.now();
+            let mut swept = run_social_welfare_with(&config, sink)?;
+            let wall_ms = clock.now().saturating_sub(started).as_secs_f64() * 1e3;
+            Ok((wall_ms, swept.remove(0)))
         };
-        eprintln!("n = {n}: {days} days, optimal cap {limit:?} …");
-        let clock = MonotonicClock::new();
-        let started = clock.now();
-        let swept = run_social_welfare_with(&config, Some(&telemetry))?;
-        let wall_ms = clock.now().saturating_sub(started).as_secs_f64() * 1e3;
-        let row = &swept[0];
+        eprintln!("n = {n}: {days} days, optimal cap {limit:?}, 1 vs {threads} thread(s) …");
+        let (sequential_ms, _) = timed_run(1, None)?;
+        let (wall_ms, row) = timed_run(threads, Some(&telemetry))?;
         let rung = RUNG_ORDER
             .iter()
             .rev()
@@ -97,6 +115,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             n,
             days,
             wall_ms,
+            threads,
+            speedup: if wall_ms > 0.0 { sequential_ms / wall_ms } else { 1.0 },
             rung: (*rung).to_string(),
             rungs: row.rungs.clone(),
             enki_par: row.enki_par.mean,
@@ -112,6 +132,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             vec![
                 r.n.to_string(),
                 format!("{:.0}", r.wall_ms),
+                r.threads.to_string(),
+                format!("{:.2}", r.speedup),
                 r.rung.clone(),
                 format!("{:.3}", r.enki_par),
                 format!("{:.3}", r.optimal_par),
@@ -120,7 +142,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     print_table(
-        &["n", "wall ms", "worst rung", "Enki PAR", "Optimal PAR", "opt ms/day"],
+        &[
+            "n",
+            "wall ms",
+            "threads",
+            "speedup",
+            "worst rung",
+            "Enki PAR",
+            "Optimal PAR",
+            "opt ms/day",
+        ],
         &table,
     );
 

@@ -151,6 +151,22 @@ impl LoadProfile {
         self.hours.iter().map(|l| l * l).sum()
     }
 
+    /// Change in [`sum_of_squares`](Self::sum_of_squares) if `rate` kWh
+    /// were added to every hour of `window` (pass a negative `rate` for a
+    /// removal). Does not mutate; costs O(window duration) instead of a
+    /// full 24-hour recompute, which is what makes move evaluation in the
+    /// solvers O(duration) per candidate.
+    #[must_use]
+    pub fn sum_of_squares_delta(&self, window: Interval, rate: f64) -> f64 {
+        window
+            .slots()
+            .map(|h| {
+                let l = self.at(h);
+                (l + rate) * (l + rate) - l * l
+            })
+            .sum()
+    }
+
     /// Iterator over `(hour, load)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u8, f64)> + '_ {
         self.hours
@@ -220,6 +236,116 @@ impl<'a> FromIterator<&'a Interval> for LoadProfile {
     /// Collects unit-rate (1 kWh) windows into a profile.
     fn from_iter<I: IntoIterator<Item = &'a Interval>>(iter: I) -> Self {
         Self::from_windows(iter, 1.0)
+    }
+}
+
+/// Aggregate load together with its running `Σ_h l_h²`, maintained
+/// incrementally: adding or removing a window updates both in
+/// O(window duration), so evaluating a candidate move never needs the
+/// full 24-hour recompute. In debug builds every mutation cross-checks
+/// the running sum against [`LoadProfile::sum_of_squares`].
+///
+/// # Examples
+///
+/// ```
+/// # use enki_core::load::IncrementalCost;
+/// # use enki_core::time::Interval;
+/// # fn main() -> Result<(), enki_core::Error> {
+/// let mut cost = IncrementalCost::new();
+/// let w = Interval::new(18, 20)?;
+/// let delta = cost.add_window(w, 2.0);
+/// assert_eq!(delta, 8.0);
+/// assert_eq!(cost.sum_of_squares(), 8.0);
+/// cost.remove_window(w, 2.0);
+/// assert_eq!(cost.sum_of_squares(), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncrementalCost {
+    load: LoadProfile,
+    sumsq: f64,
+}
+
+impl IncrementalCost {
+    /// Empty state: zero load, zero cost.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            load: LoadProfile::new(),
+            sumsq: 0.0,
+        }
+    }
+
+    /// Starts from an existing profile (one full recompute, then
+    /// everything is incremental).
+    #[must_use]
+    pub fn from_profile(load: LoadProfile) -> Self {
+        let sumsq = load.sum_of_squares();
+        Self { load, sumsq }
+    }
+
+    /// Builds the state of a set of consumption windows at `rate` kW.
+    #[must_use]
+    pub fn from_windows<'a, I>(windows: I, rate: f64) -> Self
+    where
+        I: IntoIterator<Item = &'a Interval>,
+    {
+        Self::from_profile(LoadProfile::from_windows(windows, rate))
+    }
+
+    /// The aggregate load profile.
+    #[must_use]
+    pub fn load(&self) -> &LoadProfile {
+        &self.load
+    }
+
+    /// The running `Σ_h l_h²`.
+    #[must_use]
+    pub fn sum_of_squares(&self) -> f64 {
+        self.sumsq
+    }
+
+    /// `Σl²` change if `rate` kWh were added over `window` — a pure
+    /// preview, no mutation. O(window duration).
+    #[must_use]
+    pub fn preview_add(&self, window: Interval, rate: f64) -> f64 {
+        self.load.sum_of_squares_delta(window, rate)
+    }
+
+    /// Adds a window, updating load and running cost; returns the `Σl²`
+    /// delta (equal to what [`preview_add`](Self::preview_add) reported).
+    pub fn add_window(&mut self, window: Interval, rate: f64) -> f64 {
+        let delta = self.load.sum_of_squares_delta(window, rate);
+        self.load.add_window(window, rate);
+        self.sumsq += delta;
+        self.cross_check();
+        delta
+    }
+
+    /// Removes a window, updating load and running cost; returns the
+    /// (typically negative) `Σl²` delta.
+    pub fn remove_window(&mut self, window: Interval, rate: f64) -> f64 {
+        let delta = self.load.sum_of_squares_delta(window, -rate);
+        self.load.remove_window(window, rate);
+        self.sumsq += delta;
+        self.cross_check();
+        delta
+    }
+
+    fn cross_check(&self) {
+        debug_assert!(
+            crate::float::approx_eq(self.sumsq, self.load.sum_of_squares()),
+            "incremental Σl² drifted from the full recompute: {} vs {}",
+            self.sumsq,
+            self.load.sum_of_squares(),
+        );
+    }
+}
+
+impl Default for IncrementalCost {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -323,5 +449,95 @@ mod tests {
         assert!(s.starts_with('['));
         assert!(s.ends_with(']'));
         assert_eq!(s.matches("0.0").count(), 24);
+    }
+
+    #[test]
+    fn sum_of_squares_delta_matches_recompute() {
+        use crate::float::approx_eq;
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(0x10AD);
+        for _ in 0..200 {
+            let mut p = LoadProfile::new();
+            for _ in 0..rng.random_range(0..6) {
+                let b = rng.random_range(0..22u8);
+                let e = rng.random_range(b + 1..=24u8.min(b + 6));
+                p.add_window(iv(b, e), rng.random_range(1..=4) as f64 * 0.5);
+            }
+            let b = rng.random_range(0..22u8);
+            let e = rng.random_range(b + 1..=24u8.min(b + 6));
+            let w = iv(b, e);
+            let rate = if rng.random_range(0..2) == 0 { 2.0 } else { -1.5 };
+            let delta = p.sum_of_squares_delta(w, rate);
+            let before = p.sum_of_squares();
+            let mut after = p;
+            after.add_window(w, rate);
+            assert!(
+                approx_eq(delta, after.sum_of_squares() - before),
+                "delta {delta} vs recompute {}",
+                after.sum_of_squares() - before
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_cost_tracks_full_recompute_over_random_moves() {
+        use crate::float::approx_eq;
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+
+        let rate = 2.0;
+        let mut rng = StdRng::seed_from_u64(0xC057);
+        let mut cost = IncrementalCost::new();
+        let mut shadow: Vec<Interval> = Vec::new();
+        for _ in 0..500 {
+            let remove = !shadow.is_empty() && rng.random_range(0..3) == 0;
+            if remove {
+                let w = shadow.swap_remove(rng.random_range(0..shadow.len()));
+                cost.remove_window(w, rate);
+            } else {
+                let b = rng.random_range(0..22u8);
+                let e = rng.random_range(b + 1..=24u8.min(b + 5));
+                let w = iv(b, e);
+                let preview = cost.preview_add(w, rate);
+                let applied = cost.add_window(w, rate);
+                assert_eq!(preview, applied, "preview must equal the applied delta");
+                shadow.push(w);
+            }
+            let full = LoadProfile::from_windows(&shadow, rate);
+            assert!(
+                approx_eq(cost.sum_of_squares(), full.sum_of_squares()),
+                "running Σl² {} drifted from recompute {}",
+                cost.sum_of_squares(),
+                full.sum_of_squares()
+            );
+            assert_eq!(cost.load(), &full);
+        }
+    }
+
+    #[test]
+    fn incremental_cost_rollback_restores_state() {
+        use crate::float::approx_eq;
+
+        // Regression: a rejected move (remove, preview alternatives, put
+        // the same window back) must leave the running state equal to the
+        // untouched one — the preview must not mutate, and the add must
+        // exactly undo the remove.
+        let rate = 2.0;
+        let windows = [iv(6, 10), iv(8, 12), iv(9, 11)];
+        let mut cost = IncrementalCost::from_windows(&windows, rate);
+        let reference = cost;
+        let removed = cost.remove_window(windows[1], rate);
+        for b in 0..20u8 {
+            let _ = cost.preview_add(iv(b, b + 3), rate);
+        }
+        let restored = cost.add_window(windows[1], rate);
+        assert!(approx_eq(removed + restored, 0.0));
+        assert!(approx_eq(
+            cost.sum_of_squares(),
+            reference.sum_of_squares()
+        ));
+        assert_eq!(cost.load(), reference.load());
     }
 }

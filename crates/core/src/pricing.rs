@@ -63,6 +63,15 @@ impl QuadraticPricing {
     pub fn sigma(&self) -> f64 {
         self.sigma
     }
+
+    /// Cost implied by a precomputed `Σ_h l_h²` (`κ = σ·Σl²`). Because the
+    /// quadratic price is linear in the sum of squares, a `Σl²` delta from
+    /// incremental evaluation (e.g. [`crate::load::IncrementalCost`]) maps
+    /// to a cost delta through this same scaling.
+    #[must_use]
+    pub fn cost_of_sum_of_squares(&self, sum_of_squares: f64) -> f64 {
+        self.sigma * sum_of_squares
+    }
 }
 
 impl Default for QuadraticPricing {
@@ -192,6 +201,19 @@ mod tests {
         }
         assert_eq!(peaked.total(), flat.total());
         assert!(pricing.cost(&flat) < pricing.cost(&peaked));
+    }
+
+    #[test]
+    fn cost_of_sum_of_squares_agrees_with_profile_cost() {
+        let pricing = QuadraticPricing::new(0.3).unwrap();
+        let mut profile = LoadProfile::new();
+        profile.add_window(Interval::new(7, 11).unwrap(), 1.5);
+        profile.add_window(Interval::new(9, 13).unwrap(), 2.5);
+        assert!(
+            (pricing.cost(&profile) - pricing.cost_of_sum_of_squares(profile.sum_of_squares()))
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -356,9 +356,17 @@ fn no_hash_iteration(file: &SourceFile, out: &mut Vec<Violation>) {
 }
 
 fn thread_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
-    if file.crate_dir.as_deref() == Some("telemetry") || file.file_name() == "threaded.rs" {
+    let is_solver_pool =
+        file.crate_dir.as_deref() == Some("solver") && file.file_name() == "par.rs";
+    if file.crate_dir.as_deref() == Some("telemetry")
+        || file.file_name() == "threaded.rs"
+        || is_solver_pool
+    {
         // telemetry is the sanctioned lock-bearing substrate; threaded.rs
-        // is the one deployment entry point allowed to spawn.
+        // is the one deployment entry point allowed to spawn; the
+        // solver's par.rs is the work-stealing pool behind the
+        // deterministic parallel solve — every other solver file must
+        // route concurrency through it.
         return;
     }
     let toks = &file.tokens;
@@ -628,6 +636,32 @@ mod tests {
         assert_eq!(codes(&v), vec!["R5", "R5"]);
         assert!(codes(&check_file(&file("crates/agents/src/threaded.rs", src))).is_empty());
         assert!(codes(&check_file(&file("crates/telemetry/src/recorder.rs", src))).is_empty());
+    }
+
+    #[test]
+    fn solver_work_stealing_pool_is_allowlisted_for_threads() {
+        // The pool itself may spawn scoped threads and hold locks…
+        let src = "use parking_lot::Mutex;\nfn f() { std::thread::scope(|_| {}); }";
+        assert!(codes(&check_file(&file("crates/solver/src/par.rs", src))).is_empty());
+        // …but everywhere else in enki-solver the discipline still holds:
+        // concurrency must route through par.rs, not be re-invented.
+        for elsewhere in [
+            "crates/solver/src/exact.rs",
+            "crates/solver/src/pipeline.rs",
+            "crates/solver/src/local_search.rs",
+            "crates/solver/src/bounds.rs",
+        ] {
+            assert_eq!(
+                codes(&check_file(&file(elsewhere, src))),
+                vec!["R5", "R5"],
+                "{elsewhere} must not spawn or lock directly"
+            );
+        }
+        // A par.rs in any other crate gets no special treatment.
+        assert_eq!(
+            codes(&check_file(&file("crates/agents/src/par.rs", src))),
+            vec!["R5", "R5"]
+        );
     }
 
     #[test]

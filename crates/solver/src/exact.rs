@@ -28,7 +28,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::bounds::{discrete_fill_sum_of_squares, hours_mask};
+use crate::bounds::{
+    discrete_fill_extra, discrete_fill_sum_of_squares, hours_mask, pigeonhole_partition_bound,
+    ForcedUnits,
+};
 use crate::local_search::LocalSearch;
 use crate::problem::{AllocationProblem, Solution};
 
@@ -99,6 +102,7 @@ pub struct BranchAndBound {
     time_limit: Option<Duration>,
     incumbent_restarts: usize,
     seed: u64,
+    threads: usize,
     /// Time source for the deadline check. The production default is the
     /// real monotonic clock; tests inject a virtual clock so deadline
     /// behaviour (e.g. a zero time limit) is deterministic.
@@ -114,8 +118,41 @@ impl BranchAndBound {
             time_limit: None,
             incumbent_restarts: 8,
             seed: 0x5eed_cafe,
+            threads: 1,
             clock: Arc::new(MonotonicClock::new()),
         }
+    }
+
+    /// Number of worker threads for the search. `1` (the default) runs
+    /// the plain sequential depth-first search. More threads explore
+    /// subtrees speculatively through the work-stealing pool in
+    /// [`crate::par`]; the result — solution, gap, *and* node count — is
+    /// bit-identical to the sequential solver's for the same seed.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Configured node limit (for the parallel driver).
+    pub(crate) fn node_limit_cfg(&self) -> u64 {
+        self.node_limit
+    }
+
+    /// Configured time limit (for the parallel driver).
+    pub(crate) fn time_limit_cfg(&self) -> Option<Duration> {
+        self.time_limit
+    }
+
+    /// Configured time source (for the parallel driver).
+    pub(crate) fn clock_cfg(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// Caps the number of expanded nodes (anytime behaviour).
@@ -163,7 +200,60 @@ impl BranchAndBound {
     /// (none occur for a well-formed [`AllocationProblem`]).
     #[must_use = "dropping the outcome discards the branch-and-bound solution and its bound"]
     pub fn solve(&self, problem: &AllocationProblem) -> Result<SolveReport> {
+        if self.threads > 1 {
+            return crate::par::solve_parallel(self, problem).map(|(report, _)| report);
+        }
+        self.solve_sequential(problem)
+    }
+
+    /// [`solve`](Self::solve), additionally returning the parallel-run
+    /// statistics (task, steal, and re-validation counters). With one
+    /// thread the statistics are all zero.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`solve`](Self::solve).
+    #[must_use = "dropping the outcome discards the branch-and-bound solution and its bound"]
+    pub fn solve_with_stats(
+        &self,
+        problem: &AllocationProblem,
+    ) -> Result<(SolveReport, crate::par::ParStats)> {
+        if self.threads > 1 {
+            return crate::par::solve_parallel(self, problem);
+        }
+        Ok((
+            self.solve_sequential(problem)?,
+            crate::par::ParStats::sequential(),
+        ))
+    }
+
+    /// The plain sequential depth-first search — also the semantic
+    /// reference the parallel driver in [`crate::par`] must reproduce
+    /// bit-for-bit.
+    pub(crate) fn solve_sequential(&self, problem: &AllocationProblem) -> Result<SolveReport> {
         let start = self.clock.now();
+        let prep = self.prepare(problem)?;
+        let mut search = prep.search(self.clock.as_ref(), start, self.node_limit, self.time_limit);
+        search.dfs(0);
+
+        let proven_optimal = !search.aborted;
+        let deferments = search.best;
+        let nodes = search.nodes;
+        let solution = Solution::from_deferments(problem, deferments)?;
+        Ok(SolveReport {
+            solution,
+            nodes,
+            elapsed: self.clock.now().saturating_sub(start),
+            proven_optimal,
+            initial_incumbent: prep.initial_incumbent,
+            root_bound: prep.root_bound,
+        })
+    }
+
+    /// Everything a search drive needs that does not depend on *how* the
+    /// tree is walked: incumbent, variable order, per-depth placement and
+    /// suffix tables, and the root bound.
+    pub(crate) fn prepare(&self, problem: &AllocationProblem) -> Result<Prep> {
         let n = problem.len();
 
         // Incumbent via coordinate descent with restarts.
@@ -212,15 +302,21 @@ impl BranchAndBound {
                     .collect()
             })
             .collect();
-        // Suffix slot-hour units and suffix allowed-hours mask.
+        // Suffix slot-hour units, suffix allowed-hours mask, and suffix
+        // pigeonhole tables: entry `depth` covers the households still
+        // unplaced at that depth, i.e. `order[depth..]`.
         let mut suffix_units = vec![0u32; n + 1];
         let mut suffix_mask = vec![0u32; n + 1];
+        let mut suffix_forced = vec![ForcedUnits::new(); n + 1];
         for depth in (0..n).rev() {
             let i = order[depth];
             let p = &problem.preferences()[i];
             suffix_units[depth] = suffix_units[depth + 1] + u32::from(p.duration());
             suffix_mask[depth] =
                 suffix_mask[depth + 1] | hours_mask(p.begin(), p.end());
+            let mut forced = suffix_forced[depth + 1].clone();
+            forced.add_window(p.begin(), p.end(), p.duration());
+            suffix_forced[depth] = forced;
         }
 
         let sigma = problem.sigma();
@@ -230,40 +326,83 @@ impl BranchAndBound {
                 suffix_mask[0],
                 suffix_units[0],
                 rate,
-            );
-        let mut search = Search {
-            placements: &placements,
-            suffix_units: &suffix_units,
-            suffix_mask: &suffix_mask,
-            same_as_prev: &same_as_prev,
+            )
+            .max(pigeonhole_partition_bound(
+                &[0.0; HOURS_PER_DAY],
+                suffix_mask[0],
+                &suffix_forced[0],
+                rate,
+            ));
+        Ok(Prep {
+            order,
+            same_as_prev,
+            placements,
+            suffix_units,
+            suffix_mask,
+            suffix_forced,
             rate,
-            best_sumsq: incumbent.objective / sigma,
-            best: incumbent.deferments.clone(),
-            order: &order,
+            sigma,
+            incumbent,
+            initial_incumbent,
+            root_bound,
+        })
+    }
+}
+
+/// Search-strategy-independent preparation of one instance: incumbent,
+/// variable order, and the per-depth tables. Built once per solve and
+/// shared (immutably) by every search drive — sequential, speculative
+/// worker, or validation.
+pub(crate) struct Prep {
+    pub(crate) order: Vec<usize>,
+    pub(crate) same_as_prev: Vec<bool>,
+    pub(crate) placements: Vec<Vec<(u8, u32)>>,
+    pub(crate) suffix_units: Vec<u32>,
+    pub(crate) suffix_mask: Vec<u32>,
+    pub(crate) suffix_forced: Vec<ForcedUnits>,
+    pub(crate) rate: f64,
+    pub(crate) sigma: f64,
+    pub(crate) incumbent: Solution,
+    pub(crate) initial_incumbent: f64,
+    pub(crate) root_bound: f64,
+}
+
+impl Prep {
+    /// A fresh root-state search over this preparation.
+    pub(crate) fn search<'a>(
+        &'a self,
+        clock: &'a dyn Clock,
+        start: Duration,
+        node_limit: u64,
+        time_limit: Option<Duration>,
+    ) -> Search<'a> {
+        let n = self.order.len();
+        Search {
+            placements: &self.placements,
+            suffix_units: &self.suffix_units,
+            suffix_mask: &self.suffix_mask,
+            suffix_forced: &self.suffix_forced,
+            same_as_prev: &self.same_as_prev,
+            rate: self.rate,
+            best_sumsq: self.incumbent.objective / self.sigma,
+            best: self.incumbent.deferments.clone(),
+            improved: false,
+            order: &self.order,
             current: vec![0u8; n],
             chosen: vec![0u8; n],
             loads: [0.0; HOURS_PER_DAY],
             sumsq: 0.0,
             nodes: 0,
-            node_limit: self.node_limit,
-            clock: self.clock.as_ref(),
-            deadline: self.time_limit.map(|t| start.saturating_add(t)),
+            node_limit,
+            clock,
+            deadline: time_limit.map(|t| start.saturating_add(t)),
             aborted: false,
-        };
-        search.dfs(0);
-
-        let proven_optimal = !search.aborted;
-        let deferments = search.best;
-        let nodes = search.nodes;
-        let solution = Solution::from_deferments(problem, deferments)?;
-        Ok(SolveReport {
-            solution,
-            nodes,
-            elapsed: self.clock.now().saturating_sub(start),
-            proven_optimal,
-            initial_incumbent,
-            root_bound,
-        })
+            split_depth: usize::MAX,
+            seeds: Vec::new(),
+            memo: None,
+            consumed_tasks: 0,
+            revalidated_tasks: 0,
+        }
     }
 }
 
@@ -274,36 +413,101 @@ impl Default for BranchAndBound {
 }
 
 /// Mutable depth-first search state.
-struct Search<'a> {
+pub(crate) struct Search<'a> {
     placements: &'a [Vec<(u8, u32)>],
     suffix_units: &'a [u32],
     suffix_mask: &'a [u32],
+    suffix_forced: &'a [ForcedUnits],
     /// Whether the household at each search depth has a preference
     /// identical to the previous depth's (symmetry breaking).
     same_as_prev: &'a [bool],
     rate: f64,
     /// Best Σl² found so far (objective / σ).
-    best_sumsq: f64,
+    pub(crate) best_sumsq: f64,
     /// Best deferments in *input order*.
-    best: Vec<u8>,
+    pub(crate) best: Vec<u8>,
+    /// Whether this drive improved on the incumbent it started from.
+    pub(crate) improved: bool,
     order: &'a [usize],
     /// Current deferments in *input order*.
-    current: Vec<u8>,
+    pub(crate) current: Vec<u8>,
     /// Deferments chosen per *search depth* (for symmetry breaking).
-    chosen: Vec<u8>,
-    loads: [f64; HOURS_PER_DAY],
-    sumsq: f64,
-    nodes: u64,
+    pub(crate) chosen: Vec<u8>,
+    pub(crate) loads: [f64; HOURS_PER_DAY],
+    pub(crate) sumsq: f64,
+    pub(crate) nodes: u64,
     node_limit: u64,
     clock: &'a dyn Clock,
     deadline: Option<Duration>,
-    aborted: bool,
+    pub(crate) aborted: bool,
+    /// Depth at which the walk hands over to the parallel machinery:
+    /// collect a [`TaskSeed`](crate::par::TaskSeed) (when `memo` is
+    /// `None`) or consume a validated speculative result (when `memo` is
+    /// set). `usize::MAX` — the sequential default — disables both.
+    pub(crate) split_depth: usize,
+    /// Subtree seeds collected at `split_depth` in visit order.
+    pub(crate) seeds: Vec<crate::par::TaskSeed>,
+    /// Speculative subtree results, keyed by the depth-capped `chosen`
+    /// prefix. Presence turns the walk into the validation drive.
+    pub(crate) memo: Option<&'a std::collections::BTreeMap<Vec<u8>, crate::par::SpecResult>>,
+    /// Validation drive: speculative results consumed as-is.
+    pub(crate) consumed_tasks: u64,
+    /// Validation drive: subtrees re-expanded inline because the
+    /// speculative run raced against a different incumbent (or was
+    /// missing, aborted, or would cross the node limit).
+    pub(crate) revalidated_tasks: u64,
 }
 
 impl Search<'_> {
-    fn dfs(&mut self, depth: usize) {
+    pub(crate) fn dfs(&mut self, depth: usize) {
         if self.aborted {
             return;
+        }
+        if depth == self.split_depth && depth < self.order.len() {
+            match self.memo {
+                None => {
+                    // Speculative enumeration: suspend the subtree as a
+                    // task instead of walking it. No node is counted —
+                    // the task itself (or the validation drive) will
+                    // count this node when it actually expands it.
+                    self.seeds.push(crate::par::TaskSeed {
+                        key: self.chosen[..depth].to_vec(),
+                        current: self.current.clone(),
+                        chosen: self.chosen.clone(),
+                        loads: self.loads,
+                        sumsq: self.sumsq,
+                    });
+                    return;
+                }
+                Some(memo) => {
+                    // Validation drive: a speculative result is the
+                    // sequential subtree's result exactly when it ran
+                    // against the incumbent the sequential search holds
+                    // here (bit-equal, so pruning decisions match) and
+                    // consuming its node count keeps us strictly under
+                    // the node limit (otherwise the limit fires *inside*
+                    // the subtree and the walk must go there to abort at
+                    // the right node). Anything else falls through and
+                    // is re-expanded inline, which is just the
+                    // sequential walk.
+                    if let Some(spec) = memo.get(&self.chosen[..depth]) {
+                        if !spec.aborted
+                            && spec.hint.to_bits() == self.best_sumsq.to_bits()
+                            && self.nodes + spec.nodes < self.node_limit
+                        {
+                            self.consumed_tasks += 1;
+                            self.nodes += spec.nodes;
+                            if let Some((sumsq, deferments)) = &spec.improved {
+                                self.best_sumsq = *sumsq;
+                                self.best.clone_from(deferments);
+                                self.improved = true;
+                            }
+                            return;
+                        }
+                    }
+                    self.revalidated_tasks += 1;
+                }
+            }
         }
         self.nodes += 1;
         if self.nodes >= self.node_limit {
@@ -321,20 +525,43 @@ impl Search<'_> {
             }
         }
         if depth == self.order.len() {
+            debug_assert!(
+                enki_core::float::approx_eq(
+                    self.sumsq,
+                    self.loads.iter().map(|l| l * l).sum(),
+                ),
+                "incremental Σl² drifted from the full recompute at a leaf",
+            );
             if self.sumsq < self.best_sumsq - 1e-12 {
                 self.best_sumsq = self.sumsq;
                 self.best = self.current.clone();
+                self.improved = true;
             }
             return;
         }
 
-        // Bound: optimally pack the remaining whole slot-hours (all at the
-        // shared rate) over the union of the remaining windows — exact for
-        // the window-relaxed integer program, hence admissible.
-        let bound = discrete_fill_sum_of_squares(
+        // Bound, layered cheap-to-strong. First the union fill: optimally
+        // pack the remaining whole slot-hours (all at the shared rate)
+        // over the union of the remaining windows — exact for the
+        // window-relaxed integer program, hence admissible. `sumsq` is
+        // maintained incrementally, so this costs only the fill itself.
+        let bound = self.sumsq
+            + discrete_fill_extra(
+                &self.loads,
+                self.suffix_mask[depth],
+                self.suffix_units[depth],
+                self.rate,
+            );
+        if bound >= self.best_sumsq - 1e-12 {
+            return;
+        }
+        // The union fill pools all remaining demand anywhere; when it
+        // fails to prune, pay for the pigeonhole partition bound, which
+        // knows the demand concentrates where the windows do.
+        let bound = pigeonhole_partition_bound(
             &self.loads,
             self.suffix_mask[depth],
-            self.suffix_units[depth],
+            &self.suffix_forced[depth],
             self.rate,
         );
         if bound >= self.best_sumsq - 1e-12 {

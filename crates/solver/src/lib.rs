@@ -5,9 +5,12 @@
 //! cost. The paper used IBM CPLEX's MIQP solver as its "Optimal" baseline;
 //! this crate provides a from-scratch replacement:
 //!
-//! * [`exact::BranchAndBound`] — exact depth-first branch-and-bound with a
-//!   water-filling lower bound and a local-search incumbent; anytime via
-//!   node/time limits.
+//! * [`exact::BranchAndBound`] — exact depth-first branch-and-bound with
+//!   layered admissible bounds (discrete water-filling plus the
+//!   pigeonhole partition bound of [`bounds`]) and a local-search
+//!   incumbent; anytime via node/time limits, and parallel via
+//!   [`exact::BranchAndBound::with_threads`] with bit-identical results
+//!   (see [`par`]).
 //! * [`local_search::LocalSearch`] — coordinate-descent best-response
 //!   dynamics; converges to a local optimum of the exact potential.
 //! * [`brute::brute_force`] — exhaustive enumeration for tiny instances,
@@ -45,6 +48,7 @@ pub mod bounds;
 pub mod brute;
 pub mod exact;
 pub mod local_search;
+pub mod par;
 pub mod pipeline;
 pub mod problem;
 
@@ -52,6 +56,7 @@ pub mod problem;
 pub mod prelude {
     pub use crate::brute::brute_force;
     pub use crate::exact::{BranchAndBound, SolveReport};
+    pub use crate::par::ParStats;
     pub use crate::local_search::LocalSearch;
     pub use crate::pipeline::{
         AnytimePipeline, Rung, SolveOutcome, StageReport, StageStatus,

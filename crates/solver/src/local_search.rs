@@ -7,7 +7,7 @@
 //! handful of random restarts it is a strong incumbent generator for the
 //! branch-and-bound solver and a fast near-optimal baseline on its own.
 
-use enki_core::load::LoadProfile;
+use enki_core::load::IncrementalCost;
 use enki_core::Result;
 use rand::{Rng, RngExt};
 
@@ -44,7 +44,11 @@ impl LocalSearch {
         let mut deferments = start;
         let windows = problem.windows(&deferments)?;
         let rate = problem.rate();
-        let mut load = LoadProfile::from_windows(&windows, rate);
+        // Running aggregate load *and* running Σl²: each candidate move is
+        // previewed in O(duration) against the residual load, and the
+        // running cost is carried along (cross-checked against a full
+        // recompute in debug builds) instead of being recomputed per pass.
+        let mut cost = IncrementalCost::from_windows(&windows, rate);
 
         for _ in 0..self.max_passes {
             let mut improved = false;
@@ -58,19 +62,13 @@ impl LocalSearch {
                 // these lookups cannot fail; `?` keeps that an error, not
                 // a panic, if the invariant ever breaks.
                 let current = pref.window_at_deferment(deferments[i])?;
-                load.remove_window(current, rate);
+                cost.remove_window(current, rate);
                 // Find the cheapest placement against the residual load.
                 let mut best_d = deferments[i];
                 let mut best_delta = f64::INFINITY;
                 for d in 0..=pref.slack() {
                     let w = pref.window_at_deferment(d)?;
-                    let delta: f64 = w
-                        .slots()
-                        .map(|h| {
-                            let l = load.at(h);
-                            (l + rate) * (l + rate) - l * l
-                        })
-                        .sum();
+                    let delta = cost.preview_add(w, rate);
                     if delta < best_delta - 1e-12 {
                         best_delta = delta;
                         best_d = d;
@@ -81,13 +79,23 @@ impl LocalSearch {
                     deferments[i] = best_d;
                 }
                 let chosen = pref.window_at_deferment(deferments[i])?;
-                load.add_window(chosen, rate);
+                cost.add_window(chosen, rate);
             }
             if !improved {
                 break;
             }
         }
-        Solution::from_deferments(problem, deferments)
+        let solution = Solution::from_deferments(problem, deferments)?;
+        debug_assert!(
+            enki_core::float::approx_eq(
+                problem.pricing().cost_of_sum_of_squares(cost.sum_of_squares()),
+                solution.objective,
+            ),
+            "running cost {} drifted from the recomputed objective {}",
+            problem.pricing().cost_of_sum_of_squares(cost.sum_of_squares()),
+            solution.objective,
+        );
+        Ok(solution)
     }
 
     /// Runs the descent from `restarts` random starting vectors (plus the
@@ -199,6 +207,45 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let restarted = ls.solve(&p, 10, &mut rng).unwrap();
         assert!(restarted.objective <= no_restart.objective + 1e-12);
+    }
+
+    #[test]
+    fn incremental_descent_reaches_a_true_local_optimum() {
+        // Cross-check of the incremental delta evaluation against full
+        // recomputation: at every returned point, no single-household
+        // move improves the exactly recomputed objective. A bug in the
+        // O(duration) previews (stale residual load, wrong sign, missed
+        // rollback) would leave an improving move on the table.
+        let mut rng = StdRng::seed_from_u64(0xA11C);
+        for _ in 0..20 {
+            let n = rng.random_range(3..=8);
+            let prefs: Vec<Preference> = (0..n)
+                .map(|_| {
+                    let b = rng.random_range(0..18u8);
+                    let span = rng.random_range(2..=6u8).min(24 - b);
+                    let v = rng.random_range(1..=span.min(3));
+                    Preference::new(b, b + span, v).unwrap()
+                })
+                .collect();
+            let p = AllocationProblem::new(prefs, 2.0, 0.3).unwrap();
+            let s = LocalSearch::new().improve(&p, vec![0; p.len()]).unwrap();
+            assert!(enki_core::float::approx_eq(
+                s.objective,
+                p.cost(&s.deferments).unwrap()
+            ));
+            for i in 0..p.len() {
+                for d in 0..p.choices(i) {
+                    let mut alt = s.deferments.clone();
+                    alt[i] = d;
+                    let alt_cost = p.cost(&alt).unwrap();
+                    assert!(
+                        alt_cost >= s.objective - 1e-9,
+                        "household {i} deferment {d} improves {} -> {alt_cost}",
+                        s.objective
+                    );
+                }
+            }
+        }
     }
 
     #[test]

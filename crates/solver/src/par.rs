@@ -1,0 +1,354 @@
+//! Deterministic parallel branch-and-bound: a hand-rolled work-stealing
+//! pool plus a speculate-then-validate driver around [`crate::exact`].
+//!
+//! # Why speculation
+//!
+//! A branch-and-bound search is a sequential fold: the incumbent found
+//! in one subtree sharpens the pruning of every later subtree. Naive
+//! parallelism breaks that fold — whichever worker finishes first
+//! publishes its incumbent, and the explored tree (and with `ε`-pruning
+//! even the *returned solution*) starts depending on thread timing.
+//! This module keeps the parallelism and discards the nondeterminism:
+//!
+//! 1. **Enumerate** (sequential, cheap): walk the tree to a fixed
+//!    `split_depth` with the incumbent frozen, suspending every
+//!    surviving subtree as a [`TaskSeed`] in depth-first visit order.
+//!    Because freezing the incumbent can only *weaken* pruning, the
+//!    seeds are a superset of the subtrees the true search visits.
+//! 2. **Speculate** (parallel): the work-stealing pool runs each seed's
+//!    subtree to completion. A task reads the shared atomic incumbent
+//!    once, at its start, as its pruning threshold `hint`, and publishes
+//!    any improvement back (`fetch_min` on the f64 bit pattern, which
+//!    orders correctly for the non-negative objectives here).
+//! 3. **Validate** (sequential, cheap): re-walk the prefix exactly as
+//!    the sequential solver would — same bounds, same incumbent fold —
+//!    and at each subtree root consult the speculative result. It is
+//!    consumed only if its `hint` is **bit-equal** to the incumbent the
+//!    sequential search holds at that point (so every pruning decision
+//!    inside matched) and its node count fits under the node limit;
+//!    otherwise the subtree is re-expanded inline, which *is* the
+//!    sequential walk. Either way the final solution, certified gap,
+//!    and node count are bit-identical to [`BranchAndBound::solve`]
+//!    with one thread.
+//!
+//! The validation drive never waits on wall-clock ordering, so the
+//! result is reproducible at any thread count; speculation only decides
+//! how much of the tree was already computed when validation arrives.
+//! Re-runs are rare in practice because the local-search incumbent is
+//! almost always optimal: the shared incumbent then never moves and
+//! every task's hint matches by construction.
+//!
+//! # Why the pool lives here and not in `threaded.rs`
+//!
+//! `threaded.rs` (enki-agents) spawns *agents* — long-lived actors with
+//! mailboxes, crash semantics, and a day-phase protocol. Solver workers
+//! are the opposite: anonymous, compute-bound, scoped to one `solve`
+//! call, and forbidden from touching agent state. Routing them through
+//! the deployment runtime would couple solver latency to the agent
+//! scheduler and drag locks into the mechanism core. Instead the pool
+//! is scoped (`std::thread::scope`), owns nothing beyond its deques,
+//! and is the single solver file the R5 thread-discipline lint allows
+//! to spawn or lock.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use enki_core::Result;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::exact::{BranchAndBound, SolveReport};
+use crate::problem::{AllocationProblem, Solution};
+
+/// A subtree suspended at the split depth, in depth-first visit order:
+/// everything a worker needs to resume the search from that node.
+#[derive(Debug, Clone)]
+pub(crate) struct TaskSeed {
+    /// Deferments chosen per search depth above the split (memo key).
+    pub(crate) key: Vec<u8>,
+    /// Deferments in input order (prefix placed, rest unset).
+    pub(crate) current: Vec<u8>,
+    /// Deferments per search depth (symmetry-breaking state).
+    pub(crate) chosen: Vec<u8>,
+    /// Aggregate load per hour from the placed prefix.
+    pub(crate) loads: [f64; enki_core::time::HOURS_PER_DAY],
+    /// Σl² of the placed prefix (kept incrementally).
+    pub(crate) sumsq: f64,
+}
+
+/// What one speculative subtree run observed and produced.
+#[derive(Debug, Clone)]
+pub(crate) struct SpecResult {
+    /// Incumbent Σl² the task pruned against (read once, at task start).
+    pub(crate) hint: f64,
+    /// Nodes the task expanded.
+    pub(crate) nodes: u64,
+    /// Whether the task hit a node or deadline limit (not consumable).
+    pub(crate) aborted: bool,
+    /// Improved incumbent found in the subtree, if any: final Σl² and
+    /// the full deferment vector in input order.
+    pub(crate) improved: Option<(f64, Vec<u8>)>,
+}
+
+/// Counters from one parallel solve, for benchmarks and telemetry.
+/// Deliberately *not* part of [`SolveReport`]: steal counts are
+/// scheduling-dependent, and the report must stay bit-identical across
+/// thread counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParStats {
+    /// Worker threads the solve ran with.
+    pub threads: usize,
+    /// Subtree tasks enumerated at the split depth.
+    pub tasks: u64,
+    /// Tasks whose speculative result was consumed as-is.
+    pub accepted: u64,
+    /// Tasks re-expanded inline by the validation drive.
+    pub revalidated: u64,
+    /// Nodes expanded speculatively (including discarded work).
+    pub speculative_nodes: u64,
+    /// Jobs a worker took from another worker's deque.
+    pub steals: u64,
+}
+
+impl ParStats {
+    /// The all-zero statistics of a plain sequential run.
+    #[must_use]
+    pub fn sequential() -> Self {
+        Self {
+            threads: 1,
+            ..Self::default()
+        }
+    }
+}
+
+/// Statistics from one [`run_jobs`] invocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PoolStats {
+    /// Jobs executed off another worker's deque.
+    pub(crate) steals: u64,
+}
+
+/// Runs `jobs` on a scoped pool of `threads` workers with per-worker
+/// deques: each worker pops its own deque from the front and, when
+/// empty, steals from the back of the others (crossbeam-style, built
+/// from `parking_lot::Mutex<VecDeque>` to stay within the vendored
+/// dependency set and `#![deny(unsafe_code)]`). Jobs are dealt
+/// round-robin so the earliest jobs start first across workers; results
+/// come back in job order. A panicking job poisons nothing: its slot
+/// stays `None` and every other job still completes.
+pub(crate) fn run_jobs<J, R, F>(threads: usize, jobs: Vec<J>, worker: F) -> (Vec<Option<R>>, PoolStats)
+where
+    J: Send,
+    R: Send,
+    F: Fn(J) -> R + Sync,
+{
+    let count = jobs.len();
+    let threads = threads.max(1).min(count.max(1));
+    if threads <= 1 {
+        let results = jobs.into_iter().map(|job| Some(worker(job))).collect();
+        return (results, PoolStats::default());
+    }
+
+    let queues: Vec<Mutex<VecDeque<(usize, J)>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (index, job) in jobs.into_iter().enumerate() {
+        queues[index % threads].lock().push_back((index, job));
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let steals = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let queues = &queues;
+            let slots = &slots;
+            let steals = &steals;
+            let worker = &worker;
+            scope.spawn(move || loop {
+                let popped = queues[me].lock().pop_front().or_else(|| {
+                    // Steal newest-first from the other deques, scanning
+                    // in a fixed ring order from our right neighbour.
+                    (1..threads).find_map(|offset| {
+                        let victim = (me + offset) % threads;
+                        let job = queues[victim].lock().pop_back();
+                        if job.is_some() {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        job
+                    })
+                });
+                // Tasks never enqueue follow-up work, so an empty sweep
+                // means every remaining job is already being executed.
+                let Some((index, job)) = popped else { break };
+                // A panicking job leaves its slot `None`; the caller
+                // (the validation drive) then re-runs that subtree
+                // inline, surfacing the panic exactly where the
+                // sequential solver would have hit it.
+                if let Ok(result) =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker(job)))
+                {
+                    *slots[index].lock() = Some(result);
+                }
+            });
+        }
+    });
+
+    let results = slots.into_iter().map(Mutex::into_inner).collect();
+    (
+        results,
+        PoolStats {
+            steals: steals.load(Ordering::Relaxed),
+        },
+    )
+}
+
+/// How many tasks to aim for per worker thread. More tasks smooth out
+/// subtree-size skew (the pool rebalances by stealing); the validation
+/// drive's cost grows only with the prefix, so oversubscription is
+/// cheap.
+const TASKS_PER_THREAD: u64 = 8;
+
+/// Parallel [`BranchAndBound::solve`]: speculate across the work-stealing
+/// pool, then validate sequentially. See the [module docs](self) for why
+/// the result is bit-identical to the sequential solver's.
+///
+/// # Errors
+///
+/// Exactly as [`BranchAndBound::solve`].
+#[must_use = "dropping the outcome discards the branch-and-bound solution and its bound"]
+pub(crate) fn solve_parallel(
+    solver: &BranchAndBound,
+    problem: &AllocationProblem,
+) -> Result<(SolveReport, ParStats)> {
+    let threads = solver.threads();
+    let clock = solver.clock_cfg().clone();
+    let start = clock.now();
+    let prep = solver.prepare(problem)?;
+    let n = prep.order.len();
+
+    // Split where the tree is wide enough to feed every worker. The
+    // product of branching factors bounds the number of seeds from
+    // above; if the whole tree is narrower than the target, parallelism
+    // cannot pay for itself and the sequential walk is the right call.
+    let target = TASKS_PER_THREAD * threads as u64;
+    let mut width: u64 = 1;
+    let mut split_depth = None;
+    for depth in 0..n {
+        width = width.saturating_mul(prep.placements[depth].len().max(1) as u64);
+        if width >= target {
+            split_depth = Some(depth + 1);
+            break;
+        }
+    }
+    let Some(split_depth) = split_depth else {
+        let report = solver.solve_sequential(problem)?;
+        return Ok((
+            report,
+            ParStats {
+                threads,
+                ..ParStats::default()
+            },
+        ));
+    };
+
+    // Phase 1 — enumerate seeds with the incumbent frozen.
+    let node_limit = solver.node_limit_cfg();
+    let time_limit = solver.time_limit_cfg();
+    let mut enumerator = prep.search(clock.as_ref(), start, node_limit, time_limit);
+    enumerator.split_depth = split_depth;
+    enumerator.dfs(0);
+    let seeds = std::mem::take(&mut enumerator.seeds);
+    let keys: Vec<Vec<u8>> = seeds.iter().map(|seed| seed.key.clone()).collect();
+
+    // Phase 2 — speculative subtree runs over the pool, sharing the
+    // incumbent through one atomic word.
+    let shared_incumbent = AtomicU64::new((prep.incumbent.objective / prep.sigma).to_bits());
+    let (outcomes, pool) = run_jobs(threads, seeds, |seed: TaskSeed| {
+        let hint = f64::from_bits(shared_incumbent.load(Ordering::Relaxed));
+        let mut task = prep.search(clock.as_ref(), start, node_limit, time_limit);
+        task.best_sumsq = hint;
+        task.current = seed.current;
+        task.chosen = seed.chosen;
+        task.loads = seed.loads;
+        task.sumsq = seed.sumsq;
+        task.dfs(split_depth);
+        if task.improved {
+            shared_incumbent.fetch_min(task.best_sumsq.to_bits(), Ordering::Relaxed);
+        }
+        SpecResult {
+            hint,
+            nodes: task.nodes,
+            aborted: task.aborted,
+            improved: task.improved.then_some((task.best_sumsq, task.best)),
+        }
+    });
+
+    let mut stats = ParStats {
+        threads,
+        tasks: keys.len() as u64,
+        steals: pool.steals,
+        ..ParStats::default()
+    };
+    let memo: BTreeMap<Vec<u8>, SpecResult> = keys
+        .into_iter()
+        .zip(outcomes)
+        .filter_map(|(key, outcome)| outcome.map(|o| (key, o)))
+        .collect();
+    stats.speculative_nodes = memo.values().map(|spec| spec.nodes).sum();
+
+    // Phase 3 — the deterministic validation drive.
+    let mut drive = prep.search(clock.as_ref(), start, node_limit, time_limit);
+    drive.split_depth = split_depth;
+    drive.memo = Some(&memo);
+    drive.dfs(0);
+    stats.accepted = drive.consumed_tasks;
+    stats.revalidated = drive.revalidated_tasks;
+
+    let proven_optimal = !drive.aborted;
+    let nodes = drive.nodes;
+    let solution = Solution::from_deferments(problem, drive.best)?;
+    Ok((
+        SolveReport {
+            solution,
+            nodes,
+            elapsed: clock.now().saturating_sub(start),
+            proven_optimal,
+            initial_incumbent: prep.initial_incumbent,
+            root_bound: prep.root_bound,
+        },
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_returns_results_in_job_order() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let (results, _) = run_jobs(4, jobs, |j| j * j);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, Some((i as u64) * (i as u64)));
+        }
+    }
+
+    #[test]
+    fn pool_with_one_thread_runs_inline() {
+        let (results, stats) = run_jobs(1, vec![1, 2, 3], |j| j + 1);
+        assert_eq!(results, vec![Some(2), Some(3), Some(4)]);
+        assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn pool_survives_more_threads_than_jobs() {
+        let (results, _) = run_jobs(16, vec![7], |j| j);
+        assert_eq!(results, vec![Some(7)]);
+    }
+
+    #[test]
+    fn pool_handles_empty_job_list() {
+        let (results, stats) = run_jobs(4, Vec::<u8>::new(), |j| j);
+        assert!(results.is_empty());
+        assert_eq!(stats.steals, 0);
+    }
+}

@@ -181,6 +181,7 @@ pub struct AnytimePipeline {
     exact_node_limit: u64,
     restarts: usize,
     seed: u64,
+    threads: usize,
     /// Time source for stage timing and the exact stage's deadline. The
     /// production default is the real monotonic clock; tests inject a
     /// virtual clock so degradation behaviour is deterministic.
@@ -202,9 +203,33 @@ impl AnytimePipeline {
             exact_node_limit: 2_000_000,
             restarts: 8,
             seed: 0x5eed_f00d,
+            threads: 1,
             clock: Arc::new(MonotonicClock::new()),
             injected_panic: None,
         }
+    }
+
+    /// Thread budget for the solve. `1` (the default) runs the sequential
+    /// degradation ladder unchanged. With `n ≥ 2` the exact and
+    /// local-search rungs *race* on the work-stealing pool of
+    /// [`crate::par`] instead of running one after the other: the exact
+    /// rung gets `n − 1` threads of speculative branch-and-bound, local
+    /// search gets the remaining lane, and both run against the exact
+    /// stage's deadline. The winner is picked by a deterministic
+    /// preference rule — a proven-optimal exact result always wins,
+    /// otherwise the better objective with ties to the later (cheaper)
+    /// rung, exactly like the sequential ladder — so the outcome never
+    /// depends on which lane happened to finish first.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured thread budget.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Overrides the exact stage's wall-clock deadline. A deadline of
@@ -293,13 +318,34 @@ impl AnytimePipeline {
         problem: &AllocationProblem,
         recorder: Option<&Recorder>,
     ) -> Result<SolveOutcome> {
+        self.solve_traced_with_stats(problem, recorder)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// [`solve_traced`](Self::solve_traced), additionally returning the
+    /// parallel-run statistics (task, steal, and re-validation counters)
+    /// of the racing solve. With one thread the statistics are those of
+    /// [`ParStats::sequential`](crate::par::ParStats::sequential). The
+    /// counters are scheduling-dependent, which is why they live here and
+    /// not in the byte-reproducible [`SolveOutcome`] or the telemetry
+    /// trace.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`solve`](Self::solve).
+    #[must_use = "dropping the outcome loses the solution and which rung produced it"]
+    pub fn solve_traced_with_stats(
+        &self,
+        problem: &AllocationProblem,
+        recorder: Option<&Recorder>,
+    ) -> Result<(SolveOutcome, crate::par::ParStats)> {
         let mut span = recorder.map(|r| {
             let mut s = r.span("solve");
             s.record("households", problem.len());
             s
         });
         let result = self.run_ladder(problem, recorder);
-        if let Ok(outcome) = &result {
+        if let Ok((outcome, _)) = &result {
             if let Some(s) = span.as_mut() {
                 s.record("rung", outcome.rung.to_string());
                 s.record("proven_optimal", outcome.proven_optimal);
@@ -325,6 +371,19 @@ impl AnytimePipeline {
     }
 
     fn run_ladder(
+        &self,
+        problem: &AllocationProblem,
+        recorder: Option<&Recorder>,
+    ) -> Result<(SolveOutcome, crate::par::ParStats)> {
+        if self.threads > 1 && self.exact_enabled {
+            return self.run_racing(problem, recorder);
+        }
+        self.run_sequential_ladder(problem, recorder)
+            .map(|outcome| (outcome, crate::par::ParStats::sequential()))
+    }
+
+    /// The original one-rung-after-another ladder (thread budget 1).
+    fn run_sequential_ladder(
         &self,
         problem: &AllocationProblem,
         recorder: Option<&Recorder>,
@@ -475,6 +534,240 @@ impl AnytimePipeline {
             }
         }
 
+        self.finish_ladder(problem, recorder, root_bound, stages, best, answered)
+    }
+
+    /// Races the exact and local-search rungs on the work-stealing pool
+    /// (thread budget ≥ 2), then falls through to the same greedy and
+    /// as-reported tail as the sequential ladder. Both lanes are
+    /// individually deterministic and the winner is chosen by rung
+    /// preference — proven exact first, then the better objective with
+    /// ties to the cheaper rung — never by finish order.
+    fn run_racing(
+        &self,
+        problem: &AllocationProblem,
+        recorder: Option<&Recorder>,
+    ) -> Result<(SolveOutcome, crate::par::ParStats)> {
+        let root_bound = run_contained(|| Ok(root_bound(problem)))
+            .ok()
+            .flatten()
+            .unwrap_or(0.0);
+        let mut stages: Vec<StageReport> = Vec::with_capacity(4);
+
+        // One lane is reserved for local search; the rest of the budget
+        // goes to the speculative branch-and-bound.
+        let exact_threads = self.threads - 1;
+        let solver = BranchAndBound::new()
+            .with_time_limit(self.exact_time_limit)
+            .with_node_limit(self.exact_node_limit)
+            .with_seed(self.seed)
+            .with_clock(Arc::clone(&self.clock))
+            .with_threads(exact_threads);
+        let restarts = self.restarts;
+        let seed = self.seed;
+        let clock = Arc::clone(&self.clock);
+        let inject = self.injected_panic;
+
+        enum Lane {
+            Exact,
+            Local,
+        }
+        enum LaneResult {
+            Exact(Result<(crate::exact::SolveReport, crate::par::ParStats)>, Duration),
+            Local(Result<Solution>, Duration),
+        }
+        let (slots, pool) =
+            crate::par::run_jobs(2, vec![Lane::Exact, Lane::Local], |lane| match lane {
+                Lane::Exact => {
+                    let started = clock.now();
+                    assert!(
+                        inject != Some(Rung::Exact),
+                        "injected panic in the exact stage"
+                    );
+                    let run = solver.solve_with_stats(problem);
+                    LaneResult::Exact(run, clock.now().saturating_sub(started))
+                }
+                Lane::Local => {
+                    let started = clock.now();
+                    assert!(
+                        inject != Some(Rung::LocalSearch),
+                        "injected panic in the local search stage"
+                    );
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let run = LocalSearch::new().solve(problem, restarts, &mut rng);
+                    LaneResult::Local(run, clock.now().saturating_sub(started))
+                }
+            });
+        let mut slots = slots.into_iter();
+        let exact_slot = slots.next().flatten();
+        let local_slot = slots.next().flatten();
+
+        let mut stats = crate::par::ParStats {
+            threads: self.threads,
+            ..crate::par::ParStats::default()
+        };
+        stats.steals += pool.steals;
+
+        // Exact lane. A panicked lane left its slot empty (`None`).
+        let mut proven = false;
+        let mut best: Option<(Solution, Rung)> = None;
+        {
+            let mut span = recorder.map(|r| {
+                let mut s = r.span("solve.exact");
+                // Deterministic configuration only: the steal and
+                // re-validation counters are scheduling-dependent and
+                // must stay out of byte-reproducible traces.
+                s.record("racing", true);
+                s.record("threads", exact_threads);
+                s
+            });
+            match exact_slot {
+                Some(LaneResult::Exact(Ok((report, lane_stats)), elapsed)) => {
+                    proven = report.proven_optimal;
+                    stats.tasks = lane_stats.tasks;
+                    stats.accepted = lane_stats.accepted;
+                    stats.revalidated = lane_stats.revalidated;
+                    stats.speculative_nodes = lane_stats.speculative_nodes;
+                    stats.steals += lane_stats.steals;
+                    let status = if proven {
+                        StageStatus::Solved
+                    } else {
+                        StageStatus::BudgetExhausted
+                    };
+                    if let Some(s) = span.as_mut() {
+                        s.record("status", stage_status_key(status));
+                        s.record("nodes", report.nodes);
+                        s.record("objective", report.solution.objective);
+                        s.record("certified_gap", report.certified_gap());
+                    }
+                    stages.push(StageReport {
+                        rung: Rung::Exact,
+                        status,
+                        elapsed,
+                        objective: Some(report.solution.objective),
+                        nodes: report.nodes,
+                    });
+                    best = Some((report.solution, Rung::Exact));
+                }
+                Some(LaneResult::Exact(Err(_), elapsed)) => {
+                    if let Some(s) = span.as_mut() {
+                        s.record("status", stage_status_key(StageStatus::Panicked));
+                    }
+                    stages.push(StageReport {
+                        rung: Rung::Exact,
+                        status: StageStatus::Panicked,
+                        elapsed,
+                        objective: None,
+                        nodes: 0,
+                    });
+                }
+                _ => {
+                    if let Some(s) = span.as_mut() {
+                        s.record("status", stage_status_key(StageStatus::Panicked));
+                    }
+                    stages.push(StageReport {
+                        rung: Rung::Exact,
+                        status: StageStatus::Panicked,
+                        elapsed: Duration::ZERO,
+                        objective: None,
+                        nodes: 0,
+                    });
+                }
+            }
+        }
+
+        // Local-search lane.
+        let mut answered = false;
+        {
+            let mut span = recorder.map(|r| {
+                let mut s = r.span("solve.local_search");
+                s.record("racing", true);
+                s
+            });
+            match local_slot {
+                Some(LaneResult::Local(Ok(solution), elapsed)) => {
+                    if let Some(s) = span.as_mut() {
+                        s.record("status", stage_status_key(StageStatus::Solved));
+                        s.record("objective", solution.objective);
+                        s.record("restarts", restarts);
+                    }
+                    stages.push(StageReport {
+                        rung: Rung::LocalSearch,
+                        status: StageStatus::Solved,
+                        elapsed,
+                        objective: Some(solution.objective),
+                        nodes: 0,
+                    });
+                    // A proven exact answer always wins the race; below
+                    // a proof, the usual ladder preference applies.
+                    if !proven {
+                        best = Some(take_better(best, solution, Rung::LocalSearch));
+                        answered = true;
+                    }
+                }
+                Some(LaneResult::Local(Err(_), elapsed)) => {
+                    if let Some(s) = span.as_mut() {
+                        s.record("status", stage_status_key(StageStatus::Panicked));
+                    }
+                    stages.push(StageReport {
+                        rung: Rung::LocalSearch,
+                        status: StageStatus::Panicked,
+                        elapsed,
+                        objective: None,
+                        nodes: 0,
+                    });
+                }
+                _ => {
+                    if let Some(s) = span.as_mut() {
+                        s.record("status", stage_status_key(StageStatus::Panicked));
+                    }
+                    stages.push(StageReport {
+                        rung: Rung::LocalSearch,
+                        status: StageStatus::Panicked,
+                        elapsed: Duration::ZERO,
+                        objective: None,
+                        nodes: 0,
+                    });
+                }
+            }
+        }
+
+        if proven {
+            stages.push(skipped(Rung::Greedy));
+            stages.push(skipped(Rung::AsReported));
+            let Some((solution, rung)) = best else {
+                return Err(Error::SolveFailed { stage: "exact" });
+            };
+            return Ok((
+                SolveOutcome {
+                    solution,
+                    rung,
+                    proven_optimal: true,
+                    root_bound,
+                    stages,
+                },
+                stats,
+            ));
+        }
+        // An unproven exact result alone does not end the ladder (the
+        // sequential ladder would keep descending too); only a surviving
+        // local-search answer does.
+        self.finish_ladder(problem, recorder, root_bound, stages, best, answered)
+            .map(|outcome| (outcome, stats))
+    }
+
+    /// Rungs 3 and 4 — greedy and the as-reported floor — plus the final
+    /// assembly, shared by the sequential ladder and the racing
+    /// portfolio.
+    fn finish_ladder(
+        &self,
+        problem: &AllocationProblem,
+        recorder: Option<&Recorder>,
+        root_bound: f64,
+        mut stages: Vec<StageReport>,
+        mut best: Option<(Solution, Rung)>,
+        mut answered: bool,
+    ) -> Result<SolveOutcome> {
         // Rung 3: greedy. Only runs if local search did not answer.
         if answered {
             stages.push(skipped(Rung::Greedy));
@@ -887,6 +1180,155 @@ mod tests {
             .unwrap();
         let full = AnytimePipeline::new().solve(&p).unwrap();
         assert!(full.solution.objective <= starved.solution.objective + 1e-9);
+    }
+
+    #[test]
+    fn racing_pipeline_matches_the_ladder_on_proven_instances() {
+        // When the exact rung proves optimality, the racing portfolio
+        // must return the same solution as the sequential ladder, with
+        // the proof intact, at any thread budget.
+        let p = problem(vec![pref(18, 22, 2), pref(18, 22, 2), pref(18, 21, 1)]);
+        let ladder = AnytimePipeline::new().solve(&p).unwrap();
+        assert!(ladder.proven_optimal);
+        for threads in [2usize, 4] {
+            let raced = AnytimePipeline::new()
+                .with_threads(threads)
+                .solve(&p)
+                .unwrap();
+            assert_eq!(raced.rung, Rung::Exact);
+            assert!(raced.proven_optimal);
+            assert_eq!(raced.solution, ladder.solution);
+            assert_eq!(raced.certified_gap(), 0.0);
+            // Both racing lanes ran; the tail was skipped.
+            assert_eq!(
+                raced.stage(Rung::LocalSearch).unwrap().status,
+                StageStatus::Solved
+            );
+            assert_eq!(raced.stage(Rung::Greedy).unwrap().status, StageStatus::Skipped);
+        }
+    }
+
+    #[test]
+    fn racing_pipeline_is_deterministic_under_a_virtual_clock() {
+        use enki_telemetry::VirtualClock;
+        let p = problem(vec![
+            pref(14, 22, 3),
+            pref(16, 24, 2),
+            pref(15, 23, 4),
+            pref(18, 22, 2),
+        ]);
+        let run = || {
+            AnytimePipeline::new()
+                .with_threads(3)
+                .with_clock(VirtualClock::new())
+                .solve(&p)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        // Full structural equality, stage timings included: on a virtual
+        // clock every elapsed duration is exactly zero, so the entire
+        // outcome is a pure function of the seed even while two lanes
+        // race on real threads.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn racing_pipeline_degrades_deterministically_when_exact_is_starved() {
+        // A starved exact lane loses the race; the local-search lane's
+        // deterministic answer wins — identically across runs and
+        // identically to running local search alone.
+        let p = problem(vec![pref(0, 24, 2); 12]);
+        let run = || {
+            AnytimePipeline::new()
+                .with_exact_node_limit(1)
+                .with_threads(2)
+                .solve(&p)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.solution, b.solution);
+        assert_eq!(a.rung, b.rung);
+        assert_eq!(a.rung, Rung::LocalSearch);
+        assert!(!a.proven_optimal);
+        assert_eq!(
+            a.stage(Rung::Exact).unwrap().status,
+            StageStatus::BudgetExhausted
+        );
+        let mut rng = StdRng::seed_from_u64(0x5eed_f00d);
+        let alone = LocalSearch::new().solve(&p, 8, &mut rng).unwrap();
+        assert!(a.solution.objective <= alone.objective + 1e-12);
+    }
+
+    #[test]
+    fn racing_panic_in_one_lane_is_contained() {
+        let p = problem(vec![pref(16, 24, 3), pref(18, 22, 2)]);
+        // Exact lane panics: the local-search lane answers.
+        let o = AnytimePipeline::new()
+            .with_threads(2)
+            .with_injected_panic(Rung::Exact)
+            .solve(&p)
+            .unwrap();
+        assert_eq!(o.stage(Rung::Exact).unwrap().status, StageStatus::Panicked);
+        assert_eq!(o.rung, Rung::LocalSearch);
+        assert!(o.degraded());
+        // Local lane panics: an unproven exact answer still stands, and
+        // the ladder tail backs it up.
+        let o = AnytimePipeline::new()
+            .with_threads(2)
+            .with_injected_panic(Rung::LocalSearch)
+            .solve(&p)
+            .unwrap();
+        assert_eq!(
+            o.stage(Rung::LocalSearch).unwrap().status,
+            StageStatus::Panicked
+        );
+        assert!(o.solution.objective.is_finite());
+    }
+
+    #[test]
+    fn racing_trace_records_both_lanes_with_deterministic_fields_only() {
+        use enki_telemetry::{to_jsonl, Telemetry, VirtualClock};
+        let p = problem(vec![pref(18, 22, 2), pref(18, 22, 2)]);
+        let run = || {
+            let clock = VirtualClock::new();
+            let telemetry = Telemetry::with_virtual_clock(
+                "racing-test",
+                7,
+                std::sync::Arc::clone(&clock),
+            );
+            let recorder = telemetry.recorder();
+            let outcome = AnytimePipeline::new()
+                .with_threads(4)
+                .with_clock(clock)
+                .solve_traced(&p, Some(&recorder))
+                .unwrap();
+            recorder.flush();
+            (outcome.rung, to_jsonl(&telemetry))
+        };
+        let (rung_a, trace_a) = run();
+        let (_, trace_b) = run();
+        assert_eq!(rung_a, Rung::Exact);
+        // Byte-identical traces across runs: nothing scheduling-dependent
+        // (steals, re-validation counts, wall times) leaks into spans.
+        assert_eq!(trace_a, trace_b);
+        assert!(trace_a.contains("\"racing\""));
+    }
+
+    #[test]
+    fn racing_stats_surface_the_thread_budget() {
+        let p = problem(vec![pref(10, 20, 2); 6]);
+        let (outcome, stats) = AnytimePipeline::new()
+            .with_threads(3)
+            .solve_traced_with_stats(&p, None)
+            .unwrap();
+        assert!(outcome.solution.objective.is_finite());
+        assert_eq!(stats.threads, 3);
+        let (_, seq_stats) = AnytimePipeline::new()
+            .solve_traced_with_stats(&p, None)
+            .unwrap();
+        assert_eq!(seq_stats, crate::par::ParStats::sequential());
     }
 
     #[test]
