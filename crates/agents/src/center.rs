@@ -270,6 +270,10 @@ pub struct CenterCheckpoint {
     /// preference admission accepted (or clamped) from it. Used as the
     /// fallback when a household's report is quarantined.
     profiles: BTreeMap<HouseholdId, Preference>,
+    /// The last *raw* preference each household ever submitted, kept
+    /// across days so admission can flag bit-exact cross-day replays
+    /// (a stuck or replaying reporter) without affecting verdicts.
+    last_raw: BTreeMap<HouseholdId, RawPreference>,
 }
 
 /// Ticks between repeated `DayStart` broadcasts to households that have
@@ -287,6 +291,7 @@ pub struct CenterAgent {
     current: Option<DayInProgress>,
     records: Vec<DayRecord>,
     profiles: BTreeMap<HouseholdId, Preference>,
+    last_raw: BTreeMap<HouseholdId, RawPreference>,
     durable: CenterCheckpoint,
     down: bool,
     /// Optional telemetry: admission counters, phase timings, day
@@ -314,6 +319,7 @@ impl CenterAgent {
             records: Vec::new(),
             current: None,
             profiles: BTreeMap::new(),
+            last_raw: BTreeMap::new(),
         };
         Self {
             enki,
@@ -324,6 +330,7 @@ impl CenterAgent {
             current: None,
             records: Vec::new(),
             profiles: BTreeMap::new(),
+            last_raw: BTreeMap::new(),
             durable,
             down: false,
             recorder: None,
@@ -371,6 +378,7 @@ impl CenterAgent {
             current: checkpoint.current.clone(),
             records: checkpoint.records.clone(),
             profiles: checkpoint.profiles.clone(),
+            last_raw: checkpoint.last_raw.clone(),
             durable: checkpoint,
             down: false,
             recorder: None,
@@ -431,6 +439,7 @@ impl CenterAgent {
             records: self.records.clone(),
             current: self.current.clone(),
             profiles: self.profiles.clone(),
+            last_raw: self.last_raw.clone(),
         };
     }
 
@@ -441,6 +450,7 @@ impl CenterAgent {
         self.current = None;
         self.records = Vec::new();
         self.profiles = BTreeMap::new();
+        self.last_raw = BTreeMap::new();
         self.next_day = 0;
         self.rng = StdRng::seed_from_u64(0);
     }
@@ -454,6 +464,44 @@ impl CenterAgent {
         self.records = self.durable.records.clone();
         self.current = self.durable.current.clone();
         self.profiles = self.durable.profiles.clone();
+        self.last_raw = self.durable.last_raw.clone();
+    }
+
+    /// The center's standing model of a household's demand: the last
+    /// preference admission accepted (or clamped) from it, if any.
+    #[must_use]
+    pub fn standing_profile(&self, household: HouseholdId) -> Option<Preference> {
+        self.profiles.get(&household).copied()
+    }
+
+    /// Substitutes the center's standing profile for a household whose
+    /// fresh report was shed upstream (e.g. by an overloaded ingestion
+    /// front end that classified it replaceable). The profile enters the
+    /// day exactly as a submitted report would — idempotently, and only
+    /// while reports for `day` are still open. A later real report from
+    /// the household overwrites it (last write wins).
+    ///
+    /// Returns whether a profile was submitted: `false` when the center
+    /// is down, the day does not match or already allocated, the
+    /// household is unknown, or no standing profile exists.
+    pub fn submit_standing(&mut self, day: u64, household: HouseholdId) -> bool {
+        if self.down || !self.roster.contains(&household) {
+            return false;
+        }
+        let Some(profile) = self.profiles.get(&household).copied() else {
+            return false;
+        };
+        let Some(current) = self.current.as_mut() else {
+            return false;
+        };
+        if day != current.day || current.allocation.is_some() {
+            return false;
+        }
+        current.reports.entry(household).or_insert(profile.into());
+        if let Some(r) = self.recorder.as_ref() {
+            r.incr("center.admission.standing_submitted", 1);
+        }
+        true
     }
 
     /// Handles a delivered message.
@@ -578,7 +626,16 @@ impl CenterAgent {
                 .map(|(&h, &p)| RawReport::new(h, p))
                 .collect();
             current.reports.clear();
-            let admission = self.enki.admit(&raw);
+            // Admission sees each household's previous-day raw so exact
+            // cross-day replays are flagged (counted below; verdicts are
+            // unaffected — stable routines legitimately resend).
+            let last_raw = &self.last_raw;
+            let admission = self
+                .enki
+                .admit_with_history(&raw, |h| last_raw.get(&h).copied());
+            for r in &raw {
+                self.last_raw.insert(r.household, r.preference);
+            }
             // Every admitted preference refreshes the center's standing
             // model of that household's demand — the quarantine fallback.
             for entry in &admission.entries {
@@ -597,6 +654,10 @@ impl CenterAgent {
                 r.incr("center.admission.accepted", accepted);
                 r.incr("center.admission.clamped", clamped);
                 r.incr("center.admission.quarantined", quarantined);
+                r.incr(
+                    "center.admission.cross_day_replay",
+                    admission.cross_day_replays() as u64,
+                );
                 r.gauge("center.day.participants", reports.len() as f64);
             }
             if reports.is_empty() {

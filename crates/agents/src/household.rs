@@ -26,7 +26,7 @@ use enki_sim::ecc::EccPredictor;
 use enki_sim::neighborhood::TruthSource;
 use enki_sim::profile::UsageProfile;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::message::{Envelope, Message, NodeId, Tick};
@@ -45,52 +45,11 @@ pub enum ReportSource {
     },
 }
 
-/// Bounded exponential backoff for protocol retries.
-///
-/// Attempt `n` (0-based) waits `min(base * 2^n, cap)` ticks plus a
-/// jitter of `0..=min(n, 3)` ticks drawn from the agent's seeded RNG.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Backoff {
-    /// Delay before the first retry, in ticks. At least 1.
-    pub base: Tick,
-    /// Upper bound on the exponential delay, in ticks.
-    pub cap: Tick,
-}
-
-impl Backoff {
-    /// A backoff starting at `base` ticks and capped at `cap`.
-    #[must_use]
-    pub fn new(base: Tick, cap: Tick) -> Self {
-        let base = base.max(1);
-        Self {
-            base,
-            cap: cap.max(base),
-        }
-    }
-
-    /// The delay before retry attempt `attempt` (0-based), including
-    /// jitter drawn from `rng`.
-    fn delay(&self, attempt: u32, rng: &mut StdRng) -> Tick {
-        let exp = self
-            .base
-            .saturating_mul(1u64.checked_shl(attempt.min(32)).unwrap_or(u64::MAX))
-            .min(self.cap);
-        let jitter_bound = Tick::from(attempt.min(3));
-        let jitter = if jitter_bound == 0 {
-            0
-        } else {
-            rng.random_range(0..=jitter_bound)
-        };
-        exp + jitter
-    }
-}
-
-impl Default for Backoff {
-    /// First retry after 5 ticks, doubling to a cap of 10.
-    fn default() -> Self {
-        Self { base: 5, cap: 10 }
-    }
-}
+// One retry contract for the whole system: `Backoff` now lives in the
+// serve crate (ingestion producers pace themselves with the same
+// exponential-plus-jitter schedule), re-exported here so
+// `enki_agents::household::Backoff` keeps working.
+pub use enki_serve::backoff::Backoff;
 
 /// One household's view of the current day.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]

@@ -19,6 +19,9 @@
 //! * [`oracle`] — protocol invariant checks (budget balance, at-most-one
 //!   bill, grounded allocations, record integrity) replayed over a
 //!   runtime trace under any fault schedule.
+//! * [`serve_runtime`] — the center fed through the overload-safe
+//!   [`enki_serve`] ingestion path: wire frames, bounded queues,
+//!   backpressure, and load shedding, under the same oracle.
 //! * [`threaded`] — the same protocol on real threads over crossbeam
 //!   channels, as a deployment skeleton.
 //! * [`decentralized`] — the §VIII extension: token-ring best-response
@@ -66,6 +69,7 @@ pub mod message;
 pub mod network;
 pub mod oracle;
 pub mod runtime;
+pub mod serve_runtime;
 pub mod threaded;
 
 /// The most commonly used items, for glob import.
@@ -75,12 +79,14 @@ pub mod prelude {
     pub use crate::household::{Backoff, HouseholdAgent, ReportSource};
     pub use crate::message::{Envelope, Message, NodeId, Tick};
     pub use crate::network::{
-        FaultPlan, NetworkConfig, NetworkStats, Outage, Partition, SimNetwork,
+        FaultPlan, NetworkConfig, NetworkStats, Outage, Partition, SimNetwork, SlowLink,
     };
     pub use crate::oracle::{
-        check as check_invariants, check_traced as check_invariants_traced, Violation,
+        check as check_invariants, check_parts as check_invariant_parts,
+        check_traced as check_invariants_traced, Violation,
     };
     pub use crate::runtime::{CrashSchedule, Runtime, TraceEvent, TraceKind};
+    pub use crate::serve_runtime::{ServeCheckpoint, ServeProducer, ServeRuntime};
     pub use crate::threaded::{
         run_threaded_days, run_threaded_days_pipelined, run_threaded_days_traced, ThreadedDay,
         ThreadedFault, ThreadedHousehold,

@@ -6,7 +6,9 @@
 //! probability. On top of the link profile, a [`FaultPlan`] injects
 //! protocol-level adversity — message duplication, adversarial extra
 //! delay (reordering), per-link partitions between a household and the
-//! center with scheduled heal times, and neighborhood-wide burst outages.
+//! center with scheduled heal times, degraded slow links that stretch a
+//! household's latency without losing traffic, and neighborhood-wide
+//! burst outages.
 //! Delivery order is a stable priority queue on (delivery tick, sequence
 //! number), so runs are exactly reproducible for a given seed — the
 //! property all the failure-injection tests rely on.
@@ -100,6 +102,38 @@ impl Partition {
     }
 }
 
+/// A degraded link between one household and the center.
+///
+/// While active, every message in either direction on the link draws an
+/// extra seeded delay of `1..=extra_jitter` ticks on top of the normal
+/// latency profile. Unlike a [`Partition`] nothing is lost — a slow link
+/// models congestion or a flapping radio, the regime where deadline
+/// propagation and load shedding matter most.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlowLink {
+    /// The household whose link is degraded.
+    pub household: HouseholdId,
+    /// First tick the degradation is active.
+    pub from: Tick,
+    /// First tick the link is back to its normal profile.
+    pub heals_at: Tick,
+    /// Maximum extra delay; each message draws `1..=extra_jitter`.
+    pub extra_jitter: Tick,
+}
+
+impl SlowLink {
+    /// Whether the slow link delays `envelope` at `now`.
+    #[must_use]
+    pub fn applies(&self, now: Tick, envelope: &Envelope) -> bool {
+        if !(self.from..self.heals_at).contains(&now) {
+            return false;
+        }
+        let h = NodeId::Household(self.household);
+        (envelope.from == h && envelope.to == NodeId::Center)
+            || (envelope.from == NodeId::Center && envelope.to == h)
+    }
+}
+
 /// A neighborhood-wide burst outage: every message sent inside the
 /// window is discarded, regardless of endpoints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -135,16 +169,20 @@ pub struct FaultPlan {
     pub reorder_extra: Tick,
     /// Scheduled household↔center partitions.
     pub partitions: Vec<Partition>,
+    /// Scheduled per-link latency degradations.
+    pub slow_links: Vec<SlowLink>,
     /// Scheduled neighborhood-wide outages.
     pub outages: Vec<Outage>,
 }
 
 impl FaultPlan {
-    /// Whether the plan's probabilities are in range.
+    /// Whether the plan is usable: probabilities in range, and every
+    /// slow link able to draw at least one tick of extra delay.
     #[must_use]
     pub fn is_valid(&self) -> bool {
         (0.0..=1.0).contains(&self.duplicate_probability)
             && (0.0..=1.0).contains(&self.reorder_probability)
+            && self.slow_links.iter().all(|s| s.extra_jitter >= 1)
     }
 }
 
@@ -161,6 +199,9 @@ pub struct NetworkStats {
     pub duplicated: u64,
     /// Messages given adversarial extra delay.
     pub reordered: u64,
+    /// Messages delayed by an active slow link (primary copies only;
+    /// injected duplicates draw their own delay uncounted, like jitter).
+    pub slowed: u64,
     /// Messages discarded by an active partition.
     pub partitioned: u64,
     /// Messages discarded by a neighborhood-wide outage.
@@ -170,6 +211,10 @@ pub struct NetworkStats {
     /// Partitions that actually severed at least one message. A
     /// scheduled partition whose window saw no traffic never applies.
     pub partitions_applied: u64,
+    /// Slow links in the fault plan.
+    pub slow_links_scheduled: u64,
+    /// Slow links that actually delayed at least one message.
+    pub slow_links_applied: u64,
     /// Outages in the fault plan.
     pub outages_scheduled: u64,
     /// Outages that actually discarded at least one message.
@@ -199,8 +244,10 @@ impl NetworkStats {
     pub fn faults_consistent(&self) -> bool {
         self.partitions_applied <= self.partitions_scheduled
             && self.outages_applied <= self.outages_scheduled
+            && self.slow_links_applied <= self.slow_links_scheduled
             && (self.partitioned == 0) == (self.partitions_applied == 0)
             && (self.outage_dropped == 0) == (self.outages_applied == 0)
+            && (self.slowed == 0) == (self.slow_links_applied == 0)
     }
 }
 
@@ -215,6 +262,8 @@ pub struct SimNetwork {
     stats: NetworkStats,
     /// Which scheduled partitions have severed at least one message.
     partition_hits: Vec<bool>,
+    /// Which scheduled slow links have delayed at least one message.
+    slow_hits: Vec<bool>,
     /// Which scheduled outages have discarded at least one message.
     outage_hits: Vec<bool>,
 }
@@ -257,6 +306,7 @@ impl SimNetwork {
             seq: 0,
             stats: NetworkStats::default(),
             partition_hits: Vec::new(),
+            slow_hits: Vec::new(),
             outage_hits: Vec::new(),
         }
     }
@@ -268,10 +318,15 @@ impl SimNetwork {
     /// Panics if the plan's probabilities are out of range.
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        assert!(faults.is_valid(), "fault probabilities must be in [0, 1]");
+        assert!(
+            faults.is_valid(),
+            "fault probabilities must be in [0, 1] and slow links need extra_jitter >= 1"
+        );
         self.stats.partitions_scheduled = faults.partitions.len() as u64;
+        self.stats.slow_links_scheduled = faults.slow_links.len() as u64;
         self.stats.outages_scheduled = faults.outages.len() as u64;
         self.partition_hits = vec![false; faults.partitions.len()];
+        self.slow_hits = vec![false; faults.slow_links.len()];
         self.outage_hits = vec![false; faults.outages.len()];
         self.faults = faults;
         self
@@ -340,6 +395,21 @@ impl SimNetwork {
             at += self.rng.random_range(1..=self.faults.reorder_extra);
             if count_reorder {
                 self.stats.reordered += 1;
+            }
+        }
+        if let Some(i) = self
+            .faults
+            .slow_links
+            .iter()
+            .position(|s| s.applies(now, &envelope))
+        {
+            at += self.rng.random_range(1..=self.faults.slow_links[i].extra_jitter);
+            if count_reorder {
+                self.stats.slowed += 1;
+                if !self.slow_hits[i] {
+                    self.slow_hits[i] = true;
+                    self.stats.slow_links_applied += 1;
+                }
             }
         }
         self.queue
@@ -552,6 +622,96 @@ mod tests {
         let delivered = net.due(30);
         assert_eq!(delivered.len(), 3);
         assert_eq!(net.stats().partitioned, 2);
+    }
+
+    #[test]
+    fn slow_link_delays_without_losing_in_window_only() {
+        let plan = FaultPlan {
+            slow_links: vec![SlowLink {
+                household: HouseholdId::new(1),
+                from: 10,
+                heals_at: 20,
+                extra_jitter: 5,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut net = SimNetwork::new(NetworkConfig::default(), 41).with_faults(plan);
+        // Outside the window: normal latency, not slowed.
+        net.send(5, envelope_from(1));
+        assert_eq!(net.due(6).len(), 1);
+        // Inside the window: both directions slowed past base latency,
+        // other households untouched.
+        for _ in 0..50 {
+            net.send(10, envelope_from(1));
+            net.send(10, Envelope {
+                from: NodeId::Center,
+                to: NodeId::Household(HouseholdId::new(1)),
+                message: Message::Bill { day: 0, amount: 1.0 },
+            });
+        }
+        net.send(10, envelope_from(2));
+        let normal = net.due(11);
+        assert_eq!(normal.len(), 1, "only the untouched household is on time");
+        assert_eq!(normal[0].from, NodeId::Household(HouseholdId::new(2)));
+        let mut late = 0;
+        for t in 12..=16 {
+            late += net.due(t).len();
+        }
+        assert_eq!(late, 100, "slow links delay, they never lose");
+        let stats = net.stats();
+        assert_eq!(stats.slowed, 100);
+        assert_eq!(stats.slow_links_scheduled, 1);
+        assert_eq!(stats.slow_links_applied, 1);
+        assert_eq!(stats.total_lost(), 0);
+        assert!(stats.conserves(net.in_flight()));
+        assert!(stats.faults_consistent());
+        // After the heal: back to the base profile.
+        net.send(20, envelope_from(1));
+        assert_eq!(net.due(21).len(), 1);
+        assert_eq!(net.stats().slowed, 100);
+    }
+
+    #[test]
+    fn slow_link_draws_are_seeded_and_reproducible() {
+        let run = |seed: u64| -> Vec<(Tick, u64)> {
+            let plan = FaultPlan {
+                duplicate_probability: 0.3,
+                slow_links: vec![SlowLink {
+                    household: HouseholdId::new(0),
+                    from: 0,
+                    heals_at: 100,
+                    extra_jitter: 7,
+                }],
+                ..FaultPlan::default()
+            };
+            let mut net =
+                SimNetwork::new(NetworkConfig::lossy(0.1), seed).with_faults(plan);
+            for day in 0..50 {
+                net.send(0, envelope(day));
+            }
+            let mut arrivals = Vec::new();
+            for t in 1..=10 {
+                arrivals.extend(net.due(t).iter().map(|e| (t, e.message.day())));
+            }
+            arrivals
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "different seeds draw different delays");
+    }
+
+    #[test]
+    #[should_panic(expected = "fault probabilities")]
+    fn zero_jitter_slow_link_is_rejected() {
+        let plan = FaultPlan {
+            slow_links: vec![SlowLink {
+                household: HouseholdId::new(0),
+                from: 0,
+                heals_at: 10,
+                extra_jitter: 0,
+            }],
+            ..FaultPlan::default()
+        };
+        let _ = SimNetwork::new(NetworkConfig::default(), 1).with_faults(plan);
     }
 
     #[test]

@@ -200,6 +200,24 @@ pub fn check_traced(runtime: &Runtime, recorder: Option<&Recorder>) -> Vec<Viola
     violations
 }
 
+/// Checks the invariants directly on records and a trace, without a
+/// [`Runtime`]. For harnesses that drive a
+/// [`CenterAgent`](crate::center::CenterAgent) through a custom loop
+/// (e.g. the serve-layer ingestion runtime) but still owe the same
+/// proof obligations as the lockstep runtime.
+#[must_use]
+pub fn check_parts(
+    records: &[DayRecord],
+    roster: &[HouseholdId],
+    config: &EnkiConfig,
+    trace: &[TraceEvent],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    check_records(records, roster, config, &mut violations);
+    check_trace(trace, records, &mut violations);
+    violations
+}
+
 fn check_records(
     records: &[DayRecord],
     roster: &[HouseholdId],

@@ -1,5 +1,6 @@
 //! Chaos harness: sweeps seeded fault schedules — drops, duplication,
-//! reordering, partitions, outages, center crash/recovery — and asserts
+//! reordering, partitions, slow links, outages, center crash/recovery —
+//! and asserts
 //! the protocol's safety invariants (via the [`enki_agents::oracle`])
 //! and liveness (every day closes with a record) under each one.
 //!
@@ -79,6 +80,15 @@ fn partition(h: u32, from: Tick, heals_at: Tick) -> Partition {
         household: HouseholdId::new(h),
         from,
         heals_at,
+    }
+}
+
+fn slow(h: u32, from: Tick, heals_at: Tick, extra_jitter: Tick) -> SlowLink {
+    SlowLink {
+        household: HouseholdId::new(h),
+        from,
+        heals_at,
+        extra_jitter,
     }
 }
 
@@ -192,6 +202,33 @@ fn schedules() -> Vec<Schedule> {
             crashes: vec![],
         },
         Schedule {
+            name: "slow link across the report deadline",
+            network: NetworkConfig::default(),
+            faults: FaultPlan {
+                slow_links: vec![slow(1, 0, 45, 8)],
+                ..FaultPlan::default()
+            },
+            crashes: vec![],
+        },
+        Schedule {
+            name: "slow links + loss",
+            network: lossy(0.15),
+            faults: FaultPlan {
+                slow_links: vec![slow(0, 0, 120, 6), slow(3, 150, 260, 10)],
+                ..FaultPlan::default()
+            },
+            crashes: vec![],
+        },
+        Schedule {
+            name: "every link slow in the meter phase",
+            network: NetworkConfig::default(),
+            faults: FaultPlan {
+                slow_links: (0..6).map(|h| slow(h, 60, 95, 5)).collect(),
+                ..FaultPlan::default()
+            },
+            crashes: vec![],
+        },
+        Schedule {
             name: "burst outage in report phase",
             network: NetworkConfig::default(),
             faults: FaultPlan {
@@ -290,6 +327,7 @@ fn schedules() -> Vec<Schedule> {
                 reorder_probability: 0.3,
                 reorder_extra: 4,
                 partitions: vec![partition(1, 20, 60)],
+                slow_links: vec![slow(2, 130, 190, 6)],
                 outages: vec![Outage {
                     from: 110,
                     heals_at: 125,

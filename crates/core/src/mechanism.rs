@@ -255,6 +255,20 @@ impl Enki {
         crate::validation::admit(raw)
     }
 
+    /// [`admit`](Enki::admit), plus cross-day replay flagging against
+    /// each household's previously submitted raw preference; see
+    /// [`validation::admit_with_history`](crate::validation::admit_with_history).
+    pub fn admit_with_history<H>(
+        &self,
+        raw: &[crate::validation::RawReport],
+        history: H,
+    ) -> crate::validation::AdmissionReport
+    where
+        H: FnMut(crate::household::HouseholdId) -> Option<crate::validation::RawPreference>,
+    {
+        crate::validation::admit_with_history(raw, history)
+    }
+
     /// Allocation step: computes suggested windows from the day's reports.
     ///
     /// # Errors

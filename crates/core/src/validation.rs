@@ -211,6 +211,13 @@ pub struct AdmissionEntry {
     pub verdict: Verdict,
     /// The preference that enters the mechanism, when one was admitted.
     pub admitted: Option<Preference>,
+    /// Whether this raw preference is bit-identical to the one the same
+    /// household submitted on an earlier day (see
+    /// [`admit_with_history`]). A replay is *flagged, not rejected*:
+    /// honest households with stable routines legitimately resend the
+    /// same preference every day, so the flag feeds anomaly counters
+    /// rather than the verdict.
+    pub cross_day_replay: bool,
 }
 
 /// The structured outcome of admitting one day's raw report batch.
@@ -291,6 +298,27 @@ impl AdmissionReport {
             .iter()
             .all(|e| matches!(e.verdict, Verdict::Accepted))
     }
+
+    /// Entries whose raw preference exactly replays an earlier day's
+    /// submission (only ever nonzero for reports admitted through
+    /// [`admit_with_history`]).
+    #[must_use]
+    pub fn cross_day_replays(&self) -> usize {
+        self.entries.iter().filter(|e| e.cross_day_replay).count()
+    }
+}
+
+/// Whether two raw preferences are bit-for-bit identical.
+///
+/// Comparison is over the IEEE-754 bit patterns, not float equality:
+/// it is total (NaN payloads compare meaningfully, `-0.0 != 0.0`) and
+/// detects the byte-level replays a stuck or replaying ECC unit
+/// produces, which is exactly what the wire delivers.
+#[must_use]
+fn same_bits(a: RawPreference, b: RawPreference) -> bool {
+    a.begin.to_bits() == b.begin.to_bits()
+        && a.end.to_bits() == b.end.to_bits()
+        && a.duration.to_bits() == b.duration.to_bits()
 }
 
 /// Classifies one raw preference in isolation (no duplicate handling).
@@ -372,6 +400,25 @@ fn quarantine(reason: QuarantineReason) -> (Verdict, Option<Preference>) {
 ///
 /// Total and panic-free for every possible input.
 pub fn admit(raw: &[RawReport]) -> AdmissionReport {
+    admit_with_history(raw, |_| None)
+}
+
+/// [`admit`], plus cross-day replay detection against each household's
+/// previously submitted raw preference.
+///
+/// `history` maps a household to the raw preference it submitted on an
+/// earlier day, if any (the center keeps this map across days). An
+/// incoming raw that is bit-for-bit identical to the household's prior
+/// submission has [`AdmissionEntry::cross_day_replay`] set. The verdict
+/// is unaffected — a replay of a valid preference still admits — but
+/// the flag lets the center count exact-replay traffic, which separates
+/// "stable routine" from "stuck or replaying reporter" when it spikes.
+///
+/// Total and panic-free for every possible input.
+pub fn admit_with_history<H>(raw: &[RawReport], mut history: H) -> AdmissionReport
+where
+    H: FnMut(HouseholdId) -> Option<RawPreference>,
+{
     let mut seen: Vec<HouseholdId> = Vec::with_capacity(raw.len());
     let entries = raw
         .iter()
@@ -382,11 +429,14 @@ pub fn admit(raw: &[RawReport]) -> AdmissionReport {
                 seen.push(r.household);
                 admit_preference(r.preference)
             };
+            let cross_day_replay = history(r.household)
+                .is_some_and(|prior| same_bits(prior, r.preference));
             AdmissionEntry {
                 household: r.household,
                 raw: r.preference,
                 verdict,
                 admitted,
+                cross_day_replay,
             }
         })
         .collect();
@@ -584,6 +634,47 @@ mod tests {
     fn fallback_none_keeps_household_excluded() {
         let a = admit(&[raw(0, f64::NAN, 22.0, 2.0)]);
         assert!(a.admitted_with_fallback(|_| None).is_empty());
+    }
+
+    #[test]
+    fn cross_day_replay_is_flagged_but_still_admitted() {
+        let yesterday = RawPreference::new(18.0, 22.0, 2.0);
+        let a = admit_with_history(
+            &[raw(0, 18.0, 22.0, 2.0), raw(1, 18.0, 22.0, 2.0)],
+            |h| (h == HouseholdId::new(0)).then_some(yesterday),
+        );
+        assert!(a.entries[0].cross_day_replay);
+        assert!(!a.entries[1].cross_day_replay, "no history, no replay");
+        assert_eq!(a.cross_day_replays(), 1);
+        // The verdict is untouched: a replayed valid raw still admits.
+        assert_eq!(a.admitted().len(), 2);
+    }
+
+    #[test]
+    fn replay_detection_is_bit_exact_not_approximate() {
+        // A value differing in the last ulp is NOT a replay...
+        let prior = RawPreference::new(18.0, 22.0, 2.0);
+        let nudged = RawPreference::new(18.0, 22.0, f64::from_bits(2.0_f64.to_bits() + 1));
+        let a = admit_with_history(
+            &[RawReport::new(HouseholdId::new(0), nudged)],
+            |_| Some(prior),
+        );
+        assert!(!a.entries[0].cross_day_replay);
+        // ...while a bit-identical quarantined raw (same NaN payload)
+        // still counts: replays of garbage are the interesting signal.
+        let junk = RawPreference::new(f64::NAN, 22.0, 2.0);
+        let a = admit_with_history(
+            &[RawReport::new(HouseholdId::new(0), junk)],
+            |_| Some(junk),
+        );
+        assert!(a.entries[0].cross_day_replay);
+        assert_eq!(a.quarantined().count(), 1);
+    }
+
+    #[test]
+    fn plain_admit_never_flags_replays() {
+        let a = admit(&[raw(0, 18.0, 22.0, 2.0)]);
+        assert_eq!(a.cross_day_replays(), 0);
     }
 
     #[test]

@@ -4,12 +4,13 @@
 //! DESIGN.md § Static analysis for the full rationale):
 //!
 //! * **R1 no-panic** — `unwrap`/`expect`/`panic!`-family in non-test
-//!   code of `enki-core`, `enki-solver`, `enki-agents`. A panic in the
-//!   center aborts settlement and voids ex ante budget balance
-//!   (Theorem 1); adversarial input must surface as `Result`.
+//!   code of `enki-core`, `enki-solver`, `enki-agents`, `enki-serve`. A
+//!   panic in the center aborts settlement and voids ex ante budget
+//!   balance (Theorem 1); adversarial input must surface as `Result`.
 //! * **R2 no-direct-clock** — `Instant::now`/`SystemTime::now` outside
-//!   `enki-telemetry::clock`. Clock injection keeps degradation
-//!   behaviour and telemetry byte-reproducible.
+//!   `enki-telemetry::clock` and the serve crate's nondeterministic
+//!   edge (`crates/serve/src/edge.rs`). Clock injection keeps
+//!   degradation behaviour and telemetry byte-reproducible.
 //! * **R3 float-discipline** — `==`/`!=` against float literals and
 //!   `partial_cmp` anywhere: money and load are `f64`, so ordering must
 //!   go through `total_cmp` (or the `enki-core::float` helpers) and
@@ -18,8 +19,11 @@
 //!   crates: iteration order would leak randomness into allocations
 //!   and payments.
 //! * **R5 thread-discipline** — `thread::spawn`/locks only in
-//!   `threaded.rs` (or inside `enki-telemetry`, the sanctioned
-//!   concurrency substrate).
+//!   `threaded.rs`, inside `enki-telemetry` (the sanctioned concurrency
+//!   substrate), the solver's work-stealing pool (`solver/par.rs`), or
+//!   the serve crate's nondeterministic edge
+//!   (`crates/serve/src/edge.rs`) — the deterministic-core /
+//!   nondeterministic-edge split made machine-checked.
 //! * **R6 must-use-result** — public fallible APIs (`pub fn … ->
 //!   Result`) must carry `#[must_use]`: a silently dropped
 //!   `Settlement::verify` hides a budget-balance violation.
@@ -98,7 +102,8 @@ impl RuleId {
             }
             Self::NoDirectClock => {
                 "clock injection (enki-telemetry::clock) keeps solver degradation and \
-                 traces byte-reproducible; ad-hoc Instant::now breaks replay"
+                 traces byte-reproducible; ad-hoc Instant::now breaks replay — only \
+                 the clock module and the serve edge touch the OS clock"
             }
             Self::FloatDiscipline => {
                 "money and load are f64; NaN-unaware comparisons reorder allocations \
@@ -109,8 +114,9 @@ impl RuleId {
                  would leak nondeterminism into allocations and payments"
             }
             Self::ThreadDiscipline => {
-                "confining spawn/locks to threaded.rs (and the telemetry substrate) \
-                 keeps the mechanism single-threaded and auditable"
+                "confining spawn/locks to threaded.rs (and the telemetry substrate, \
+                 solver pool, and serve edge) keeps the mechanism single-threaded \
+                 and auditable"
             }
             Self::MustUseResult => {
                 "a silently dropped Result (e.g. Settlement::verify) hides an \
@@ -192,12 +198,12 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
         // body rules: panics and ad-hoc timing are idiomatic there.
         return out;
     }
-    if file.in_crate(&["core", "solver", "agents"]) {
+    if file.in_crate(&["core", "solver", "agents", "serve"]) {
         no_panic(file, &mut out);
     }
     no_direct_clock(file, &mut out);
     float_discipline(file, &mut out);
-    if file.in_crate(&["core", "solver", "agents", "sim", "study"]) {
+    if file.in_crate(&["core", "solver", "agents", "serve", "sim", "study"]) {
         no_hash_iteration(file, &mut out);
     }
     thread_discipline(file, &mut out);
@@ -266,8 +272,13 @@ fn no_panic(file: &SourceFile, out: &mut Vec<Violation>) {
 }
 
 fn no_direct_clock(file: &SourceFile, out: &mut Vec<Violation>) {
-    if file.rel_path == "crates/telemetry/src/clock.rs" {
-        // The one sanctioned wrapper around the OS clock.
+    if file.rel_path == "crates/telemetry/src/clock.rs"
+        || file.rel_path == "crates/serve/src/edge.rs"
+    {
+        // The one sanctioned wrapper around the OS clock, and the serve
+        // crate's nondeterministic edge (real producer threads). The
+        // deterministic serve core (codec, queue, ingest) reads time
+        // only as caller-supplied ticks and stays under the rule.
         return;
     }
     let toks = &file.tokens;
@@ -358,15 +369,19 @@ fn no_hash_iteration(file: &SourceFile, out: &mut Vec<Violation>) {
 fn thread_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
     let is_solver_pool =
         file.crate_dir.as_deref() == Some("solver") && file.file_name() == "par.rs";
+    let is_serve_edge = file.rel_path == "crates/serve/src/edge.rs";
     if file.crate_dir.as_deref() == Some("telemetry")
         || file.file_name() == "threaded.rs"
         || is_solver_pool
+        || is_serve_edge
     {
         // telemetry is the sanctioned lock-bearing substrate; threaded.rs
         // is the one deployment entry point allowed to spawn; the
         // solver's par.rs is the work-stealing pool behind the
-        // deterministic parallel solve — every other solver file must
-        // route concurrency through it.
+        // deterministic parallel solve; the serve crate's edge.rs is the
+        // producer-thread boundary of its deterministic core — every
+        // other file in those crates must route concurrency through
+        // them.
         return;
     }
     let toks = &file.tokens;
@@ -662,6 +677,45 @@ mod tests {
             codes(&check_file(&file("crates/agents/src/par.rs", src))),
             vec!["R5", "R5"]
         );
+    }
+
+    #[test]
+    fn serve_edge_is_allowlisted_for_threads_and_clocks() {
+        let src = "use parking_lot::Mutex;\n\
+                   fn f() { std::thread::spawn(|| {}); \
+                   let t = std::time::Instant::now(); }";
+        // The edge file — and only the edge file — may spawn, lock, and
+        // read the OS clock.
+        assert!(codes(&check_file(&file("crates/serve/src/edge.rs", src))).is_empty());
+        // The deterministic serve core stays fully under R2 and R5.
+        for core_file in [
+            "crates/serve/src/ingest.rs",
+            "crates/serve/src/queue.rs",
+            "crates/serve/src/codec.rs",
+            "crates/serve/src/lib.rs",
+        ] {
+            let v = check_file(&file(core_file, src));
+            assert!(
+                codes(&v).contains(&"R2") && codes(&v).contains(&"R5"),
+                "{core_file} must not spawn, lock, or read clocks: {v:?}"
+            );
+        }
+        // An edge.rs in any other crate gets no special treatment.
+        let v = check_file(&file("crates/sim/src/edge.rs", src));
+        assert!(codes(&v).contains(&"R2") && codes(&v).contains(&"R5"));
+    }
+
+    #[test]
+    fn serve_is_a_mechanism_crate_for_panics_and_hashes() {
+        let src = "fn f(o: Option<u32>) -> u32 { let m: HashMap<u32,u32> = HashMap::new(); o.unwrap() }";
+        let v = check_file(&file("crates/serve/src/ingest.rs", src));
+        assert!(codes(&v).contains(&"R1"), "unwrap in serve core: {v:?}");
+        assert!(codes(&v).contains(&"R4"), "HashMap in serve core: {v:?}");
+        // The edge allowlist covers R2/R5 only — panics and hash maps
+        // are still flagged there.
+        let v = check_file(&file("crates/serve/src/edge.rs", src));
+        assert!(codes(&v).contains(&"R1"));
+        assert!(codes(&v).contains(&"R4"));
     }
 
     #[test]

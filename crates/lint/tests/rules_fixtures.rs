@@ -88,6 +88,36 @@ fn r5_thread_fixture_flags_lock_and_spawn() {
 }
 
 #[test]
+fn serve_edge_allowlist_is_path_exact() {
+    let clock = include_str!("fixtures/r2_clock.rs");
+    let thread = include_str!("fixtures/r5_thread.rs");
+    // The serve crate's nondeterministic edge may read clocks, spawn,
+    // and lock.
+    assert!(check_fixture("crates/serve/src/edge.rs", clock).is_empty());
+    assert!(check_fixture("crates/serve/src/edge.rs", thread).is_empty());
+    // Its deterministic core may not…
+    let v = check_fixture("crates/serve/src/ingest.rs", clock);
+    assert_eq!(rule_counts(&v), vec![(RuleId::NoDirectClock, 2)], "{v:#?}");
+    let v = check_fixture("crates/serve/src/queue.rs", thread);
+    assert_eq!(rule_counts(&v), vec![(RuleId::ThreadDiscipline, 3)], "{v:#?}");
+    // …and an edge.rs in any other crate gets no special treatment.
+    let v = check_fixture("crates/sim/src/edge.rs", clock);
+    assert_eq!(rule_counts(&v), vec![(RuleId::NoDirectClock, 2)], "{v:#?}");
+    let v = check_fixture("crates/core/src/edge.rs", thread);
+    assert_eq!(rule_counts(&v), vec![(RuleId::ThreadDiscipline, 3)], "{v:#?}");
+}
+
+#[test]
+fn serve_core_is_scoped_for_panic_and_hash_rules() {
+    let panic = include_str!("fixtures/r1_panic.rs");
+    let v = check_fixture("crates/serve/src/codec.rs", panic);
+    assert_eq!(rule_counts(&v), vec![(RuleId::NoPanic, 5)], "{v:#?}");
+    let hash = include_str!("fixtures/r4_hash.rs");
+    let v = check_fixture("crates/serve/src/shed.rs", hash);
+    assert_eq!(rule_counts(&v), vec![(RuleId::NoHashIteration, 3)], "{v:#?}");
+}
+
+#[test]
 fn r6_mustuse_fixture_flags_the_two_bare_apis() {
     let v = check_fixture(
         "crates/core/src/r6_mustuse.rs",

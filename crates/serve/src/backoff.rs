@@ -1,0 +1,109 @@
+//! Bounded exponential backoff with deterministic jitter.
+//!
+//! One retry contract for the whole system: household agents re-sending
+//! reports over a lossy network and ingestion producers backing off
+//! under overload both pace themselves with [`Backoff`]. Attempt `n`
+//! (0-based) waits `min(base * 2^n, cap)` ticks plus a jitter of
+//! `0..=min(n, 3)` ticks drawn from a seeded RNG, so retry trains from
+//! different sources decorrelate without losing reproducibility.
+//!
+//! This type started life in `enki-agents::household`; it lives here so
+//! the serve layer can reuse it without depending on the agent crate
+//! (the agents re-export it, so `enki_agents::household::Backoff` keeps
+//! working).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::Tick;
+
+/// Bounded exponential backoff for protocol retries.
+///
+/// Attempt `n` (0-based) waits `min(base * 2^n, cap)` ticks plus a
+/// jitter of `0..=min(n, 3)` ticks drawn from the caller's seeded RNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Backoff {
+    /// Delay before the first retry, in ticks. At least 1.
+    pub base: Tick,
+    /// Upper bound on the exponential delay, in ticks.
+    pub cap: Tick,
+}
+
+impl Backoff {
+    /// A backoff starting at `base` ticks and capped at `cap`.
+    #[must_use]
+    pub fn new(base: Tick, cap: Tick) -> Self {
+        let base = base.max(1);
+        Self {
+            base,
+            cap: cap.max(base),
+        }
+    }
+
+    /// The delay before retry attempt `attempt` (0-based), including
+    /// jitter drawn from `rng`.
+    #[must_use]
+    pub fn delay(&self, attempt: u32, rng: &mut StdRng) -> Tick {
+        let exp = self
+            .base
+            .saturating_mul(1u64.checked_shl(attempt.min(32)).unwrap_or(u64::MAX))
+            .min(self.cap);
+        let jitter_bound = Tick::from(attempt.min(3));
+        let jitter = if jitter_bound == 0 {
+            0
+        } else {
+            rng.random_range(0..=jitter_bound)
+        };
+        exp + jitter
+    }
+}
+
+impl Default for Backoff {
+    /// First retry after 5 ticks, doubling to a cap of 10.
+    fn default() -> Self {
+        Self { base: 5, cap: 10 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn delay_is_bounded_by_cap_plus_jitter() {
+        let b = Backoff::new(2, 16);
+        let mut rng = StdRng::seed_from_u64(1);
+        for attempt in 0..40 {
+            let d = b.delay(attempt, &mut rng);
+            let exp = (2u64 << attempt.min(32)).clamp(2, 16);
+            assert!(d >= exp.min(16), "attempt {attempt}: {d}");
+            assert!(d <= 16 + 3, "attempt {attempt}: {d}");
+        }
+    }
+
+    #[test]
+    fn first_attempt_has_no_jitter() {
+        let b = Backoff::new(5, 10);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(b.delay(0, &mut rng), 5);
+    }
+
+    #[test]
+    fn zero_base_is_clamped_to_one() {
+        let b = Backoff::new(0, 0);
+        assert_eq!(b.base, 1);
+        assert_eq!(b.cap, 1);
+    }
+
+    #[test]
+    fn same_seed_same_delays() {
+        let b = Backoff::default();
+        let mut a = StdRng::seed_from_u64(3);
+        let mut c = StdRng::seed_from_u64(3);
+        for attempt in 0..10 {
+            assert_eq!(b.delay(attempt, &mut a), b.delay(attempt, &mut c));
+        }
+    }
+}

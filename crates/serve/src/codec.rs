@@ -1,0 +1,436 @@
+//! Length-prefixed wire codec for raw report batches.
+//!
+//! A frame is a little-endian `u32` payload length followed by the
+//! payload:
+//!
+//! ```text
+//! [len: u32le] [version: u8 = 1] [day: u64le] [deadline: u64le]
+//! [count: u16le] [count × (household: u32le, begin: f64le,
+//!                          end: f64le, duration: f64le)]
+//! ```
+//!
+//! The decoder is incremental (feed bytes as they arrive, pop frames as
+//! they complete), total, and panic-free. Malformed frames are
+//! **quarantined**, never partially trusted: a bad version, a length
+//! that disagrees with the report count, or a truncated payload yields
+//! a [`FrameError`] and the decoder moves on to the next frame. An
+//! oversized length prefix is the one fatal defect — the stream offset
+//! itself can no longer be trusted, so the decoder drops its buffer and
+//! resynchronizes on the next [`push_bytes`](FrameDecoder::push_bytes).
+//!
+//! Payload floats travel as raw IEEE-754 bits. The codec deliberately
+//! does **not** validate them — NaN and infinity are representable on
+//! the wire, and classifying them is the admission layer's job
+//! ([`enki_core::validation`]); the codec's job ends at structure.
+
+use std::fmt;
+
+use enki_core::household::HouseholdId;
+use enki_core::validation::{RawPreference, RawReport};
+use serde::{Deserialize, Serialize};
+
+use crate::Tick;
+
+/// Wire format version this codec reads and writes.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Fixed payload header size: version + day + deadline + count.
+const HEADER_LEN: usize = 1 + 8 + 8 + 2;
+
+/// Encoded size of one report record.
+const RECORD_LEN: usize = 4 + 8 + 8 + 8;
+
+/// Hard cap on reports per frame; bounds both the encoder and the
+/// largest payload length the decoder will believe.
+pub const MAX_REPORTS_PER_FRAME: usize = 4096;
+
+/// Largest payload length the decoder accepts. Anything larger is a
+/// corrupt or adversarial length prefix.
+pub const MAX_PAYLOAD_LEN: usize = HEADER_LEN + MAX_REPORTS_PER_FRAME * RECORD_LEN;
+
+/// One decoded frame: a batch of raw reports for one day, stamped with
+/// the admission deadline (in ticks) the producer is racing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Batch {
+    /// Day the reports belong to.
+    pub day: u64,
+    /// Tick by which these reports must clear admission; the ingest
+    /// layer sheds work it cannot admit in time.
+    pub deadline: Tick,
+    /// The raw, unvalidated reports.
+    pub reports: Vec<RawReport>,
+}
+
+/// Why a frame was quarantined instead of decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_PAYLOAD_LEN`]; the stream offset
+    /// is untrustworthy and the decoder's buffer was dropped.
+    Oversized {
+        /// The claimed payload length.
+        claimed: u32,
+    },
+    /// The payload was shorter than the fixed header.
+    TruncatedHeader {
+        /// The actual payload length.
+        len: u32,
+    },
+    /// The payload declared an unknown wire version.
+    BadVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// The payload length disagrees with the declared report count.
+    CountMismatch {
+        /// The declared report count.
+        count: u16,
+        /// The actual payload length.
+        len: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Oversized { claimed } => {
+                write!(f, "length prefix {claimed} exceeds {MAX_PAYLOAD_LEN}")
+            }
+            Self::TruncatedHeader { len } => {
+                write!(f, "payload of {len} bytes is shorter than the header")
+            }
+            Self::BadVersion { found } => {
+                write!(f, "unknown wire version {found} (expected {WIRE_VERSION})")
+            }
+            Self::CountMismatch { count, len } => {
+                write!(f, "{count} reports do not fit a {len}-byte payload")
+            }
+        }
+    }
+}
+
+/// Why a batch could not be encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The batch holds more reports than [`MAX_REPORTS_PER_FRAME`].
+    TooManyReports {
+        /// The offending batch size.
+        count: usize,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooManyReports { count } => {
+                write!(f, "{count} reports exceed the {MAX_REPORTS_PER_FRAME}-report frame cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+impl std::error::Error for EncodeError {}
+
+/// Encodes one batch as a length-prefixed frame.
+///
+/// # Errors
+///
+/// Fails when the batch exceeds [`MAX_REPORTS_PER_FRAME`]; split large
+/// batches across frames instead of truncating silently.
+#[must_use = "an unsent frame silently drops the whole batch"]
+pub fn encode_frame(batch: &Batch) -> Result<Vec<u8>, EncodeError> {
+    if batch.reports.len() > MAX_REPORTS_PER_FRAME {
+        return Err(EncodeError::TooManyReports {
+            count: batch.reports.len(),
+        });
+    }
+    let payload_len = HEADER_LEN + batch.reports.len() * RECORD_LEN;
+    let mut out = Vec::with_capacity(4 + payload_len);
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    out.push(WIRE_VERSION);
+    out.extend_from_slice(&batch.day.to_le_bytes());
+    out.extend_from_slice(&batch.deadline.to_le_bytes());
+    out.extend_from_slice(&(batch.reports.len() as u16).to_le_bytes());
+    for r in &batch.reports {
+        out.extend_from_slice(&r.household.index().to_le_bytes());
+        out.extend_from_slice(&r.preference.begin.to_le_bytes());
+        out.extend_from_slice(&r.preference.end.to_le_bytes());
+        out.extend_from_slice(&r.preference.duration.to_le_bytes());
+    }
+    Ok(out)
+}
+
+fn read_u16(b: &[u8], at: usize) -> Option<u16> {
+    b.get(at..at + 2)
+        .and_then(|s| s.try_into().ok())
+        .map(u16::from_le_bytes)
+}
+
+fn read_u32(b: &[u8], at: usize) -> Option<u32> {
+    b.get(at..at + 4)
+        .and_then(|s| s.try_into().ok())
+        .map(u32::from_le_bytes)
+}
+
+fn read_u64(b: &[u8], at: usize) -> Option<u64> {
+    b.get(at..at + 8)
+        .and_then(|s| s.try_into().ok())
+        .map(u64::from_le_bytes)
+}
+
+fn read_f64(b: &[u8], at: usize) -> Option<f64> {
+    read_u64(b, at).map(f64::from_bits)
+}
+
+fn parse_payload(payload: &[u8]) -> Result<Batch, FrameError> {
+    let len = payload.len() as u32;
+    if payload.len() < HEADER_LEN {
+        return Err(FrameError::TruncatedHeader { len });
+    }
+    let version = payload.first().copied().unwrap_or_default();
+    if version != WIRE_VERSION {
+        return Err(FrameError::BadVersion { found: version });
+    }
+    let day = read_u64(payload, 1).unwrap_or_default();
+    let deadline = read_u64(payload, 9).unwrap_or_default();
+    let count = read_u16(payload, 17).unwrap_or_default();
+    if HEADER_LEN + usize::from(count) * RECORD_LEN != payload.len() {
+        return Err(FrameError::CountMismatch { count, len });
+    }
+    let mut reports = Vec::with_capacity(usize::from(count));
+    for i in 0..usize::from(count) {
+        let at = HEADER_LEN + i * RECORD_LEN;
+        // The arithmetic above pinned the payload length, so every read
+        // is in bounds; the unwrap_or arms are unreachable but total.
+        let household = read_u32(payload, at).unwrap_or_default();
+        let begin = read_f64(payload, at + 4).unwrap_or_default();
+        let end = read_f64(payload, at + 12).unwrap_or_default();
+        let duration = read_f64(payload, at + 20).unwrap_or_default();
+        reports.push(RawReport::new(
+            HouseholdId::new(household),
+            RawPreference::new(begin, end, duration),
+        ));
+    }
+    Ok(Batch {
+        day,
+        deadline,
+        reports,
+    })
+}
+
+/// Incremental frame decoder: feed bytes, pop complete frames.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Frames decoded successfully since construction.
+    decoded: u64,
+    /// Frames quarantined as malformed since construction.
+    quarantined: u64,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes from the wire.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Frames decoded successfully so far.
+    #[must_use]
+    pub fn decoded(&self) -> u64 {
+        self.decoded
+    }
+
+    /// Frames quarantined as malformed so far.
+    #[must_use]
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
+    }
+
+    /// Pops the next complete frame: `None` when more bytes are needed,
+    /// `Some(Err(_))` when a complete frame was malformed (the frame is
+    /// consumed — quarantined — and decoding continues after it).
+    #[must_use = "a dropped frame result loses both the batch and the quarantine verdict"]
+    pub fn next_frame(&mut self) -> Option<Result<Batch, FrameError>> {
+        let claimed = read_u32(&self.buf, 0)?;
+        if claimed as usize > MAX_PAYLOAD_LEN {
+            // The offset is untrustworthy: drop everything buffered and
+            // resynchronize at the next push.
+            self.buf.clear();
+            self.quarantined += 1;
+            return Some(Err(FrameError::Oversized { claimed }));
+        }
+        let total = 4 + claimed as usize;
+        if self.buf.len() < total {
+            return None;
+        }
+        let payload: Vec<u8> = self.buf.drain(..total).skip(4).collect();
+        let parsed = parse_payload(&payload);
+        match parsed {
+            Ok(_) => self.decoded += 1,
+            Err(_) => self.quarantined += 1,
+        }
+        Some(parsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(h: u32, b: f64, e: f64, v: f64) -> RawReport {
+        RawReport::new(HouseholdId::new(h), RawPreference::new(b, e, v))
+    }
+
+    fn batch(day: u64, deadline: Tick, n: u32) -> Batch {
+        Batch {
+            day,
+            deadline,
+            reports: (0..n).map(|i| report(i, 18.0, 22.0, 2.0)).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_bit() {
+        let b = Batch {
+            day: 3,
+            deadline: 130,
+            reports: vec![
+                report(0, 18.0, 22.0, 2.0),
+                report(9, f64::NAN, f64::INFINITY, -0.0),
+                report(u32::MAX, -1e300, 1e300, 0.5),
+            ],
+        };
+        let frame = encode_frame(&b).unwrap();
+        let mut d = FrameDecoder::new();
+        d.push_bytes(&frame);
+        let out = d.next_frame().unwrap().unwrap();
+        assert_eq!(out.day, b.day);
+        assert_eq!(out.deadline, b.deadline);
+        assert_eq!(out.reports.len(), b.reports.len());
+        for (a, e) in out.reports.iter().zip(&b.reports) {
+            assert_eq!(a.household, e.household);
+            assert_eq!(
+                a.preference.begin.to_bits(),
+                e.preference.begin.to_bits()
+            );
+            assert_eq!(a.preference.end.to_bits(), e.preference.end.to_bits());
+            assert_eq!(
+                a.preference.duration.to_bits(),
+                e.preference.duration.to_bits()
+            );
+        }
+        assert_eq!(d.buffered(), 0);
+    }
+
+    #[test]
+    fn frames_survive_byte_at_a_time_delivery() {
+        let frame = encode_frame(&batch(1, 40, 5)).unwrap();
+        let mut d = FrameDecoder::new();
+        for &byte in &frame[..frame.len() - 1] {
+            d.push_bytes(&[byte]);
+            assert!(d.next_frame().is_none());
+        }
+        d.push_bytes(&[frame[frame.len() - 1]]);
+        let out = d.next_frame().unwrap().unwrap();
+        assert_eq!(out.reports.len(), 5);
+    }
+
+    #[test]
+    fn two_frames_in_one_push_both_decode() {
+        let mut bytes = encode_frame(&batch(0, 30, 2)).unwrap();
+        bytes.extend(encode_frame(&batch(1, 130, 3)).unwrap());
+        let mut d = FrameDecoder::new();
+        d.push_bytes(&bytes);
+        assert_eq!(d.next_frame().unwrap().unwrap().reports.len(), 2);
+        assert_eq!(d.next_frame().unwrap().unwrap().reports.len(), 3);
+        assert!(d.next_frame().is_none());
+        assert_eq!(d.decoded(), 2);
+    }
+
+    #[test]
+    fn bad_version_is_quarantined_and_decoding_continues() {
+        let mut bad = encode_frame(&batch(0, 30, 1)).unwrap();
+        bad[4] = 9; // corrupt the version byte
+        let good = encode_frame(&batch(0, 30, 2)).unwrap();
+        let mut d = FrameDecoder::new();
+        d.push_bytes(&bad);
+        d.push_bytes(&good);
+        assert_eq!(
+            d.next_frame().unwrap(),
+            Err(FrameError::BadVersion { found: 9 })
+        );
+        assert_eq!(d.next_frame().unwrap().unwrap().reports.len(), 2);
+        assert_eq!(d.quarantined(), 1);
+    }
+
+    #[test]
+    fn count_mismatch_is_quarantined() {
+        let mut bad = encode_frame(&batch(0, 30, 2)).unwrap();
+        bad[21] = 7; // claim 7 reports in a 2-report payload
+        let mut d = FrameDecoder::new();
+        d.push_bytes(&bad);
+        assert!(matches!(
+            d.next_frame().unwrap(),
+            Err(FrameError::CountMismatch { count: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_header_is_quarantined() {
+        let mut d = FrameDecoder::new();
+        d.push_bytes(&3u32.to_le_bytes());
+        d.push_bytes(&[1, 2, 3]);
+        assert!(matches!(
+            d.next_frame().unwrap(),
+            Err(FrameError::TruncatedHeader { len: 3 })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_drops_the_buffer_and_resyncs() {
+        let mut d = FrameDecoder::new();
+        d.push_bytes(&u32::MAX.to_le_bytes());
+        d.push_bytes(&[0xAA; 64]);
+        assert!(matches!(
+            d.next_frame().unwrap(),
+            Err(FrameError::Oversized { claimed: u32::MAX })
+        ));
+        assert_eq!(d.buffered(), 0);
+        // A fresh, valid frame after the corruption still decodes.
+        d.push_bytes(&encode_frame(&batch(2, 230, 1)).unwrap());
+        assert_eq!(d.next_frame().unwrap().unwrap().day, 2);
+    }
+
+    #[test]
+    fn encoder_refuses_oversized_batches() {
+        let b = batch(0, 30, (MAX_REPORTS_PER_FRAME + 1) as u32);
+        assert_eq!(
+            encode_frame(&b),
+            Err(EncodeError::TooManyReports {
+                count: MAX_REPORTS_PER_FRAME + 1
+            })
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_a_valid_frame() {
+        let frame = encode_frame(&batch(5, 530, 0)).unwrap();
+        let mut d = FrameDecoder::new();
+        d.push_bytes(&frame);
+        let out = d.next_frame().unwrap().unwrap();
+        assert_eq!(out.day, 5);
+        assert!(out.reports.is_empty());
+    }
+}

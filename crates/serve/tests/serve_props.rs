@@ -1,0 +1,268 @@
+//! Property-based tests of the serve layer's invariants: the codec is
+//! total and bit-exact, the bounded queue never leaks or overflows, and
+//! the ingest front end conserves every offered report across the
+//! admit/defer/shed accounting — under arbitrary (including
+//! adversarial) inputs.
+
+use enki_core::household::HouseholdId;
+use enki_core::validation::{RawPreference, RawReport};
+use enki_serve::backoff::Backoff;
+use enki_serve::codec::{encode_frame, Batch, FrameDecoder, MAX_REPORTS_PER_FRAME};
+use enki_serve::ingest::{IngestConfig, IngestFrontEnd, ProducerSignal};
+use enki_serve::queue::{IngressQueue, Offer, QueuedReport};
+use enki_serve::shed::ShedCost;
+use enki_serve::Tick;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Arbitrary wire reports: the household index and all three preference
+/// fields range over raw 64-bit patterns, so NaN payloads, infinities,
+/// subnormals, and negative zero all travel.
+fn wire_report() -> impl Strategy<Value = RawReport> {
+    (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(h, b, e, v)| {
+        RawReport::new(
+            HouseholdId::new(h),
+            RawPreference::new(f64::from_bits(b), f64::from_bits(e), f64::from_bits(v)),
+        )
+    })
+}
+
+fn wire_batch(max_reports: usize) -> impl Strategy<Value = Batch> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(wire_report(), 0..=max_reports),
+    )
+        .prop_map(|(day, deadline, reports)| Batch {
+            day,
+            deadline,
+            reports,
+        })
+}
+
+fn bits(p: RawPreference) -> (u64, u64, u64) {
+    (p.begin.to_bits(), p.end.to_bits(), p.duration.to_bits())
+}
+
+proptest! {
+    /// Encode → decode is the identity down to the last bit, however the
+    /// bytes are fragmented in transit.
+    #[test]
+    fn codec_roundtrip_is_bit_exact_under_any_fragmentation(
+        batch in wire_batch(24),
+        chunk in 1usize..64,
+    ) {
+        let frame = encode_frame(&batch).unwrap();
+        let mut d = FrameDecoder::new();
+        let mut out = None;
+        for piece in frame.chunks(chunk) {
+            d.push_bytes(piece);
+            if let Some(f) = d.next_frame() {
+                prop_assert!(out.is_none(), "one frame must decode exactly once");
+                out = Some(f);
+            }
+        }
+        let got = out.expect("frame completes").expect("frame well-formed");
+        prop_assert_eq!(got.day, batch.day);
+        prop_assert_eq!(got.deadline, batch.deadline);
+        prop_assert_eq!(got.reports.len(), batch.reports.len());
+        for (a, e) in got.reports.iter().zip(&batch.reports) {
+            prop_assert_eq!(a.household, e.household);
+            prop_assert_eq!(bits(a.preference), bits(e.preference));
+        }
+        prop_assert_eq!(d.buffered(), 0);
+    }
+
+    /// The decoder is total: arbitrary byte soup never panics, never
+    /// loops, and every popped frame is accounted as decoded or
+    /// quarantined.
+    #[test]
+    fn decoder_is_total_on_arbitrary_bytes(
+        soup in proptest::collection::vec(any::<u8>(), 0..512),
+        chunk in 1usize..64,
+    ) {
+        let mut d = FrameDecoder::new();
+        let mut popped = 0u64;
+        for piece in soup.chunks(chunk) {
+            d.push_bytes(piece);
+            while let Some(frame) = d.next_frame() {
+                popped += 1;
+                if let Ok(batch) = frame {
+                    prop_assert!(batch.reports.len() <= MAX_REPORTS_PER_FRAME);
+                }
+            }
+        }
+        prop_assert_eq!(d.decoded() + d.quarantined(), popped);
+    }
+
+    /// A single corrupted byte in a valid stream never panics the
+    /// decoder and never fabricates extra well-formed frames.
+    #[test]
+    fn one_flipped_byte_cannot_fabricate_frames(
+        batches in proptest::collection::vec(wire_batch(4), 1..4),
+        at in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let mut stream = Vec::new();
+        for b in &batches {
+            stream.extend(encode_frame(b).unwrap());
+        }
+        let at = at % stream.len();
+        stream[at] ^= flip;
+        let mut d = FrameDecoder::new();
+        d.push_bytes(&stream);
+        while d.next_frame().is_some() {}
+        prop_assert!(d.decoded() <= batches.len() as u64);
+    }
+
+    /// The bounded queue conserves reports under any offer/pop schedule:
+    /// depth never exceeds capacity, eviction victims are always
+    /// replaceable (cheapest-first), and everything enqueued is later
+    /// popped, evicted, or still queued.
+    #[test]
+    fn queue_conserves_reports(
+        capacity in 0usize..6,
+        ops in proptest::collection::vec((any::<bool>(), any::<bool>(), 0u32..64), 0..200),
+    ) {
+        let mut q = IngressQueue::new(capacity);
+        let (mut entered, mut popped, mut evicted) = (0u64, 0u64, 0u64);
+        for (is_pop, fresh, h) in ops {
+            if is_pop {
+                if q.pop().is_some() {
+                    popped += 1;
+                }
+            } else {
+                let cost = if fresh { ShedCost::Fresh } else { ShedCost::Replaceable };
+                let item = QueuedReport {
+                    day: 0,
+                    deadline: Tick::MAX,
+                    enqueued_at: 0,
+                    cost,
+                    report: RawReport::new(
+                        HouseholdId::new(h),
+                        RawPreference::new(18.0, 22.0, 2.0),
+                    ),
+                };
+                match q.offer(item) {
+                    Offer::Enqueued => entered += 1,
+                    Offer::Evicted(victim) => {
+                        prop_assert_eq!(victim.cost, ShedCost::Replaceable);
+                        prop_assert_eq!(cost, ShedCost::Fresh);
+                        entered += 1;
+                        evicted += 1;
+                    }
+                    Offer::Rejected => prop_assert_eq!(q.depth(), capacity),
+                }
+            }
+            prop_assert!(q.depth() <= capacity);
+            prop_assert_eq!(entered, popped + evicted + q.depth() as u64);
+        }
+    }
+
+    /// The backoff contract: attempt `n` waits `min(base·2^n, cap)` plus
+    /// at most `min(n, 3)` ticks of jitter, never less than the
+    /// exponential floor.
+    #[test]
+    fn backoff_delay_respects_the_contract(
+        base in 1u64..50,
+        cap in 1u64..200,
+        attempt in 0u32..40,
+        seed in any::<u64>(),
+    ) {
+        let b = Backoff::new(base, cap);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = b.delay(attempt, &mut rng);
+        let floor = base
+            .saturating_mul(1u64.checked_shl(attempt.min(32)).unwrap_or(u64::MAX))
+            .min(cap.max(base));
+        prop_assert!(d >= floor, "delay {d} below floor {floor}");
+        prop_assert!(d <= floor + u64::from(attempt.min(3)), "delay {d} above ceiling");
+    }
+
+    /// Global shed accounting: across an arbitrary offered-load schedule
+    /// every report in a well-formed frame ends in exactly one bucket —
+    /// admitted, deferred to a retry, stale, deadline-risk, evicted, or
+    /// still queued — and two runs of the same schedule agree exactly.
+    #[test]
+    fn ingest_conserves_every_offered_report(
+        capacity in 0usize..24,
+        drain_per_tick in 0usize..6,
+        frames in proptest::collection::vec(
+            // (tick offset 0..8, deadline offset 0..12, households, replaceable?)
+            (0u64..8, 0u64..12, proptest::collection::vec(0u32..32, 0..12), any::<bool>()),
+            0..24,
+        ),
+    ) {
+        let run = || {
+            let config = IngestConfig {
+                queue_capacity: capacity,
+                drain_per_tick,
+                backoff: Backoff::default(),
+            };
+            let mut front = IngestFrontEnd::new(config, 7);
+            let mut offered = 0u64;
+            let mut now = 0;
+            for (dt, deadline_offset, households, replaceable) in &frames {
+                now += dt;
+                let batch = Batch {
+                    day: 0,
+                    deadline: now + deadline_offset,
+                    reports: households
+                        .iter()
+                        .map(|&h| RawReport::new(
+                            HouseholdId::new(h),
+                            RawPreference::new(18.0, 22.0, 2.0),
+                        ))
+                        .collect(),
+                };
+                offered += batch.reports.len() as u64;
+                let signals = front.offer_bytes(
+                    now,
+                    &encode_frame(&batch).unwrap(),
+                    &mut |_| if *replaceable { ShedCost::Replaceable } else { ShedCost::Fresh },
+                );
+                prop_assert_eq!(signals.len(), 1, "one frame, one signal");
+                if let ProducerSignal::Shed { class, .. } = signals[0] {
+                    prop_assert_ne!(class, enki_serve::shed::ShedClass::Malformed);
+                }
+                let _ = front.drain(now);
+                now += 1;
+            }
+            // Drain to empty so only the accounting buckets remain.
+            let mut guard = 0;
+            while front.queue_depth() > 0 {
+                now += 1;
+                let _ = front.drain(now);
+                guard += 1;
+                prop_assert!(
+                    guard < 100_000,
+                    "drain must make progress: depth {}",
+                    front.queue_depth()
+                );
+                if drain_per_tick == 0 {
+                    break;
+                }
+            }
+            Ok((offered, front.queue_depth() as u64, front.stats()))
+        };
+        let (offered, depth, stats) = run()?;
+        prop_assert_eq!(
+            offered,
+            stats.admitted
+                + stats.deferred
+                + stats.shed.stale
+                + stats.shed.deadline_risk
+                + stats.shed.evicted
+                + depth,
+            "conservation: {stats:?}"
+        );
+        prop_assert_eq!(stats.shed.malformed, 0);
+        prop_assert_eq!(stats.shed.poisoned, 0);
+        // Determinism: the same schedule replays to the same totals.
+        let (offered2, depth2, stats2) = run()?;
+        prop_assert_eq!(offered, offered2);
+        prop_assert_eq!(depth, depth2);
+        prop_assert_eq!(stats, stats2);
+    }
+}
