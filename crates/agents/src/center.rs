@@ -260,6 +260,25 @@ struct DayInProgress {
 /// Serializable, so a deployment can persist it across process restarts;
 /// [`CenterAgent::restore`] rebuilds an agent from a deserialized
 /// checkpoint plus the static configuration (mechanism, roster, plan).
+///
+/// # Commit contract
+///
+/// The center mutates protocol state freely between phase boundaries,
+/// but a checkpoint is only ever taken at one of four commit points:
+/// day start, allocation (report deadline), settlement (meter
+/// deadline), and empty-day close. Each commit is a complete,
+/// self-consistent snapshot — never a delta — and bumps
+/// [`CenterAgent::commit_seq`], so a persistence layer can detect
+/// "a phase boundary passed" and write the new snapshot *behind* a
+/// write-ahead barrier before acknowledging the phase (log → flush →
+/// apply). States between commits are volatile by design: a crash
+/// rolls back to the previous boundary, and the protocol's idempotent
+/// message handling absorbs the replay. Checkpoints never contain
+/// unvalidated floats in `current` (raw reports are cleared at the
+/// report deadline), but `last_raw` intentionally preserves each
+/// household's last submission verbatim — NaN and all — which is why
+/// durable serialization uses the bit-exact snapshot codec rather
+/// than JSON.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CenterCheckpoint {
     next_day: u64,
@@ -274,6 +293,21 @@ pub struct CenterCheckpoint {
     /// across days so admission can flag bit-exact cross-day replays
     /// (a stuck or replaying reporter) without affecting verdicts.
     last_raw: BTreeMap<HouseholdId, RawPreference>,
+}
+
+impl CenterCheckpoint {
+    /// The settled day records this checkpoint carries — what a
+    /// post-recovery audit verifies against the mechanism invariants.
+    #[must_use]
+    pub fn records(&self) -> &[DayRecord] {
+        &self.records
+    }
+
+    /// The day the restored center will run next.
+    #[must_use]
+    pub fn next_day(&self) -> u64 {
+        self.next_day
+    }
 }
 
 /// Ticks between repeated `DayStart` broadcasts to households that have
@@ -293,6 +327,9 @@ pub struct CenterAgent {
     profiles: BTreeMap<HouseholdId, Preference>,
     last_raw: BTreeMap<HouseholdId, RawPreference>,
     durable: CenterCheckpoint,
+    /// Monotone count of phase-boundary commits over the agent's
+    /// lifetime (not protocol state: survives crashes, not persisted).
+    commit_seq: u64,
     down: bool,
     /// Optional telemetry: admission counters, phase timings, day
     /// outcomes. `None` records nothing and costs nothing.
@@ -332,6 +369,7 @@ impl CenterAgent {
             profiles: BTreeMap::new(),
             last_raw: BTreeMap::new(),
             durable,
+            commit_seq: 0,
             down: false,
             recorder: None,
             pipeline: None,
@@ -380,6 +418,7 @@ impl CenterAgent {
             profiles: checkpoint.profiles.clone(),
             last_raw: checkpoint.last_raw.clone(),
             durable: checkpoint,
+            commit_seq: 0,
             down: false,
             recorder: None,
             pipeline: None,
@@ -418,10 +457,30 @@ impl CenterAgent {
         &self.records
     }
 
-    /// The last durably written checkpoint.
+    /// The last committed checkpoint, by reference — for inspection.
+    /// Use [`CenterAgent::snapshot`] when the checkpoint must outlive
+    /// the borrow (e.g. to hand it to a durability layer).
     #[must_use]
     pub fn checkpoint(&self) -> &CenterCheckpoint {
         &self.durable
+    }
+
+    /// An owned copy of the last committed checkpoint: the one
+    /// snapshot API both persistence ([`crate::durable::Journal`])
+    /// and recovery paths share, so "what gets written" and "what
+    /// gets restored" can never drift apart.
+    #[must_use]
+    pub fn snapshot(&self) -> CenterCheckpoint {
+        self.durable.clone()
+    }
+
+    /// How many phase-boundary commits have happened over this
+    /// agent's lifetime. A persistence layer polls this after each
+    /// tick: a change means the durable checkpoint is new and must be
+    /// logged (see the [`CenterCheckpoint`] commit contract).
+    #[must_use]
+    pub fn commit_seq(&self) -> u64 {
+        self.commit_seq
     }
 
     /// Whether the center is currently crashed.
@@ -441,6 +500,7 @@ impl CenterAgent {
             profiles: self.profiles.clone(),
             last_raw: self.last_raw.clone(),
         };
+        self.commit_seq += 1;
     }
 
     /// Simulates a process crash: all in-memory protocol state is wiped.
@@ -458,13 +518,24 @@ impl CenterAgent {
     /// Restarts after a crash, restoring protocol state — including the
     /// allocation RNG — from the last durable checkpoint.
     pub fn recover(&mut self) {
+        let checkpoint = self.snapshot();
+        self.recover_from(checkpoint);
+    }
+
+    /// Restarts from an externally recovered checkpoint (e.g. one
+    /// replayed out of a write-ahead log), adopting it as the durable
+    /// state. [`CenterAgent::recover`] is exactly this applied to the
+    /// agent's own [`CenterAgent::snapshot`] — one restore path, two
+    /// sources.
+    pub fn recover_from(&mut self, checkpoint: CenterCheckpoint) {
         self.down = false;
-        self.next_day = self.durable.next_day;
-        self.rng = StdRng::from_state(self.durable.rng_state);
-        self.records = self.durable.records.clone();
-        self.current = self.durable.current.clone();
-        self.profiles = self.durable.profiles.clone();
-        self.last_raw = self.durable.last_raw.clone();
+        self.next_day = checkpoint.next_day;
+        self.rng = StdRng::from_state(checkpoint.rng_state);
+        self.records = checkpoint.records.clone();
+        self.current = checkpoint.current.clone();
+        self.profiles = checkpoint.profiles.clone();
+        self.last_raw = checkpoint.last_raw.clone();
+        self.durable = checkpoint;
     }
 
     /// The center's standing model of a household's demand: the last
@@ -549,8 +620,13 @@ impl CenterAgent {
         if self.down {
             return;
         }
-        // Start a new day on the day boundary.
-        if now.is_multiple_of(self.plan.day_length) && self.current.is_none() {
+        // Start a new day once its boundary has been reached. The
+        // common case hits the boundary tick exactly; the `>=` form
+        // also catches a center that comes back from crash recovery
+        // just after a boundary — the missed day then starts late,
+        // with its deadlines re-anchored to the present tick, instead
+        // of being silently skipped.
+        if self.current.is_none() && now / self.plan.day_length.max(1) >= self.next_day {
             let day = self.next_day;
             debug_assert!(
                 self.records.iter().all(|r| r.day != day),

@@ -1,0 +1,527 @@
+//! The durability layer: routing the runtime's checkpoints through a
+//! checksummed write-ahead log ([`enki_durable`]) and auditing what
+//! comes back out.
+//!
+//! A [`Journal`] owns a [`Wal`] over an injectable
+//! [`Storage`] backend — real files in deployment
+//! ([`enki_durable::file::FileStorage`]), the deterministic
+//! fault-injecting [`FaultStorage`] in chaos tests. Two record streams
+//! share the log:
+//!
+//! * **center** records — the [`CenterCheckpoint`] taken at each
+//!   protocol phase boundary (see the commit contract on that type);
+//! * **ingest** records — the [`IngestCheckpoint`] the serve front
+//!   end snapshots whenever its durable state changed this tick.
+//!
+//! Every log call is **append → flush → apply**: the record is durable
+//! before the caller treats the state transition as committed.
+//! Payloads travel through the bit-exact
+//! [`snapshot`](enki_serve::snapshot) codec, because center
+//! checkpoints legitimately carry NaN (`last_raw` preserves household
+//! submissions verbatim) and JSON would reject them.
+//!
+//! ## Recovery is replay plus a mandatory audit
+//!
+//! [`Journal::open`] / [`Journal::recover`] replay the log under the
+//! WAL's deterministic rules — torn tails truncated, corrupt records
+//! quarantined — and reduce the surviving records to a
+//! [`RecoveredState`] (last record of each stream wins; a compaction
+//! record seeds both streams at once). Replay alone is not trusted:
+//! [`RecoveredState::audit`] re-runs the chaos oracle's mechanism
+//! invariants over the recovered settlement history and refuses —
+//! [`enki_core::Error::RecoveryAudit`] — any state the mechanism
+//! itself would reject. A CRC-valid record that no longer decodes is
+//! [`enki_core::Error::CorruptCheckpoint`]: that is a codec/version
+//! problem, not bit rot, and recovery must not guess around it.
+
+use std::fmt;
+
+use enki_core::config::EnkiConfig;
+use enki_core::household::HouseholdId;
+use enki_durable::prelude::{
+    FaultStorage, Lsn, Recovery, Storage, Wal, WalConfig, WalError, WalStats,
+};
+use enki_serve::prelude::IngestCheckpoint;
+use enki_serve::snapshot;
+use enki_telemetry::Recorder;
+
+use crate::center::CenterCheckpoint;
+use crate::oracle;
+
+/// WAL record kind: a center phase-boundary checkpoint.
+pub const REC_CENTER: u8 = 1;
+/// WAL record kind: a serve front-end ingest checkpoint.
+pub const REC_INGEST: u8 = 2;
+/// WAL record kind: a compaction checkpoint carrying both streams as
+/// one `(Option<CenterCheckpoint>, Option<IngestCheckpoint>)` pair.
+pub const REC_COMPACT: u8 = 3;
+
+/// Journal sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// Passed through to the WAL (segment rotation size).
+    pub wal: WalConfig,
+    /// Compact the log into a single checkpoint record after this many
+    /// appends (`0` disables compaction).
+    pub compact_every: u64,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        Self {
+            wal: WalConfig::default(),
+            compact_every: 64,
+        }
+    }
+}
+
+/// What a log replay reduced to: the latest durable checkpoint of each
+/// stream, plus everything the recovery had to discard to get there.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveredState {
+    /// Latest center checkpoint, when the log holds one.
+    pub center: Option<CenterCheckpoint>,
+    /// Latest ingest checkpoint, when the log holds one.
+    pub ingest: Option<IngestCheckpoint>,
+    /// Whether a torn tail was truncated during the replay.
+    pub torn_tail_truncated: bool,
+    /// Corrupt WAL records (bad CRC, truncated interior) quarantined
+    /// by the storage-level replay.
+    pub quarantined: u64,
+    /// CRC-valid records whose payload no longer decoded into the
+    /// expected checkpoint shape. Always `0` in a healthy deployment;
+    /// non-zero fails [`RecoveredState::audit`].
+    pub undecodable: u64,
+    /// Which stream first failed to decode (`"center"`, `"ingest"`,
+    /// `"compaction"`, or `"unknown"` for an unrecognized kind tag).
+    pub first_undecodable: Option<&'static str>,
+    /// Valid records replayed (the recovered streams' combined length).
+    pub replayed: u64,
+}
+
+impl RecoveredState {
+    /// The mandatory post-recovery audit. Recovered state is adopted
+    /// only if (a) every surviving record decoded, and (b) the chaos
+    /// oracle finds the recovered settlement history consistent with
+    /// the mechanism invariants (budget balance, at-most-one bill,
+    /// record ordering, ...).
+    ///
+    /// # Errors
+    ///
+    /// [`enki_core::Error::CorruptCheckpoint`] when a CRC-valid record
+    /// failed to decode; [`enki_core::Error::RecoveryAudit`] when the
+    /// recovered records violate a mechanism invariant.
+    #[must_use = "an unchecked audit adopts possibly-corrupt recovered state"]
+    pub fn audit(
+        &self,
+        roster: &[HouseholdId],
+        config: &EnkiConfig,
+    ) -> Result<(), enki_core::Error> {
+        if self.undecodable > 0 {
+            return Err(enki_core::Error::CorruptCheckpoint {
+                kind: self.first_undecodable.unwrap_or("unknown"),
+            });
+        }
+        let records = self.center.as_ref().map_or(&[][..], |c| c.records());
+        let violations = oracle::check_parts(records, roster, config, &[]);
+        if let Some(first) = violations.first() {
+            return Err(enki_core::Error::RecoveryAudit {
+                invariant: first.key().to_string(),
+                violations: violations.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The checkpoint journal: two record streams over one checksummed,
+/// fault-injectable WAL. See the module docs for the protocol.
+pub struct Journal {
+    wal: Wal<Box<dyn Storage>>,
+    config: JournalConfig,
+    recorder: Option<Recorder>,
+    /// Appends since the last compaction.
+    appends_since_compact: u64,
+    /// Latest value of each stream, for compaction payloads.
+    last_center: Option<CenterCheckpoint>,
+    last_ingest: Option<IngestCheckpoint>,
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("config", &self.config)
+            .field("stats", self.wal.stats())
+            .field("appends_since_compact", &self.appends_since_compact)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Journal {
+    /// Opens a journal over `storage`, replaying whatever it holds.
+    /// The returned [`RecoveredState`] is **not yet audited** — call
+    /// [`RecoveredState::audit`] before adopting it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError`] when the backend fails during the replay.
+    #[must_use = "dropping the recovered state loses the replayed checkpoints"]
+    pub fn open(
+        storage: impl Storage + 'static,
+        config: JournalConfig,
+    ) -> Result<(Self, RecoveredState), WalError> {
+        let boxed: Box<dyn Storage> = Box::new(storage);
+        let (wal, recovery) = Wal::open(boxed, config.wal)?;
+        let state = reduce(&recovery);
+        let journal = Self {
+            wal,
+            config,
+            recorder: None,
+            appends_since_compact: state.replayed,
+            last_center: state.center.clone(),
+            last_ingest: state.ingest.clone(),
+        };
+        journal.note_recovery(&state);
+        Ok((journal, state))
+    }
+
+    /// Attaches telemetry: `durable.*` counters and the recovery
+    /// latency histogram.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Logs a center phase-boundary checkpoint: append → flush; the
+    /// caller applies (acknowledges the phase) only after `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError`] when the record could not be made durable;
+    /// the phase must then be treated as uncommitted.
+    #[must_use = "an unlogged commit is not durable; check the error"]
+    pub fn log_center(&mut self, checkpoint: &CenterCheckpoint) -> Result<Lsn, WalError> {
+        let lsn = self.log(REC_CENTER, &snapshot::encode(checkpoint))?;
+        self.last_center = Some(checkpoint.clone());
+        self.maybe_compact()?;
+        Ok(lsn)
+    }
+
+    /// Logs a serve front-end ingest checkpoint: append → flush.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError`] when the record could not be made durable.
+    #[must_use = "an unlogged commit is not durable; check the error"]
+    pub fn log_ingest(&mut self, checkpoint: &IngestCheckpoint) -> Result<Lsn, WalError> {
+        let lsn = self.log(REC_INGEST, &snapshot::encode(checkpoint))?;
+        self.last_ingest = Some(checkpoint.clone());
+        self.maybe_compact()?;
+        Ok(lsn)
+    }
+
+    /// Restart-and-replay: recovers the backend from any simulated
+    /// crash, replays the log, and returns the (unaudited) recovered
+    /// state. Observes the recovery latency histogram
+    /// (`durable.recovery_ns`) when telemetry is attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError`] when the backend fails during the replay
+    /// itself.
+    #[must_use = "dropping the recovered state loses the replayed checkpoints"]
+    pub fn recover(&mut self) -> Result<RecoveredState, WalError> {
+        let started = self.recorder.as_ref().map(Recorder::now);
+        let recovery = self.wal.reopen()?;
+        let state = reduce(&recovery);
+        self.appends_since_compact = state.replayed;
+        self.last_center = state.center.clone();
+        self.last_ingest = state.ingest.clone();
+        self.note_recovery(&state);
+        if let (Some(r), Some(t0)) = (self.recorder.as_ref(), started) {
+            r.incr("durable.recoveries", 1);
+            r.observe_duration("durable.recovery_ns", r.now().saturating_sub(t0));
+        }
+        Ok(state)
+    }
+
+    /// WAL lifetime counters (appends, flush barriers, rotations,
+    /// compactions).
+    #[must_use]
+    pub fn stats(&self) -> &WalStats {
+        self.wal.stats()
+    }
+
+    /// Live segment count in the underlying WAL.
+    #[must_use]
+    pub fn live_segments(&self) -> u64 {
+        self.wal.live_segments()
+    }
+
+    /// The fault-injecting backend, when this journal runs over one
+    /// (chaos tests read injected-fault stats and place crashes
+    /// through this).
+    #[must_use]
+    pub fn fault_storage(&self) -> Option<&FaultStorage> {
+        self.wal.storage().as_any().and_then(|a| a.downcast_ref())
+    }
+
+    /// Mutable variant of [`Journal::fault_storage`].
+    #[must_use]
+    pub fn fault_storage_mut(&mut self) -> Option<&mut FaultStorage> {
+        self.wal
+            .storage_mut()
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut())
+    }
+
+    fn log(&mut self, kind: u8, payload: &[u8]) -> Result<Lsn, WalError> {
+        let lsn = self.wal.append(kind, payload)?;
+        self.wal.flush()?;
+        self.appends_since_compact += 1;
+        if let Some(r) = self.recorder.as_ref() {
+            r.incr("durable.records_written", 1);
+            r.incr("durable.records_flushed", 1);
+            r.gauge("durable.segment_bytes", self.wal.segment_len() as f64);
+        }
+        Ok(lsn)
+    }
+
+    fn maybe_compact(&mut self) -> Result<(), WalError> {
+        if self.config.compact_every == 0
+            || self.appends_since_compact < self.config.compact_every
+        {
+            return Ok(());
+        }
+        let pair = (self.last_center.clone(), self.last_ingest.clone());
+        self.wal.compact(REC_COMPACT, &snapshot::encode(&pair))?;
+        self.appends_since_compact = 0;
+        if let Some(r) = self.recorder.as_ref() {
+            r.incr("durable.compactions", 1);
+        }
+        Ok(())
+    }
+
+    fn note_recovery(&self, state: &RecoveredState) {
+        if let Some(r) = self.recorder.as_ref() {
+            r.incr("durable.replayed", state.replayed);
+            r.incr("durable.quarantined", state.quarantined);
+            r.incr("durable.undecodable", state.undecodable);
+            r.incr("durable.torn_truncated", u64::from(state.torn_tail_truncated));
+        }
+    }
+}
+
+/// Reduces a raw WAL replay to the latest checkpoint of each stream.
+fn reduce(recovery: &Recovery) -> RecoveredState {
+    let mut state = RecoveredState {
+        torn_tail_truncated: recovery.torn_tail.is_some(),
+        quarantined: recovery.quarantined.len() as u64,
+        ..RecoveredState::default()
+    };
+    let fail = |state: &mut RecoveredState, kind: &'static str| {
+        state.undecodable += 1;
+        state.first_undecodable.get_or_insert(kind);
+    };
+    for record in &recovery.records {
+        match record.kind {
+            REC_CENTER => match snapshot::decode::<CenterCheckpoint>(&record.payload) {
+                Some(c) => {
+                    state.center = Some(c);
+                    state.replayed += 1;
+                }
+                None => fail(&mut state, "center"),
+            },
+            REC_INGEST => match snapshot::decode::<IngestCheckpoint>(&record.payload) {
+                Some(i) => {
+                    state.ingest = Some(i);
+                    state.replayed += 1;
+                }
+                None => fail(&mut state, "ingest"),
+            },
+            REC_COMPACT => {
+                type Pair = (Option<CenterCheckpoint>, Option<IngestCheckpoint>);
+                match snapshot::decode::<Pair>(&record.payload) {
+                    Some((c, i)) => {
+                        if c.is_some() {
+                            state.center = c;
+                        }
+                        if i.is_some() {
+                            state.ingest = i;
+                        }
+                        state.replayed += 1;
+                    }
+                    None => fail(&mut state, "compaction"),
+                }
+            }
+            _ => fail(&mut state, "unknown"),
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::center::{CenterAgent, DayPlan};
+    use crate::serve_runtime::{ServeProducer, ServeRuntime};
+    use enki_core::mechanism::Enki;
+    use enki_core::validation::RawPreference;
+    use enki_durable::prelude::{FaultPlan, MemStorage};
+    use enki_serve::prelude::IngestConfig;
+
+    /// Runs a serve runtime to quiescence and hands back its center,
+    /// whose snapshot then carries `days` settled records.
+    fn settled(days: u64) -> ServeRuntime {
+        let center = CenterAgent::new(
+            Enki::new(EnkiConfig::default()),
+            (0..4).map(HouseholdId::new).collect(),
+            DayPlan::default(),
+            7,
+        );
+        let mut rt = ServeRuntime::new(center, IngestConfig::default(), 7);
+        for i in 0..4 {
+            rt.add_producer(ServeProducer::new(
+                HouseholdId::new(i),
+                RawPreference::new(f64::from(16 + (i % 6)), 23.0, 2.0),
+            ));
+        }
+        rt.run_days(days, 100);
+        assert_eq!(rt.records().len() as u64, days);
+        rt
+    }
+
+    #[test]
+    fn empty_journal_opens_to_nothing() {
+        let (journal, state) =
+            Journal::open(MemStorage::new(), JournalConfig::default()).unwrap();
+        assert!(state.center.is_none());
+        assert!(state.ingest.is_none());
+        assert_eq!(state.replayed, 0);
+        assert!(state.audit(&[], &EnkiConfig::default()).is_ok());
+        assert_eq!(journal.stats().appended, 0);
+    }
+
+    #[test]
+    fn last_center_record_wins_and_passes_audit() {
+        let early_rt = settled(1);
+        let rt = settled(2);
+        let center = rt.center();
+        let (mut journal, _) =
+            Journal::open(MemStorage::new(), JournalConfig::default()).unwrap();
+        journal.log_center(&early_rt.center().snapshot()).unwrap();
+        journal.log_center(&center.snapshot()).unwrap();
+        let state = journal.recover().unwrap();
+        let got = state.center.as_ref().unwrap();
+        assert_eq!(got.records().len(), 2, "later checkpoint won");
+        state
+            .audit(center.roster(), center.enki().config())
+            .unwrap();
+    }
+
+    #[test]
+    fn compaction_folds_both_streams_into_one_record() {
+        let rt = settled(1);
+        let center = rt.center();
+        let config = JournalConfig {
+            compact_every: 2,
+            ..JournalConfig::default()
+        };
+        let (mut journal, _) = Journal::open(MemStorage::new(), config).unwrap();
+        let ingest =
+            enki_serve::ingest::IngestFrontEnd::new(IngestConfig::default(), 3).checkpoint();
+        journal.log_center(&center.snapshot()).unwrap();
+        journal.log_ingest(&ingest).unwrap();
+        assert_eq!(journal.stats().compactions, 1);
+        assert_eq!(journal.live_segments(), 1);
+        let state = journal.recover().unwrap();
+        assert_eq!(state.replayed, 1, "one compaction record replays");
+        assert!(state.center.is_some());
+        assert!(state.ingest.is_some());
+        state
+            .audit(center.roster(), center.enki().config())
+            .unwrap();
+    }
+
+    #[test]
+    fn unflushed_center_commit_is_lost_on_crash_and_audit_still_passes() {
+        let rt = settled(2);
+        let center = rt.center();
+        let storage = FaultStorage::new(FaultPlan::none());
+        let (mut journal, _) = Journal::open(storage, JournalConfig::default()).unwrap();
+        journal.log_center(&center.snapshot()).unwrap();
+        journal.fault_storage_mut().unwrap().enter_crash();
+        let state = journal.recover().unwrap();
+        assert_eq!(
+            state.center.as_ref().unwrap().records().len(),
+            2,
+            "flushed commit survives the crash"
+        );
+        state
+            .audit(center.roster(), center.enki().config())
+            .unwrap();
+    }
+
+    #[test]
+    fn tampered_settlement_fails_the_audit() {
+        // A checkpoint whose recorded history the oracle rejects must
+        // be refused, even though every checksum is intact.
+        let rt = settled(1);
+        let center = rt.center();
+        let mut checkpoint = center.snapshot();
+        // Bit-exact tampering below the CRC: duplicate the settled
+        // day's record, which breaks record ordering/uniqueness.
+        let cloned = checkpoint.records()[0].clone();
+        checkpoint_records_push(&mut checkpoint, cloned);
+        let (mut journal, _) =
+            Journal::open(MemStorage::new(), JournalConfig::default()).unwrap();
+        journal.log_center(&checkpoint).unwrap();
+        let state = journal.recover().unwrap();
+        let err = state
+            .audit(center.roster(), center.enki().config())
+            .unwrap_err();
+        assert!(matches!(err, enki_core::Error::RecoveryAudit { .. }), "{err}");
+    }
+
+    #[test]
+    fn undecodable_record_maps_to_corrupt_checkpoint() {
+        // A payload that passes the CRC but is not a checkpoint: the
+        // journal quarantines it and the audit refuses the state.
+        let (mut wal, _) = Wal::open(
+            Box::new(MemStorage::new()) as Box<dyn Storage>,
+            WalConfig::default(),
+        )
+        .unwrap();
+        wal.append(REC_CENTER, b"not a checkpoint").unwrap();
+        wal.flush().unwrap();
+        let storage = wal.into_storage();
+        let (_, state) = Journal::open(storage, JournalConfig::default()).unwrap();
+        assert_eq!(state.undecodable, 1);
+        let err = state.audit(&[], &EnkiConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            enki_core::Error::CorruptCheckpoint { kind: "center" }
+        );
+    }
+
+    /// Test-only back door: `CenterCheckpoint` fields are private, so
+    /// tampering goes through the serialized tree.
+    fn checkpoint_records_push(
+        checkpoint: &mut CenterCheckpoint,
+        record: crate::center::DayRecord,
+    ) {
+        use serde::{Deserialize, Serialize, Value};
+        let mut tree = checkpoint.serialize_value();
+        let Value::Object(fields) = &mut tree else {
+            panic!("checkpoint serializes to an object")
+        };
+        for (name, value) in fields.iter_mut() {
+            if name == "records" {
+                let Value::Array(items) = value else {
+                    panic!("records serialize to an array")
+                };
+                items.push(record.serialize_value());
+            }
+        }
+        *checkpoint = CenterCheckpoint::deserialize_value(&tree).unwrap();
+    }
+}

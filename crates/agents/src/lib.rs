@@ -19,6 +19,10 @@
 //! * [`oracle`] — protocol invariant checks (budget balance, at-most-one
 //!   bill, grounded allocations, record integrity) replayed over a
 //!   runtime trace under any fault schedule.
+//! * [`durable`] — the durability layer: center and ingest checkpoints
+//!   journaled through a checksummed write-ahead log
+//!   ([`enki_durable`]), with recovery gated behind a mandatory oracle
+//!   audit.
 //! * [`serve_runtime`] — the center fed through the overload-safe
 //!   [`enki_serve`] ingestion path: wire frames, bounded queues,
 //!   backpressure, and load shedding, under the same oracle.
@@ -64,6 +68,7 @@
 
 pub mod center;
 pub mod decentralized;
+pub mod durable;
 pub mod household;
 pub mod message;
 pub mod network;
@@ -76,6 +81,7 @@ pub mod threaded;
 pub mod prelude {
     pub use crate::center::{CenterAgent, CenterCheckpoint, DayPlan, DayRecord, PipelineConfig};
     pub use crate::decentralized::{run_decentralized, DecentralizedOutcome};
+    pub use crate::durable::{Journal, JournalConfig, RecoveredState};
     pub use crate::household::{Backoff, HouseholdAgent, ReportSource};
     pub use crate::message::{Envelope, Message, NodeId, Tick};
     pub use crate::network::{

@@ -45,6 +45,7 @@ use enki_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::center::{CenterAgent, CenterCheckpoint, DayPlan, DayRecord};
+use crate::durable::Journal;
 use crate::message::{Envelope, Message, NodeId, Tick};
 use crate::runtime::{CrashSchedule, TraceEvent, TraceKind};
 
@@ -127,6 +128,20 @@ pub struct ServeCheckpoint {
     pending: Vec<PendingDelivery>,
 }
 
+impl ServeCheckpoint {
+    /// The center's durable phase-boundary portion of the snapshot.
+    #[must_use]
+    pub fn center(&self) -> &CenterCheckpoint {
+        &self.center
+    }
+
+    /// The ingest front end's portion of the snapshot.
+    #[must_use]
+    pub fn ingest(&self) -> &IngestCheckpoint {
+        &self.ingest
+    }
+}
+
 /// The serve-layer runtime: producers → wire frames → bounded ingest →
 /// center.
 #[derive(Debug)]
@@ -146,6 +161,18 @@ pub struct ServeRuntime {
     /// The front-end snapshot taken at the end of the last completed
     /// tick — what a crash recovers to.
     ingest_durable: IngestCheckpoint,
+    /// Optional write-ahead journal. When attached, every center phase
+    /// commit and dirty ingest snapshot is logged (append → flush)
+    /// before the tick's outputs are released, and recovery replays
+    /// the journal instead of trusting in-memory copies.
+    journal: Option<Journal>,
+    /// The center [`CenterAgent::commit_seq`] already journaled; a
+    /// higher live value means a phase boundary passed this tick.
+    logged_commit_seq: u64,
+    /// Human-readable log of recovery-path failures (audit refusals,
+    /// storage errors); queryable so chaos tests can assert on them
+    /// without the runtime panicking.
+    recovery_errors: Vec<String>,
 }
 
 impl ServeRuntime {
@@ -167,6 +194,9 @@ impl ServeRuntime {
             now: 0,
             down: false,
             ingest_durable,
+            journal: None,
+            logged_commit_seq: 0,
+            recovery_errors: Vec::new(),
         }
     }
 
@@ -193,6 +223,9 @@ impl ServeRuntime {
             crashes: Vec::new(),
             now: checkpoint.now,
             down: false,
+            journal: None,
+            logged_commit_seq: 0,
+            recovery_errors: Vec::new(),
         }
     }
 
@@ -217,14 +250,72 @@ impl ServeRuntime {
         self
     }
 
-    /// Attaches telemetry: the center emits its `center.*` metrics and
-    /// the front end its `serve.*` queue/shed/latency metrics into the
-    /// same sink.
+    /// Attaches telemetry: the center emits its `center.*` metrics,
+    /// the front end its `serve.*` queue/shed/latency metrics, and an
+    /// attached journal its `durable.*` counters, all into the same
+    /// sink. Attach the journal first so it is wired too.
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
         self.center.set_recorder(telemetry.recorder());
         self.front.set_recorder(telemetry.recorder());
+        if let Some(journal) = self.journal.as_mut() {
+            journal.set_recorder(telemetry.recorder());
+        }
         self
+    }
+
+    /// Attaches a write-ahead journal. From here on, every center
+    /// phase boundary (see the [`CenterCheckpoint`] commit contract)
+    /// and every dirty ingest snapshot is logged append → flush before
+    /// the tick's outputs are released, and [`CrashSchedule`] recovery
+    /// replays the journal — through the mandatory oracle audit —
+    /// instead of trusting in-memory state.
+    ///
+    /// Attach before the first tick: commits made while no journal is
+    /// listening are not in the log, and a recovery would roll back
+    /// past them.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.logged_commit_seq = self.center.commit_seq();
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The attached journal, if any.
+    #[must_use]
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Mutable access to the attached journal (chaos tests arm
+    /// fault-storage crash points through this).
+    #[must_use]
+    pub fn journal_mut(&mut self) -> Option<&mut Journal> {
+        self.journal.as_mut()
+    }
+
+    /// Recovery-path failures so far: oracle-audit refusals and
+    /// storage errors, in occurrence order. Empty in a healthy run.
+    #[must_use]
+    pub fn recovery_errors(&self) -> &[String] {
+        &self.recovery_errors
+    }
+
+    /// Whether the runtime is currently down (a scheduled crash or a
+    /// failed journal write took it out).
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Restarts a down runtime immediately. Scheduled crashes recover
+    /// at their [`CrashSchedule::recover_at`] tick on their own; this
+    /// is for *unplanned* crashes (a journal storage failure), where
+    /// chaos tests decide when the operator brings the process back.
+    pub fn recover(&mut self) {
+        if self.down {
+            self.recover_now();
+        }
     }
 
     /// Queues raw wire bytes for the front end, as if a producer outside
@@ -319,8 +410,100 @@ impl ServeRuntime {
 
     fn recover_now(&mut self) {
         self.down = false;
-        self.center.recover();
+        if self.journal.is_some() {
+            self.recover_from_journal();
+        } else {
+            self.center.recover();
+            self.front =
+                IngestFrontEnd::restore(self.ingest_config, self.ingest_durable.clone());
+        }
+    }
+
+    /// Journal-backed recovery: restart the storage, replay the log,
+    /// audit, adopt. A storage failure during the replay itself (a
+    /// crash point placed inside recovery) is retried — each attempt
+    /// restarts the backend first, exactly as rebooting again would.
+    /// An audit refusal is terminal for the journaled state: it is
+    /// recorded in [`ServeRuntime::recovery_errors`] and the runtime
+    /// falls back to its in-memory durable copies (a deployment would
+    /// page an operator rather than serve from rejected state).
+    fn recover_from_journal(&mut self) {
+        const MAX_RECOVERY_ATTEMPTS: u32 = 4;
+        let mut recovered = None;
+        for _ in 0..MAX_RECOVERY_ATTEMPTS {
+            let Some(journal) = self.journal.as_mut() else {
+                return;
+            };
+            match journal.recover() {
+                Ok(state) => {
+                    recovered = Some(state);
+                    break;
+                }
+                Err(e) => self
+                    .recovery_errors
+                    .push(format!("journal recovery failed: {e}")),
+            }
+        }
+        match recovered {
+            None => {
+                // The storage never came back up; the in-memory durable
+                // copies are all that is left to resume from.
+                self.center.recover();
+            }
+            Some(state) => {
+                if let Err(e) =
+                    state.audit(self.center.roster(), self.center.enki().config())
+                {
+                    self.recovery_errors
+                        .push(format!("recovered state refused: {e}"));
+                    self.center.recover();
+                } else {
+                    match state.center {
+                        Some(checkpoint) => self.center.recover_from(checkpoint),
+                        None => self.center.recover(),
+                    }
+                    if let Some(ingest) = state.ingest {
+                        self.ingest_durable = ingest;
+                    }
+                }
+            }
+        }
         self.front = IngestFrontEnd::restore(self.ingest_config, self.ingest_durable.clone());
+        self.logged_commit_seq = self.center.commit_seq();
+    }
+
+    /// Journals the tick's durable transitions, log → flush → apply: a
+    /// center phase commit when one happened this tick, and the front
+    /// end's snapshot when its durable state changed. Without a
+    /// journal, the snapshots only refresh the in-memory recovery
+    /// copies. Returns `false` when a journal write failed: the
+    /// storage is treated as crashed and the tick's outputs must not
+    /// be released.
+    fn journal_commits(&mut self) -> bool {
+        let center_commit = (self.journal.is_some()
+            && self.center.commit_seq() != self.logged_commit_seq)
+            .then(|| self.center.snapshot());
+        if let (Some(snapshot), Some(journal)) = (center_commit, self.journal.as_mut()) {
+            if let Err(e) = journal.log_center(&snapshot) {
+                self.recovery_errors
+                    .push(format!("journal center commit failed: {e}"));
+                self.crash_now();
+                return false;
+            }
+            self.logged_commit_seq = self.center.commit_seq();
+        }
+        if let Some(snapshot) = self.front.snapshot_if_dirty() {
+            if let Some(journal) = self.journal.as_mut() {
+                if let Err(e) = journal.log_ingest(&snapshot) {
+                    self.recovery_errors
+                        .push(format!("journal ingest commit failed: {e}"));
+                    self.crash_now();
+                    return false;
+                }
+            }
+            self.ingest_durable = snapshot;
+        }
+        true
     }
 
     fn step(&mut self) {
@@ -421,6 +604,12 @@ impl ServeRuntime {
             }
 
             self.center.on_tick(now, &mut outbox);
+            // Write-ahead barrier: the tick's commits become durable
+            // before its outputs are released. A failed write crashes
+            // the runtime and the unreleased outputs die with it.
+            if !self.journal_commits() {
+                outbox.clear();
+            }
         }
 
         for envelope in outbox {
@@ -428,9 +617,6 @@ impl ServeRuntime {
             self.route_to_producer(now, envelope);
         }
 
-        if !self.down {
-            self.ingest_durable = self.front.checkpoint();
-        }
         self.now += 1;
     }
 

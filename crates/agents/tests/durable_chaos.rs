@@ -1,0 +1,334 @@
+//! Crash-point chaos for the durability layer: the serve runtime
+//! journaling through a fault-injected [`FaultStorage`], crashed at
+//! every storage operation — plus torn writes, dropped flush barriers,
+//! and bit rot — and recovered through the mandatory oracle audit.
+//!
+//! The schedule discipline mirrors `serve_chaos.rs`: every run is
+//! deterministic, every recovery must leave zero oracle violations,
+//! and the whole harness serializes to byte-identical JSONL traces.
+
+use enki_agents::prelude::*;
+use enki_core::config::EnkiConfig;
+use enki_core::household::HouseholdId;
+use enki_core::mechanism::Enki;
+use enki_core::validation::RawPreference;
+use enki_durable::prelude::{BitRot, FaultPlan, FaultStorage, OpKind, TornWrite};
+use enki_serve::prelude::IngestConfig;
+
+const DAY: Tick = 100;
+const DAYS: u64 = 2;
+const HOUSEHOLDS: u32 = 3;
+const SEED: u64 = 31;
+
+fn journal_config() -> JournalConfig {
+    // Small enough that compaction happens inside the run, so the
+    // crash matrix covers mid-compaction operations too.
+    JournalConfig {
+        compact_every: 6,
+        ..JournalConfig::default()
+    }
+}
+
+fn runtime_with_journal(plan: FaultPlan) -> ServeRuntime {
+    let (journal, state) = match Journal::open(FaultStorage::new(plan.clone()), journal_config()) {
+        Ok(pair) => pair,
+        Err(_) => {
+            // The crash fired during boot, before the process held any
+            // state. The reboot sees an empty disk with the crash
+            // already spent — so reopen with it cleared.
+            let rebooted = FaultPlan {
+                crash_at_op: None,
+                ..plan
+            };
+            Journal::open(FaultStorage::new(rebooted), journal_config()).expect("reboot opens")
+        }
+    };
+    assert!(state.center.is_none(), "fresh journal holds nothing");
+    let center = CenterAgent::new(
+        Enki::new(EnkiConfig::default()),
+        (0..HOUSEHOLDS).map(HouseholdId::new).collect(),
+        DayPlan::default(),
+        SEED,
+    );
+    let mut rt =
+        ServeRuntime::new(center, IngestConfig::default(), SEED).with_journal(journal);
+    for i in 0..HOUSEHOLDS {
+        rt.add_producer(ServeProducer::new(
+            HouseholdId::new(i),
+            RawPreference::new(f64::from(16 + (i % 6)), 23.0, 2.0),
+        ));
+    }
+    rt
+}
+
+/// Runs the full schedule, restarting the process one tick after any
+/// storage-crash-induced outage (the "operator reboots promptly"
+/// model). Returns the finished runtime.
+fn run_to_completion(plan: FaultPlan) -> ServeRuntime {
+    let mut rt = runtime_with_journal(plan);
+    for _ in 0..DAYS * DAY {
+        rt.run_ticks(1);
+        if rt.is_down() {
+            rt.recover();
+        }
+    }
+    rt
+}
+
+fn assert_oracle_clean(rt: &ServeRuntime, label: &str) {
+    let violations = check_invariant_parts(
+        rt.records(),
+        rt.center().roster(),
+        &EnkiConfig::default(),
+        rt.trace(),
+    );
+    assert!(violations.is_empty(), "{label}: violations {violations:?}");
+}
+
+fn assert_days_closed(rt: &ServeRuntime, label: &str) {
+    let recorded: Vec<u64> = rt.records().iter().map(|r| r.day).collect();
+    assert_eq!(
+        recorded,
+        (0..DAYS).collect::<Vec<u64>>(),
+        "{label}: days did not all close"
+    );
+}
+
+/// The rehearsal run: no faults, journal attached. Establishes the
+/// operation log the crash matrix iterates over, and that journaling
+/// itself perturbs nothing.
+#[test]
+fn faultless_journaled_run_matches_oracle_and_compacts() {
+    let rt = run_to_completion(FaultPlan::none());
+    assert_days_closed(&rt, "faultless");
+    assert_oracle_clean(&rt, "faultless");
+    assert!(rt.recovery_errors().is_empty(), "{:?}", rt.recovery_errors());
+    let journal = rt.journal().expect("journal attached");
+    let stats = journal.stats();
+    assert!(stats.appended > 0, "commits were journaled: {stats:?}");
+    assert_eq!(stats.appended, stats.flushed, "every append was barriered");
+    assert!(stats.compactions > 0, "compaction threshold was reached");
+}
+
+/// The full crash-point matrix. Every storage operation of the
+/// rehearsal run becomes a crash site; appends additionally get torn
+/// writes, flushes get dropped barriers, and every third op gets bit
+/// rot ahead of the crash. Every single variant must recover into a
+/// state with zero oracle violations and all days closed.
+#[test]
+fn every_crash_point_recovers_with_zero_oracle_violations() {
+    let rehearsal = run_to_completion(FaultPlan::none());
+    let ops: Vec<(u64, OpKind)> = rehearsal
+        .journal()
+        .expect("journal attached")
+        .fault_storage()
+        .expect("fault storage backend")
+        .op_log()
+        .iter()
+        .map(|r| (r.op, r.kind.clone()))
+        .collect();
+    assert!(ops.len() >= 15, "rehearsal produced a real op log: {ops:?}");
+
+    let mut plans: Vec<(String, FaultPlan)> = Vec::new();
+    for (op, kind) in &ops {
+        let op = *op;
+        plans.push((
+            format!("crash at op {op} ({kind:?})"),
+            FaultPlan {
+                crash_at_op: Some(op),
+                ..FaultPlan::none()
+            },
+        ));
+        if matches!(kind, OpKind::Append(_)) {
+            plans.push((
+                format!("torn write at op {op}"),
+                FaultPlan {
+                    torn_write: Some(TornWrite { op, keep: 3 }),
+                    ..FaultPlan::none()
+                },
+            ));
+        }
+        if matches!(kind, OpKind::Flush) {
+            plans.push((
+                format!("dropped flush at op {op}, crash at {}", op + 1),
+                FaultPlan {
+                    dropped_flushes: vec![op],
+                    crash_at_op: Some(op + 1),
+                    ..FaultPlan::none()
+                },
+            ));
+        }
+        if op % 3 == 0 {
+            plans.push((
+                format!("bit rot at op {op}, crash at {}", op + 2),
+                FaultPlan {
+                    bit_rot: vec![BitRot {
+                        op,
+                        byte: op.wrapping_mul(7919),
+                        bit: (op % 8) as u8,
+                    }],
+                    crash_at_op: Some(op + 2),
+                    ..FaultPlan::none()
+                },
+            ));
+        }
+    }
+
+    for (label, plan) in plans {
+        let rt = run_to_completion(plan);
+        assert_oracle_clean(&rt, &label);
+        assert_days_closed(&rt, &label);
+        // Recovery refusals (audit failures) are forbidden: corruption
+        // may roll state back, never poison it.
+        for err in rt.recovery_errors() {
+            assert!(
+                !err.contains("refused"),
+                "{label}: audit refused recovered state: {err}"
+            );
+        }
+    }
+}
+
+/// Crash ON the flush barrier: the append happened, the barrier did
+/// not. The commit must roll back cleanly — write-ahead means the
+/// phase's outputs were never released, so the rerun settles the day
+/// exactly once.
+#[test]
+fn crash_between_append_and_flush_rolls_the_commit_back() {
+    let rehearsal = run_to_completion(FaultPlan::none());
+    let flush_ops: Vec<u64> = rehearsal
+        .journal()
+        .unwrap()
+        .fault_storage()
+        .unwrap()
+        .op_log()
+        .iter()
+        .filter(|r| matches!(r.kind, OpKind::Flush))
+        .map(|r| r.op)
+        .collect();
+    assert!(!flush_ops.is_empty());
+    for &op in &flush_ops {
+        let label = format!("crash on flush op {op}");
+        let rt = run_to_completion(FaultPlan {
+            crash_at_op: Some(op),
+            ..FaultPlan::none()
+        });
+        assert_oracle_clean(&rt, &label);
+        assert_days_closed(&rt, &label);
+    }
+}
+
+/// Crash placed *after* a settlement commit's flush barrier (between
+/// flush and the in-memory apply being acknowledged): nothing may be
+/// lost — the recovered center resumes from the very commit that was
+/// just flushed.
+#[test]
+fn crash_after_flush_preserves_the_committed_settlement() {
+    let mut rt = runtime_with_journal(FaultPlan::none());
+    // Run day 0 to settlement (the serve runtime settles around tick
+    // 70 with the default plan), so a settled record is in the log.
+    rt.run_ticks(85);
+    assert_eq!(rt.records().len(), 1, "day 0 settled and committed");
+    let settled_day0 = format!("{:?}", rt.records()[0]);
+    rt.journal_mut()
+        .unwrap()
+        .fault_storage_mut()
+        .unwrap()
+        .enter_crash();
+    // The next journal write fails, taking the process down; recovery
+    // replays the log.
+    rt.run_ticks(DAY);
+    rt.recover();
+    rt.run_ticks(DAYS * DAY);
+    assert_eq!(
+        format!("{:?}", rt.records()[0]),
+        settled_day0,
+        "the flushed settlement survived bit-exactly"
+    );
+    assert_oracle_clean(&rt, "crash after flush");
+    assert!(rt.records().len() as u64 >= DAYS);
+}
+
+/// Crash in the middle of compaction — after the checkpoint segment is
+/// durable but while old segments are being removed. The checkpoint
+/// must win on replay and no history may be lost.
+#[test]
+fn mid_compaction_crash_keeps_the_checkpoint() {
+    let rehearsal = run_to_completion(FaultPlan::none());
+    let remove_ops: Vec<u64> = rehearsal
+        .journal()
+        .unwrap()
+        .fault_storage()
+        .unwrap()
+        .op_log()
+        .iter()
+        .filter(|r| matches!(r.kind, OpKind::Remove))
+        .map(|r| r.op)
+        .collect();
+    assert!(!remove_ops.is_empty(), "rehearsal compacted at least once");
+    for &op in &remove_ops {
+        let label = format!("crash on remove op {op}");
+        let rt = run_to_completion(FaultPlan {
+            crash_at_op: Some(op),
+            ..FaultPlan::none()
+        });
+        assert_oracle_clean(&rt, &label);
+        assert_days_closed(&rt, &label);
+    }
+}
+
+/// Determinism under injected faults: the same fault plan produces
+/// byte-identical JSONL traces, records, stats, and recovery logs.
+#[test]
+fn faulted_runs_are_byte_reproducible_jsonl() {
+    let plans = [
+        FaultPlan::none(),
+        FaultPlan {
+            crash_at_op: Some(9),
+            ..FaultPlan::none()
+        },
+        FaultPlan::seeded(SEED, 200),
+    ];
+    for (i, plan) in plans.into_iter().enumerate() {
+        let run = || {
+            let rt = run_to_completion(plan.clone());
+            let mut jsonl = String::new();
+            for event in rt.trace() {
+                jsonl.push_str(&serde_json::to_string(event).expect("trace serializes"));
+                jsonl.push('\n');
+            }
+            (
+                jsonl,
+                format!("{:?}", rt.records()),
+                format!("{:?}", rt.ingest_stats()),
+                rt.recovery_errors().join("\n"),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0, "plan #{i}: JSONL traces must match byte-for-byte");
+        assert_eq!(a.1, b.1, "plan #{i}: records diverged");
+        assert_eq!(a.2, b.2, "plan #{i}: stats diverged");
+        assert_eq!(a.3, b.3, "plan #{i}: recovery logs diverged");
+        assert!(!a.0.is_empty());
+    }
+}
+
+/// A seeded storm of every fault class at once — the "everything goes
+/// wrong" soak. Whatever happens, the oracle stays green and the
+/// runtime keeps closing days after recoveries.
+#[test]
+fn seeded_fault_storms_never_violate_the_oracle() {
+    for seed in [3, 17, 91] {
+        let plan = FaultPlan::seeded(seed, 300);
+        let label = format!("storm seed {seed}");
+        let rt = run_to_completion(plan);
+        assert_oracle_clean(&rt, &label);
+        for err in rt.recovery_errors() {
+            assert!(
+                !err.contains("refused"),
+                "{label}: audit refused recovered state: {err}"
+            );
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Property tests for the durability layer's two load-bearing claims:
+//!
+//! 1. **Snapshot fidelity** — every checkpoint type the journal writes
+//!    roundtrips bit-exactly through the `enki_serve::snapshot` codec,
+//!    for checkpoints harvested from arbitrary live runs (including
+//!    states holding non-finite floats, which is why comparisons are on
+//!    re-encoded bytes rather than `PartialEq`).
+//! 2. **Prefix recoverability** — a write-ahead log is only as good as
+//!    its worst torn tail: *every byte prefix* of a valid log must
+//!    recover, pass the mandatory oracle audit, and yield a settlement
+//!    history that is itself a prefix of the full run's.
+
+use enki_agents::prelude::*;
+use enki_core::config::EnkiConfig;
+use enki_core::household::HouseholdId;
+use enki_core::mechanism::Enki;
+use enki_core::validation::RawPreference;
+use enki_durable::prelude::{FaultPlan, FaultStorage, MemStorage};
+use enki_serve::prelude::IngestConfig;
+use enki_serve::snapshot;
+use proptest::prelude::*;
+
+const DAY: Tick = 100;
+
+fn journaled_runtime(households: u32, seed: u64) -> ServeRuntime {
+    let (journal, _) = Journal::open(
+        FaultStorage::new(FaultPlan::none()),
+        JournalConfig {
+            compact_every: 5,
+            ..JournalConfig::default()
+        },
+    )
+    .expect("fresh storage opens");
+    let center = CenterAgent::new(
+        Enki::new(EnkiConfig::default()),
+        (0..households).map(HouseholdId::new).collect(),
+        DayPlan::default(),
+        seed,
+    );
+    let mut rt = ServeRuntime::new(center, IngestConfig::default(), seed).with_journal(journal);
+    for i in 0..households {
+        rt.add_producer(ServeProducer::new(
+            HouseholdId::new(i),
+            RawPreference::new(f64::from(16 + (i % 6)), 23.0, 2.0),
+        ));
+    }
+    rt
+}
+
+/// The full run's durable segment image, in WAL append order, plus the
+/// roster it was produced under.
+fn durable_log(households: u32, days: u64, seed: u64) -> (Vec<(String, Vec<u8>)>, Vec<HouseholdId>) {
+    let mut rt = journaled_runtime(households, seed);
+    rt.run_ticks(days * DAY);
+    assert_eq!(rt.records().len() as u64, days, "rehearsal closed its days");
+    let image = rt
+        .journal()
+        .expect("journal attached")
+        .fault_storage()
+        .expect("fault storage backend")
+        .durable_image();
+    // BTreeMap order is lexicographic; the zero-padded segment names
+    // make that append order.
+    let roster = rt.center().roster().to_vec();
+    (image.into_iter().collect(), roster)
+}
+
+/// Opens a journal over an arbitrary byte image and returns the audited
+/// recovered state.
+fn recover_from_image(image: &[(String, Vec<u8>)]) -> RecoveredState {
+    let mut storage = MemStorage::new();
+    for (name, bytes) in image {
+        storage.put(name, bytes.clone());
+    }
+    let (_, state) =
+        Journal::open(storage, JournalConfig::default()).expect("prefix images always open");
+    state
+}
+
+proptest! {
+    /// Center checkpoints harvested at arbitrary points of arbitrary
+    /// runs survive encode → decode → encode with identical bytes.
+    #[test]
+    fn center_checkpoints_roundtrip_bit_exactly(
+        households in 1u32..6,
+        seed in 0u64..1024,
+        ticks in 0u64..250,
+    ) {
+        let mut rt = journaled_runtime(households, seed);
+        rt.run_ticks(ticks);
+        let checkpoint = rt.center().snapshot();
+        let bytes = snapshot::encode(&checkpoint);
+        let decoded: CenterCheckpoint =
+            snapshot::decode(&bytes).expect("center checkpoint decodes");
+        prop_assert_eq!(
+            bytes,
+            snapshot::encode(&decoded),
+            "re-encoded center checkpoint diverged"
+        );
+    }
+
+    /// Ingest checkpoints likewise — after arbitrary admitted load.
+    #[test]
+    fn ingest_checkpoints_roundtrip_bit_exactly(
+        households in 1u32..6,
+        seed in 0u64..1024,
+        ticks in 0u64..250,
+    ) {
+        let mut rt = journaled_runtime(households, seed);
+        rt.run_ticks(ticks);
+        let checkpoint = rt.checkpoint().ingest().clone();
+        let bytes = snapshot::encode(&checkpoint);
+        let decoded: enki_serve::prelude::IngestCheckpoint =
+            snapshot::decode(&bytes).expect("ingest checkpoint decodes");
+        prop_assert_eq!(
+            bytes,
+            snapshot::encode(&decoded),
+            "re-encoded ingest checkpoint diverged"
+        );
+    }
+
+    /// Random byte prefixes of valid logs (varying the workload too)
+    /// recover to an audit-accepted state.
+    #[test]
+    fn random_log_prefixes_recover_audit_clean(
+        households in 1u32..5,
+        seed in 0u64..64,
+        cut_pick in any::<u64>(),
+    ) {
+        let (image, roster) = durable_log(households, 2, seed);
+        let total: usize = image.iter().map(|(_, b)| b.len()).sum();
+        prop_assume!(total > 0);
+        let cut = (cut_pick % (total as u64 + 1)) as usize;
+        let mut remaining = cut;
+        let mut prefix: Vec<(String, Vec<u8>)> = Vec::new();
+        for (name, bytes) in &image {
+            let take = remaining.min(bytes.len());
+            prefix.push((name.clone(), bytes[..take].to_vec()));
+            remaining -= take;
+        }
+        let state = recover_from_image(&prefix);
+        prop_assert!(
+            state.audit(&roster, &EnkiConfig::default()).is_ok(),
+            "cut at byte {cut} of {total} failed the audit"
+        );
+    }
+}
+
+/// Exhaustive prefix sweep: every byte cut of a representative log —
+/// not a sample — recovers audit-clean, and the recovered settlement
+/// history is a prefix of the full run's (monotone recovery: a shorter
+/// log never invents days).
+#[test]
+fn every_byte_prefix_of_a_valid_log_recovers_audit_clean() {
+    let (image, roster) = durable_log(3, 2, 31);
+    let total: usize = image.iter().map(|(_, b)| b.len()).sum();
+    assert!(total > 0, "the rehearsal wrote a real log");
+    let full = recover_from_image(&image);
+    let full_days: Vec<u64> = full
+        .center
+        .as_ref()
+        .expect("full log recovers the center")
+        .records()
+        .iter()
+        .map(|r| r.day)
+        .collect();
+
+    for cut in 0..=total {
+        let mut remaining = cut;
+        let mut prefix: Vec<(String, Vec<u8>)> = Vec::new();
+        for (name, bytes) in &image {
+            let take = remaining.min(bytes.len());
+            prefix.push((name.clone(), bytes[..take].to_vec()));
+            remaining -= take;
+        }
+        let state = recover_from_image(&prefix);
+        assert!(
+            state.audit(&roster, &EnkiConfig::default()).is_ok(),
+            "cut at byte {cut} of {total} failed the audit: {state:?}"
+        );
+        let days: Vec<u64> = state
+            .center
+            .as_ref()
+            .map_or(Vec::new(), |c| c.records().iter().map(|r| r.day).collect());
+        assert!(
+            full_days.starts_with(&days),
+            "cut at byte {cut}: recovered days {days:?} are not a prefix of {full_days:?}"
+        );
+    }
+}

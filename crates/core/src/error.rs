@@ -75,6 +75,25 @@ pub enum Error {
         /// The last stage that was attempted.
         stage: &'static str,
     },
+    /// State replayed from durable storage failed the mandatory
+    /// post-recovery audit: a mechanism invariant (budget balance,
+    /// at-most-one bill, record ordering, ...) does not hold in the
+    /// recovered settlement history. The recovered state must not be
+    /// adopted.
+    RecoveryAudit {
+        /// Stable key of the first violated invariant (the chaos
+        /// oracle's violation key, e.g. `"budget_balance"`).
+        invariant: String,
+        /// Total invariant violations the audit found.
+        violations: usize,
+    },
+    /// A durable checkpoint record passed its storage checksum but
+    /// could not be decoded into the expected checkpoint shape (a
+    /// version or codec mismatch rather than bit rot).
+    CorruptCheckpoint {
+        /// Which checkpoint kind failed to decode.
+        kind: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -113,6 +132,16 @@ impl fmt::Display for Error {
             }
             Error::SolveFailed { stage } => {
                 write!(f, "every solve stage failed; last attempted stage was {stage}")
+            }
+            Error::RecoveryAudit {
+                invariant,
+                violations,
+            } => write!(
+                f,
+                "recovered state failed the post-recovery audit: {violations} violation(s), first {invariant}"
+            ),
+            Error::CorruptCheckpoint { kind } => {
+                write!(f, "durable {kind} checkpoint failed to decode")
             }
         }
     }
@@ -155,6 +184,11 @@ mod tests {
             },
             Error::NonFiniteValue { parameter: "payment" },
             Error::SolveFailed { stage: "greedy" },
+            Error::RecoveryAudit {
+                invariant: "budget_balance".to_string(),
+                violations: 2,
+            },
+            Error::CorruptCheckpoint { kind: "center" },
         ];
         for e in errors {
             let msg = e.to_string();

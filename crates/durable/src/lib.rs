@@ -1,0 +1,47 @@
+//! Crash-consistent durability for the Enki center.
+//!
+//! The mechanism in Yuan et al. (ICDCS 2017) is only
+//! incentive-compatible across days if settlement history survives
+//! center crashes intact: a lost or doubled `DayRecord` silently
+//! breaks budget balance and at-most-one-bill. This crate provides
+//! the storage layer that makes the center's phase-boundary
+//! checkpoints actually durable:
+//!
+//! - [`wal::Wal`] — an append-only, segmented write-ahead log with
+//!   per-record CRC-32 checksums, length-prefixed framing (the same
+//!   discipline as the `enki-serve` wire codec), explicit flush
+//!   barriers, and checkpoint compaction;
+//! - [`storage::Storage`] — the injectable backend trait (append /
+//!   flush-barrier / truncate / remove over named segments);
+//! - [`file::FileStorage`] — the real-file backend, the one
+//!   sanctioned filesystem boundary in the workspace;
+//! - [`fault::FaultStorage`] — a deterministic in-memory backend
+//!   that injects torn writes, dropped flushes, bit rot, short
+//!   reads, and ENOSPC at exact operation indices, so recovery can
+//!   be tested against every crash point rather than sampled ones.
+//!
+//! The crate is deliberately **zero-dependency** (std only): the
+//! durability layer must not inherit anyone else's panic paths or
+//! nondeterminism. Everything except `file.rs` is pure computation
+//! over byte buffers.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod crc;
+pub mod fault;
+pub mod file;
+pub mod storage;
+pub mod wal;
+
+/// The commonly-used surface: `use enki_durable::prelude::*;`.
+pub mod prelude {
+    pub use crate::crc::crc32;
+    pub use crate::fault::{BitRot, FaultPlan, FaultStats, FaultStorage, OpKind, TornWrite};
+    pub use crate::file::FileStorage;
+    pub use crate::storage::{MemStorage, Storage, StorageError};
+    pub use crate::wal::{
+        CorruptKind, Lsn, Quarantine, Recovery, Wal, WalConfig, WalError, WalRecord, WalStats,
+    };
+}

@@ -1,0 +1,300 @@
+//! The injectable storage boundary the WAL writes through.
+//!
+//! A [`Storage`] is a flat namespace of append-only segments with an
+//! explicit flush barrier per segment. The WAL never assumes an append
+//! is durable until `flush` returns: the contract mirrors what a real
+//! filesystem gives you (`write(2)` lands in the page cache,
+//! `fsync(2)` is the barrier), which is exactly the gap the
+//! fault-injecting backend ([`crate::fault::FaultStorage`]) attacks.
+//!
+//! Implementations must be deterministic given the same call sequence;
+//! the real-file backend ([`crate::file::FileStorage`]) is the one
+//! sanctioned place the workspace touches the filesystem.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a storage operation failed.
+///
+/// Errors are values, not panics: every failure mode here is one the
+/// recovery path must survive, so the type is cloneable and comparable
+/// for use in tests and oracle assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StorageError {
+    /// The backing medium is out of space; nothing was written.
+    NoSpace {
+        /// Segment whose append was refused.
+        segment: String,
+    },
+    /// The storage simulated (or suffered) a crash: the operation did
+    /// not happen and every later operation fails the same way until
+    /// the owner recovers the backend.
+    Crashed,
+    /// The named segment does not exist.
+    NotFound {
+        /// The missing segment.
+        segment: String,
+    },
+    /// Any other backend failure, with a human-readable detail.
+    Io {
+        /// Segment the operation targeted.
+        segment: String,
+        /// Backend-specific description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NoSpace { segment } => {
+                write!(f, "no space left appending to segment {segment}")
+            }
+            StorageError::Crashed => write!(f, "storage crashed"),
+            StorageError::NotFound { segment } => write!(f, "segment {segment} not found"),
+            StorageError::Io { segment, detail } => {
+                write!(f, "storage error on segment {segment}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// An append-only segment store with explicit flush barriers.
+///
+/// Semantics every implementation must honor:
+///
+/// - `append` buffers bytes at the end of the segment (creating it if
+///   missing); the bytes are visible to `read` immediately but are
+///   **not durable** until `flush` returns `Ok`.
+/// - `flush` is the durability barrier for everything appended to that
+///   segment so far.
+/// - `truncate` and `remove` take effect durably before returning.
+/// - `segments` lists existing segment names in ascending
+///   lexicographic order.
+///
+/// Implementations must not panic on any input. `Debug` is a
+/// supertrait so a `Box<dyn Storage>` can live inside `Debug` owners
+/// (the workspace warns on missing debug implementations).
+pub trait Storage: fmt::Debug {
+    /// Lists segment names in ascending lexicographic order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StorageError`] when the backend cannot enumerate
+    /// segments (crashed, or an I/O failure).
+    #[must_use = "unlisted segments cannot be replayed"]
+    fn segments(&mut self) -> Result<Vec<String>, StorageError>;
+
+    /// Reads a segment's full contents (durable plus buffered bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::NotFound`] for a missing segment and
+    /// other [`StorageError`]s for backend failures.
+    #[must_use = "dropping the read loses the segment contents"]
+    fn read(&mut self, segment: &str) -> Result<Vec<u8>, StorageError>;
+
+    /// Appends bytes to a segment, creating it when missing. The bytes
+    /// are buffered, not durable, until [`Storage::flush`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::NoSpace`] when the medium is full and
+    /// other [`StorageError`]s for backend failures.
+    #[must_use = "an unchecked append may have silently failed"]
+    fn append(&mut self, segment: &str, bytes: &[u8]) -> Result<(), StorageError>;
+
+    /// Durability barrier: everything appended to `segment` so far is
+    /// durable once this returns `Ok`. Flushing a missing segment is a
+    /// no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StorageError`] when the barrier cannot be
+    /// established; appended bytes may then be lost on crash.
+    #[must_use = "an unchecked flush leaves durability unknown"]
+    fn flush(&mut self, segment: &str) -> Result<(), StorageError>;
+
+    /// Durably truncates a segment to `len` bytes (no-op when already
+    /// shorter). Used by recovery to cut torn tails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::NotFound`] for a missing segment and
+    /// other [`StorageError`]s for backend failures.
+    #[must_use = "an unchecked truncate may have left the torn tail in place"]
+    fn truncate(&mut self, segment: &str, len: u64) -> Result<(), StorageError>;
+
+    /// Durably removes a segment. Removing a missing segment is a
+    /// no-op (compaction retries must be idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StorageError`] when the backend cannot remove the
+    /// segment.
+    #[must_use = "an unchecked remove may have left a stale segment"]
+    fn remove(&mut self, segment: &str) -> Result<(), StorageError>;
+
+    /// Clears any simulated crash state after the owner decides to
+    /// restart: buffered (unflushed) bytes are discarded, exactly as a
+    /// process restart would lose the page cache. Real backends, where
+    /// the OS already did this, default to a no-op.
+    fn crash_recover(&mut self) {}
+
+    /// Downcast hook so owners holding a `Box<dyn Storage>` can reach
+    /// a concrete backend (chaos tests read
+    /// [`FaultStorage`](crate::fault::FaultStorage) fault stats
+    /// through this). Backends that opt in return `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Mutable variant of [`Storage::as_any`].
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}
+
+impl Storage for Box<dyn Storage> {
+    fn segments(&mut self) -> Result<Vec<String>, StorageError> {
+        (**self).segments()
+    }
+    fn read(&mut self, segment: &str) -> Result<Vec<u8>, StorageError> {
+        (**self).read(segment)
+    }
+    fn append(&mut self, segment: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        (**self).append(segment, bytes)
+    }
+    fn flush(&mut self, segment: &str) -> Result<(), StorageError> {
+        (**self).flush(segment)
+    }
+    fn truncate(&mut self, segment: &str, len: u64) -> Result<(), StorageError> {
+        (**self).truncate(segment, len)
+    }
+    fn remove(&mut self, segment: &str) -> Result<(), StorageError> {
+        (**self).remove(segment)
+    }
+    fn crash_recover(&mut self) {
+        (**self).crash_recover();
+    }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        (**self).as_any()
+    }
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        (**self).as_any_mut()
+    }
+}
+
+/// A faithful in-memory [`Storage`]: appends are immediately durable,
+/// nothing ever fails. The baseline backend for tests and benchmarks
+/// that want WAL behavior without fault injection.
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    segments: BTreeMap<String, Vec<u8>>,
+}
+
+impl MemStorage {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The raw bytes of every segment, for test assertions.
+    #[must_use]
+    pub fn image(&self) -> &BTreeMap<String, Vec<u8>> {
+        &self.segments
+    }
+
+    /// Replaces the raw contents of one segment (tests use this to
+    /// hand-craft corrupt logs).
+    pub fn put(&mut self, segment: &str, bytes: Vec<u8>) {
+        self.segments.insert(segment.to_string(), bytes);
+    }
+}
+
+impl Storage for MemStorage {
+    fn segments(&mut self) -> Result<Vec<String>, StorageError> {
+        Ok(self.segments.keys().cloned().collect())
+    }
+
+    fn read(&mut self, segment: &str) -> Result<Vec<u8>, StorageError> {
+        self.segments
+            .get(segment)
+            .cloned()
+            .ok_or_else(|| StorageError::NotFound {
+                segment: segment.to_string(),
+            })
+    }
+
+    fn append(&mut self, segment: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        self.segments
+            .entry(segment.to_string())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn flush(&mut self, _segment: &str) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn truncate(&mut self, segment: &str, len: u64) -> Result<(), StorageError> {
+        let Some(bytes) = self.segments.get_mut(segment) else {
+            return Err(StorageError::NotFound {
+                segment: segment.to_string(),
+            });
+        };
+        let len = usize::try_from(len).unwrap_or(usize::MAX);
+        if len < bytes.len() {
+            bytes.truncate(len);
+        }
+        Ok(())
+    }
+
+    fn remove(&mut self, segment: &str) -> Result<(), StorageError> {
+        self.segments.remove(segment);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_append_read_roundtrip() {
+        let mut s = MemStorage::new();
+        s.append("a", b"hello ").unwrap();
+        s.append("a", b"world").unwrap();
+        assert_eq!(s.read("a").unwrap(), b"hello world");
+        assert_eq!(s.segments().unwrap(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn mem_storage_truncate_and_remove() {
+        let mut s = MemStorage::new();
+        s.append("a", b"hello world").unwrap();
+        s.truncate("a", 5).unwrap();
+        assert_eq!(s.read("a").unwrap(), b"hello");
+        // Truncating longer than the segment is a no-op.
+        s.truncate("a", 100).unwrap();
+        assert_eq!(s.read("a").unwrap(), b"hello");
+        s.remove("a").unwrap();
+        assert_eq!(s.read("a"), Err(StorageError::NotFound { segment: "a".into() }));
+        // Removing again is idempotent.
+        s.remove("a").unwrap();
+    }
+
+    #[test]
+    fn segments_sorted() {
+        let mut s = MemStorage::new();
+        s.append("b", b"x").unwrap();
+        s.append("a", b"x").unwrap();
+        s.append("c", b"x").unwrap();
+        assert_eq!(s.segments().unwrap(), vec!["a", "b", "c"]);
+    }
+}

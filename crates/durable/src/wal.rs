@@ -1,0 +1,696 @@
+//! The append-only, checksummed, segmented write-ahead log.
+//!
+//! ## Record framing
+//!
+//! Every record is one frame, following the same length-prefixed
+//! discipline as the `enki-serve` wire codec:
+//!
+//! ```text
+//! [len: u32 LE][kind: u8][crc: u32 LE][payload: len bytes]
+//! ```
+//!
+//! `len` counts only the payload; `crc` is CRC-32/IEEE over the kind
+//! byte followed by the payload, so neither the record type nor its
+//! body can rot undetected. Frames are written back to back into
+//! numbered segments (`wal-0000000000.seg`, ...); a segment rotates
+//! once it would exceed [`WalConfig::segment_max_bytes`].
+//!
+//! ## Commit protocol
+//!
+//! [`Wal::append`] buffers; [`Wal::flush`] is the explicit durability
+//! barrier. Callers that need write-ahead semantics must
+//! append → flush → apply, in that order. Rotation flushes the old
+//! segment before opening the next, so at most the current segment is
+//! ever un-barriered.
+//!
+//! ## Recovery rules (deterministic by construction)
+//!
+//! [`Wal::open`] replays every segment in index order:
+//!
+//! - A frame that parses and checksums is a record.
+//! - A complete frame whose CRC mismatches is **quarantined**: its
+//!   span is skipped (the length prefix is trusted for resync) and
+//!   scanning continues. Interior corruption never silently truncates
+//!   history.
+//! - An incomplete or unparseable frame at the end of the **last**
+//!   segment is a **torn tail**: the segment is truncated back to the
+//!   last whole frame. A tail frame with a garbage length prefix is
+//!   indistinguishable from a torn write and is truncated the same
+//!   way — recovery prefers a consistent prefix over guessing.
+//! - An incomplete frame in a **non-last** segment cannot be a torn
+//!   tail (later segments exist, so the log continued); the remainder
+//!   of that segment is quarantined instead.
+//!
+//! The same bytes therefore always recover to the same record
+//! sequence, which is what lets chaos tests assert byte-reproducible
+//! traces across crash/recover cycles.
+
+use std::fmt;
+
+use crate::crc::crc32_update;
+use crate::storage::{Storage, StorageError};
+
+/// Frame header size: `len` (4) + `kind` (1) + `crc` (4).
+pub const FRAME_HEADER_LEN: usize = 9;
+
+/// Hard cap on a record payload (16 MiB). A length prefix above the
+/// cap can only be corruption; recovery refuses to follow it.
+pub const MAX_RECORD_LEN: usize = 16 * 1024 * 1024;
+
+/// Segment file name for an index, zero-padded so lexicographic order
+/// is numeric order.
+#[must_use]
+pub fn segment_name(index: u64) -> String {
+    format!("wal-{index:010}.seg")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+    if digits.len() != 10 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// WAL sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Rotate to a fresh segment once the current one would exceed
+    /// this many bytes (a single oversized record still gets its own
+    /// segment).
+    pub segment_max_bytes: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self {
+            segment_max_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// A log sequence number: where a record starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Lsn {
+    /// Segment index.
+    pub segment: u64,
+    /// Byte offset of the frame within the segment.
+    pub offset: u64,
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.segment, self.offset)
+    }
+}
+
+/// One replayed record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Where the record starts.
+    pub lsn: Lsn,
+    /// Caller-defined record type tag.
+    pub kind: u8,
+    /// The checksummed payload, bit-exact as appended.
+    pub payload: Vec<u8>,
+}
+
+/// Why a span of the log was quarantined during replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// A complete frame whose CRC did not match (bit rot or a torn
+    /// interior overwrite).
+    BadCrc,
+    /// A frame in a non-last segment that runs past the segment end or
+    /// has an over-cap length: the segment's remainder is untrustworthy.
+    TruncatedInterior,
+}
+
+/// A quarantined span: skipped, counted, never replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantine {
+    /// Where the bad span starts.
+    pub lsn: Lsn,
+    /// Bytes skipped.
+    pub bytes: u64,
+    /// Why.
+    pub reason: CorruptKind,
+}
+
+/// Everything [`Wal::open`] found while replaying.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Recovery {
+    /// Valid records, in log order.
+    pub records: Vec<WalRecord>,
+    /// Where the torn tail started, when one was truncated.
+    pub torn_tail: Option<Lsn>,
+    /// Corrupt spans skipped during replay.
+    pub quarantined: Vec<Quarantine>,
+}
+
+/// Lifetime counters for one WAL handle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended through this handle.
+    pub appended: u64,
+    /// Flush barriers established.
+    pub flushed: u64,
+    /// Segment rotations.
+    pub rotations: u64,
+    /// Checkpoint compactions.
+    pub compactions: u64,
+}
+
+/// Errors from the WAL proper.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WalError {
+    /// The storage backend failed.
+    Storage(StorageError),
+    /// The payload exceeds [`MAX_RECORD_LEN`].
+    RecordTooLarge {
+        /// Offending payload length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Storage(e) => write!(f, "wal storage failure: {e}"),
+            WalError::RecordTooLarge { len } => {
+                write!(f, "wal record of {len} bytes exceeds the {MAX_RECORD_LEN} byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<StorageError> for WalError {
+    fn from(e: StorageError) -> Self {
+        WalError::Storage(e)
+    }
+}
+
+/// The write-ahead log over an injectable [`Storage`].
+#[derive(Debug)]
+pub struct Wal<S: Storage> {
+    storage: S,
+    config: WalConfig,
+    /// Lowest live segment index (compaction moves this forward).
+    first_segment: u64,
+    /// Current (append-target) segment index.
+    segment: u64,
+    /// Bytes already in the current segment.
+    segment_len: u64,
+    stats: WalStats,
+}
+
+impl<S: Storage> Wal<S> {
+    /// Opens the log, replaying whatever the storage holds. Torn
+    /// tails are truncated durably before the handle is returned, so
+    /// a recovered WAL appends from a clean frame boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Storage`] when the backend fails (including
+    /// a simulated crash during recovery itself).
+    #[must_use = "dropping the recovery loses the replayed records"]
+    pub fn open(mut storage: S, config: WalConfig) -> Result<(Self, Recovery), WalError> {
+        let (recovery, layout) = replay(&mut storage)?;
+        Ok((
+            Self {
+                storage,
+                config,
+                first_segment: layout.first_segment,
+                segment: layout.segment,
+                segment_len: layout.segment_len,
+                stats: WalStats::default(),
+            },
+            recovery,
+        ))
+    }
+
+    /// In-place restart: recovers the backend from any simulated crash
+    /// ([`Storage::crash_recover`] drops unflushed buffers, as a real
+    /// process restart would) and replays the log exactly as
+    /// [`Wal::open`] does, truncating any torn tail. Lifetime stats
+    /// survive; the append position is reset to the recovered tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Storage`] when the backend fails during the
+    /// replay itself.
+    #[must_use = "dropping the recovery loses the replayed records"]
+    pub fn reopen(&mut self) -> Result<Recovery, WalError> {
+        self.storage.crash_recover();
+        let (recovery, layout) = replay(&mut self.storage)?;
+        self.first_segment = layout.first_segment;
+        self.segment = layout.segment;
+        self.segment_len = layout.segment_len;
+        Ok(recovery)
+    }
+
+    /// Appends one record (buffered until [`Wal::flush`]); returns its
+    /// LSN. Rotates to a new segment when the current one is full,
+    /// flushing the old segment first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::RecordTooLarge`] for an over-cap payload
+    /// and [`WalError::Storage`] when the backend fails.
+    #[must_use = "the append is not durable until a flush barrier; check the error"]
+    pub fn append(&mut self, kind: u8, payload: &[u8]) -> Result<Lsn, WalError> {
+        if payload.len() > MAX_RECORD_LEN {
+            return Err(WalError::RecordTooLarge { len: payload.len() });
+        }
+        let frame = encode_frame(kind, payload);
+        if self.segment_len > 0
+            && self.segment_len + frame.len() as u64 > self.config.segment_max_bytes
+        {
+            self.storage.flush(&segment_name(self.segment))?;
+            self.stats.flushed += 1;
+            self.segment += 1;
+            self.segment_len = 0;
+            self.stats.rotations += 1;
+        }
+        let lsn = Lsn {
+            segment: self.segment,
+            offset: self.segment_len,
+        };
+        self.storage.append(&segment_name(self.segment), &frame)?;
+        self.segment_len += frame.len() as u64;
+        self.stats.appended += 1;
+        Ok(lsn)
+    }
+
+    /// Durability barrier: every record appended so far is durable
+    /// once this returns `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Storage`] when the barrier cannot be
+    /// established; treat appended-but-unflushed records as lost.
+    #[must_use = "an unchecked flush leaves the write-ahead barrier unknown"]
+    pub fn flush(&mut self) -> Result<(), WalError> {
+        self.storage.flush(&segment_name(self.segment))?;
+        self.stats.flushed += 1;
+        Ok(())
+    }
+
+    /// Checkpoint compaction: writes `payload` as the sole record of a
+    /// fresh segment, flushes it, then removes every older segment.
+    /// Crash-safe at every point — if the new segment never becomes
+    /// durable, recovery still has the old ones; if removal is cut
+    /// short, recovery replays stale records before the checkpoint,
+    /// and the checkpoint (being last) wins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::RecordTooLarge`] for an over-cap payload
+    /// and [`WalError::Storage`] when the backend fails.
+    #[must_use = "a failed compaction may leave the old segments in place"]
+    pub fn compact(&mut self, kind: u8, payload: &[u8]) -> Result<Lsn, WalError> {
+        if payload.len() > MAX_RECORD_LEN {
+            return Err(WalError::RecordTooLarge { len: payload.len() });
+        }
+        let frame = encode_frame(kind, payload);
+        let new_segment = self.segment + 1;
+        self.storage.append(&segment_name(new_segment), &frame)?;
+        self.storage.flush(&segment_name(new_segment))?;
+        self.stats.flushed += 1;
+        // Only after the checkpoint is durable do the old segments go.
+        for index in self.first_segment..=self.segment {
+            self.storage.remove(&segment_name(index))?;
+        }
+        self.first_segment = new_segment;
+        self.segment = new_segment;
+        self.segment_len = frame.len() as u64;
+        self.stats.appended += 1;
+        self.stats.compactions += 1;
+        Ok(Lsn {
+            segment: new_segment,
+            offset: 0,
+        })
+    }
+
+    /// Lifetime counters for this handle.
+    #[must_use]
+    pub fn stats(&self) -> &WalStats {
+        &self.stats
+    }
+
+    /// Bytes currently in the append-target segment.
+    #[must_use]
+    pub fn segment_len(&self) -> u64 {
+        self.segment_len
+    }
+
+    /// Live segment count (`first..=current`).
+    #[must_use]
+    pub fn live_segments(&self) -> u64 {
+        self.segment - self.first_segment + 1
+    }
+
+    /// Borrows the backend (tests inspect fault stats through this).
+    #[must_use]
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+
+    /// Mutably borrows the backend. Meant for fault-injection tests
+    /// (arming [`crate::fault::FaultStorage::enter_crash`] mid-run);
+    /// mutating live segments underneath the WAL voids its append
+    /// position until the next [`Wal::reopen`].
+    #[must_use]
+    pub fn storage_mut(&mut self) -> &mut S {
+        &mut self.storage
+    }
+
+    /// Consumes the handle, returning the backend — the restart path:
+    /// take the storage, [`Storage::crash_recover`] it, and
+    /// [`Wal::open`] it again.
+    #[must_use]
+    pub fn into_storage(self) -> S {
+        self.storage
+    }
+}
+
+/// Segment layout recovered by a replay: where appends resume.
+struct Layout {
+    first_segment: u64,
+    segment: u64,
+    segment_len: u64,
+}
+
+/// Replays every segment in index order, truncating a torn tail
+/// durably; shared by [`Wal::open`] and [`Wal::reopen`].
+fn replay<S: Storage>(storage: &mut S) -> Result<(Recovery, Layout), WalError> {
+    let mut indices: Vec<u64> = storage
+        .segments()?
+        .iter()
+        .filter_map(|name| parse_segment_name(name))
+        .collect();
+    indices.sort_unstable();
+
+    let mut recovery = Recovery::default();
+    let mut layout = Layout {
+        first_segment: indices.first().copied().unwrap_or(0),
+        segment: 0,
+        segment_len: 0,
+    };
+    for (position, &index) in indices.iter().enumerate() {
+        let last = position + 1 == indices.len();
+        let bytes = storage.read(&segment_name(index))?;
+        let kept = scan_segment(index, &bytes, last, &mut recovery);
+        if last {
+            if (kept as u64) < bytes.len() as u64 {
+                storage.truncate(&segment_name(index), kept as u64)?;
+            }
+            layout.segment = index;
+            layout.segment_len = kept as u64;
+        }
+    }
+    Ok((recovery, layout))
+}
+
+fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut crc = crc32_update(!0, &[kind]);
+    crc = crc32_update(crc, payload);
+    let crc = crc ^ !0;
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&u32::try_from(payload.len()).unwrap_or(u32::MAX).to_le_bytes());
+    frame.push(kind);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let slice = bytes.get(at..at + 4)?;
+    let array: [u8; 4] = slice.try_into().ok()?;
+    Some(u32::from_le_bytes(array))
+}
+
+/// Scans one segment's bytes, pushing records and quarantines into
+/// `recovery`; returns the number of trusted bytes (everything before
+/// a torn tail). `last` selects torn-tail semantics.
+fn scan_segment(index: u64, bytes: &[u8], last: bool, recovery: &mut Recovery) -> usize {
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let lsn = Lsn {
+            segment: index,
+            offset: pos as u64,
+        };
+        let remainder = bytes.len() - pos;
+        let header_ok = remainder >= FRAME_HEADER_LEN;
+        let len = if header_ok {
+            read_u32(bytes, pos).map(|l| l as usize)
+        } else {
+            None
+        };
+        let frame_fits = matches!(len, Some(l) if l <= MAX_RECORD_LEN
+            && pos + FRAME_HEADER_LEN + l <= bytes.len());
+        if !frame_fits {
+            if last {
+                // Torn tail: truncate back to the last whole frame.
+                recovery.torn_tail = Some(lsn);
+                return pos;
+            }
+            // Later segments exist, so this cannot be a tail; the
+            // remainder of this segment is untrustworthy.
+            recovery.quarantined.push(Quarantine {
+                lsn,
+                bytes: remainder as u64,
+                reason: CorruptKind::TruncatedInterior,
+            });
+            return bytes.len();
+        }
+        let len = len.unwrap_or(0);
+        let kind = bytes.get(pos + 4).copied().unwrap_or(0);
+        let stored_crc = read_u32(bytes, pos + 5).unwrap_or(0);
+        let payload = bytes
+            .get(pos + FRAME_HEADER_LEN..pos + FRAME_HEADER_LEN + len)
+            .unwrap_or(&[]);
+        let mut crc = crc32_update(!0, &[kind]);
+        crc = crc32_update(crc, payload);
+        if crc ^ !0 != stored_crc {
+            // Interior corruption: skip exactly this frame's span and
+            // keep scanning — the length prefix is the resync point.
+            recovery.quarantined.push(Quarantine {
+                lsn,
+                bytes: (FRAME_HEADER_LEN + len) as u64,
+                reason: CorruptKind::BadCrc,
+            });
+        } else {
+            recovery.records.push(WalRecord {
+                lsn,
+                kind,
+                payload: payload.to_vec(),
+            });
+        }
+        pos += FRAME_HEADER_LEN + len;
+    }
+    bytes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn open_mem(storage: MemStorage) -> (Wal<MemStorage>, Recovery) {
+        Wal::open(storage, WalConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn empty_log_opens_clean() {
+        let (wal, recovery) = open_mem(MemStorage::new());
+        assert_eq!(recovery, Recovery::default());
+        assert_eq!(wal.segment_len(), 0);
+    }
+
+    #[test]
+    fn append_flush_reopen_roundtrip() {
+        let (mut wal, _) = open_mem(MemStorage::new());
+        wal.append(1, b"alpha").unwrap();
+        wal.append(2, b"").unwrap();
+        wal.append(3, &[0xFF; 100]).unwrap();
+        wal.flush().unwrap();
+        let (_, recovery) = open_mem(wal.into_storage());
+        assert_eq!(recovery.torn_tail, None);
+        assert!(recovery.quarantined.is_empty());
+        let kinds: Vec<u8> = recovery.records.iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, vec![1, 2, 3]);
+        assert_eq!(recovery.records[0].payload, b"alpha");
+        assert_eq!(recovery.records[1].payload, b"");
+        assert_eq!(recovery.records[2].payload, vec![0xFF; 100]);
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replays_in_order() {
+        let storage = MemStorage::new();
+        let (mut wal, _) =
+            Wal::open(storage, WalConfig { segment_max_bytes: 64 }).unwrap();
+        for i in 0..10u8 {
+            wal.append(i, &[i; 20]).unwrap();
+        }
+        wal.flush().unwrap();
+        assert!(wal.live_segments() > 1, "rotation expected");
+        let (_, recovery) =
+            Wal::open(wal.into_storage(), WalConfig { segment_max_bytes: 64 }).unwrap();
+        let kinds: Vec<u8> = recovery.records.iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn torn_tail_truncated_deterministically() {
+        let (mut wal, _) = open_mem(MemStorage::new());
+        wal.append(1, b"whole").unwrap();
+        wal.append(2, b"torn-away").unwrap();
+        wal.flush().unwrap();
+        let mut storage = wal.into_storage();
+        // Tear the last frame mid-payload.
+        let name = segment_name(0);
+        let mut bytes = storage.image()[&name].clone();
+        bytes.truncate(bytes.len() - 4);
+        storage.put(&name, bytes);
+        let (wal, recovery) = open_mem(storage);
+        assert_eq!(recovery.records.len(), 1);
+        assert_eq!(recovery.records[0].payload, b"whole");
+        let torn = recovery.torn_tail.unwrap();
+        assert_eq!(torn.segment, 0);
+        // The tail is gone from storage, so a second open is clean.
+        let (_, recovery2) = open_mem(wal.into_storage());
+        assert_eq!(recovery2.records.len(), 1);
+        assert_eq!(recovery2.torn_tail, None);
+    }
+
+    #[test]
+    fn interior_bad_crc_is_quarantined_not_truncated() {
+        let (mut wal, _) = open_mem(MemStorage::new());
+        wal.append(1, b"first").unwrap();
+        wal.append(2, b"second").unwrap();
+        wal.append(3, b"third").unwrap();
+        wal.flush().unwrap();
+        let mut storage = wal.into_storage();
+        let name = segment_name(0);
+        let mut bytes = storage.image()[&name].clone();
+        // Flip a payload bit inside the middle record.
+        let middle_payload = FRAME_HEADER_LEN + 5 + FRAME_HEADER_LEN + 2;
+        bytes[middle_payload] ^= 0x01;
+        storage.put(&name, bytes);
+        let (_, recovery) = open_mem(storage);
+        let kinds: Vec<u8> = recovery.records.iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, vec![1, 3], "middle record quarantined, rest kept");
+        assert_eq!(recovery.quarantined.len(), 1);
+        assert_eq!(recovery.quarantined[0].reason, CorruptKind::BadCrc);
+    }
+
+    #[test]
+    fn garbage_length_in_tail_truncates() {
+        let (mut wal, _) = open_mem(MemStorage::new());
+        wal.append(1, b"good").unwrap();
+        wal.flush().unwrap();
+        let mut storage = wal.into_storage();
+        let name = segment_name(0);
+        let mut bytes = storage.image()[&name].clone();
+        // Append a frame whose length field claims 2 GiB.
+        bytes.extend_from_slice(&0x7FFF_FFFFu32.to_le_bytes());
+        bytes.extend_from_slice(&[9, 0, 0, 0, 0]);
+        storage.put(&name, bytes);
+        let (_, recovery) = open_mem(storage);
+        assert_eq!(recovery.records.len(), 1);
+        assert!(recovery.torn_tail.is_some());
+    }
+
+    #[test]
+    fn incomplete_frame_in_interior_segment_quarantines_remainder() {
+        let mut storage = MemStorage::new();
+        {
+            let (mut wal, _) =
+                Wal::open(storage, WalConfig { segment_max_bytes: 32 }).unwrap();
+            wal.append(1, &[1; 20]).unwrap();
+            wal.append(2, &[2; 20]).unwrap();
+            wal.append(3, &[3; 20]).unwrap();
+            wal.flush().unwrap();
+            assert!(wal.live_segments() >= 2);
+            storage = wal.into_storage();
+        }
+        // Damage the FIRST segment's record so its frame runs past the end.
+        let name = segment_name(0);
+        let mut bytes = storage.image()[&name].clone();
+        bytes.truncate(bytes.len() - 2);
+        storage.put(&name, bytes.clone());
+        let (_, recovery) = open_mem(storage);
+        assert_eq!(recovery.torn_tail, None, "interior segment is not a tail");
+        assert_eq!(recovery.quarantined.len(), 1);
+        assert_eq!(
+            recovery.quarantined[0].reason,
+            CorruptKind::TruncatedInterior
+        );
+        let kinds: Vec<u8> = recovery.records.iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, vec![2, 3]);
+    }
+
+    #[test]
+    fn compaction_keeps_only_the_checkpoint() {
+        let (mut wal, _) = open_mem(MemStorage::new());
+        for i in 0..5u8 {
+            wal.append(1, &[i; 10]).unwrap();
+        }
+        wal.flush().unwrap();
+        wal.compact(9, b"checkpoint").unwrap();
+        wal.append(1, b"after").unwrap();
+        wal.flush().unwrap();
+        let (wal, recovery) = open_mem(wal.into_storage());
+        let kinds: Vec<u8> = recovery.records.iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, vec![9, 1]);
+        assert_eq!(recovery.records[0].payload, b"checkpoint");
+        assert_eq!(wal.live_segments(), 1);
+    }
+
+    #[test]
+    fn reopen_after_crash_drops_unflushed_tail() {
+        use crate::fault::{FaultPlan, FaultStorage};
+        let storage = FaultStorage::new(FaultPlan::none());
+        let (mut wal, _) = Wal::open(storage, WalConfig::default()).unwrap();
+        wal.append(1, b"durable").unwrap();
+        wal.flush().unwrap();
+        wal.append(2, b"volatile").unwrap();
+        // No flush: the second record is page-cache only.
+        wal.storage_mut().enter_crash();
+        let recovery = wal.reopen().unwrap();
+        let kinds: Vec<u8> = recovery.records.iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, vec![1], "unflushed record lost, flushed kept");
+        // The handle appends cleanly after the in-place restart.
+        wal.append(3, b"again").unwrap();
+        wal.flush().unwrap();
+        let recovery = wal.reopen().unwrap();
+        let kinds: Vec<u8> = recovery.records.iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, vec![1, 3]);
+    }
+
+    #[test]
+    fn oversized_record_refused() {
+        let (mut wal, _) = open_mem(MemStorage::new());
+        let big = vec![0u8; MAX_RECORD_LEN + 1];
+        assert!(matches!(
+            wal.append(0, &big),
+            Err(WalError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn segment_names_sort_numerically() {
+        assert_eq!(segment_name(0), "wal-0000000000.seg");
+        assert_eq!(parse_segment_name("wal-0000000042.seg"), Some(42));
+        assert_eq!(parse_segment_name("wal-42.seg"), None);
+        assert_eq!(parse_segment_name("journal.seg"), None);
+        let mut names: Vec<String> = (0..1500).map(segment_name).collect();
+        let sorted = names.clone();
+        names.sort();
+        assert_eq!(names, sorted);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests of the WAL's recovery guarantees: appended
+//! records replay bit-exactly, any durable prefix of a valid log
+//! recovers to a prefix of the record sequence, and arbitrary
+//! single-bit corruption never fabricates a record or panics.
+
+use enki_durable::prelude::*;
+use enki_durable::wal::{segment_name, FRAME_HEADER_LEN};
+use proptest::prelude::*;
+
+fn record() -> impl Strategy<Value = (u8, Vec<u8>)> {
+    (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..200))
+}
+
+fn records() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
+    proptest::collection::vec(record(), 0..40)
+}
+
+fn build_log(records: &[(u8, Vec<u8>)], segment_max_bytes: u64) -> MemStorage {
+    let (mut wal, recovery) =
+        Wal::open(MemStorage::new(), WalConfig { segment_max_bytes }).unwrap();
+    assert!(recovery.records.is_empty());
+    for (kind, payload) in records {
+        wal.append(*kind, payload).unwrap();
+    }
+    wal.flush().unwrap();
+    wal.into_storage()
+}
+
+/// Concatenated segment bytes in log order, with per-segment lengths
+/// (so a flat cut point maps back to a (segment, offset) pair).
+fn flat_image(storage: &MemStorage) -> (Vec<u8>, Vec<(String, usize)>) {
+    let mut flat = Vec::new();
+    let mut layout = Vec::new();
+    for (name, bytes) in storage.image() {
+        flat.extend_from_slice(bytes);
+        layout.push((name.clone(), bytes.len()));
+    }
+    (flat, layout)
+}
+
+/// Rebuilds a storage holding only the first `cut` bytes of the flat
+/// image — the durable state after losing everything past `cut`.
+fn cut_storage(flat: &[u8], layout: &[(String, usize)], cut: usize) -> MemStorage {
+    let mut storage = MemStorage::new();
+    let mut pos = 0;
+    for (name, len) in layout {
+        if pos >= cut {
+            break;
+        }
+        let take = (*len).min(cut - pos);
+        storage.put(name, flat[pos..pos + take].to_vec());
+        pos += len;
+    }
+    storage
+}
+
+proptest! {
+    /// Append → flush → reopen replays every record bit-exactly, at any
+    /// segment size (so rotation boundaries are exercised too).
+    #[test]
+    fn replay_is_bit_exact(recs in records(), segment_max in 32u64..4096) {
+        let storage = build_log(&recs, segment_max);
+        let (_, recovery) = Wal::open(storage, WalConfig { segment_max_bytes: segment_max }).unwrap();
+        prop_assert_eq!(recovery.torn_tail, None);
+        prop_assert!(recovery.quarantined.is_empty());
+        let replayed: Vec<(u8, Vec<u8>)> = recovery
+            .records
+            .into_iter()
+            .map(|r| (r.kind, r.payload))
+            .collect();
+        prop_assert_eq!(replayed, recs);
+    }
+
+    /// Cutting the log at ANY byte length recovers exactly the records
+    /// whose frames are fully inside the cut — a prefix of the original
+    /// sequence, with the partial frame (if any) truncated as a torn
+    /// tail. No record is ever invented or reordered.
+    #[test]
+    fn any_prefix_recovers_to_a_record_prefix(
+        recs in records(),
+        segment_max in 48u64..1024,
+        cut_seed in any::<u64>(),
+    ) {
+        let storage = build_log(&recs, segment_max);
+        let (flat, layout) = flat_image(&storage);
+        let cut = if flat.is_empty() { 0 } else { (cut_seed % (flat.len() as u64 + 1)) as usize };
+        let storage = cut_storage(&flat, &layout, cut);
+        let (_, recovery) =
+            Wal::open(storage, WalConfig { segment_max_bytes: segment_max }).unwrap();
+        prop_assert!(recovery.quarantined.is_empty(), "a clean prefix has no corruption");
+        let replayed: Vec<(u8, Vec<u8>)> = recovery
+            .records
+            .into_iter()
+            .map(|r| (r.kind, r.payload))
+            .collect();
+        prop_assert!(replayed.len() <= recs.len());
+        prop_assert_eq!(&replayed[..], &recs[..replayed.len()], "recovered a strict prefix");
+        // Count how many whole frames fit in `cut` bytes: that is
+        // exactly what must have been recovered.
+        let mut expected = 0usize;
+        let mut pos = 0usize;
+        for (_, payload) in &recs {
+            pos += FRAME_HEADER_LEN + payload.len();
+            if pos <= cut { expected += 1; } else { break; }
+        }
+        prop_assert_eq!(replayed.len(), expected);
+    }
+
+    /// Flipping any single bit anywhere in the durable image never
+    /// panics, never fabricates a record, and loses at most the records
+    /// whose spans the corruption makes untrustworthy: the survivors
+    /// are a subsequence of the originals, bit-exact.
+    #[test]
+    fn single_bit_flip_never_fabricates_records(
+        recs in records(),
+        segment_max in 48u64..1024,
+        flip_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let storage = build_log(&recs, segment_max);
+        let (flat, layout) = flat_image(&storage);
+        if flat.is_empty() {
+            return Ok(());
+        }
+        let flip_at = (flip_seed % flat.len() as u64) as usize;
+        let mut corrupt = flat.clone();
+        corrupt[flip_at] ^= 1 << bit;
+        let storage = cut_storage(&corrupt, &layout, corrupt.len());
+        let (_, recovery) =
+            Wal::open(storage, WalConfig { segment_max_bytes: segment_max }).unwrap();
+        // Every recovered record must appear in the original sequence,
+        // in order (subsequence check over (kind, payload)).
+        let mut originals = recs.iter();
+        for r in &recovery.records {
+            let found = originals.any(|o| o.0 == r.kind && o.1 == r.payload);
+            prop_assert!(found, "recovered record not in the original log");
+        }
+        // The flip must be accounted for: either some record was
+        // dropped (quarantined/torn) or the flip landed in a payload
+        // byte of... no: a flip inside a frame always breaks that
+        // frame's CRC, so if all records survived the flip hit bytes
+        // the scanner re-derives (impossible — every byte is covered
+        // by len, kind, crc, or payload). Hence:
+        prop_assert!(
+            recovery.records.len() < recs.len()
+                || !recovery.quarantined.is_empty()
+                || recovery.torn_tail.is_some(),
+            "a bit flip inside the log must be detected"
+        );
+    }
+
+    /// A torn final append (any prefix of the last frame) truncates
+    /// back to the previous frame boundary, and the WAL keeps working
+    /// after recovery: new appends replay after the survivors.
+    #[test]
+    fn torn_tail_then_continue(recs in records(), keep in 0usize..FRAME_HEADER_LEN) {
+        prop_assume!(!recs.is_empty());
+        let storage = build_log(&recs, u64::MAX);
+        let name = segment_name(0);
+        let mut bytes = storage.image()[&name].clone();
+        // Tear: keep only `keep` bytes of a new, partial frame header.
+        bytes.extend_from_slice(&vec![0xAB; keep]);
+        let mut storage = MemStorage::new();
+        storage.put(&name, bytes);
+        let (mut wal, recovery) = Wal::open(storage, WalConfig::default()).unwrap();
+        prop_assert_eq!(recovery.records.len(), recs.len());
+        prop_assert_eq!(recovery.torn_tail.is_some(), keep > 0);
+        wal.append(0xEE, b"post-recovery").unwrap();
+        wal.flush().unwrap();
+        let (_, recovery2) = Wal::open(wal.into_storage(), WalConfig::default()).unwrap();
+        prop_assert_eq!(recovery2.records.len(), recs.len() + 1);
+        let last = recovery2.records.last().unwrap();
+        prop_assert_eq!(last.kind, 0xEE);
+        prop_assert_eq!(&last.payload[..], b"post-recovery");
+    }
+}

@@ -1,4 +1,4 @@
-//! The rule catalog: seven machine-checked project invariants.
+//! The rule catalog: eight machine-checked project invariants.
 //!
 //! Each rule guards a property the paper's guarantees lean on (see
 //! DESIGN.md § Static analysis for the full rationale):
@@ -29,6 +29,11 @@
 //!   `Settlement::verify` hides a budget-balance violation.
 //! * **R7 crate-header** — every crate root opts into
 //!   `#![deny(unsafe_code)]` (or `forbid`).
+//! * **R8 fs-boundary** — `std::fs` only inside the sanctioned storage
+//!   backend (`crates/durable/src/file.rs`): everywhere else in the
+//!   deterministic crates, persistence must go through the injectable
+//!   `enki_durable::Storage` trait, or crash-recovery tests could not
+//!   fault it.
 
 use crate::context::{attrs_before, FileContext};
 use crate::lexer::{Token, TokenKind};
@@ -50,10 +55,12 @@ pub enum RuleId {
     MustUseResult,
     /// Crate roots must deny `unsafe_code`.
     CrateHeader,
+    /// `std::fs` only in the sanctioned storage backend.
+    FsBoundary,
 }
 
 /// Every rule, in report order.
-pub const ALL_RULES: [RuleId; 7] = [
+pub const ALL_RULES: [RuleId; 8] = [
     RuleId::NoPanic,
     RuleId::NoDirectClock,
     RuleId::FloatDiscipline,
@@ -61,10 +68,11 @@ pub const ALL_RULES: [RuleId; 7] = [
     RuleId::ThreadDiscipline,
     RuleId::MustUseResult,
     RuleId::CrateHeader,
+    RuleId::FsBoundary,
 ];
 
 impl RuleId {
-    /// Short stable code used in baselines and reports (`R1`…`R7`).
+    /// Short stable code used in baselines and reports (`R1`…`R8`).
     #[must_use]
     pub fn code(self) -> &'static str {
         match self {
@@ -75,6 +83,7 @@ impl RuleId {
             Self::ThreadDiscipline => "R5",
             Self::MustUseResult => "R6",
             Self::CrateHeader => "R7",
+            Self::FsBoundary => "R8",
         }
     }
 
@@ -89,6 +98,7 @@ impl RuleId {
             Self::ThreadDiscipline => "thread-discipline",
             Self::MustUseResult => "must-use-result",
             Self::CrateHeader => "crate-header",
+            Self::FsBoundary => "fs-boundary",
         }
     }
 
@@ -125,6 +135,11 @@ impl RuleId {
             Self::CrateHeader => {
                 "every crate root must carry #![deny(unsafe_code)] so the whole \
                  workspace stays within safe Rust"
+            }
+            Self::FsBoundary => {
+                "all persistence must flow through the injectable enki_durable::Storage \
+                 trait; ad-hoc std::fs in mechanism code would dodge crash-consistency \
+                 testing — only the sanctioned file backend touches the filesystem"
             }
         }
     }
@@ -198,16 +213,19 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
         // body rules: panics and ad-hoc timing are idiomatic there.
         return out;
     }
-    if file.in_crate(&["core", "solver", "agents", "serve"]) {
+    if file.in_crate(&["core", "solver", "agents", "serve", "durable"]) {
         no_panic(file, &mut out);
     }
     no_direct_clock(file, &mut out);
     float_discipline(file, &mut out);
-    if file.in_crate(&["core", "solver", "agents", "serve", "sim", "study"]) {
+    if file.in_crate(&["core", "solver", "agents", "serve", "durable", "sim", "study"]) {
         no_hash_iteration(file, &mut out);
     }
     thread_discipline(file, &mut out);
     must_use_result(file, &mut out);
+    if file.in_crate(&["core", "solver", "agents", "serve", "durable"]) {
+        fs_boundary(file, &mut out);
+    }
     out.sort_by_key(|v| (v.line, v.rule));
     out
 }
@@ -414,6 +432,35 @@ fn thread_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
                      single-threaded by design",
                     t.text
                 ),
+            );
+        }
+    }
+}
+
+fn fs_boundary(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.rel_path == "crates/durable/src/file.rs" {
+        // The one sanctioned filesystem boundary: the real-file Storage
+        // backend. Everything else reaches disk through the trait.
+        return;
+    }
+    let toks = &file.tokens;
+    for i in live_indices(file) {
+        let t = &toks[i];
+        // `fs::write(..)`, `std::fs::File`, `use std::fs;` — the module
+        // name adjacent to a path separator on either side.
+        if t.is_ident("fs")
+            && (toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                || (i > 0 && toks[i - 1].is_punct("::")))
+        {
+            push(
+                out,
+                file,
+                RuleId::FsBoundary,
+                t.line,
+                "`std::fs` outside the sanctioned storage backend \
+                 (crates/durable/src/file.rs): persist through an injected \
+                 `enki_durable::Storage` so crash tests can fault the write path"
+                    .to_string(),
             );
         }
     }
@@ -775,5 +822,44 @@ mod tests {
             "fn f(o: Option<u32>) { o.unwrap(); let m: HashMap<u32,u32> = HashMap::new(); }",
         ));
         assert!(codes(&v).is_empty());
+    }
+
+    #[test]
+    fn fs_use_is_flagged_in_scoped_crates_only() {
+        let src = "use std::fs;\nfn f() { let _ = fs::read(\"x\"); }";
+        for scoped in [
+            "crates/core/src/x.rs",
+            "crates/agents/src/durable.rs",
+            "crates/durable/src/wal.rs",
+        ] {
+            let v = check_file(&file(scoped, src));
+            assert_eq!(codes(&v), vec!["R8", "R8"], "{scoped}: {v:?}");
+        }
+        // Outside the deterministic envelope, fs access is fine.
+        assert!(codes(&check_file(&file("crates/bench/src/x.rs", src))).is_empty());
+        // A local identifier named `fs` with no path separator is not
+        // a filesystem touch.
+        let ok = check_file(&file("crates/core/src/x.rs", "fn f(fs: u32) -> u32 { fs + 1 }"));
+        assert!(codes(&ok).is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn fs_boundary_exempts_the_sanctioned_backend_path_exactly() {
+        let src = "use std::fs::File;\nfn f() { let _ = File::open(\"x\"); }";
+        assert!(codes(&check_file(&file("crates/durable/src/file.rs", src))).is_empty());
+        // Any other file named file.rs stays under the rule.
+        let v = check_file(&file("crates/durable/src/other.rs", src));
+        assert_eq!(codes(&v), vec!["R8"], "{v:?}");
+        let v = check_file(&file("crates/serve/src/file.rs", src));
+        assert_eq!(codes(&v), vec!["R8"], "{v:?}");
+    }
+
+    #[test]
+    fn durable_is_a_mechanism_crate_for_panics_and_hashes() {
+        let src =
+            "fn f(o: Option<u32>) -> u32 { let m: HashMap<u32,u32> = HashMap::new(); o.unwrap() }";
+        let v = check_file(&file("crates/durable/src/wal.rs", src));
+        assert!(codes(&v).contains(&"R1"), "unwrap in durable: {v:?}");
+        assert!(codes(&v).contains(&"R4"), "HashMap in durable: {v:?}");
     }
 }

@@ -1,0 +1,24 @@
+// R8 fixture: ad-hoc filesystem access. Expected: 3 violations.
+
+use std::fs; // violation 1
+
+#[must_use = "a dropped write error loses the checkpoint"]
+pub fn persist(bytes: &[u8]) -> std::io::Result<()> {
+    fs::write("checkpoint.bin", bytes) // violation 2
+}
+
+#[must_use = "a dropped read error loses the checkpoint"]
+pub fn load() -> std::io::Result<Vec<u8>> {
+    std::fs::read("checkpoint.bin") // violation 3
+}
+
+pub fn through_the_trait(storage: &mut dyn Storage, bytes: &[u8]) {
+    // Persisting through an injected Storage is the sanctioned path —
+    // and a local called `fs` is not a filesystem touch.
+    let fs = bytes.len();
+    storage.append("checkpoint", &bytes[..fs]);
+}
+
+pub trait Storage {
+    fn append(&mut self, segment: &str, bytes: &[u8]);
+}

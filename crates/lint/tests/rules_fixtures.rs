@@ -142,6 +142,32 @@ fn r7_header_fixture_flags_only_crate_roots_without_the_header() {
 }
 
 #[test]
+fn r8_fs_fixture_flags_the_three_touches_in_scope_only() {
+    let fixture = include_str!("fixtures/r8_fs.rs");
+    let v = check_fixture("crates/core/src/r8_fs.rs", fixture);
+    assert_eq!(rule_counts(&v), vec![(RuleId::FsBoundary, 3)], "{v:#?}");
+    let v = check_fixture("crates/durable/src/wal.rs", fixture);
+    assert_eq!(rule_counts(&v), vec![(RuleId::FsBoundary, 3)], "{v:#?}");
+    // Crates outside the deterministic envelope may touch the disk
+    // (bench writes experiment JSON, lint reads sources).
+    assert!(check_fixture("crates/bench/src/r8_fs.rs", fixture).is_empty());
+    assert!(check_fixture("crates/lint/src/engine.rs", fixture).is_empty());
+}
+
+#[test]
+fn fs_boundary_allowlist_is_path_exact() {
+    let fixture = include_str!("fixtures/r8_fs.rs");
+    // The real-file Storage backend is the one sanctioned boundary.
+    assert!(check_fixture("crates/durable/src/file.rs", fixture).is_empty());
+    // A file.rs anywhere else gets no special treatment…
+    let v = check_fixture("crates/serve/src/file.rs", fixture);
+    assert_eq!(rule_counts(&v), vec![(RuleId::FsBoundary, 3)], "{v:#?}");
+    // …and neither does any sibling inside the durable crate.
+    let v = check_fixture("crates/durable/src/storage.rs", fixture);
+    assert_eq!(rule_counts(&v), vec![(RuleId::FsBoundary, 3)], "{v:#?}");
+}
+
+#[test]
 fn violations_carry_one_based_lines_pointing_at_the_site() {
     let v = check_fixture(
         "crates/sim/src/r2_clock.rs",

@@ -113,6 +113,25 @@ pub struct IngestStats {
 
 /// A durable snapshot of the front end, for mid-batch crash recovery.
 /// Restoring it resumes the exact queue, counters, and RNG stream.
+///
+/// # Commit contract
+///
+/// The front end's deterministic state changes only inside
+/// [`IngestFrontEnd::offer_bytes`] (when a frame completes) and
+/// [`IngestFrontEnd::drain`] (when it pops reports or hands out
+/// fallbacks); every such mutation marks the front end *dirty*. A
+/// runtime that persists snapshots must, at each tick boundary, take
+/// [`IngestFrontEnd::snapshot_if_dirty`] and write it **before**
+/// treating the tick as committed (log → flush → apply, the same
+/// write-ahead order as [`CenterAgent::commit`]'s phase-boundary
+/// checkpoints). Clean ticks return `None` and may skip the write
+/// entirely: skipping is invisible, because a clean tick's snapshot
+/// would be byte-identical to the previous one. Bytes buffered in the
+/// frame decoder are deliberately volatile — producers resend partial
+/// frames after a crash — so they neither dirty the state nor appear
+/// in the snapshot.
+///
+/// [`CenterAgent::commit`]: https://docs.rs/enki-agents
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IngestCheckpoint {
     queue: Vec<QueuedReport>,
@@ -147,6 +166,11 @@ pub struct IngestFrontEnd {
     /// Replaceable sheds awaiting standing-profile fallback, drained
     /// with the next [`drain`](IngestFrontEnd::drain).
     fallbacks: Vec<(u64, HouseholdId)>,
+    /// Whether checkpointable state changed since the last
+    /// [`snapshot_if_dirty`](IngestFrontEnd::snapshot_if_dirty).
+    /// Decoder-buffer changes do not count: partial frames are
+    /// volatile by contract (see [`IngestCheckpoint`]).
+    dirty: bool,
     recorder: Option<Recorder>,
 }
 
@@ -161,6 +185,7 @@ impl IngestFrontEnd {
             rng: StdRng::seed_from_u64(seed),
             pressure: 0,
             fallbacks: Vec::new(),
+            dirty: false,
             recorder: None,
             config,
         }
@@ -234,6 +259,9 @@ impl IngestFrontEnd {
         self.decoder.push_bytes(bytes);
         let mut signals = Vec::new();
         while let Some(frame) = self.decoder.next_frame() {
+            // Every completed frame mutates checkpointable state (at
+            // minimum a counter), whichever arm below it takes.
+            self.dirty = true;
             let batch = match frame {
                 Ok(batch) => batch,
                 Err(_) => {
@@ -361,12 +389,16 @@ impl IngestFrontEnd {
     /// `Stale` here rather than delivered: deadline propagation holds on
     /// the way out as well as the way in.
     pub fn drain(&mut self, now: Tick) -> Drain {
+        if !self.fallbacks.is_empty() {
+            self.dirty = true;
+        }
         let mut out = Drain {
             admitted: Vec::new(),
             fallbacks: std::mem::take(&mut self.fallbacks),
         };
         while out.admitted.len() < self.config.drain_per_tick {
             let Some(item) = self.queue.pop() else { break };
+            self.dirty = true;
             if now > item.deadline {
                 self.record_shed(ShedClass::Stale, 1);
                 if item.cost == ShedCost::Replaceable {
@@ -403,6 +435,28 @@ impl IngestFrontEnd {
         }
     }
 
+    /// Whether checkpointable state changed since the last
+    /// [`snapshot_if_dirty`](IngestFrontEnd::snapshot_if_dirty) (or
+    /// construction). Idle ticks stay clean, so a persisting runtime
+    /// can skip their snapshot and WAL work entirely.
+    #[must_use]
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Takes a snapshot only when state changed since the last one,
+    /// clearing the dirty flag. The skip is invisible: a clean tick's
+    /// snapshot would equal the previous tick's bit for bit (asserted
+    /// by the serve property suite).
+    #[must_use = "a dropped snapshot is a lost commit"]
+    pub fn snapshot_if_dirty(&mut self) -> Option<IngestCheckpoint> {
+        if !self.dirty {
+            return None;
+        }
+        self.dirty = false;
+        Some(self.checkpoint())
+    }
+
     /// Rebuilds a front end from a checkpoint plus the static
     /// configuration. Bytes buffered in the decoder at checkpoint time
     /// are *not* part of the durable state — a recovering node restarts
@@ -416,6 +470,7 @@ impl IngestFrontEnd {
             rng: StdRng::from_state(checkpoint.rng_state),
             pressure: checkpoint.pressure,
             fallbacks: checkpoint.fallbacks,
+            dirty: false,
             recorder: None,
             config,
         }

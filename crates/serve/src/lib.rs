@@ -24,6 +24,9 @@
 //! * [`backoff`] — the bounded-exponential [`Backoff`](backoff::Backoff)
 //!   contract shared with the household agents, reused here to pace
 //!   producers that hit backpressure.
+//! * [`snapshot`] — a bit-exact binary codec for checkpoint state
+//!   headed to durable storage (floats travel as raw IEEE-754 bits, so
+//!   NaN payloads survive where JSON rejects them).
 //! * [`edge`] — the thin **nondeterministic edge**: real threads posting
 //!   frames into a locked mailbox. Everything else in this crate is a
 //!   deterministic core — tick-driven, seeded, and free of wall-clock
@@ -62,6 +65,7 @@ pub mod edge;
 pub mod ingest;
 pub mod queue;
 pub mod shed;
+pub mod snapshot;
 
 /// Discrete time, in ticks — the same unit the agent runtime uses.
 pub type Tick = u64;

@@ -1,0 +1,293 @@
+//! Binary snapshot codec: bit-exact serialization for checkpoint
+//! types headed to durable storage.
+//!
+//! Checkpoints (`IngestCheckpoint`, the center's `CenterCheckpoint`)
+//! serialize through the workspace serde's [`Value`] tree. The JSON
+//! renderer is the wrong carrier for durable state: it rejects
+//! non-finite floats outright, and the center's standing `last_raw`
+//! map legitimately holds whatever bit patterns households sent —
+//! including NaN and ±∞, which admission quarantines but the replay
+//! detector must remember verbatim. This module renders the same
+//! `Value` tree into a compact tagged binary form instead, with every
+//! float carried as its raw 8-byte IEEE-754 image, so
+//! encode → decode is the identity **bit for bit** for every value the
+//! workspace can construct.
+//!
+//! The byte discipline matches the wire [`codec`](crate::codec):
+//! little-endian fixed-width integers, `u32` length prefixes, total
+//! (panic-free) decoding that returns `None` on any malformed input,
+//! and hard caps so corrupt length fields cannot amplify into huge
+//! allocations. Integrity is the storage layer's job (the WAL
+//! checksums every record); this codec's job is only shape.
+//!
+//! ```
+//! use enki_serve::snapshot;
+//!
+//! let state = vec![(1u64, f64::NAN), (2, 0.5)];
+//! let bytes = snapshot::encode(&state);
+//! let back: Vec<(u64, f64)> = snapshot::decode(&bytes).expect("well-formed");
+//! assert_eq!(back[0].1.to_bits(), f64::NAN.to_bits());
+//! assert_eq!(back[1], (2, 0.5));
+//! ```
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Nesting cap during decode: deeper trees are rejected as malformed
+/// rather than risking unbounded recursion on crafted input. Real
+/// checkpoint trees are under a dozen levels deep.
+pub const MAX_DEPTH: usize = 64;
+
+/// Cap on any single length prefix (strings, arrays, objects), same
+/// spirit as the wire codec's frame cap: a corrupt length field must
+/// not translate into a giant allocation.
+pub const MAX_LEN: u32 = 64 * 1024 * 1024;
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_UINT: u8 = 4;
+const TAG_FLOAT: u8 = 5;
+const TAG_STRING: u8 = 6;
+const TAG_ARRAY: u8 = 7;
+const TAG_OBJECT: u8 = 8;
+
+/// Encodes any serializable value to the binary snapshot form.
+#[must_use]
+pub fn encode<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_value(&value.serialize_value(), &mut out);
+    out
+}
+
+/// Decodes a binary snapshot back into a typed value. Returns `None`
+/// for any malformed input: truncation, trailing garbage, over-cap
+/// lengths, invalid UTF-8, over-deep nesting, or a tree that does not
+/// match `T`'s shape.
+#[must_use]
+pub fn decode<T: Deserialize>(bytes: &[u8]) -> Option<T> {
+    let mut reader = Reader { bytes, pos: 0 };
+    let value = decode_value(&mut reader, 0)?;
+    if reader.pos != bytes.len() {
+        return None;
+    }
+    T::deserialize_value(&value).ok()
+}
+
+/// Renders one [`Value`] tree (the low-level half of [`encode`]).
+pub fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::Int(v) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::UInt(v) => {
+            out.push(TAG_UINT);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::Float(v) => {
+            // Raw IEEE-754 bits: NaN payloads, -0.0, and infinities
+            // all survive, unlike any decimal rendering.
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        Value::String(s) => {
+            out.push(TAG_STRING);
+            push_len(out, s.len());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Array(items) => {
+            out.push(TAG_ARRAY);
+            push_len(out, items.len());
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Object(fields) => {
+            out.push(TAG_OBJECT);
+            push_len(out, fields.len());
+            for (key, item) in fields {
+                push_len(out, key.len());
+                out.extend_from_slice(key.as_bytes());
+                encode_value(item, out);
+            }
+        }
+    }
+}
+
+fn push_len(out: &mut Vec<u8>, len: usize) {
+    out.extend_from_slice(&u32::try_from(len).unwrap_or(u32::MAX).to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+        let slice = self.bytes.get(self.pos..self.pos + N)?;
+        self.pos += N;
+        slice.try_into().ok()
+    }
+
+    fn len(&mut self) -> Option<usize> {
+        let len = u32::from_le_bytes(self.take::<4>()?);
+        if len > MAX_LEN {
+            return None;
+        }
+        Some(len as usize)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.len()?;
+        let slice = self.bytes.get(self.pos..self.pos.checked_add(len)?)?;
+        self.pos += len;
+        String::from_utf8(slice.to_vec()).ok()
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
+    }
+}
+
+fn decode_value(reader: &mut Reader<'_>, depth: usize) -> Option<Value> {
+    if depth > MAX_DEPTH {
+        return None;
+    }
+    match reader.u8()? {
+        TAG_NULL => Some(Value::Null),
+        TAG_FALSE => Some(Value::Bool(false)),
+        TAG_TRUE => Some(Value::Bool(true)),
+        TAG_INT => Some(Value::Int(i64::from_le_bytes(reader.take::<8>()?))),
+        TAG_UINT => Some(Value::UInt(u64::from_le_bytes(reader.take::<8>()?))),
+        TAG_FLOAT => Some(Value::Float(f64::from_bits(u64::from_le_bytes(
+            reader.take::<8>()?,
+        )))),
+        TAG_STRING => Some(Value::String(reader.string()?)),
+        TAG_ARRAY => {
+            let count = reader.len()?;
+            // Each element costs at least one byte: a count beyond the
+            // remaining input is corrupt, not a huge allocation.
+            if count > reader.remaining() {
+                return None;
+            }
+            let mut items = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                items.push(decode_value(reader, depth + 1)?);
+            }
+            Some(Value::Array(items))
+        }
+        TAG_OBJECT => {
+            let count = reader.len()?;
+            if count > reader.remaining() {
+                return None;
+            }
+            let mut fields = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                let key = reader.string()?;
+                let item = decode_value(reader, depth + 1)?;
+                fields.push((key, item));
+            }
+            Some(Value::Object(fields))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::{IngestConfig, IngestFrontEnd};
+    use crate::shed::ShedCost;
+
+    #[test]
+    fn primitives_roundtrip_bit_exact() {
+        let values: Vec<f64> = vec![
+            0.0,
+            -0.0,
+            1.5,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            f64::from_bits(0x7FF8_DEAD_BEEF_0001), // NaN with payload
+        ];
+        for v in values {
+            let bytes = encode(&v);
+            let back: f64 = decode(&bytes).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} must survive bit-exactly");
+        }
+        let bytes = encode(&u64::MAX);
+        assert_eq!(decode::<u64>(&bytes).unwrap(), u64::MAX);
+        let bytes = encode(&(-42i64));
+        assert_eq!(decode::<i64>(&bytes).unwrap(), -42);
+        let bytes = encode("snapshot ✓");
+        assert_eq!(decode::<String>(&bytes).unwrap(), "snapshot ✓");
+    }
+
+    #[test]
+    fn ingest_checkpoint_roundtrips() {
+        let mut front = IngestFrontEnd::new(IngestConfig::default(), 11);
+        let batch = crate::codec::Batch {
+            day: 3,
+            deadline: 40,
+            reports: vec![enki_core::validation::RawReport::new(
+                enki_core::household::HouseholdId::new(9),
+                enki_core::validation::RawPreference::new(f64::NAN, 22.0, -0.0),
+            )],
+        };
+        let frame = crate::codec::encode_frame(&batch).unwrap();
+        let _ = front.offer_bytes(0, &frame, &mut |_| ShedCost::Fresh);
+        let checkpoint = front.checkpoint();
+        let bytes = encode(&checkpoint);
+        let back = decode::<crate::ingest::IngestCheckpoint>(&bytes).unwrap();
+        // NaN fields break PartialEq; byte equality is the real claim.
+        assert_eq!(encode(&back), bytes);
+    }
+
+    #[test]
+    fn decode_is_total_on_garbage() {
+        // No prefix of a valid encoding, nor arbitrary bytes, may panic.
+        let checkpoint = IngestFrontEnd::new(IngestConfig::default(), 5).checkpoint();
+        let bytes = encode(&checkpoint);
+        for cut in 0..bytes.len() {
+            let _ = decode::<crate::ingest::IngestCheckpoint>(&bytes[..cut]);
+        }
+        for flip in 0..bytes.len().min(64) {
+            let mut bad = bytes.clone();
+            bad[flip] ^= 0x55;
+            let _ = decode::<crate::ingest::IngestCheckpoint>(&bad);
+        }
+        assert!(decode::<u64>(&[TAG_ARRAY, 255, 255, 255, 255]).is_none());
+        assert!(decode::<String>(&[TAG_STRING, 4, 0, 0, 0, 0xFF, 0xFE]).is_none());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode(&7u64);
+        bytes.push(0);
+        assert!(decode::<u64>(&bytes).is_none());
+    }
+
+    #[test]
+    fn over_deep_nesting_is_rejected() {
+        // [[[[...]]]]: MAX_DEPTH+2 nested arrays of one element.
+        let mut bytes = Vec::new();
+        for _ in 0..MAX_DEPTH + 2 {
+            bytes.push(TAG_ARRAY);
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+        }
+        bytes.push(TAG_NULL);
+        assert!(decode::<Vec<u64>>(&bytes).is_none());
+    }
+}

@@ -265,4 +265,81 @@ proptest! {
         prop_assert_eq!(depth, depth2);
         prop_assert_eq!(stats, stats2);
     }
+
+    /// Dirty-flag skip invisibility: a persister that snapshots only
+    /// when [`IngestFrontEnd::snapshot_if_dirty`] yields — skipping all
+    /// clean ticks — holds, at every single tick, a durable copy
+    /// bit-identical to the full checkpoint it would have taken
+    /// unconditionally. Idle ticks are free, and nothing is lost.
+    #[test]
+    fn dirty_skip_is_invisible_to_the_durable_copy(
+        capacity in 0usize..16,
+        drain_per_tick in 0usize..4,
+        // Each step: idle gap 0..4, then optionally a frame (the bool
+        // gates it — the vendored proptest has no `option` strategy),
+        // then optionally a drain.
+        steps in proptest::collection::vec(
+            (
+                0u64..4,
+                any::<bool>(),
+                proptest::collection::vec(0u32..16, 0..8),
+                any::<bool>(),
+            ),
+            0..32,
+        ),
+    ) {
+        let config = IngestConfig {
+            queue_capacity: capacity,
+            drain_per_tick,
+            backoff: Backoff::default(),
+        };
+        let mut front = IngestFrontEnd::new(config, 11);
+        let mut durable = enki_serve::snapshot::encode(&front.checkpoint());
+        let mut skipped_at_least_once = false;
+        let mut now: Tick = 0;
+        for (gap, do_offer, households, do_drain) in &steps {
+            // Idle ticks: the front is untouched, so the persister
+            // must see a clean flag (no WAL work) on each of them.
+            for _ in 0..*gap {
+                now += 1;
+                prop_assert!(!front.is_dirty(), "idle tick dirtied nothing");
+                prop_assert!(front.snapshot_if_dirty().is_none());
+            }
+            if *do_offer {
+                let batch = Batch {
+                    day: 0,
+                    deadline: now + 6,
+                    reports: households
+                        .iter()
+                        .map(|&h| RawReport::new(
+                            HouseholdId::new(h),
+                            RawPreference::new(18.0, 22.0, 2.0),
+                        ))
+                        .collect(),
+                };
+                let _ = front.offer_bytes(
+                    now,
+                    &encode_frame(&batch).unwrap(),
+                    &mut |_| ShedCost::Fresh,
+                );
+            }
+            if *do_drain {
+                let _ = front.drain(now);
+            }
+            // The persister's move: snapshot only when dirty.
+            if let Some(snapshot) = front.snapshot_if_dirty() {
+                durable = enki_serve::snapshot::encode(&snapshot);
+            } else {
+                skipped_at_least_once = true;
+            }
+            // Invisibility: the durable copy always equals the
+            // checkpoint an unconditional persister would hold.
+            let full = enki_serve::snapshot::encode(&front.checkpoint());
+            prop_assert_eq!(&durable, &full, "durable copy diverged at tick {}", now);
+            now += 1;
+        }
+        // The schedule space makes skips common; when one happened the
+        // equality above proves it lost nothing.
+        let _ = skipped_at_least_once;
+    }
 }
