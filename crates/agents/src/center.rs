@@ -44,6 +44,7 @@ use enki_core::mechanism::{AllocationOutcome, Assignment, Enki, Settlement};
 use enki_core::time::Interval;
 use enki_core::validation::{RawPreference, RawReport};
 use enki_solver::prelude::{AllocationProblem, AnytimePipeline};
+use enki_telemetry::trace::{stage, TraceContext};
 use enki_telemetry::{Recorder, VirtualClock};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -334,6 +335,9 @@ pub struct CenterAgent {
     /// Optional telemetry: admission counters, phase timings, day
     /// outcomes. `None` records nothing and costs nothing.
     recorder: Option<Recorder>,
+    /// Seed for deriving deterministic [`TraceContext`]s. Static
+    /// configuration (like `plan`): not checkpointed, defaults to 0.
+    trace_seed: u64,
     /// Optional allocation refinement through the solver pipeline.
     /// Static configuration (like `plan`), not protocol state: it is not
     /// checkpointed and must be re-supplied on [`CenterAgent::restore`].
@@ -372,6 +376,7 @@ impl CenterAgent {
             commit_seq: 0,
             down: false,
             recorder: None,
+            trace_seed: 0,
             pipeline: None,
         }
     }
@@ -421,6 +426,7 @@ impl CenterAgent {
             commit_seq: 0,
             down: false,
             recorder: None,
+            trace_seed: 0,
             pipeline: None,
         }
     }
@@ -430,6 +436,13 @@ impl CenterAgent {
     /// (`center.day.*`), and allocate/settle latency histograms.
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.recorder = Some(recorder);
+    }
+
+    /// Sets the seed from which the center derives deterministic
+    /// [`TraceContext`]s — the same run seed the households use, so
+    /// both ends of the wire derive identical causal ids.
+    pub fn set_trace_seed(&mut self, seed: u64) {
+        self.trace_seed = seed;
     }
 
     /// The mechanism this center runs (e.g. so an oracle can verify
@@ -650,6 +663,7 @@ impl CenterAgent {
             if let Some(r) = self.recorder.as_ref() {
                 r.incr("center.day.started", 1);
             }
+            let day_start_ctx = TraceContext::day_root(self.trace_seed, day).child("day_start");
             for &h in &self.roster {
                 outbox.push(Envelope {
                     from: NodeId::Center,
@@ -659,6 +673,7 @@ impl CenterAgent {
                         report_deadline,
                         meter_deadline,
                     },
+                    trace: Some(day_start_ctx),
                 });
             }
             return;
@@ -675,6 +690,8 @@ impl CenterAgent {
             && now >= current.last_day_start + REBROADCAST_INTERVAL
         {
             current.last_day_start = now;
+            let day_start_ctx =
+                TraceContext::day_root(self.trace_seed, current.day).child("day_start");
             for &h in &self.roster {
                 if !current.reports.contains_key(&h) {
                     outbox.push(Envelope {
@@ -685,6 +702,7 @@ impl CenterAgent {
                             report_deadline: current.report_deadline,
                             meter_deadline: current.meter_deadline,
                         },
+                        trace: Some(day_start_ctx),
                     });
                 }
             }
@@ -735,6 +753,17 @@ impl CenterAgent {
                     admission.cross_day_replays() as u64,
                 );
                 r.gauge("center.day.participants", reports.len() as f64);
+                // One point span per admitted household at the `admit`
+                // stage of its report's causal chain.
+                for report in &reports {
+                    let ctx = TraceContext::report_stage(
+                        self.trace_seed,
+                        day,
+                        u64::from(report.household.index()),
+                        stage::ADMIT,
+                    );
+                    drop(r.span_with_trace("center.admit", ctx));
+                }
             }
             if reports.is_empty() {
                 // Nobody reported, or nothing survived admission with a
@@ -765,13 +794,25 @@ impl CenterAgent {
                     let outcome = match self.pipeline {
                         Some(cfg) => {
                             let seed = self.rng.random();
-                            cfg.refine(
+                            // The solve hangs off the day root (shared by
+                            // every household): push it as the ambient
+                            // context so the pipeline's spans parent on it.
+                            let solve_ctx =
+                                TraceContext::day_root(self.trace_seed, day).child("solve");
+                            if let Some(r) = self.recorder.as_ref() {
+                                r.push_trace(solve_ctx);
+                            }
+                            let refined = cfg.refine(
                                 &self.enki,
                                 &reports,
                                 outcome,
                                 seed,
                                 self.recorder.as_ref(),
-                            )
+                            );
+                            if let Some(r) = self.recorder.as_ref() {
+                                let _ = r.pop_trace();
+                            }
+                            refined
                         }
                         None => outcome,
                     };
@@ -795,6 +836,12 @@ impl CenterAgent {
                                 day,
                                 window: assignment.window,
                             },
+                            trace: Some(
+                                TraceContext::day_root(self.trace_seed, day).child_salted(
+                                    "allocation",
+                                    u64::from(assignment.household.index()),
+                                ),
+                            ),
                         });
                     }
                 }
@@ -878,12 +925,34 @@ impl CenterAgent {
                     if let Some(started) = settle_started {
                         r.observe_duration("center.settle_ns", r.now().saturating_sub(started));
                     }
+                    // One point span per settled household at the
+                    // `settle` stage of its report's causal chain.
+                    if let Some(rec) = self.records.last() {
+                        for &h in &rec.participants {
+                            let ctx = TraceContext::report_stage(
+                                self.trace_seed,
+                                day,
+                                u64::from(h.index()),
+                                stage::SETTLE,
+                            );
+                            drop(r.span_with_trace("center.settle", ctx));
+                        }
+                    }
                 }
                 if let Some(settlement) = settlement {
                     if let Some(r) = self.recorder.as_ref() {
                         r.incr("center.bills.sent", settlement.entries.len() as u64);
                     }
                     for entry in &settlement.entries {
+                        let ctx = TraceContext::report_stage(
+                            self.trace_seed,
+                            day,
+                            u64::from(entry.household.index()),
+                            stage::BILL,
+                        );
+                        if let Some(r) = self.recorder.as_ref() {
+                            drop(r.span_with_trace("center.bill", ctx));
+                        }
                         outbox.push(Envelope {
                             from: NodeId::Center,
                             to: NodeId::Household(entry.household),
@@ -891,6 +960,7 @@ impl CenterAgent {
                                 day,
                                 amount: entry.payment,
                             },
+                            trace: Some(ctx),
                         });
                     }
                 }

@@ -25,6 +25,7 @@ use enki_sim::behavior::{consume, ReportStrategy};
 use enki_sim::ecc::EccPredictor;
 use enki_sim::neighborhood::TruthSource;
 use enki_sim::profile::UsageProfile;
+use enki_telemetry::trace::{stage, TraceContext};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -86,6 +87,10 @@ pub struct HouseholdAgent {
     /// validated preference — modelling a compromised or buggy ECC. The
     /// appliance still consumes according to the household's truth.
     raw_report_override: Option<RawPreference>,
+    /// Namespace for the causal contexts stamped onto outgoing
+    /// envelopes; runtimes set it to their run seed so both ends of the
+    /// wire derive identical ids.
+    trace_seed: u64,
 }
 
 impl HouseholdAgent {
@@ -112,7 +117,15 @@ impl HouseholdAgent {
             state: None,
             bills: Vec::new(),
             raw_report_override: None,
+            trace_seed: 0,
         }
+    }
+
+    /// Sets the namespace seed for outgoing causal trace contexts.
+    /// Runtimes call this with their run seed so every agent derives
+    /// the same ids for the same report journey.
+    pub fn set_trace_seed(&mut self, seed: u64) {
+        self.trace_seed = seed;
     }
 
     /// Makes the agent report the given raw payload every day instead of
@@ -214,6 +227,12 @@ impl HouseholdAgent {
                 day: state.day,
                 preference,
             },
+            trace: Some(TraceContext::report_stage(
+                self.trace_seed,
+                state.day,
+                u64::from(self.id.index()),
+                stage::REPORT,
+            )),
         });
         let delay = self.backoff.delay(state.report_attempts, &mut self.rng);
         if let Some(state) = self.state.as_mut() {
@@ -318,6 +337,13 @@ impl HouseholdAgent {
                         day: state.day,
                         window,
                     },
+                    // Meter readings feed settlement but are not one of
+                    // the canonical report stages: they hang off the
+                    // day root on their own labelled branch.
+                    trace: Some(
+                        TraceContext::day_root(self.trace_seed, state.day)
+                            .child_salted("meter", u64::from(self.id.index())),
+                    ),
                 });
                 let delay = self.backoff.delay(state.reading_attempts, &mut self.rng);
                 if let Some(state) = self.state.as_mut() {

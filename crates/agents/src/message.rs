@@ -15,6 +15,7 @@
 use enki_core::household::HouseholdId;
 use enki_core::time::Interval;
 use enki_core::validation::RawPreference;
+use enki_telemetry::trace::TraceContext;
 use serde::{Deserialize, Serialize};
 
 /// Discrete simulation time, in ticks.
@@ -107,6 +108,12 @@ pub struct Envelope {
     pub to: NodeId,
     /// Payload.
     pub message: Message,
+    /// Deterministic causal context: which stage of which report's
+    /// journey this message carries. `None` on untraced paths. Because
+    /// contexts are pure functions of `(seed, day, household, stage)`,
+    /// a receiver can also re-derive the context from the payload —
+    /// the field exists so intermediaries (queues, journals) need not.
+    pub trace: Option<TraceContext>,
 }
 
 #[cfg(test)]
@@ -139,6 +146,7 @@ mod tests {
                 day: 2,
                 window: Interval::new(18, 20).unwrap(),
             },
+            trace: Some(TraceContext::report_stage(7, 2, 1, 0)),
         };
         let json = serde_json::to_string(&env).unwrap();
         let back: Envelope = serde_json::from_str(&json).unwrap();

@@ -466,6 +466,7 @@ mod tests {
                 day,
                 preference: Preference::new(18, 22, 2).unwrap().into(),
             },
+            trace: None,
         }
     }
 
@@ -477,6 +478,7 @@ mod tests {
                 day: 0,
                 preference: Preference::new(18, 22, 2).unwrap().into(),
             },
+            trace: None,
         }
     }
 
@@ -615,6 +617,7 @@ mod tests {
             from: NodeId::Center,
             to: NodeId::Household(HouseholdId::new(1)),
             message: Message::Bill { day: 0, amount: 1.0 },
+            trace: None,
         });
         net.send(15, envelope_from(2));
         // After the heal time: delivered again.
@@ -647,6 +650,7 @@ mod tests {
                 from: NodeId::Center,
                 to: NodeId::Household(HouseholdId::new(1)),
                 message: Message::Bill { day: 0, amount: 1.0 },
+                trace: None,
             });
         }
         net.send(10, envelope_from(2));

@@ -191,6 +191,23 @@ pub fn check_traced(runtime: &Runtime, recorder: Option<&Recorder>) -> Vec<Viola
         for violation in &violations {
             r.incr(&format!("oracle.violation.{}", violation.key()), 1);
         }
+        // An invariant violation is exactly what the flight recorder
+        // exists for: dump the recent-event ring as a postmortem.
+        if let Some(first) = violations.first() {
+            let _ = r.postmortem(
+                &format!("oracle.{}", first.key()),
+                &[
+                    (
+                        "violations",
+                        enki_telemetry::FieldValue::U64(violations.len() as u64),
+                    ),
+                    (
+                        "first",
+                        enki_telemetry::FieldValue::Str(first.to_string()),
+                    ),
+                ],
+            );
+        }
     }
     if let Some(span) = span.as_mut() {
         span.record("records", runtime.records().len());
@@ -419,6 +436,7 @@ mod tests {
                     day: 0,
                     amount: 1.0,
                 },
+                trace: None,
             },
         };
         let record = DayRecord {
@@ -455,6 +473,7 @@ mod tests {
                     day: 0,
                     amount: 1.0,
                 },
+                trace: None,
             },
         };
         let record = DayRecord {
@@ -533,6 +552,7 @@ mod tests {
                     day: 0,
                     window: Interval::new(0, 4).unwrap(),
                 },
+                trace: None,
             },
         };
         let mut violations = Vec::new();

@@ -19,11 +19,14 @@
 //! [`VirtualClock`] by a fixed step each tick, making the exported
 //! span tree byte-reproducible for a given seed.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
 use enki_core::household::HouseholdId;
-use enki_telemetry::{Recorder, Telemetry, VirtualClock};
+use enki_telemetry::{
+    FieldValue, Recorder, SloMonitor, SloSample, SloStatus, Telemetry, VirtualClock,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::center::{CenterAgent, DayRecord};
@@ -64,6 +67,16 @@ pub struct TraceEvent {
     pub envelope: Envelope,
 }
 
+/// One day's SLO health summary: every standard objective's burn-rate
+/// status as evaluated at the end of that protocol day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayHealth {
+    /// The day the summary covers.
+    pub day: u64,
+    /// Burn-rate status per configured SLO.
+    pub statuses: Vec<SloStatus>,
+}
+
 /// The simulation runtime: one center, many households, one network.
 #[derive(Debug)]
 pub struct Runtime {
@@ -76,6 +89,10 @@ pub struct Runtime {
     telemetry: Option<Telemetry>,
     recorder: Option<Recorder>,
     tick_clock: Option<(Arc<VirtualClock>, Duration)>,
+    slo: Option<SloMonitor>,
+    slo_records_seen: usize,
+    slo_counters: BTreeMap<String, u64>,
+    day_health: Vec<DayHealth>,
 }
 
 impl Runtime {
@@ -96,6 +113,10 @@ impl Runtime {
             telemetry: None,
             recorder: None,
             tick_clock: None,
+            slo: None,
+            slo_records_seen: 0,
+            slo_counters: BTreeMap::new(),
+            day_health: Vec::new(),
         }
     }
 
@@ -131,6 +152,15 @@ impl Runtime {
     pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
         self.recorder = Some(telemetry.recorder());
         self.center.set_recorder(telemetry.recorder());
+        // The run seed doubles as the trace seed: every agent derives
+        // the same deterministic causal ids from it, so cross-agent
+        // parent links line up without any id allocation on the wire.
+        let seed = telemetry.meta().seed;
+        self.center.set_trace_seed(seed);
+        for household in &mut self.households {
+            household.set_trace_seed(seed);
+        }
+        self.slo = Some(SloMonitor::standard());
         self.telemetry = Some(telemetry.clone());
         self
     }
@@ -223,9 +253,91 @@ impl Runtime {
             });
             self.run_ticks(day_length);
             drop(span);
+            self.observe_day_slo(day);
         }
         drop(recorder);
         self.publish_network_stats();
+    }
+
+    /// SLO health summaries, one per completed day of
+    /// [`run_days`](Self::run_days) with telemetry attached.
+    #[must_use]
+    pub fn day_health(&self) -> &[DayHealth] {
+        &self.day_health
+    }
+
+    /// Reads the named counter and returns its increase since the last
+    /// call (counters flush lazily, so a delta can land a day late —
+    /// acceptable for windowed burn rates, and still deterministic).
+    fn counter_delta(&mut self, name: &str) -> u64 {
+        let now = self
+            .telemetry
+            .as_ref()
+            .and_then(|t| t.counter(name))
+            .unwrap_or(0);
+        let before = self.slo_counters.insert(name.to_string(), now).unwrap_or(0);
+        now.saturating_sub(before)
+    }
+
+    /// Feeds the day's outcomes to the SLO monitor, evaluates burn
+    /// rates, exports them as `slo.*` gauges, and records the day's
+    /// health summary. A day that closed without settlement counts as a
+    /// deadline miss and dumps the flight recorder.
+    fn observe_day_slo(&mut self, day: u64) {
+        if self.slo.is_none() {
+            return;
+        }
+        // Settlement outcomes come straight from the center's records —
+        // the protocol's ground truth, immune to counter-flush lag.
+        let records = self.center.records();
+        let new_records = &records[self.slo_records_seen.min(records.len())..];
+        let settled = new_records.iter().filter(|r| r.settlement.is_some()).count() as u64;
+        let missed = new_records.len() as u64 - settled;
+        let bills: u64 = new_records
+            .iter()
+            .filter_map(|r| r.settlement.as_ref())
+            .map(|s| s.entries.len() as u64)
+            .sum();
+        self.slo_records_seen = records.len();
+        let exact = self.counter_delta("solve.rung.exact");
+        let degraded = self.counter_delta("solve.rung.local_search")
+            + self.counter_delta("solve.rung.greedy")
+            + self.counter_delta("solve.rung.as_reported")
+            + self.counter_delta("solve.degraded");
+        let Some(monitor) = self.slo.as_mut() else {
+            return;
+        };
+        monitor.record(
+            "deadline_compliance",
+            SloSample {
+                good: settled,
+                bad: missed,
+            },
+        );
+        monitor.record("at_most_one_bill", SloSample { good: bills, bad: 0 });
+        if exact + degraded > 0 {
+            monitor.record(
+                "exact_rung",
+                SloSample {
+                    good: exact,
+                    bad: degraded,
+                },
+            );
+        }
+        let statuses = monitor.evaluate();
+        if let Some(r) = self.recorder.as_ref() {
+            for status in &statuses {
+                r.gauge(&format!("slo.{}.short_burn", status.name), status.short_burn);
+                r.gauge(&format!("slo.{}.long_burn", status.name), status.long_burn);
+            }
+            if missed > 0 {
+                let _ = r.postmortem(
+                    "deadline_miss",
+                    &[("day", FieldValue::U64(day)), ("missed", FieldValue::U64(missed))],
+                );
+            }
+        }
+        self.day_health.push(DayHealth { day, statuses });
     }
 
     /// Exports the network's cumulative delivery and fault-injection

@@ -41,13 +41,14 @@ use enki_serve::prelude::{
     encode_frame, Batch, IngestCheckpoint, IngestConfig, IngestFrontEnd, IngestStats,
     ProducerSignal, ShedCost,
 };
-use enki_telemetry::Telemetry;
+use enki_telemetry::trace::{stage, TraceContext};
+use enki_telemetry::{FieldValue, Recorder, SloMonitor, SloSample, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::center::{CenterAgent, CenterCheckpoint, DayPlan, DayRecord};
 use crate::durable::Journal;
 use crate::message::{Envelope, Message, NodeId, Tick};
-use crate::runtime::{CrashSchedule, TraceEvent, TraceKind};
+use crate::runtime::{CrashSchedule, DayHealth, TraceEvent, TraceKind};
 
 /// Ticks between a producer receiving its allocation and its meter
 /// reading arriving at the center.
@@ -173,6 +174,30 @@ pub struct ServeRuntime {
     /// storage errors); queryable so chaos tests can assert on them
     /// without the runtime panicking.
     recovery_errors: Vec<String>,
+    /// Telemetry handle, kept so recovery can re-wire the rebuilt front
+    /// end and so postmortems can be dumped from any site.
+    telemetry: Option<Telemetry>,
+    /// The runtime's own recorder for producer-side spans.
+    recorder: Option<Recorder>,
+    /// Seed for deterministic trace contexts (the run seed).
+    trace_seed: u64,
+    /// Completed recovery attempts (successful or not), for the
+    /// recovery-latency SLO.
+    recoveries: u64,
+    slo: Option<SloMonitor>,
+    slo_records_seen: usize,
+    slo_prev: SloPrev,
+    day_health: Vec<DayHealth>,
+}
+
+/// Previous-day snapshots of the cumulative counts the serve SLOs
+/// difference against.
+#[derive(Debug, Clone, Copy, Default)]
+struct SloPrev {
+    admitted: u64,
+    shed: u64,
+    recoveries: u64,
+    recovery_errors: u64,
 }
 
 impl ServeRuntime {
@@ -197,6 +222,14 @@ impl ServeRuntime {
             journal: None,
             logged_commit_seq: 0,
             recovery_errors: Vec::new(),
+            telemetry: None,
+            recorder: None,
+            trace_seed: 0,
+            recoveries: 0,
+            slo: None,
+            slo_records_seen: 0,
+            slo_prev: SloPrev::default(),
+            day_health: Vec::new(),
         }
     }
 
@@ -226,6 +259,14 @@ impl ServeRuntime {
             journal: None,
             logged_commit_seq: 0,
             recovery_errors: Vec::new(),
+            telemetry: None,
+            recorder: None,
+            trace_seed: 0,
+            recoveries: 0,
+            slo: None,
+            slo_records_seen: 0,
+            slo_prev: SloPrev::default(),
+            day_health: Vec::new(),
         }
     }
 
@@ -261,6 +302,15 @@ impl ServeRuntime {
         if let Some(journal) = self.journal.as_mut() {
             journal.set_recorder(telemetry.recorder());
         }
+        // The run seed doubles as the trace seed on every boundary, so
+        // producer, queue, and center spans share one causal id space.
+        let seed = telemetry.meta().seed;
+        self.center.set_trace_seed(seed);
+        self.front.set_trace_seed(seed);
+        self.trace_seed = seed;
+        self.recorder = Some(telemetry.recorder());
+        self.telemetry = Some(telemetry.clone());
+        self.slo = Some(SloMonitor::standard());
         self
     }
 
@@ -391,9 +441,98 @@ impl ServeRuntime {
         }
     }
 
-    /// Runs whole protocol days of the given length.
+    /// Runs whole protocol days of the given length. With telemetry
+    /// attached, each completed day feeds the SLO monitor and appends a
+    /// [`DayHealth`] summary.
     pub fn run_days(&mut self, days: u64, day_length: Tick) {
-        self.run_ticks(days.saturating_mul(day_length));
+        for _ in 0..days {
+            let day = self.now / day_length.max(1);
+            self.run_ticks(day_length);
+            self.observe_day_slo(day);
+        }
+    }
+
+    /// SLO health summaries, one per completed day of
+    /// [`run_days`](Self::run_days) with telemetry attached.
+    #[must_use]
+    pub fn day_health(&self) -> &[DayHealth] {
+        &self.day_health
+    }
+
+    /// Feeds the day's outcomes (settlements, sheds, recoveries) to the
+    /// SLO monitor, exports `slo.*` burn-rate gauges, and records the
+    /// day's health summary. A day that closed without settlement
+    /// counts as a deadline miss and dumps the flight recorder.
+    fn observe_day_slo(&mut self, day: u64) {
+        if self.slo.is_none() {
+            return;
+        }
+        let records = self.center.records();
+        let new_records = &records[self.slo_records_seen.min(records.len())..];
+        let settled = new_records.iter().filter(|r| r.settlement.is_some()).count() as u64;
+        let missed = new_records.len() as u64 - settled;
+        let bills: u64 = new_records
+            .iter()
+            .filter_map(|r| r.settlement.as_ref())
+            .map(|s| s.entries.len() as u64)
+            .sum();
+        self.slo_records_seen = records.len();
+        let stats = self.front.stats();
+        let shed_total = stats.shed.total();
+        let admitted_delta = stats.admitted.saturating_sub(self.slo_prev.admitted);
+        let shed_delta = shed_total.saturating_sub(self.slo_prev.shed);
+        let recoveries_delta = self.recoveries.saturating_sub(self.slo_prev.recoveries);
+        let recovery_errors_delta =
+            (self.recovery_errors.len() as u64).saturating_sub(self.slo_prev.recovery_errors);
+        self.slo_prev = SloPrev {
+            admitted: stats.admitted,
+            shed: shed_total,
+            recoveries: self.recoveries,
+            recovery_errors: self.recovery_errors.len() as u64,
+        };
+        let Some(monitor) = self.slo.as_mut() else {
+            return;
+        };
+        monitor.record(
+            "deadline_compliance",
+            SloSample {
+                good: settled,
+                bad: missed,
+            },
+        );
+        monitor.record("at_most_one_bill", SloSample { good: bills, bad: 0 });
+        if admitted_delta + shed_delta > 0 {
+            monitor.record(
+                "shed_rate",
+                SloSample {
+                    good: admitted_delta,
+                    bad: shed_delta,
+                },
+            );
+        }
+        if recoveries_delta + recovery_errors_delta > 0 {
+            monitor.record(
+                "recovery_latency",
+                SloSample {
+                    good: recoveries_delta.saturating_sub(recovery_errors_delta),
+                    bad: recovery_errors_delta,
+                },
+            );
+        }
+        let statuses = monitor.evaluate();
+        if let Some(r) = self.recorder.as_ref() {
+            for status in &statuses {
+                r.gauge(&format!("slo.{}.short_burn", status.name), status.short_burn);
+                r.gauge(&format!("slo.{}.long_burn", status.name), status.long_burn);
+            }
+            if missed > 0 {
+                let _ = r.postmortem(
+                    "deadline_miss",
+                    &[("day", FieldValue::U64(day)), ("missed", FieldValue::U64(missed))],
+                );
+            }
+        }
+        self.day_health.push(DayHealth { day, statuses });
     }
 
     fn record(&mut self, at: Tick, kind: TraceKind, envelope: Envelope) {
@@ -408,14 +547,25 @@ impl ServeRuntime {
         self.injected.clear();
     }
 
+    /// Re-attaches telemetry and the trace seed to a freshly restored
+    /// front end ([`IngestFrontEnd::restore`] drops both by design).
+    fn rewire_front(&mut self) {
+        if let Some(t) = self.telemetry.as_ref() {
+            self.front.set_recorder(t.recorder());
+        }
+        self.front.set_trace_seed(self.trace_seed);
+    }
+
     fn recover_now(&mut self) {
         self.down = false;
+        self.recoveries += 1;
         if self.journal.is_some() {
             self.recover_from_journal();
         } else {
             self.center.recover();
             self.front =
                 IngestFrontEnd::restore(self.ingest_config, self.ingest_durable.clone());
+            self.rewire_front();
         }
     }
 
@@ -429,6 +579,7 @@ impl ServeRuntime {
     /// page an operator rather than serve from rejected state).
     fn recover_from_journal(&mut self) {
         const MAX_RECOVERY_ATTEMPTS: u32 = 4;
+        let errors_before = self.recovery_errors.len();
         let mut recovered = None;
         for _ in 0..MAX_RECOVERY_ATTEMPTS {
             let Some(journal) = self.journal.as_mut() else {
@@ -469,7 +620,20 @@ impl ServeRuntime {
             }
         }
         self.front = IngestFrontEnd::restore(self.ingest_config, self.ingest_durable.clone());
+        self.rewire_front();
         self.logged_commit_seq = self.center.commit_seq();
+        if self.recovery_errors.len() > errors_before {
+            self.dump_postmortem("recovery_error");
+        }
+    }
+
+    /// Dumps the flight recorder with the most recent recovery error
+    /// attached, if telemetry is wired.
+    fn dump_postmortem(&self, trigger: &str) {
+        if let Some(r) = self.recorder.as_ref() {
+            let last = self.recovery_errors.last().cloned().unwrap_or_default();
+            let _ = r.postmortem(trigger, &[("last_error", FieldValue::Str(last))]);
+        }
     }
 
     /// Journals the tick's durable transitions, log → flush → apply: a
@@ -487,6 +651,7 @@ impl ServeRuntime {
             if let Err(e) = journal.log_center(&snapshot) {
                 self.recovery_errors
                     .push(format!("journal center commit failed: {e}"));
+                self.dump_postmortem("journal_write_failed");
                 self.crash_now();
                 return false;
             }
@@ -497,6 +662,7 @@ impl ServeRuntime {
                 if let Err(e) = journal.log_ingest(&snapshot) {
                     self.recovery_errors
                         .push(format!("journal ingest commit failed: {e}"));
+                    self.dump_postmortem("journal_write_failed");
                     self.crash_now();
                     return false;
                 }
@@ -580,6 +746,12 @@ impl ServeRuntime {
                                     day,
                                     preference: raw,
                                 },
+                                trace: Some(TraceContext::report_stage(
+                                    self.trace_seed,
+                                    day,
+                                    u64::from(household.index()),
+                                    stage::REPORT,
+                                )),
                             },
                         );
                     }
@@ -593,6 +765,10 @@ impl ServeRuntime {
                         day: q.day,
                         preference: q.report.preference,
                     },
+                    // Forward the enqueue-stage context stamped by the
+                    // front end, keeping the causal chain unbroken from
+                    // queue to admission.
+                    trace: q.trace,
                 };
                 self.record(now, TraceKind::Delivered, envelope);
                 self.center.on_message(
@@ -639,6 +815,17 @@ impl ServeRuntime {
             let Ok(frame) = encode_frame(&batch) else {
                 continue;
             };
+            // One point span per send attempt at the `report` stage of
+            // the household's causal chain.
+            if let Some(r) = self.recorder.as_ref() {
+                let ctx = TraceContext::report_stage(
+                    self.trace_seed,
+                    day.day,
+                    u64::from(p.household.index()),
+                    stage::REPORT,
+                );
+                drop(r.span_with_trace("producer.report", ctx));
+            }
             let burst = p.burst;
             let mut accepted = false;
             let mut retry_after = None;
@@ -718,6 +905,10 @@ impl ServeRuntime {
                         from: NodeId::Household(household),
                         to: NodeId::Center,
                         message: Message::MeterReading { day, window },
+                        trace: Some(
+                            TraceContext::day_root(self.trace_seed, day)
+                                .child_salted("meter", u64::from(household.index())),
+                        ),
                     },
                 });
             }

@@ -1,0 +1,190 @@
+//! Benchmark regression detection over `BENCH_*.json` artifacts.
+//!
+//! Both files are flattened to numeric leaves keyed by their JSON path
+//! (`rows[3].wall_ms`). Leaves are classified by their final key:
+//! time-like metrics regress when the new value grows past the
+//! threshold, throughput metrics when it shrinks past it. Everything
+//! unclassified is ignored — row counts and seeds are not performance.
+
+use enki_telemetry::export::Raw;
+use serde::Value;
+
+/// How a metric's direction is interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Lower is better (`wall_ms`, `recovery_us`, `p99_…`).
+    TimeLike,
+    /// Higher is better (`reports_per_sec`).
+    Throughput,
+}
+
+/// One compared leaf whose change crossed the threshold.
+#[derive(Debug, Clone)]
+pub struct BenchDelta {
+    /// JSON path of the leaf (`rows[3].wall_ms`).
+    pub path: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Fractional change, `(new − old) / old`.
+    pub change: f64,
+    /// Direction interpretation used.
+    pub kind: MetricKind,
+}
+
+/// The full comparison verdict.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// Number of classified leaves compared.
+    pub compared: usize,
+    /// Deltas that got worse past the threshold.
+    pub regressions: Vec<BenchDelta>,
+    /// Deltas that got better past the threshold.
+    pub improvements: Vec<BenchDelta>,
+    /// Classified leaves present in the baseline but not the candidate.
+    pub missing: Vec<String>,
+}
+
+/// Classifies a leaf key by name; `None` means "not a performance
+/// metric, skip".
+#[must_use]
+pub fn classify(key: &str) -> Option<MetricKind> {
+    if key.contains("per_sec") {
+        return Some(MetricKind::Throughput);
+    }
+    let time_like = key == "wall_ms"
+        || key == "recovery_us"
+        || key.starts_with("p50")
+        || key.starts_with("p90")
+        || key.starts_with("p99")
+        || key.ends_with("_ms")
+        || key.ends_with("_us")
+        || key.ends_with("_ns");
+    if time_like {
+        Some(MetricKind::TimeLike)
+    } else {
+        None
+    }
+}
+
+fn last_key(path: &str) -> &str {
+    let tail = path.rsplit('.').next().unwrap_or(path);
+    tail.split('[').next().unwrap_or(tail)
+}
+
+fn flatten(prefix: &str, value: &Value, out: &mut Vec<(String, f64)>) {
+    match value {
+        Value::Float(v) => out.push((prefix.to_string(), *v)),
+        Value::UInt(v) => out.push((prefix.to_string(), *v as f64)),
+        Value::Int(v) => out.push((prefix.to_string(), *v as f64)),
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten(&format!("{prefix}[{i}]"), item, out);
+            }
+        }
+        Value::Object(fields) => {
+            for (k, v) in fields {
+                let child = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(&child, v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compares two benchmark JSON artifacts at a fractional threshold
+/// (0.25 = flag changes worse than 25%).
+///
+/// # Errors
+///
+/// Returns a message when either input fails to parse as JSON.
+#[must_use = "an unread bench report lets a regression ship"]
+pub fn bench_diff(old_text: &str, new_text: &str, threshold: f64) -> Result<BenchReport, String> {
+    let old: Raw =
+        serde_json::from_str(old_text).map_err(|e| format!("baseline: unparseable: {e}"))?;
+    let new: Raw =
+        serde_json::from_str(new_text).map_err(|e| format!("candidate: unparseable: {e}"))?;
+    let mut old_leaves = Vec::new();
+    let mut new_leaves = Vec::new();
+    flatten("", &old.0, &mut old_leaves);
+    flatten("", &new.0, &mut new_leaves);
+
+    let mut report = BenchReport::default();
+    for (path, old_value) in &old_leaves {
+        let Some(kind) = classify(last_key(path)) else {
+            continue;
+        };
+        let Some((_, new_value)) = new_leaves.iter().find(|(p, _)| p == path) else {
+            report.missing.push(path.clone());
+            continue;
+        };
+        report.compared += 1;
+        // Ratios need a positive, finite baseline; a zero baseline has
+        // no meaningful fractional change.
+        if !(old_value.is_finite() && new_value.is_finite() && *old_value > 0.0) {
+            continue;
+        }
+        let change = (new_value - old_value) / old_value;
+        let worse = match kind {
+            MetricKind::TimeLike => *new_value > old_value * (1.0 + threshold),
+            MetricKind::Throughput => *new_value < old_value / (1.0 + threshold),
+        };
+        let better = match kind {
+            MetricKind::TimeLike => *new_value < old_value / (1.0 + threshold),
+            MetricKind::Throughput => *new_value > old_value * (1.0 + threshold),
+        };
+        let delta = BenchDelta {
+            path: path.clone(),
+            old: *old_value,
+            new: *new_value,
+            change,
+            kind,
+        };
+        if worse {
+            report.regressions.push(delta);
+        } else if better {
+            report.improvements.push(delta);
+        }
+    }
+    Ok(report)
+}
+
+/// Renders a bench report; regressions first.
+#[must_use]
+pub fn render_bench(report: &BenchReport, threshold: f64) -> String {
+    let mut out = format!(
+        "compared {} metrics at ±{:.0}%: {} regressions, {} improvements, {} missing\n",
+        report.compared,
+        threshold * 100.0,
+        report.regressions.len(),
+        report.improvements.len(),
+        report.missing.len()
+    );
+    for d in &report.regressions {
+        out.push_str(&format!(
+            "REGRESSION {} {:+.1}% ({} → {})\n",
+            d.path,
+            d.change * 100.0,
+            d.old,
+            d.new
+        ));
+    }
+    for d in &report.improvements {
+        out.push_str(&format!(
+            "improved   {} {:+.1}% ({} → {})\n",
+            d.path,
+            d.change * 100.0,
+            d.old,
+            d.new
+        ));
+    }
+    for path in &report.missing {
+        out.push_str(&format!("MISSING    {path}\n"));
+    }
+    out
+}

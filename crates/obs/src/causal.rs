@@ -1,0 +1,214 @@
+//! Causal-tree reconstruction and report following.
+//!
+//! Spans stamped with a [`CausalIds`] triple are stitched into trees by
+//! their derived ids, independent of which recorder (thread, agent,
+//! process) emitted them. Because ids are pure functions of
+//! `(seed, day, household, stage)`, the `follow` pass can re-derive the
+//! exact chain a household report must have taken and check which
+//! stages the trace actually witnessed.
+
+use enki_telemetry::trace::TraceContext;
+use enki_telemetry::REPORT_STAGES;
+
+use crate::model::{CausalIds, TraceFile};
+
+/// Distinct causal trace ids present in a trace, with span counts.
+#[must_use]
+pub fn causal_trace_ids(trace: &TraceFile) -> Vec<(u64, usize)> {
+    let mut out: Vec<(u64, usize)> = Vec::new();
+    for span in &trace.spans {
+        if let Some(ctx) = span.trace {
+            match out.iter_mut().find(|(id, _)| *id == ctx.trace_id) {
+                Some((_, n)) => *n += 1,
+                None => out.push((ctx.trace_id, 1)),
+            }
+        }
+    }
+    out.sort_by_key(|&(id, _)| id);
+    out
+}
+
+/// One node of a reconstructed causal tree: a causal span id plus every
+/// recorded span that carried it.
+#[derive(Debug, Clone)]
+pub struct CausalNode {
+    /// The causal span id all witnesses share.
+    pub span_id: u64,
+    /// The causal parent id (0 = root).
+    pub parent_id: u64,
+    /// Indexes into [`TraceFile::spans`] of the witnessing spans.
+    pub witnesses: Vec<usize>,
+}
+
+/// Groups the spans of one causal trace into nodes keyed by causal id.
+#[must_use]
+pub fn causal_nodes(trace: &TraceFile, trace_id: u64) -> Vec<CausalNode> {
+    let mut nodes: Vec<CausalNode> = Vec::new();
+    for (i, span) in trace.spans.iter().enumerate() {
+        let Some(ctx) = span.trace else { continue };
+        if ctx.trace_id != trace_id {
+            continue;
+        }
+        match nodes.iter_mut().find(|n| n.span_id == ctx.span_id) {
+            Some(node) => node.witnesses.push(i),
+            None => nodes.push(CausalNode {
+                span_id: ctx.span_id,
+                parent_id: ctx.parent_id,
+                witnesses: vec![i],
+            }),
+        }
+    }
+    nodes.sort_by_key(|n| n.span_id);
+    nodes
+}
+
+fn node_label(trace: &TraceFile, node: &CausalNode) -> String {
+    let mut names: Vec<&str> = node
+        .witnesses
+        .iter()
+        .map(|&i| trace.spans[i].name.as_str())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    let count = node.witnesses.len();
+    if count > names.len() {
+        format!("{} ×{}", names.join("+"), count)
+    } else {
+        names.join("+")
+    }
+}
+
+/// Renders the causal tree of one trace id as an indented outline.
+///
+/// Nodes whose causal parent was never witnessed by any span render at
+/// the top level with the dangling parent id noted — a visible seam,
+/// not a silent re-rooting.
+#[must_use]
+pub fn render_causal_tree(trace: &TraceFile, trace_id: u64) -> String {
+    let nodes = causal_nodes(trace, trace_id);
+    let mut out = format!("causal trace {trace_id:#x} — {} nodes\n", nodes.len());
+    let index_of = |id: u64| nodes.iter().position(|n| n.span_id == id);
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    let mut roots: Vec<(usize, bool)> = Vec::new();
+    for (i, node) in nodes.iter().enumerate() {
+        if node.parent_id == 0 {
+            roots.push((i, false));
+        } else {
+            match index_of(node.parent_id) {
+                Some(p) => children[p].push(i),
+                None => roots.push((i, true)),
+            }
+        }
+    }
+    // Stable display order: earliest witnessing span first.
+    let first_seen = |i: usize| nodes[i].witnesses.iter().copied().min().unwrap_or(usize::MAX);
+    roots.sort_by_key(|&(i, _)| first_seen(i));
+    for list in &mut children {
+        list.sort_by_key(|&i| first_seen(i));
+    }
+    let mut stack: Vec<(usize, usize, bool)> =
+        roots.iter().rev().map(|&(i, d)| (i, 0, d)).collect();
+    while let Some((i, depth, dangling)) = stack.pop() {
+        let node = &nodes[i];
+        let seam = if dangling {
+            format!(" (unwitnessed parent {:#x})", node.parent_id)
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "{}{:#x} {}{}\n",
+            "  ".repeat(depth),
+            node.span_id,
+            node_label(trace, node),
+            seam
+        ));
+        for &c in children[i].iter().rev() {
+            stack.push((c, depth + 1, false));
+        }
+    }
+    out
+}
+
+/// One stage of a followed report: the derived context plus the spans
+/// that witnessed it.
+#[derive(Debug, Clone)]
+pub struct StageHit {
+    /// Stage name from [`REPORT_STAGES`].
+    pub stage: &'static str,
+    /// The derived causal context for this stage.
+    pub ctx: TraceContext,
+    /// Indexes into [`TraceFile::spans`] of witnessing spans.
+    pub witnesses: Vec<usize>,
+}
+
+/// Follows one household report through its derived stage chain.
+///
+/// Every stage's context is re-derived from `(seed, day, household)` —
+/// the same pure function the producers used — then matched against the
+/// trace's stamped spans.
+#[must_use]
+pub fn follow_report(trace: &TraceFile, seed: u64, day: u64, household: u64) -> Vec<StageHit> {
+    REPORT_STAGES
+        .iter()
+        .enumerate()
+        .map(|(k, name)| {
+            let ctx = TraceContext::report_stage(seed, day, household, k);
+            let witnesses = trace
+                .spans
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| {
+                    s.trace.is_some_and(|t: CausalIds| {
+                        t.trace_id == ctx.trace_id && t.span_id == ctx.span_id
+                    })
+                })
+                .map(|(i, _)| i)
+                .collect();
+            StageHit {
+                stage: name,
+                ctx,
+                witnesses,
+            }
+        })
+        .collect()
+}
+
+/// Renders a followed report as one line per stage. The second return
+/// is the number of witnessed stages.
+#[must_use]
+pub fn render_followed_report(
+    trace: &TraceFile,
+    seed: u64,
+    day: u64,
+    household: u64,
+) -> (String, usize) {
+    let chain = follow_report(trace, seed, day, household);
+    let mut out = format!("report seed={seed} day={day} household={household}\n");
+    let mut witnessed = 0usize;
+    for hit in &chain {
+        if hit.witnesses.is_empty() {
+            out.push_str(&format!(
+                "  {:<8} {:#x} — derived, no witnessing span\n",
+                hit.stage, hit.ctx.span_id
+            ));
+            continue;
+        }
+        witnessed += 1;
+        let mut names: Vec<String> = hit
+            .witnesses
+            .iter()
+            .map(|&i| {
+                let s = &trace.spans[i];
+                format!("{} @{}ns", s.name, s.start_ns)
+            })
+            .collect();
+        names.sort_unstable();
+        out.push_str(&format!(
+            "  {:<8} {:#x} — {}\n",
+            hit.stage,
+            hit.ctx.span_id,
+            names.join(", ")
+        ));
+    }
+    (out, witnessed)
+}

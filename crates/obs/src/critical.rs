@@ -1,0 +1,83 @@
+//! Structural critical path: the longest parent→child chain of wall
+//! time in a trace, the first place to look when a day ran slow.
+
+use crate::model::TraceFile;
+
+/// One step of the critical path, root to leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathStep {
+    /// Depth along the path (0 = root).
+    pub depth: usize,
+    /// Span name.
+    pub name: String,
+    /// Start offset.
+    pub start_ns: u64,
+    /// Total span duration.
+    pub duration_ns: u64,
+    /// Duration not covered by any child (saturating).
+    pub self_ns: u64,
+}
+
+/// Computes the critical path: starting at the longest root span,
+/// repeatedly descend into the longest child. Ties break toward the
+/// earlier span id, so the path is deterministic.
+#[must_use]
+pub fn critical_path(trace: &TraceFile) -> Vec<PathStep> {
+    let index_of = |id: u64| trace.spans.iter().position(|s| s.id == id);
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); trace.spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, span) in trace.spans.iter().enumerate() {
+        match span.parent.and_then(index_of) {
+            Some(p) => children[p].push(i),
+            None => roots.push(i),
+        }
+    }
+    let longest = |candidates: &[usize]| -> Option<usize> {
+        candidates
+            .iter()
+            .copied()
+            .max_by_key(|&i| (trace.spans[i].duration_ns(), std::cmp::Reverse(trace.spans[i].id)))
+    };
+    let mut path = Vec::new();
+    let mut current = longest(&roots);
+    let mut depth = 0usize;
+    while let Some(i) = current {
+        let span = &trace.spans[i];
+        let child_total: u64 = children[i]
+            .iter()
+            .map(|&c| trace.spans[c].duration_ns())
+            .sum();
+        path.push(PathStep {
+            depth,
+            name: span.name.clone(),
+            start_ns: span.start_ns,
+            duration_ns: span.duration_ns(),
+            self_ns: span.duration_ns().saturating_sub(child_total),
+        });
+        current = longest(&children[i]);
+        depth += 1;
+    }
+    path
+}
+
+/// Renders the critical path as an indented outline.
+#[must_use]
+pub fn render_critical_path(trace: &TraceFile) -> String {
+    let path = critical_path(trace);
+    let Some(root) = path.first() else {
+        return "no spans\n".to_string();
+    };
+    let total = root.duration_ns.max(1);
+    let mut out = format!("critical path — {} steps, {}ns total\n", path.len(), root.duration_ns);
+    for step in &path {
+        let share = (step.duration_ns as f64) * 100.0 / (total as f64);
+        out.push_str(&format!(
+            "{}{} {}ns ({share:.1}% of root, self {}ns)\n",
+            "  ".repeat(step.depth),
+            step.name,
+            step.duration_ns,
+            step.self_ns
+        ));
+    }
+    out
+}

@@ -1,0 +1,84 @@
+//! Trace-to-trace comparison: span-name populations and counter values.
+//!
+//! The chaos suites assert byte identity; this diff is for the cases
+//! where bytes differ and you need to know *what* diverged — a missing
+//! span population or a drifted counter narrows the search immediately.
+
+use std::collections::BTreeMap;
+
+use crate::model::TraceFile;
+
+/// Differences between two traces.
+#[derive(Debug, Clone, Default)]
+pub struct TraceDiff {
+    /// Span names whose occurrence counts differ: `(name, a, b)`.
+    pub span_deltas: Vec<(String, u64, u64)>,
+    /// Counters whose values differ: `(name, a, b)`; absent = 0.
+    pub counter_deltas: Vec<(String, u64, u64)>,
+}
+
+impl TraceDiff {
+    /// True when the compared populations match exactly.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.span_deltas.is_empty() && self.counter_deltas.is_empty()
+    }
+}
+
+fn span_census(trace: &TraceFile) -> BTreeMap<String, u64> {
+    let mut census = BTreeMap::new();
+    for span in &trace.spans {
+        *census.entry(span.name.clone()).or_insert(0u64) += 1;
+    }
+    census
+}
+
+/// Compares two traces by span-name census and counter values.
+#[must_use]
+pub fn diff_traces(a: &TraceFile, b: &TraceFile) -> TraceDiff {
+    let mut out = TraceDiff::default();
+
+    let census_a = span_census(a);
+    let census_b = span_census(b);
+    let mut names: Vec<&String> = census_a.keys().chain(census_b.keys()).collect();
+    names.sort_unstable();
+    names.dedup();
+    for name in names {
+        let na = census_a.get(name).copied().unwrap_or(0);
+        let nb = census_b.get(name).copied().unwrap_or(0);
+        if na != nb {
+            out.span_deltas.push((name.clone(), na, nb));
+        }
+    }
+
+    let counters_a: BTreeMap<&String, u64> = a.counters.iter().map(|(n, v)| (n, *v)).collect();
+    let counters_b: BTreeMap<&String, u64> = b.counters.iter().map(|(n, v)| (n, *v)).collect();
+    let mut names: Vec<&String> =
+        counters_a.keys().chain(counters_b.keys()).copied().collect();
+    names.sort_unstable();
+    names.dedup();
+    for name in names {
+        let va = counters_a.get(name).copied().unwrap_or(0);
+        let vb = counters_b.get(name).copied().unwrap_or(0);
+        if va != vb {
+            out.counter_deltas.push((name.clone(), va, vb));
+        }
+    }
+    out
+}
+
+/// Renders a diff, one delta per line; "identical" when empty.
+#[must_use]
+pub fn render_diff(diff: &TraceDiff) -> String {
+    if diff.is_empty() {
+        return "traces match: identical span census and counters\n".to_string();
+    }
+    let mut out = String::new();
+    for (name, a, b) in &diff.span_deltas {
+        out.push_str(&format!("span  {name}: {a} vs {b}\n"));
+    }
+    for (name, a, b) in &diff.counter_deltas {
+        out.push_str(&format!("count {name}: {a} vs {b}\n"));
+    }
+    out
+}

@@ -1,0 +1,298 @@
+//! Parsed, validated model of one exported JSONL trace.
+//!
+//! Loading goes through [`enki_telemetry::validate_jsonl`] first, so a
+//! [`TraceFile`] only ever exists for a trace that passed every schema
+//! invariant — the analysis passes downstream never re-check.
+
+use enki_telemetry::export::Raw;
+use enki_telemetry::{validate_jsonl, JsonlSummary};
+use serde::Value;
+
+/// Causal ids carried by a span line's `"trace"` object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CausalIds {
+    /// The trace (one per seed/day) this span belongs to.
+    pub trace_id: u64,
+    /// The span's own causal id.
+    pub span_id: u64,
+    /// The causal parent's id; 0 for a root.
+    pub parent_id: u64,
+}
+
+/// One `"type":"span"` line.
+#[derive(Debug, Clone)]
+pub struct SpanLine {
+    /// Recorder-local structural span id (unique per trace file).
+    pub id: u64,
+    /// Structural parent id, if this span was opened under another.
+    pub parent: Option<u64>,
+    /// Span name.
+    pub name: String,
+    /// Start offset in nanoseconds.
+    pub start_ns: u64,
+    /// End offset in nanoseconds.
+    pub end_ns: u64,
+    /// Still open at export time (zero-length skeleton).
+    pub open: bool,
+    /// Cross-recorder causal position, when stamped.
+    pub trace: Option<CausalIds>,
+    /// Recorded fields, values rendered to display strings.
+    pub fields: Vec<(String, String)>,
+}
+
+impl SpanLine {
+    /// Wall-clock length of the span.
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// One `"type":"histogram"` line's summary quantiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramLine {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// A whole validated trace: header, spans, and metrics.
+#[derive(Debug, Clone)]
+pub struct TraceFile {
+    /// Run id from the header.
+    pub run_id: String,
+    /// Run label from the header.
+    pub label: String,
+    /// Run seed from the header — the causal-id derivation key.
+    pub seed: u64,
+    /// Git revision the run was built from.
+    pub git_rev: String,
+    /// Clock kind (`virtual` or `monotonic`).
+    pub clock: String,
+    /// Per-record-type counts from validation.
+    pub summary: JsonlSummary,
+    /// All span lines, in file (= id) order.
+    pub spans: Vec<SpanLine>,
+    /// Counter metrics, in file order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge metrics (None = non-finite, exported as null).
+    pub gauges: Vec<(String, Option<f64>)>,
+    /// Histogram metrics.
+    pub histograms: Vec<(String, HistogramLine)>,
+}
+
+impl TraceFile {
+    /// Looks up a counter by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+fn get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_u64(fields: &[(String, Value)], key: &str) -> Option<u64> {
+    match get(fields, key) {
+        Some(Value::UInt(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+fn get_str(fields: &[(String, Value)], key: &str) -> Option<String> {
+    match get(fields, key) {
+        Some(Value::String(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+/// Renders a JSON value to a short display string for span fields.
+fn display_value(value: &Value) -> String {
+    match value {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(v) => v.to_string(),
+        Value::UInt(v) => v.to_string(),
+        Value::Float(v) => format!("{v}"),
+        Value::String(s) => s.clone(),
+        Value::Array(items) => format!("[{} items]", items.len()),
+        Value::Object(fields) => format!("{{{} fields}}", fields.len()),
+    }
+}
+
+fn parse_span(fields: &[(String, Value)], line_no: usize) -> Result<SpanLine, String> {
+    let id = get_u64(fields, "id").ok_or_else(|| format!("line {line_no}: span missing id"))?;
+    let parent = match get(fields, "parent") {
+        Some(Value::UInt(v)) => Some(*v),
+        _ => None,
+    };
+    let name =
+        get_str(fields, "name").ok_or_else(|| format!("line {line_no}: span missing name"))?;
+    let start_ns = get_u64(fields, "start_ns")
+        .ok_or_else(|| format!("line {line_no}: span missing start_ns"))?;
+    let end_ns =
+        get_u64(fields, "end_ns").ok_or_else(|| format!("line {line_no}: span missing end_ns"))?;
+    let open = matches!(get(fields, "open"), Some(Value::Bool(true)));
+    let trace = match get(fields, "trace") {
+        Some(Value::Object(t)) => Some(CausalIds {
+            trace_id: get_u64(t, "trace_id")
+                .ok_or_else(|| format!("line {line_no}: trace missing trace_id"))?,
+            span_id: get_u64(t, "span_id")
+                .ok_or_else(|| format!("line {line_no}: trace missing span_id"))?,
+            parent_id: get_u64(t, "parent_id")
+                .ok_or_else(|| format!("line {line_no}: trace missing parent_id"))?,
+        }),
+        _ => None,
+    };
+    let span_fields = match get(fields, "fields") {
+        Some(Value::Object(f)) => f
+            .iter()
+            .map(|(k, v)| (k.clone(), display_value(v)))
+            .collect(),
+        _ => Vec::new(),
+    };
+    Ok(SpanLine {
+        id,
+        parent,
+        name,
+        start_ns,
+        end_ns,
+        open,
+        trace,
+        fields: span_fields,
+    })
+}
+
+/// Parses and validates one JSONL trace.
+///
+/// # Errors
+///
+/// Returns the validator's message for a schema violation, or a parse
+/// message naming the first malformed line.
+#[must_use = "an unchecked load result hides a corrupt trace"]
+pub fn load_trace(text: &str) -> Result<TraceFile, String> {
+    let summary = validate_jsonl(text)?;
+    let mut lines = text.lines().enumerate();
+    let (_, header_line) = lines.next().ok_or_else(|| "empty trace".to_string())?;
+    let header: Raw = serde_json::from_str(header_line)
+        .map_err(|e| format!("line 1: unparseable header: {e}"))?;
+    let header = header
+        .0
+        .as_object()
+        .ok_or_else(|| "line 1: header must be an object".to_string())?
+        .to_vec();
+
+    let mut trace = TraceFile {
+        run_id: get_str(&header, "run_id").unwrap_or_default(),
+        label: get_str(&header, "label").unwrap_or_default(),
+        seed: get_u64(&header, "seed").unwrap_or(0),
+        git_rev: get_str(&header, "git_rev").unwrap_or_default(),
+        clock: get_str(&header, "clock").unwrap_or_default(),
+        summary,
+        spans: Vec::new(),
+        counters: Vec::new(),
+        gauges: Vec::new(),
+        histograms: Vec::new(),
+    };
+
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let raw: Raw = serde_json::from_str(line)
+            .map_err(|e| format!("line {line_no}: unparseable: {e}"))?;
+        let fields = raw
+            .0
+            .as_object()
+            .ok_or_else(|| format!("line {line_no}: record must be an object"))?
+            .to_vec();
+        let kind = get_str(&fields, "type")
+            .ok_or_else(|| format!("line {line_no}: record missing type"))?;
+        match kind.as_str() {
+            "span" => trace.spans.push(parse_span(&fields, line_no)?),
+            "counter" => {
+                let name = get_str(&fields, "name")
+                    .ok_or_else(|| format!("line {line_no}: counter missing name"))?;
+                let value = get_u64(&fields, "value")
+                    .ok_or_else(|| format!("line {line_no}: counter missing value"))?;
+                trace.counters.push((name, value));
+            }
+            "gauge" => {
+                let name = get_str(&fields, "name")
+                    .ok_or_else(|| format!("line {line_no}: gauge missing name"))?;
+                let value = match get(&fields, "value") {
+                    Some(Value::Float(v)) => Some(*v),
+                    Some(Value::UInt(v)) => Some(*v as f64),
+                    Some(Value::Int(v)) => Some(*v as f64),
+                    _ => None,
+                };
+                trace.gauges.push((name, value));
+            }
+            "histogram" => {
+                let name = get_str(&fields, "name")
+                    .ok_or_else(|| format!("line {line_no}: histogram missing name"))?;
+                let hist = HistogramLine {
+                    count: get_u64(&fields, "count").unwrap_or(0),
+                    min: get_u64(&fields, "min").unwrap_or(0),
+                    p50: get_u64(&fields, "p50").unwrap_or(0),
+                    p90: get_u64(&fields, "p90").unwrap_or(0),
+                    p99: get_u64(&fields, "p99").unwrap_or(0),
+                    max: get_u64(&fields, "max").unwrap_or(0),
+                };
+                trace.histograms.push((name, hist));
+            }
+            other => return Err(format!("line {line_no}: unknown record type `{other}`")),
+        }
+    }
+    Ok(trace)
+}
+
+/// Renders the structural (recorder parent/child) span tree.
+#[must_use]
+pub fn render_structural_tree(trace: &TraceFile) -> String {
+    let mut out = format!(
+        "run {} seed {} clock {} — {} spans, {} counters\n",
+        trace.run_id,
+        trace.seed,
+        trace.clock,
+        trace.spans.len(),
+        trace.counters.len()
+    );
+    // Children in id (= open) order under each structural parent.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); trace.spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    let index_of = |id: u64| trace.spans.iter().position(|s| s.id == id);
+    for (i, span) in trace.spans.iter().enumerate() {
+        match span.parent.and_then(index_of) {
+            Some(p) => children[p].push(i),
+            None => roots.push(i),
+        }
+    }
+    let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        let span = &trace.spans[i];
+        let open = if span.open { " [open]" } else { "" };
+        out.push_str(&format!(
+            "{}{} {}ns{}\n",
+            "  ".repeat(depth),
+            span.name,
+            span.duration_ns(),
+            open
+        ));
+        for &c in children[i].iter().rev() {
+            stack.push((c, depth + 1));
+        }
+    }
+    out
+}

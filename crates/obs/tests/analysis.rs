@@ -1,0 +1,263 @@
+//! enki-obs analysis tests: loading real exported traces, causal
+//! reconstruction, critical paths, trace diffing, and the benchmark
+//! regression gate — including the acceptance check that a synthetic
+//! ≥25% `wall_ms` regression in a copy of the committed
+//! `BENCH_parallel.json` is flagged with a nonzero verdict.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use enki_obs::{
+    bench_diff, causal_trace_ids, critical_path, diff_traces, follow_report, load_trace,
+    render_bench, render_causal_tree, render_followed_report, render_structural_tree, MetricKind,
+};
+use enki_telemetry::trace::{stage, TraceContext};
+use enki_telemetry::{to_jsonl, Telemetry, VirtualClock};
+
+/// Builds a small real trace: a day root with a solve subtree, plus the
+/// admit→settle→bill chain for two households.
+fn sample_trace(seed: u64) -> String {
+    let clock = VirtualClock::new();
+    let telemetry = Telemetry::with_virtual_clock("obs-test", seed, Arc::clone(&clock));
+    let recorder = telemetry.recorder();
+    let day = 1u64;
+    let root = TraceContext::day_root(seed, day);
+    {
+        let mut span = recorder.span_with_trace("day", root);
+        span.record("day", day);
+        {
+            recorder.push_trace(root.child("solve"));
+            let _solve = recorder.span_with_trace("solve", root.child("solve"));
+            clock.advance(Duration::from_micros(40));
+            let _exact = recorder.span("solve.exact");
+            clock.advance(Duration::from_micros(10));
+            let _ = recorder.pop_trace();
+        }
+        for household in 0..2u64 {
+            for (k, name) in [(stage::ADMIT, "center.admit"), (stage::SETTLE, "center.settle"), (stage::BILL, "center.bill")] {
+                let ctx = TraceContext::report_stage(seed, day, household, k);
+                drop(recorder.span_with_trace(name, ctx));
+                clock.advance(Duration::from_micros(5));
+            }
+        }
+        recorder.incr("center.bills.sent", 2);
+    }
+    drop(recorder);
+    to_jsonl(&telemetry)
+}
+
+#[test]
+fn loads_and_mirrors_the_validator_summary() {
+    let jsonl = sample_trace(9);
+    let trace = load_trace(&jsonl).expect("sample trace loads");
+    assert_eq!(trace.seed, 9);
+    assert_eq!(trace.clock, "virtual");
+    assert_eq!(trace.spans.len() as u64, trace.summary.spans);
+    assert_eq!(trace.counter("center.bills.sent"), Some(2));
+    assert!(trace.summary.traced >= 8, "stamped spans survive the round trip");
+}
+
+#[test]
+fn load_rejects_garbage_and_truncation() {
+    assert!(load_trace("").is_err());
+    assert!(load_trace("not json\n").is_err());
+    let jsonl = sample_trace(9);
+    // Drop the header: the validator must refuse.
+    let headless: String = jsonl.lines().skip(1).collect::<Vec<_>>().join("\n");
+    assert!(load_trace(&headless).is_err());
+}
+
+#[test]
+fn causal_tree_stitches_chains_under_the_day_root() {
+    let seed = 21;
+    let jsonl = sample_trace(seed);
+    let trace = load_trace(&jsonl).expect("loads");
+    let ids = causal_trace_ids(&trace);
+    assert_eq!(ids.len(), 1, "one day ⇒ one causal trace: {ids:?}");
+    let root = TraceContext::day_root(seed, 1);
+    assert_eq!(ids[0].0, root.trace_id);
+
+    let tree = render_causal_tree(&trace, root.trace_id);
+    for name in ["day", "solve", "center.admit", "center.settle", "center.bill"] {
+        assert!(tree.contains(name), "tree missing {name}:\n{tree}");
+    }
+    // admit→settle→bill render at increasing depth under the chain.
+    let depth_of = |needle: &str| {
+        tree.lines()
+            .find(|l| l.contains(needle))
+            .map(|l| l.len() - l.trim_start().len())
+            .unwrap_or(usize::MAX)
+    };
+    assert!(depth_of("center.settle") > depth_of("center.admit"));
+    assert!(depth_of("center.bill") > depth_of("center.settle"));
+}
+
+#[test]
+fn unwitnessed_parents_render_as_visible_seams() {
+    let seed = 21;
+    let jsonl = sample_trace(seed);
+    let trace = load_trace(&jsonl).expect("loads");
+    // The admit stage's causal parent (enqueue) has no witnessing span
+    // in this sample, so the chain must surface as a dangling root, not
+    // silently vanish.
+    let tree = render_causal_tree(&trace, TraceContext::day_root(seed, 1).trace_id);
+    assert!(
+        tree.contains("unwitnessed parent"),
+        "dangling chain not surfaced:\n{tree}"
+    );
+}
+
+#[test]
+fn follow_report_marks_witnessed_and_derived_stages() {
+    let seed = 21;
+    let trace = load_trace(&sample_trace(seed)).expect("loads");
+    let chain = follow_report(&trace, seed, 1, 0);
+    assert_eq!(chain.len(), 5);
+    let witnessed: Vec<&str> = chain
+        .iter()
+        .filter(|h| !h.witnesses.is_empty())
+        .map(|h| h.stage)
+        .collect();
+    assert_eq!(witnessed, vec!["admit", "settle", "bill"]);
+    let (rendered, count) = render_followed_report(&trace, seed, 1, 0);
+    assert_eq!(count, 3);
+    assert!(rendered.contains("derived, no witnessing span"));
+    // A household that never reported witnesses nothing.
+    let (_, none) = render_followed_report(&trace, seed, 1, 99);
+    assert_eq!(none, 0);
+}
+
+#[test]
+fn critical_path_descends_the_longest_chain() {
+    let trace = load_trace(&sample_trace(5)).expect("loads");
+    let path = critical_path(&trace);
+    assert!(path.len() >= 3, "day → solve → solve.exact: {path:?}");
+    assert_eq!(path[0].name, "day");
+    assert_eq!(path[1].name, "solve");
+    assert_eq!(path[2].name, "solve.exact");
+    assert!(path[0].duration_ns >= path[1].duration_ns);
+    assert!(path[1].self_ns <= path[1].duration_ns);
+    let rendered = enki_obs::render_critical_path(&trace);
+    assert!(rendered.contains("critical path"));
+}
+
+#[test]
+fn structural_tree_renders_every_span_once() {
+    let trace = load_trace(&sample_trace(5)).expect("loads");
+    let tree = render_structural_tree(&trace);
+    let rendered_lines = tree.lines().count() - 1; // minus header
+    assert_eq!(rendered_lines, trace.spans.len());
+}
+
+#[test]
+fn diff_is_empty_for_identical_traces_and_names_divergence() {
+    let a = load_trace(&sample_trace(5)).expect("loads");
+    let b = load_trace(&sample_trace(5)).expect("loads");
+    assert!(diff_traces(&a, &b).is_empty());
+
+    let c = load_trace(&sample_trace(6)).expect("loads");
+    // Same structure, same censuses — only ids differ, so still equal.
+    assert!(diff_traces(&a, &c).is_empty());
+
+    // A trace with an extra span population diverges by name.
+    let clock = VirtualClock::new();
+    let telemetry = Telemetry::with_virtual_clock("obs-test", 5, Arc::clone(&clock));
+    let r = telemetry.recorder();
+    drop(r.span("extra"));
+    r.incr("center.bills.sent", 7);
+    drop(r);
+    let d = load_trace(&to_jsonl(&telemetry)).expect("loads");
+    let diff = diff_traces(&a, &d);
+    assert!(!diff.is_empty());
+    assert!(diff.span_deltas.iter().any(|(n, _, _)| n == "extra"));
+    assert!(diff
+        .counter_deltas
+        .iter()
+        .any(|(n, va, vb)| n == "center.bills.sent" && *va == 2 && *vb == 7));
+}
+
+// ---------------------------------------------------------------------
+// Benchmark regression gate
+// ---------------------------------------------------------------------
+
+const BENCH_PARALLEL: &str =
+    include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json"));
+
+#[test]
+fn classification_separates_time_from_throughput() {
+    assert_eq!(enki_obs::classify("wall_ms"), Some(MetricKind::TimeLike));
+    assert_eq!(enki_obs::classify("recovery_us"), Some(MetricKind::TimeLike));
+    assert_eq!(enki_obs::classify("p99_wait_ticks"), Some(MetricKind::TimeLike));
+    assert_eq!(enki_obs::classify("reports_per_sec"), Some(MetricKind::Throughput));
+    assert_eq!(enki_obs::classify("nodes"), None);
+    assert_eq!(enki_obs::classify("speedup"), None);
+    assert_eq!(enki_obs::classify("objective"), None);
+}
+
+#[test]
+fn identical_baselines_pass_clean() {
+    let report = bench_diff(BENCH_PARALLEL, BENCH_PARALLEL, 0.25).expect("parses");
+    assert!(report.compared > 0, "committed baseline has wall_ms leaves");
+    assert!(report.regressions.is_empty());
+    assert!(report.improvements.is_empty());
+    assert!(report.missing.is_empty());
+}
+
+/// Multiplies the first `"wall_ms"` value in a BENCH json text by
+/// `factor`, returning the mutated text — a synthetic regression.
+fn inflate_first_wall_ms(text: &str, factor: f64) -> String {
+    let needle = "\"wall_ms\": ";
+    let at = text.find(needle).expect("baseline has wall_ms") + needle.len();
+    let end = at + text[at..].find(',').expect("value terminated");
+    let value: f64 = text[at..end].trim().parse().expect("numeric wall_ms");
+    format!("{}{}{}", &text[..at], value * factor, &text[end..])
+}
+
+/// Acceptance: a synthetic ≥25% regression injected into a copy of the
+/// committed `BENCH_parallel.json` is detected at the default
+/// threshold, and the verdict renders it as a named REGRESSION.
+#[test]
+fn synthetic_wall_ms_regression_is_flagged() {
+    let regressed = inflate_first_wall_ms(BENCH_PARALLEL, 1.5);
+    let report = bench_diff(BENCH_PARALLEL, &regressed, 0.25).expect("parses");
+    assert_eq!(report.regressions.len(), 1, "{report:?}");
+    let delta = &report.regressions[0];
+    assert!(delta.path.ends_with("wall_ms"), "{delta:?}");
+    assert!(delta.change > 0.25);
+    assert!(render_bench(&report, 0.25).contains("REGRESSION"));
+
+    // Below the threshold the same leaf passes.
+    let mild = inflate_first_wall_ms(BENCH_PARALLEL, 1.1);
+    let report = bench_diff(BENCH_PARALLEL, &mild, 0.25).expect("parses");
+    assert!(report.regressions.is_empty(), "{report:?}");
+
+    // A faster run is an improvement, not a regression.
+    let faster = inflate_first_wall_ms(BENCH_PARALLEL, 0.5);
+    let report = bench_diff(BENCH_PARALLEL, &faster, 0.25).expect("parses");
+    assert!(report.regressions.is_empty());
+    assert_eq!(report.improvements.len(), 1);
+}
+
+#[test]
+fn throughput_regressions_point_the_other_way() {
+    let old = r#"{"rows":[{"reports_per_sec": 1000.0, "p99_wait_ticks": 4}]}"#;
+    let slower = r#"{"rows":[{"reports_per_sec": 600.0, "p99_wait_ticks": 4}]}"#;
+    let report = bench_diff(old, slower, 0.25).expect("parses");
+    assert_eq!(report.regressions.len(), 1);
+    assert_eq!(report.regressions[0].kind, MetricKind::Throughput);
+
+    let faster = r#"{"rows":[{"reports_per_sec": 2000.0, "p99_wait_ticks": 4}]}"#;
+    let report = bench_diff(old, faster, 0.25).expect("parses");
+    assert!(report.regressions.is_empty());
+    assert_eq!(report.improvements.len(), 1);
+}
+
+#[test]
+fn missing_metrics_fail_the_gate() {
+    let old = r#"{"rows":[{"wall_ms": 10.0},{"wall_ms": 20.0}]}"#;
+    let new = r#"{"rows":[{"wall_ms": 10.0}]}"#;
+    let report = bench_diff(old, new, 0.25).expect("parses");
+    assert_eq!(report.missing, vec!["rows[1].wall_ms".to_string()]);
+
+    assert!(bench_diff("not json", old, 0.25).is_err());
+}

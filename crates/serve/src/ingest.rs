@@ -32,7 +32,8 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use enki_core::household::HouseholdId;
-use enki_telemetry::Recorder;
+use enki_telemetry::trace::{stage, TraceContext};
+use enki_telemetry::{FieldValue, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -172,7 +173,16 @@ pub struct IngestFrontEnd {
     /// volatile by contract (see [`IngestCheckpoint`]).
     dirty: bool,
     recorder: Option<Recorder>,
+    /// Seed for deriving deterministic [`TraceContext`]s stamped on
+    /// queued reports at the `enqueue` stage. Static configuration,
+    /// not checkpointed; defaults to 0.
+    trace_seed: u64,
 }
+
+/// A single shed burst at or above this many reports dumps the flight
+/// recorder: mass shedding is exactly the moment an operator wants the
+/// recent-event ring preserved.
+const SHED_SPIKE_THRESHOLD: u64 = 64;
 
 impl IngestFrontEnd {
     /// A front end with the given configuration and RNG seed.
@@ -187,8 +197,16 @@ impl IngestFrontEnd {
             fallbacks: Vec::new(),
             dirty: false,
             recorder: None,
+            trace_seed: 0,
             config,
         }
+    }
+
+    /// Sets the seed from which enqueue-stage [`TraceContext`]s are
+    /// derived — the same run seed the producers use, so the queue
+    /// entry's causal ids line up with the household's report span.
+    pub fn set_trace_seed(&mut self, seed: u64) {
+        self.trace_seed = seed;
     }
 
     /// Attaches a telemetry recorder: queue-depth gauges
@@ -230,6 +248,14 @@ impl IngestFrontEnd {
         self.stats.shed.record(class, n);
         if let Some(r) = self.recorder.as_ref() {
             r.incr(&format!("serve.shed.{}", class.key()), n);
+            // Contained foreign-code panics and mass shed bursts both
+            // warrant a postmortem of the recent-event ring.
+            if class == ShedClass::Poisoned || n >= SHED_SPIKE_THRESHOLD {
+                let _ = r.postmortem(
+                    &format!("serve.shed.{}", class.key()),
+                    &[("count", FieldValue::U64(n))],
+                );
+            }
         }
     }
 
@@ -322,6 +348,12 @@ impl IngestFrontEnd {
                 enqueued_at: now,
                 cost,
                 report: *report,
+                trace: Some(TraceContext::report_stage(
+                    self.trace_seed,
+                    batch.day,
+                    u64::from(report.household.index()),
+                    stage::ENQUEUE,
+                )),
             };
             if now > batch.deadline {
                 // Deadline already passed: shed at the door.
@@ -338,12 +370,24 @@ impl IngestFrontEnd {
                 risk += 1;
                 continue;
             }
+            let trace = item.trace;
             match self.queue.offer(item) {
-                Offer::Enqueued => enqueued += 1,
+                Offer::Enqueued => {
+                    enqueued += 1;
+                    // Witness the enqueue stage so the causal chain of
+                    // this report is followable span-to-span, not just
+                    // by derived ids.
+                    if let (Some(r), Some(ctx)) = (self.recorder.as_ref(), trace) {
+                        drop(r.span_with_trace("ingest.enqueue", ctx));
+                    }
+                }
                 Offer::Evicted(victim) => {
                     self.record_shed(ShedClass::Evicted, 1);
                     self.note_fallback(&victim);
                     enqueued += 1;
+                    if let (Some(r), Some(ctx)) = (self.recorder.as_ref(), trace) {
+                        drop(r.span_with_trace("ingest.enqueue", ctx));
+                    }
                 }
                 Offer::Rejected => {
                     // Saturated: tell the producer to back off and
@@ -472,6 +516,7 @@ impl IngestFrontEnd {
             fallbacks: checkpoint.fallbacks,
             dirty: false,
             recorder: None,
+            trace_seed: 0,
             config,
         }
     }

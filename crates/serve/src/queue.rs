@@ -14,6 +14,7 @@
 use std::collections::VecDeque;
 
 use enki_core::validation::RawReport;
+use enki_telemetry::trace::TraceContext;
 use serde::{Deserialize, Serialize};
 // (Serialize/Deserialize are for QueuedReport and Offer only; the queue
 // itself checkpoints through snapshot()/restore().)
@@ -36,6 +37,9 @@ pub struct QueuedReport {
     pub cost: ShedCost,
     /// The raw report itself.
     pub report: RawReport,
+    /// Causal context stamped at enqueue (the `enqueue` stage of the
+    /// report's journey), carried through checkpoints and the journal.
+    pub trace: Option<TraceContext>,
 }
 
 /// Outcome of offering one report to the queue.
@@ -153,6 +157,7 @@ mod tests {
                 HouseholdId::new(h),
                 RawPreference::new(18.0, 22.0, 2.0),
             ),
+            trace: None,
         }
     }
 

@@ -143,6 +143,7 @@ proptest! {
                         HouseholdId::new(h),
                         RawPreference::new(18.0, 22.0, 2.0),
                     ),
+                    trace: None,
                 };
                 match q.offer(item) {
                     Offer::Enqueued => entered += 1,

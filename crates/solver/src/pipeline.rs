@@ -48,7 +48,7 @@ use std::time::Duration;
 
 use enki_core::time::HOURS_PER_DAY;
 use enki_core::{Error, Result};
-use enki_telemetry::{Clock, MonotonicClock, Recorder};
+use enki_telemetry::{Clock, FieldValue, MonotonicClock, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -364,6 +364,23 @@ impl AnytimePipeline {
                     if stage.nodes > 0 {
                         r.incr("solve.nodes_expanded", stage.nodes);
                     }
+                }
+                // A contained rung panic is survivable (the ladder
+                // degraded), but it is never expected: capture the
+                // flight ring while the evidence is still in it.
+                if let Some(panicked) = outcome
+                    .stages
+                    .iter()
+                    .find(|s| s.status == StageStatus::Panicked)
+                {
+                    let _ = r.postmortem(
+                        "solver.rung_panicked",
+                        &[
+                            ("rung", FieldValue::Str(panicked.rung.key().to_string())),
+                            ("answered_by", FieldValue::Str(outcome.rung.key().to_string())),
+                            ("households", FieldValue::U64(problem.len() as u64)),
+                        ],
+                    );
                 }
             }
         }

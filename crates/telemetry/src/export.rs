@@ -17,9 +17,12 @@
 //! re-parses an export and checks the schema invariants — CI runs it on
 //! every bench trace.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
-use crate::recorder::Telemetry;
+use crate::metrics::Metric;
+use crate::recorder::{RunMeta, Telemetry};
 use crate::span::{FieldValue, SpanRecord};
 
 /// Schema tag stamped into (and required from) every trace header.
@@ -70,8 +73,8 @@ fn field_value_to_json(value: &FieldValue) -> Value {
     }
 }
 
-fn span_to_json(span: &SpanRecord) -> Value {
-    obj(vec![
+fn span_to_json(span: &SpanRecord, open: bool) -> Value {
+    let mut fields = vec![
         ("type", Value::String("span".to_string())),
         ("id", Value::UInt(span.id)),
         (
@@ -90,17 +93,25 @@ fn span_to_json(span: &SpanRecord) -> Value {
                     .collect(),
             ),
         ),
-    ])
+    ];
+    if let Some(ctx) = span.trace {
+        fields.push((
+            "trace",
+            obj(vec![
+                ("trace_id", Value::UInt(ctx.trace_id)),
+                ("span_id", Value::UInt(ctx.span_id)),
+                ("parent_id", Value::UInt(ctx.parent_id)),
+            ]),
+        ));
+    }
+    if open {
+        fields.push(("open", Value::Bool(true)));
+    }
+    obj(fields)
 }
 
-/// Serializes the run's telemetry to JSONL. Call after all recorders
-/// have flushed (or dropped); spans buffered in live recorders are not
-/// visible.
-#[must_use]
-pub fn to_jsonl(telemetry: &Telemetry) -> String {
-    let meta = telemetry.meta();
-    let mut lines = Vec::new();
-    lines.push(obj(vec![
+fn header_to_json(meta: &RunMeta) -> Value {
+    obj(vec![
         ("type", Value::String("run".to_string())),
         ("schema", Value::String(SCHEMA.to_string())),
         ("run_id", Value::String(meta.run_id.clone())),
@@ -108,45 +119,45 @@ pub fn to_jsonl(telemetry: &Telemetry) -> String {
         ("seed", Value::UInt(meta.seed)),
         ("git_rev", Value::String(meta.git_rev.clone())),
         ("clock", Value::String(meta.clock.to_string())),
-    ]));
-    for span in telemetry.spans() {
-        lines.push(span_to_json(&span));
+    ])
+}
+
+fn metric_to_json(name: &str, metric: &Metric) -> Value {
+    match metric {
+        Metric::Counter(v) => obj(vec![
+            ("type", Value::String("counter".to_string())),
+            ("name", Value::String(name.to_string())),
+            ("value", Value::UInt(*v)),
+        ]),
+        Metric::Gauge(v) => obj(vec![
+            ("type", Value::String("gauge".to_string())),
+            ("name", Value::String(name.to_string())),
+            (
+                "value",
+                if v.is_finite() {
+                    Value::Float(*v)
+                } else {
+                    Value::Null
+                },
+            ),
+        ]),
+        Metric::Histogram(h) => {
+            let s = h.summary();
+            obj(vec![
+                ("type", Value::String("histogram".to_string())),
+                ("name", Value::String(name.to_string())),
+                ("count", Value::UInt(s.count)),
+                ("min", Value::UInt(s.min)),
+                ("p50", Value::UInt(s.p50)),
+                ("p90", Value::UInt(s.p90)),
+                ("p99", Value::UInt(s.p99)),
+                ("max", Value::UInt(s.max)),
+            ])
+        }
     }
-    for (name, metric) in telemetry.metrics() {
-        let line = match metric {
-            crate::metrics::Metric::Counter(v) => obj(vec![
-                ("type", Value::String("counter".to_string())),
-                ("name", Value::String(name)),
-                ("value", Value::UInt(v)),
-            ]),
-            crate::metrics::Metric::Gauge(v) => obj(vec![
-                ("type", Value::String("gauge".to_string())),
-                ("name", Value::String(name)),
-                (
-                    "value",
-                    if v.is_finite() {
-                        Value::Float(v)
-                    } else {
-                        Value::Null
-                    },
-                ),
-            ]),
-            crate::metrics::Metric::Histogram(h) => {
-                let s = h.summary();
-                obj(vec![
-                    ("type", Value::String("histogram".to_string())),
-                    ("name", Value::String(name)),
-                    ("count", Value::UInt(s.count)),
-                    ("min", Value::UInt(s.min)),
-                    ("p50", Value::UInt(s.p50)),
-                    ("p90", Value::UInt(s.p90)),
-                    ("p99", Value::UInt(s.p99)),
-                    ("max", Value::UInt(s.max)),
-                ])
-            }
-        };
-        lines.push(line);
-    }
+}
+
+fn render_lines(lines: Vec<Value>) -> String {
     let mut out = String::new();
     for line in lines {
         let rendered = serde_json::to_string(&Raw(line))
@@ -155,6 +166,55 @@ pub fn to_jsonl(telemetry: &Telemetry) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Builds a flight-recorder postmortem dump: run header, the ring's
+/// spans, the synthetic trigger span, then a metric snapshot — the same
+/// schema as [`to_jsonl`], so [`validate_jsonl`] accepts it.
+pub(crate) fn postmortem_jsonl(
+    meta: &RunMeta,
+    ring: &[SpanRecord],
+    trigger: &SpanRecord,
+    metrics: &BTreeMap<String, Metric>,
+) -> String {
+    let mut lines = vec![header_to_json(meta)];
+    for span in ring {
+        lines.push(span_to_json(span, false));
+    }
+    lines.push(span_to_json(trigger, false));
+    for (name, metric) in metrics {
+        lines.push(metric_to_json(name, metric));
+    }
+    render_lines(lines)
+}
+
+/// Closed and still-open spans merged in id order, each tagged with its
+/// openness — the export-facing view of one run's span set.
+fn merged_spans(telemetry: &Telemetry) -> Vec<(SpanRecord, bool)> {
+    let mut all: Vec<(SpanRecord, bool)> = telemetry
+        .spans()
+        .into_iter()
+        .map(|s| (s, false))
+        .chain(telemetry.open_spans().into_iter().map(|s| (s, true)))
+        .collect();
+    all.sort_by_key(|(s, _)| s.id);
+    all
+}
+
+/// Serializes the run's telemetry to JSONL. Call after all recorders
+/// have flushed (or dropped); spans buffered in live recorders are not
+/// visible. Spans still open at export time are emitted as zero-length
+/// skeletons flagged `"open":true` rather than silently dropped.
+#[must_use]
+pub fn to_jsonl(telemetry: &Telemetry) -> String {
+    let mut lines = vec![header_to_json(telemetry.meta())];
+    for (span, open) in merged_spans(telemetry) {
+        lines.push(span_to_json(&span, open));
+    }
+    for (name, metric) in telemetry.metrics() {
+        lines.push(metric_to_json(&name, &metric));
+    }
+    render_lines(lines)
 }
 
 /// Per-record-type counts from a validated trace.
@@ -168,6 +228,12 @@ pub struct JsonlSummary {
     pub gauges: u64,
     /// Histogram lines.
     pub histograms: u64,
+    /// Span lines flagged `"open":true` — work still in flight when the
+    /// trace was exported. A nonzero count is valid but worth a warning
+    /// in tooling: durations of open spans are zero-length skeletons.
+    pub open: u64,
+    /// Span lines carrying a causal `trace` context.
+    pub traced: u64,
 }
 
 fn lookup<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
@@ -288,6 +354,45 @@ pub fn validate_jsonl(trace: &str) -> Result<JsonlSummary, String> {
                 if lookup(&fields, "fields").and_then(Value::as_object).is_none() {
                     return Err(format!("line {line}: `fields` must be an object"));
                 }
+                match lookup(&fields, "trace") {
+                    None => {}
+                    Some(Value::Object(_)) => {
+                        let trace = lookup(&fields, "trace")
+                            .and_then(Value::as_object)
+                            .map(<[(String, Value)]>::to_vec)
+                            .unwrap_or_default();
+                        let trace_id = require_uint(&trace, "trace_id", line)?;
+                        let span_id = require_uint(&trace, "span_id", line)?;
+                        require_uint(&trace, "parent_id", line)?;
+                        if trace_id == 0 || span_id == 0 {
+                            return Err(format!(
+                                "line {line}: trace ids must be nonzero (0 means `no parent`)"
+                            ));
+                        }
+                        summary.traced += 1;
+                    }
+                    other => {
+                        return Err(format!(
+                            "line {line}: `trace` must be an object, got {other:?}"
+                        ));
+                    }
+                }
+                match lookup(&fields, "open") {
+                    None => {}
+                    Some(Value::Bool(true)) => {
+                        if start != end {
+                            return Err(format!(
+                                "line {line}: open span {id} must be a zero-length skeleton"
+                            ));
+                        }
+                        summary.open += 1;
+                    }
+                    other => {
+                        return Err(format!(
+                            "line {line}: `open` must be absent or true, got {other:?}"
+                        ));
+                    }
+                }
                 summary.spans += 1;
             }
             "counter" => {
@@ -344,19 +449,24 @@ fn format_ns(ns: u64) -> String {
 }
 
 fn render_span(
-    span: &SpanRecord,
-    children: &std::collections::BTreeMap<u64, Vec<&SpanRecord>>,
+    span: &(SpanRecord, bool),
+    children: &std::collections::BTreeMap<u64, Vec<&(SpanRecord, bool)>>,
     depth: usize,
     out: &mut String,
 ) {
+    let (record, open) = span;
     out.push_str(&"  ".repeat(depth));
-    out.push_str(&span.name);
-    out.push_str(&format!(" [{}]", format_ns(span.duration_ns())));
-    for (key, value) in &span.fields {
+    out.push_str(&record.name);
+    if *open {
+        out.push_str(" (open)");
+    } else {
+        out.push_str(&format!(" [{}]", format_ns(record.duration_ns())));
+    }
+    for (key, value) in &record.fields {
         out.push_str(&format!(" {key}={value}"));
     }
     out.push('\n');
-    if let Some(kids) = children.get(&span.id) {
+    if let Some(kids) = children.get(&record.id) {
         for child in kids {
             render_span(child, children, depth + 1, out);
         }
@@ -364,7 +474,8 @@ fn render_span(
 }
 
 /// Renders the run as an indented human-readable tree: header, span
-/// hierarchy with durations and fields, then metrics.
+/// hierarchy with durations and fields (spans still open marked
+/// `(open)` instead of carrying a bogus duration), then metrics.
 #[must_use]
 pub fn render_tree(telemetry: &Telemetry) -> String {
     let meta = telemetry.meta();
@@ -372,12 +483,12 @@ pub fn render_tree(telemetry: &Telemetry) -> String {
         "run {} label={} seed={} git={} clock={}\n",
         meta.run_id, meta.label, meta.seed, meta.git_rev, meta.clock
     );
-    let spans = telemetry.spans();
-    let mut children: std::collections::BTreeMap<u64, Vec<&SpanRecord>> =
+    let spans = merged_spans(telemetry);
+    let mut children: std::collections::BTreeMap<u64, Vec<&(SpanRecord, bool)>> =
         std::collections::BTreeMap::new();
     let mut roots = Vec::new();
     for span in &spans {
-        match span.parent {
+        match span.0.parent {
             Some(parent) => children.entry(parent).or_default().push(span),
             None => roots.push(span),
         }
@@ -483,6 +594,57 @@ mod tests {
         assert!(header.contains(&format!("\"run_id\":\"{}\"", t.meta().run_id)));
         assert!(header.contains("\"seed\":42"));
         assert!(header.contains("\"clock\":\"virtual\""));
+    }
+
+    #[test]
+    fn open_spans_export_flagged_instead_of_dropped() {
+        let clock = VirtualClock::new();
+        let t = Telemetry::with_virtual_clock("open-test", 7, Arc::clone(&clock));
+        let r = t.recorder();
+        let stuck = r.span("stuck");
+        clock.advance(Duration::from_millis(1));
+        drop(r.span("done"));
+        r.flush();
+        let trace = to_jsonl(&t);
+        let summary = validate_jsonl(&trace).expect("valid trace with an open span");
+        assert_eq!(summary.spans, 2, "the open span is exported, not dropped");
+        assert_eq!(summary.open, 1);
+        assert!(trace.contains("\"open\":true"));
+        let rendered = render_tree(&t);
+        assert!(rendered.contains("stuck (open)"), "{rendered}");
+        assert!(rendered.contains("done ["), "{rendered}");
+        drop(stuck);
+        r.flush();
+        let closed = validate_jsonl(&to_jsonl(&t)).expect("valid");
+        assert_eq!(closed.open, 0, "closing the span retires the skeleton");
+        assert_eq!(closed.spans, 2);
+    }
+
+    #[test]
+    fn traced_spans_round_trip_through_validation() {
+        let clock = VirtualClock::new();
+        let t = Telemetry::with_virtual_clock("trace-test", 7, Arc::clone(&clock));
+        let r = t.recorder();
+        r.push_trace(crate::trace::TraceContext::day_root(7, 0));
+        drop(r.span("day"));
+        r.flush();
+        let trace = to_jsonl(&t);
+        let summary = validate_jsonl(&trace).expect("valid traced trace");
+        assert_eq!(summary.traced, 1);
+        assert!(trace.contains("\"trace\":{\"trace_id\":"), "{trace}");
+        // Zeroed trace ids are rejected.
+        let tampered = regex_free_zero(&trace);
+        assert!(validate_jsonl(&tampered).is_err());
+    }
+
+    /// Replaces the exported span_id with 0 without a regex dependency.
+    fn regex_free_zero(trace: &str) -> String {
+        let start = trace.find("\"span_id\":").expect("has a span_id") + "\"span_id\":".len();
+        let end = start
+            + trace[start..]
+                .find([',', '}'])
+                .expect("span_id value terminated");
+        format!("{}0{}", &trace[..start], &trace[end..])
     }
 
     #[test]

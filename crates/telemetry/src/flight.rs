@@ -1,0 +1,110 @@
+//! The flight recorder: an always-on bounded ring of recent spans.
+//!
+//! Every span that flushes into the sink is also cloned into a fixed-
+//! capacity ring ([`FLIGHT_CAPACITY`] entries, oldest evicted first).
+//! The ring costs one clone and one `VecDeque` push per span whether or
+//! not the run ever exports JSONL — cheap enough to leave on in
+//! production schedules, which is the point: when something goes wrong
+//! that a test didn't anticipate (an oracle violation, a recovery-audit
+//! refusal, a deadline miss, a contained panic, a shed-class spike),
+//! the triggering code calls [`Telemetry::postmortem`] and gets a
+//! self-contained, self-validating JSONL dump of the last
+//! [`FLIGHT_CAPACITY`] spans, the triggering event, and a metric
+//! snapshot — without re-running the schedule.
+//!
+//! Dumps are strings, not files: the telemetry crate never touches the
+//! filesystem. Callers (CLIs, tests, the `enki-obs` tool) decide where
+//! a postmortem lands.
+//!
+//! [`Telemetry::postmortem`]: crate::recorder::Telemetry::postmortem
+
+use std::collections::VecDeque;
+
+use crate::span::SpanRecord;
+
+/// Spans retained in the ring buffer.
+pub const FLIGHT_CAPACITY: usize = 256;
+
+/// Postmortems retained per run (later triggers still return a dump,
+/// they just stop accumulating).
+pub const MAX_POSTMORTEMS: usize = 16;
+
+/// One captured postmortem: the trigger label and the JSONL dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Postmortem {
+    /// What tripped the dump (e.g. `oracle_violation`, `shed_spike`).
+    pub trigger: String,
+    /// A complete JSONL trace that passes
+    /// [`validate_jsonl`](crate::export::validate_jsonl).
+    pub jsonl: String,
+}
+
+/// The bounded span ring. Lives inside the sink behind its own mutex.
+#[derive(Debug, Default)]
+pub(crate) struct FlightRing {
+    ring: VecDeque<SpanRecord>,
+}
+
+impl FlightRing {
+    /// Appends one span, evicting the oldest past capacity.
+    pub(crate) fn push(&mut self, span: SpanRecord) {
+        if self.ring.len() == FLIGHT_CAPACITY {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(span);
+    }
+
+    /// The retained spans sorted by id, with parent links that point
+    /// outside the ring stripped — the dump must stand alone.
+    pub(crate) fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut spans: Vec<SpanRecord> = self.ring.iter().cloned().collect();
+        spans.sort_by_key(|s| s.id);
+        let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+        for span in &mut spans {
+            if let Some(parent) = span.parent {
+                if !ids.contains(&parent) {
+                    span.parent = None;
+                }
+            }
+        }
+        spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: format!("s{id}"),
+            start_ns: id,
+            end_ns: id + 1,
+            fields: Vec::new(),
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_past_capacity() {
+        let mut ring = FlightRing::default();
+        for id in 1..=(FLIGHT_CAPACITY as u64 + 10) {
+            ring.push(span(id, None));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), FLIGHT_CAPACITY);
+        assert_eq!(snap.first().map(|s| s.id), Some(11));
+    }
+
+    #[test]
+    fn snapshot_strips_parents_evicted_from_the_ring() {
+        let mut ring = FlightRing::default();
+        ring.push(span(5, Some(2))); // parent 2 was never retained
+        ring.push(span(6, Some(5)));
+        let snap = ring.snapshot();
+        assert_eq!(snap[0].parent, None, "dangling parent stripped");
+        assert_eq!(snap[1].parent, Some(5), "intact parent kept");
+    }
+}

@@ -19,6 +19,16 @@
 //! * [`export`] — a JSONL exporter stamped with run id, seed, and git
 //!   revision; a schema self-validator ([`validate_jsonl`]); and a
 //!   human-readable tree renderer ([`render_tree`]).
+//! * [`trace`] — deterministic causal [`TraceContext`]s derived from
+//!   `(seed, day, household, stage)`, carried on messages and queue
+//!   entries so one report's journey is followable across agents.
+//! * [`flight`] — the always-on flight-recorder ring; failures call
+//!   [`Telemetry::postmortem`] for a self-validating JSONL dump of
+//!   recent context.
+//! * [`slo`] — declarative objectives with multi-window burn-rate
+//!   evaluation ([`SloMonitor`]).
+//! * [`metric_names`] — the central registry of every metric name the
+//!   workspace may emit.
 //!
 //! ```
 //! use enki_telemetry::prelude::*;
@@ -47,21 +57,31 @@
 
 pub mod clock;
 pub mod export;
+pub mod flight;
+pub mod metric_names;
 pub mod metrics;
 pub mod recorder;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use export::{render_tree, to_jsonl, validate_jsonl, JsonlSummary, SCHEMA};
+pub use flight::{Postmortem, FLIGHT_CAPACITY, MAX_POSTMORTEMS};
 pub use metrics::{Histogram, HistogramSummary, Metric, MetricOp};
 pub use recorder::{detect_git_rev, Recorder, RunMeta, SpanGuard, Telemetry};
+pub use slo::{SloMonitor, SloSample, SloSpec, SloStatus};
 pub use span::{FieldValue, SpanRecord};
+pub use trace::{TraceContext, REPORT_STAGES};
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::clock::{Clock, MonotonicClock, VirtualClock};
     pub use crate::export::{render_tree, to_jsonl, validate_jsonl, JsonlSummary};
+    pub use crate::flight::Postmortem;
     pub use crate::metrics::{Histogram, HistogramSummary, Metric};
     pub use crate::recorder::{Recorder, RunMeta, SpanGuard, Telemetry};
+    pub use crate::slo::{SloMonitor, SloSample, SloSpec, SloStatus};
     pub use crate::span::{FieldValue, SpanRecord};
+    pub use crate::trace::{TraceContext, REPORT_STAGES};
 }

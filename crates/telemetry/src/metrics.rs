@@ -97,44 +97,50 @@ impl Histogram {
         self.max
     }
 
-    /// Smallest observation, exact. Zero when empty.
+    /// Smallest observation, exact. `None` when empty — a histogram
+    /// that never saw a value is distinguishable from one that observed
+    /// a real zero.
     #[must_use]
-    pub fn min(&self) -> u64 {
+    pub fn min(&self) -> Option<u64> {
         if self.total == 0 {
-            0
+            None
         } else {
-            self.min
+            Some(self.min)
         }
     }
 
     /// The `q`-quantile (`0 < q ≤ 1`) estimated from bucket counts: the
     /// representative of the first bucket whose cumulative count covers
-    /// `q`, clamped to the exact observed range. Zero when empty.
+    /// `q`, clamped to the exact observed range. `None` when empty —
+    /// there is no quantile of nothing.
     #[must_use]
-    pub fn quantile(&self, q: f64) -> u64 {
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.total == 0 {
-            return 0;
+            return None;
         }
         let rank = (q * self.total as f64).ceil().max(1.0) as u64;
         let mut cumulative = 0u64;
         for (index, &count) in self.counts.iter().enumerate() {
             cumulative += count;
             if cumulative >= rank {
-                return bucket_upper(index).clamp(self.min(), self.max);
+                return Some(bucket_upper(index).clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 
-    /// The percentile summary exported per histogram.
+    /// The percentile summary exported per histogram. An empty
+    /// histogram summarizes to all-zero fields; `count == 0` is the
+    /// explicit emptiness marker (the JSONL schema has no nulls in
+    /// histogram lines).
     #[must_use]
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
             count: self.total,
-            min: self.min(),
-            p50: self.quantile(0.50),
-            p90: self.quantile(0.90),
-            p99: self.quantile(0.99),
+            min: self.min().unwrap_or(0),
+            p50: self.quantile(0.50).unwrap_or(0),
+            p90: self.quantile(0.90).unwrap_or(0),
+            p99: self.quantile(0.99).unwrap_or(0),
             max: self.max,
         }
     }
@@ -219,10 +225,18 @@ mod tests {
         h.record(0);
         h.record(0);
         assert_eq!(h.count(), 2);
-        assert_eq!(h.min(), 0);
+        assert_eq!(h.min(), Some(0), "a real observed zero is Some(0), not None");
         assert_eq!(h.max(), 0);
-        assert_eq!(h.quantile(0.5), 0);
-        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.quantile(0.99), Some(0));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_min_or_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.99), None);
     }
 
     #[test]
@@ -233,11 +247,11 @@ mod tests {
             h.record(ns);
         }
         assert_eq!(h.count(), 6);
-        assert_eq!(h.min(), 1);
+        assert_eq!(h.min(), Some(1));
         assert_eq!(h.max(), 999);
-        let p50 = h.quantile(0.5);
+        let p50 = h.quantile(0.5).expect("non-empty");
         assert!((64..=127).contains(&p50), "p50 = {p50}");
-        assert_eq!(h.quantile(1.0), 999, "top quantile clamps to exact max");
+        assert_eq!(h.quantile(1.0), Some(999), "top quantile clamps to exact max");
     }
 
     #[test]
@@ -249,8 +263,8 @@ mod tests {
         h.record(ninety_sec);
         h.record(u64::MAX);
         assert_eq!(h.max(), u64::MAX);
-        assert!(h.quantile(0.34) >= five_sec);
-        assert!(h.quantile(0.99) >= ninety_sec);
+        assert!(h.quantile(0.34).expect("non-empty") >= five_sec);
+        assert!(h.quantile(0.99).expect("non-empty") >= ninety_sec);
     }
 
     #[test]
@@ -277,8 +291,8 @@ mod tests {
         let mut h = Histogram::new();
         h.record(5);
         // Bucket upper bound for 5 is 7, but the true max is 5.
-        assert_eq!(h.quantile(0.5), 5);
-        assert_eq!(h.quantile(0.99), 5);
+        assert_eq!(h.quantile(0.5), Some(5));
+        assert_eq!(h.quantile(0.99), Some(5));
     }
 
     #[test]
@@ -306,7 +320,7 @@ mod tests {
         b.record(0);
         a.merge(&b);
         assert_eq!(a.count(), 3);
-        assert_eq!(a.min(), 0);
+        assert_eq!(a.min(), Some(0));
         assert_eq!(a.max(), 1_000_000);
     }
 

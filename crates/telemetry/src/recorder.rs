@@ -19,8 +19,11 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use crate::clock::{Clock, MonotonicClock, VirtualClock};
+use crate::flight::{FlightRing, Postmortem, MAX_POSTMORTEMS};
+use crate::metric_names::obs;
 use crate::metrics::{HistogramSummary, Metric, MetricOp};
 use crate::span::{FieldValue, SpanRecord};
+use crate::trace::TraceContext;
 
 /// Buffered events per recorder before an automatic flush.
 pub const FLUSH_EVERY: usize = 256;
@@ -90,6 +93,13 @@ pub(crate) struct Sink {
     next_span: AtomicU64,
     pub(crate) spans: Mutex<Vec<SpanRecord>>,
     pub(crate) metrics: Mutex<BTreeMap<String, Metric>>,
+    /// Skeletons of spans opened but not yet closed, keyed by id, so
+    /// exports can render in-flight work instead of dropping it.
+    pub(crate) open: Mutex<BTreeMap<u64, SpanRecord>>,
+    /// The always-on flight-recorder ring of recently closed spans.
+    pub(crate) flight: Mutex<FlightRing>,
+    /// Captured postmortem dumps, capped at [`MAX_POSTMORTEMS`].
+    pub(crate) postmortems: Mutex<Vec<Postmortem>>,
 }
 
 /// One run's telemetry: clock, metadata, spans, metrics.
@@ -132,6 +142,9 @@ impl Telemetry {
                 next_span: AtomicU64::new(1),
                 spans: Mutex::new(Vec::new()),
                 metrics: Mutex::new(BTreeMap::new()),
+                open: Mutex::new(BTreeMap::new()),
+                flight: Mutex::new(FlightRing::default()),
+                postmortems: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -162,6 +175,7 @@ impl Telemetry {
             sink: Arc::clone(&self.sink),
             buffer: RefCell::new(Buffer::default()),
             stack: RefCell::new(Vec::new()),
+            trace_stack: RefCell::new(Vec::new()),
         }
     }
 
@@ -171,6 +185,33 @@ impl Telemetry {
         let mut spans = self.sink.spans.lock().clone();
         spans.sort_by_key(|s| s.id);
         spans
+    }
+
+    /// Skeletons of spans opened but not yet closed at the last flush,
+    /// sorted by id. Their `end_ns` equals their `start_ns`; the real
+    /// record replaces the skeleton when the guard eventually drops.
+    #[must_use]
+    pub fn open_spans(&self) -> Vec<SpanRecord> {
+        self.sink.open.lock().values().cloned().collect()
+    }
+
+    /// Captures a flight-recorder postmortem: a self-contained JSONL
+    /// dump of the recent-span ring, a synthetic `flight.<trigger>`
+    /// span carrying `fields`, and a metric snapshot. The dump is also
+    /// retained (up to [`MAX_POSTMORTEMS`]) for [`Telemetry::postmortems`],
+    /// and the `flight.dumps` counter is bumped.
+    ///
+    /// Live recorders that have not flushed are invisible here; prefer
+    /// [`Recorder::postmortem`] from instrumented code, which flushes
+    /// its own buffer first.
+    pub fn postmortem(&self, trigger: &str, fields: &[(&str, FieldValue)]) -> String {
+        sink_postmortem(&self.sink, trigger, fields)
+    }
+
+    /// The postmortems captured so far, in trigger order.
+    #[must_use]
+    pub fn postmortems(&self) -> Vec<Postmortem> {
+        self.sink.postmortems.lock().clone()
     }
 
     /// Snapshot of all flushed metrics, sorted by name.
@@ -212,12 +253,55 @@ impl Telemetry {
 struct Buffer {
     spans: Vec<SpanRecord>,
     ops: Vec<(String, MetricOp)>,
+    /// Skeletons of spans opened since the last flush.
+    opened: Vec<SpanRecord>,
+    /// Ids of spans closed since the last flush (they leave the sink's
+    /// open set on flush).
+    closed: Vec<u64>,
 }
 
 impl Buffer {
     fn len(&self) -> usize {
-        self.spans.len() + self.ops.len()
+        self.spans.len() + self.ops.len() + self.opened.len() + self.closed.len()
     }
+}
+
+/// Builds (and retains) one postmortem dump from a sink's flight ring.
+fn sink_postmortem(sink: &Sink, trigger: &str, fields: &[(&str, FieldValue)]) -> String {
+    {
+        let mut metrics = sink.metrics.lock();
+        let op = MetricOp::Incr(1);
+        match metrics.get_mut(obs::FLIGHT_DUMPS) {
+            Some(metric) => metric.apply(&op),
+            None => {
+                metrics.insert(obs::FLIGHT_DUMPS.to_string(), Metric::from_op(&op));
+            }
+        }
+    }
+    let ring = sink.flight.lock().snapshot();
+    let metrics = sink.metrics.lock().clone();
+    let now = duration_ns(sink.clock.now());
+    let trigger_span = SpanRecord {
+        id: ring.last().map_or(1, |s| s.id.saturating_add(1)),
+        parent: None,
+        name: format!("flight.{trigger}"),
+        start_ns: now,
+        end_ns: now,
+        fields: fields
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), v.clone()))
+            .collect(),
+        trace: None,
+    };
+    let jsonl = crate::export::postmortem_jsonl(&sink.meta, &ring, &trigger_span, &metrics);
+    let mut postmortems = sink.postmortems.lock();
+    if postmortems.len() < MAX_POSTMORTEMS {
+        postmortems.push(Postmortem {
+            trigger: trigger.to_string(),
+            jsonl: jsonl.clone(),
+        });
+    }
+    jsonl
 }
 
 /// A per-thread handle that records spans and metrics into its run's
@@ -232,6 +316,9 @@ pub struct Recorder {
     buffer: RefCell<Buffer>,
     /// Open span ids, innermost last: the parent chain for new spans.
     stack: RefCell<Vec<u64>>,
+    /// Ambient causal contexts, innermost last: spans opened while one
+    /// is pushed derive a deterministic child context from it.
+    trace_stack: RefCell<Vec<TraceContext>>,
 }
 
 impl Recorder {
@@ -242,23 +329,73 @@ impl Recorder {
     }
 
     /// Opens a span as a child of this recorder's innermost open span.
-    /// The span ends (and is buffered) when the guard drops.
+    /// The span ends (and is buffered) when the guard drops. If an
+    /// ambient [`TraceContext`] is pushed, the span carries a
+    /// deterministic child of it.
     #[must_use]
     pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        let trace = self.trace_stack.borrow().last().map(|top| top.child(name));
+        self.open_span(name, trace)
+    }
+
+    /// Opens a span carrying an explicit causal context (e.g. one
+    /// derived at a message or queue boundary), pushed as the ambient
+    /// context for spans nested under it.
+    #[must_use]
+    pub fn span_with_trace(&self, name: &str, ctx: TraceContext) -> SpanGuard<'_> {
+        self.open_span(name, Some(ctx))
+    }
+
+    fn open_span(&self, name: &str, trace: Option<TraceContext>) -> SpanGuard<'_> {
         let id = self.sink.next_span.fetch_add(1, Ordering::Relaxed);
         let parent = self.stack.borrow().last().copied();
         self.stack.borrow_mut().push(id);
+        if let Some(ctx) = trace {
+            self.trace_stack.borrow_mut().push(ctx);
+        }
+        let start_ns = duration_ns(self.sink.clock.now());
+        let record = SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            start_ns,
+            // Skeletons export with a zero-length interval until the
+            // guard drops and overwrites the end.
+            end_ns: start_ns,
+            fields: Vec::new(),
+            trace,
+        };
+        self.buffer.borrow_mut().opened.push(record.clone());
+        self.maybe_flush();
         SpanGuard {
             recorder: self,
-            record: Some(SpanRecord {
-                id,
-                parent,
-                name: name.to_string(),
-                start_ns: duration_ns(self.sink.clock.now()),
-                end_ns: 0,
-                fields: Vec::new(),
-            }),
+            record: Some(record),
         }
+    }
+
+    /// Pushes an ambient causal context; spans opened until the
+    /// matching [`Recorder::pop_trace`] derive children of it.
+    pub fn push_trace(&self, ctx: TraceContext) {
+        self.trace_stack.borrow_mut().push(ctx);
+    }
+
+    /// Pops the innermost ambient causal context, returning it.
+    pub fn pop_trace(&self) -> Option<TraceContext> {
+        self.trace_stack.borrow_mut().pop()
+    }
+
+    /// The innermost ambient causal context, if any.
+    #[must_use]
+    pub fn current_trace(&self) -> Option<TraceContext> {
+        self.trace_stack.borrow().last().copied()
+    }
+
+    /// Captures a flight-recorder postmortem after flushing this
+    /// recorder's buffer, so the triggering context is in the ring.
+    /// See [`Telemetry::postmortem`].
+    pub fn postmortem(&self, trigger: &str, fields: &[(&str, FieldValue)]) -> String {
+        self.flush();
+        sink_postmortem(&self.sink, trigger, fields)
     }
 
     /// Adds to a counter (creating it at zero).
@@ -287,7 +424,11 @@ impl Recorder {
     }
 
     fn push_span(&self, record: SpanRecord) {
-        self.buffer.borrow_mut().spans.push(record);
+        {
+            let mut buffer = self.buffer.borrow_mut();
+            buffer.closed.push(record.id);
+            buffer.spans.push(record);
+        }
         self.maybe_flush();
     }
 
@@ -301,8 +442,28 @@ impl Recorder {
     /// acquisitions). Called automatically on drop and when the buffer
     /// fills.
     pub fn flush(&self) {
-        let Buffer { spans, ops } = self.buffer.take();
+        let Buffer {
+            spans,
+            ops,
+            opened,
+            closed,
+        } = self.buffer.take();
+        if !opened.is_empty() || !closed.is_empty() {
+            let mut open = self.sink.open.lock();
+            for skeleton in opened {
+                open.insert(skeleton.id, skeleton);
+            }
+            for id in &closed {
+                open.remove(id);
+            }
+        }
         if !spans.is_empty() {
+            {
+                let mut flight = self.sink.flight.lock();
+                for span in &spans {
+                    flight.push(span.clone());
+                }
+            }
             self.sink.spans.lock().extend(spans);
         }
         if !ops.is_empty() {
@@ -366,6 +527,12 @@ impl Drop for SpanGuard<'_> {
             stack.remove(pos);
         }
         drop(stack);
+        if let Some(ctx) = record.trace {
+            let mut traces = self.recorder.trace_stack.borrow_mut();
+            if let Some(pos) = traces.iter().rposition(|t| t.span_id == ctx.span_id) {
+                traces.remove(pos);
+            }
+        }
         self.recorder.push_span(record);
     }
 }
@@ -455,6 +622,91 @@ mod tests {
         }
         // Threshold reached: visible without an explicit flush.
         assert_eq!(t.counter("ticks"), Some(FLUSH_EVERY as u64));
+    }
+
+    #[test]
+    fn open_spans_surface_after_flush_and_retire_on_close() {
+        let t = Telemetry::new("test", 1);
+        let r = t.recorder();
+        let guard = r.span("long_running");
+        r.flush();
+        let open = t.open_spans();
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].name, "long_running");
+        assert_eq!(open[0].end_ns, open[0].start_ns, "skeleton has no duration yet");
+        assert!(t.spans().is_empty(), "still open: not a closed span");
+        drop(guard);
+        r.flush();
+        assert!(t.open_spans().is_empty());
+        assert_eq!(t.spans().len(), 1);
+    }
+
+    #[test]
+    fn ambient_trace_contexts_derive_children_deterministically() {
+        use crate::trace::TraceContext;
+        let t = Telemetry::new("test", 1);
+        let r = t.recorder();
+        let root = TraceContext::day_root(1, 0);
+        r.push_trace(root);
+        {
+            let _outer = r.span("solve");
+            let _inner = r.span("solve.exact");
+        }
+        assert_eq!(r.pop_trace(), Some(root), "span guards pop only their own contexts");
+        r.flush();
+        let spans = t.spans();
+        let outer = spans.iter().find(|s| s.name == "solve").unwrap();
+        let inner = spans.iter().find(|s| s.name == "solve.exact").unwrap();
+        assert_eq!(outer.trace, Some(root.child("solve")));
+        assert_eq!(
+            inner.trace,
+            Some(root.child("solve").child("solve.exact")),
+            "nesting chains through the ambient stack"
+        );
+        // Untraced recorders emit untraced spans.
+        let r2 = t.recorder();
+        drop(r2.span("plain"));
+        r2.flush();
+        let plain = t.spans().into_iter().find(|s| s.name == "plain").unwrap();
+        assert_eq!(plain.trace, None);
+    }
+
+    #[test]
+    fn explicit_trace_contexts_attach_and_become_ambient() {
+        use crate::trace::TraceContext;
+        let t = Telemetry::new("test", 1);
+        let r = t.recorder();
+        let ctx = TraceContext::report_stage(7, 0, 3, 2);
+        {
+            let _admit = r.span_with_trace("center.admit", ctx);
+            let _nested = r.span("clamp");
+        }
+        r.flush();
+        let spans = t.spans();
+        let admit = spans.iter().find(|s| s.name == "center.admit").unwrap();
+        let nested = spans.iter().find(|s| s.name == "clamp").unwrap();
+        assert_eq!(admit.trace, Some(ctx));
+        assert_eq!(nested.trace, Some(ctx.child("clamp")));
+    }
+
+    #[test]
+    fn postmortems_self_validate_and_contain_the_trigger() {
+        let clock = VirtualClock::new();
+        let t = Telemetry::with_virtual_clock("pm", 3, Arc::clone(&clock));
+        let r = t.recorder();
+        for i in 0..5u64 {
+            let mut s = r.span("work");
+            s.record("i", i);
+            clock.advance(Duration::from_micros(10));
+        }
+        let dump = r.postmortem("test_trigger", &[("detail", FieldValue::Str("boom".into()))]);
+        let summary = crate::export::validate_jsonl(&dump).expect("postmortem validates");
+        assert_eq!(summary.spans, 6, "5 ring spans + 1 trigger span");
+        assert!(dump.contains("flight.test_trigger"));
+        assert!(dump.contains("boom"));
+        assert_eq!(t.postmortems().len(), 1);
+        assert_eq!(t.postmortems()[0].trigger, "test_trigger");
+        assert_eq!(t.counter("flight.dumps"), Some(1));
     }
 
     #[test]

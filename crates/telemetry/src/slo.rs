@@ -1,0 +1,255 @@
+//! Declarative SLOs with multi-window burn-rate evaluation.
+//!
+//! The mechanism's headline guarantees are statistical — deadline
+//! compliance, shed rate, exact-rung rate, recovery latency, at-most-
+//! one-bill — so a single bad day should not page, and a slow leak
+//! should not hide. The standard remedy is multi-window burn-rate
+//! alerting: an SLO *breaches* only when the error budget is burning
+//! faster than budgeted over **both** a short window (the problem is
+//! happening now) and a long window (it is not a blip).
+//!
+//! Burn rate is `bad_fraction / (1 − objective)`: 1.0 means errors are
+//! arriving exactly at the budgeted rate, 2.0 means the budget will be
+//! exhausted in half the period. Windows are counted in *days* — the
+//! run's natural reporting unit — and fed by the day loops of
+//! `Runtime`/`ServeRuntime` from per-day metric deltas.
+
+use std::collections::VecDeque;
+
+/// One declarative objective over a good/bad event stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Stable identifier, e.g. `deadline_compliance`.
+    pub name: &'static str,
+    /// Target good fraction in `(0, 1)`, e.g. `0.99`.
+    pub objective: f64,
+    /// Short alerting window, in days.
+    pub short_window: usize,
+    /// Long alerting window, in days (≥ the short window).
+    pub long_window: usize,
+}
+
+/// One day's good/bad counts for one SLO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SloSample {
+    /// Events that met the objective.
+    pub good: u64,
+    /// Events that burned error budget.
+    pub bad: u64,
+}
+
+/// One SLO's evaluated state after a day.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloStatus {
+    /// The spec's name.
+    pub name: &'static str,
+    /// Burn rate over the short window (0 when the window saw no
+    /// events).
+    pub short_burn: f64,
+    /// Burn rate over the long window.
+    pub long_burn: f64,
+    /// True when both windows burn above 1.0.
+    pub breached: bool,
+}
+
+fn burn_rate(samples: &VecDeque<SloSample>, window: usize, objective: f64) -> f64 {
+    let taken = samples.iter().rev().take(window);
+    let (mut good, mut bad) = (0u64, 0u64);
+    for s in taken {
+        good += s.good;
+        bad += s.bad;
+    }
+    let total = good + bad;
+    if total == 0 {
+        return 0.0;
+    }
+    let bad_fraction = bad as f64 / total as f64;
+    let budget = (1.0 - objective).max(f64::EPSILON);
+    bad_fraction / budget
+}
+
+/// Tracks day-by-day samples for a set of [`SloSpec`]s and evaluates
+/// their burn rates.
+#[derive(Debug, Clone)]
+pub struct SloMonitor {
+    specs: Vec<SloSpec>,
+    history: Vec<VecDeque<SloSample>>,
+}
+
+impl SloMonitor {
+    /// A monitor over the given specs.
+    #[must_use]
+    pub fn new(specs: Vec<SloSpec>) -> Self {
+        let history = specs.iter().map(|_| VecDeque::new()).collect();
+        Self { specs, history }
+    }
+
+    /// The mechanism's five standard objectives.
+    ///
+    /// | name | objective | meaning of *bad* |
+    /// |---|---|---|
+    /// | `deadline_compliance` | 0.99 | a day missed settlement |
+    /// | `shed_rate` | 0.95 | a report was shed at ingestion |
+    /// | `exact_rung` | 0.50 | a solve degraded below the exact rung |
+    /// | `recovery_latency` | 0.90 | a recovery failed or needed a retry |
+    /// | `at_most_one_bill` | 0.999 | a duplicate bill was observed |
+    #[must_use]
+    pub fn standard() -> Self {
+        Self::new(vec![
+            SloSpec {
+                name: "deadline_compliance",
+                objective: 0.99,
+                short_window: 3,
+                long_window: 12,
+            },
+            SloSpec {
+                name: "shed_rate",
+                objective: 0.95,
+                short_window: 3,
+                long_window: 12,
+            },
+            SloSpec {
+                name: "exact_rung",
+                objective: 0.50,
+                short_window: 3,
+                long_window: 12,
+            },
+            SloSpec {
+                name: "recovery_latency",
+                objective: 0.90,
+                short_window: 3,
+                long_window: 12,
+            },
+            SloSpec {
+                name: "at_most_one_bill",
+                objective: 0.999,
+                short_window: 1,
+                long_window: 12,
+            },
+        ])
+    }
+
+    /// The configured specs.
+    #[must_use]
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// Records one day's counts for the named SLO. Unknown names are
+    /// ignored (a monitor only watches what it declared).
+    pub fn record(&mut self, name: &str, sample: SloSample) {
+        for (spec, history) in self.specs.iter().zip(self.history.iter_mut()) {
+            if spec.name == name {
+                history.push_back(sample);
+                while history.len() > spec.long_window {
+                    history.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Evaluates every SLO against its two windows.
+    #[must_use]
+    pub fn evaluate(&self) -> Vec<SloStatus> {
+        self.specs
+            .iter()
+            .zip(self.history.iter())
+            .map(|(spec, history)| {
+                let short_burn = burn_rate(history, spec.short_window, spec.objective);
+                let long_burn = burn_rate(history, spec.long_window, spec.objective);
+                SloStatus {
+                    name: spec.name,
+                    short_burn,
+                    long_burn,
+                    breached: short_burn > 1.0 && long_burn > 1.0,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> SloMonitor {
+        SloMonitor::new(vec![SloSpec {
+            name: "x",
+            objective: 0.9,
+            short_window: 2,
+            long_window: 4,
+        }])
+    }
+
+    #[test]
+    fn empty_monitor_reports_zero_burn() {
+        let m = monitor();
+        let status = m.evaluate();
+        assert_eq!(status.len(), 1);
+        assert!(status[0].short_burn.abs() < 1e-12);
+        assert!(!status[0].breached);
+    }
+
+    #[test]
+    fn healthy_days_do_not_breach() {
+        let mut m = monitor();
+        for _ in 0..6 {
+            m.record("x", SloSample { good: 99, bad: 1 });
+        }
+        let s = &m.evaluate()[0];
+        // 1% bad against a 10% budget: burn 0.1.
+        assert!(s.short_burn < 1.0, "short burn {}", s.short_burn);
+        assert!(!s.breached);
+    }
+
+    #[test]
+    fn sustained_burn_breaches_both_windows() {
+        let mut m = monitor();
+        for _ in 0..4 {
+            m.record("x", SloSample { good: 50, bad: 50 });
+        }
+        let s = &m.evaluate()[0];
+        assert!(s.short_burn > 1.0);
+        assert!(s.long_burn > 1.0);
+        assert!(s.breached);
+    }
+
+    #[test]
+    fn a_single_bad_day_in_a_long_good_run_does_not_breach() {
+        let mut m = monitor();
+        for _ in 0..3 {
+            m.record("x", SloSample { good: 100, bad: 0 });
+        }
+        m.record("x", SloSample { good: 0, bad: 100 });
+        for _ in 0..2 {
+            m.record("x", SloSample { good: 100, bad: 0 });
+        }
+        // Short window (last 2 days) is healthy again; no breach even
+        // though the long window still remembers the spike.
+        let s = &m.evaluate()[0];
+        assert!(s.long_burn > 1.0, "the spike still burns the long window");
+        assert!(!s.breached, "but a recovered short window suppresses the alert");
+    }
+
+    #[test]
+    fn unknown_names_are_ignored() {
+        let mut m = monitor();
+        m.record("nope", SloSample { good: 0, bad: 100 });
+        assert!(m.evaluate()[0].short_burn.abs() < 1e-12);
+    }
+
+    #[test]
+    fn history_is_bounded_by_the_long_window() {
+        let mut m = monitor();
+        // 10 terrible days followed by `long_window` perfect ones: the
+        // terrible days must age out entirely.
+        for _ in 0..10 {
+            m.record("x", SloSample { good: 0, bad: 100 });
+        }
+        for _ in 0..4 {
+            m.record("x", SloSample { good: 100, bad: 0 });
+        }
+        let s = &m.evaluate()[0];
+        assert!(s.long_burn.abs() < 1e-12, "long burn {}", s.long_burn);
+    }
+}

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::trace::TraceContext;
+
 /// A typed span attribute value.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FieldValue {
@@ -85,6 +87,11 @@ pub struct SpanRecord {
     pub end_ns: u64,
     /// Recorded attributes, in recording order.
     pub fields: Vec<(String, FieldValue)>,
+    /// Deterministic causal position, when the span was opened under an
+    /// ambient [`TraceContext`] (or with an explicit one). Unlike
+    /// `parent`, which only links spans on one recorder, this stitches
+    /// spans across recorders, threads, and agents.
+    pub trace: Option<TraceContext>,
 }
 
 impl SpanRecord {
@@ -114,6 +121,7 @@ mod tests {
             start_ns: 10,
             end_ns: 4,
             fields: Vec::new(),
+            trace: None,
         };
         assert_eq!(span.duration_ns(), 0);
     }
@@ -127,6 +135,7 @@ mod tests {
             start_ns: 0,
             end_ns: 1,
             fields: vec![("n".into(), FieldValue::U64(5))],
+            trace: None,
         };
         assert_eq!(span.field("n"), Some(&FieldValue::U64(5)));
         assert_eq!(span.field("missing"), None);
