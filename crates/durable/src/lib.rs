@@ -36,10 +36,15 @@ pub mod storage;
 pub mod wal;
 
 /// The commonly-used surface: `use enki_durable::prelude::*;`.
+///
+/// Deliberately excludes [`file::FileStorage`]: the real-filesystem
+/// backend is the crate's nondeterministic boundary (lint rule R11
+/// bans `enki_durable::file` outside this crate), and a prelude
+/// re-export would smuggle it past that check. Name the module
+/// explicitly where the real backend is genuinely wanted.
 pub mod prelude {
     pub use crate::crc::crc32;
     pub use crate::fault::{BitRot, FaultPlan, FaultStats, FaultStorage, OpKind, TornWrite};
-    pub use crate::file::FileStorage;
     pub use crate::storage::{MemStorage, Storage, StorageError};
     pub use crate::wal::{
         CorruptKind, Lsn, Quarantine, Recovery, Wal, WalConfig, WalError, WalRecord, WalStats,

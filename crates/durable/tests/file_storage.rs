@@ -9,6 +9,7 @@
 use std::fs;
 use std::path::PathBuf;
 
+use enki_durable::file::FileStorage;
 use enki_durable::prelude::*;
 use enki_durable::wal::segment_name;
 

@@ -243,7 +243,7 @@ mod tests {
 
     #[test]
     fn unknown_rule_and_bad_count_are_rejected() {
-        let err = parse("R9 a.rs 1 # x\nR1 a.rs none # x\nR1 a.rs 0 # x\n").expect_err("rejected");
+        let err = parse("R99 a.rs 1 # x\nR1 a.rs none # x\nR1 a.rs 0 # x\n").expect_err("rejected");
         assert_eq!(err.len(), 3);
     }
 

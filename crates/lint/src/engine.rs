@@ -4,9 +4,11 @@ use std::path::{Path, PathBuf};
 
 use crate::baseline;
 use crate::context::analyze;
+use crate::graph;
 use crate::lexer::tokenize;
 use crate::report::{git_rev, Report};
 use crate::rules::{check_file, SourceFile, Violation};
+use crate::taint;
 
 /// Directory names never descended into: build output, vendored
 /// dependency stand-ins, VCS metadata, and the linter's own rule
@@ -84,7 +86,36 @@ pub fn discover(root: &Path) -> Result<Vec<PathBuf>, String> {
     Ok(files)
 }
 
-/// Runs the full check: walk, lex, rule scan, baseline application.
+/// Discovers every internal crate manifest (`crates/*/Cargo.toml`)
+/// under `root`, sorted for deterministic reports.
+fn discover_manifests(root: &Path) -> Vec<graph::Manifest> {
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        return Vec::new();
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path().join("Cargo.toml")))
+        .filter(|p| p.is_file())
+        .collect();
+    paths.sort();
+    paths
+        .iter()
+        .filter_map(|p| {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            std::fs::read_to_string(p)
+                .ok()
+                .map(|text| graph::parse_manifest(&rel, &text))
+        })
+        .collect()
+}
+
+/// Runs the full check: walk, lex, per-file rule scan, the workspace
+/// passes (R9 lock-order, R10 determinism-taint, R11 layering), and
+/// baseline application.
 ///
 /// # Errors
 ///
@@ -95,6 +126,7 @@ pub fn discover(root: &Path) -> Result<Vec<PathBuf>, String> {
 pub fn run_check(config: &CheckConfig) -> Result<Report, String> {
     let mut violations: Vec<Violation> = Vec::new();
     let files = discover(&config.root)?;
+    let mut sources: Vec<SourceFile> = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path
             .strip_prefix(&config.root)
@@ -103,8 +135,15 @@ pub fn run_check(config: &CheckConfig) -> Result<Report, String> {
             .replace('\\', "/");
         let source = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        violations.extend(check_file(&classify(&rel, &source)));
+        let classified = classify(&rel, &source);
+        violations.extend(check_file(&classified));
+        sources.push(classified);
     }
+    // Workspace passes see every file at once.
+    let manifests = discover_manifests(&config.root);
+    violations.extend(graph::lock_order(&sources));
+    violations.extend(graph::layering(&sources, &manifests));
+    violations.extend(taint::determinism_taint(&sources));
     violations.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
     });

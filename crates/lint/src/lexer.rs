@@ -38,6 +38,11 @@ pub struct Token {
     pub text: String,
     /// 1-based line the lexeme starts on.
     pub line: u32,
+    /// Raw lexeme for [`TokenKind::Str`] only (quotes and fences
+    /// included), empty for every other kind. Rules must keep matching
+    /// on `text`; this exists solely for passes that need to inspect
+    /// literal bodies, such as `{:p}` format-string detection.
+    pub content: String,
 }
 
 impl Token {
@@ -147,6 +152,7 @@ pub fn tokenize(source: &str) -> Vec<Token> {
                         kind: TokenKind::Char,
                         text: String::new(),
                         line: start_line,
+                        content: String::new(),
                     });
                     continue;
                 }
@@ -162,6 +168,24 @@ pub fn tokenize(source: &str) -> Vec<Token> {
                     while chars.get(j) == Some(&'#') {
                         hashes += 1;
                         j += 1;
+                    }
+                    // `r#ident` (raw identifier), not a raw string: no
+                    // quote after the fence. Emit a single Ident token
+                    // whose text keeps the `r#` prefix, so `r#use` can
+                    // never be mistaken for the `use` keyword.
+                    if chars.get(j) != Some(&'"') {
+                        let mut k = j;
+                        while k < chars.len() && is_ident_continue(chars[k]) {
+                            k += 1;
+                        }
+                        tokens.push(Token {
+                            kind: TokenKind::Ident,
+                            text: chars[start..k].iter().collect(),
+                            line,
+                            content: String::new(),
+                        });
+                        i = k;
+                        continue;
                     }
                     j += 1; // opening quote
                     loop {
@@ -203,6 +227,7 @@ pub fn tokenize(source: &str) -> Vec<Token> {
                     kind: TokenKind::Str,
                     text: String::new(),
                     line: start_line,
+                    content: chars[start..i.min(chars.len())].iter().collect(),
                 });
                 continue;
             }
@@ -229,6 +254,7 @@ pub fn tokenize(source: &str) -> Vec<Token> {
                 kind: TokenKind::Str,
                 text: String::new(),
                 line: start_line,
+                content: chars[start..i.min(chars.len())].iter().collect(),
             });
             continue;
         }
@@ -250,6 +276,7 @@ pub fn tokenize(source: &str) -> Vec<Token> {
                     kind: TokenKind::Char,
                     text: String::new(),
                     line,
+                    content: String::new(),
                 });
                 i = j;
                 continue;
@@ -265,6 +292,7 @@ pub fn tokenize(source: &str) -> Vec<Token> {
                         kind: TokenKind::Char,
                         text: String::new(),
                         line,
+                        content: String::new(),
                     });
                     i = j + 1;
                 } else {
@@ -272,6 +300,7 @@ pub fn tokenize(source: &str) -> Vec<Token> {
                         kind: TokenKind::Lifetime,
                         text: chars[i + 1..j].iter().collect(),
                         line,
+                        content: String::new(),
                     });
                     i = j;
                 }
@@ -282,6 +311,7 @@ pub fn tokenize(source: &str) -> Vec<Token> {
                 kind: TokenKind::Punct,
                 text: "'".to_string(),
                 line,
+                content: String::new(),
             });
             i += 1;
             continue;
@@ -338,14 +368,13 @@ pub fn tokenize(source: &str) -> Vec<Token> {
                 kind: if is_float { TokenKind::Float } else { TokenKind::Int },
                 text: chars[start..i].iter().collect(),
                 line,
+                content: String::new(),
             });
             continue;
         }
-        // Identifier / keyword (including r#raw identifiers — the `r#`
-        // path above only fires when a quote or fence follows, and
-        // `r#ident` has an ident char after `#`, so it lands here via
-        // the punct fallthrough; good enough for this workspace, which
-        // uses no raw identifiers).
+        // Identifier / keyword. Raw identifiers (`r#ident`) are handled
+        // in the raw-string branch above, which falls back to a single
+        // Ident token when no quote follows the `#` fence.
         if is_ident_start(c) {
             let start = i;
             while i < chars.len() && is_ident_continue(chars[i]) {
@@ -355,6 +384,7 @@ pub fn tokenize(source: &str) -> Vec<Token> {
                 kind: TokenKind::Ident,
                 text: chars[start..i].iter().collect(),
                 line,
+                content: String::new(),
             });
             continue;
         }
@@ -367,6 +397,7 @@ pub fn tokenize(source: &str) -> Vec<Token> {
                     kind: TokenKind::Punct,
                     text: (*p).to_string(),
                     line,
+                    content: String::new(),
                 });
                 i += len;
                 matched = true;
@@ -378,6 +409,7 @@ pub fn tokenize(source: &str) -> Vec<Token> {
                 kind: TokenKind::Punct,
                 text: c.to_string(),
                 line,
+                content: String::new(),
             });
             i += 1;
         }
@@ -456,6 +488,29 @@ mod tests {
         assert_eq!(find("a"), Some(1));
         assert_eq!(find("b"), Some(5));
         assert_eq!(find("c"), Some(8));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_idents_with_prefix() {
+        let toks = tokenize("let r#use = r#match; fn r#fn() {}");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "r#use", "r#match", "fn", "r#fn"]);
+        // Crucially the keyword spellings never appear bare.
+        assert!(!toks.iter().any(|t| t.is_ident("use") || t.is_ident("match")));
+    }
+
+    #[test]
+    fn str_tokens_carry_raw_content_but_empty_text() {
+        let toks = tokenize("let s = \"ptr={:p}\"; let r = r#\"x\"#;");
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].text.is_empty());
+        assert!(strs[0].content.contains("{:p}"));
+        assert_eq!(strs[1].content, "r#\"x\"#");
     }
 
     #[test]

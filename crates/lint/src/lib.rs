@@ -11,17 +11,35 @@
 //!
 //! Like `enki-telemetry`, the crate has **zero external dependencies**:
 //! a small Rust token scanner ([`lexer`]), a test-region analyzer
-//! ([`context`]), a seven-rule engine ([`rules`]), baseline
-//! suppression files with mandatory justifications ([`baseline`]), and
-//! deterministic text/JSONL reporting ([`report`]) that reuses the
+//! ([`context`]), an item-level parser ([`parse`]), a twelve-rule
+//! engine ([`rules`]) with workspace-graph passes ([`graph`],
+//! [`taint`]), baseline suppression files with mandatory
+//! justifications ([`baseline`]), and deterministic text/JSONL/SARIF
+//! reporting ([`report`], [`sarif`]) — the JSONL output reuses the
 //! `enki-telemetry/1` header shape.
+//!
+//! ## The catalog
+//!
+//! The per-file rules: R1 **no-panic**, R2 **no-direct-clock**,
+//! R3 **float-discipline**, R4 **no-hash-iteration**,
+//! R5 **thread-discipline**, R6 **must-use-result**,
+//! R7 **crate-header**, R8 **fs-boundary**, R12 **cast-discipline**.
+//! The workspace-graph rules, which see every file at once:
+//! R9 **lock-order** (static lock-acquisition graph must be acyclic,
+//! cycles fail with their full witness path), R10 **determinism-taint**
+//! (nondeterminism sources must not flow into WAL/checkpoint encoders
+//! or trace derivation), R11 **layering** (the declarative crate DAG).
+//! [`rules::RuleId`] is the single source of truth: the CLI catalog and
+//! the DESIGN.md table are both generated from it.
 //!
 //! ## Usage
 //!
 //! ```text
 //! cargo run -p enki-lint -- check                  # gate the workspace
 //! cargo run -p enki-lint -- check --format json    # machine-readable
+//! cargo run -p enki-lint -- check --format sarif   # SARIF 2.1.0
 //! cargo run -p enki-lint -- rules                  # print the catalog
+//! cargo run -p enki-lint -- rules --markdown       # the DESIGN.md table
 //! ```
 //!
 //! ## Programmatic entry point
@@ -46,9 +64,13 @@
 pub mod baseline;
 pub mod context;
 pub mod engine;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod sarif;
+pub mod taint;
 
 pub use engine::{run_check, CheckConfig};
 pub use report::Report;

@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! enki-lint check [--root DIR] [--baseline FILE] [--no-baseline]
-//!                 [--format text|json] [--output FILE]
+//!                 [--format text|json|sarif] [--output FILE]
 //!                 [--write-baseline FILE]
-//! enki-lint rules
+//! enki-lint rules [--markdown]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` violations or stale baseline entries,
-//! `2` usage or configuration errors (unreadable files, malformed
-//! baseline).
+//! Exit codes: `0` clean, `1` rule violations, `2` usage or
+//! configuration errors — unreadable files, a malformed baseline, or a
+//! stale baseline entry (the baseline no longer matches the tree and
+//! must be shrunk by hand, so it is a configuration error, not a code
+//! one).
 
 #![deny(unsafe_code)]
 
@@ -23,17 +25,20 @@ const USAGE: &str = "usage: enki-lint <check|rules> [options]\n\
   check --root DIR         workspace root (default: current directory)\n\
         --baseline FILE    suppression file (default: <root>/lint.baseline)\n\
         --no-baseline      ignore any baseline file\n\
-        --format FMT       text (default) or json\n\
+        --format FMT       text (default), json, or sarif\n\
         --output FILE      write the report there instead of stdout\n\
         --write-baseline F snapshot current violations as a baseline\n\
                            (entries carry an UNJUSTIFIED placeholder that\n\
                            check rejects until hand-justified)\n\
-  rules                    print the rule catalog";
+  rules [--markdown]       print the rule catalog (or the DESIGN.md table)\n\
+exit codes: 0 clean, 1 rule violations, 2 usage/configuration errors\n\
+            (including stale baseline entries)";
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 fn fail(message: &str) -> ExitCode {
@@ -42,10 +47,20 @@ fn fail(message: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-fn print_rules() {
+fn print_rules(markdown: bool) {
+    if markdown {
+        print!("{}", enki_lint::rules::markdown_table());
+        return;
+    }
     println!("enki-lint rules:");
     for rule in ALL_RULES {
-        println!("  {} {:<18} {}", rule.code(), rule.name(), rule.rationale());
+        let kind = if rule.is_workspace_rule() {
+            " (workspace)"
+        } else {
+            ""
+        };
+        println!("  {:<3} {:<18} {}{kind}", rule.code(), rule.name(), rule.enforces());
+        println!("      why: {}", rule.rationale());
     }
 }
 
@@ -55,10 +70,17 @@ fn main() -> ExitCode {
         return fail("missing command");
     };
     match command.as_str() {
-        "rules" => {
-            print_rules();
-            ExitCode::SUCCESS
-        }
+        "rules" => match args.get(1).map(String::as_str) {
+            None => {
+                print_rules(false);
+                ExitCode::SUCCESS
+            }
+            Some("--markdown") => {
+                print_rules(true);
+                ExitCode::SUCCESS
+            }
+            Some(other) => fail(&format!("unknown option `{other}`")),
+        },
         "check" => check(&args[1..]),
         other => fail(&format!("unknown command `{other}`")),
     }
@@ -92,6 +114,7 @@ fn check(args: &[String]) -> ExitCode {
             "--format" => match take("--format").as_deref() {
                 Ok("text") => format = Format::Text,
                 Ok("json") => format = Format::Json,
+                Ok("sarif") => format = Format::Sarif,
                 Ok(other) => return fail(&format!("unknown format `{other}`")),
                 Err(e) => return fail(e),
             },
@@ -143,6 +166,7 @@ fn check(args: &[String]) -> ExitCode {
     let rendered = match format {
         Format::Text => report::to_text(&checked),
         Format::Json => report::to_jsonl(&checked),
+        Format::Sarif => enki_lint::sarif::to_sarif(&checked),
     };
     match output {
         Some(path) => {
@@ -156,9 +180,13 @@ fn check(args: &[String]) -> ExitCode {
         None => print!("{rendered}"),
     }
 
-    if checked.ok() {
-        ExitCode::SUCCESS
-    } else {
+    if !checked.violations.is_empty() {
         ExitCode::FAILURE
+    } else if !checked.stale.is_empty() {
+        // A stale entry means the baseline file no longer matches the
+        // tree: configuration error, same class as a malformed baseline.
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -1,4 +1,16 @@
-//! The rule catalog: eight machine-checked project invariants.
+//! The rule catalog: twelve machine-checked project invariants.
+//!
+//! This module is the **single source of truth** for the catalog:
+//! [`RuleId::code`], [`RuleId::name`], [`RuleId::rationale`],
+//! [`RuleId::enforces`], and [`RuleId::protects`] feed the CLI `rules`
+//! output, and [`markdown_table`] renders the DESIGN.md table — a
+//! docs-sync test asserts both stay verbatim-identical to this
+//! registry, so the documentation cannot drift.
+//!
+//! Rules R1–R8 are per-file ([`check_file`]); R9–R11 need the whole
+//! workspace at once and live in [`crate::graph`] (lock-order,
+//! layering) and [`crate::taint`] (determinism taint). R12
+//! (cast-discipline) is per-file and implemented here.
 //!
 //! Each rule guards a property the paper's guarantees lean on (see
 //! DESIGN.md § Static analysis for the full rationale):
@@ -34,6 +46,18 @@
 //!   deterministic crates, persistence must go through the injectable
 //!   `enki_durable::Storage` trait, or crash-recovery tests could not
 //!   fault it.
+//! * **R9 lock-order** — the workspace lock-acquisition graph must be
+//!   acyclic; any cycle is a potential deadlock and fails with its
+//!   full witness path.
+//! * **R10 determinism-taint** — nondeterminism sources (clock reads,
+//!   thread ids, pointer formatting, `RandomState`) must not flow into
+//!   checkpoint/WAL encoders or trace derivation.
+//! * **R11 layering** — the declarative crate DAG: deterministic
+//!   crates cannot grow dependencies on the nondeterministic edge,
+//!   the real-filesystem backend, observability, or bench bins.
+//! * **R12 cast-discipline** — no narrowing `as` casts on money/
+//!   energy/time-typed values; truncation must be explicit
+//!   (`try_from`) so overflow surfaces as an error.
 
 use crate::context::{attrs_before, FileContext};
 use crate::lexer::{Token, TokenKind};
@@ -57,10 +81,18 @@ pub enum RuleId {
     CrateHeader,
     /// `std::fs` only in the sanctioned storage backend.
     FsBoundary,
+    /// The workspace lock-acquisition graph must be acyclic.
+    LockOrder,
+    /// Nondeterminism must not flow into encoders or trace derivation.
+    DeterminismTaint,
+    /// The declarative crate DAG must hold.
+    Layering,
+    /// No narrowing `as` casts on domain-typed values.
+    CastDiscipline,
 }
 
 /// Every rule, in report order.
-pub const ALL_RULES: [RuleId; 8] = [
+pub const ALL_RULES: [RuleId; 12] = [
     RuleId::NoPanic,
     RuleId::NoDirectClock,
     RuleId::FloatDiscipline,
@@ -69,10 +101,14 @@ pub const ALL_RULES: [RuleId; 8] = [
     RuleId::MustUseResult,
     RuleId::CrateHeader,
     RuleId::FsBoundary,
+    RuleId::LockOrder,
+    RuleId::DeterminismTaint,
+    RuleId::Layering,
+    RuleId::CastDiscipline,
 ];
 
 impl RuleId {
-    /// Short stable code used in baselines and reports (`R1`…`R8`).
+    /// Short stable code used in baselines and reports (`R1`…`R12`).
     #[must_use]
     pub fn code(self) -> &'static str {
         match self {
@@ -84,6 +120,10 @@ impl RuleId {
             Self::MustUseResult => "R6",
             Self::CrateHeader => "R7",
             Self::FsBoundary => "R8",
+            Self::LockOrder => "R9",
+            Self::DeterminismTaint => "R10",
+            Self::Layering => "R11",
+            Self::CastDiscipline => "R12",
         }
     }
 
@@ -99,7 +139,21 @@ impl RuleId {
             Self::MustUseResult => "must-use-result",
             Self::CrateHeader => "crate-header",
             Self::FsBoundary => "fs-boundary",
+            Self::LockOrder => "lock-order",
+            Self::DeterminismTaint => "determinism-taint",
+            Self::Layering => "layering",
+            Self::CastDiscipline => "cast-discipline",
         }
+    }
+
+    /// True for rules that need the whole workspace at once (a single
+    /// file cannot witness them); they run after the per-file pass.
+    #[must_use]
+    pub fn is_workspace_rule(self) -> bool {
+        matches!(
+            self,
+            Self::LockOrder | Self::DeterminismTaint | Self::Layering
+        )
     }
 
     /// One-line rationale, tied to the paper guarantee it protects.
@@ -141,6 +195,103 @@ impl RuleId {
                  trait; ad-hoc std::fs in mechanism code would dodge crash-consistency \
                  testing — only the sanctioned file backend touches the filesystem"
             }
+            Self::LockOrder => {
+                "two threads acquiring the same locks in opposite orders deadlock; \
+                 the static acquisition graph over the sanctioned concurrency sites \
+                 must stay acyclic or the solver pool and serve edge can hang a day's \
+                 settlement forever"
+            }
+            Self::DeterminismTaint => {
+                "wall-clock reads, thread ids, pointer formatting, and RandomState \
+                 must not reach the WAL/checkpoint encoders or trace derivation: a \
+                 single tainted byte makes recovery replay and cross-run trace \
+                 comparison diverge"
+            }
+            Self::Layering => {
+                "the deterministic core must not grow imports of the nondeterministic \
+                 edge (serve::edge), the real filesystem backend (durable::file), or \
+                 observability; the crate DAG is declared once and machine-checked so \
+                 replay-safety cannot erode one convenient import at a time"
+            }
+            Self::CastDiscipline => {
+                "a narrowing `as` cast silently truncates; on money, energy, or time \
+                 values that turns an overflow into a wrong bill instead of an error — \
+                 use try_from so the failure surfaces"
+            }
+        }
+    }
+
+    /// What the rule checks, mechanically (middle column of the
+    /// DESIGN.md table; also shown by `enki-lint rules`).
+    #[must_use]
+    pub fn enforces(self) -> &'static str {
+        match self {
+            Self::NoPanic => {
+                "no `panic!`/`todo!`/`unimplemented!`/`unreachable!`/`.unwrap()`/\
+                 `.expect()` in non-test code of the mechanism crates"
+            }
+            Self::NoDirectClock => {
+                "no `Instant::now()`/`SystemTime::now()` outside the sanctioned \
+                 clock wrapper and the serve edge"
+            }
+            Self::FloatDiscipline => {
+                "no `==`/`!=` against float literals, no `.sort_by(partial_cmp)`, \
+                 no bare `f64::NAN` comparisons"
+            }
+            Self::NoHashIteration => {
+                "no iteration over `HashMap`/`HashSet` in deterministic crates \
+                 (use `BTreeMap`/`BTreeSet` or sort first)"
+            }
+            Self::ThreadDiscipline => {
+                "`thread::spawn`/`Mutex`/`RwLock`/`Condvar` only in the sanctioned \
+                 concurrency sites"
+            }
+            Self::MustUseResult => {
+                "public fallible APIs in `enki-core` carry `#[must_use]`"
+            }
+            Self::CrateHeader => "every crate root declares `#![deny(unsafe_code)]`",
+            Self::FsBoundary => {
+                "`std::fs` only inside `crates/durable/src/file.rs`; everything \
+                 else goes through the `Storage` trait"
+            }
+            Self::LockOrder => {
+                "the workspace lock-acquisition graph (including locks reached \
+                 through one level of intra-crate calls) has no cycle; violations \
+                 print the full witness path"
+            }
+            Self::DeterminismTaint => {
+                "nondeterminism sources (`Instant`/`SystemTime`, thread ids, `{:p}` \
+                 formatting, `RandomState`) never flow into WAL/checkpoint encoders \
+                 or `TraceContext` derivation"
+            }
+            Self::Layering => {
+                "crate imports match the declared DAG; deterministic crates never \
+                 import `serve::edge`, `durable::file`, `enki-obs`, or bench bins"
+            }
+            Self::CastDiscipline => {
+                "no narrowing `as` casts (`as u8`…`as i32`) on money/energy/time-\
+                 typed values in mechanism crates; use `try_from`"
+            }
+        }
+    }
+
+    /// Which paper guarantee the rule protects (right column of the
+    /// DESIGN.md table).
+    #[must_use]
+    pub fn protects(self) -> &'static str {
+        match self {
+            Self::NoPanic => "Theorem 1 — settlement must complete on adversarial input",
+            Self::NoDirectClock => "byte-reproducible replay and trace comparison",
+            Self::FloatDiscipline => "deterministic allocation order; exact bill splits",
+            Self::NoHashIteration => "deterministic allocation and payment order",
+            Self::ThreadDiscipline => "single-threaded, auditable mechanism core",
+            Self::MustUseResult => "invariant violations surface instead of vanishing",
+            Self::CrateHeader => "memory safety across the whole workspace",
+            Self::FsBoundary => "crash-consistency via injectable storage faults",
+            Self::LockOrder => "liveness — a deadlocked center never settles the day",
+            Self::DeterminismTaint => "recovery replay equals the original run, byte for byte",
+            Self::Layering => "the deterministic core stays replayable as the repo grows",
+            Self::CastDiscipline => "Theorem 1 — overflow becomes an error, not a wrong bill",
         }
     }
 
@@ -151,6 +302,25 @@ impl RuleId {
             .into_iter()
             .find(|r| r.code() == text || r.name() == text)
     }
+}
+
+/// Renders the rule catalog as the DESIGN.md table. A docs-sync test
+/// asserts DESIGN.md contains this output verbatim, so the table can
+/// only be changed by changing the registry.
+#[must_use]
+pub fn markdown_table() -> String {
+    let mut out = String::from("| Rule | Enforces | Paper guarantee it protects |\n|---|---|---|\n");
+    for rule in ALL_RULES {
+        let enforces: String = rule.enforces().split_whitespace().collect::<Vec<_>>().join(" ");
+        out.push_str(&format!(
+            "| {} `{}` | {} | {} |\n",
+            rule.code(),
+            rule.name(),
+            enforces,
+            rule.protects()
+        ));
+    }
+    out
 }
 
 impl std::fmt::Display for RuleId {
@@ -225,6 +395,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     must_use_result(file, &mut out);
     if file.in_crate(&["core", "solver", "agents", "serve", "durable"]) {
         fs_boundary(file, &mut out);
+        cast_discipline(file, &mut out);
     }
     out.sort_by_key(|v| (v.line, v.rule));
     out
@@ -581,6 +752,102 @@ fn crate_header(file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Integer types a cast *into* can silently truncate toward.
+const NARROW_CASTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Identifier segments that mark a value as money-, energy-, or
+/// time-typed. Matched per snake_case segment after lowercasing, with
+/// a trailing plural `s` stripped (`deadlines` → `deadline`).
+const TYPED_VALUE_MARKERS: [&str; 24] = [
+    "bill", "payment", "pay", "price", "cost", "tariff", "load", "power", "energy", "kwh", "tick",
+    "deadline", "day", "hour", "slot", "duration", "begin", "end", "len", "payload", "frame",
+    "report", "amount", "money",
+];
+
+/// Returns the marker a snake_case identifier matches, if any.
+fn typed_value_marker(ident: &str) -> Option<&'static str> {
+    for seg in ident.split('_') {
+        let lower = seg.to_ascii_lowercase();
+        let stem = lower.strip_suffix('s').unwrap_or(&lower);
+        if let Some(m) = TYPED_VALUE_MARKERS
+            .iter()
+            .find(|&&m| m == lower || m == stem)
+        {
+            return Some(m);
+        }
+    }
+    None
+}
+
+/// Expression terminators for the backward operand walk: any of these
+/// at nesting depth zero means we have walked past the cast operand.
+fn ends_cast_operand(t: &Token) -> bool {
+    matches!(
+        t.text.as_str(),
+        "let" | "return" | "if" | "else" | "match" | "while" | "for" | "in" | "as"
+    )
+}
+
+fn cast_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
+    let toks = &file.tokens;
+    for i in live_indices(file) {
+        if !toks[i].is_ident("as") {
+            continue;
+        }
+        let Some(ty) = toks
+            .get(i + 1)
+            .filter(|n| n.kind == TokenKind::Ident && NARROW_CASTS.contains(&n.text.as_str()))
+        else {
+            continue;
+        };
+        // Walk the operand backwards through its postfix chain
+        // (`self.frame.payload.len() as u32` → len, payload, frame),
+        // collecting identifiers until a depth-zero token that cannot
+        // belong to the operand. The first identifier matching a
+        // typed-value marker is the witness.
+        let mut depth = 0i32;
+        let mut j = i;
+        let mut steps = 0;
+        let mut witness: Option<(String, &'static str)> = None;
+        while j > 0 && steps < 24 && witness.is_none() {
+            j -= 1;
+            steps += 1;
+            let p = &toks[j];
+            match p.kind {
+                TokenKind::Punct => match p.text.as_str() {
+                    ")" | "]" => depth += 1,
+                    "(" | "[" if depth > 0 => depth -= 1,
+                    "(" | "[" => break,
+                    "." | "::" => {}
+                    _ if depth == 0 => break,
+                    _ => {}
+                },
+                TokenKind::Ident if ends_cast_operand(p) && depth == 0 => break,
+                TokenKind::Ident => {
+                    if let Some(m) = typed_value_marker(&p.text) {
+                        witness = Some((p.text.clone(), m));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some((ident, marker)) = witness {
+            let ty = &ty.text;
+            push(
+                out,
+                file,
+                RuleId::CastDiscipline,
+                toks[i].line,
+                format!(
+                    "narrowing `as {ty}` on `{ident}` (typed-value marker `{marker}`): \
+                     truncation silently corrupts money/energy/time values — convert \
+                     with `{ty}::try_from` and surface the overflow"
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -861,5 +1128,68 @@ mod tests {
         let v = check_file(&file("crates/durable/src/wal.rs", src));
         assert!(codes(&v).contains(&"R1"), "unwrap in durable: {v:?}");
         assert!(codes(&v).contains(&"R4"), "HashMap in durable: {v:?}");
+    }
+
+    #[test]
+    fn cast_discipline_flags_typed_values_narrowed() {
+        let v = check_file(&file(
+            "crates/serve/src/codec.rs",
+            "fn f(total_bill: u64) -> u32 { total_bill as u32 }",
+        ));
+        assert_eq!(codes(&v), vec!["R12"], "{v:?}");
+        assert!(v[0].message.contains("`as u32`"), "{}", v[0].message);
+        assert!(v[0].message.contains("`total_bill`"), "{}", v[0].message);
+        // Postfix chains walk back through calls and field accesses.
+        let v = check_file(&file(
+            "crates/serve/src/codec.rs",
+            "fn g(frame: &Frame) -> u16 { frame.payload.len() as u16 }",
+        ));
+        assert_eq!(codes(&v), vec!["R12"], "{v:?}");
+        // Plural segments match their singular marker.
+        let v = check_file(&file(
+            "crates/solver/src/problem.rs",
+            "fn h(deferments: &[Deferment]) -> u32 { deferments.len() as u32 }",
+        ));
+        assert_eq!(codes(&v), vec!["R12"], "{v:?}");
+    }
+
+    #[test]
+    fn cast_discipline_ignores_untyped_and_widening_casts() {
+        // No typed-value marker in the operand: not our business.
+        let ok = check_file(&file(
+            "crates/core/src/x.rs",
+            "fn f(idx: usize) -> u32 { idx as u32 }",
+        ));
+        assert!(codes(&ok).is_empty(), "{ok:?}");
+        // Widening casts never truncate.
+        let ok = check_file(&file(
+            "crates/core/src/x.rs",
+            "fn f(bill_cents: u32) -> u64 { bill_cents as u64 }",
+        ));
+        assert!(codes(&ok).is_empty(), "{ok:?}");
+        // Binary operators bound the operand walk: only the right-hand
+        // side of `+` belongs to the cast.
+        let ok = check_file(&file(
+            "crates/core/src/x.rs",
+            "fn f(day: u32, idx: usize) -> u32 { day + idx as u32 }",
+        ));
+        assert!(codes(&ok).is_empty(), "{ok:?}");
+        // Outside the mechanism crates the rule is silent.
+        let ok = check_file(&file(
+            "crates/bench/src/x.rs",
+            "fn f(total_bill: u64) -> u32 { total_bill as u32 }",
+        ));
+        assert!(codes(&ok).is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn markdown_table_covers_every_rule_once() {
+        let table = super::markdown_table();
+        assert!(table.starts_with("| Rule | Enforces | Paper guarantee it protects |\n|---|---|---|\n"));
+        for rule in ALL_RULES {
+            let cell = format!("| {} `{}` |", rule.code(), rule.name());
+            assert_eq!(table.matches(&cell).count(), 1, "{cell}");
+        }
+        assert_eq!(table.lines().count(), 2 + ALL_RULES.len());
     }
 }

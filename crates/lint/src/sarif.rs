@@ -1,0 +1,536 @@
+//! SARIF 2.1.0 output (`check --format sarif`) plus a zero-dependency
+//! validator for the required-property subset the emitter promises.
+//!
+//! SARIF (Static Analysis Results Interchange Format) is what code
+//! hosts and CI dashboards ingest. The emitter covers the minimal
+//! profile those consumers need:
+//!
+//! * `version` / `$schema` at the top level;
+//! * one `run` with `tool.driver` carrying the full rule catalog
+//!   (`id`, `name`, `shortDescription`, `fullDescription`,
+//!   `helpUri`-free — the catalog is self-describing);
+//! * one `result` per violation (`level: "error"`), per suppressed
+//!   finding (`level: "note"` with a `suppressions` entry), and per
+//!   stale baseline entry (`level: "warning"`, located at the baseline
+//!   line);
+//! * every `result` has `ruleId`, `message.text`, and one physical
+//!   location with `artifactLocation.uri` and `region.startLine`.
+//!
+//! Because the crate takes no external dependencies, [`validate`]
+//! ships its own small JSON parser ([`parse_json`]) and walks the
+//! structure above; a unit test holds the emitter to it, and external
+//! tampering (a missing `message`, a non-numeric `startLine`) fails
+//! with a path-qualified error.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::baseline::StaleEntry;
+use crate::report::Report;
+use crate::rules::{Violation, ALL_RULES};
+
+/// The SARIF spec version the emitter targets.
+pub const SARIF_VERSION: &str = "2.1.0";
+
+/// The schema URI stamped into `$schema`.
+pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn result_json(v: &Violation, level: &str, suppressed: bool) -> String {
+    let suppressions = if suppressed {
+        ",\"suppressions\":[{\"kind\":\"external\"}]"
+    } else {
+        ""
+    };
+    format!(
+        "{{\"ruleId\":\"{}\",\"level\":\"{level}\",\"message\":{{\"text\":\"{}\"}},\
+         \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+         \"region\":{{\"startLine\":{}}}}}}}]{suppressions}}}",
+        v.rule.code(),
+        escape(&v.message),
+        escape(&v.path),
+        v.line.max(1),
+    )
+}
+
+fn stale_json(s: &StaleEntry) -> String {
+    format!(
+        "{{\"ruleId\":\"{}\",\"level\":\"warning\",\"message\":{{\"text\":\"stale baseline \
+         entry: {} {} expects {} violation(s), tree has {} — update or delete the \
+         entry\"}},\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+         {{\"uri\":\"lint.baseline\"}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+        s.entry.rule.code(),
+        s.entry.rule.code(),
+        escape(&s.entry.path),
+        s.entry.count,
+        s.actual,
+        s.entry.line.max(1),
+    )
+}
+
+/// Renders the report as a SARIF 2.1.0 document.
+#[must_use]
+pub fn to_sarif(report: &Report) -> String {
+    let rules: Vec<String> = ALL_RULES
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"id\":\"{}\",\"name\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\
+                 \"fullDescription\":{{\"text\":\"{}\"}}}}",
+                r.code(),
+                r.name(),
+                escape(r.enforces()),
+                escape(r.rationale()),
+            )
+        })
+        .collect();
+    let mut results: Vec<String> = Vec::new();
+    for v in &report.violations {
+        results.push(result_json(v, "error", false));
+    }
+    for (v, _reason) in &report.suppressed {
+        results.push(result_json(v, "note", true));
+    }
+    for s in &report.stale {
+        results.push(stale_json(s));
+    }
+    format!(
+        "{{\"$schema\":\"{SARIF_SCHEMA}\",\"version\":\"{SARIF_VERSION}\",\"runs\":[{{\
+         \"tool\":{{\"driver\":{{\"name\":\"enki-lint\",\"version\":\"{}\",\
+         \"informationUri\":\"https://example.invalid/enki\",\"rules\":[{}]}}}},\
+         \"automationDetails\":{{\"id\":\"enki-lint/{}\"}},\
+         \"results\":[{}]}}]}}\n",
+        env!("CARGO_PKG_VERSION"),
+        rules.join(","),
+        report.run_id(),
+        results.join(","),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (validation only)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are kept as `f64`: SARIF's required
+/// numeric properties (line numbers) fit exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (key order normalized).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses one JSON document; trailing whitespace is allowed, trailing
+/// garbage is not.
+///
+/// # Errors
+///
+/// Returns a byte-offset-qualified message on malformed input.
+#[must_use = "dropping the Result ignores JSON parse failures"]
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}",
+                char::from(b),
+                self.pos
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| {
+            matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        }) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through intact.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+fn require<'a>(value: &'a Json, key: &str, at: &str) -> Result<&'a Json, String> {
+    value
+        .get(key)
+        .ok_or_else(|| format!("{at}: missing required property `{key}`"))
+}
+
+fn require_str<'a>(value: &'a Json, key: &str, at: &str) -> Result<&'a str, String> {
+    require(value, key, at)?
+        .as_str()
+        .ok_or_else(|| format!("{at}.{key}: expected a string"))
+}
+
+/// Validates a SARIF document against the required-property subset of
+/// SARIF 2.1.0 that [`to_sarif`] promises: `version`, a non-empty
+/// `runs` array, `tool.driver.name`, rule `id`s, and per-result
+/// `ruleId` / `message.text` / physical location with a positive
+/// `startLine`. Errors name the offending JSON path.
+///
+/// # Errors
+///
+/// Returns a path-qualified message naming the first missing or
+/// mistyped required property.
+#[must_use = "dropping the Result ignores SARIF validation failures"]
+pub fn validate(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    let version = require_str(&doc, "version", "$")?;
+    if version != SARIF_VERSION {
+        return Err(format!("$.version: expected \"{SARIF_VERSION}\", got \"{version}\""));
+    }
+    let runs = require(&doc, "runs", "$")?
+        .as_arr()
+        .ok_or("$.runs: expected an array")?;
+    if runs.is_empty() {
+        return Err("$.runs: must contain at least one run".to_string());
+    }
+    for (ri, run) in runs.iter().enumerate() {
+        let at = format!("$.runs[{ri}]");
+        let tool = require(run, "tool", &at)?;
+        let driver = require(tool, "driver", &format!("{at}.tool"))?;
+        require_str(driver, "name", &format!("{at}.tool.driver"))?;
+        let mut rule_ids = Vec::new();
+        if let Some(rules) = driver.get("rules").and_then(Json::as_arr) {
+            for (i, rule) in rules.iter().enumerate() {
+                rule_ids.push(
+                    require_str(rule, "id", &format!("{at}.tool.driver.rules[{i}]"))?.to_string(),
+                );
+            }
+        }
+        let results = require(run, "results", &at)?
+            .as_arr()
+            .ok_or_else(|| format!("{at}.results: expected an array"))?;
+        for (i, result) in results.iter().enumerate() {
+            let rat = format!("{at}.results[{i}]");
+            let rule_id = require_str(result, "ruleId", &rat)?;
+            if !rule_ids.is_empty() && !rule_ids.iter().any(|r| r == rule_id) {
+                return Err(format!("{rat}.ruleId: `{rule_id}` not in the driver rule catalog"));
+            }
+            let message = require(result, "message", &rat)?;
+            require_str(message, "text", &format!("{rat}.message"))?;
+            let locations = require(result, "locations", &rat)?
+                .as_arr()
+                .ok_or_else(|| format!("{rat}.locations: expected an array"))?;
+            for (li, loc) in locations.iter().enumerate() {
+                let lat = format!("{rat}.locations[{li}]");
+                let phys = require(loc, "physicalLocation", &lat)?;
+                let artifact =
+                    require(phys, "artifactLocation", &format!("{lat}.physicalLocation"))?;
+                require_str(artifact, "uri", &format!("{lat}.physicalLocation.artifactLocation"))?;
+                let region = require(phys, "region", &format!("{lat}.physicalLocation"))?;
+                match require(region, "startLine", &format!("{lat}.physicalLocation.region"))? {
+                    Json::Num(n) if *n >= 1.0 && n.fract().abs() < f64::EPSILON => {}
+                    other => {
+                        return Err(format!(
+                            "{lat}.physicalLocation.region.startLine: expected a positive \
+                             integer, got {other:?}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineEntry;
+    use crate::rules::RuleId;
+
+    fn sample() -> Report {
+        Report {
+            files: 2,
+            violations: vec![Violation {
+                rule: RuleId::LockOrder,
+                path: "crates/solver/src/par.rs".to_string(),
+                line: 12,
+                message: "lock-order cycle \"queues → queues\"\nwitness".to_string(),
+            }],
+            suppressed: vec![(
+                Violation {
+                    rule: RuleId::NoPanic,
+                    path: "crates/core/src/x.rs".to_string(),
+                    line: 3,
+                    message: "unwrap".to_string(),
+                },
+                "legacy".to_string(),
+            )],
+            stale: vec![StaleEntry {
+                entry: BaselineEntry {
+                    rule: RuleId::FloatDiscipline,
+                    path: "crates/stats/src/y.rs".to_string(),
+                    count: 2,
+                    reason: "legacy".to_string(),
+                    line: 7,
+                },
+                actual: 0,
+            }],
+            git_rev: "abc".to_string(),
+        }
+    }
+
+    #[test]
+    fn emitted_sarif_validates_against_the_required_subset() {
+        let sarif = to_sarif(&sample());
+        validate(&sarif).expect("emitter must satisfy its own validator");
+    }
+
+    #[test]
+    fn sarif_carries_every_catalog_rule_and_all_finding_kinds() {
+        let sarif = to_sarif(&sample());
+        let doc = parse_json(&sarif).expect("parses");
+        let run = &doc.get("runs").and_then(Json::as_arr).expect("runs")[0];
+        let rules = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Json::as_arr)
+            .expect("rules");
+        assert_eq!(rules.len(), ALL_RULES.len());
+        let results = run.get("results").and_then(Json::as_arr).expect("results");
+        assert_eq!(results.len(), 3);
+        let levels: Vec<&str> = results
+            .iter()
+            .filter_map(|r| r.get("level").and_then(Json::as_str))
+            .collect();
+        assert_eq!(levels, vec!["error", "note", "warning"]);
+        // Suppressed findings carry a suppression marker.
+        assert!(results[1].get("suppressions").is_some());
+    }
+
+    #[test]
+    fn tampering_fails_with_a_path_qualified_error() {
+        let sarif = to_sarif(&sample());
+        let no_message = sarif.replace("\"message\"", "\"msg\"");
+        let err = validate(&no_message).expect_err("must reject");
+        assert!(err.contains("message"), "{err}");
+        let bad_line = sarif.replace("\"startLine\":12", "\"startLine\":\"12\"");
+        let err = validate(&bad_line).expect_err("must reject");
+        assert!(err.contains("startLine"), "{err}");
+        let wrong_version = sarif.replace("\"version\":\"2.1.0\"", "\"version\":\"9.9\"");
+        let err = validate(&wrong_version).expect_err("must reject");
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_nesting_and_rejects_garbage() {
+        let doc = parse_json("{\"a\": [1, {\"b\": \"x\\n\\u0041\"}, true, null]}").expect("parses");
+        let arr = doc.get("a").and_then(Json::as_arr).expect("a");
+        assert_eq!(arr[0], Json::Num(1.0));
+        assert_eq!(arr[1].get("b").and_then(Json::as_str), Some("x\nA"));
+        assert_eq!(arr[2], Json::Bool(true));
+        assert_eq!(arr[3], Json::Null);
+        assert!(parse_json("{\"a\": 1} extra").is_err());
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2").is_err());
+    }
+}

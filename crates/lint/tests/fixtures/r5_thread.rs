@@ -5,7 +5,7 @@ use std::sync::Mutex;
 
 pub fn racy(jobs: Vec<u32>) -> u32 {
     let total = Mutex::new(0u32);
-    let handle = std::thread::spawn(move || jobs.len() as u32);
+    let handle = std::thread::spawn(move || jobs.iter().sum::<u32>());
     let joined = handle.join().unwrap_or(0);
     total.lock().map(|guard| *guard).unwrap_or(0) + joined
 }

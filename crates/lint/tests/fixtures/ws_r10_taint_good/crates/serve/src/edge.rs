@@ -1,0 +1,7 @@
+// R10 fixture (good tree): the timestamp reaches the sink as a
+// caller-supplied parameter, so recovery can replay it.
+// Expected: no violations.
+
+pub fn persist(w: &mut Wal, micros: u64) {
+    w.append(7, micros);
+}

@@ -1,0 +1,8 @@
+// R11 fixture (bad tree): core imports the obs crate in source, too.
+// Expected: one layering violation at the `use`.
+
+use enki_obs::report::Summary;
+
+pub fn summarize() -> Summary {
+    Summary::default()
+}

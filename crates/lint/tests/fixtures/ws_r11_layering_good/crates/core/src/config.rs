@@ -1,0 +1,5 @@
+// R11 fixture (good tree): no internal imports at all.
+
+pub fn horizon() -> u32 {
+    24
+}

@@ -1,0 +1,6 @@
+// R12 fixture (bad tree): a money-typed value narrowed with `as`.
+// Expected: one cast-discipline violation naming `total_bill`.
+
+pub fn frame_word(total_bill: u64) -> u32 {
+    total_bill as u32
+}

@@ -1,0 +1,6 @@
+// R12 fixture (good tree): the narrowing is explicit, so overflow
+// surfaces instead of truncating. Expected: no violations.
+
+pub fn frame_word(total_bill: u64) -> u32 {
+    u32::try_from(total_bill).unwrap_or(u32::MAX)
+}

@@ -1,0 +1,7 @@
+// R9 fixture (bad tree): acquires `slots` then `queues` — the
+// opposite of solver/src/par.rs in this tree.
+
+pub fn post(queues: &Shared, slots: &Shared) {
+    let s = slots.lock();
+    queues.lock().push(2);
+}

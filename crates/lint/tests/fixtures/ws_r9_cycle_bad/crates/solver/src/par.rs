@@ -1,0 +1,8 @@
+// R9 fixture (bad tree): acquires `queues` then `slots` — the
+// opposite of serve/src/edge.rs in this tree.
+// Expected: one lock-order cycle with a full witness path.
+
+pub fn drain(queues: &Shared, slots: &Shared) {
+    let q = queues.lock();
+    slots.lock().push(1);
+}

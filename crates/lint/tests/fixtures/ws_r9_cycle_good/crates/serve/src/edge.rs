@@ -1,0 +1,6 @@
+// R9 fixture (good tree): same global order as solver/src/par.rs.
+
+pub fn post(queues: &Shared, slots: &Shared) {
+    let q = queues.lock();
+    slots.lock().push(2);
+}

@@ -1,0 +1,7 @@
+// R9 fixture (good tree): both files acquire `queues` before `slots`.
+// Expected: no violations.
+
+pub fn drain(queues: &Shared, slots: &Shared) {
+    let q = queues.lock();
+    slots.lock().push(1);
+}

@@ -1,0 +1,170 @@
+//! Property tests for the item-level parser on adversarial token
+//! streams. The parser's contract is *graceful degradation*: anything
+//! it cannot classify becomes an opaque item, and nothing — raw
+//! strings full of keywords, `r#`-escaped identifiers, nested
+//! turbofish, macro bodies, truncated garbage — may make it panic,
+//! loop, or fabricate structure that is not there.
+
+use enki_lint::lexer::tokenize;
+use enki_lint::parse::{matching_delim, parse};
+use proptest::prelude::*;
+
+/// Well-formed item fragments the parser must classify exactly: each
+/// entry is (source, real fn names, real use paths).
+const CLASSIFIED: &[(&str, &[&str], &[&str])] = &[
+    ("fn alpha() { let x = 1; }", &["alpha"], &[]),
+    (
+        "use a::{b::{c, d::*}, e as f};",
+        &[],
+        &["a::b::c", "a::b::d::*", "a::e"],
+    ),
+    (
+        "impl Foo { pub fn method(&self) -> Vec<Vec<u8>> { self.go::<Vec<Vec<u8>>>() } }",
+        &["method"],
+        &[],
+    ),
+    (
+        "mod inner { use q::w; fn nested() {} }",
+        &["nested"],
+        &["q::w"],
+    ),
+    (
+        "pub fn turbo<T: Fn(u32) -> Vec<Vec<u8>>>(f: T) -> u32 where T: Clone { f(0).len() as u32 }",
+        &["turbo"],
+        &[],
+    ),
+];
+
+/// Fragments that must contribute NO fns and NO uses, however they are
+/// interleaved with the classified ones: keyword-shaped text hidden in
+/// raw strings, `r#` keyword-identifiers, and macro bodies.
+const ADVERSARIAL: &[&str] = &[
+    "const DOC: &str = r#\"use fake::path; fn ghost() { unsafe {} }\"#;",
+    "const DOC2: &str = r##\"fn phantom() {} use nope::x;\"##;",
+    "static r#use: u32 = 1;",
+    "static r#fn: u32 = 2;",
+    "macro_rules! gen { (fn $f:ident) => { use soup::x; }; }",
+    "thread_local! { static TL: u32 = 0; }",
+    "lazy_init!(use, fn, unsafe);",
+    "const S: &str = \"fn quoted() { use also::quoted; }\";",
+];
+
+/// Names/paths that only exist inside the adversarial fragments; the
+/// parser must never surface them as real structure.
+const GHOSTS: &[&str] = &["ghost", "phantom", "quoted"];
+const GHOST_USES: &[&str] = &["fake", "nope", "soup", "also"];
+
+fn interleave(picks: &[(bool, usize)]) -> (String, Vec<&'static str>, Vec<&'static str>) {
+    let mut src = String::new();
+    let mut fns = Vec::new();
+    let mut uses = Vec::new();
+    for &(adversarial, idx) in picks {
+        if adversarial {
+            src.push_str(ADVERSARIAL[idx % ADVERSARIAL.len()]);
+        } else {
+            let (frag, f, u) = CLASSIFIED[idx % CLASSIFIED.len()];
+            src.push_str(frag);
+            fns.extend_from_slice(f);
+            uses.extend_from_slice(u);
+        }
+        src.push('\n');
+    }
+    (src, fns, uses)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interleaving adversarial fragments with well-formed items never
+    /// changes what the parser finds: exactly the real fns and uses, in
+    /// order, and never a ghost from a raw string or macro body.
+    #[test]
+    fn adversarial_fragments_never_perturb_real_items(
+        picks in proptest::collection::vec((any::<bool>(), 0usize..64), 0..12),
+    ) {
+        let (src, want_fns, want_uses) = interleave(&picks);
+        let parsed = parse(&tokenize(&src));
+        let got_fns: Vec<&str> = parsed.fns.iter().map(|f| f.name.as_str()).collect();
+        prop_assert_eq!(&got_fns, &want_fns, "source:\n{}", src);
+        let got_uses: Vec<&str> = parsed.uses.iter().map(|u| u.path.as_str()).collect();
+        prop_assert_eq!(&got_uses, &want_uses, "source:\n{}", src);
+        for ghost in GHOSTS {
+            prop_assert!(!got_fns.contains(ghost), "ghost fn `{}` in:\n{}", ghost, src);
+        }
+        for ghost in GHOST_USES {
+            prop_assert!(
+                !parsed.uses.iter().any(|u| u.path.starts_with(ghost)),
+                "ghost use `{}` in:\n{}", ghost, src
+            );
+        }
+    }
+
+    /// Truncating a fragment soup at an arbitrary character leaves
+    /// unbalanced delimiters and half-tokens everywhere; the parser
+    /// must still terminate, and every fn body range it does report
+    /// must be a real brace pair in bounds.
+    #[test]
+    fn truncated_input_terminates_with_sane_body_ranges(
+        picks in proptest::collection::vec((any::<bool>(), 0usize..64), 1..10),
+        cut in 0usize..4096,
+    ) {
+        let (src, _, _) = interleave(&picks);
+        let cut = src
+            .char_indices()
+            .map(|(i, _)| i)
+            .take_while(|&i| i <= cut.min(src.len()))
+            .last()
+            .unwrap_or(0);
+        let toks = tokenize(&src[..cut]);
+        let parsed = parse(&toks);
+        for f in &parsed.fns {
+            if let Some((open, close)) = f.body {
+                prop_assert!(open < toks.len() && close < toks.len());
+                prop_assert!(toks[open].is_punct("{"), "fn {}", f.name);
+                prop_assert!(open <= close);
+            }
+        }
+    }
+
+    /// Arbitrary ASCII garbage: tokenize + parse never panic, and
+    /// every use path the parser invents is at least path-shaped (no
+    /// whitespace, no stray delimiters).
+    #[test]
+    fn ascii_garbage_degrades_to_opaque_items(
+        bytes in proptest::collection::vec(32u8..127, 0..200),
+    ) {
+        let src: String = bytes.iter().map(|&b| char::from(b)).collect();
+        let parsed = parse(&tokenize(&src));
+        for u in &parsed.uses {
+            prop_assert!(
+                !u.path.chars().any(|c| c.is_whitespace() || "(){}[];,".contains(c)),
+                "malformed use path {:?} from {:?}", u.path, src
+            );
+        }
+    }
+
+    /// `matching_delim` is an involution on balanced fragment soups:
+    /// for every opener it finds a closer of the same kind, strictly
+    /// after it, and the span contains equal opener/closer counts.
+    #[test]
+    fn matching_delim_round_trips_on_fragment_soup(
+        picks in proptest::collection::vec((any::<bool>(), 0usize..64), 1..10),
+    ) {
+        let (src, _, _) = interleave(&picks);
+        let toks = tokenize(&src);
+        for (i, t) in toks.iter().enumerate() {
+            let close_text = match t.text.as_str() {
+                "(" => ")",
+                "[" => "]",
+                "{" => "}",
+                _ => continue,
+            };
+            let Some(j) = matching_delim(&toks, i) else { continue };
+            prop_assert!(j > i, "closer not after opener at {}", i);
+            prop_assert_eq!(toks[j].text.as_str(), close_text);
+            let opens = toks[i..=j].iter().filter(|x| x.text == t.text).count();
+            let closes = toks[i..=j].iter().filter(|x| x.text == close_text).count();
+            prop_assert_eq!(opens, closes, "unbalanced span {}..={}", i, j);
+        }
+    }
+}

@@ -56,3 +56,35 @@ fn every_baseline_suppression_carries_its_justification() {
         );
     }
 }
+
+/// The workspace-graph rules (R9–R12) launched with a clean tree and
+/// must stay that way: a lock-order cycle, a determinism leak, a
+/// layering break, or a narrowing money cast gets *fixed*, never
+/// baselined. CI enforces the same invariant on the baseline file.
+#[test]
+fn workspace_rules_have_zero_baseline_entries() {
+    use enki_lint::RuleId;
+    let root = workspace_root();
+    let report = run_check(&CheckConfig {
+        baseline: Some(root.join("lint.baseline")),
+        root,
+    })
+    .expect("lint run succeeds");
+    let graph_rules = [
+        RuleId::LockOrder,
+        RuleId::DeterminismTaint,
+        RuleId::Layering,
+        RuleId::CastDiscipline,
+    ];
+    for (violation, reason) in &report.suppressed {
+        assert!(
+            !graph_rules.contains(&violation.rule),
+            "{} at {}:{} is baselined (`{}`) — workspace-graph findings \
+             must be fixed, not suppressed",
+            violation.rule.code(),
+            violation.path,
+            violation.line,
+            reason
+        );
+    }
+}

@@ -146,11 +146,16 @@ pub fn encode_frame(batch: &Batch) -> Result<Vec<u8>, EncodeError> {
     }
     let payload_len = HEADER_LEN + batch.reports.len() * RECORD_LEN;
     let mut out = Vec::with_capacity(4 + payload_len);
-    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    // The report cap bounds both prefixes; saturating on a future cap
+    // bump makes the decoder reject the frame (CountMismatch) instead
+    // of silently truncating the length word.
+    let len_word = u32::try_from(payload_len).unwrap_or(u32::MAX);
+    let count_word = u16::try_from(batch.reports.len()).unwrap_or(u16::MAX);
+    out.extend_from_slice(&len_word.to_le_bytes());
     out.push(WIRE_VERSION);
     out.extend_from_slice(&batch.day.to_le_bytes());
     out.extend_from_slice(&batch.deadline.to_le_bytes());
-    out.extend_from_slice(&(batch.reports.len() as u16).to_le_bytes());
+    out.extend_from_slice(&count_word.to_le_bytes());
     for r in &batch.reports {
         out.extend_from_slice(&r.household.index().to_le_bytes());
         out.extend_from_slice(&r.preference.begin.to_le_bytes());
@@ -183,7 +188,9 @@ fn read_f64(b: &[u8], at: usize) -> Option<f64> {
 }
 
 fn parse_payload(payload: &[u8]) -> Result<Batch, FrameError> {
-    let len = payload.len() as u32;
+    // Display-only length: saturate rather than truncate so an
+    // adversarially huge payload reports a huge size, not a small one.
+    let len = u32::try_from(payload.len()).unwrap_or(u32::MAX);
     if payload.len() < HEADER_LEN {
         return Err(FrameError::TruncatedHeader { len });
     }

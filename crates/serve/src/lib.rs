@@ -71,10 +71,15 @@ pub mod snapshot;
 pub type Tick = u64;
 
 /// The most commonly used items, for glob import.
+///
+/// Deliberately excludes [`edge::EdgeMailbox`]: the edge module is the
+/// crate's nondeterministic boundary (real OS threads; lint rule R11
+/// bans `enki_serve::edge` outside this crate), and a prelude
+/// re-export would smuggle it past that check. Name the module
+/// explicitly where producer threads are genuinely wanted.
 pub mod prelude {
     pub use crate::backoff::Backoff;
     pub use crate::codec::{encode_frame, Batch, FrameDecoder, FrameError};
-    pub use crate::edge::EdgeMailbox;
     pub use crate::ingest::{
         Drain, IngestCheckpoint, IngestConfig, IngestFrontEnd, IngestStats, ProducerSignal,
     };

@@ -189,11 +189,12 @@ impl ForcedUnits {
         debug_assert!(begin < end && end as usize <= HOURS_PER_DAY);
         debug_assert!(duration > 0 && begin + duration <= end);
         let (b, e, dur) = (i32::from(begin), i32::from(end), i32::from(duration));
-        for s in 0..HOURS_PER_DAY as i32 {
+        let hours = i32::try_from(HOURS_PER_DAY).unwrap_or(i32::MAX);
+        for s in 0..hours {
             if s >= e {
                 break; // [s, t] lies entirely right of the window
             }
-            for t in s.max(b)..HOURS_PER_DAY as i32 {
+            for t in s.max(b)..hours {
                 // Window hours strictly left of s, strictly right of t,
                 // and inside [s, t]. A contiguous block avoids [s, t]
                 // from one side only, so it can keep at most

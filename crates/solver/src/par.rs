@@ -164,7 +164,14 @@ where
             let steals = &steals;
             let worker = &worker;
             scope.spawn(move || loop {
-                let popped = queues[me].lock().pop_front().or_else(|| {
+                // Pop the own queue in its own statement: the guard is
+                // a temporary that dies at the `;`, so it is never held
+                // across a steal. Chaining `.or_else` onto the locked
+                // pop would keep the own-queue guard live while taking
+                // a victim's lock — two workers stealing from each
+                // other in opposite phases would deadlock.
+                let own = queues[me].lock().pop_front();
+                let popped = own.or_else(|| {
                     // Steal newest-first from the other deques, scanning
                     // in a fixed ring order from our right neighbour.
                     (1..threads).find_map(|offset| {

@@ -153,7 +153,9 @@ impl AllocationProblem {
     pub fn windows(&self, deferments: &[u8]) -> Result<Vec<Interval>> {
         if deferments.len() != self.len() {
             return Err(Error::UnknownHousehold(
-                enki_core::household::HouseholdId::new(deferments.len() as u32),
+                enki_core::household::HouseholdId::new(
+                    u32::try_from(deferments.len()).unwrap_or(u32::MAX),
+                ),
             ));
         }
         self.preferences

@@ -82,7 +82,7 @@ pub struct TraceContext {
 /// Remaps the one forbidden id (0, reserved for "no parent").
 fn nonzero(id: u64) -> u64 {
     if id == 0 {
-        0x5eed_0f_d41
+        0x5_eed0_fd41
     } else {
         id
     }
