@@ -357,9 +357,21 @@ impl Enki {
             }
         }
 
-        // Realized load and cost κ(ω).
+        // Realized load and cost κ(ω), computed canonically through the
+        // integer unit counts: every hour carries a whole number of unit
+        // jobs at the shared `rate`, so κ = σ·rate²·Σc² with Σc² exact in
+        // `u64`. Consumption layouts that tie in Σc² settle to
+        // bit-identical bills — float rounding depends only on the sum of
+        // squares, never on which hours carry the load.
         let load = LoadProfile::from_windows(consumption, rate);
-        let total_cost = pricing.cost(&load);
+        let mut unit_counts = [0u64; crate::time::HOURS_PER_DAY];
+        for w in consumption {
+            for h in w.begin()..w.end() {
+                unit_counts[usize::from(h)] += 1;
+            }
+        }
+        let unit_sumsq: u64 = unit_counts.iter().map(|&c| c * c).sum();
+        let total_cost = pricing.cost_of_sum_of_squares(rate * rate * unit_sumsq as f64);
 
         // Scores: realized flexibility zeroes out for defectors (§IV-B3);
         // defection compares each unilateral deviation against the plan.

@@ -758,10 +758,10 @@ const NARROW_CASTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 /// Identifier segments that mark a value as money-, energy-, or
 /// time-typed. Matched per snake_case segment after lowercasing, with
 /// a trailing plural `s` stripped (`deadlines` → `deadline`).
-const TYPED_VALUE_MARKERS: [&str; 24] = [
+const TYPED_VALUE_MARKERS: [&str; 27] = [
     "bill", "payment", "pay", "price", "cost", "tariff", "load", "power", "energy", "kwh", "tick",
     "deadline", "day", "hour", "slot", "duration", "begin", "end", "len", "payload", "frame",
-    "report", "amount", "money",
+    "report", "amount", "money", "unit", "sumsq", "scaled",
 ];
 
 /// Returns the marker a snake_case identifier matches, if any.
@@ -1151,6 +1151,25 @@ mod tests {
             "fn h(deferments: &[Deferment]) -> u32 { deferments.len() as u32 }",
         ));
         assert_eq!(codes(&v), vec!["R12"], "{v:?}");
+    }
+
+    #[test]
+    fn cast_discipline_flags_fixed_point_solver_values() {
+        // The solver's flat integer arithmetic: unit counts, exact Σc²
+        // accumulators, and fixed-point (scaled) prices are all typed
+        // values — a narrowing `as` silently corrupts the search.
+        for (src, ident) in [
+            ("fn f(unit_count: u64) -> u32 { unit_count as u32 }", "`unit_count`"),
+            ("fn f(sumsq: u64) -> u32 { sumsq as u32 }", "`sumsq`"),
+            (
+                "fn f(scaled_price: u64) -> u16 { scaled_price as u16 }",
+                "`scaled_price`",
+            ),
+        ] {
+            let v = check_file(&file("crates/solver/src/exact.rs", src));
+            assert_eq!(codes(&v), vec!["R12"], "{src}: {v:?}");
+            assert!(v[0].message.contains(ident), "{}", v[0].message);
+        }
     }
 
     #[test]

@@ -1,0 +1,7 @@
+// R12 fixture (bad tree): a fixed-point scaled load value narrowed
+// with a raw `as`. Expected: one cast-discipline violation naming
+// `scaled_load`.
+
+pub fn pack_price(scaled_load: u64) -> u32 {
+    scaled_load as u32
+}

@@ -1,0 +1,7 @@
+// R12 fixture (good tree): the narrowing is explicit, so a fixed-point
+// value too wide for the wire format surfaces instead of truncating.
+// Expected: no violations.
+
+pub fn pack_price(scaled_load: u64) -> u32 {
+    u32::try_from(scaled_load).unwrap_or(u32::MAX)
+}

@@ -126,6 +126,27 @@ fn r12_try_from_tree_passes() {
     assert!(report.ok(), "{:#?}", report.violations);
 }
 
+#[test]
+fn r12_scaled_value_tree_fails_naming_the_fixed_point_witness() {
+    let report = check_tree("ws_r12_scaled_bad");
+    assert_eq!(
+        rules_of(&report),
+        vec![RuleId::CastDiscipline],
+        "{:#?}",
+        report.violations
+    );
+    let msg = &report.violations[0].message;
+    assert!(msg.contains("`as u32`"), "{msg}");
+    assert!(msg.contains("`scaled_load`"), "{msg}");
+    assert!(msg.contains("try_from"), "{msg}");
+}
+
+#[test]
+fn r12_scaled_value_try_from_tree_passes() {
+    let report = check_tree("ws_r12_scaled_good");
+    assert!(report.ok(), "{:#?}", report.violations);
+}
+
 // ---------------------------------------------------------------------------
 // CLI-level: exit codes, printed witness, SARIF, baseline shrink.
 // ---------------------------------------------------------------------------
@@ -151,7 +172,13 @@ fn cli_prints_the_lock_cycle_witness_and_exits_1() {
 
 #[test]
 fn cli_exits_0_on_the_clean_twin_trees() {
-    for tree in ["ws_r9_cycle_good", "ws_r10_taint_good", "ws_r11_layering_good", "ws_r12_cast_good"] {
+    for tree in [
+        "ws_r9_cycle_good",
+        "ws_r10_taint_good",
+        "ws_r11_layering_good",
+        "ws_r12_cast_good",
+        "ws_r12_scaled_good",
+    ] {
         let root = fixture_root(tree);
         let out = run_cli(&["check", "--root", root.to_str().expect("utf8 path")]);
         assert_eq!(out.status.code(), Some(0), "{tree}: {out:?}");

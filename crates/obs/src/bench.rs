@@ -73,14 +73,18 @@ fn last_key(path: &str) -> &str {
     tail.split('[').next().unwrap_or(tail)
 }
 
-fn flatten(prefix: &str, value: &Value, out: &mut Vec<(String, f64)>) {
+fn flatten(prefix: &str, value: &Value, out: &mut Vec<(String, f64)>, nulls: &mut Vec<String>) {
     match value {
         Value::Float(v) => out.push((prefix.to_string(), *v)),
         Value::UInt(v) => out.push((prefix.to_string(), *v as f64)),
         Value::Int(v) => out.push((prefix.to_string(), *v as f64)),
+        // An explicit `null` is a deliberate "no measurement here" (e.g.
+        // `speedup` under the wall-time noise floor) — remembered so the
+        // diff can tell it apart from a leaf that vanished outright.
+        Value::Null => nulls.push(prefix.to_string()),
         Value::Array(items) => {
             for (i, item) in items.iter().enumerate() {
-                flatten(&format!("{prefix}[{i}]"), item, out);
+                flatten(&format!("{prefix}[{i}]"), item, out, nulls);
             }
         }
         Value::Object(fields) => {
@@ -90,7 +94,7 @@ fn flatten(prefix: &str, value: &Value, out: &mut Vec<(String, f64)>) {
                 } else {
                     format!("{prefix}.{k}")
                 };
-                flatten(&child, v, out);
+                flatten(&child, v, out, nulls);
             }
         }
         _ => {}
@@ -111,8 +115,10 @@ pub fn bench_diff(old_text: &str, new_text: &str, threshold: f64) -> Result<Benc
         serde_json::from_str(new_text).map_err(|e| format!("candidate: unparseable: {e}"))?;
     let mut old_leaves = Vec::new();
     let mut new_leaves = Vec::new();
-    flatten("", &old.0, &mut old_leaves);
-    flatten("", &new.0, &mut new_leaves);
+    let mut old_nulls = Vec::new();
+    let mut new_nulls = Vec::new();
+    flatten("", &old.0, &mut old_leaves, &mut old_nulls);
+    flatten("", &new.0, &mut new_leaves, &mut new_nulls);
 
     let mut report = BenchReport::default();
     for (path, old_value) in &old_leaves {
@@ -120,7 +126,11 @@ pub fn bench_diff(old_text: &str, new_text: &str, threshold: f64) -> Result<Benc
             continue;
         };
         let Some((_, new_value)) = new_leaves.iter().find(|(p, _)| p == path) else {
-            report.missing.push(path.clone());
+            // A candidate `null` is a declared non-measurement, not a
+            // lost metric — skip it instead of flagging it missing.
+            if !new_nulls.iter().any(|p| p == path) {
+                report.missing.push(path.clone());
+            }
             continue;
         };
         report.compared += 1;

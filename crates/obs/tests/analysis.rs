@@ -261,3 +261,23 @@ fn missing_metrics_fail_the_gate() {
 
     assert!(bench_diff("not json", old, 0.25).is_err());
 }
+
+/// A `null` leaf in the candidate is a declared non-measurement (e.g.
+/// `speedup` under the wall-time noise floor), not a lost metric: it is
+/// skipped, while a leaf that vanished outright still reports missing.
+#[test]
+fn null_leaves_are_skipped_not_missing() {
+    let old = r#"{"rows":[{"wall_ms": 10.0},{"wall_ms": 20.0}]}"#;
+    let new = r#"{"rows":[{"wall_ms": null},{"other": 1}]}"#;
+    let report = bench_diff(old, new, 0.25).expect("parses");
+    assert_eq!(report.missing, vec!["rows[1].wall_ms".to_string()]);
+    assert!(report.regressions.is_empty());
+    assert!(report.improvements.is_empty());
+
+    // Both sides null: nothing compared, nothing missing.
+    let old = r#"{"rows":[{"wall_ms": null}]}"#;
+    let new = r#"{"rows":[{"wall_ms": null}]}"#;
+    let report = bench_diff(old, new, 0.25).expect("parses");
+    assert_eq!(report.compared, 0);
+    assert!(report.missing.is_empty());
+}

@@ -186,8 +186,19 @@ impl ForcedUnits {
     /// Accounts one household: a contiguous block of `duration` hours
     /// somewhere inside the window `[begin, end)`.
     pub fn add_window(&mut self, begin: u8, end: u8, duration: u8) {
+        self.add_window_times(begin, end, duration, 1);
+    }
+
+    /// Accounts `times` identical households at once — the
+    /// equivalence-class form of [`add_window`](Self::add_window). The
+    /// forced-unit count of each `[s, t]` cell scales linearly with the
+    /// number of identical windows, so one pass covers a whole class.
+    pub fn add_window_times(&mut self, begin: u8, end: u8, duration: u8, times: u32) {
         debug_assert!(begin < end && end as usize <= HOURS_PER_DAY);
         debug_assert!(duration > 0 && begin + duration <= end);
+        if times == 0 {
+            return;
+        }
         let (b, e, dur) = (i32::from(begin), i32::from(end), i32::from(duration));
         let hours = i32::try_from(HOURS_PER_DAY).unwrap_or(i32::MAX);
         for s in 0..hours {
@@ -204,7 +215,7 @@ impl ForcedUnits {
                 let mid = (e.min(t + 1) - b.max(s)).max(0);
                 let must = (dur - left.max(right)).max(0).min(mid);
                 if must > 0 {
-                    self.cells[s as usize][t as usize] += must as u32;
+                    self.cells[s as usize][t as usize] += must as u32 * times;
                 }
             }
         }
@@ -330,6 +341,168 @@ pub fn pigeonhole_partition_bound(
     }
     let laminar: f64 = levels.iter().map(|l| l * l).sum();
     laminar.max(dp[0])
+}
+
+/// `Σ_h c_h²` of an hourly unit-count vector, in exact integer
+/// arithmetic.
+///
+/// The equivalence-class search keeps the day's load as *unit counts*
+/// (slot-hours of the shared rate per hour) instead of kilowatt floats:
+/// the Eq. 2 objective is then `σ·rate²·Σc²`, every delta evaluation is
+/// branch-free integer math, and the one-shot conversion back to f64 at
+/// solution boundaries is exact for any realistic day (`Σc² < 2^53`).
+#[must_use]
+pub fn unit_sum_of_squares(counts: &[u32; HOURS_PER_DAY]) -> u64 {
+    counts.iter().map(|&c| u64::from(c) * u64::from(c)).sum()
+}
+
+/// The exact minimum *increase* in `Σ_h c_h²` from adding `units` whole
+/// units to `allowed` hours — the integer-count analog of
+/// [`discrete_fill_extra`], computed analytically in O(24·log 24)
+/// instead of per-unit heap pops.
+///
+/// Greedy unit-by-unit fill to the lowest hour is optimal for this
+/// separable convex program, and its closed form is the balanced fill:
+/// raise the `k` lowest counts to a common level `q` (with `r` of them
+/// at `q+1`), where `k` is the smallest prefix of the ascending counts
+/// whose balanced level stays at or below the next count.
+#[must_use]
+pub fn unit_fill_extra(counts: &[u32; HOURS_PER_DAY], allowed: u32, units: u32) -> u64 {
+    if units == 0 || allowed == 0 {
+        return 0;
+    }
+    let mut ascending: [u32; HOURS_PER_DAY] = [0; HOURS_PER_DAY];
+    let mut m = 0usize;
+    for (h, &c) in counts.iter().enumerate() {
+        if allowed & (1 << h) != 0 {
+            ascending[m] = c;
+            m += 1;
+        }
+    }
+    let slice = &mut ascending[..m];
+    slice.sort_unstable();
+    let mut prefix = 0u64;
+    let mut prefix_sq = 0u64;
+    for k in 1..=m {
+        let c = u64::from(slice[k - 1]);
+        prefix += c;
+        prefix_sq += c * c;
+        let total = prefix + u64::from(units);
+        let next = if k < m { u64::from(slice[k]) } else { u64::MAX };
+        // The balanced level over the k lowest hours is valid when it
+        // does not exceed the (k+1)-th count: total ≤ k·next covers both
+        // q < next and the exact-tie q == next with r == 0.
+        if next == u64::MAX || total <= k as u64 * next {
+            let q = total / k as u64;
+            let r = total % k as u64;
+            return (k as u64 - r) * q * q + r * (q + 1) * (q + 1) - prefix_sq;
+        }
+    }
+    0
+}
+
+/// Integer-count analog of [`pigeonhole_partition_bound`]: an
+/// admissible lower bound on `Σ_h c_h²` over all completions that place
+/// the forced unit counts. The result is exact integer arithmetic in
+/// count space; multiply by `σ·rate²` for a cost bound.
+///
+/// Stage 1 runs the same fractional partition DP as the f64 bound (the
+/// cuts are a pure function of the integer inputs, so they are
+/// deterministic), stage 2 performs the discrete laminar fill directly
+/// on unit counts. The laminar value dominates the fractional value of
+/// its own partition, so no final `max` against the DP is needed.
+#[must_use]
+pub fn unit_pigeonhole_bound(
+    counts: &[u32; HOURS_PER_DAY],
+    allowed: u32,
+    forced: &ForcedUnits,
+) -> u64 {
+    if forced.is_empty() || allowed == 0 {
+        return unit_sum_of_squares(counts);
+    }
+    // Stage 1 — fractional forced-only DP to *choose* the partition
+    // (rate 1: one unit of count per forced slot-hour).
+    let mut dp = [0.0f64; HOURS_PER_DAY + 1];
+    let mut cut = [HOURS_PER_DAY - 1; HOURS_PER_DAY];
+    for s in (0..HOURS_PER_DAY).rev() {
+        let mut sorted: [f64; HOURS_PER_DAY] = [0.0; HOURS_PER_DAY];
+        let mut open = 0usize;
+        let mut fixed_sq = 0.0f64;
+        let mut best = f64::NEG_INFINITY;
+        for t in s..HOURS_PER_DAY {
+            let c = f64::from(counts[t]);
+            if allowed & (1 << t) != 0 {
+                let mut i = open;
+                while i > 0 && sorted[i - 1] > c {
+                    sorted[i] = sorted[i - 1];
+                    i -= 1;
+                }
+                sorted[i] = c;
+                open += 1;
+            } else {
+                fixed_sq += c * c;
+            }
+            let energy = f64::from(forced.units_in(s, t));
+            let part = fixed_sq + fill_cost_sorted(&sorted[..open], energy);
+            let candidate = part + dp[t + 1];
+            if candidate > best {
+                best = candidate;
+                cut[s] = t;
+            }
+        }
+        dp[s] = best;
+    }
+
+    // Stage 2 — discrete laminar fill along the chosen partition, in
+    // exact integer arithmetic: per-part quotas to the cheapest hours
+    // of their part, then the leftover units to the globally cheapest
+    // allowed hours.
+    let mut levels = *counts;
+    let total = forced.units_in(0, HOURS_PER_DAY - 1);
+    let mut used = 0u32;
+    let mut s = 0usize;
+    while s < HOURS_PER_DAY {
+        let t = cut[s];
+        let quota = forced.units_in(s, t);
+        used += quota;
+        fill_units_into(&mut levels, allowed, s, t, quota);
+        s = t + 1;
+    }
+    fill_units_into(
+        &mut levels,
+        allowed,
+        0,
+        HOURS_PER_DAY - 1,
+        total.saturating_sub(used),
+    );
+    unit_sum_of_squares(&levels)
+}
+
+/// Deterministically pours `units` whole units into the allowed hours
+/// of `s..=t`, one unit at a time to the lowest level (ties broken by
+/// hour index). Exact for the separable convex `Σc²` objective; the
+/// deterministic tie-break keeps bound values byte-reproducible.
+fn fill_units_into(
+    levels: &mut [u32; HOURS_PER_DAY],
+    allowed: u32,
+    s: usize,
+    t: usize,
+    units: u32,
+) {
+    for _ in 0..units {
+        let mut cheapest = usize::MAX;
+        for h in s..=t.min(HOURS_PER_DAY - 1) {
+            if allowed & (1 << h) != 0 && (cheapest == usize::MAX || levels[h] < levels[cheapest]) {
+                cheapest = h;
+            }
+        }
+        // A positive quota implies an allowed hour in the range: each
+        // contributing window overlaps it and window hours are allowed.
+        let Some(level) = levels.get_mut(cheapest) else {
+            return;
+        };
+        *level += 1;
+    }
 }
 
 /// Water-fill `energy` into hours whose loads are given ascending;
@@ -548,6 +721,135 @@ mod tests {
         assert!(f.is_empty());
         f.add_window(0, 4, 1);
         assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn unit_fill_extra_matches_worked_example() {
+        // Counts 0, 0, 10 on three allowed hours, 3 units: balanced fill
+        // raises the two empty hours to levels 2 and 1 ⇒ extra 4 + 1 = 5.
+        let mut counts = [0u32; HOURS_PER_DAY];
+        counts[2] = 10;
+        assert_eq!(unit_fill_extra(&counts, 0b111, 3), 5);
+        // Zero units and empty masks are identities.
+        assert_eq!(unit_fill_extra(&counts, 0b111, 0), 0);
+        assert_eq!(unit_fill_extra(&counts, 0, 7), 0);
+    }
+
+    #[test]
+    fn unit_fill_extra_matches_per_unit_greedy() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let mut counts = [0u32; HOURS_PER_DAY];
+            for c in &mut counts {
+                *c = rng.random_range(0..6u32);
+            }
+            let allowed: u32 = rng.random_range(1..(1u32 << HOURS_PER_DAY));
+            let units = rng.random_range(0..20u32);
+            let base = unit_sum_of_squares(&counts);
+            let mut levels = counts;
+            fill_units_into(&mut levels, allowed, 0, HOURS_PER_DAY - 1, units);
+            let greedy = unit_sum_of_squares(&levels) - base;
+            assert_eq!(
+                unit_fill_extra(&counts, allowed, units),
+                greedy,
+                "counts={counts:?} allowed={allowed:#x} units={units}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_fill_extra_scales_like_discrete_fill() {
+        // With loads = rate·counts, the f64 discrete fill is the exact
+        // rate²-scaling of the integer fill.
+        let mut counts = [0u32; HOURS_PER_DAY];
+        counts[5] = 2;
+        counts[6] = 1;
+        let rate = 2.0;
+        let mut loads = [0.0; HOURS_PER_DAY];
+        for (l, &c) in loads.iter_mut().zip(&counts) {
+            *l = rate * f64::from(c);
+        }
+        let mask = hours_mask(4, 9);
+        for units in 0..8u32 {
+            let float = discrete_fill_extra(&loads, mask, units, rate);
+            let integer = unit_fill_extra(&counts, mask, units);
+            let scaled = rate * rate * integer as f64;
+            assert!(
+                (float - scaled).abs() < 1e-9,
+                "units={units}: {float} vs {scaled}"
+            );
+        }
+    }
+
+    #[test]
+    fn add_window_times_matches_repeated_add_window() {
+        let mut once = ForcedUnits::new();
+        for _ in 0..5 {
+            once.add_window(3, 10, 4);
+        }
+        let mut times = ForcedUnits::new();
+        times.add_window_times(3, 10, 4, 5);
+        assert_eq!(once, times);
+        let mut zero = ForcedUnits::new();
+        zero.add_window_times(3, 10, 4, 0);
+        assert!(zero.is_empty());
+    }
+
+    #[test]
+    fn unit_pigeonhole_scales_like_float_pigeonhole() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+
+        // With loads = rate·counts the whole f64 pigeonhole pipeline is
+        // homogeneous of degree 2 in rate, so the integer bound times
+        // rate² must agree (up to float noise) with the f64 bound.
+        let mut rng = StdRng::seed_from_u64(41);
+        let rate = 2.0;
+        for _ in 0..40 {
+            let mut forced = ForcedUnits::new();
+            let mut mask = 0u32;
+            let mut counts = [0u32; HOURS_PER_DAY];
+            for _ in 0..rng.random_range(1..5usize) {
+                let b = rng.random_range(0..18u8);
+                let d = rng.random_range(1..4u8);
+                let e = rng.random_range(b + d..=(b + d + 4).min(24));
+                let times = rng.random_range(1..4u32);
+                forced.add_window_times(b, e, d, times);
+                mask |= hours_mask(b, e);
+            }
+            for h in 0..HOURS_PER_DAY {
+                if mask & (1 << h) != 0 && rng.random_range(0..3u8) == 0 {
+                    counts[h] = rng.random_range(0..4u32);
+                }
+            }
+            let mut loads = [0.0; HOURS_PER_DAY];
+            for (l, &c) in loads.iter_mut().zip(&counts) {
+                *l = rate * f64::from(c);
+            }
+            let float = pigeonhole_partition_bound(&loads, mask, &forced, rate);
+            let integer = unit_pigeonhole_bound(&counts, mask, &forced);
+            let scaled = rate * rate * integer as f64;
+            assert!(
+                (float - scaled).abs() < 1e-6 * scaled.max(1.0),
+                "float {float} vs scaled integer {scaled}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_pigeonhole_dominates_unit_fill() {
+        let mut forced = ForcedUnits::new();
+        forced.add_window_times(17, 21, 2, 3);
+        forced.add_window_times(18, 22, 3, 2);
+        let mask = hours_mask(17, 22);
+        let counts = [0u32; HOURS_PER_DAY];
+        let units = forced.units_in(0, HOURS_PER_DAY - 1);
+        let fill = unit_sum_of_squares(&counts) + unit_fill_extra(&counts, mask, units);
+        let pigeon = unit_pigeonhole_bound(&counts, mask, &forced);
+        assert!(pigeon >= fill, "pigeonhole {pigeon} below plain fill {fill}");
     }
 
     #[test]

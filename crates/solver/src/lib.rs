@@ -5,10 +5,15 @@
 //! cost. The paper used IBM CPLEX's MIQP solver as its "Optimal" baseline;
 //! this crate provides a from-scratch replacement:
 //!
-//! * [`exact::BranchAndBound`] — exact depth-first branch-and-bound with
-//!   layered admissible bounds (discrete water-filling plus the
-//!   pigeonhole partition bound of [`bounds`]) and a local-search
-//!   incumbent; anytime via node/time limits, and parallel via
+//! * [`exact::BranchAndBound`] — exact depth-first branch-and-bound over
+//!   *equivalence classes* of identical preferences
+//!   ([`problem::EquivalenceClasses`]): the tree branches on per-class
+//!   deferment multisets instead of per-household products, runs on a
+//!   flat fixed-point load representation (integer unit counts of the
+//!   shared rate), and prunes with layered admissible bounds (analytic
+//!   balanced fill plus the pigeonhole partition bound of [`bounds`],
+//!   memoized per subtree) and dominance on repeated load states; anytime
+//!   via node/time limits, and parallel via
 //!   [`exact::BranchAndBound::with_threads`] with bit-identical results
 //!   (see [`par`]).
 //! * [`local_search::LocalSearch`] — coordinate-descent best-response
@@ -56,10 +61,10 @@ pub mod problem;
 pub mod prelude {
     pub use crate::brute::brute_force;
     pub use crate::exact::{BranchAndBound, SolveReport};
-    pub use crate::par::ParStats;
+    pub use crate::par::{ParStats, PhaseProfile};
     pub use crate::local_search::LocalSearch;
     pub use crate::pipeline::{
         AnytimePipeline, Rung, SolveOutcome, StageReport, StageStatus,
     };
-    pub use crate::problem::{AllocationProblem, Solution};
+    pub use crate::problem::{AllocationProblem, EquivalenceClasses, PreferenceClass, Solution};
 }

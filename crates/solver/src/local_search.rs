@@ -6,11 +6,19 @@
 //! procedure converges to a local optimum in finitely many passes. With a
 //! handful of random restarts it is a strong incumbent generator for the
 //! branch-and-bound solver and a fast near-optimal baseline on its own.
+//!
+//! Like the exact solver, the descent runs on the flat fixed-point load
+//! representation: per-hour *unit counts* of the shared rate, so every
+//! move preview is exact `u64` arithmetic (`Σc²` deltas) with no epsilon
+//! tolerance, and the objective is converted to f64 once, at the solution
+//! boundary, where [`Solution::from_deferments`] recomputes it from the
+//! settled windows.
 
-use enki_core::load::IncrementalCost;
+use enki_core::time::HOURS_PER_DAY;
 use enki_core::Result;
 use rand::{Rng, RngExt};
 
+use crate::bounds::unit_sum_of_squares;
 use crate::problem::{AllocationProblem, Solution};
 
 /// Configuration for the coordinate-descent search.
@@ -44,11 +52,18 @@ impl LocalSearch {
         let mut deferments = start;
         let windows = problem.windows(&deferments)?;
         let rate = problem.rate();
-        // Running aggregate load *and* running Σl²: each candidate move is
-        // previewed in O(duration) against the residual load, and the
-        // running cost is carried along (cross-checked against a full
-        // recompute in debug builds) instead of being recomputed per pass.
-        let mut cost = IncrementalCost::from_windows(&windows, rate);
+        // Running per-hour unit counts: each candidate move is previewed
+        // in O(duration) exact integer arithmetic against the residual
+        // counts (cross-checked against a full recompute in debug
+        // builds) instead of being recomputed per pass. Comparisons are
+        // exact — no epsilon — so ties always keep the earliest
+        // deferment and a pass cannot cycle.
+        let mut counts = [0u32; HOURS_PER_DAY];
+        for w in &windows {
+            for h in w.begin()..w.end() {
+                counts[usize::from(h)] += 1;
+            }
+        }
 
         for _ in 0..self.max_passes {
             let mut improved = false;
@@ -62,14 +77,20 @@ impl LocalSearch {
                 // these lookups cannot fail; `?` keeps that an error, not
                 // a panic, if the invariant ever breaks.
                 let current = pref.window_at_deferment(deferments[i])?;
-                cost.remove_window(current, rate);
-                // Find the cheapest placement against the residual load.
+                for h in current.begin()..current.end() {
+                    counts[usize::from(h)] -= 1;
+                }
+                // Find the cheapest placement against the residual
+                // counts: Σ((c+1)² − c²) = Σ(2c + 1) over the block.
                 let mut best_d = deferments[i];
-                let mut best_delta = f64::INFINITY;
+                let mut best_delta = u64::MAX;
                 for d in 0..=pref.slack() {
                     let w = pref.window_at_deferment(d)?;
-                    let delta = cost.preview_add(w, rate);
-                    if delta < best_delta - 1e-12 {
+                    let mut delta = 0u64;
+                    for h in w.begin()..w.end() {
+                        delta += 2 * u64::from(counts[usize::from(h)]) + 1;
+                    }
+                    if delta < best_delta {
                         best_delta = delta;
                         best_d = d;
                     }
@@ -79,7 +100,9 @@ impl LocalSearch {
                     deferments[i] = best_d;
                 }
                 let chosen = pref.window_at_deferment(deferments[i])?;
-                cost.add_window(chosen, rate);
+                for h in chosen.begin()..chosen.end() {
+                    counts[usize::from(h)] += 1;
+                }
             }
             if !improved {
                 break;
@@ -88,11 +111,12 @@ impl LocalSearch {
         let solution = Solution::from_deferments(problem, deferments)?;
         debug_assert!(
             enki_core::float::approx_eq(
-                problem.pricing().cost_of_sum_of_squares(cost.sum_of_squares()),
+                problem
+                    .pricing()
+                    .cost_of_sum_of_squares(rate * rate * unit_sum_of_squares(&counts) as f64),
                 solution.objective,
             ),
-            "running cost {} drifted from the recomputed objective {}",
-            problem.pricing().cost_of_sum_of_squares(cost.sum_of_squares()),
+            "running unit counts drifted from the recomputed objective {}",
             solution.objective,
         );
         Ok(solution)

@@ -6,29 +6,32 @@
 //! A branch-and-bound search is a sequential fold: the incumbent found
 //! in one subtree sharpens the pruning of every later subtree. Naive
 //! parallelism breaks that fold — whichever worker finishes first
-//! publishes its incumbent, and the explored tree (and with `ε`-pruning
-//! even the *returned solution*) starts depending on thread timing.
-//! This module keeps the parallelism and discards the nondeterminism:
+//! publishes its incumbent, and the explored tree (and with it the
+//! *returned solution*) starts depending on thread timing. This module
+//! keeps the parallelism and discards the nondeterminism:
 //!
-//! 1. **Enumerate** (sequential, cheap): walk the tree to a fixed
-//!    `split_depth` with the incumbent frozen, suspending every
-//!    surviving subtree as a [`TaskSeed`] in depth-first visit order.
+//! 1. **Enumerate** (sequential, cheap): walk the class-slot tree to the
+//!    instance's split slot — a class boundary chosen in
+//!    [`BranchAndBound::prepare`] as a pure function of the instance —
+//!    with the incumbent frozen, suspending every surviving subtree as a
+//!    [`TaskSeed`] (a class-vector prefix) in depth-first visit order.
 //!    Because freezing the incumbent can only *weaken* pruning, the
 //!    seeds are a superset of the subtrees the true search visits.
 //! 2. **Speculate** (parallel): the work-stealing pool runs each seed's
 //!    subtree to completion. A task reads the shared atomic incumbent
 //!    once, at its start, as its pruning threshold `hint`, and publishes
-//!    any improvement back (`fetch_min` on the f64 bit pattern, which
-//!    orders correctly for the non-negative objectives here).
+//!    any improvement back. The incumbent is an exact integer `Σc²`, so
+//!    `fetch_min` on the raw `u64` is natively correct — no float bit
+//!    tricks needed.
 //! 3. **Validate** (sequential, cheap): re-walk the prefix exactly as
-//!    the sequential solver would — same bounds, same incumbent fold —
-//!    and at each subtree root consult the speculative result. It is
-//!    consumed only if its `hint` is **bit-equal** to the incumbent the
-//!    sequential search holds at that point (so every pruning decision
-//!    inside matched) and its node count fits under the node limit;
-//!    otherwise the subtree is re-expanded inline, which *is* the
-//!    sequential walk. Either way the final solution, certified gap,
-//!    and node count are bit-identical to [`BranchAndBound::solve`]
+//!    the sequential solver would — same bounds, same dominance scope,
+//!    same incumbent fold — and at each subtree root consult the
+//!    speculative result. It is consumed only if its `hint` **equals**
+//!    the incumbent the sequential search holds at that point (so every
+//!    pruning decision inside matched) and its node count fits under the
+//!    node limit; otherwise the subtree is re-expanded inline, which
+//!    *is* the sequential walk. Either way the final solution, certified
+//!    gap, and node count are bit-identical to [`BranchAndBound::solve`]
 //!    with one thread.
 //!
 //! The validation drive never waits on wall-clock ordering, so the
@@ -53,6 +56,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use enki_core::time::HOURS_PER_DAY;
 use enki_core::Result;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -60,34 +64,57 @@ use serde::{Deserialize, Serialize};
 use crate::exact::{BranchAndBound, SolveReport};
 use crate::problem::{AllocationProblem, Solution};
 
-/// A subtree suspended at the split depth, in depth-first visit order:
-/// everything a worker needs to resume the search from that node.
+/// A subtree suspended at the split slot, in depth-first visit order:
+/// everything a worker needs to resume the class-vector search from
+/// that node.
 #[derive(Debug, Clone)]
 pub(crate) struct TaskSeed {
-    /// Deferments chosen per search depth above the split (memo key).
-    pub(crate) key: Vec<u8>,
-    /// Deferments in input order (prefix placed, rest unset).
-    pub(crate) current: Vec<u8>,
-    /// Deferments per search depth (symmetry-breaking state).
-    pub(crate) chosen: Vec<u8>,
-    /// Aggregate load per hour from the placed prefix.
-    pub(crate) loads: [f64; enki_core::time::HOURS_PER_DAY],
-    /// Σl² of the placed prefix (kept incrementally).
-    pub(crate) sumsq: f64,
+    /// Per-slot member counts above the split (memo key).
+    pub(crate) key: Vec<u32>,
+    /// Full per-slot count vector (prefix placed, tail unset).
+    pub(crate) chosen: Vec<u32>,
+    /// Aggregate unit count per hour from the placed prefix.
+    pub(crate) counts: [u32; HOURS_PER_DAY],
+    /// Σc² of the placed prefix (kept incrementally, exact).
+    pub(crate) sumsq: u64,
 }
 
 /// What one speculative subtree run observed and produced.
 #[derive(Debug, Clone)]
 pub(crate) struct SpecResult {
-    /// Incumbent Σl² the task pruned against (read once, at task start).
-    pub(crate) hint: f64,
+    /// Incumbent Σc² the task pruned against (read once, at task start).
+    pub(crate) hint: u64,
     /// Nodes the task expanded.
     pub(crate) nodes: u64,
     /// Whether the task hit a node or deadline limit (not consumable).
     pub(crate) aborted: bool,
-    /// Improved incumbent found in the subtree, if any: final Σl² and
-    /// the full deferment vector in input order.
-    pub(crate) improved: Option<(f64, Vec<u8>)>,
+    /// Improved incumbent found in the subtree, if any: final Σc² and
+    /// the full per-slot count vector.
+    pub(crate) improved: Option<(u64, Vec<u32>)>,
+    /// Profiling-only counters (zero when profiling is off).
+    pub(crate) bound_ns: u64,
+    pub(crate) bound_evals: u64,
+    pub(crate) bound_cache_hits: u64,
+}
+
+/// Wall-clock timings of the speculate-then-validate phases, reported
+/// only when [`BranchAndBound::with_profiling`] is on. Times are
+/// nondeterministic by nature — this struct is diagnostics, never part
+/// of the bit-identical solve contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Sequential seed enumeration (phase 1).
+    pub enumerate_ns: u64,
+    /// Parallel speculative subtree runs (phase 2, wall time).
+    pub speculate_ns: u64,
+    /// Sequential validation drive (phase 3).
+    pub validate_ns: u64,
+    /// Time inside bound evaluation across all drives and tasks.
+    pub bound_ns: u64,
+    /// Pigeonhole bound evaluations actually computed.
+    pub bound_evals: u64,
+    /// Pigeonhole bound evaluations answered from the per-subtree cache.
+    pub bound_cache_hits: u64,
 }
 
 /// Counters from one parallel solve, for benchmarks and telemetry.
@@ -98,7 +125,7 @@ pub(crate) struct SpecResult {
 pub struct ParStats {
     /// Worker threads the solve ran with.
     pub threads: usize,
-    /// Subtree tasks enumerated at the split depth.
+    /// Subtree tasks enumerated at the split slot.
     pub tasks: u64,
     /// Tasks whose speculative result was consumed as-is.
     pub accepted: u64,
@@ -108,6 +135,10 @@ pub struct ParStats {
     pub speculative_nodes: u64,
     /// Jobs a worker took from another worker's deque.
     pub steals: u64,
+    /// Per-phase wall timings, present only when profiling was enabled
+    /// (serialized as `null` otherwise; `enki-obs bench-diff` skips
+    /// null leaves).
+    pub profile: Option<PhaseProfile>,
 }
 
 impl ParStats {
@@ -208,12 +239,6 @@ where
     )
 }
 
-/// How many tasks to aim for per worker thread. More tasks smooth out
-/// subtree-size skew (the pool rebalances by stealing); the validation
-/// drive's cost grows only with the prefix, so oversubscription is
-/// cheap.
-const TASKS_PER_THREAD: u64 = 8;
-
 /// Parallel [`BranchAndBound::solve`]: speculate across the work-stealing
 /// pool, then validate sequentially. See the [module docs](self) for why
 /// the result is bit-identical to the sequential solver's.
@@ -230,23 +255,13 @@ pub(crate) fn solve_parallel(
     let clock = solver.clock_cfg().clone();
     let start = clock.now();
     let prep = solver.prepare(problem)?;
-    let n = prep.order.len();
 
-    // Split where the tree is wide enough to feed every worker. The
-    // product of branching factors bounds the number of seeds from
-    // above; if the whole tree is narrower than the target, parallelism
-    // cannot pay for itself and the sequential walk is the right call.
-    let target = TASKS_PER_THREAD * threads as u64;
-    let mut width: u64 = 1;
-    let mut split_depth = None;
-    for depth in 0..n {
-        width = width.saturating_mul(prep.placements[depth].len().max(1) as u64);
-        if width >= target {
-            split_depth = Some(depth + 1);
-            break;
-        }
-    }
-    let Some(split_depth) = split_depth else {
+    // The split slot is part of the preparation — a class boundary where
+    // the class-vector tree is wide enough to oversubscribe the pool,
+    // chosen independently of the thread count so every drive prunes
+    // identically. A narrow tree cannot pay for parallelism: run the
+    // sequential walk.
+    let Some(split_slot) = prep.split_slot else {
         let report = solver.solve_sequential(problem)?;
         return Ok((
             report,
@@ -257,37 +272,45 @@ pub(crate) fn solve_parallel(
         ));
     };
 
-    // Phase 1 — enumerate seeds with the incumbent frozen.
+    let profiling = solver.profiling_cfg();
     let node_limit = solver.node_limit_cfg();
     let time_limit = solver.time_limit_cfg();
+
+    // Phase 1 — enumerate seeds with the incumbent frozen.
     let mut enumerator = prep.search(clock.as_ref(), start, node_limit, time_limit);
-    enumerator.split_depth = split_depth;
-    enumerator.dfs(0);
+    enumerator.split_slot = split_slot;
+    enumerator.profile_bounds = profiling;
+    enumerator.run_from(0);
     let seeds = std::mem::take(&mut enumerator.seeds);
-    let keys: Vec<Vec<u8>> = seeds.iter().map(|seed| seed.key.clone()).collect();
+    let keys: Vec<Vec<u32>> = seeds.iter().map(|seed| seed.key.clone()).collect();
+    let enumerated_at = clock.now();
 
     // Phase 2 — speculative subtree runs over the pool, sharing the
-    // incumbent through one atomic word.
-    let shared_incumbent = AtomicU64::new((prep.incumbent.objective / prep.sigma).to_bits());
+    // exact integer incumbent through one atomic word.
+    let shared_incumbent = AtomicU64::new(prep.incumbent_sumsq);
     let (outcomes, pool) = run_jobs(threads, seeds, |seed: TaskSeed| {
-        let hint = f64::from_bits(shared_incumbent.load(Ordering::Relaxed));
+        let hint = shared_incumbent.load(Ordering::Relaxed);
         let mut task = prep.search(clock.as_ref(), start, node_limit, time_limit);
         task.best_sumsq = hint;
-        task.current = seed.current;
+        task.profile_bounds = profiling;
         task.chosen = seed.chosen;
-        task.loads = seed.loads;
+        task.counts = seed.counts;
         task.sumsq = seed.sumsq;
-        task.dfs(split_depth);
+        task.run_from(split_slot);
         if task.improved {
-            shared_incumbent.fetch_min(task.best_sumsq.to_bits(), Ordering::Relaxed);
+            shared_incumbent.fetch_min(task.best_sumsq, Ordering::Relaxed);
         }
         SpecResult {
             hint,
             nodes: task.nodes,
             aborted: task.aborted,
-            improved: task.improved.then_some((task.best_sumsq, task.best)),
+            improved: task.improved.then_some((task.best_sumsq, task.best_chosen)),
+            bound_ns: task.bound_ns,
+            bound_evals: task.bound_evals,
+            bound_cache_hits: task.bound_cache_hits,
         }
     });
+    let speculated_at = clock.now();
 
     let mut stats = ParStats {
         threads,
@@ -295,7 +318,7 @@ pub(crate) fn solve_parallel(
         steals: pool.steals,
         ..ParStats::default()
     };
-    let memo: BTreeMap<Vec<u8>, SpecResult> = keys
+    let memo: BTreeMap<Vec<u32>, SpecResult> = keys
         .into_iter()
         .zip(outcomes)
         .filter_map(|(key, outcome)| outcome.map(|o| (key, o)))
@@ -304,15 +327,34 @@ pub(crate) fn solve_parallel(
 
     // Phase 3 — the deterministic validation drive.
     let mut drive = prep.search(clock.as_ref(), start, node_limit, time_limit);
-    drive.split_depth = split_depth;
+    drive.split_slot = split_slot;
     drive.memo = Some(&memo);
-    drive.dfs(0);
+    drive.profile_bounds = profiling;
+    drive.run_from(0);
     stats.accepted = drive.consumed_tasks;
     stats.revalidated = drive.revalidated_tasks;
+    let validated_at = clock.now();
+
+    if profiling {
+        let task_bound_ns: u64 = memo.values().map(|spec| spec.bound_ns).sum();
+        let task_evals: u64 = memo.values().map(|spec| spec.bound_evals).sum();
+        let task_hits: u64 = memo.values().map(|spec| spec.bound_cache_hits).sum();
+        stats.profile = Some(PhaseProfile {
+            enumerate_ns: duration_ns(enumerated_at.saturating_sub(start)),
+            speculate_ns: duration_ns(speculated_at.saturating_sub(enumerated_at)),
+            validate_ns: duration_ns(validated_at.saturating_sub(speculated_at)),
+            bound_ns: enumerator
+                .bound_ns
+                .saturating_add(task_bound_ns)
+                .saturating_add(drive.bound_ns),
+            bound_evals: enumerator.bound_evals + task_evals + drive.bound_evals,
+            bound_cache_hits: enumerator.bound_cache_hits + task_hits + drive.bound_cache_hits,
+        });
+    }
 
     let proven_optimal = !drive.aborted;
     let nodes = drive.nodes;
-    let solution = Solution::from_deferments(problem, drive.best)?;
+    let solution = Solution::from_deferments(problem, prep.eq.expand(&drive.best_chosen))?;
     Ok((
         SolveReport {
             solution,
@@ -324,6 +366,11 @@ pub(crate) fn solve_parallel(
         },
         stats,
     ))
+}
+
+/// Nanoseconds of a duration, saturating (profiling only).
+fn duration_ns(duration: std::time::Duration) -> u64 {
+    u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -357,5 +404,37 @@ mod tests {
         let (results, stats) = run_jobs(4, Vec::<u8>::new(), |j| j);
         assert!(results.is_empty());
         assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn profile_is_reported_only_when_enabled() {
+        use enki_core::household::Preference;
+        let prefs: Vec<Preference> = (0..10u8)
+            .map(|i| Preference::new(10 + (i % 3), 20 + (i % 4), 2).unwrap())
+            .collect();
+        let problem = AllocationProblem::new(prefs, 2.0, 0.3).unwrap();
+        let (_, silent) = BranchAndBound::new()
+            .with_threads(2)
+            .solve_with_stats(&problem)
+            .unwrap();
+        assert!(silent.profile.is_none(), "profiling must be opt-in");
+        let (report, profiled) = BranchAndBound::new()
+            .with_threads(2)
+            .with_profiling(true)
+            .solve_with_stats(&problem)
+            .unwrap();
+        // Profiling must not perturb the solve itself (elapsed is wall
+        // time and excluded from the comparison).
+        let (baseline, _) = BranchAndBound::new()
+            .with_threads(2)
+            .solve_with_stats(&problem)
+            .unwrap();
+        assert_eq!(report.solution, baseline.solution);
+        assert_eq!(report.nodes, baseline.nodes);
+        assert_eq!(report.proven_optimal, baseline.proven_optimal);
+        if profiled.tasks > 0 {
+            let profile = profiled.profile.expect("profiling was enabled");
+            assert!(profile.bound_evals + profile.bound_cache_hits > 0);
+        }
     }
 }

@@ -53,7 +53,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::bounds::{discrete_fill_sum_of_squares, hours_mask};
+use crate::bounds::{hours_mask, unit_fill_extra};
 use crate::exact::BranchAndBound;
 use crate::local_search::LocalSearch;
 use crate::problem::{AllocationProblem, Solution};
@@ -182,6 +182,7 @@ pub struct AnytimePipeline {
     restarts: usize,
     seed: u64,
     threads: usize,
+    profiling: bool,
     /// Time source for stage timing and the exact stage's deadline. The
     /// production default is the real monotonic clock; tests inject a
     /// virtual clock so degradation behaviour is deterministic.
@@ -204,6 +205,7 @@ impl AnytimePipeline {
             restarts: 8,
             seed: 0x5eed_f00d,
             threads: 1,
+            profiling: false,
             clock: Arc::new(MonotonicClock::new()),
             injected_panic: None,
         }
@@ -230,6 +232,18 @@ impl AnytimePipeline {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Enables per-phase profiling of the exact rung. The racing
+    /// portfolio then reports a [`PhaseProfile`](crate::par::PhaseProfile)
+    /// in its [`ParStats`](crate::par::ParStats) and records the phase
+    /// timings on the `solve.exact` span. Off by default: the timings are
+    /// wall-clock and scheduling-dependent, so they must never leak into
+    /// byte-reproducible traces unless explicitly requested.
+    #[must_use]
+    pub fn with_profiling(mut self, profiling: bool) -> Self {
+        self.profiling = profiling;
+        self
     }
 
     /// Overrides the exact stage's wall-clock deadline. A deadline of
@@ -425,7 +439,8 @@ impl AnytimePipeline {
                 .with_time_limit(self.exact_time_limit)
                 .with_node_limit(self.exact_node_limit)
                 .with_seed(self.seed)
-                .with_clock(Arc::clone(&self.clock));
+                .with_clock(Arc::clone(&self.clock))
+                .with_profiling(self.profiling);
             let run = self.stage(Rung::Exact, || solver.solve(problem));
             let elapsed = self.clock.now().saturating_sub(started);
             if let Some(s) = span.as_mut() {
@@ -579,7 +594,8 @@ impl AnytimePipeline {
             .with_node_limit(self.exact_node_limit)
             .with_seed(self.seed)
             .with_clock(Arc::clone(&self.clock))
-            .with_threads(exact_threads);
+            .with_threads(exact_threads)
+            .with_profiling(self.profiling);
         let restarts = self.restarts;
         let seed = self.seed;
         let clock = Arc::clone(&self.clock);
@@ -646,6 +662,7 @@ impl AnytimePipeline {
                     stats.revalidated = lane_stats.revalidated;
                     stats.speculative_nodes = lane_stats.speculative_nodes;
                     stats.steals += lane_stats.steals;
+                    stats.profile = lane_stats.profile;
                     let status = if proven {
                         StageStatus::Solved
                     } else {
@@ -656,6 +673,18 @@ impl AnytimePipeline {
                         s.record("nodes", report.nodes);
                         s.record("objective", report.solution.objective);
                         s.record("certified_gap", report.certified_gap());
+                        // Phase timings are wall-clock and scheduling-
+                        // dependent; they only reach the trace when the
+                        // caller opted into profiling, which forfeits
+                        // byte-reproducibility of this span.
+                        if let Some(profile) = &stats.profile {
+                            s.record("profile.enumerate_ns", profile.enumerate_ns);
+                            s.record("profile.speculate_ns", profile.speculate_ns);
+                            s.record("profile.validate_ns", profile.validate_ns);
+                            s.record("profile.bound_ns", profile.bound_ns);
+                            s.record("profile.bound_evals", profile.bound_evals);
+                            s.record("profile.bound_cache_hits", profile.bound_cache_hits);
+                        }
                     }
                     stages.push(StageReport {
                         rung: Rung::Exact,
@@ -702,24 +731,59 @@ impl AnytimePipeline {
                 s
             });
             match local_slot {
-                Some(LaneResult::Local(Ok(solution), elapsed)) => {
-                    if let Some(s) = span.as_mut() {
-                        s.record("status", stage_status_key(StageStatus::Solved));
-                        s.record("objective", solution.objective);
-                        s.record("restarts", restarts);
-                    }
-                    stages.push(StageReport {
-                        rung: Rung::LocalSearch,
-                        status: StageStatus::Solved,
-                        elapsed,
-                        objective: Some(solution.objective),
-                        nodes: 0,
-                    });
-                    // A proven exact answer always wins the race; below
-                    // a proof, the usual ladder preference applies.
-                    if !proven {
-                        best = Some(take_better(best, solution, Rung::LocalSearch));
-                        answered = true;
+                Some(LaneResult::Local(Ok(restarted), elapsed)) => {
+                    // The racing lane could not see the exact lane's
+                    // incumbent while both were running, so replicate the
+                    // sequential ladder's warm start now: descend from
+                    // the exact result and keep the better of the two,
+                    // ties to the warm-started descent. Without this
+                    // fold, an exact lane that improves its incumbent
+                    // without proving would make the racing and
+                    // sequential drives' local rungs disagree.
+                    let warm = best
+                        .as_ref()
+                        .map_or_else(|| vec![0; problem.len()], |(s, _)| s.deferments.clone());
+                    let folded = run_contained(|| {
+                        let warm_started = LocalSearch::new().improve(problem, warm)?;
+                        Ok(if restarted.objective < warm_started.objective {
+                            restarted
+                        } else {
+                            warm_started
+                        })
+                    })
+                    .ok()
+                    .flatten();
+                    if let Some(solution) = folded {
+                        if let Some(s) = span.as_mut() {
+                            s.record("status", stage_status_key(StageStatus::Solved));
+                            s.record("objective", solution.objective);
+                            s.record("restarts", restarts);
+                        }
+                        stages.push(StageReport {
+                            rung: Rung::LocalSearch,
+                            status: StageStatus::Solved,
+                            elapsed,
+                            objective: Some(solution.objective),
+                            nodes: 0,
+                        });
+                        // A proven exact answer always wins the race;
+                        // below a proof, the usual ladder preference
+                        // applies.
+                        if !proven {
+                            best = Some(take_better(best, solution, Rung::LocalSearch));
+                            answered = true;
+                        }
+                    } else {
+                        if let Some(s) = span.as_mut() {
+                            s.record("status", stage_status_key(StageStatus::Panicked));
+                        }
+                        stages.push(StageReport {
+                            rung: Rung::LocalSearch,
+                            status: StageStatus::Panicked,
+                            elapsed,
+                            objective: None,
+                            nodes: 0,
+                        });
                     }
                 }
                 Some(LaneResult::Local(Err(_), elapsed)) => {
@@ -940,7 +1004,10 @@ fn take_better(
 }
 
 /// The σ-scaled root relaxation bound: optimally pack every household's
-/// whole slot-hours over the union of all windows.
+/// whole slot-hours over the union of all windows. Computed on the flat
+/// fixed-point representation — integer unit counts of the shared rate —
+/// and scaled to currency by `σ·rate²` in one exact conversion at the
+/// end, like the solver's own bounds.
 fn root_bound(problem: &AllocationProblem) -> f64 {
     let mut mask = 0u32;
     let mut units = 0u32;
@@ -948,8 +1015,9 @@ fn root_bound(problem: &AllocationProblem) -> f64 {
         mask |= hours_mask(p.begin(), p.end());
         units += u32::from(p.duration());
     }
-    problem.sigma()
-        * discrete_fill_sum_of_squares(&[0.0; HOURS_PER_DAY], mask, units, problem.rate())
+    let rate = problem.rate();
+    let fill = unit_fill_extra(&[0u32; HOURS_PER_DAY], mask, units);
+    problem.sigma() * rate * rate * (fill as f64)
 }
 
 /// One-pass greedy: most-constrained household first, each placed at
@@ -1346,6 +1414,40 @@ mod tests {
             .solve_traced_with_stats(&p, None)
             .unwrap();
         assert_eq!(seq_stats, crate::par::ParStats::sequential());
+    }
+
+    #[test]
+    fn profiling_is_opt_in_and_does_not_change_the_outcome() {
+        // A wide instance with several classes so the racing exact lane
+        // actually splits into speculative tasks.
+        let p = problem(vec![
+            pref(10, 20, 2),
+            pref(10, 20, 2),
+            pref(10, 20, 2),
+            pref(10, 20, 2),
+            pref(8, 22, 3),
+            pref(8, 22, 3),
+            pref(12, 24, 2),
+            pref(12, 24, 2),
+        ]);
+        let (plain, silent) = AnytimePipeline::new()
+            .with_threads(2)
+            .solve_traced_with_stats(&p, None)
+            .unwrap();
+        assert!(silent.profile.is_none(), "profiling must be opt-in");
+        let (profiled, stats) = AnytimePipeline::new()
+            .with_threads(2)
+            .with_profiling(true)
+            .solve_traced_with_stats(&p, None)
+            .unwrap();
+        // Observation must not perturb the solve.
+        assert_eq!(profiled.solution, plain.solution);
+        assert_eq!(profiled.rung, plain.rung);
+        assert_eq!(profiled.proven_optimal, plain.proven_optimal);
+        if stats.tasks > 0 {
+            let profile = stats.profile.expect("profiling was enabled");
+            assert!(profile.bound_evals + profile.bound_cache_hits > 0);
+        }
     }
 
     #[test]

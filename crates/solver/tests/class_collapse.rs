@@ -1,0 +1,174 @@
+//! Property tests of equivalence-class collapse: grouping households
+//! with identical `(begin, end, duration)` signatures into classes must
+//! be invisible. The class-vector branch-and-bound and the
+//! per-household brute-force enumeration must reach bit-identical
+//! objectives, and the bills the mechanism settles from each schedule
+//! must be identical — across random signature distributions, including
+//! the all-distinct worst case where every class has size one.
+
+use enki_core::config::EnkiConfig;
+use enki_core::household::{HouseholdId, Preference, Report};
+use enki_core::load::LoadProfile;
+use enki_core::mechanism::{AllocationOutcome, Assignment, Enki, Settlement};
+use enki_solver::prelude::{
+    brute_force, AllocationProblem, BranchAndBound, EquivalenceClasses, Solution,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a preference from a `(begin, duration, slack)` spec, clamping
+/// the begin hour so the window fits in the day.
+fn preference(begin: u8, duration: u8, slack: u8) -> Preference {
+    let begin = begin.min(24 - duration - slack);
+    Preference::new(begin, begin + duration + slack, duration).expect("valid preference")
+}
+
+/// Duplicate-heavy signature distributions: a pool of at most three
+/// signatures sampled with repetition, so classes collapse hard.
+fn duplicate_heavy() -> impl Strategy<Value = Vec<Preference>> {
+    (
+        proptest::collection::vec((0u8..18, 1u8..=3, 0u8..=2), 1..=3),
+        proptest::collection::vec(0usize..16, 1..=10),
+    )
+        .prop_map(|(pool, picks)| {
+            picks
+                .iter()
+                .map(|&i| {
+                    let (b, v, slack) = pool[i % pool.len()];
+                    preference(b, v, slack)
+                })
+                .collect()
+        })
+}
+
+/// All-distinct signatures: every household its own class (the
+/// collapse-free worst case for the class-vector search).
+fn all_distinct() -> impl Strategy<Value = Vec<Preference>> {
+    proptest::collection::vec(0u8..12, 1..=10).prop_map(|mut begins| {
+        begins.sort_unstable();
+        begins.dedup();
+        begins
+            .iter()
+            .map(|&b| preference(b, 1 + b % 3, b % 3))
+            .collect()
+    })
+}
+
+/// Settles a day where every household follows the solver's suggested
+/// window exactly: the schedule's windows become both the allocation
+/// and the observed consumption.
+fn settle_schedule(enki: &Enki, reports: &[Report], solution: &Solution) -> Settlement {
+    // Deterministic greedy pass only to borrow its report-derived
+    // flexibility scores and placement order, as the refinement path does.
+    let mut rng = StdRng::seed_from_u64(7);
+    let greedy = enki.allocate(reports, &mut rng).expect("allocate");
+    let outcome = AllocationOutcome {
+        assignments: reports
+            .iter()
+            .zip(&solution.windows)
+            .map(|(r, &window)| Assignment {
+                household: r.household,
+                window,
+            })
+            .collect(),
+        planned_load: LoadProfile::from_windows(&solution.windows, enki.config().rate()),
+        planned_cost: solution.objective,
+        predicted_flexibility: greedy.predicted_flexibility,
+        placement_order: greedy.placement_order,
+    };
+    enki.settle(reports, &outcome, &solution.windows).expect("settle")
+}
+
+/// Shared body: brute objective vs class-vector objective must agree in
+/// bits, the class solver must prove optimality, thread counts must not
+/// change the answer, and the settled bills from either schedule must
+/// be identical.
+fn assert_collapse_invisible(preferences: Vec<Preference>) -> Result<(), TestCaseError> {
+    let config = EnkiConfig::default();
+    let problem =
+        AllocationProblem::from_config(preferences.clone(), &config).expect("valid problem");
+    let brute = brute_force(&problem).expect("brute solve");
+    let report = BranchAndBound::new().solve(&problem).expect("class solve");
+    prop_assert!(report.proven_optimal, "class-vector search must prove n ≤ 10");
+    prop_assert_eq!(
+        brute.objective.to_bits(),
+        report.solution.objective.to_bits(),
+        "objective bits diverge: brute {} vs classes {}",
+        brute.objective,
+        report.solution.objective
+    );
+
+    for threads in [2usize, 8] {
+        let threaded = BranchAndBound::new()
+            .with_threads(threads)
+            .solve(&problem)
+            .expect("threaded solve");
+        prop_assert_eq!(
+            &report.solution,
+            &threaded.solution,
+            "solution diverges at {} threads",
+            threads
+        );
+    }
+
+    // Round-trip through the class vector: re-expanding the chosen
+    // per-class deferments must reproduce the solver's schedule.
+    let eq = EquivalenceClasses::group(&problem);
+    let chosen = eq.chosen_of(&report.solution.deferments);
+    prop_assert_eq!(&eq.expand(&chosen), &report.solution.deferments);
+
+    let enki = Enki::new(config);
+    let reports: Vec<Report> = preferences
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| Report::new(HouseholdId::new(u32::try_from(i).expect("small n")), p))
+        .collect();
+    let bills_brute = settle_schedule(&enki, &reports, &brute);
+    let bills_class = settle_schedule(&enki, &reports, &report.solution);
+    prop_assert_eq!(
+        bills_brute.total_cost.to_bits(),
+        bills_class.total_cost.to_bits()
+    );
+    prop_assert_eq!(bills_brute.revenue.to_bits(), bills_class.revenue.to_bits());
+    prop_assert_eq!(bills_brute.entries.len(), bills_class.entries.len());
+    for (b, c) in bills_brute.entries.iter().zip(&bills_class.entries) {
+        prop_assert_eq!(b.household, c.household);
+        prop_assert_eq!(
+            b.payment.to_bits(),
+            c.payment.to_bits(),
+            "bill diverges for household {:?}: {} vs {}",
+            b.household,
+            b.payment,
+            c.payment
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn class_collapse_is_invisible_on_duplicate_heavy_days(
+        preferences in duplicate_heavy(),
+    ) {
+        assert_collapse_invisible(preferences)?;
+    }
+
+    #[test]
+    fn class_collapse_is_invisible_when_every_class_has_size_one(
+        preferences in all_distinct(),
+    ) {
+        let problem = AllocationProblem::from_config(
+            preferences.clone(),
+            &EnkiConfig::default(),
+        ).expect("valid problem");
+        let eq = EquivalenceClasses::group(&problem);
+        prop_assert_eq!(eq.class_count(), preferences.len());
+        for class in eq.classes() {
+            prop_assert_eq!(class.size(), 1);
+        }
+        assert_collapse_invisible(preferences)?;
+    }
+}
